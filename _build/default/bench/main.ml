@@ -1,0 +1,722 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6) against the simulated PM stack.
+
+     dune exec bench/main.exe -- [target] [options]
+
+   Targets: fig10a fig10b fig11 fig12a fig12b fig12c table1 table5 table6
+            yat ablation bechamel all (default: all)
+   Options: --insertions N   microbenchmark insertions per cell (default 600)
+            --ops N          real-workload operations (default 4000)
+            --runs N         timing repetitions, best-of (default 3)
+            --full           paper-scale parameters (slow)
+
+   Absolute times depend on the simulator; the paper's *shapes* are what
+   these benches reproduce: who is faster, by roughly what factor, and how
+   the curves move with transaction size, thread count and worker count.
+   EXPERIMENTS.md records a measured run against the paper's numbers. *)
+
+open Pmtest_util
+open Pmtest_pmdk
+open Pmtest_workloads
+module Report = Pmtest_core.Report
+module Pmtest = Pmtest_core.Pmtest
+module Engine = Pmtest_core.Engine
+module Pmemcheck = Pmtest_baseline.Pmemcheck
+module Yat = Pmtest_baseline.Yat
+module Sink = Pmtest_trace.Sink
+module Event = Pmtest_trace.Event
+module Builder = Pmtest_trace.Builder
+module Model = Pmtest_model.Model
+module Fs = Pmtest_pmfs.Fs
+open Pmtest_bugdb
+
+(* --- Configuration ------------------------------------------------------------ *)
+
+let insertions = ref 600
+let kv_ops = ref 4000
+let runs = ref 3
+
+(* Pool sized to the cell's needs: nodes + payload blocks + undo-log area,
+   with generous slack — allocating a fixed huge pool would otherwise
+   dominate the timings. *)
+let pool_size_for ~size ~n =
+  let per_insert = ((size + 63) / 64 * 64) + 1024 in
+  max (8 * 1024 * 1024) ((n * per_insert * 2) + (2 * 1024 * 1024))
+
+(* --- Timing -------------------------------------------------------------------- *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let time_once f =
+  let t0 = now_ns () in
+  f ();
+  Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9
+
+(* Best-of-N wall time: robust against scheduler noise without needing
+   long runs. *)
+let time f =
+  let best = ref infinity in
+  for _ = 1 to !runs do
+    let t = time_once f in
+    if t < !best then best := t
+  done;
+  !best
+
+let ratio a b = if b <= 0.0 then nan else a /. b
+
+(* --- Microbenchmark structures (Fig. 10) --------------------------------------- *)
+
+type micro = {
+  m_name : string;
+  (* Build in a fresh pool; returns the one-insert function. *)
+  m_build : Pool.t -> key:int64 -> value:bytes -> unit;
+  (* Transactional structures get the TX checkers; hashmap_atomic carries
+     its own low-level checkers. *)
+  m_tx : bool;
+}
+
+let micros =
+  [
+    {
+      m_name = "C-Tree";
+      m_build =
+        (fun pool ->
+          let m = Ctree_map.create pool in
+          fun ~key ~value -> Ctree_map.insert m ~key ~value);
+      m_tx = true;
+    };
+    {
+      m_name = "B-Tree";
+      m_build =
+        (fun pool ->
+          let m = Btree_map.create pool in
+          fun ~key ~value -> Btree_map.insert m ~key ~value);
+      m_tx = true;
+    };
+    {
+      m_name = "RB-Tree";
+      m_build =
+        (fun pool ->
+          let m = Rbtree_map.create pool in
+          fun ~key ~value -> Rbtree_map.insert m ~key ~value);
+      m_tx = true;
+    };
+    {
+      m_name = "HashMap(w/ TX)";
+      m_build =
+        (fun pool ->
+          let m = Hashmap_tx.create ~buckets:4096 pool in
+          fun ~key ~value -> Hashmap_tx.insert m ~key ~value);
+      m_tx = true;
+    };
+    {
+      m_name = "HashMap(w/o TX)";
+      m_build =
+        (fun pool ->
+          let m = Hashmap_atomic.create ~buckets:4096 pool in
+          fun ~key ~value -> ignore (Hashmap_atomic.insert m ~key ~value));
+      m_tx = false;
+    };
+  ]
+
+let tx_sizes = [ 64; 128; 256; 512; 1024; 2048; 4096 ]
+
+(* One microbenchmark cell: [n] insertions of [size]-byte values, one
+   trace section per insertion. Setup (pool and tool) happens outside the
+   timed region: the measurement covers the insert loop plus the tool's
+   finalization, as the paper's normalized execution times do. *)
+let micro_loop micro pool ~size ~n ~per_insert =
+  let insert = micro.m_build pool in
+  let rng = Rng.create (size + n) in
+  let payload = Bytes.make size 'p' in
+  for i = 0 to n - 1 do
+    let key = Int64.of_int (Rng.int rng (2 * n)) in
+    if micro.m_tx then begin
+      Pool.tx_checker_start pool;
+      insert ~key ~value:payload;
+      Pool.tx_checker_end pool
+    end
+    else insert ~key ~value:payload;
+    per_insert i
+  done
+
+let micro_time tool micro ~size ~n =
+  let psize = pool_size_for ~size ~n in
+  let best = ref infinity in
+  for _ = 1 to !runs do
+    let t =
+      match tool with
+      | `Base ->
+        let pool = Pool.create ~size:psize ~sink:Sink.null () in
+        time_once (fun () -> micro_loop micro pool ~size ~n ~per_insert:ignore)
+      | `Pmtest workers ->
+        let session = Pmtest.init ~workers () in
+        let pool = Pool.create ~size:psize ~sink:(Pmtest.sink session) () in
+        let t =
+          time_once (fun () ->
+              micro_loop micro pool ~size ~n ~per_insert:(fun _ -> Pmtest.send_trace session);
+              ignore (Pmtest.get_result session))
+        in
+        let report = Pmtest.finish session in
+        if Report.has_fail report then
+          Fmt.epr "WARNING: unexpected FAIL in %s: %a@." micro.m_name Report.pp report;
+        t
+      | `Track_only ->
+        (* Tracking cost without any checking: sections are dropped. *)
+        let builder = Builder.create () in
+        let pool = Pool.create ~size:psize ~sink:(Builder.sink builder) () in
+        time_once (fun () ->
+            micro_loop micro pool ~size ~n ~per_insert:(fun _ -> ignore (Builder.take builder)))
+      | `Pmtest_sync ->
+        let session = Pmtest.init ~workers:0 () in
+        let pool = Pool.create ~size:psize ~sink:(Pmtest.sink session) () in
+        let t =
+          time_once (fun () ->
+              micro_loop micro pool ~size ~n ~per_insert:(fun _ -> Pmtest.send_trace session))
+        in
+        ignore (Pmtest.finish session);
+        t
+      | `Pmemcheck ->
+        let pc = Pmemcheck.create ~size:psize in
+        let pool = Pool.create ~size:psize ~sink:(Pmemcheck.sink pc) () in
+        time_once (fun () ->
+            micro_loop micro pool ~size ~n ~per_insert:ignore;
+            ignore (Pmemcheck.result pc))
+    in
+    if t < !best then best := t
+  done;
+  !best
+
+(* --- Figure 10a ----------------------------------------------------------------- *)
+
+let fig10a () =
+  let n = !insertions in
+  Fmt.pr "@.### Figure 10a — microbenchmark slowdown vs. Pmemcheck (%d insertions/cell)@.@." n;
+  Fmt.pr "%-16s %8s %12s %10s %12s@." "structure" "tx(B)" "base(ms)" "PMTest(x)" "Pmemcheck(x)";
+  let pmtest_ratios = ref [] and pmemcheck_ratios = ref [] in
+  List.iter
+    (fun micro ->
+      List.iter
+        (fun size ->
+          let t_base = micro_time `Base micro ~size ~n in
+          let t_pmtest = micro_time (`Pmtest 1) micro ~size ~n in
+          let t_pc = micro_time `Pmemcheck micro ~size ~n in
+          let r_pm = ratio t_pmtest t_base and r_pc = ratio t_pc t_base in
+          pmtest_ratios := r_pm :: !pmtest_ratios;
+          pmemcheck_ratios := r_pc :: !pmemcheck_ratios;
+          Fmt.pr "%-16s %8d %12.2f %10.2f %12.2f@." micro.m_name size (t_base *. 1e3) r_pm r_pc)
+        tx_sizes)
+    micros;
+  let geo l = Stats.geomean (Array.of_list l) in
+  let avg_pm = geo !pmtest_ratios and avg_pc = geo !pmemcheck_ratios in
+  Fmt.pr "@.geomean slowdown: PMTest %.2fx, Pmemcheck %.2fx — Pmemcheck/PMTest = %.1fx@." avg_pm
+    avg_pc (avg_pc /. avg_pm);
+  Fmt.pr "(paper: PMTest 5.2-8.9x faster than Pmemcheck, 7.1x on average;@.";
+  Fmt.pr " PMTest overhead falls as the transaction size grows)@."
+
+(* --- Figure 10b ----------------------------------------------------------------- *)
+
+let fig10b () =
+  let n = !insertions in
+  Fmt.pr "@.### Figure 10b — PMTest overhead breakdown (%d insertions/cell)@.@." n;
+  Fmt.pr "%-16s %8s %12s %12s %12s@." "structure" "tx(B)" "overhead(x)" "framework%" "checker%";
+  (* Total = the normal decoupled runtime (checking overlaps execution on
+     a worker thread, as in the paper); framework = trace production only;
+     checker = the residual the decoupled checking still adds. *)
+  let checker_shares = ref [] in
+  List.iter
+    (fun micro ->
+      List.iter
+        (fun size ->
+          let t_base = micro_time `Base micro ~size ~n in
+          let t_track = micro_time `Track_only micro ~size ~n in
+          let t_full = micro_time (`Pmtest 1) micro ~size ~n in
+          let overhead = max 1e-9 (t_full -. t_base) in
+          let framework = min overhead (max 0.0 (t_track -. t_base)) in
+          let checker = max 0.0 (overhead -. framework) in
+          let fr_pct = 100.0 *. framework /. overhead in
+          let ch_pct = 100.0 *. checker /. overhead in
+          checker_shares := ch_pct :: !checker_shares;
+          Fmt.pr "%-16s %8d %12.2f %11.1f%% %11.1f%%@." micro.m_name size (ratio t_full t_base)
+            fr_pct ch_pct)
+        [ 64; 512; 4096 ])
+    micros;
+  Fmt.pr "@.mean checker share of total overhead: %.1f%%@."
+    (Stats.mean (Array.of_list !checker_shares));
+  Fmt.pr
+    "(paper: decoupled checking contributes 18.9%%-37.8%% of the overhead; our simulated@.";
+  Fmt.pr
+    " baseline is lighter than a real PM program, so checking weighs relatively more)@."
+
+(* --- Figure 11 ------------------------------------------------------------------ *)
+
+(* One client per server thread, each issuing a fixed op count — as the
+   paper's Table 4 clients do — so total work (and trace volume) grows
+   with the thread count. *)
+let memcached_workload ?(threads = 2) ?ops_per_client ~client ~tool () =
+  let ops_per_client =
+    match ops_per_client with Some n -> n | None -> !kv_ops / threads
+  in
+  let session =
+    match tool with `Pmtest workers -> Some (Pmtest.init ~workers ()) | _ -> None
+  in
+  let sink_of i =
+    match session with
+    | Some s ->
+      Pmtest.thread_init s ~thread:i;
+      Pmtest.sink ~thread:i s
+    | None -> Sink.null
+  in
+  let mc = Memcached.create ~shards:threads ~sink_of () in
+  let streams = Memcached.generate_streams ~client ~ops_per_client ~keys:4096 ~seed:11 mc in
+  let on_section shard =
+    match session with Some s -> Pmtest.send_trace ~thread:shard s | None -> ()
+  in
+  Memcached.run mc ~on_section ~streams;
+  match session with Some s -> ignore (Pmtest.finish s) | None -> ()
+
+let redis_workload ~tool () =
+  let ops = Clients.redis_lru ~ops:!kv_ops ~keys:16384 (Rng.create 12) in
+  match tool with
+  | `None ->
+    let r = Redis.create ~annotate:false ~sink:Sink.null () in
+    Redis.run r ops
+  | `Pmtest workers ->
+    let session = Pmtest.init ~workers () in
+    let r = Redis.create ~sink:(Pmtest.sink session) () in
+    Array.iteri
+      (fun i op ->
+        Redis.apply r op;
+        if i mod 16 = 0 then Pmtest.send_trace session)
+      ops;
+    Pmtest.send_trace session;
+    ignore (Pmtest.finish session)
+  | `Pmemcheck ->
+    let pc = Pmemcheck.create ~size:(32 * 1024 * 1024) in
+    let r = Redis.create ~sink:(Pmemcheck.sink pc) () in
+    Redis.run r ops;
+    ignore (Pmemcheck.result pc)
+
+let pmfs_workload ~client ~tool () =
+  let session =
+    match tool with `Pmtest workers -> Some (Pmtest.init ~workers ()) | _ -> None
+  in
+  let sink = match session with Some s -> Pmtest.sink s | None -> Sink.null in
+  let fs = Fs.mkfs ~inodes:256 ~blocks:4096 ~sink () in
+  let on_section () = match session with Some s -> Pmtest.send_trace s | None -> () in
+  Pmfs_app.run ~on_section fs (client (Rng.create 13));
+  match session with Some s -> ignore (Pmtest.finish s) | None -> ()
+
+let fig11 () =
+  Fmt.pr "@.### Figure 11 — real-workload slowdown under PMTest (%d ops)@.@." !kv_ops;
+  Fmt.pr "%-24s %12s %12s@." "workload" "base(ms)" "PMTest(x)";
+  let fs_ops = max 200 (!kv_ops / 4) in
+  let rows =
+    [
+      ( "Memcached+Memslap",
+        fun tool ->
+          memcached_workload
+            ~client:(fun ~ops ~keys rng -> Clients.memslap ~ops ~keys rng)
+            ~tool () );
+      ( "Memcached+YCSB",
+        fun tool ->
+          memcached_workload ~client:(fun ~ops ~keys rng -> Clients.ycsb ~ops ~keys rng) ~tool ()
+      );
+      ("Redis+LRU", fun tool -> redis_workload ~tool ());
+      ( "PMFS+OLTP",
+        fun tool ->
+          pmfs_workload
+            ~client:(fun rng -> Clients.oltp ~ops:fs_ops ~tables:8 ~rows_per_table:128 rng)
+            ~tool () );
+      ( "PMFS+Filebench",
+        fun tool ->
+          pmfs_workload ~client:(fun rng -> Clients.filebench ~ops:fs_ops ~files:64 rng) ~tool ()
+      );
+      ( "Vacation (extra)",
+        fun tool ->
+          (* Beyond the paper's Table 4: WHISPER's vacation, multi-table
+             transactions on PMDK. *)
+          let session =
+            match tool with `Pmtest workers -> Some (Pmtest.init ~workers ()) | _ -> None
+          in
+          let sink = match session with Some s -> Pmtest.sink s | None -> Sink.null in
+          let v = Vacation.create ~resources:64 ~sink () in
+          let on_section () =
+            match session with Some s -> Pmtest.send_trace s | None -> ()
+          in
+          Vacation.run v ~on_section
+            (Vacation.client ~ops:(!kv_ops / 4) ~customers:256 ~resources:64 (Rng.create 14));
+          match session with Some s -> ignore (Pmtest.finish s) | None -> () );
+    ]
+  in
+  let ratios =
+    List.map
+      (fun (name, run) ->
+        let t_base = time (fun () -> run `None) in
+        let t_pm = time (fun () -> run (`Pmtest 1)) in
+        let r = ratio t_pm t_base in
+        Fmt.pr "%-24s %12.2f %12.2f@." name (t_base *. 1e3) r;
+        r)
+      rows
+  in
+  Fmt.pr "%-24s %12s %12.2f@." "Average" "" (Stats.geomean (Array.of_list ratios));
+  (* Redis is PMDK-based, so the paper also tests it under Pmemcheck. *)
+  let t_base = time (fun () -> redis_workload ~tool:`None ()) in
+  let t_pc = time (fun () -> redis_workload ~tool:`Pmemcheck ()) in
+  let t_pm = time (fun () -> redis_workload ~tool:(`Pmtest 1) ()) in
+  Fmt.pr "@.Redis under Pmemcheck: %.2fx (vs %.2fx under PMTest; Pmemcheck/PMTest = %.1fx)@."
+    (ratio t_pc t_base) (ratio t_pm t_base) (ratio t_pc t_pm);
+  Fmt.pr "(paper: PMTest 1.33-1.98x, avg 1.69x; Redis+Pmemcheck 22.3x, 13.6x slower than PMTest)@."
+
+(* --- Figure 12 ------------------------------------------------------------------ *)
+
+let fig12_cell ~threads ~workers ~client =
+  let ops_per_client = !kv_ops in
+  let base =
+    time (fun () -> memcached_workload ~threads ~ops_per_client ~client ~tool:`None ())
+  in
+  let pm =
+    time (fun () ->
+        memcached_workload ~threads ~ops_per_client ~client ~tool:(`Pmtest workers) ())
+  in
+  ratio pm base
+
+let fig12 variant () =
+  let memslap ~ops ~keys rng = Clients.memslap ~ops ~keys rng in
+  let ycsb ~ops ~keys rng = Clients.ycsb ~ops ~keys rng in
+  let cells =
+    match variant with
+    | `A -> List.map (fun t -> (t, 1)) [ 1; 2; 4 ]
+    | `B -> List.map (fun w -> (4, w)) [ 1; 2; 4 ]
+    | `C -> List.map (fun n -> (n, n)) [ 1; 2; 4 ]
+  in
+  let label =
+    match variant with
+    | `A -> "(a) vs. #Memcached threads, 1 PMTest worker"
+    | `B -> "(b) vs. #PMTest workers, 4 Memcached threads"
+    | `C -> "(c) #threads = #workers"
+  in
+  Fmt.pr "@.### Figure 12%s (%d ops)@.@." label !kv_ops;
+  Fmt.pr "%-10s %-10s %12s %12s@." "threads" "workers" "Memslap(x)" "YCSB(x)";
+  List.iter
+    (fun (threads, workers) ->
+      let a = fig12_cell ~threads ~workers ~client:memslap in
+      let b = fig12_cell ~threads ~workers ~client:ycsb in
+      Fmt.pr "%-10d %-10d %12.2f %12.2f@." threads workers a b)
+    cells;
+  (match variant with
+  | `A -> Fmt.pr "(paper: slowdown grows with thread count at a single worker)@."
+  | `B -> Fmt.pr "(paper: slowdown falls as workers are added)@."
+  | `C -> Fmt.pr "(paper: roughly flat, rising slightly from cross-thread communication)@.");
+  Fmt.pr
+    "(caveat: OCaml 5's stop-the-world minor GC charges every extra domain to the@.";
+  Fmt.pr
+    " producer, which skews these wall-clock ratios — see the worker-scaling table)@.";
+  if variant = `B then begin
+    (* The paper's underlying claim, isolated from the GC effect: more
+       workers drain a fixed backlog of recorded trace sections faster. *)
+    let sections = ref [] in
+    let collect = { Sink.emit = (fun _ _ -> ()) } in
+    ignore collect;
+    let builders = Array.init 4 (fun i -> Builder.create ~thread:i ()) in
+    let mc =
+      Memcached.create ~shards:4 ~sink_of:(fun i -> Builder.sink builders.(i)) ()
+    in
+    let streams =
+      Memcached.generate_streams
+        ~client:(fun ~ops ~keys rng -> Clients.ycsb ~ops ~keys rng)
+        ~ops_per_client:!kv_ops ~keys:4096 ~seed:17 mc
+    in
+    Memcached.run mc ~section_every:256
+      ~on_section:(fun shard ->
+        let sec = Builder.take builders.(shard) in
+        if Array.length sec > 0 then sections := sec :: !sections)
+      ~streams;
+    let sections = Array.of_list !sections in
+    Fmt.pr "@.offline checking throughput over %d recorded sections (YCSB, 4 clients):@."
+      (Array.length sections);
+    Fmt.pr "%-10s %14s %10s@." "workers" "drain time(s)" "speedup";
+    let t1 = ref nan in
+    List.iter
+      (fun w ->
+        let t =
+          time (fun () ->
+              let rt = Pmtest_core.Runtime.create ~workers:w () in
+              Array.iter (Pmtest_core.Runtime.send_trace rt) sections;
+              ignore (Pmtest_core.Runtime.shutdown rt))
+        in
+        if w = 1 then t1 := t;
+        Fmt.pr "%-10d %14.3f %9.2fx@." w t (!t1 /. t))
+      [ 1; 2; 4 ];
+    Fmt.pr
+      "(the paper's drain time falls with workers; OCaml 5.1's multi-domain allocation@.";
+    Fmt.pr
+      " behaviour inverts the scaling here — a substrate limitation recorded in@.";
+    Fmt.pr " EXPERIMENTS.md, not a property of the checking algorithm)@."
+  end
+
+(* --- Table 1 --------------------------------------------------------------------- *)
+
+let table1 () =
+  Fmt.pr "@.### Table 1 — tools for testing crash-consistent software@.@.";
+  Fmt.pr "%-22s %-8s %-12s %-18s %-8s@." "Tool" "Speed" "Flexibility" "Target software"
+    "Kernel?";
+  Fmt.pr "%-22s %-8s %-12s %-18s %-8s@." "Yat" "Low" "Low" "PMFS" "Yes";
+  Fmt.pr "%-22s %-8s %-12s %-18s %-8s@." "Pmemcheck" "Medium" "Low" "PMDK" "No";
+  Fmt.pr "%-22s %-8s %-12s %-18s %-8s@." "PMTest (this work)" "High" "High" "Any CCS" "Yes";
+  Fmt.pr "@.(the yat and fig10a/fig11 targets quantify the Speed column;@.";
+  Fmt.pr " the hops_model example and the PMFS/Mnemosyne/PMDK integrations the Flexibility one)@."
+
+(* --- Tables 5 and 6 ---------------------------------------------------------------- *)
+
+let table5 () =
+  Fmt.pr "@.### Table 5 — synthetic bug detection@.@.";
+  let t0 = now_ns () in
+  let total = ref 0 and detected = ref 0 and false_pos = ref 0 in
+  List.iter
+    (fun (cat, cases) ->
+      let det = ref 0 in
+      List.iter
+        (fun c ->
+          let o = Case.execute c in
+          incr total;
+          if o.Case.detected then begin
+            incr detected;
+            incr det
+          end;
+          if not o.Case.clean then incr false_pos)
+        cases;
+      Fmt.pr "%-28s %2d/%2d detected@." (Case.category_name cat) !det (List.length cases))
+    (Catalog.by_category Catalog.synthetic);
+  let dt = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
+  Fmt.pr "@.total: %d/%d detected, %d false positives (%.2fs for the whole suite)@." !detected
+    !total !false_pos dt;
+  Fmt.pr "(paper: all synthetic bugs reported; checkers: 2 TX pairs for transactional code,@.";
+  Fmt.pr " 12 isPersist + 6 isOrderedBefore for the low-level benchmark)@."
+
+let table6 () =
+  Fmt.pr "@.### Table 6 — known and new real bugs@.@.";
+  Fmt.pr "%-14s %-28s %-10s %s@." "id" "origin" "verdict" "description";
+  List.iter
+    (fun case ->
+      let o = Case.execute case in
+      let origin =
+        match case.Case.provenance with
+        | Case.Synthetic -> "synthetic"
+        | Case.Reproduced s -> "known: " ^ s
+        | Case.New_bug s -> "new: " ^ s
+      in
+      Fmt.pr "%-14s %-28s %-10s %s@." case.Case.id origin
+        (if o.Case.detected then "detected" else "MISSED")
+        case.Case.description)
+    Catalog.table6
+
+(* --- Yat comparison (§2.2) ----------------------------------------------------------- *)
+
+let yat_bench () =
+  Fmt.pr "@.### Yat exhaustive search vs. PMTest interval deduction (§2.2)@.@.";
+  Fmt.pr "%-12s %16s %14s %14s@." "#writes" "Yat states" "Yat time(s)" "PMTest time(s)";
+  List.iter
+    (fun n ->
+      (* n unordered writes to distinct lines, then one flush+fence. *)
+      let ops =
+        List.concat
+          [
+            List.init n (fun i -> Event.make (Event.Op (Model.Write { addr = i * 64; size = 8 })));
+            List.init n (fun i -> Event.make (Event.Op (Model.Clwb { addr = i * 64; size = 8 })));
+            [ Event.make (Event.Op Model.Sfence) ];
+            List.init n (fun i ->
+                Event.make (Event.Checker (Event.Is_persist { addr = i * 64; size = 8 })));
+          ]
+      in
+      let trace = Array.of_list ops in
+      let states = Yat.estimated_states ~size:(n * 64) trace in
+      let t_yat =
+        time_once (fun () ->
+            ignore
+              (Yat.run ~limit_per_point:2_000_000 ~size:(n * 64) ~check:(fun _ -> true) trace))
+      in
+      let t_pmtest = time_once (fun () -> ignore (Engine.check trace)) in
+      Fmt.pr "%-12d %16.0f %14.4f %14.6f@." n states t_yat t_pmtest)
+    [ 2; 4; 6; 8; 10; 12; 14; 16 ];
+  Fmt.pr "@.(Yat's crash-state space doubles per unordered write — the paper quotes >5 years@.";
+  Fmt.pr " for a 100k-op PMFS trace; PMTest's single pass stays linear in the trace)@."
+
+(* --- Ablation: interval-map shadow vs naive list shadow ------------------------------- *)
+
+let ablation () =
+  Fmt.pr "@.### Ablation — interval-map shadow memory vs naive list shadow@.@.";
+  Fmt.pr "(same verdicts — the differential property test proves it; this measures@.";
+  Fmt.pr " why the engine uses an interval map with lazy closing, paper section 4.4)@.@.";
+  Fmt.pr "%-12s %16s %16s %10s@." "trace ops" "interval-map(s)" "naive-list(s)" "ratio";
+  List.iter
+    (fun n ->
+      (* A trace with many live ranges: n writes to distinct addresses,
+         periodic flushes and fences, interleaved checkers. *)
+      let entries =
+        List.concat
+          (List.init n (fun i ->
+               let addr = i * 16 mod 65536 in
+               [
+                 Event.make (Event.Op (Model.Write { addr; size = 8 }));
+                 Event.make (Event.Op (Model.Clwb { addr; size = 8 }));
+               ]
+               @ (if i mod 8 = 7 then [ Event.make (Event.Op Model.Sfence) ] else [])
+               @
+               if i mod 16 = 15 then
+                 [ Event.make (Event.Checker (Event.Is_persist { addr; size = 8 })) ]
+               else []))
+      in
+      let trace = Array.of_list entries in
+      let t_fast = time (fun () -> ignore (Engine.check trace)) in
+      let t_naive = time (fun () -> ignore (Pmtest_baseline.Naive_engine.check trace)) in
+      Fmt.pr "%-12d %16.4f %16.4f %9.1fx@." n t_fast t_naive (ratio t_naive t_fast))
+    [ 256; 1024; 4096; 16384 ];
+  Fmt.pr "@.(the list shadow is O(n) per operation and sweeps everything at each fence:@.";
+  Fmt.pr " quadratic blow-up on exactly the long traces PMTest targets)@."
+
+(* --- Bechamel micro-measurements ------------------------------------------------------ *)
+
+let bechamel () =
+  Fmt.pr "@.### Bechamel micro-measurements (one Test per experiment family)@.@.";
+  let open Bechamel in
+  let section =
+    (* Pre-record a representative trace section: 32 ctree transactions. *)
+    let builder = Builder.create () in
+    let pool = Pool.create ~size:(1 lsl 22) ~sink:(Builder.sink builder) () in
+    let m = Ctree_map.create pool in
+    for i = 0 to 31 do
+      Pool.tx_checker_start pool;
+      Ctree_map.insert m ~key:(Int64.of_int i) ~value:(Bytes.make 64 'x');
+      Pool.tx_checker_end pool
+    done;
+    Builder.take builder
+  in
+  let test_fig10_insert =
+    Test.make ~name:"fig10a:ctree-insert+pmtest"
+      (Staged.stage (fun () ->
+           let session = Pmtest.init ~workers:0 () in
+           let pool = Pool.create ~size:(1 lsl 22) ~sink:(Pmtest.sink session) () in
+           let m = Ctree_map.create pool in
+           Pool.tx_checker_start pool;
+           Ctree_map.insert m ~key:1L ~value:(Bytes.make 64 'x');
+           Pool.tx_checker_end pool;
+           Pmtest.send_trace session;
+           ignore (Pmtest.finish session)))
+  in
+  let test_fig10b_engine =
+    Test.make ~name:"fig10b:engine-check-section"
+      (Staged.stage (fun () -> ignore (Engine.check section)))
+  in
+  let test_fig11_redis =
+    Test.make ~name:"fig11:redis-set+pmtest"
+      (let session = Pmtest.init ~workers:0 () in
+       let r = Redis.create ~sink:(Pmtest.sink session) () in
+       let i = ref 0 in
+       Staged.stage (fun () ->
+           incr i;
+           Redis.set r ~key:(Int64.of_int (!i land 0xfff)) ~value:(Bytes.make 16 'v');
+           Pmtest.send_trace session))
+  in
+  let test_fig12_memcached =
+    Test.make ~name:"fig12:memcached-set"
+      (let mc = Memcached.create ~shards:1 ~sink_of:(fun _ -> Sink.null) () in
+       let i = ref 0 in
+       Staged.stage (fun () ->
+           incr i;
+           Memcached.apply mc ~shard:0 (Clients.Set (Int64.of_int (!i land 0xfff), "vvvv"))))
+  in
+  let test_table5_case =
+    let case = List.hd Catalog.synthetic in
+    Test.make ~name:"table5:one-bug-case" (Staged.stage (fun () -> ignore (Case.execute case)))
+  in
+  let test_yat =
+    Test.make ~name:"yat:enumerate-1k-states"
+      (Staged.stage (fun () ->
+           let m = Pmtest_pmem.Machine.create ~track_versions:true ~size:1024 () in
+           for i = 0 to 9 do
+             Pmtest_pmem.Machine.store m ~addr:(i * 64) (Bytes.make 8 'z')
+           done;
+           ignore (Pmtest_pmem.Machine.iter_crash_states ~limit:2048 m ignore)))
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let tests =
+    Test.make_grouped ~name:"pmtest"
+      [
+        test_fig10_insert;
+        test_fig10b_engine;
+        test_fig11_redis;
+        test_fig12_memcached;
+        test_table5_case;
+        test_yat;
+      ]
+  in
+  let results = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock results
+  in
+  Fmt.pr "%-40s %16s@." "test" "ns/run (OLS)";
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) ols [] in
+  List.iter
+    (fun (name, o) ->
+      match Analyze.OLS.estimates o with
+      | Some (est :: _) -> Fmt.pr "%-40s %16.1f@." name est
+      | _ -> Fmt.pr "%-40s %16s@." name "n/a")
+    (List.sort compare rows)
+
+(* --- Driver ----------------------------------------------------------------------------- *)
+
+let all_targets =
+  [
+    ("table1", table1);
+    ("fig10a", fig10a);
+    ("fig10b", fig10b);
+    ("fig11", fig11);
+    ("fig12a", fig12 `A);
+    ("fig12b", fig12 `B);
+    ("fig12c", fig12 `C);
+    ("table5", table5);
+    ("table6", table6);
+    ("yat", yat_bench);
+    ("ablation", ablation);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let targets = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--insertions" :: v :: rest ->
+      insertions := int_of_string v;
+      parse rest
+    | "--ops" :: v :: rest ->
+      kv_ops := int_of_string v;
+      parse rest
+    | "--runs" :: v :: rest ->
+      runs := int_of_string v;
+      parse rest
+    | "--full" :: rest ->
+      insertions := 100_000;
+      kv_ops := 100_000;
+      parse rest
+    | "all" :: rest -> parse rest
+    | t :: rest when List.mem_assoc t all_targets ->
+      targets := t :: !targets;
+      parse rest
+    | t :: _ ->
+      Fmt.epr "unknown target %S; targets: %s all@." t
+        (String.concat " " (List.map fst all_targets));
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let selected =
+    match List.rev !targets with
+    | [] -> all_targets
+    | ts -> List.map (fun t -> (t, List.assoc t all_targets)) ts
+  in
+  Fmt.pr "PMTest benchmark harness — %d insertions, %d workload ops, best of %d runs@."
+    !insertions !kv_ops !runs;
+  List.iter (fun (_, f) -> f ()) selected

@@ -1,0 +1,287 @@
+(* Command-line front end: run the bug suite, test a workload under a
+   chosen tool, or walk through the paper's Fig. 7 trace. *)
+
+open Cmdliner
+open Pmtest_util
+module Report = Pmtest_core.Report
+module Pmtest = Pmtest_core.Pmtest
+module Engine = Pmtest_core.Engine
+module Pmemcheck = Pmtest_baseline.Pmemcheck
+module Sink = Pmtest_trace.Sink
+module Event = Pmtest_trace.Event
+module Model = Pmtest_model.Model
+module Interval = Pmtest_model.Interval
+open Pmtest_bugdb
+open Pmtest_workloads
+
+(* --- bugs ------------------------------------------------------------------- *)
+
+let run_bugs which verbose =
+  let cases =
+    match which with
+    | `Table5 -> Catalog.synthetic
+    | `Table6 -> Catalog.table6
+    | `Extended -> Catalog.extended
+    | `All -> Catalog.all
+  in
+  let detected = ref 0 and false_pos = ref 0 in
+  let by_cat = Catalog.by_category cases in
+  List.iter
+    (fun (cat, cs) ->
+      Fmt.pr "@.%s (%d cases)@." (Case.category_name cat) (List.length cs);
+      List.iter
+        (fun case ->
+          let outcome = Case.execute case in
+          if outcome.Case.detected then incr detected;
+          if not outcome.Case.clean then incr false_pos;
+          let mark = if outcome.Case.detected then "detected" else "MISSED " in
+          Fmt.pr "  [%s] %-12s %s@." mark case.Case.id case.Case.description;
+          if verbose then
+            List.iter
+              (fun d -> Fmt.pr "      %a@." Report.pp_diagnostic d)
+              outcome.Case.report.Report.diagnostics)
+        cs)
+    by_cat;
+  Fmt.pr "@.%d/%d bugs detected, %d false positives on the clean twins@." !detected
+    (List.length cases) !false_pos;
+  if !detected = List.length cases && !false_pos = 0 then 0 else 1
+
+let which_arg =
+  let table5 = Arg.info [ "table5" ] ~doc:"Only the 42 synthetic Table-5 cases." in
+  let table6 = Arg.info [ "table6" ] ~doc:"Only the six real Table-6 bugs." in
+  let extended =
+    Arg.info [ "extended" ] ~doc:"Only the extended custom-CCS cases (pqueue, plog)."
+  in
+  Arg.(value (vflag `All [ (`Table5, table5); (`Table6, table6); (`Extended, extended) ]))
+
+let verbose_arg = Arg.(value (flag (info [ "v"; "verbose" ] ~doc:"Print every diagnostic.")))
+
+let bugs_cmd =
+  Cmd.v
+    (Cmd.info "bugs" ~doc:"Run the bug-injection suite (paper Tables 5 and 6).")
+    Term.(const run_bugs $ which_arg $ verbose_arg)
+
+(* --- workload ---------------------------------------------------------------- *)
+
+type tool = Tool_none | Tool_pmtest | Tool_pmemcheck
+
+let run_workload name tool ops threads workers seed =
+  let finish_report = ref Report.empty in
+  let run_kv_memcached client =
+    let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ()) else None in
+    let sink_of i =
+      match session with
+      | Some s ->
+        Pmtest.thread_init s ~thread:i;
+        Pmtest.sink ~thread:i s
+      | None -> Sink.null
+    in
+    let mc = Memcached.create ~shards:threads ~sink_of () in
+    let streams = Memcached.generate_streams ~client ~ops_per_client:(ops / threads) ~keys:4096 ~seed mc in
+    let on_section shard =
+      match session with Some s -> Pmtest.send_trace ~thread:shard s | None -> ()
+    in
+    Memcached.run mc ~on_section ~streams;
+    (match session with Some s -> finish_report := Pmtest.finish s | None -> ());
+    Memcached.check_consistent mc
+  in
+  let run_redis () =
+    match tool with
+    | Tool_pmemcheck ->
+      let pc = Pmemcheck.create ~size:(32 * 1024 * 1024) in
+      let r = Redis.create ~sink:(Pmemcheck.sink pc) () in
+      Redis.run r (Clients.redis_lru ~ops ~keys:16384 (Rng.create seed));
+      finish_report := Pmemcheck.result pc;
+      Redis.check_consistent r
+    | Tool_pmtest ->
+      let session = Pmtest.init ~workers () in
+      let r = Redis.create ~sink:(Pmtest.sink session) () in
+      let ops_arr = Clients.redis_lru ~ops ~keys:16384 (Rng.create seed) in
+      Array.iteri
+        (fun i op ->
+          Redis.apply r op;
+          if i mod 16 = 0 then Pmtest.send_trace session)
+        ops_arr;
+      Pmtest.send_trace session;
+      finish_report := Pmtest.finish session;
+      Redis.check_consistent r
+    | Tool_none ->
+      let r = Redis.create ~annotate:false ~sink:Sink.null () in
+      Redis.run r (Clients.redis_lru ~ops ~keys:16384 (Rng.create seed));
+      Redis.check_consistent r
+  in
+  let run_pmfs client =
+    let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ()) else None in
+    let sink = match session with Some s -> Pmtest.sink s | None -> Sink.null in
+    let fs = Pmtest_pmfs.Fs.mkfs ~inodes:128 ~blocks:1024 ~sink () in
+    let on_section () = match session with Some s -> Pmtest.send_trace s | None -> () in
+    Pmfs_app.run ~on_section fs (client (Rng.create seed));
+    (match session with Some s -> finish_report := Pmtest.finish s | None -> ());
+    Pmtest_pmfs.Fs.check_consistent fs
+  in
+  let result =
+    match name with
+    | "memcached-memslap" -> run_kv_memcached (fun ~ops ~keys rng -> Clients.memslap ~ops ~keys rng)
+    | "memcached-ycsb" -> run_kv_memcached (fun ~ops ~keys rng -> Clients.ycsb ~ops ~keys rng)
+    | "redis-lru" -> run_redis ()
+    | "pmfs-filebench" -> run_pmfs (fun rng -> Clients.filebench ~ops ~files:32 rng)
+    | "pmfs-oltp" -> run_pmfs (fun rng -> Clients.oltp ~ops ~tables:4 ~rows_per_table:64 rng)
+    | "vacation" ->
+      let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ()) else None in
+      let sink = match session with Some s -> Pmtest.sink s | None -> Sink.null in
+      let v = Vacation.create ~resources:64 ~sink () in
+      let on_section () = match session with Some s -> Pmtest.send_trace s | None -> () in
+      Vacation.run v ~on_section (Vacation.client ~ops ~customers:256 ~resources:64 (Rng.create seed));
+      (match session with Some s -> finish_report := Pmtest.finish s | None -> ());
+      Vacation.check_consistent v
+    | other -> Error (Printf.sprintf "unknown workload %S" other)
+  in
+  match result with
+  | Error e ->
+    Fmt.epr "workload failed: %s@." e;
+    1
+  | Ok () ->
+    Fmt.pr "workload completed; store consistent.@.";
+    (match tool with
+    | Tool_none -> Fmt.pr "(no testing tool attached)@."
+    | Tool_pmtest | Tool_pmemcheck -> Fmt.pr "%a@." Report.pp !finish_report);
+    if Report.has_fail !finish_report then 1 else 0
+
+let workload_names =
+  [ "memcached-memslap"; "memcached-ycsb"; "redis-lru"; "pmfs-filebench"; "pmfs-oltp"; "vacation" ]
+
+let workload_cmd =
+  let wname =
+    Arg.(
+      required
+        (pos 0 (some (enum (List.map (fun n -> (n, n)) workload_names))) None
+           (info [] ~docv:"WORKLOAD" ~doc:"One of: memcached-memslap, memcached-ycsb, redis-lru, pmfs-filebench, pmfs-oltp, vacation.")))
+  in
+  let tool =
+    Arg.(
+      value
+        (opt (enum [ ("none", Tool_none); ("pmtest", Tool_pmtest); ("pmemcheck", Tool_pmemcheck) ])
+           Tool_pmtest
+           (info [ "tool" ] ~doc:"Testing tool to attach: none, pmtest or pmemcheck.")))
+  in
+  let ops = Arg.(value (opt int 2000 (info [ "ops" ] ~doc:"Operations to run."))) in
+  let threads = Arg.(value (opt int 1 (info [ "threads" ] ~doc:"Server threads (memcached)."))) in
+  let workers = Arg.(value (opt int 1 (info [ "workers" ] ~doc:"PMTest worker threads."))) in
+  let seed = Arg.(value (opt int 42 (info [ "seed" ] ~doc:"Workload RNG seed."))) in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Run a WHISPER-style workload under a testing tool.")
+    Term.(const run_workload $ wname $ tool $ ops $ threads $ workers $ seed)
+
+(* --- record / check-trace ------------------------------------------------------ *)
+
+let run_record name ops seed output =
+  let sink, recorded = Pmtest_trace.Serial.recording_sink () in
+  let result =
+    match name with
+    | "redis-lru" ->
+      let r = Redis.create ~sink () in
+      Redis.run r (Clients.redis_lru ~ops ~keys:16384 (Rng.create seed));
+      Redis.check_consistent r
+    | "pmfs-filebench" ->
+      let fs = Pmtest_pmfs.Fs.mkfs ~inodes:128 ~blocks:1024 ~sink () in
+      Pmfs_app.run fs (Clients.filebench ~ops ~files:32 (Rng.create seed));
+      Pmtest_pmfs.Fs.check_consistent fs
+    | "pmfs-oltp" ->
+      let fs = Pmtest_pmfs.Fs.mkfs ~inodes:128 ~blocks:1024 ~sink () in
+      Pmfs_app.run fs (Clients.oltp ~ops ~tables:4 ~rows_per_table:64 (Rng.create seed));
+      Pmtest_pmfs.Fs.check_consistent fs
+    | other -> Error (Printf.sprintf "workload %S cannot be recorded" other)
+  in
+  match result with
+  | Error e ->
+    Fmt.epr "record failed: %s@." e;
+    1
+  | Ok () ->
+    let entries = recorded () in
+    Pmtest_trace.Serial.save_file output entries;
+    Fmt.pr "recorded %d trace entries (%d PM operations) to %s@." (Array.length entries)
+      (Pmtest_trace.Event.op_count entries) output;
+    0
+
+let record_cmd =
+  let wname =
+    Arg.(
+      required
+        (pos 0 (some (enum [ ("redis-lru", "redis-lru"); ("pmfs-filebench", "pmfs-filebench"); ("pmfs-oltp", "pmfs-oltp") ])) None
+           (info [] ~docv:"WORKLOAD" ~doc:"redis-lru, pmfs-filebench or pmfs-oltp.")))
+  in
+  let ops = Arg.(value (opt int 1000 (info [ "ops" ] ~doc:"Operations to run."))) in
+  let seed = Arg.(value (opt int 42 (info [ "seed" ] ~doc:"Workload RNG seed."))) in
+  let output = Arg.(value (opt string "trace.pmt" (info [ "o"; "output" ] ~doc:"Output file."))) in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Run an annotated workload and save its trace to a file.")
+    Term.(const run_record $ wname $ ops $ seed $ output)
+
+let run_check_trace file model =
+  match Pmtest_trace.Serial.load_file file with
+  | Error e ->
+    Fmt.epr "cannot load %s: %s@." file e;
+    2
+  | Ok entries ->
+    let report = Engine.check ~model entries in
+    Fmt.pr "%a@." Report.pp_summary report;
+    if Report.has_fail report then 1 else 0
+
+let check_trace_cmd =
+  let file = Arg.(required (pos 0 (some file) None (info [] ~docv:"TRACE"))) in
+  let model =
+    Arg.(
+      value
+        (opt
+           (enum [ ("x86", Model.X86); ("hops", Model.Hops); ("eadr", Model.Eadr) ])
+           Model.X86
+           (info [ "model" ] ~doc:"Persistency model: x86, hops or eadr.")))
+  in
+  Cmd.v
+    (Cmd.info "check-trace" ~doc:"Check a previously recorded trace file offline.")
+    Term.(const run_check_trace $ file $ model)
+
+(* --- demo -------------------------------------------------------------------- *)
+
+let run_demo () =
+  Fmt.pr "Paper Fig. 7: persist-interval deduction over a small trace@.@.";
+  let trace =
+    [|
+      Event.make (Event.Op (Model.Write { addr = 0x10; size = 64 }));
+      Event.make (Event.Op (Model.Clwb { addr = 0x10; size = 64 }));
+      Event.make (Event.Op Model.Sfence);
+      Event.make (Event.Op (Model.Write { addr = 0x50; size = 64 }));
+      Event.make (Event.Checker (Event.Is_persist { addr = 0x50; size = 64 }));
+      Event.make
+        (Event.Checker
+           (Event.Is_ordered_before { a_addr = 0x10; a_size = 64; b_addr = 0x50; b_size = 64 }));
+    |]
+  in
+  Array.iter (fun e -> Fmt.pr "  %a@." Event.pp e) trace;
+  let report, snap = Engine.check_with_snapshot trace in
+  Fmt.pr "@.final timestamp: %d@." snap.Engine.timestamp;
+  List.iter
+    (fun r ->
+      Fmt.pr "  [0x%x,+%d) persist interval %a%a@." r.Engine.lo (r.Engine.hi - r.Engine.lo)
+        Interval.pp r.Engine.persist
+        (fun ppf -> function
+          | None -> Fmt.pf ppf ""
+          | Some fi -> Fmt.pf ppf ", flush interval %a" Interval.pp fi)
+        r.Engine.flush)
+    snap.Engine.ranges;
+  Fmt.pr "@.%a@." Report.pp report;
+  0
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Walk through the paper's Fig. 7 trace and print persist intervals.")
+    Term.(const run_demo $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default
+          (Cmd.info "pmtest-cli" ~version:"1.0.0"
+             ~doc:"PMTest: fast and flexible crash-consistency testing for PM programs.")
+          [ bugs_cmd; workload_cmd; record_cmd; check_trace_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Case Catalog Fmt List Pmtest_bugdb Pmtest_core

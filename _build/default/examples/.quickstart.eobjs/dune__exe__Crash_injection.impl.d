@@ -1,0 +1,1 @@
+examples/crash_injection.ml: Bytes Ctree_map Fmt Int64 List Pmtest_core Pmtest_crashtest Pmtest_pmdk Pmtest_pmem Pmtest_trace Pool Printf

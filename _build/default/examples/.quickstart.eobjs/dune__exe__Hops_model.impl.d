@@ -1,0 +1,1 @@
+examples/hops_model.ml: Array Event Fmt Model Pmtest_core Pmtest_model Pmtest_trace

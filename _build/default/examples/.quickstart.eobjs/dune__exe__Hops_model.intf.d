@@ -1,0 +1,1 @@
+examples/hops_model.mli:

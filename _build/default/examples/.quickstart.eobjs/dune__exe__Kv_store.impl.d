@@ -1,0 +1,1 @@
+examples/kv_store.ml: Fmt Int64 Pmtest_core Pmtest_mnemosyne Pmtest_pmem Pmtest_trace Pmtest_util Printf Rng

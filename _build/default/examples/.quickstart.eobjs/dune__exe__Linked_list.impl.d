@@ -1,0 +1,1 @@
+examples/linked_list.ml: Fmt List Pmtest_core Pmtest_pmdk

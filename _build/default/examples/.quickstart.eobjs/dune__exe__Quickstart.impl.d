@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Pmtest_core Pmtest_pmem Pmtest_trace

@@ -1,0 +1,73 @@
+(* Paper Fig. 3: the same two low-level checkers validate a program under
+   two different persistency models. Under x86 the ordering comes from
+   clwb+sfence; under HOPS the lightweight ofence orders without forcing
+   durability, and only dfence makes data durable.
+
+   Run with:  dune exec examples/hops_model.exe *)
+
+open Pmtest_model
+open Pmtest_trace
+module Engine = Pmtest_core.Engine
+module Report = Pmtest_core.Report
+
+let a = 0x100
+let b = 0x200
+
+let checkers =
+  [
+    Event.make (Event.Checker (Event.Is_ordered_before { a_addr = a; a_size = 8; b_addr = b; b_size = 8 }));
+    Event.make (Event.Checker (Event.Is_persist { addr = a; size = 8 }));
+    Event.make (Event.Checker (Event.Is_persist { addr = b; size = 8 }));
+  ]
+
+let x86_trace =
+  [
+    Event.make (Event.Op (Model.Write { addr = a; size = 8 }));
+    Event.make (Event.Op (Model.Clwb { addr = a; size = 8 }));
+    Event.make (Event.Op Model.Sfence);
+    Event.make (Event.Op (Model.Write { addr = b; size = 8 }));
+    Event.make (Event.Op (Model.Clwb { addr = b; size = 8 }));
+    Event.make (Event.Op Model.Sfence);
+  ]
+  @ checkers
+
+let hops_trace =
+  [
+    Event.make (Event.Op (Model.Write { addr = a; size = 8 }));
+    Event.make (Event.Op Model.Ofence);
+    Event.make (Event.Op (Model.Write { addr = b; size = 8 }));
+    Event.make (Event.Op Model.Dfence);
+  ]
+  @ checkers
+
+(* The broken variants: drop the ordering point between A and B. *)
+let x86_broken =
+  [
+    Event.make (Event.Op (Model.Write { addr = a; size = 8 }));
+    Event.make (Event.Op (Model.Clwb { addr = a; size = 8 }));
+    Event.make (Event.Op (Model.Write { addr = b; size = 8 }));
+    Event.make (Event.Op (Model.Clwb { addr = b; size = 8 }));
+    Event.make (Event.Op Model.Sfence);
+  ]
+  @ checkers
+
+let hops_broken =
+  [
+    Event.make (Event.Op (Model.Write { addr = a; size = 8 }));
+    Event.make (Event.Op (Model.Write { addr = b; size = 8 }));
+    Event.make (Event.Op Model.Dfence);
+  ]
+  @ checkers
+
+let show name model trace =
+  let report = Engine.check ~model (Array.of_list trace) in
+  Fmt.pr "%-28s %a@." name Report.pp report
+
+let () =
+  Fmt.pr "=== Fig. 3: one checker API, two persistency models ===@.@.";
+  show "x86, ordered:" Model.X86 x86_trace;
+  show "x86, missing fence:" Model.X86 x86_broken;
+  show "HOPS, ofence+dfence:" Model.Hops hops_trace;
+  show "HOPS, missing ofence:" Model.Hops hops_broken;
+  Fmt.pr "@.The same isOrderedBefore/isPersist checkers apply under both models;@.";
+  Fmt.pr "only the engine's checking rules differ (paper section 5.2).@."

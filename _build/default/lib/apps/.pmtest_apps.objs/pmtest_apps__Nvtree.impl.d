@@ -1,0 +1,1 @@
+lib/apps/nvtree.ml: Format Hashtbl Int64 List Option Pmtest_pmem Pmtest_trace String

@@ -1,0 +1,1 @@
+lib/apps/nvtree.mli: Pmtest_pmem Pmtest_trace Sink

@@ -1,0 +1,1 @@
+lib/apps/plog.ml: Bytes Char Int64 List Pmtest_pmem Pmtest_trace Printf String

@@ -1,0 +1,1 @@
+lib/apps/plog.mli: Pmtest_pmem Pmtest_trace Sink

@@ -1,0 +1,1 @@
+lib/apps/pqueue.ml: Format Int64 List Pmtest_pmem Pmtest_trace String

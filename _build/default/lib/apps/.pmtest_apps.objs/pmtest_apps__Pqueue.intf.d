@@ -1,0 +1,1 @@
+lib/apps/pqueue.mli: Pmtest_pmem Pmtest_trace Sink

@@ -1,0 +1,243 @@
+module Machine = Pmtest_pmem.Machine
+module Instr = Pmtest_pmem.Instr
+module Access = Pmtest_pmem.Access
+module Event = Pmtest_trace.Event
+
+let source_file = "apps/nvtree.c"
+let magic = 0x4E565452_45450001L
+
+(* Header (64 B): [0]=magic [8]=head leaf offset.
+   Leaf: [0]=separator (lower key bound, min_int for the first leaf)
+         [8]=next leaf offset  [16]=entry count
+         [24..]=entries of {key(8) value(8) op(8)}; op 1 = put, 2 = del.
+   Entries are append-only; the count bump is the commit point. *)
+let off_head = 8
+let header_size = 64
+let cap = 16
+let entry_size = 24
+let leaf_meta = 24
+let leaf_size = 448 (* 24 + 16*24 = 408, rounded to cache lines *)
+
+type bug = Skip_entry_persist | Skip_count_persist | Skip_split_link_persist
+
+type t = {
+  instr : Instr.t;
+  (* Volatile router: (separator, leaf offset), separators strictly
+     decreasing so the first entry with sep <= key owns the key. *)
+  mutable index : (int64 * int) list;
+  mutable alloc_top : int;
+  mutable bug : bug option;
+}
+
+let machine t = Instr.machine t.instr
+let set_bug t b = t.bug <- b
+
+let leaf_sep t l = Instr.load_i64 t.instr ~addr:l
+let leaf_next t l = Instr.load_int t.instr ~addr:(l + 8)
+let leaf_entries t l = Instr.load_int t.instr ~addr:(l + 16)
+let entry_off l i = l + leaf_meta + (i * entry_size)
+
+let entry t l i =
+  let e = entry_off l i in
+  ( Instr.load_i64 t.instr ~addr:e,
+    Instr.load_i64 t.instr ~addr:(e + 8),
+    Instr.load_int t.instr ~addr:(e + 16) )
+
+let head t = Access.get_int (machine t) off_head
+
+let rebuild_index t =
+  let rec walk l acc =
+    if l = 0 then acc else walk (leaf_next t l) ((leaf_sep t l, l) :: acc)
+  in
+  (* walk accumulates in reverse chain order = decreasing separators. *)
+  t.index <- walk (head t) []
+
+let create ?(track_versions = false) ?(size = 1 lsl 20) ~sink () =
+  let machine = Machine.create ~track_versions ~size () in
+  let instr = Instr.make ~machine ~sink ~file:source_file in
+  let t = { instr; index = []; alloc_top = header_size; bug = None } in
+  Instr.store_i64 instr ~line:10 ~addr:0 magic;
+  Instr.store_i64 instr ~line:11 ~addr:off_head 0L;
+  Instr.persist_barrier instr ~line:12 ~addr:0 ~size:16;
+  t
+
+let of_machine ~machine ~sink =
+  if Access.get_i64 machine 0 <> magic then invalid_arg "Nvtree.of_machine: bad magic";
+  let instr = Instr.make ~machine ~sink ~file:source_file in
+  let t = { instr; index = []; alloc_top = header_size; bug = None } in
+  rebuild_index t;
+  (* Conservative bump pointer: past every reachable leaf. *)
+  t.alloc_top <-
+    List.fold_left (fun top (_, l) -> max top (l + leaf_size)) header_size t.index;
+  t
+
+let alloc_leaf t =
+  if t.alloc_top + leaf_size > Machine.size (machine t) then raise Out_of_memory;
+  let l = t.alloc_top in
+  t.alloc_top <- t.alloc_top + leaf_size;
+  l
+
+(* Build a fresh leaf with the given bindings (as puts), fully persisted.
+   Returns its offset. *)
+let build_leaf t ~sep ~next bindings =
+  let l = alloc_leaf t in
+  Instr.store_i64 t.instr ~line:20 ~addr:l sep;
+  Instr.store_i64 t.instr ~line:21 ~addr:(l + 8) (Int64.of_int next);
+  Instr.store_i64 t.instr ~line:22 ~addr:(l + 16) (Int64.of_int (List.length bindings));
+  List.iteri
+    (fun i (k, v) ->
+      let e = entry_off l i in
+      Instr.store_i64 t.instr ~line:23 ~addr:e k;
+      Instr.store_i64 t.instr ~line:24 ~addr:(e + 8) v;
+      Instr.store_i64 t.instr ~line:25 ~addr:(e + 16) 1L)
+    bindings;
+  Instr.persist_barrier t.instr ~line:26 ~addr:l ~size:(leaf_meta + (List.length bindings * entry_size));
+  l
+
+let leaf_for t key =
+  let rec find = function
+    | [] -> None
+    | (sep, l) :: rest -> if key >= sep then Some l else find rest
+  in
+  match find t.index with
+  | Some l -> Some l
+  | None -> ( match List.rev t.index with (_, l) :: _ -> Some l | [] -> None)
+
+(* Last-write-wins compaction of a leaf's committed entries. *)
+let compact t l =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  for i = 0 to leaf_entries t l - 1 do
+    let k, v, op = entry t l i in
+    if not (Hashtbl.mem tbl k) then order := k :: !order;
+    Hashtbl.replace tbl k (if op = 1 then Some v else None)
+  done;
+  List.sort compare
+    (List.filter_map (fun k -> Option.map (fun v -> (k, v)) (Hashtbl.find tbl k)) !order)
+
+let predecessor_leaf t l =
+  let rec walk cur = if cur = 0 then None else if leaf_next t cur = l then Some cur else walk (leaf_next t cur) in
+  walk (head t)
+
+(* Swing the pointer that leads into [old_leaf] to [replacement]: the
+   commit point of a split or compaction. *)
+let swing_link t ~old_leaf ~replacement =
+  let link_slot, line =
+    match predecessor_leaf t old_leaf with Some p -> (p + 8, 31) | None -> (off_head, 32)
+  in
+  Instr.store_i64 t.instr ~line ~addr:link_slot (Int64.of_int replacement);
+  if t.bug <> Some Skip_split_link_persist then
+    Instr.persist_barrier t.instr ~line:33 ~addr:link_slot ~size:8;
+  Instr.checker t.instr ~line:34
+    Event.(
+      Is_ordered_before { a_addr = replacement; a_size = leaf_meta; b_addr = link_slot; b_size = 8 });
+  Instr.checker t.instr ~line:35 Event.(Is_persist { addr = link_slot; size = 8 });
+  rebuild_index t
+
+let split_leaf t l =
+  let bindings = compact t l in
+  let n = List.length bindings in
+  let next = leaf_next t l in
+  if n <= cap / 2 then
+    (* Overwrites and tombstones shrank the leaf: compact in place (a
+       fresh leaf with the same bounds) instead of splitting — an empty
+       right half would break the separator order. *)
+    swing_link t ~old_leaf:l ~replacement:(build_leaf t ~sep:(leaf_sep t l) ~next bindings)
+  else begin
+    let left_b = List.filteri (fun i _ -> i < (n + 1) / 2) bindings in
+    let right_b = List.filteri (fun i _ -> i >= (n + 1) / 2) bindings in
+    let right_sep = match right_b with (k, _) :: _ -> k | [] -> assert false in
+    (* Build right first so left can point at it; both fully persisted
+       before anything reachable references them. *)
+    let right = build_leaf t ~sep:right_sep ~next right_b in
+    let left = build_leaf t ~sep:(leaf_sep t l) ~next:right left_b in
+    swing_link t ~old_leaf:l ~replacement:left
+  end
+
+let append t l ~key ~value ~op =
+  let i = leaf_entries t l in
+  let e = entry_off l i in
+  Instr.store_i64 t.instr ~line:40 ~addr:e key;
+  Instr.store_i64 t.instr ~line:41 ~addr:(e + 8) value;
+  Instr.store_i64 t.instr ~line:42 ~addr:(e + 16) (Int64.of_int op);
+  (* The entry must be durable before the count commits it. *)
+  if t.bug <> Some Skip_entry_persist then
+    Instr.persist_barrier t.instr ~line:43 ~addr:e ~size:entry_size;
+  Instr.store_i64 t.instr ~line:44 ~addr:(l + 16) (Int64.of_int (i + 1));
+  if t.bug <> Some Skip_count_persist then
+    Instr.persist_barrier t.instr ~line:45 ~addr:(l + 16) ~size:8;
+  Instr.checker t.instr ~line:46
+    Event.(Is_ordered_before { a_addr = e; a_size = entry_size; b_addr = l + 16; b_size = 8 });
+  Instr.checker t.instr ~line:47 Event.(Is_persist { addr = l + 16; size = 8 })
+
+let rec update t ~key ~value ~op =
+  match leaf_for t key with
+  | None ->
+    (* First leaf: owns the whole key space. *)
+    let l = build_leaf t ~sep:Int64.min_int ~next:0 [] in
+    Instr.store_i64 t.instr ~line:50 ~addr:off_head (Int64.of_int l);
+    Instr.persist_barrier t.instr ~line:51 ~addr:off_head ~size:8;
+    rebuild_index t;
+    update t ~key ~value ~op
+  | Some l ->
+    if leaf_entries t l >= cap then begin
+      split_leaf t l;
+      update t ~key ~value ~op
+    end
+    else append t l ~key ~value ~op
+
+let insert t ~key ~value = update t ~key ~value ~op:1
+let remove t ~key = update t ~key ~value:0L ~op:2
+
+let lookup t ~key =
+  match leaf_for t key with
+  | None -> None
+  | Some l ->
+    let rec scan i acc =
+      if i >= leaf_entries t l then acc
+      else
+        let k, v, op = entry t l i in
+        scan (i + 1) (if k = key then (if op = 1 then Some v else None) else acc)
+    in
+    scan 0 None
+
+let fold_bindings t f acc =
+  let rec walk l acc = if l = 0 then acc else walk (leaf_next t l) (List.fold_left f acc (compact t l)) in
+  walk (head t) acc
+
+let to_alist t = List.sort compare (fold_bindings t (fun acc kv -> kv :: acc) [])
+let cardinal t = List.length (to_alist t)
+
+let leaf_count_total t =
+  let rec walk l n = if l = 0 then n else walk (leaf_next t l) (n + 1) in
+  walk (head t) 0
+
+let leaf_count = leaf_count_total
+
+let check_consistent t =
+  let size = Machine.size (machine t) in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let rec walk l prev_sep steps =
+    if steps > 100_000 then err "cycle suspected"
+    else if l <> 0 then begin
+      if l < header_size || l + leaf_size > size then err "leaf 0x%x out of bounds" l
+      else begin
+        let sep = leaf_sep t l in
+        (match prev_sep with
+        | Some p when sep <= p -> err "separators not increasing at 0x%x" l
+        | _ -> ());
+        let n = leaf_entries t l in
+        if n < 0 || n > cap then err "leaf 0x%x has bad count %d" l n
+        else
+          for i = 0 to n - 1 do
+            let k, _, op = entry t l i in
+            if op <> 1 && op <> 2 then err "leaf 0x%x entry %d has bad op %d" l i op;
+            if k < sep then err "leaf 0x%x entry %d key below separator" l i
+          done;
+        walk (leaf_next t l) (Some sep) (steps + 1)
+      end
+    end
+  in
+  walk (head t) None 0;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

@@ -1,0 +1,50 @@
+(** An NV-Tree-style hybrid map (Yang et al., FAST'15): {e selective
+    persistence}. Only the leaf nodes live in PM — each an append-only
+    run of (key, value, op) entries — while the search index above them
+    is ordinary volatile memory, rebuilt by scanning the leaf chain on
+    recovery. This trades recovery time for very cheap inserts: one entry
+    append plus one counter bump, each persisted, per update.
+
+    Persistence protocol per insert: the entry slot is written and
+    persisted {e before} the leaf's entry count is bumped and persisted —
+    the count is the commit point, so a crash can never expose a torn
+    entry. Leaf splits build the replacement leaves completely (and
+    persist them) before swinging the predecessor's next pointer.
+
+    Bug switches remove the individual persists, giving the classic
+    commit-point-before-data bugs for the checkers and the crash-injection
+    harness to find. *)
+
+open Pmtest_trace
+module Machine = Pmtest_pmem.Machine
+
+type t
+
+type bug =
+  | Skip_entry_persist  (** Count may cover a torn entry. *)
+  | Skip_count_persist  (** Committed inserts may vanish. *)
+  | Skip_split_link_persist  (** A split's chain relink may be lost. *)
+
+val source_file : string
+
+val create : ?track_versions:bool -> ?size:int -> sink:Sink.t -> unit -> t
+val of_machine : machine:Machine.t -> sink:Sink.t -> t
+(** Rebuilds the volatile index by walking the persistent leaf chain. *)
+
+val machine : t -> Machine.t
+val set_bug : t -> bug option -> unit
+
+val insert : t -> key:int64 -> value:int64 -> unit
+val remove : t -> key:int64 -> unit
+(** Appends a tombstone; absent keys are fine. *)
+
+val lookup : t -> key:int64 -> int64 option
+val cardinal : t -> int
+val to_alist : t -> (int64 * int64) list
+(** Live bindings in increasing key order. *)
+
+val leaf_count : t -> int
+
+val check_consistent : t -> (unit, string) result
+(** Leaf chain is acyclic and in-bounds, entry counts are within
+    capacity, and chain order matches key order. *)

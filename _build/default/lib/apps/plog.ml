@@ -1,0 +1,99 @@
+module Machine = Pmtest_pmem.Machine
+module Instr = Pmtest_pmem.Instr
+module Access = Pmtest_pmem.Access
+module Event = Pmtest_trace.Event
+
+let source_file = "apps/plog.c"
+let magic = 0x504C4F47_4F430001L
+
+(* Header (64 B): [0]=magic [8]=committed length (bytes of frames).
+   Frames from [data_base]: {len(8) | checksum(8) | payload (8-aligned)}. *)
+let off_committed = 8
+let data_base = 64
+let frame_header = 16
+
+type bug = Skip_record_persist | Skip_length_persist | Length_before_record
+
+type t = { instr : Instr.t; mutable bug : bug option }
+
+let machine t = Instr.machine t.instr
+let set_bug t b = t.bug <- b
+let align8 n = (n + 7) land lnot 7
+
+(* FNV-1a, enough to catch torn frames. *)
+let checksum s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let create ?(track_versions = false) ?(size = 1 lsl 20) ~sink () =
+  let machine = Machine.create ~track_versions ~size () in
+  let instr = Instr.make ~machine ~sink ~file:source_file in
+  let t = { instr; bug = None } in
+  Instr.store_i64 instr ~line:10 ~addr:0 magic;
+  Instr.store_i64 instr ~line:11 ~addr:off_committed 0L;
+  Instr.persist_barrier instr ~line:12 ~addr:0 ~size:16;
+  t
+
+let of_machine ~machine ~sink =
+  if Access.get_i64 machine 0 <> magic then invalid_arg "Plog.of_machine: bad magic";
+  { instr = Instr.make ~machine ~sink ~file:source_file; bug = None }
+
+let committed_bytes t = Access.get_int (machine t) off_committed
+
+let append t payload =
+  let len = String.length payload in
+  let frame = frame_header + align8 (max len 1) in
+  let pos = data_base + committed_bytes t in
+  if pos + frame > Machine.size (machine t) then raise Out_of_memory;
+  let persist_length () =
+    Instr.store_i64 t.instr ~line:20 ~addr:off_committed
+      (Int64.of_int (committed_bytes t + frame));
+    if t.bug <> Some Skip_length_persist then
+      Instr.persist_barrier t.instr ~line:21 ~addr:off_committed ~size:8
+  in
+  (* The misplaced variant publishes the new length before the frame is
+     even written. *)
+  if t.bug = Some Length_before_record then persist_length ();
+  Instr.store_i64 t.instr ~line:22 ~addr:pos (Int64.of_int len);
+  Instr.store_i64 t.instr ~line:23 ~addr:(pos + 8) (checksum payload);
+  if len > 0 then
+    Instr.store_bytes t.instr ~line:24 ~addr:(pos + frame_header) (Bytes.of_string payload);
+  if t.bug <> Some Skip_record_persist then
+    Instr.persist_barrier t.instr ~line:25 ~addr:pos ~size:frame;
+  if t.bug <> Some Length_before_record then persist_length ();
+  (* The frame must be durable before the committed length covers it. *)
+  Instr.checker t.instr ~line:26
+    Event.(Is_ordered_before { a_addr = pos; a_size = frame; b_addr = off_committed; b_size = 8 });
+  Instr.checker t.instr ~line:27 Event.(Is_persist { addr = off_committed; size = 8 })
+
+let fold_frames t f acc =
+  let committed = committed_bytes t in
+  let rec go pos acc =
+    if pos >= data_base + committed then Ok acc
+    else
+      let len = Instr.load_int t.instr ~addr:pos in
+      let stored_sum = Instr.load_i64 t.instr ~addr:(pos + 8) in
+      if len < 0 || pos + frame_header + len > data_base + committed then
+        Error (Printf.sprintf "frame at 0x%x overruns the committed length" pos)
+      else
+        let payload =
+          if len = 0 then "" else Bytes.to_string (Instr.load_bytes t.instr ~addr:(pos + frame_header) ~len)
+        in
+        if checksum payload <> stored_sum then
+          Error (Printf.sprintf "checksum mismatch at 0x%x" pos)
+        else go (pos + frame_header + align8 (max len 1)) (f acc payload)
+  in
+  go data_base acc
+
+let records t =
+  match fold_frames t (fun acc p -> p :: acc) [] with
+  | Ok acc -> List.rev acc
+  | Error _ -> []
+
+let check_consistent t =
+  match fold_frames t (fun () _ -> ()) () with Ok () -> Ok () | Error e -> Error e

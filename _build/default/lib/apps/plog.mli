@@ -1,0 +1,38 @@
+(** A persistent append-only log (write-ahead-log shape) on low-level
+    primitives — the second custom-CCS example.
+
+    Records are framed as {b len | checksum | payload}; an append writes
+    and persists the frame {e before} persisting the new committed length
+    in the header. Recovery trusts only the committed length and verifies
+    each frame's checksum, so a crash can truncate the log but never
+    corrupt it — unless one of the {!bug} switches removes a persist. *)
+
+open Pmtest_trace
+module Machine = Pmtest_pmem.Machine
+
+type t
+
+type bug =
+  | Skip_record_persist  (** Committed length may outrun the record. *)
+  | Skip_length_persist  (** Appends may vanish after a crash. *)
+  | Length_before_record  (** The length is persisted first (misplaced order). *)
+
+val source_file : string
+
+val create : ?track_versions:bool -> ?size:int -> sink:Sink.t -> unit -> t
+val of_machine : machine:Machine.t -> sink:Sink.t -> t
+
+val machine : t -> Machine.t
+val set_bug : t -> bug option -> unit
+
+val append : t -> string -> unit
+(** Raises [Out_of_memory] if the log area is exhausted. *)
+
+val records : t -> string list
+(** Committed records, oldest first. *)
+
+val committed_bytes : t -> int
+
+val check_consistent : t -> (unit, string) result
+(** Every frame within the committed length parses, checksums match, and
+    the committed length lands exactly on a frame boundary. *)

@@ -1,0 +1,118 @@
+module Machine = Pmtest_pmem.Machine
+module Instr = Pmtest_pmem.Instr
+module Access = Pmtest_pmem.Access
+module Event = Pmtest_trace.Event
+
+let source_file = "apps/pqueue.c"
+let magic = 0x50515545_55450001L
+
+(* Header: [0]=magic [8]=head (offset of first node, 0 = empty).
+   Node (64 B block): [0]=value [8]=next. *)
+let off_head = 8
+let header_size = 64
+let node_size = 64
+
+type bug = Skip_node_persist | Skip_link_persist | Skip_head_persist_on_dequeue
+
+type t = {
+  instr : Instr.t;
+  mutable tail : int; (* volatile: last node, rebuilt on recovery *)
+  mutable length : int; (* volatile *)
+  mutable alloc_top : int; (* volatile bump pointer *)
+  mutable bug : bug option;
+}
+
+let machine t = Instr.machine t.instr
+let set_bug t b = t.bug <- b
+
+let create ?(track_versions = false) ?(size = 1 lsl 20) ~sink () =
+  let machine = Machine.create ~track_versions ~size () in
+  let instr = Instr.make ~machine ~sink ~file:source_file in
+  let t = { instr; tail = 0; length = 0; alloc_top = header_size; bug = None } in
+  Instr.store_i64 instr ~line:10 ~addr:0 magic;
+  Instr.store_i64 instr ~line:11 ~addr:off_head 0L;
+  Instr.persist_barrier instr ~line:12 ~addr:0 ~size:16;
+  t
+
+let head t = Access.get_int (machine t) off_head
+let node_value t n = Instr.load_i64 t.instr ~addr:n
+let node_next t n = Instr.load_int t.instr ~addr:(n + 8)
+
+let walk t f =
+  let rec go n steps acc =
+    if n = 0 || steps > 1_000_000 then acc else go (node_next t n) (steps + 1) (f acc n)
+  in
+  go (head t) 0
+
+let of_machine ~machine ~sink =
+  if Access.get_i64 machine 0 <> magic then invalid_arg "Pqueue.of_machine: bad magic";
+  let instr = Instr.make ~machine ~sink ~file:source_file in
+  let t = { instr; tail = 0; length = 0; alloc_top = header_size; bug = None } in
+  (* Rebuild the volatile tail, length and a safe bump pointer. *)
+  let length, tail, top =
+    walk t
+      (fun (n, _, top) node -> (n + 1, node, max top (node + node_size)))
+      (0, 0, header_size)
+  in
+  t.length <- length;
+  t.tail <- tail;
+  t.alloc_top <- top;
+  t
+
+let alloc t =
+  if t.alloc_top + node_size > Machine.size (machine t) then raise Out_of_memory;
+  let n = t.alloc_top in
+  t.alloc_top <- t.alloc_top + node_size;
+  n
+
+let enqueue t value =
+  let node = alloc t in
+  Instr.store_i64 t.instr ~line:20 ~addr:node value;
+  Instr.store_i64 t.instr ~line:21 ~addr:(node + 8) 0L;
+  (* The node must be durable before anything points at it. *)
+  if t.bug <> Some Skip_node_persist then
+    Instr.persist_barrier t.instr ~line:22 ~addr:node ~size:16;
+  let link_slot = if t.tail = 0 then off_head else t.tail + 8 in
+  Instr.store_i64 t.instr ~line:23 ~addr:link_slot (Int64.of_int node);
+  if t.bug <> Some Skip_link_persist then
+    Instr.persist_barrier t.instr ~line:24 ~addr:link_slot ~size:8;
+  Instr.checker t.instr ~line:25
+    Event.(Is_ordered_before { a_addr = node; a_size = 16; b_addr = link_slot; b_size = 8 });
+  Instr.checker t.instr ~line:26 Event.(Is_persist { addr = link_slot; size = 8 });
+  t.tail <- node;
+  t.length <- t.length + 1
+
+let peek t =
+  let h = head t in
+  if h = 0 then None else Some (node_value t h)
+
+let dequeue t =
+  let h = head t in
+  if h = 0 then None
+  else begin
+    let v = node_value t h in
+    let next = node_next t h in
+    Instr.store_i64 t.instr ~line:30 ~addr:off_head (Int64.of_int next);
+    if t.bug <> Some Skip_head_persist_on_dequeue then
+      Instr.persist_barrier t.instr ~line:31 ~addr:off_head ~size:8;
+    Instr.checker t.instr ~line:32 Event.(Is_persist { addr = off_head; size = 8 });
+    if next = 0 then t.tail <- 0;
+    t.length <- t.length - 1;
+    Some v
+  end
+
+let length t = t.length
+let to_list t = List.rev (walk t (fun acc n -> node_value t n :: acc) [])
+
+let check_consistent t =
+  let size = Machine.size (machine t) in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let rec go n steps =
+    if steps > 100_000 then err "cycle suspected"
+    else if n <> 0 then
+      if n < header_size || n + node_size > size then err "node 0x%x out of bounds" n
+      else go (node_next t n) (steps + 1)
+  in
+  go (head t) 0;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

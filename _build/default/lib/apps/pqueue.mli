@@ -1,0 +1,44 @@
+(** A persistent linked queue built directly on low-level primitives —
+    the paper's third CCS category (custom applications; cf. the
+    persistent lock-free queue of Friedman et al., PPoPP'18, simplified
+    to a single mutator).
+
+    Protocol: a node is fully written and persisted {e before} the
+    predecessor's next pointer (or the head, for an empty queue) is
+    linked to it and persisted. Dequeue advances the persistent head.
+    The tail is volatile runtime state, recovered by walking from the
+    head — so a crash can never expose a dangling tail.
+
+    Every mutation self-annotates with the low-level checkers; the bug
+    switches remove individual persists to generate the classic
+    publish-before-persist bugs. *)
+
+open Pmtest_trace
+module Machine = Pmtest_pmem.Machine
+
+type t
+
+type bug =
+  | Skip_node_persist  (** Node linked before its contents are durable. *)
+  | Skip_link_persist  (** The link itself is never persisted. *)
+  | Skip_head_persist_on_dequeue  (** Dequeue's head advance not persisted. *)
+
+val source_file : string
+
+val create : ?track_versions:bool -> ?size:int -> sink:Sink.t -> unit -> t
+val of_machine : machine:Machine.t -> sink:Sink.t -> t
+(** Reopen after a crash: the volatile tail is rebuilt by walking the
+    persistent list. *)
+
+val machine : t -> Machine.t
+val set_bug : t -> bug option -> unit
+
+val enqueue : t -> int64 -> unit
+val dequeue : t -> int64 option
+val peek : t -> int64 option
+val length : t -> int
+val to_list : t -> int64 list
+
+val check_consistent : t -> (unit, string) result
+(** The list from the persistent head is acyclic, within bounds, and its
+    length matches the persistent count. *)

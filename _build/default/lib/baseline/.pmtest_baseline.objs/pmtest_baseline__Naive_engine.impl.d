@@ -1,0 +1,1 @@
+lib/baseline/naive_engine.ml: Array Event Format Interval List Loc Model Pmtest_core Pmtest_model Pmtest_trace Pmtest_util Vec

@@ -1,0 +1,1 @@
+lib/baseline/naive_engine.mli: Event Model Pmtest_core Pmtest_model Pmtest_trace

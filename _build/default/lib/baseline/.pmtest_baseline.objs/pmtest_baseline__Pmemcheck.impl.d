@@ -1,0 +1,1 @@
+lib/baseline/pmemcheck.ml: Bytes Event Format Loc Pmtest_core Pmtest_model Pmtest_trace Pmtest_util Printf Sink Vec

@@ -1,0 +1,1 @@
+lib/baseline/pmemcheck.mli: Pmtest_core Pmtest_trace Sink

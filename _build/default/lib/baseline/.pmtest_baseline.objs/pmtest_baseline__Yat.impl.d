@@ -1,0 +1,1 @@
+lib/baseline/yat.ml: Array Bytes Event List Pmtest_model Pmtest_pmem Pmtest_trace Sink

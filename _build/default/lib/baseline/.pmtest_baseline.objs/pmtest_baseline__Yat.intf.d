@@ -1,0 +1,1 @@
+lib/baseline/yat.mli: Event Pmtest_model Pmtest_pmem Pmtest_trace Pmtest_util Rng Sink

@@ -1,0 +1,279 @@
+open Pmtest_util
+open Pmtest_model
+open Pmtest_trace
+module Report = Pmtest_core.Report
+
+(* Eager intervals: fences walk the whole shadow and close them in place. *)
+type status = {
+  lo : int;
+  hi : int;
+  mutable persist : Interval.t;
+  mutable flush : Interval.t option;
+  write_loc : Loc.t;
+}
+
+type state = {
+  model : Model.kind;
+  mutable now : int;
+  mutable shadow : status list; (* disjoint ranges, unordered *)
+  mutable excluded : (int * int) list;
+  mutable log : (int * int) list; (* TX_ADD ranges, newest first *)
+  mutable tx_depth : int;
+  mutable scope_active : bool;
+  mutable scope_writes : (int * int * Loc.t) list;
+  diags : Report.diagnostic Vec.t;
+  mutable entries : int;
+  mutable ops : int;
+  mutable checkers : int;
+}
+
+let diag st kind loc fmt =
+  Format.kasprintf (fun message -> Vec.push st.diags { Report.kind; loc; message }) fmt
+
+(* Subranges of [lo,hi) that are not excluded — O(#excluded) per query. *)
+let effective st ~lo ~hi =
+  let cut segs (xlo, xhi) =
+    List.concat_map
+      (fun (slo, shi) ->
+        if xhi <= slo || shi <= xlo then [ (slo, shi) ]
+        else
+          (if slo < xlo then [ (slo, xlo) ] else [])
+          @ if xhi < shi then [ (xhi, shi) ] else [])
+      segs
+  in
+  List.fold_left cut [ (lo, hi) ] st.excluded
+
+(* Split every shadow status at the boundaries of [lo,hi) so that each
+   status is either fully inside or fully outside the range. *)
+let split_at st ~lo ~hi =
+  st.shadow <-
+    List.concat_map
+      (fun s ->
+        if s.hi <= lo || hi <= s.lo then [ s ]
+        else
+          let piece plo phi = { s with lo = plo; hi = phi } in
+          List.filter_map
+            (fun (plo, phi) -> if phi > plo then Some (piece plo phi) else None)
+            [ (s.lo, max s.lo lo); (max s.lo lo, min s.hi hi); (min s.hi hi, s.hi) ])
+      st.shadow
+
+let inside s ~lo ~hi = s.lo >= lo && s.hi <= hi
+
+let covered_by_log st ~lo ~hi =
+  (* Union of log ranges covers [lo,hi)? Naive sweep. *)
+  let pieces =
+    List.sort compare (List.filter (fun (a, b) -> a < hi && lo < b) st.log)
+  in
+  let rec walk cursor = function
+    | [] -> cursor >= hi
+    | (a, b) :: rest -> if a > cursor then false else walk (max cursor b) rest
+  in
+  walk lo pieces
+
+let on_write st loc ~addr ~size =
+  if st.model = Model.Eadr then st.now <- st.now + 1;
+  List.iter
+    (fun (lo, hi) ->
+      if st.tx_depth > 0 && st.scope_active && not (covered_by_log st ~lo ~hi) then
+        diag st Report.Missing_log loc
+          "persistent object [0x%x,+%d) modified inside a transaction without a backup log entry"
+          lo (hi - lo);
+      split_at st ~lo ~hi;
+      st.shadow <- List.filter (fun s -> not (inside s ~lo ~hi)) st.shadow;
+      let persist =
+        match st.model with
+        | Model.Eadr -> Interval.make ~lo:(st.now - 1) ~hi:st.now
+        | Model.X86 | Model.Hops -> Interval.make_open st.now
+      in
+      st.shadow <- { lo; hi; persist; flush = None; write_loc = loc } :: st.shadow;
+      if st.scope_active then
+        (* Keep scope ranges disjoint (the newest write owns the bytes),
+           mirroring the production engine's interval-map semantics. *)
+        st.scope_writes <-
+          (lo, hi, loc)
+          :: List.concat_map
+               (fun (a, b, l) ->
+                 if hi <= a || b <= lo then [ (a, b, l) ]
+                 else
+                   (if a < lo then [ (a, lo, l) ] else [])
+                   @ if hi < b then [ (hi, b, l) ] else [])
+               st.scope_writes)
+    (effective st ~lo:addr ~hi:(addr + size))
+
+let on_clwb st loc ~addr ~size =
+  let unnecessary = ref false and duplicate = ref false in
+  List.iter
+    (fun (lo, hi) ->
+      split_at st ~lo ~hi;
+      let covered = ref [] in
+      List.iter
+        (fun s ->
+          if inside s ~lo ~hi then begin
+            covered := (s.lo, s.hi) :: !covered;
+            match s.flush with
+            | None -> s.flush <- Some (Interval.make_open st.now)
+            | Some _ -> duplicate := true
+          end)
+        st.shadow;
+      (* Any byte of the range with no status at all was never written. *)
+      let rec walk cursor = function
+        | [] -> if cursor < hi then unnecessary := true
+        | (a, b) :: rest ->
+          if a > cursor then unnecessary := true;
+          walk (max cursor b) rest
+      in
+      walk lo (List.sort compare !covered))
+    (effective st ~lo:addr ~hi:(addr + size));
+  if !unnecessary then
+    diag st Report.Unnecessary_writeback loc "writeback of unmodified data at [0x%x,+%d)" addr size;
+  if !duplicate then
+    diag st Report.Duplicate_writeback loc "persistent object [0x%x,+%d) written back more than once"
+      addr size
+
+(* Eager closing: the whole shadow is swept at every ordering point. *)
+let on_sfence st =
+  st.now <- st.now + 1;
+  List.iter
+    (fun s ->
+      match s.flush with
+      | Some fi when Interval.is_open fi ->
+        s.flush <- Some (Interval.close fi st.now);
+        if Interval.is_open s.persist then s.persist <- Interval.close s.persist st.now
+      | _ -> ())
+    st.shadow
+
+let on_dfence st =
+  st.now <- st.now + 1;
+  List.iter
+    (fun s -> if Interval.is_open s.persist then s.persist <- Interval.close s.persist st.now)
+    st.shadow
+
+let statuses_in st ~addr ~size =
+  List.concat_map
+    (fun (lo, hi) -> List.filter (fun s -> s.lo < hi && lo < s.hi) st.shadow)
+    (effective st ~lo:addr ~hi:(addr + size))
+
+let on_is_persist st loc ~addr ~size =
+  match List.find_opt (fun s -> not (Interval.ends_by s.persist st.now)) (statuses_in st ~addr ~size) with
+  | None -> ()
+  | Some s ->
+    diag st Report.Not_persisted loc
+      "isPersist(0x%x,%d): write at %s to [0x%x,+%d) has persist interval %a at timestamp %d" addr
+      size (Loc.to_string s.write_loc) s.lo (s.hi - s.lo) Interval.pp s.persist st.now
+
+let on_is_ordered_before st loc ~a_addr ~a_size ~b_addr ~b_size =
+  let a_statuses = statuses_in st ~addr:a_addr ~size:a_size in
+  let b_statuses = statuses_in st ~addr:b_addr ~size:b_size in
+  let ordered sa sb =
+    match st.model with
+    | Model.X86 | Model.Eadr -> Interval.ordered_before sa.persist sb.persist
+    | Model.Hops -> Interval.starts_before sa.persist sb.persist
+  in
+  if
+    List.exists (fun sa -> List.exists (fun sb -> not (ordered sa sb)) b_statuses) a_statuses
+  then
+    diag st Report.Not_ordered loc "isOrderedBefore(0x%x,%d,0x%x,%d) failed" a_addr a_size b_addr
+      b_size
+
+let on_tx_checker_end st loc =
+  if st.tx_depth > 0 then
+    diag st Report.Incomplete_tx loc "transaction still open at TX_CHECKER_END";
+  List.iter
+    (fun (lo, hi, wloc) ->
+      List.iter
+        (fun (elo, ehi) ->
+          List.iter
+            (fun s ->
+              if s.lo < ehi && elo < s.hi && not (Interval.ends_by s.persist st.now) then
+                diag st Report.Incomplete_tx loc
+                  "transaction update at %s not persisted when the checker scope ends"
+                  (Loc.to_string wloc))
+            st.shadow)
+        (effective st ~lo ~hi))
+    (List.rev st.scope_writes);
+  st.scope_active <- false;
+  st.scope_writes <- []
+
+let on_entry st (e : Event.t) =
+  st.entries <- st.entries + 1;
+  let loc = e.Event.loc in
+  match e.Event.kind with
+  | Event.Op op ->
+    st.ops <- st.ops + 1;
+    if not (Model.valid_op st.model op) then
+      diag st Report.Invalid_op loc "operation %a is not part of the %s persistency model"
+        Model.pp_op op (Model.kind_name st.model)
+    else begin
+      match op with
+      | Model.Write { addr; size } -> on_write st loc ~addr ~size
+      | Model.Clwb { addr; size } ->
+        if st.model = Model.Eadr then
+          diag st Report.Unnecessary_writeback loc
+            "writeback of [0x%x,+%d) is redundant under eADR (caches are persistent)" addr size
+        else on_clwb st loc ~addr ~size
+      | Model.Sfence -> if st.model <> Model.Eadr then on_sfence st
+      | Model.Ofence -> st.now <- st.now + 1
+      | Model.Dfence -> on_dfence st
+    end
+  | Event.Checker c -> begin
+    st.checkers <- st.checkers + 1;
+    match c with
+    | Event.Is_persist { addr; size } -> on_is_persist st loc ~addr ~size
+    | Event.Is_ordered_before { a_addr; a_size; b_addr; b_size } ->
+      on_is_ordered_before st loc ~a_addr ~a_size ~b_addr ~b_size
+  end
+  | Event.Tx tx -> begin
+    match tx with
+    | Event.Tx_begin ->
+      if st.tx_depth = 0 then st.log <- [];
+      st.tx_depth <- st.tx_depth + 1
+    | Event.Tx_add { addr; size } ->
+      if st.log <> [] && covered_by_log st ~lo:addr ~hi:(addr + size) then
+        diag st Report.Duplicate_log loc "persistent object [0x%x,+%d) logged more than once" addr
+          size;
+      st.log <- (addr, addr + size) :: st.log
+    | Event.Tx_commit | Event.Tx_abort ->
+      st.tx_depth <- max 0 (st.tx_depth - 1);
+      if st.tx_depth = 0 then st.log <- []
+    | Event.Tx_checker_start ->
+      st.scope_active <- true;
+      st.scope_writes <- []
+    | Event.Tx_checker_end -> on_tx_checker_end st loc
+  end
+  | Event.Control (Event.Exclude { addr; size }) ->
+    st.excluded <- (addr, addr + size) :: st.excluded
+  | Event.Control (Event.Include { addr; size }) ->
+    (* Naive: subtract the range from every exclusion. *)
+    st.excluded <-
+      List.concat_map
+        (fun (xlo, xhi) ->
+          if addr + size <= xlo || xhi <= addr then [ (xlo, xhi) ]
+          else
+            (if xlo < addr then [ (xlo, addr) ] else [])
+            @ if addr + size < xhi then [ (addr + size, xhi) ] else [])
+        st.excluded
+
+let check ?(model = Model.X86) entries =
+  let st =
+    {
+      model;
+      now = 0;
+      shadow = [];
+      excluded = [];
+      log = [];
+      tx_depth = 0;
+      scope_active = false;
+      scope_writes = [];
+      diags = Vec.create ();
+      entries = 0;
+      ops = 0;
+      checkers = 0;
+    }
+  in
+  Array.iter (on_entry st) entries;
+  {
+    Report.diagnostics = Vec.to_list st.diags;
+    entries = st.entries;
+    ops = st.ops;
+    checkers = st.checkers;
+  }

@@ -1,0 +1,22 @@
+(** A deliberately naive reimplementation of the checking engine, used as
+    an ablation baseline and as a differential-testing twin.
+
+    Same checking semantics as {!Pmtest_core.Engine} — identical verdicts
+    on every trace — but with the data-structure choices the paper argues
+    against (§4.4):
+
+    - the shadow memory is an unordered association list of disjoint
+      ranges, so every write/writeback/checker scans it in O(n);
+    - fences eagerly sweep the whole shadow to close intervals, instead of
+      the O(1) lazy-timestamp scheme;
+    - the log tree is a plain list.
+
+    The [ablation] benchmark compares the two engines on growing traces;
+    the differential property test asserts they agree diagnostic-for-
+    diagnostic kind on random traces. *)
+
+open Pmtest_model
+open Pmtest_trace
+module Report = Pmtest_core.Report
+
+val check : ?model:Model.kind -> Event.t array -> Report.t

@@ -1,0 +1,1 @@
+lib/bugdb/case.ml: Pmtest_core

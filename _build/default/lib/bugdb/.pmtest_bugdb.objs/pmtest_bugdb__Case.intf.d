@@ -1,0 +1,1 @@
+lib/bugdb/case.mli: Pmtest_core

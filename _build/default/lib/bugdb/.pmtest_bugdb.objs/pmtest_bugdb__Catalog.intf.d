@@ -1,0 +1,1 @@
+lib/bugdb/catalog.mli: Case

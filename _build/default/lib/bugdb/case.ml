@@ -1,0 +1,34 @@
+module Report = Pmtest_core.Report
+
+type category = Ordering | Writeback | Perf_writeback | Backup | Completion | Perf_log
+type provenance = Synthetic | Reproduced of string | New_bug of string
+
+type t = {
+  id : string;
+  category : category;
+  provenance : provenance;
+  description : string;
+  expected : Report.kind;
+  run : unit -> Report.t;
+  run_clean : unit -> Report.t;
+}
+
+let category_name = function
+  | Ordering -> "ordering"
+  | Writeback -> "writeback"
+  | Perf_writeback -> "performance (writeback)"
+  | Backup -> "backup"
+  | Completion -> "completion"
+  | Perf_log -> "performance (log)"
+
+let is_low_level = function
+  | Ordering | Writeback | Perf_writeback -> true
+  | Backup | Completion | Perf_log -> false
+
+type outcome = { case : t; detected : bool; clean : bool; report : Report.t }
+
+let execute case =
+  let report = case.run () in
+  let detected = Report.count case.expected report > 0 in
+  let clean = Report.is_clean (case.run_clean ()) in
+  { case; detected; clean; report }

@@ -1,0 +1,44 @@
+(** One entry of the bug-injection suite (paper Table 5 / Table 6).
+
+    A case is a small annotated program with a specific crash-consistency
+    or performance bug switched on; running it under a synchronous PMTest
+    session yields the report the diagnosis is matched against. *)
+
+module Report = Pmtest_core.Report
+
+type category =
+  | Ordering  (** Missing or misplaced ordering enforcement (low-level). *)
+  | Writeback  (** Missing or misplaced writeback (low-level). *)
+  | Perf_writeback  (** Redundant writeback (low-level performance). *)
+  | Backup  (** Missing or misplaced backup of persistent objects. *)
+  | Completion  (** Incomplete transactions. *)
+  | Perf_log  (** Redundant undo-log entries (transaction performance). *)
+
+type provenance =
+  | Synthetic  (** Injected for the suite (Table 5). *)
+  | Reproduced of string  (** Known bug from a commit history (Table 6). *)
+  | New_bug of string  (** Bug PMTest found (Table 6). *)
+
+type t = {
+  id : string;
+  category : category;
+  provenance : provenance;
+  description : string;
+  expected : Report.kind;
+  run : unit -> Report.t;  (** The buggy program under a PMTest session. *)
+  run_clean : unit -> Report.t;
+      (** The same program with the bug switched off — the false-positive
+          control. *)
+}
+
+val category_name : category -> string
+val is_low_level : category -> bool
+
+type outcome = {
+  case : t;
+  detected : bool;  (** Buggy run reports the expected kind. *)
+  clean : bool;  (** Bug-free run reports nothing. *)
+  report : Report.t;
+}
+
+val execute : t -> outcome

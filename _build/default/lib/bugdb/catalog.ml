@@ -1,0 +1,473 @@
+open Pmtest_util
+open Pmtest_pmdk
+module Report = Pmtest_core.Report
+module Pmtest = Pmtest_core.Pmtest
+module Region = Pmtest_mnemosyne.Region
+module Pmap = Pmtest_mnemosyne.Pmap
+module Fs = Pmtest_pmfs.Fs
+
+(* Every case runs its program twice — once with the bug switched on and
+   once clean — under a synchronous single-worker session, so detection
+   and the false-positive control come from the same code path. *)
+
+let with_session f =
+  let session = Pmtest.init ~workers:0 () in
+  f session;
+  Pmtest.finish session
+
+let value_bytes rng n = Bytes.init n (fun _ -> Char.chr (Char.code 'a' + Rng.int rng 26))
+
+(* --- PMDK-structure runners ----------------------------------------------- *)
+
+(* Run [inserts] key/value pairs through a map builder, wrapping each
+   insert in the transaction checkers and sending one section per op. *)
+let pmdk_runner ~build ~keys ~value_size ~seed bug () =
+  with_session (fun session ->
+      let pool = Pool.create ~size:(1 lsl 23) ~sink:(Pmtest.sink session) () in
+      let rng = Rng.create seed in
+      let insert = build pool in
+      List.iter
+        (fun key ->
+          Pool.tx_checker_start pool;
+          insert bug ~key ~value:(value_bytes rng value_size);
+          Pool.tx_checker_end pool;
+          Pmtest.send_trace session)
+        keys)
+
+let seq_keys n = List.init n (fun i -> Int64.of_int i)
+let rand_keys ~seed n = List.init n (fun i -> Int64.of_int ((i * 2654435761) lxor seed land 0xffff))
+let repeat_keys n ~distinct = List.init n (fun i -> Int64.of_int (i mod distinct))
+
+let ctree_build pool =
+  let m = Ctree_map.create pool in
+  fun bug ~key ~value -> Ctree_map.insert ?bug m ~key ~value
+
+let btree_build pool =
+  let m = Btree_map.create pool in
+  fun bug ~key ~value -> Btree_map.insert ?bug m ~key ~value
+
+let rbtree_build pool =
+  let m = Rbtree_map.create pool in
+  fun bug ~key ~value -> Rbtree_map.insert ?bug m ~key ~value
+
+let hashmap_build ?(buckets = 64) pool =
+  let m = Hashmap_tx.create ~buckets pool in
+  fun bug ~key ~value -> Hashmap_tx.insert ?bug m ~key ~value
+
+let hashmap_build_default pool = hashmap_build pool
+
+(* A pool-level fault active for the whole run (commit behaviour). *)
+let pool_fault_runner ~build ~keys ~seed fault () =
+  with_session (fun session ->
+      let pool = Pool.create ~size:(1 lsl 23) ~sink:(Pmtest.sink session) () in
+      Pool.set_fault pool fault;
+      let rng = Rng.create seed in
+      let insert = build pool in
+      List.iter
+        (fun key ->
+          Pool.tx_checker_start pool;
+          insert None ~key ~value:(value_bytes rng 16);
+          Pool.tx_checker_end pool;
+          Pmtest.send_trace session)
+        keys)
+
+(* hashmap_atomic carries its own low-level checkers. *)
+let atomic_runner ?(buckets = 32) ~keys ~seed bug () =
+  with_session (fun session ->
+      let pool = Pool.create ~size:(1 lsl 23) ~sink:(Pmtest.sink session) () in
+      let m = Hashmap_atomic.create ~buckets pool in
+      let rng = Rng.create seed in
+      List.iter
+        (fun key ->
+          ignore (Hashmap_atomic.insert ?bug m ~key ~value:(value_bytes rng 16));
+          Pmtest.send_trace session)
+        keys)
+
+(* Mnemosyne persistent-map runner (built-in commit annotations plus the
+   transaction checkers around each set). *)
+let pmap_runner ~sets ~seed fault () =
+  with_session (fun session ->
+      let region = Region.create ~sink:(Pmtest.sink session) () in
+      Region.set_fault region fault;
+      let m = Pmap.create ~buckets:64 region in
+      let rng = Rng.create seed in
+      for i = 0 to sets - 1 do
+        Region.tx_checker_start region;
+        Pmap.set m ~key:(Int64.of_int (Rng.int rng 64)) ~value:(Printf.sprintf "v%d" i);
+        Region.tx_checker_end region;
+        Pmtest.send_trace session
+      done)
+
+(* PMFS runner: a small create/write/read mix with the fault installed. *)
+let pmfs_runner ?(ops = `Mixed) fault () =
+  with_session (fun session ->
+      let fs = Fs.mkfs ~sink:(Pmtest.sink session) () in
+      Fs.set_fault fs fault;
+      let send () = Pmtest.send_trace session in
+      (match ops with
+      | `Mixed ->
+        ignore (Fs.create fs "alpha");
+        send ();
+        (match Fs.lookup fs "alpha" with
+        | Some ino ->
+          ignore (Fs.write fs ~ino ~off:0 (String.make 600 'x'));
+          send ();
+          ignore (Fs.read fs ~ino ~off:0 ~len:64);
+          send ();
+          Fs.fsync fs ~ino;
+          send ()
+        | None -> ());
+        ignore (Fs.create fs "beta");
+        send ();
+        ignore (Fs.unlink fs "alpha");
+        send ()
+      | `Write_heavy -> (
+        ignore (Fs.create fs "data");
+        send ();
+        match Fs.lookup fs "data" with
+        | Some ino ->
+          for i = 0 to 4 do
+            ignore (Fs.write fs ~ino ~off:(i * 700) (String.make 300 'y'));
+            send ()
+          done
+        | None -> ())))
+
+(* --- Case construction ------------------------------------------------------ *)
+
+let case ~id ~category ?(provenance = Case.Synthetic) ~description ~expected ~buggy ~clean () =
+  { Case.id; category; provenance; description; expected; run = buggy; run_clean = clean }
+
+let pmdk_case ~id ~category ?provenance ~description ~expected ~build ~keys ~value_size ~seed bug
+    =
+  case ~id ~category ?provenance ~description ~expected
+    ~buggy:(pmdk_runner ~build ~keys ~value_size ~seed (Some bug))
+    ~clean:(pmdk_runner ~build ~keys ~value_size ~seed None)
+    ()
+
+let atomic_case ~id ~category ?provenance ~description ~expected ?buckets ~keys ~seed bug =
+  case ~id ~category ?provenance ~description ~expected
+    ~buggy:(atomic_runner ?buckets ~keys ~seed (Some bug))
+    ~clean:(atomic_runner ?buckets ~keys ~seed None)
+    ()
+
+let pmap_case ~id ~category ~description ~expected ~sets ~seed fault =
+  case ~id ~category ~description ~expected
+    ~buggy:(pmap_runner ~sets ~seed (Some fault))
+    ~clean:(pmap_runner ~sets ~seed None)
+    ()
+
+let pmfs_case ~id ~category ?provenance ~description ~expected ?ops fault =
+  case ~id ~category ?provenance ~description ~expected
+    ~buggy:(pmfs_runner ?ops (Some fault))
+    ~clean:(pmfs_runner ?ops None)
+    ()
+
+let pool_fault_case ~id ~category ~description ~expected ~build ~keys ~seed fault =
+  case ~id ~category ~description ~expected
+    ~buggy:(pool_fault_runner ~build ~keys ~seed (Some fault))
+    ~clean:(pool_fault_runner ~build ~keys ~seed None)
+    ()
+
+(* --- Table 5: the synthetic suite ------------------------------------------- *)
+
+let ordering_cases =
+  [
+    atomic_case ~id:"ord-1" ~category:Case.Ordering
+      ~description:"hashmap_atomic: no sfence between entry writeback and publish"
+      ~expected:Report.Not_ordered ~keys:(seq_keys 6) ~seed:11 Hashmap_atomic.Missing_fence_entry;
+    atomic_case ~id:"ord-2" ~category:Case.Ordering
+      ~description:"hashmap_atomic: fence issued before the entry stores instead of after"
+      ~expected:Report.Not_ordered ~keys:(seq_keys 6) ~seed:12 Hashmap_atomic.Misplaced_fence_entry;
+    atomic_case ~id:"ord-3" ~category:Case.Ordering
+      ~description:"hashmap_atomic: bucket-head publish flushed but never fenced"
+      ~expected:Report.Not_persisted ~keys:(seq_keys 6) ~seed:13 Hashmap_atomic.Missing_fence_slot;
+    pmap_case ~id:"ord-4" ~category:Case.Ordering
+      ~description:"mnemosyne: commit marker unfenced, in-place updates may outrun it"
+      ~expected:Report.Not_ordered ~sets:6 ~seed:14 Region.Skip_commit_fence;
+  ]
+
+let writeback_cases =
+  [
+    atomic_case ~id:"wb-1" ~category:Case.Writeback
+      ~description:"hashmap_atomic: new entry never written back" ~expected:Report.Not_ordered
+      ~keys:(seq_keys 6) ~seed:21 Hashmap_atomic.Missing_flush_entry;
+    atomic_case ~id:"wb-2" ~category:Case.Writeback
+      ~description:"hashmap_atomic: bucket-head publish never written back"
+      ~expected:Report.Not_persisted ~keys:(seq_keys 6) ~seed:22 Hashmap_atomic.Missing_flush_slot;
+    atomic_case ~id:"wb-3" ~category:Case.Writeback
+      ~description:"hashmap_atomic: writeback covers only part of the new entry"
+      ~expected:Report.Not_ordered ~keys:(seq_keys 6) ~seed:23 Hashmap_atomic.Misplaced_flush_entry;
+    atomic_case ~id:"wb-4" ~category:Case.Writeback
+      ~description:"hashmap_atomic: element count never persisted" ~expected:Report.Not_persisted
+      ~keys:(seq_keys 6) ~seed:24 Hashmap_atomic.Missing_count_flush;
+    pmap_case ~id:"wb-5" ~category:Case.Writeback
+      ~description:"mnemosyne: redo-log records appended but never flushed"
+      ~expected:Report.Not_persisted ~sets:6 ~seed:25 Region.Skip_log_flush;
+    pmap_case ~id:"wb-6" ~category:Case.Writeback
+      ~description:"mnemosyne: in-place updates applied without writeback"
+      ~expected:Report.Not_persisted ~sets:6 ~seed:26 Region.Skip_apply_writeback;
+  ]
+
+let perf_writeback_cases =
+  [
+    atomic_case ~id:"pwb-1" ~category:Case.Perf_writeback
+      ~description:"hashmap_atomic: new entry flushed twice" ~expected:Report.Duplicate_writeback
+      ~keys:(seq_keys 6) ~seed:31 Hashmap_atomic.Duplicate_flush_entry;
+    atomic_case ~id:"pwb-2" ~category:Case.Perf_writeback
+      ~description:"hashmap_atomic: scratch field flushed though never written"
+      ~expected:Report.Unnecessary_writeback ~keys:(seq_keys 6) ~seed:32
+      Hashmap_atomic.Flush_unmodified;
+  ]
+
+let backup_cases =
+  [
+    pmdk_case ~id:"bk-1" ~category:Case.Backup
+      ~description:"ctree: root slot relinked without snapshot (sequential keys)"
+      ~expected:Report.Missing_log ~build:ctree_build ~keys:(seq_keys 12) ~value_size:16 ~seed:41
+      Ctree_map.Skip_log_root;
+    pmdk_case ~id:"bk-2" ~category:Case.Backup
+      ~description:"ctree: parent slot relinked without snapshot (random keys)"
+      ~expected:Report.Missing_log ~build:ctree_build ~keys:(rand_keys ~seed:7 12) ~value_size:16
+      ~seed:42 Ctree_map.Skip_log_root;
+    pmdk_case ~id:"bk-3" ~category:Case.Backup
+      ~description:"ctree: value pointer updated in place without snapshot"
+      ~expected:Report.Missing_log ~build:ctree_build ~keys:(repeat_keys 12 ~distinct:4)
+      ~value_size:16 ~seed:43 Ctree_map.Skip_log_leaf;
+    pmdk_case ~id:"bk-4" ~category:Case.Backup
+      ~description:"ctree: unlogged value update with large payloads"
+      ~expected:Report.Missing_log ~build:ctree_build ~keys:(repeat_keys 8 ~distinct:2)
+      ~value_size:256 ~seed:44 Ctree_map.Skip_log_leaf;
+    pmdk_case ~id:"bk-5" ~category:Case.Backup
+      ~description:"btree: leaf modified without snapshot (few keys)"
+      ~expected:Report.Missing_log ~build:btree_build ~keys:(seq_keys 5) ~value_size:16 ~seed:45
+      Btree_map.Skip_log_leaf_insert;
+    pmdk_case ~id:"bk-6" ~category:Case.Backup
+      ~description:"btree: leaf modified without snapshot (random keys)"
+      ~expected:Report.Missing_log ~build:btree_build ~keys:(rand_keys ~seed:3 10) ~value_size:16
+      ~seed:46 Btree_map.Skip_log_leaf_insert;
+    pmdk_case ~id:"bk-7" ~category:Case.Backup
+      ~description:"btree: split shrinks a node without snapshot (sorted fill)"
+      ~expected:Report.Missing_log ~build:btree_build ~keys:(seq_keys 40) ~value_size:16 ~seed:47
+      Btree_map.Skip_log_split_node;
+    pmdk_case ~id:"bk-8" ~category:Case.Backup
+      ~description:"btree: split shrinks a node without snapshot (random fill)"
+      ~expected:Report.Missing_log ~build:btree_build ~keys:(rand_keys ~seed:9 48) ~value_size:16
+      ~seed:48 Btree_map.Skip_log_split_node;
+    pmdk_case ~id:"bk-9" ~category:Case.Backup
+      ~description:"rbtree: BST parent relinked without snapshot" ~expected:Report.Missing_log
+      ~build:rbtree_build ~keys:(seq_keys 8) ~value_size:16 ~seed:49 Rbtree_map.Skip_log_insert;
+    pmdk_case ~id:"bk-10" ~category:Case.Backup
+      ~description:"rbtree: rotation rewires nodes without snapshot (sorted fill)"
+      ~expected:Report.Missing_log ~build:rbtree_build ~keys:(seq_keys 24) ~value_size:16 ~seed:50
+      Rbtree_map.Skip_log_fixup;
+    pmdk_case ~id:"bk-11" ~category:Case.Backup
+      ~description:"rbtree: rotation rewires nodes without snapshot (random fill)"
+      ~expected:Report.Missing_log ~build:rbtree_build ~keys:(rand_keys ~seed:17 24) ~value_size:16
+      ~seed:51 Rbtree_map.Skip_log_fixup;
+    pmdk_case ~id:"bk-12" ~category:Case.Backup
+      ~description:"hashmap_tx: bucket head relinked without snapshot" ~expected:Report.Missing_log
+      ~build:hashmap_build_default ~keys:(seq_keys 10) ~value_size:16 ~seed:52 Hashmap_tx.Skip_log_bucket;
+    pmdk_case ~id:"bk-13" ~category:Case.Backup
+      ~description:"hashmap_tx: bucket relink unlogged under heavy collisions"
+      ~expected:Report.Missing_log
+      ~build:(hashmap_build ~buckets:2)
+      ~keys:(seq_keys 10) ~value_size:16 ~seed:53 Hashmap_tx.Skip_log_bucket;
+    pmdk_case ~id:"bk-14" ~category:Case.Backup
+      ~description:"hashmap_tx: element count updated without snapshot"
+      ~expected:Report.Missing_log ~build:hashmap_build_default ~keys:(seq_keys 10) ~value_size:16 ~seed:54
+      Hashmap_tx.Skip_log_count;
+    pmdk_case ~id:"bk-15" ~category:Case.Backup
+      ~description:"hashmap_tx: unlogged count with large values (bigger transactions)"
+      ~expected:Report.Missing_log ~build:hashmap_build_default ~keys:(seq_keys 6) ~value_size:512 ~seed:55
+      Hashmap_tx.Skip_log_count;
+    pmap_case ~id:"bk-16" ~category:Case.Backup
+      ~description:"mnemosyne: a store bypasses the redo log and leaks in place"
+      ~expected:Report.Incomplete_tx ~sets:8 ~seed:56 Region.Skip_log_record;
+    pmfs_case ~id:"bk-17" ~category:Case.Backup
+      ~description:"pmfs: journal entry not persisted before the in-place metadata change"
+      ~expected:Report.Not_ordered Fs.Skip_journal_flush;
+    pmfs_case ~id:"bk-18" ~category:Case.Backup
+      ~description:"pmfs: unpersisted journal entries on the write-heavy path"
+      ~expected:Report.Not_ordered ~ops:`Write_heavy Fs.Skip_journal_flush;
+    pmdk_case ~id:"bk-19" ~category:Case.Backup
+      ~description:"ctree: unlogged root relink interleaved with updates"
+      ~expected:Report.Missing_log ~build:ctree_build ~keys:(repeat_keys 16 ~distinct:8)
+      ~value_size:32 ~seed:57 Ctree_map.Skip_log_root;
+  ]
+
+let completion_cases =
+  [
+    pmdk_case ~id:"cp-1" ~category:Case.Completion
+      ~description:"ctree: insert performed entirely outside any transaction"
+      ~expected:Report.Incomplete_tx ~build:ctree_build ~keys:(seq_keys 4) ~value_size:16 ~seed:61
+      Ctree_map.No_tx;
+    pmdk_case ~id:"cp-2" ~category:Case.Completion
+      ~description:"btree: transaction left open (TX_END never reached)"
+      ~expected:Report.Incomplete_tx ~build:btree_build ~keys:(seq_keys 3) ~value_size:16 ~seed:62
+      Btree_map.No_commit;
+    pmdk_case ~id:"cp-3" ~category:Case.Completion
+      ~description:"hashmap_tx: transaction left open (TX_END never reached)"
+      ~expected:Report.Incomplete_tx ~build:hashmap_build_default ~keys:(seq_keys 3) ~value_size:16
+      ~seed:63 Hashmap_tx.No_commit;
+    pool_fault_case ~id:"cp-4" ~category:Case.Completion
+      ~description:"pmdk commit: modified ranges never written back (ctree workload)"
+      ~expected:Report.Incomplete_tx ~build:ctree_build ~keys:(seq_keys 6) ~seed:64
+      Pool.Skip_commit_writeback;
+    pool_fault_case ~id:"cp-5" ~category:Case.Completion
+      ~description:"pmdk commit: modified ranges never written back (btree workload)"
+      ~expected:Report.Incomplete_tx ~build:btree_build ~keys:(seq_keys 6) ~seed:65
+      Pool.Skip_commit_writeback;
+    pool_fault_case ~id:"cp-6" ~category:Case.Completion
+      ~description:"pmdk commit: writebacks issued but the fence is missing (hashmap workload)"
+      ~expected:Report.Incomplete_tx ~build:hashmap_build_default ~keys:(seq_keys 6) ~seed:66
+      Pool.Skip_commit_fence;
+    pmfs_case ~id:"cp-7" ~category:Case.Completion
+      ~description:"pmfs commit: metadata writebacks unfenced" ~expected:Report.Not_persisted
+      Fs.Skip_commit_fence;
+  ]
+
+let perf_log_cases =
+  [
+    pmdk_case ~id:"pl-1" ~category:Case.Perf_log
+      ~description:"ctree: slot snapshotted twice in one transaction"
+      ~expected:Report.Duplicate_log ~build:ctree_build ~keys:(seq_keys 6) ~value_size:16 ~seed:71
+      Ctree_map.Duplicate_log;
+    pmdk_case ~id:"pl-2" ~category:Case.Perf_log
+      ~description:"btree: leaf snapshotted twice on the insert path"
+      ~expected:Report.Duplicate_log ~build:btree_build ~keys:(seq_keys 6) ~value_size:16 ~seed:72
+      Btree_map.Duplicate_log_insert;
+    pmdk_case ~id:"pl-3" ~category:Case.Perf_log
+      ~description:"rbtree: freshly allocated node snapshotted again"
+      ~expected:Report.Duplicate_log ~build:rbtree_build ~keys:(seq_keys 6) ~value_size:16 ~seed:73
+      Rbtree_map.Duplicate_log;
+    pmdk_case ~id:"pl-4" ~category:Case.Perf_log
+      ~description:"hashmap_tx: bucket slot snapshotted twice" ~expected:Report.Duplicate_log
+      ~build:hashmap_build_default ~keys:(seq_keys 6) ~value_size:16 ~seed:74 Hashmap_tx.Duplicate_log;
+  ]
+
+let synthetic =
+  ordering_cases @ writeback_cases @ perf_writeback_cases @ backup_cases @ completion_cases
+  @ perf_log_cases
+
+(* --- Table 6: real bugs ------------------------------------------------------ *)
+
+let table6 =
+  [
+    pmfs_case ~id:"t6-xips" ~category:Case.Perf_writeback
+      ~provenance:(Case.Reproduced "PMFS xips.c:207,262")
+      ~description:"pmfs: data buffer flushed twice on the XIP write path"
+      ~expected:Report.Duplicate_writeback ~ops:`Write_heavy Fs.Data_double_flush;
+    pmfs_case ~id:"t6-files" ~category:Case.Perf_writeback
+      ~provenance:(Case.Reproduced "PMFS files.c:232")
+      ~description:"pmfs: read path flushes a buffer nothing ever wrote"
+      ~expected:Report.Unnecessary_writeback Fs.Flush_unmapped;
+    pmdk_case ~id:"t6-rbtree" ~category:Case.Backup
+      ~provenance:(Case.Reproduced "PMDK rbtree_map.c:379")
+      ~description:"pmdk rbtree example: rotation modifies a node without snapshotting it"
+      ~expected:Report.Missing_log ~build:rbtree_build ~keys:(seq_keys 24) ~value_size:16 ~seed:81
+      Rbtree_map.Skip_log_fixup;
+    pmfs_case ~id:"t6-journal" ~category:Case.Perf_writeback
+      ~provenance:(Case.New_bug "PMFS journal.c:632")
+      ~description:"pmfs: commit flushes the log entry again after it was already persisted"
+      ~expected:Report.Duplicate_writeback Fs.Journal_double_flush;
+    pmdk_case ~id:"t6-btree-log" ~category:Case.Backup
+      ~provenance:(Case.New_bug "PMDK btree_map.c:201")
+      ~description:"pmdk btree example: split-created sibling shrinks a node without snapshot"
+      ~expected:Report.Missing_log ~build:btree_build ~keys:(seq_keys 40) ~value_size:16 ~seed:82
+      Btree_map.Skip_log_split_node;
+    pmdk_case ~id:"t6-btree-dup" ~category:Case.Perf_log
+      ~provenance:(Case.New_bug "PMDK btree_map.c:367")
+      ~description:"pmdk btree example: the same node is snapshotted twice"
+      ~expected:Report.Duplicate_log ~build:btree_build ~keys:(seq_keys 6) ~value_size:16 ~seed:83
+      Btree_map.Duplicate_log_insert;
+  ]
+
+(* --- Extended suite: custom low-level CCS -------------------------------- *)
+
+module Pqueue = Pmtest_apps.Pqueue
+module Plog = Pmtest_apps.Plog
+
+let pqueue_runner bug () =
+  with_session (fun session ->
+      let q = Pqueue.create ~sink:(Pmtest.sink session) () in
+      Pqueue.set_bug q bug;
+      for i = 0 to 5 do
+        Pqueue.enqueue q (Int64.of_int i);
+        if i mod 2 = 1 then ignore (Pqueue.dequeue q);
+        Pmtest.send_trace session
+      done)
+
+let plog_runner bug () =
+  with_session (fun session ->
+      let l = Plog.create ~sink:(Pmtest.sink session) () in
+      Plog.set_bug l bug;
+      for i = 0 to 5 do
+        Plog.append l (Printf.sprintf "record-%d" i);
+        Pmtest.send_trace session
+      done)
+
+let app_case ~id ~category ~description ~expected ~runner bug =
+  case ~id ~category ~description ~expected ~buggy:(runner (Some bug)) ~clean:(runner None) ()
+
+let extended =
+  [
+    app_case ~id:"xq-1" ~category:Case.Writeback
+      ~description:"pqueue: node linked before its contents are persisted"
+      ~expected:Report.Not_ordered ~runner:pqueue_runner Pqueue.Skip_node_persist;
+    app_case ~id:"xq-2" ~category:Case.Writeback
+      ~description:"pqueue: link to the new node never persisted" ~expected:Report.Not_persisted
+      ~runner:pqueue_runner Pqueue.Skip_link_persist;
+    app_case ~id:"xq-3" ~category:Case.Writeback
+      ~description:"pqueue: dequeue's head advance never persisted"
+      ~expected:Report.Not_persisted ~runner:pqueue_runner Pqueue.Skip_head_persist_on_dequeue;
+    app_case ~id:"xl-1" ~category:Case.Ordering
+      ~description:"plog: frame not persisted before the committed length covers it"
+      ~expected:Report.Not_ordered ~runner:plog_runner Plog.Skip_record_persist;
+    app_case ~id:"xl-2" ~category:Case.Writeback
+      ~description:"plog: committed length never persisted" ~expected:Report.Not_persisted
+      ~runner:plog_runner Plog.Skip_length_persist;
+    app_case ~id:"xl-3" ~category:Case.Ordering
+      ~description:"plog: committed length persisted before the frame (misplaced order)"
+      ~expected:Report.Not_ordered ~runner:plog_runner Plog.Length_before_record;
+  ]
+
+module Nova = Pmtest_nova.Nova
+
+let nova_runner bug () =
+  with_session (fun session ->
+      let fs = Nova.mkfs ~sink:(Pmtest.sink session) () in
+      Nova.set_bug fs bug;
+      match Nova.create fs "f" with
+      | Error e -> failwith e
+      | Ok ino ->
+        for i = 0 to 5 do
+          ignore (Nova.write fs ~ino ~pgoff:(i mod 3) (Printf.sprintf "w%d" i));
+          Pmtest.send_trace session
+        done)
+
+let extended =
+  extended
+  @ [
+      app_case ~id:"xn-1" ~category:Case.Writeback
+        ~description:"nova: CoW data page not persisted before the log commits it"
+        ~expected:Report.Not_ordered ~runner:nova_runner Nova.Skip_data_persist;
+      app_case ~id:"xn-2" ~category:Case.Ordering
+        ~description:"nova: log entry not persisted before the tail covers it"
+        ~expected:Report.Not_ordered ~runner:nova_runner Nova.Skip_entry_persist;
+      app_case ~id:"xn-3" ~category:Case.Writeback
+        ~description:"nova: inode log tail never persisted" ~expected:Report.Not_persisted
+        ~runner:nova_runner Nova.Skip_tail_persist;
+    ]
+
+let all = synthetic @ table6 @ extended
+
+let by_category cases =
+  let order =
+    [ Case.Ordering; Case.Writeback; Case.Perf_writeback; Case.Backup; Case.Completion; Case.Perf_log ]
+  in
+  List.filter_map
+    (fun cat ->
+      match List.filter (fun c -> c.Case.category = cat) cases with
+      | [] -> None
+      | cs -> Some (cat, cs))
+    order

@@ -1,0 +1,20 @@
+(** The bug suite: the paper's 42 synthetic Table-5 cases across the six
+    categories, plus the six Table-6 bugs (three known from commit
+    histories, three newly found by PMTest) as reproducible programs. *)
+
+val synthetic : Case.t list
+(** 42 cases: ordering 4, writeback 6, low-level performance 2,
+    backup 19, completion 7, log performance 4 — matching Table 5. *)
+
+val table6 : Case.t list
+(** The three known and three new real bugs of Table 6. *)
+
+val extended : Case.t list
+(** Beyond the paper's tables: bug switches in the custom low-level CCS
+    applications (persistent queue, persistent append log). *)
+
+val all : Case.t list
+(** [synthetic @ table6 @ extended]. *)
+
+val by_category : Case.t list -> (Case.category * Case.t list) list
+(** Stable grouping in Table-5 order. *)

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Event Format Interval Interval_map Interval_tree List Loc Model Pmtest_itree Pmtest_model Pmtest_trace Pmtest_util Report Vec

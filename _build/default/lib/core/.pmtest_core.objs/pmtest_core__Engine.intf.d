@@ -1,0 +1,1 @@
+lib/core/engine.mli: Event Interval Interval_map Model Pmtest_itree Pmtest_model Pmtest_trace Report

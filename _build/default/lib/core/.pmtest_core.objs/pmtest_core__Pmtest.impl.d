@@ -1,0 +1,1 @@
+lib/core/pmtest.ml: Array Builder Event Fun Hashtbl Interval_map List Loc Model Mutex Pmtest_itree Pmtest_model Pmtest_trace Pmtest_util Runtime

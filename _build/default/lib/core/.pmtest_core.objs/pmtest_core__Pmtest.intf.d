@@ -1,0 +1,1 @@
+lib/core/pmtest.mli: Loc Model Pmtest_model Pmtest_trace Pmtest_util Report Sink

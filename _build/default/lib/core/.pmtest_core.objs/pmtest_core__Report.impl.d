@@ -1,0 +1,1 @@
+lib/core/report.ml: Format Hashtbl Int List Loc Pmtest_util

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Condition Domain Engine Event Model Mutex Pmtest_model Pmtest_trace Queue Report

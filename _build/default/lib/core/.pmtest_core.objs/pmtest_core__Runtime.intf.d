@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Event Model Pmtest_model Pmtest_trace Report

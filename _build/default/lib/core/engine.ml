@@ -1,0 +1,301 @@
+open Pmtest_util
+open Pmtest_itree
+open Pmtest_model
+open Pmtest_trace
+
+(* Local status of a modified byte range (paper §4.4). The persist and
+   flush intervals are not stored closed/open — they are derived lazily
+   from these epochs and the current timestamp, so fences cost O(1)
+   instead of a shadow-memory sweep. *)
+type status = {
+  write_epoch : int;
+  write_loc : Loc.t;
+  flush : (int * Loc.t) option;  (* first clwb since the last write *)
+}
+
+type state = {
+  model : Model.kind;
+  mutable now : int;
+  mutable shadow : status Interval_map.t;
+  mutable excluded : unit Interval_map.t;
+  dfence_times : int Vec.t;  (* HOPS: timestamps produced by dfences *)
+  mutable log_tree : Loc.t Interval_tree.t;
+  mutable tx_depth : int;
+  mutable scope_active : bool;
+  mutable scope_writes : Loc.t Interval_map.t;
+  diags : Report.diagnostic Vec.t;
+  mutable entries : int;
+  mutable ops : int;
+  mutable checkers : int;
+}
+
+let create_state model =
+  {
+    model;
+    now = 0;
+    shadow = Interval_map.empty;
+    excluded = Interval_map.empty;
+    dfence_times = Vec.create ();
+    log_tree = Interval_tree.empty;
+    tx_depth = 0;
+    scope_active = false;
+    scope_writes = Interval_map.empty;
+    diags = Vec.create ();
+    entries = 0;
+    ops = 0;
+    checkers = 0;
+  }
+
+let diag st kind loc fmt =
+  Format.kasprintf (fun message -> Vec.push st.diags { Report.kind; loc; message }) fmt
+
+(* Smallest recorded dfence timestamp strictly greater than [epoch]. *)
+let first_dfence_after times epoch =
+  let n = Vec.length times in
+  let rec search lo hi =
+    if lo >= hi then if lo < n then Some (Vec.get times lo) else None
+    else
+      let mid = (lo + hi) / 2 in
+      if Vec.get times mid > epoch then search lo mid else search (mid + 1) hi
+  in
+  search 0 n
+
+let persist_interval st s =
+  match st.model with
+  | Model.X86 -> begin
+    match s.flush with
+    | Some (fe, _) when st.now > fe -> Interval.make ~lo:s.write_epoch ~hi:(fe + 1)
+    | Some _ | None -> Interval.make_open s.write_epoch
+  end
+  | Model.Hops -> begin
+    match first_dfence_after st.dfence_times s.write_epoch with
+    | Some d -> Interval.make ~lo:s.write_epoch ~hi:d
+    | None -> Interval.make_open s.write_epoch
+  end
+  | Model.Eadr ->
+    (* The cache is persistent: a store is durable the instant it executes
+       and stores persist in program order, so every write gets its own
+       unit-width, already-closed interval (epochs advance per write). *)
+    Interval.make ~lo:(s.write_epoch - 1) ~hi:s.write_epoch
+
+let flush_interval st s =
+  match s.flush with
+  | None -> None
+  | Some (fe, _) ->
+    Some (if st.now > fe then Interval.make ~lo:fe ~hi:(fe + 1) else Interval.make_open fe)
+
+let effective_subranges ~excluded ~addr ~size =
+  let lo = addr and hi = addr + size in
+  let holes = Interval_map.overlapping excluded ~lo ~hi in
+  let rec walk cursor = function
+    | [] -> if cursor < hi then [ (cursor, hi) ] else []
+    | (k, h, ()) :: rest ->
+      let gap = if k > cursor then [ (cursor, k) ] else [] in
+      gap @ walk (max cursor h) rest
+  in
+  walk lo holes
+
+let on_write st loc ~addr ~size =
+  (* Under eADR each store is its own ordering point. *)
+  if st.model = Model.Eadr then st.now <- st.now + 1;
+  let subranges = effective_subranges ~excluded:st.excluded ~addr ~size in
+  List.iter
+    (fun (lo, hi) ->
+      if st.tx_depth > 0 && st.scope_active && not (Interval_tree.covered st.log_tree ~lo ~hi)
+      then
+        diag st Report.Missing_log loc
+          "persistent object [0x%x,+%d) modified inside a transaction without a backup log entry"
+          lo (hi - lo);
+      st.shadow <-
+        Interval_map.set st.shadow ~lo ~hi { write_epoch = st.now; write_loc = loc; flush = None };
+      if st.scope_active then st.scope_writes <- Interval_map.set st.scope_writes ~lo ~hi loc)
+    subranges
+
+let on_clwb st loc ~addr ~size =
+  let unnecessary = ref false and duplicate = ref false in
+  let subranges = effective_subranges ~excluded:st.excluded ~addr ~size in
+  List.iter
+    (fun (lo, hi) ->
+      st.shadow <-
+        Interval_map.update_range st.shadow ~lo ~hi ~f:(function
+          | None ->
+            (* Writing back a location that was never modified. *)
+            unnecessary := true;
+            None
+          | Some s -> begin
+            match s.flush with
+            | None -> Some { s with flush = Some (st.now, loc) }
+            | Some _ ->
+              (* A writeback is already pending or complete for this
+                 write: the second clwb is redundant. *)
+              duplicate := true;
+              Some s
+          end))
+    subranges;
+  if !unnecessary then
+    diag st Report.Unnecessary_writeback loc "writeback of unmodified data at [0x%x,+%d)" addr
+      size;
+  if !duplicate then
+    diag st Report.Duplicate_writeback loc
+      "persistent object [0x%x,+%d) written back more than once" addr size
+
+let statuses_in st ~addr ~size =
+  List.concat_map
+    (fun (lo, hi) -> Interval_map.overlapping st.shadow ~lo ~hi)
+    (effective_subranges ~excluded:st.excluded ~addr ~size)
+
+let on_is_persist st loc ~addr ~size =
+  let offending =
+    List.find_opt
+      (fun (_, _, s) -> not (Interval.ends_by (persist_interval st s) st.now))
+      (statuses_in st ~addr ~size)
+  in
+  match offending with
+  | None -> ()
+  | Some (lo, hi, s) ->
+    diag st Report.Not_persisted loc
+      "isPersist(0x%x,%d): write at %s to [0x%x,+%d) has persist interval %a at timestamp %d"
+      addr size (Loc.to_string s.write_loc) lo (hi - lo) Interval.pp (persist_interval st s)
+      st.now
+
+let on_is_ordered_before st loc ~a_addr ~a_size ~b_addr ~b_size =
+  let a_statuses = statuses_in st ~addr:a_addr ~size:a_size in
+  let b_statuses = statuses_in st ~addr:b_addr ~size:b_size in
+  let violation =
+    List.find_map
+      (fun (alo, ahi, sa) ->
+        let ia = persist_interval st sa in
+        List.find_map
+          (fun (blo, bhi, sb) ->
+            let ib = persist_interval st sb in
+            let ordered =
+              match st.model with
+              | Model.X86 | Model.Eadr -> Interval.ordered_before ia ib
+              | Model.Hops -> Interval.starts_before ia ib
+            in
+            if ordered then None else Some ((alo, ahi, sa, ia), (blo, bhi, sb, ib)))
+          b_statuses)
+      a_statuses
+  in
+  match violation with
+  | None -> ()
+  | Some ((alo, _, sa, ia), (blo, _, sb, ib)) ->
+    diag st Report.Not_ordered loc
+      "isOrderedBefore: write at %s to 0x%x %a may not persist before write at %s to 0x%x %a"
+      (Loc.to_string sa.write_loc) alo Interval.pp ia (Loc.to_string sb.write_loc) blo
+      Interval.pp ib
+
+let on_tx_add st loc ~addr ~size =
+  let lo = addr and hi = addr + size in
+  if (not (Interval_tree.is_empty st.log_tree)) && Interval_tree.covered st.log_tree ~lo ~hi
+  then
+    diag st Report.Duplicate_log loc "persistent object [0x%x,+%d) logged more than once" addr
+      size;
+  st.log_tree <- Interval_tree.add st.log_tree ~lo ~hi loc
+
+let on_tx_checker_end st loc =
+  if st.tx_depth > 0 then
+    diag st Report.Incomplete_tx loc "transaction still open at TX_CHECKER_END";
+  Interval_map.iter
+    (fun lo hi wloc ->
+      List.iter
+        (fun (slo, shi) ->
+          List.iter
+            (fun (_, _, s) ->
+              if not (Interval.ends_by (persist_interval st s) st.now) then
+                diag st Report.Incomplete_tx loc
+                  "transaction update at %s to [0x%x,+%d) not persisted when the transaction \
+                   checker scope ends (persist interval %a, timestamp %d)"
+                  (Loc.to_string wloc) slo (shi - slo) Interval.pp (persist_interval st s)
+                  st.now)
+            (Interval_map.overlapping st.shadow ~lo:slo ~hi:shi))
+        (effective_subranges ~excluded:st.excluded ~addr:lo ~size:(hi - lo)))
+    st.scope_writes;
+  st.scope_active <- false;
+  st.scope_writes <- Interval_map.empty
+
+let on_op st loc op =
+  st.ops <- st.ops + 1;
+  if not (Model.valid_op st.model op) then
+    diag st Report.Invalid_op loc "operation %a is not part of the %s persistency model"
+      Model.pp_op op (Model.kind_name st.model)
+  else begin
+    match op with
+    | Model.Write { addr; size } -> on_write st loc ~addr ~size
+    | Model.Clwb { addr; size } ->
+      if st.model = Model.Eadr then
+        (* The persistence domain includes the caches: any writeback is
+           pure overhead on this platform. *)
+        diag st Report.Unnecessary_writeback loc
+          "writeback of [0x%x,+%d) is redundant under eADR (caches are persistent)" addr size
+      else on_clwb st loc ~addr ~size
+    | Model.Sfence -> if st.model <> Model.Eadr then st.now <- st.now + 1
+    | Model.Ofence -> st.now <- st.now + 1
+    | Model.Dfence ->
+      st.now <- st.now + 1;
+      Vec.push st.dfence_times st.now
+  end
+
+let on_entry st (e : Event.t) =
+  st.entries <- st.entries + 1;
+  let loc = e.loc in
+  match e.kind with
+  | Event.Op op -> on_op st loc op
+  | Event.Checker c -> begin
+    st.checkers <- st.checkers + 1;
+    match c with
+    | Event.Is_persist { addr; size } -> on_is_persist st loc ~addr ~size
+    | Event.Is_ordered_before { a_addr; a_size; b_addr; b_size } ->
+      on_is_ordered_before st loc ~a_addr ~a_size ~b_addr ~b_size
+  end
+  | Event.Tx tx -> begin
+    match tx with
+    | Event.Tx_begin ->
+      if st.tx_depth = 0 then st.log_tree <- Interval_tree.empty;
+      st.tx_depth <- st.tx_depth + 1
+    | Event.Tx_add { addr; size } -> on_tx_add st loc ~addr ~size
+    | Event.Tx_commit | Event.Tx_abort ->
+      st.tx_depth <- max 0 (st.tx_depth - 1);
+      if st.tx_depth = 0 then st.log_tree <- Interval_tree.empty
+    | Event.Tx_checker_start ->
+      st.scope_active <- true;
+      st.scope_writes <- Interval_map.empty
+    | Event.Tx_checker_end -> on_tx_checker_end st loc
+  end
+  | Event.Control c -> begin
+    match c with
+    | Event.Exclude { addr; size } ->
+      st.excluded <- Interval_map.set st.excluded ~lo:addr ~hi:(addr + size) ()
+    | Event.Include { addr; size } ->
+      st.excluded <- Interval_map.clear st.excluded ~lo:addr ~hi:(addr + size)
+  end
+
+let report_of st =
+  {
+    Report.diagnostics = Vec.to_list st.diags;
+    entries = st.entries;
+    ops = st.ops;
+    checkers = st.checkers;
+  }
+
+let check ?(model = Model.X86) entries =
+  let st = create_state model in
+  Array.iter (on_entry st) entries;
+  report_of st
+
+type range_status = { lo : int; hi : int; persist : Interval.t; flush : Interval.t option }
+type snapshot = { timestamp : int; ranges : range_status list }
+
+let check_with_snapshot ?(model = Model.X86) entries =
+  let st = create_state model in
+  Array.iter (on_entry st) entries;
+  let ranges =
+    List.rev
+      (Interval_map.fold
+         (fun lo hi s acc ->
+           { lo; hi; persist = persist_interval st s; flush = flush_interval st s } :: acc)
+         st.shadow [])
+  in
+  (report_of st, { timestamp = st.now; ranges })
+
+let shadow_cardinality_of snap = List.length snap.ranges

@@ -1,0 +1,50 @@
+(** The PMTest checking engine (paper §4.4).
+
+    The engine walks a trace once, maintaining a shadow memory keyed by
+    byte range. Each modified range carries the epoch of its last write
+    and, under x86, the epoch of the first [clwb] since that write; from
+    those and the global timestamp the {e persist interval} — the epoch
+    range in which the write may become durable — is derived on demand:
+
+    - x86 (§4.4): a write's interval opens at its epoch and closes at the
+      first [sfence] that follows a covering [clwb];
+    - HOPS (§5.2): it closes at the first [dfence] after the write
+      ([ofence] advances the epoch without persisting anything).
+
+    Checking rules: [isPersist] holds iff the interval ends by the current
+    timestamp; [isOrderedBefore a b] holds iff (x86) no interval of [a]
+    overlaps one of [b], or (HOPS) every interval of [a] starts strictly
+    before every interval of [b].
+
+    Trace sections sent via [PMTest_SEND_TRACE] are independent (§4.4):
+    each {!check} call starts from fresh shadow state, which is what lets
+    the runtime fan sections out to worker threads. *)
+
+open Pmtest_itree
+open Pmtest_model
+open Pmtest_trace
+
+val check : ?model:Model.kind -> Event.t array -> Report.t
+(** Validate one trace section. Defaults to the x86 persistency model. *)
+
+(** {1 Introspection for tests and examples} *)
+
+type range_status = {
+  lo : int;
+  hi : int;
+  persist : Interval.t;  (** When the last write to this range may persist. *)
+  flush : Interval.t option;  (** When its writeback may complete (x86). *)
+}
+
+type snapshot = { timestamp : int; ranges : range_status list }
+
+val check_with_snapshot : ?model:Model.kind -> Event.t array -> Report.t * snapshot
+(** Like {!check} but also returns the shadow-memory state after the last
+    entry — the persist-interval table of the paper's Fig. 7. *)
+
+val shadow_cardinality_of : snapshot -> int
+
+(** {1 Re-exports used by the property tests} *)
+
+val effective_subranges : excluded:unit Interval_map.t -> addr:int -> size:int -> (int * int) list
+(** The sub-ranges of [\[addr, addr+size)] that are not excluded. *)

@@ -1,0 +1,131 @@
+open Pmtest_util
+open Pmtest_model
+open Pmtest_trace
+open Pmtest_itree
+
+type t = {
+  runtime : Runtime.t;
+  builders : (int, Builder.t) Hashtbl.t;
+  vars : (string, int * int) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable tracking : bool;
+  (* Exclusions outlive trace sections: the engine checks each section
+     independently, so the active exclusion set is re-announced at the
+     head of every section sent to the workers. *)
+  mutable excluded : unit Interval_map.t;
+}
+
+let init ?(model = Model.X86) ?(workers = 1) () =
+  let t =
+    {
+      runtime = Runtime.create ~workers ~model ();
+      builders = Hashtbl.create 8;
+      vars = Hashtbl.create 16;
+      mutex = Mutex.create ();
+      tracking = true;
+      excluded = Interval_map.empty;
+    }
+  in
+  Hashtbl.replace t.builders 0 (Builder.create ~thread:0 ());
+  t
+
+let model t = Runtime.model t.runtime
+let worker_count t = Runtime.worker_count t.runtime
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let builder t thread =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.builders thread with
+      | Some b -> b
+      | None ->
+        let b = Builder.create ~thread () in
+        Builder.set_enabled b t.tracking;
+        Hashtbl.replace t.builders thread b;
+        b)
+
+let thread_init t ~thread = ignore (builder t thread)
+
+let start t =
+  with_lock t (fun () ->
+      t.tracking <- true;
+      Hashtbl.iter (fun _ b -> Builder.set_enabled b true) t.builders)
+
+let stop t =
+  with_lock t (fun () ->
+      t.tracking <- false;
+      Hashtbl.iter (fun _ b -> Builder.set_enabled b false) t.builders)
+
+let tracking t = t.tracking
+
+let sink ?(thread = 0) t = Builder.sink (builder t thread)
+
+let emit ?(thread = 0) ?(loc = Loc.none) t kind = Builder.emit (builder t thread) kind loc
+
+let exclude ?thread ?loc t ~addr ~size =
+  emit ?thread ?loc t (Event.Control (Event.Exclude { addr; size }))
+
+let include_ ?thread ?loc t ~addr ~size =
+  emit ?thread ?loc t (Event.Control (Event.Include { addr; size }))
+
+let reg_var t name ~addr ~size = with_lock t (fun () -> Hashtbl.replace t.vars name (addr, size))
+let unreg_var t name = with_lock t (fun () -> Hashtbl.remove t.vars name)
+let get_var t name = with_lock t (fun () -> Hashtbl.find_opt t.vars name)
+
+let note_control t = function
+  | Event.Exclude { addr; size } ->
+    t.excluded <- Interval_map.set t.excluded ~lo:addr ~hi:(addr + size) ()
+  | Event.Include { addr; size } ->
+    t.excluded <- Interval_map.clear t.excluded ~lo:addr ~hi:(addr + size)
+
+let send_trace ?(thread = 0) t =
+  let b = builder t thread in
+  let section = Builder.take b in
+  if Array.length section > 0 then begin
+    let preamble =
+      with_lock t (fun () ->
+          let controls =
+            List.rev
+              (Interval_map.fold
+                 (fun lo hi () acc ->
+                   Event.make ~thread (Event.Control (Event.Exclude { addr = lo; size = hi - lo }))
+                   :: acc)
+                 t.excluded [])
+          in
+          (* Update the live exclusion set from this section's controls so
+             the next section starts from the right scope. *)
+          Array.iter
+            (fun (e : Event.t) ->
+              match e.Event.kind with Event.Control c -> note_control t c | _ -> ())
+            section;
+          controls)
+    in
+    let section =
+      if preamble = [] then section else Array.append (Array.of_list preamble) section
+    in
+    Runtime.send_trace t.runtime section
+  end
+
+let get_result t = Runtime.get_result t.runtime
+let section_length ?(thread = 0) t = Builder.length (builder t thread)
+
+let is_persist ?thread ?loc t ~addr ~size =
+  emit ?thread ?loc t (Event.Checker (Event.Is_persist { addr; size }))
+
+let is_persist_var ?thread ?loc t name =
+  match get_var t name with
+  | None -> raise Not_found
+  | Some (addr, size) -> is_persist ?thread ?loc t ~addr ~size
+
+let is_ordered_before ?thread ?loc t ~a_addr ~a_size ~b_addr ~b_size =
+  emit ?thread ?loc t (Event.Checker (Event.Is_ordered_before { a_addr; a_size; b_addr; b_size }))
+
+let tx_checker_start ?thread ?loc t = emit ?thread ?loc t (Event.Tx Event.Tx_checker_start)
+let tx_checker_end ?thread ?loc t = emit ?thread ?loc t (Event.Tx Event.Tx_checker_end)
+
+let finish t =
+  let threads = with_lock t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.builders []) in
+  List.iter (fun thread -> send_trace ~thread t) threads;
+  Runtime.shutdown t.runtime

@@ -1,0 +1,93 @@
+(** The PMTest programmer interface (paper Table 2).
+
+    A {e session} owns per-thread trace builders, the variable registry and
+    the worker runtime. The function names map onto the paper's C API:
+
+    {v
+    PMTest_INIT          init          PMTest_EXCLUDE       exclude
+    PMTest_EXIT          finish        PMTest_INCLUDE       include_
+    PMTest_THREAD_INIT   thread_init   PMTest_REG_VAR       reg_var
+    PMTest_START         start         PMTest_UNREG_VAR     unreg_var
+    PMTest_END           stop          PMTest_GET_VAR       get_var
+    PMTest_SEND_TRACE    send_trace    isPersist            is_persist
+    PMTest_GET_RESULT    get_result    isOrderedBefore      is_ordered_before
+    TX_CHECKER_START     tx_checker_start
+    TX_CHECKER_END       tx_checker_end
+    v}
+
+    Typical use mirrors Fig. 6: create a session, hand {!sink} to the
+    instrumented program (or call the emission functions directly), place
+    checkers, send completed sections with {!send_trace}, and read the
+    verdict with {!get_result} or {!finish}. *)
+
+open Pmtest_util
+open Pmtest_model
+open Pmtest_trace
+
+type t
+
+val init : ?model:Model.kind -> ?workers:int -> unit -> t
+(** Create a session. [workers] is the size of the checking pool
+    (default 1; [0] checks synchronously inside [send_trace]). *)
+
+val finish : t -> Report.t
+(** Send any unfinished sections, drain the workers, shut the runtime
+    down and return the final report. *)
+
+val model : t -> Model.kind
+val worker_count : t -> int
+
+(** {1 Threads and tracking scope} *)
+
+val thread_init : t -> thread:int -> unit
+(** Register a program thread; a builder is created for it. Thread 0 is
+    pre-registered. *)
+
+val start : t -> unit
+(** Enable tracking ([PMTest_START]); tracking starts enabled. *)
+
+val stop : t -> unit
+(** Disable tracking ([PMTest_END]); entries emitted while disabled are
+    dropped. *)
+
+val tracking : t -> bool
+
+val sink : ?thread:int -> t -> Sink.t
+(** The session viewed as an instrumentation sink for the given thread. *)
+
+(** {1 Persistent objects} *)
+
+val exclude : ?thread:int -> ?loc:Loc.t -> t -> addr:int -> size:int -> unit
+val include_ : ?thread:int -> ?loc:Loc.t -> t -> addr:int -> size:int -> unit
+
+val reg_var : t -> string -> addr:int -> size:int -> unit
+(** Register a named persistent variable so its address can be recovered
+    outside the scope where it was declared. *)
+
+val unreg_var : t -> string -> unit
+val get_var : t -> string -> (int * int) option
+
+(** {1 Communication} *)
+
+val send_trace : ?thread:int -> t -> unit
+(** Hand the thread's current section to the checking pool and start a
+    fresh one. *)
+
+val get_result : t -> Report.t
+(** Block until everything sent so far has been checked. Does {e not}
+    send the current sections — call {!send_trace} or {!finish} first. *)
+
+val section_length : ?thread:int -> t -> int
+
+(** {1 Checkers} *)
+
+val is_persist : ?thread:int -> ?loc:Loc.t -> t -> addr:int -> size:int -> unit
+val is_persist_var : ?thread:int -> ?loc:Loc.t -> t -> string -> unit
+(** Checker on a variable registered with {!reg_var}; raises [Not_found]
+    if the name is unknown. *)
+
+val is_ordered_before :
+  ?thread:int -> ?loc:Loc.t -> t -> a_addr:int -> a_size:int -> b_addr:int -> b_size:int -> unit
+
+val tx_checker_start : ?thread:int -> ?loc:Loc.t -> t -> unit
+val tx_checker_end : ?thread:int -> ?loc:Loc.t -> t -> unit

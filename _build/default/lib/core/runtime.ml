@@ -1,0 +1,119 @@
+open Pmtest_model
+open Pmtest_trace
+
+type msg = Task of Event.t array | Stop
+
+type worker = { queue : msg Queue.t; mutex : Mutex.t; nonempty : Condition.t }
+
+type t = {
+  model : Model.kind;
+  workers : worker array;
+  mutable domains : unit Domain.t array;
+  mutable next : int;
+  (* All fields below are guarded by [agg_mutex]. *)
+  agg_mutex : Mutex.t;
+  drained : Condition.t;
+  mutable aggregate : Report.t;
+  mutable dispatched : int;
+  mutable completed : int;
+  mutable stopped : bool;
+}
+
+let post w msg =
+  Mutex.lock w.mutex;
+  Queue.push msg w.queue;
+  Condition.signal w.nonempty;
+  Mutex.unlock w.mutex
+
+let take w =
+  Mutex.lock w.mutex;
+  while Queue.is_empty w.queue do
+    Condition.wait w.nonempty w.mutex
+  done;
+  let msg = Queue.pop w.queue in
+  Mutex.unlock w.mutex;
+  msg
+
+let complete t report =
+  Mutex.lock t.agg_mutex;
+  t.aggregate <- Report.merge t.aggregate report;
+  t.completed <- t.completed + 1;
+  Condition.broadcast t.drained;
+  Mutex.unlock t.agg_mutex
+
+let rec worker_loop t w =
+  match take w with
+  | Stop -> ()
+  | Task entries ->
+    complete t (Engine.check ~model:t.model entries);
+    worker_loop t w
+
+let create ?(workers = 1) ?(model = Model.X86) () =
+  if workers < 0 then invalid_arg "Runtime.create: negative worker count";
+  let mk_worker () = { queue = Queue.create (); mutex = Mutex.create (); nonempty = Condition.create () } in
+  let pool = Array.init workers (fun _ -> mk_worker ()) in
+  let t =
+    {
+      model;
+      workers = pool;
+      domains = [||];
+      next = 0;
+      agg_mutex = Mutex.create ();
+      drained = Condition.create ();
+      aggregate = Report.empty;
+      dispatched = 0;
+      completed = 0;
+      stopped = false;
+    }
+  in
+  t.domains <- Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w)) pool;
+  t
+
+let worker_count t = Array.length t.workers
+let model t = t.model
+
+let send_trace t entries =
+  Mutex.lock t.agg_mutex;
+  if t.stopped then begin
+    Mutex.unlock t.agg_mutex;
+    invalid_arg "Runtime.send_trace: runtime already shut down"
+  end;
+  t.dispatched <- t.dispatched + 1;
+  Mutex.unlock t.agg_mutex;
+  if Array.length t.workers = 0 then complete t (Engine.check ~model:t.model entries)
+  else begin
+    (* Round-robin dispatch, as the paper's master thread does. *)
+    let w = t.workers.(t.next mod Array.length t.workers) in
+    t.next <- t.next + 1;
+    post w (Task entries)
+  end
+
+let get_result t =
+  Mutex.lock t.agg_mutex;
+  while t.completed < t.dispatched do
+    Condition.wait t.drained t.agg_mutex
+  done;
+  let r = t.aggregate in
+  Mutex.unlock t.agg_mutex;
+  r
+
+let pending t =
+  Mutex.lock t.agg_mutex;
+  let n = t.dispatched - t.completed in
+  Mutex.unlock t.agg_mutex;
+  n
+
+let shutdown t =
+  let already_stopped =
+    Mutex.lock t.agg_mutex;
+    let s = t.stopped in
+    t.stopped <- true;
+    Mutex.unlock t.agg_mutex;
+    s
+  in
+  let r = get_result t in
+  if not already_stopped then begin
+    Array.iter (fun w -> post w Stop) t.workers;
+    Array.iter Domain.join t.domains
+  end;
+  r

@@ -1,0 +1,38 @@
+(** Decoupled trace checking (paper §3.2, §4.4 Fig. 8).
+
+    The program under test keeps executing while a master dispatches
+    completed trace sections round-robin to a pool of worker threads, each
+    of which runs the {!Engine} on its section independently and merges the
+    resulting report into the session aggregate. [get_result] implements
+    [PMTest_GET_RESULT]: it blocks until every dispatched section has been
+    tested.
+
+    With [~workers:0] checking runs synchronously inside [send_trace] —
+    used by deterministic tests and by the overhead-breakdown experiment
+    (checking cost on the critical path vs. decoupled). *)
+
+open Pmtest_model
+open Pmtest_trace
+
+type t
+
+val create : ?workers:int -> ?model:Model.kind -> unit -> t
+(** [create ~workers ()] spawns that many checking domains (default 1). *)
+
+val worker_count : t -> int
+val model : t -> Model.kind
+
+val send_trace : t -> Event.t array -> unit
+(** Queue a section for checking. Raises [Invalid_argument] after
+    {!shutdown}. *)
+
+val get_result : t -> Report.t
+(** Block until all sections dispatched so far are checked; returns the
+    aggregate report. *)
+
+val pending : t -> int
+(** Sections dispatched but not yet checked (for tests). *)
+
+val shutdown : t -> Report.t
+(** Drain, stop the workers, join their domains, and return the final
+    aggregate. Idempotent. *)

@@ -1,0 +1,1 @@
+lib/crashtest/crashtest.ml: Bytes Format List Pmtest_pmem Pmtest_trace Pmtest_util Printexc Rng

@@ -1,0 +1,1 @@
+lib/crashtest/crashtest.mli: Format Pmtest_pmem Pmtest_trace

@@ -1,0 +1,155 @@
+open Pmtest_util
+module Machine = Pmtest_pmem.Machine
+
+type config = {
+  samples_per_point : int;
+  exhaustive_limit : int;
+  seed : int;
+  max_failures : int;
+}
+
+let default_config = { samples_per_point = 24; exhaustive_limit = 256; seed = 0xC4A5; max_failures = 8 }
+
+type failure = { crash_point : int; message : string }
+
+type verdict = {
+  crash_points : int;
+  images_tested : int;
+  exhaustive_points : int;
+  failures : failure list;
+}
+
+let survived v = v.failures = []
+
+let run ?(config = default_config) ~machine ~recover ~steps ~step () =
+  if not (Machine.track_versions machine) then
+    invalid_arg "Crashtest.run: machine must be created with ~track_versions:true";
+  let rng = Rng.create config.seed in
+  let crash_points = ref 0 in
+  let images = ref 0 in
+  let exhaustive_points = ref 0 in
+  let failures = ref [] in
+  let try_image point img =
+    incr images;
+    let outcome =
+      match recover (Bytes.copy img) with
+      | Ok () -> None
+      | Error message -> Some message
+      | exception e -> Some ("recovery raised " ^ Printexc.to_string e)
+    in
+    match outcome with
+    | None -> ()
+    | Some message ->
+      if List.length !failures < config.max_failures then
+        failures := { crash_point = point; message } :: !failures
+  in
+  let inject point =
+    incr crash_points;
+    if Machine.crash_state_count machine <= float_of_int config.exhaustive_limit then begin
+      incr exhaustive_points;
+      ignore
+        (Machine.iter_crash_states ~limit:config.exhaustive_limit machine (try_image point))
+    end
+    else
+      for _ = 1 to config.samples_per_point do
+        try_image point (Machine.sample_crash_state machine rng)
+      done
+  in
+  inject (-1);
+  for i = 0 to steps - 1 do
+    step i;
+    if List.length !failures < config.max_failures then inject i
+  done;
+  {
+    crash_points = !crash_points;
+    images_tested = !images;
+    exhaustive_points = !exhaustive_points;
+    failures = List.rev !failures;
+  }
+
+type live = {
+  l_machine : Machine.t;
+  l_recover : bytes -> (unit, string) result;
+  l_config : config;
+  l_rng : Rng.t;
+  mutable l_ops : int;
+  mutable l_crash_points : int;
+  mutable l_images : int;
+  mutable l_exhaustive : int;
+  mutable l_failures : failure list;
+}
+
+let live_inject l =
+  if List.length l.l_failures < l.l_config.max_failures then begin
+    l.l_crash_points <- l.l_crash_points + 1;
+    let try_image img =
+      l.l_images <- l.l_images + 1;
+      let outcome =
+        match l.l_recover (Bytes.copy img) with
+        | Ok () -> None
+        | Error message -> Some message
+        | exception e -> Some ("recovery raised " ^ Printexc.to_string e)
+      in
+      match outcome with
+      | None -> ()
+      | Some message ->
+        if List.length l.l_failures < l.l_config.max_failures then
+          l.l_failures <- { crash_point = l.l_ops; message } :: l.l_failures
+    in
+    if Machine.crash_state_count l.l_machine <= float_of_int l.l_config.exhaustive_limit then begin
+      l.l_exhaustive <- l.l_exhaustive + 1;
+      ignore (Machine.iter_crash_states ~limit:l.l_config.exhaustive_limit l.l_machine try_image)
+    end
+    else
+      for _ = 1 to l.l_config.samples_per_point do
+        try_image (Machine.sample_crash_state l.l_machine l.l_rng)
+      done
+  end
+
+let attach ?(config = default_config) ?(every = 4) ~machine ~recover () =
+  if not (Machine.track_versions machine) then
+    invalid_arg "Crashtest.attach: machine must be created with ~track_versions:true";
+  if every <= 0 then invalid_arg "Crashtest.attach: every must be positive";
+  let l =
+    {
+      l_machine = machine;
+      l_recover = recover;
+      l_config = config;
+      l_rng = Rng.create config.seed;
+      l_ops = 0;
+      l_crash_points = 0;
+      l_images = 0;
+      l_exhaustive = 0;
+      l_failures = [];
+    }
+  in
+  let emit kind _loc =
+    match (kind : Pmtest_trace.Event.kind) with
+    | Pmtest_trace.Event.Op _ ->
+      l.l_ops <- l.l_ops + 1;
+      if l.l_ops mod every = 0 then live_inject l
+    | _ -> ()
+  in
+  (l, { Pmtest_trace.Sink.emit })
+
+let live_verdict l =
+  live_inject l;
+  {
+    crash_points = l.l_crash_points;
+    images_tested = l.l_images;
+    exhaustive_points = l.l_exhaustive;
+    failures = List.rev l.l_failures;
+  }
+
+let pp_verdict ppf v =
+  if survived v then
+    Format.fprintf ppf "survived %d crash points (%d durable images tested, %d exhaustive)"
+      v.crash_points v.images_tested v.exhaustive_points
+  else begin
+    Format.fprintf ppf "@[<v>%d violation(s) over %d images:" (List.length v.failures)
+      v.images_tested;
+    List.iter
+      (fun f -> Format.fprintf ppf "@,  after step %d: %s" f.crash_point f.message)
+      v.failures;
+    Format.fprintf ppf "@]"
+  end

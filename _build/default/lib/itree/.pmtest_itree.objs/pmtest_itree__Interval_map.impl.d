@@ -1,0 +1,1 @@
+lib/itree/interval_map.ml: Int List Map Seq

@@ -1,0 +1,1 @@
+lib/itree/interval_tree.ml: Int List

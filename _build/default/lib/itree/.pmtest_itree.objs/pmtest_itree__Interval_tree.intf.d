@@ -1,0 +1,1 @@
+lib/itree/interval_tree.mli:

@@ -1,0 +1,106 @@
+module M = Map.Make (Int)
+
+(* Keyed by interval start; each binding [lo -> (hi, v)] stands for the
+   half-open range [lo, hi). Invariant: hi > lo and stored ranges are
+   pairwise disjoint (adjacent ranges with equal values are NOT merged;
+   [equal] compares denotations so fragmentation is unobservable). *)
+type 'a t = (int * 'a) M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+let cardinal = M.cardinal
+
+let check_range name lo hi = if lo >= hi then invalid_arg ("Interval_map." ^ name ^ ": empty range")
+
+(* All stored intervals intersecting [lo, hi), unclipped. *)
+let raw_overlapping t ~lo ~hi =
+  let start =
+    match M.find_last_opt (fun k -> k <= lo) t with
+    | Some (k, (h, _)) when h > lo -> k
+    | _ -> lo
+  in
+  let seq = M.to_seq_from start t in
+  let rec collect acc seq =
+    match seq () with
+    | Seq.Nil -> List.rev acc
+    | Seq.Cons ((k, (h, v)), rest) ->
+      if k >= hi then List.rev acc
+      else if h <= lo then collect acc rest
+      else collect ((k, h, v) :: acc) rest
+  in
+  collect [] seq
+
+let clear t ~lo ~hi =
+  check_range "clear" lo hi;
+  let overlaps = raw_overlapping t ~lo ~hi in
+  let t = List.fold_left (fun t (k, _, _) -> M.remove k t) t overlaps in
+  List.fold_left
+    (fun t (k, h, v) ->
+      let t = if k < lo then M.add k (lo, v) t else t in
+      if h > hi then M.add hi (h, v) t else t)
+    t overlaps
+
+let set t ~lo ~hi v =
+  check_range "set" lo hi;
+  M.add lo (hi, v) (clear t ~lo ~hi)
+
+let find t addr =
+  match M.find_last_opt (fun k -> k <= addr) t with
+  | Some (_, (h, v)) when h > addr -> Some v
+  | _ -> None
+
+let overlapping t ~lo ~hi =
+  check_range "overlapping" lo hi;
+  List.map (fun (k, h, v) -> (max k lo, min h hi, v)) (raw_overlapping t ~lo ~hi)
+
+let covered_by t ~lo ~hi ~f =
+  check_range "covered_by" lo hi;
+  let rec walk cursor = function
+    | [] -> cursor >= hi
+    | (k, h, v) :: rest -> if k > cursor then false else if not (f v) then false else walk (max cursor h) rest
+  in
+  walk lo (overlapping t ~lo ~hi)
+
+let covered t ~lo ~hi = covered_by t ~lo ~hi ~f:(fun _ -> true)
+
+let exists_overlap t ~lo ~hi ~f =
+  check_range "exists_overlap" lo hi;
+  List.exists (fun (_, _, v) -> f v) (overlapping t ~lo ~hi)
+
+let update_range t ~lo ~hi ~f =
+  check_range "update_range" lo hi;
+  let pieces = overlapping t ~lo ~hi in
+  (* Gaps between covered pieces, in order, so f None can fill them. *)
+  let rec segments cursor = function
+    | [] -> if cursor < hi then [ (cursor, hi, None) ] else []
+    | (k, h, v) :: rest ->
+      let gap = if k > cursor then [ (cursor, k, None) ] else [] in
+      gap @ ((k, h, Some v) :: segments h rest)
+  in
+  let t = clear t ~lo ~hi in
+  List.fold_left
+    (fun t (k, h, v) ->
+      match f v with
+      | None -> t
+      | Some v' -> M.add k (h, v') t)
+    t
+    (segments lo pieces)
+
+let iter f t = M.iter (fun k (h, v) -> f k h v) t
+let fold f t acc = M.fold (fun k (h, v) acc -> f k h v acc) t acc
+let to_list t = List.rev (fold (fun k h v acc -> (k, h, v) :: acc) t [])
+
+(* Denotational equality: walk both interval lists in lockstep, comparing
+   values over the refinement of both fragmentations. *)
+let equal eq a b =
+  let rec walk la lb =
+    match (la, lb) with
+    | [], [] -> true
+    | [], _ :: _ | _ :: _, [] -> false
+    | (ka, ha, va) :: ra, (kb, hb, vb) :: rb ->
+      if ka <> kb || not (eq va vb) then false
+      else if ha = hb then walk ra rb
+      else if ha < hb then walk ra ((ha, hb, vb) :: rb)
+      else walk ((hb, ha, va) :: ra) rb
+  in
+  walk (to_list a) (to_list b)

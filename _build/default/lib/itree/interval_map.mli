@@ -1,0 +1,56 @@
+(** Disjoint interval map: a map from half-open integer ranges [\[lo, hi)]
+    to values, where stored ranges never overlap.
+
+    This is the shadow memory of the checking engine (paper §4.4): PM writes
+    {e clear and replace} the status of the byte range they touch, so the
+    natural shape is a set of disjoint intervals that get split at write
+    boundaries. All operations are O(log n + k) where [k] is the number of
+    stored intervals intersecting the query range. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val cardinal : 'a t -> int
+(** Number of stored (maximal) intervals. *)
+
+val set : 'a t -> lo:int -> hi:int -> 'a -> 'a t
+(** [set t ~lo ~hi v] makes every address in [\[lo, hi)] map to [v],
+    splitting any previously stored interval that straddles the boundary.
+    Raises [Invalid_argument] if [lo >= hi]. *)
+
+val clear : 'a t -> lo:int -> hi:int -> 'a t
+(** [clear t ~lo ~hi] removes all bindings in [\[lo, hi)], keeping the
+    fragments of straddling intervals that lie outside the range. *)
+
+val find : 'a t -> int -> 'a option
+(** [find t addr] is the value covering [addr], if any. *)
+
+val overlapping : 'a t -> lo:int -> hi:int -> (int * int * 'a) list
+(** All stored intervals intersecting [\[lo, hi)], clipped to the query
+    range, in increasing address order. *)
+
+val covered : 'a t -> lo:int -> hi:int -> bool
+(** Whether every address in [\[lo, hi)] has a binding. *)
+
+val covered_by : 'a t -> lo:int -> hi:int -> f:('a -> bool) -> bool
+(** Whether every address in [\[lo, hi)] has a binding satisfying [f]. *)
+
+val exists_overlap : 'a t -> lo:int -> hi:int -> f:('a -> bool) -> bool
+(** Whether some stored interval intersecting [\[lo, hi)] satisfies [f]. *)
+
+val update_range : 'a t -> lo:int -> hi:int -> f:('a option -> 'a option) -> 'a t
+(** [update_range t ~lo ~hi ~f] rewrites the range: each covered sub-range
+    with value [v] becomes [f (Some v)] (removed if [None]); each gap
+    becomes [f None]. Straddling intervals are split at the boundaries. *)
+
+val iter : (int -> int -> 'a -> unit) -> 'a t -> unit
+(** Iterate over stored intervals as [(lo, hi, v)] in address order. *)
+
+val fold : (int -> int -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+val to_list : 'a t -> (int * int * 'a) list
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+(** Structural equality on the {e denotation} (address-by-address), i.e.
+    insensitive to how intervals are fragmented. *)

@@ -1,0 +1,173 @@
+(* AVL tree ordered by (lo, hi); every node is augmented with [maxhi], the
+   maximum interval endpoint in its subtree, which prunes overlap queries
+   to O(log n + k). *)
+
+type 'a t =
+  | Leaf
+  | Node of { l : 'a t; lo : int; hi : int; v : 'a; r : 'a t; h : int; maxhi : int }
+
+let empty = Leaf
+let is_empty t = t = Leaf
+
+let height = function Leaf -> 0 | Node { h; _ } -> h
+let maxhi = function Leaf -> min_int | Node { maxhi; _ } -> maxhi
+
+let rec cardinal = function Leaf -> 0 | Node { l; r; _ } -> 1 + cardinal l + cardinal r
+
+let node l lo hi v r =
+  Node
+    {
+      l;
+      lo;
+      hi;
+      v;
+      r;
+      h = 1 + max (height l) (height r);
+      maxhi = max hi (max (maxhi l) (maxhi r));
+    }
+
+let balance_factor = function Leaf -> 0 | Node { l; r; _ } -> height l - height r
+
+let rotate_left = function
+  | Node { l; lo; hi; v; r = Node { l = rl; lo = rlo; hi = rhi; v = rv; r = rr; _ }; _ } ->
+    node (node l lo hi v rl) rlo rhi rv rr
+  | t -> t
+
+let rotate_right = function
+  | Node { l = Node { l = ll; lo = llo; hi = lhi; v = lv; r = lr; _ }; lo; hi; v; r; _ } ->
+    node ll llo lhi lv (node lr lo hi v r)
+  | t -> t
+
+let rebalance t =
+  match t with
+  | Leaf -> t
+  | Node { l; lo; hi; v; r; _ } ->
+    let bf = balance_factor t in
+    if bf > 1 then
+      let l = if balance_factor l < 0 then rotate_left l else l in
+      rotate_right (node l lo hi v r)
+    else if bf < -1 then
+      let r = if balance_factor r > 0 then rotate_right r else r in
+      rotate_left (node l lo hi v r)
+    else t
+
+(* Ordering key: (lo, hi); values are not compared so equal ranges pile up
+   deterministically in the right subtree. *)
+let cmp_key alo ahi blo bhi =
+  match Int.compare alo blo with 0 -> Int.compare ahi bhi | c -> c
+
+let rec add t ~lo ~hi v =
+  if lo >= hi then invalid_arg "Interval_tree.add: empty range";
+  match t with
+  | Leaf -> node Leaf lo hi v Leaf
+  | Node n ->
+    if cmp_key lo hi n.lo n.hi < 0 then rebalance (node (add n.l ~lo ~hi v) n.lo n.hi n.v n.r)
+    else rebalance (node n.l n.lo n.hi n.v (add n.r ~lo ~hi v))
+
+let rec min_node = function
+  | Leaf -> invalid_arg "Interval_tree.min_node"
+  | Node { l = Leaf; lo; hi; v; _ } -> (lo, hi, v)
+  | Node { l; _ } -> min_node l
+
+let rec remove_min = function
+  | Leaf -> Leaf
+  | Node { l = Leaf; r; _ } -> r
+  | Node { l; lo; hi; v; r; _ } -> rebalance (node (remove_min l) lo hi v r)
+
+(* Removal must cope with duplicate keys, which rotations may scatter on
+   either side of an equal-key node, so a purely key-directed descent can
+   miss the entry. Removal is rare (the engine only unregisters variables),
+   so we afford a rebuild of the equal-key cluster: delete the leftmost
+   structural match found by an inorder scan. *)
+let rec remove_first_match t ~lo ~hi ~f =
+  match t with
+  | Leaf -> (Leaf, false)
+  | Node n ->
+    let c = cmp_key lo hi n.lo n.hi in
+    if c < 0 then
+      let l, removed = remove_first_match n.l ~lo ~hi ~f in
+      if removed then (rebalance (node l n.lo n.hi n.v n.r), true) else (t, false)
+    else if c > 0 then
+      let r, removed = remove_first_match n.r ~lo ~hi ~f in
+      if removed then (rebalance (node n.l n.lo n.hi n.v r), true) else (t, false)
+    else
+      (* Equal key: duplicates may sit in both subtrees. *)
+      let l, removed = remove_first_match n.l ~lo ~hi ~f in
+      if removed then (rebalance (node l n.lo n.hi n.v n.r), true)
+      else if f n.v then
+        match (n.l, n.r) with
+        | Leaf, r -> (r, true)
+        | l, Leaf -> (l, true)
+        | l, r ->
+          let slo, shi, sv = min_node r in
+          (rebalance (node l slo shi sv (remove_min r)), true)
+      else
+        let r, removed = remove_first_match n.r ~lo ~hi ~f in
+        if removed then (rebalance (node n.l n.lo n.hi n.v r), true) else (t, false)
+
+let remove t ~lo ~hi ~f = fst (remove_first_match t ~lo ~hi ~f)
+
+let overlaps alo ahi blo bhi = alo < bhi && blo < ahi
+
+let overlapping t ~lo ~hi =
+  if lo >= hi then invalid_arg "Interval_tree.overlapping: empty range";
+  let rec go t acc =
+    match t with
+    | Leaf -> acc
+    | Node n ->
+      if maxhi t <= lo then acc
+      else
+        (* Keys in the right subtree start at or after n.lo: skip them when
+           n.lo is already past the query. The left subtree may always hold
+           overlaps (subject to its own maxhi prune). *)
+        let acc = if n.lo < hi then go n.r acc else acc in
+        let acc = if overlaps n.lo n.hi lo hi then (n.lo, n.hi, n.v) :: acc else acc in
+        go n.l acc
+  in
+  go t []
+
+let stab t addr = overlapping t ~lo:addr ~hi:(addr + 1)
+
+(* Classic CLRS interval search: if the left subtree's max endpoint reaches
+   past [lo] yet holds no overlap, no overlap exists anywhere. *)
+let any_overlap t ~lo ~hi =
+  if lo >= hi then invalid_arg "Interval_tree.any_overlap: empty range";
+  let rec go = function
+    | Leaf -> None
+    | Node n ->
+      if overlaps n.lo n.hi lo hi then Some (n.lo, n.hi, n.v)
+      else if maxhi n.l > lo then go n.l
+      else go n.r
+  in
+  go t
+
+let covered t ~lo ~hi =
+  let pieces = overlapping t ~lo ~hi in
+  let pieces = List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) pieces in
+  let rec walk cursor = function
+    | [] -> cursor >= hi
+    | (k, h, _) :: rest -> if k > cursor then false else walk (max cursor h) rest
+  in
+  walk lo pieces
+
+let rec iter f = function
+  | Leaf -> ()
+  | Node { l; lo; hi; v; r; _ } ->
+    iter f l;
+    f lo hi v;
+    iter f r
+
+let rec fold f t acc =
+  match t with
+  | Leaf -> acc
+  | Node { l; lo; hi; v; r; _ } -> fold f r (f lo hi v (fold f l acc))
+
+let to_list t = List.rev (fold (fun lo hi v acc -> (lo, hi, v) :: acc) t [])
+
+let rec check_invariants = function
+  | Leaf -> true
+  | Node { l; hi; r; h; maxhi = m; _ } as t ->
+    abs (balance_factor t) <= 1
+    && h = 1 + max (height l) (height r)
+    && m = max hi (max (maxhi l) (maxhi r))
+    && check_invariants l && check_invariants r

@@ -1,0 +1,42 @@
+(** Augmented interval tree over half-open integer ranges [\[lo, hi)],
+    allowing {e overlapping} intervals (CLRS §14.3, on an AVL skeleton).
+
+    The engine's log tree stores one entry per [TX_ADD] call — entries may
+    overlap and each carries the source location of the call, which is what
+    the duplicate-log performance checker reports. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val cardinal : 'a t -> int
+
+val add : 'a t -> lo:int -> hi:int -> 'a -> 'a t
+(** Insert an interval; duplicates (same range, same or different value)
+    are kept as distinct entries. Raises [Invalid_argument] if [lo >= hi]. *)
+
+val remove : 'a t -> lo:int -> hi:int -> f:('a -> bool) -> 'a t
+(** Remove the first entry with exactly this range whose value satisfies
+    [f]; returns the tree unchanged if there is none. *)
+
+val stab : 'a t -> int -> (int * int * 'a) list
+(** All intervals containing the given address. *)
+
+val overlapping : 'a t -> lo:int -> hi:int -> (int * int * 'a) list
+(** All intervals intersecting [\[lo, hi)], in increasing [lo] order. *)
+
+val any_overlap : 'a t -> lo:int -> hi:int -> (int * int * 'a) option
+(** Some intersecting interval, or [None]; O(log n). *)
+
+val covered : 'a t -> lo:int -> hi:int -> bool
+(** Whether the union of stored intervals covers all of [\[lo, hi)]. *)
+
+val iter : (int -> int -> 'a -> unit) -> 'a t -> unit
+val fold : (int -> int -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+val to_list : 'a t -> (int * int * 'a) list
+
+val height : 'a t -> int
+(** Tree height (exposed for the balance property tests). *)
+
+val check_invariants : 'a t -> bool
+(** AVL balance + max-endpoint augmentation are intact (for tests). *)

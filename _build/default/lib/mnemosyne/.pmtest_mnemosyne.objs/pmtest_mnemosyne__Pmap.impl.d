@@ -1,0 +1,1 @@
+lib/mnemosyne/pmap.ml: Bytes Format Int64 List Pmtest_pmem Region String

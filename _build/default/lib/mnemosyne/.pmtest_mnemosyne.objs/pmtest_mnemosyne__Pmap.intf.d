@@ -1,0 +1,1 @@
+lib/mnemosyne/pmap.mli: Region

@@ -1,0 +1,1 @@
+lib/mnemosyne/region.ml: Bytes Int64 List Pmtest_pmem Pmtest_trace

@@ -1,0 +1,1 @@
+lib/mnemosyne/region.mli: Pmtest_pmem Pmtest_trace Sink

@@ -1,0 +1,126 @@
+(* Root (32 B): [0]=nbuckets [8]=count [16]=buckets offset [24]=value cap.
+   Bucket slots: 8 B each. Entry: [0]=key [8]=next [16]=vlen [24]=value. *)
+
+type t = { region : Region.t; root : int; nbuckets : int; buckets : int; value_cap : int }
+
+let region t = t.region
+let root_off t = t.root
+let value_cap t = t.value_cap
+let entry_size t = 24 + t.value_cap
+
+let hash t key =
+  let h = Int64.to_int (Int64.mul key 0x9E3779B97F4A7C15L) land max_int in
+  h mod t.nbuckets
+
+let create ?(buckets = 1024) ?(value_cap = 64) region =
+  let root = Region.alloc region 32 in
+  let arr = Region.alloc region (8 * buckets) in
+  (* The bucket array must be zeroed durably before use. *)
+  Region.store_bytes ~line:100 region ~off:arr (Bytes.make (8 * buckets) '\000');
+  Region.store_i64 ~line:101 region ~off:root (Int64.of_int buckets);
+  Region.store_i64 ~line:102 region ~off:(root + 8) 0L;
+  Region.store_i64 ~line:103 region ~off:(root + 16) (Int64.of_int arr);
+  Region.store_i64 ~line:104 region ~off:(root + 24) (Int64.of_int value_cap);
+  Region.persist ~line:105 region ~off:root ~size:32;
+  Region.persist ~line:106 region ~off:arr ~size:(8 * buckets);
+  { region; root; nbuckets = buckets; buckets = arr; value_cap }
+
+let open_ region ~root =
+  let geti off = Int64.to_int (Region.load_i64 region ~off) in
+  {
+    region;
+    root;
+    nbuckets = geti root;
+    buckets = geti (root + 16);
+    value_cap = geti (root + 24);
+  }
+
+let cardinal t = Int64.to_int (Region.load_i64 t.region ~off:(t.root + 8))
+let slot_of t key = t.buckets + (8 * hash t key)
+let entry_key t e = Region.load_i64 t.region ~off:e
+let entry_next t e = Int64.to_int (Region.load_i64 t.region ~off:(e + 8))
+let entry_vlen t e = Int64.to_int (Region.load_i64 t.region ~off:(e + 16))
+
+let entry_value t e = Bytes.to_string (Region.load_bytes t.region ~off:(e + 24) ~len:(entry_vlen t e))
+
+let find_entry t key =
+  let rec go e = if e = 0 then None else if entry_key t e = key then Some e else go (entry_next t e) in
+  go (Int64.to_int (Region.load_i64 t.region ~off:(slot_of t key)))
+
+let set t ~key ~value =
+  if String.length value > t.value_cap then invalid_arg "Pmap.set: value exceeds capacity";
+  Region.tx t.region (fun () ->
+      match find_entry t key with
+      | Some e ->
+        Region.store_i64 ~line:110 t.region ~off:(e + 16) (Int64.of_int (String.length value));
+        let padded = Bytes.make t.value_cap '\000' in
+        Bytes.blit_string value 0 padded 0 (String.length value);
+        Region.store_bytes ~line:111 t.region ~off:(e + 24) padded
+      | None ->
+        let slot = slot_of t key in
+        let head = Region.load_i64 t.region ~off:slot in
+        let e = Region.alloc t.region (entry_size t) in
+        Region.store_i64 ~line:112 t.region ~off:e key;
+        Region.store_i64 ~line:113 t.region ~off:(e + 8) head;
+        Region.store_i64 ~line:114 t.region ~off:(e + 16) (Int64.of_int (String.length value));
+        let padded = Bytes.make t.value_cap '\000' in
+        Bytes.blit_string value 0 padded 0 (String.length value);
+        Region.store_bytes ~line:115 t.region ~off:(e + 24) padded;
+        Region.store_i64 ~line:116 t.region ~off:slot (Int64.of_int e);
+        Region.store_i64 ~line:117 t.region ~off:(t.root + 8)
+          (Int64.of_int (cardinal t + 1)))
+
+let get t ~key =
+  match find_entry t key with None -> None | Some e -> Some (entry_value t e)
+
+let remove t ~key =
+  let slot = slot_of t key in
+  let rec find_prev prev e =
+    if e = 0 then None
+    else if entry_key t e = key then Some (prev, e)
+    else find_prev (e + 8) (entry_next t e)
+  in
+  match find_prev slot (Int64.to_int (Region.load_i64 t.region ~off:slot)) with
+  | None -> false
+  | Some (prev, e) ->
+    Region.tx t.region (fun () ->
+        Region.store_i64 ~line:120 t.region ~off:prev (Int64.of_int (entry_next t e));
+        Region.store_i64 ~line:121 t.region ~off:(t.root + 8) (Int64.of_int (cardinal t - 1)));
+    true
+
+let iter t f =
+  for b = 0 to t.nbuckets - 1 do
+    let rec go e =
+      if e <> 0 then begin
+        f (entry_key t e) (entry_value t e);
+        go (entry_next t e)
+      end
+    in
+    go (Int64.to_int (Region.load_i64 t.region ~off:(t.buckets + (8 * b))))
+  done
+
+let check_consistent t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let heap = Region.heap_start t.region in
+  let size = Pmtest_pmem.Machine.size (Region.machine t.region) in
+  let reachable = ref 0 in
+  for b = 0 to t.nbuckets - 1 do
+    let rec go e steps =
+      if steps > 1_000_000 then err "cycle suspected in bucket %d" b
+      else if e <> 0 then
+        if e < heap || e + entry_size t > size then err "entry 0x%x outside heap" e
+        else begin
+          incr reachable;
+          let k = entry_key t e in
+          if hash t k <> b then err "key %Ld in wrong bucket" k;
+          let vlen = entry_vlen t e in
+          if vlen < 0 || vlen > t.value_cap then err "entry 0x%x has bad value length %d" e vlen;
+          go (entry_next t e) (steps + 1)
+        end
+    in
+    go (Int64.to_int (Region.load_i64 t.region ~off:(t.buckets + (8 * b)))) 0
+  done;
+  if !reachable <> cardinal t then
+    err "count mismatch: %d reachable, count says %d" !reachable (cardinal t);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

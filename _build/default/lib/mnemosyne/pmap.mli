@@ -1,0 +1,24 @@
+(** Persistent chained hash map over a Mnemosyne region — the durable
+    store behind the Memcached workload (paper Table 4).
+
+    Every mutation runs inside a durable (redo-logged) region transaction.
+    Values are inline byte strings up to the capacity fixed at creation. *)
+
+type t
+
+val create : ?buckets:int -> ?value_cap:int -> Region.t -> t
+val open_ : Region.t -> root:int -> t
+
+val root_off : t -> int
+val region : t -> Region.t
+val value_cap : t -> int
+
+val set : t -> key:int64 -> value:string -> unit
+(** Insert or update. Raises [Invalid_argument] if the value exceeds the
+    capacity. *)
+
+val get : t -> key:int64 -> string option
+val remove : t -> key:int64 -> bool
+val cardinal : t -> int
+val iter : t -> (int64 -> string -> unit) -> unit
+val check_consistent : t -> (unit, string) result

@@ -1,0 +1,234 @@
+module Machine = Pmtest_pmem.Machine
+module Instr = Pmtest_pmem.Instr
+module Access = Pmtest_pmem.Access
+module Event = Pmtest_trace.Event
+
+let source_file = "mnemosyne/log.c"
+let magic = 0x4D4E454D_4F53594EL
+
+(* Header: [0]=magic [8]=size [16]=commit marker (record count; 0 = empty)
+   Log records from [log_base]: {off(8) len(8) data(len, 8-aligned)}. *)
+let off_magic = 0
+let off_marker = 16
+let log_base = 0x40
+let log_size = 1 lsl 18
+let heap_base = log_base + log_size
+
+type fault = Skip_log_flush | Skip_commit_fence | Skip_apply_writeback | Skip_log_record
+
+type t = {
+  instr : Instr.t;
+  mutable heap_top : int;
+  mutable depth : int;
+  mutable records : (int * bytes * int) list; (* off, payload, line — newest first *)
+  mutable fault : fault option;
+  mutable recovered : int;
+  mutable leaked_this_tx : bool;
+  annotate : bool;
+}
+
+let machine t = Instr.machine t.instr
+let recovered_words t = t.recovered
+let set_fault t f = t.fault <- f
+let heap_start _ = heap_base
+let tx_active t = t.depth > 0
+
+let create ?(track_versions = false) ?(size = 16 * 1024 * 1024) ~sink () =
+  if size <= heap_base then invalid_arg "Region.create: region too small";
+  let machine = Machine.create ~track_versions ~size () in
+  let instr = Instr.make ~machine ~sink ~file:source_file in
+  let t =
+    {
+      instr;
+      heap_top = heap_base;
+      depth = 0;
+      records = [];
+      fault = None;
+      recovered = 0;
+      leaked_this_tx = false;
+      annotate = true;
+    }
+  in
+  Instr.store_i64 t.instr ~line:10 ~addr:off_magic magic;
+  Instr.store_i64 t.instr ~line:11 ~addr:8 (Int64.of_int size);
+  Instr.store_i64 t.instr ~line:12 ~addr:off_marker 0L;
+  Instr.persist_barrier t.instr ~line:13 ~addr:0 ~size:24;
+  t
+
+(* Replay a committed redo log: the marker counts the records that must be
+   applied in-place. *)
+let recover t =
+  let m = machine t in
+  let n = Int64.to_int (Access.get_i64 m off_marker) in
+  if n > 0 then begin
+    let off = ref log_base in
+    for _ = 1 to n do
+      let target = Access.get_int m !off in
+      let len = Access.get_int m (!off + 8) in
+      let data = Access.get_bytes m (!off + 16) len in
+      Instr.store_bytes t.instr ~line:20 ~addr:target data;
+      Instr.clwb t.instr ~line:21 ~addr:target ~size:len;
+      off := !off + 16 + ((len + 7) land lnot 7);
+      t.recovered <- t.recovered + 1
+    done;
+    Instr.sfence t.instr ~line:22;
+    Instr.store_i64 t.instr ~line:23 ~addr:off_marker 0L;
+    Instr.persist_barrier t.instr ~line:24 ~addr:off_marker ~size:8
+  end
+
+let of_machine ~machine ~sink =
+  if Access.get_i64 machine off_magic <> magic then invalid_arg "Region.of_machine: bad magic";
+  let instr = Instr.make ~machine ~sink ~file:source_file in
+  let t =
+    {
+      instr;
+      heap_top = heap_base;
+      depth = 0;
+      records = [];
+      fault = None;
+      recovered = 0;
+      leaked_this_tx = false;
+      annotate = true;
+    }
+  in
+  recover t;
+  (* The heap bump pointer is conservative after a crash: scan is not
+     modelled, so reopenings allocate fresh space. *)
+  t.heap_top <- heap_base;
+  t
+
+let align8 n = (n + 7) land lnot 7
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Region.alloc: size must be positive";
+  let off = t.heap_top in
+  if off + align8 size > Machine.size (machine t) then raise Out_of_memory;
+  t.heap_top <- off + align8 size;
+  off
+
+let tx_begin t =
+  if t.depth = 0 then t.leaked_this_tx <- false;
+  t.depth <- t.depth + 1
+
+let load_from_records records ~off ~len =
+  (* Read-your-writes inside a transaction, at record granularity. *)
+  List.find_map
+    (fun (roff, data, _) ->
+      if roff = off && Bytes.length data = len then Some (Bytes.copy data)
+      else if roff <= off && off + len <= roff + Bytes.length data then
+        Some (Bytes.sub data (off - roff) len)
+      else None)
+    records
+
+let load_bytes t ~off ~len =
+  match if t.depth > 0 then load_from_records t.records ~off ~len else None with
+  | Some b -> b
+  | None -> Instr.load_bytes t.instr ~addr:off ~len
+
+let load_i64 t ~off =
+  let b = load_bytes t ~off ~len:8 in
+  Bytes.get_int64_le b 0
+
+let store_bytes ?(line = 30) t ~off b =
+  if t.depth > 0 then
+    if t.fault = Some Skip_log_record && not t.leaked_this_tx then begin
+      (* Unlogged store: the update leaks in place, uncovered by the redo
+         log and by the commit writebacks. *)
+      t.leaked_this_tx <- true;
+      Instr.store_bytes t.instr ~line ~addr:off b
+    end
+    else t.records <- (off, Bytes.copy b, line) :: t.records
+  else Instr.store_bytes t.instr ~line ~addr:off b
+
+let store_i64 ?(line = 31) t ~off v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  store_bytes ~line t ~off b
+
+let persist ?(line = 32) t ~off ~size = Instr.persist_barrier t.instr ~line ~addr:off ~size
+
+let is_persist ?(line = 33) t ~off ~size =
+  Instr.checker t.instr ~line Event.(Is_persist { addr = off; size })
+
+let tx_checker_start ?(line = 34) t = Instr.tx_event t.instr ~line Event.Tx_checker_start
+let tx_checker_end ?(line = 35) t = Instr.tx_event t.instr ~line Event.Tx_checker_end
+
+let commit_outermost t =
+  let records = List.rev t.records in
+  t.records <- [];
+  if records <> [] then begin
+    (* 1. Append the redo records and make them durable. *)
+    let tail = ref log_base in
+    let first_record = !tail in
+    List.iter
+      (fun (off, data, _) ->
+        let len = Bytes.length data in
+        if !tail + 16 + align8 len > log_base + log_size then failwith "Region: redo log full";
+        Instr.store_i64 t.instr ~line:40 ~addr:!tail (Int64.of_int off);
+        Instr.store_i64 t.instr ~line:41 ~addr:(!tail + 8) (Int64.of_int len);
+        Instr.store_bytes t.instr ~line:42 ~addr:(!tail + 16) data;
+        tail := !tail + 16 + align8 len)
+      records;
+    let log_len = !tail - first_record in
+    if t.fault <> Some Skip_log_flush then begin
+      Instr.clwb t.instr ~line:43 ~addr:first_record ~size:log_len;
+      Instr.sfence t.instr ~line:44
+    end;
+    if t.annotate then
+      (* The log must be durable before the commit marker can appear. *)
+      Instr.checker t.instr ~line:45 Event.(Is_persist { addr = first_record; size = log_len });
+    (* 2. Commit marker. *)
+    Instr.store_i64 t.instr ~line:46 ~addr:off_marker (Int64.of_int (List.length records));
+    if t.fault = Some Skip_commit_fence then
+      Instr.clwb t.instr ~line:47 ~addr:off_marker ~size:8
+    else Instr.persist_barrier t.instr ~line:48 ~addr:off_marker ~size:8;
+    if t.annotate then
+      Instr.checker t.instr ~line:49
+        Event.(
+          Is_ordered_before
+            { a_addr = first_record; a_size = log_len; b_addr = off_marker; b_size = 8 });
+    (* 3. Apply in place and write back. *)
+    List.iter
+      (fun (off, data, line) ->
+        Instr.store_bytes t.instr ~line ~addr:off data;
+        if t.fault <> Some Skip_apply_writeback then
+          Instr.clwb t.instr ~line:50 ~addr:off ~size:(Bytes.length data))
+      records;
+    Instr.sfence t.instr ~line:51;
+    if t.annotate then begin
+      List.iter
+        (fun (off, data, _) ->
+          Instr.checker t.instr ~line:52
+            Event.(Is_persist { addr = off; size = Bytes.length data }))
+        records;
+      (* Redo logging has no undo: in-place updates may only persist once
+         the commit marker is durable, or a crash leaks uncommitted data. *)
+      List.iter
+        (fun (off, data, _) ->
+          Instr.checker t.instr ~line:55
+            Event.(
+              Is_ordered_before
+                { a_addr = off_marker; a_size = 8; b_addr = off; b_size = Bytes.length data }))
+        records
+    end;
+    (* 4. Truncate. *)
+    Instr.store_i64 t.instr ~line:53 ~addr:off_marker 0L;
+    Instr.persist_barrier t.instr ~line:54 ~addr:off_marker ~size:8
+  end
+
+let tx_commit t =
+  if t.depth = 0 then invalid_arg "Region.tx_commit: no active transaction";
+  t.depth <- t.depth - 1;
+  if t.depth = 0 then commit_outermost t
+
+let tx t f =
+  tx_begin t;
+  match f () with
+  | v ->
+    tx_commit t;
+    v
+  | exception e ->
+    (* Abort: redo records are volatile, dropping them is the rollback. *)
+    t.depth <- 0;
+    t.records <- [];
+    raise e

@@ -1,0 +1,65 @@
+(** Simulated Mnemosyne persistent region with a raw-word redo log
+    (Volos et al., ASPLOS'11 — the library under the paper's Memcached
+    workload, Fig. 2a).
+
+    Mnemosyne's durable transactions buffer word-granularity updates in a
+    per-transaction {e redo log}: on commit the log records are appended
+    and persisted ([log_append] + [log_flush]), a commit marker is
+    persisted, and only then are the in-place updates performed and
+    written back. Recovery replays the log if (and only if) the commit
+    marker is present — the mirror image of PMDK's undo logging, which is
+    why testing both exercises different checker patterns.
+
+    Layout: header | log area | heap (word-aligned bump allocator). *)
+
+open Pmtest_trace
+module Machine = Pmtest_pmem.Machine
+
+type t
+
+type fault =
+  | Skip_log_flush  (** Log records are appended but never written back. *)
+  | Skip_commit_fence  (** Commit marker is not fenced before the in-place writes. *)
+  | Skip_apply_writeback  (** In-place updates are left in the cache. *)
+  | Skip_log_record
+      (** The first store of each transaction bypasses the redo log and
+          goes straight in place — the classic unlogged-store bug. *)
+
+val source_file : string
+
+val create : ?track_versions:bool -> ?size:int -> sink:Sink.t -> unit -> t
+val of_machine : machine:Machine.t -> sink:Sink.t -> t
+(** Open an existing region, replaying a committed-but-unapplied redo log
+    if the crash left one behind. *)
+
+val machine : t -> Machine.t
+val recovered_words : t -> int
+val set_fault : t -> fault option -> unit
+
+val alloc : t -> int -> int
+(** Word-aligned allocation from the persistent heap. *)
+
+val heap_start : t -> int
+
+(** {1 Durable transactions} *)
+
+val tx_begin : t -> unit
+val tx_commit : t -> unit
+val tx_active : t -> bool
+
+val tx : t -> (unit -> 'a) -> 'a
+
+val store_i64 : ?line:int -> t -> off:int -> int64 -> unit
+(** Inside a transaction: buffered in the redo log and applied at commit.
+    Outside: direct write (the caller is responsible for persisting). *)
+
+val store_bytes : ?line:int -> t -> off:int -> bytes -> unit
+val load_i64 : t -> off:int -> int64
+val load_bytes : t -> off:int -> len:int -> bytes
+val persist : ?line:int -> t -> off:int -> size:int -> unit
+
+(** {1 Checker annotations} *)
+
+val is_persist : ?line:int -> t -> off:int -> size:int -> unit
+val tx_checker_start : ?line:int -> t -> unit
+val tx_checker_end : ?line:int -> t -> unit

@@ -1,0 +1,35 @@
+type bound = Fin of int | Inf
+type t = { lo : int; hi : bound }
+
+let make_open lo = { lo; hi = Inf }
+
+let make ~lo ~hi =
+  if hi <= lo then invalid_arg "Interval.make: hi must exceed lo";
+  { lo; hi = Fin hi }
+
+let close t e =
+  match t.hi with
+  | Fin _ -> t
+  | Inf ->
+    if e <= t.lo then invalid_arg "Interval.close: bound must exceed lo";
+    { t with hi = Fin e }
+
+let is_open t = t.hi = Inf
+
+let ends_by t now = match t.hi with Fin e -> e <= now | Inf -> false
+
+(* Intervals are open at both ends in the paper's notation: (E1, E2) and
+   (E2, E3) share only the instant E2 and therefore do not overlap. *)
+let overlaps a b =
+  let lt_bound lo hi = match hi with Inf -> true | Fin e -> lo < e in
+  lt_bound a.lo b.hi && lt_bound b.lo a.hi
+
+let ordered_before a b = match a.hi with Fin e -> e <= b.lo | Inf -> false
+let starts_before a b = a.lo < b.lo
+
+let pp ppf t =
+  match t.hi with
+  | Fin e -> Format.fprintf ppf "(%d,%d)" t.lo e
+  | Inf -> Format.fprintf ppf "(%d,inf)" t.lo
+
+let equal a b = a.lo = b.lo && a.hi = b.hi

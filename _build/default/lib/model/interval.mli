@@ -1,0 +1,48 @@
+(** Persist intervals (paper §3.1).
+
+    Execution is divided into {e epochs} separated by ordering points
+    (sfence under x86; ofence/dfence under HOPS); a global timestamp
+    increments at each such point. A persist interval [(E1, E2)] says the
+    corresponding write may become durable at any time between epoch [E1]
+    and epoch [E2]; [E2 = ∞] means nothing in the trace ever guarantees the
+    write persists. *)
+
+type bound = Fin of int | Inf
+
+type t = private { lo : int; hi : bound }
+(** Invariant: when [hi = Fin e], [e > lo]. *)
+
+val make_open : int -> t
+(** [make_open e] is [(e, ∞)]: a write issued in epoch [e]. *)
+
+val make : lo:int -> hi:int -> t
+(** Closed interval [(lo, hi)]; requires [hi > lo]. *)
+
+val close : t -> int -> t
+(** [close t e] sets the upper bound to [Fin e] (requires [e > t.lo]).
+    Closing an already-closed interval keeps the earlier bound: the first
+    enforcement is the binding one. *)
+
+val is_open : t -> bool
+
+val ends_by : t -> int -> bool
+(** [ends_by t now]: the write is guaranteed durable once the global
+    timestamp has reached [now] — i.e. [t.hi = Fin e] with [e <= now].
+    This is the [isPersist] checking rule. *)
+
+val overlaps : t -> t -> bool
+(** Whether the two intervals admit either persist order — the x86
+    [isOrderedBefore] rule fails iff the intervals overlap. Adjacent
+    intervals ((1,2) and (2,∞)) do {e not} overlap. *)
+
+val ordered_before : t -> t -> bool
+(** x86 rule: [a] is guaranteed to persist before [b] iff [a] ends no later
+    than [b] starts. *)
+
+val starts_before : t -> t -> bool
+(** HOPS rule (§5.2): under HOPS, fences already enforce the persist order,
+    so [a] before [b] iff [a] starts in a strictly earlier epoch than [b]
+    — two writes in the same epoch are unordered. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,45 @@
+type kind = X86 | Hops | Eadr
+
+type op =
+  | Write of { addr : int; size : int }
+  | Clwb of { addr : int; size : int }
+  | Sfence
+  | Ofence
+  | Dfence
+
+let kind_name = function X86 -> "x86" | Hops -> "hops" | Eadr -> "eadr"
+
+let kind_of_string = function
+  | "x86" | "X86" -> Some X86
+  | "hops" | "HOPS" | "Hops" -> Some Hops
+  | "eadr" | "eADR" | "EADR" -> Some Eadr
+  | _ -> None
+
+let valid_op kind op =
+  match (kind, op) with
+  | _, Write _ -> true
+  | X86, (Clwb _ | Sfence) -> true
+  | X86, (Ofence | Dfence) -> false
+  | Hops, (Ofence | Dfence) -> true
+  | Hops, (Clwb _ | Sfence) -> false
+  (* eADR platforms still execute legacy clwb/sfence instructions; they
+     are simply unnecessary. *)
+  | Eadr, (Clwb _ | Sfence) -> true
+  | Eadr, (Ofence | Dfence) -> false
+
+let is_fence = function Sfence | Ofence | Dfence -> true | Write _ | Clwb _ -> false
+
+let op_range = function
+  | Write { addr; size } | Clwb { addr; size } -> Some (addr, size)
+  | Sfence | Ofence | Dfence -> None
+
+let pp_op ppf = function
+  | Write { addr; size } -> Format.fprintf ppf "write(0x%x,%d)" addr size
+  | Clwb { addr; size } -> Format.fprintf ppf "clwb(0x%x,%d)" addr size
+  | Sfence -> Format.pp_print_string ppf "sfence"
+  | Ofence -> Format.pp_print_string ppf "ofence"
+  | Dfence -> Format.pp_print_string ppf "dfence"
+
+let cache_line = 64
+let line_of_addr a = a / cache_line
+let line_span ~addr ~size = (line_of_addr addr, line_of_addr (addr + size - 1))

@@ -1,0 +1,53 @@
+(** Memory persistency models and their low-level PM operations.
+
+    A persistency model defines which primitives a program uses to enforce
+    durability and ordering and how epochs advance (paper §2.1, §5.2):
+
+    - {b X86}: [clwb addr size] initiates a cache-line writeback;
+      [sfence] orders — every preceding [clwb] is complete (hence the
+      written-back data durable) before anything after the fence.
+    - {b HOPS}: the lightweight [ofence] orders persists without forcing
+      them to complete; the heavyweight [dfence] additionally stalls until
+      all preceding writes are durable. No explicit writeback exists —
+      ordering and durability are decoupled fence properties.
+    - {b eADR}: extended asynchronous DRAM refresh — the caches themselves
+      are within the persistence domain, so a store is durable the moment
+      it executes and persists in program order. Writebacks are never
+      needed (a [clwb] is pure overhead the performance checker flags);
+      [sfence] is accepted as an ordering no-op. *)
+
+type kind = X86 | Hops | Eadr
+
+type op =
+  | Write of { addr : int; size : int }
+      (** A store to persistent memory; [size] in bytes. *)
+  | Clwb of { addr : int; size : int }
+      (** Cache-line writeback of the range (x86). *)
+  | Sfence  (** Store fence: completes preceding writebacks (x86). *)
+  | Ofence  (** Ordering fence (HOPS). *)
+  | Dfence  (** Durability fence (HOPS). *)
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+val valid_op : kind -> op -> bool
+(** Whether the operation belongs to the model's ISA: [Write] is valid
+    everywhere; [Clwb]/[Sfence] only under X86; [Ofence]/[Dfence] only
+    under HOPS. *)
+
+val is_fence : op -> bool
+(** [Sfence], [Ofence] and [Dfence] advance the global timestamp. *)
+
+val op_range : op -> (int * int) option
+(** [(addr, size)] for range-carrying operations. *)
+
+val pp_op : Format.formatter -> op -> unit
+
+val cache_line : int
+(** Cache-line size used throughout the simulation (64 bytes). *)
+
+val line_of_addr : int -> int
+(** [line_of_addr a] is [a / cache_line]. *)
+
+val line_span : addr:int -> size:int -> int * int
+(** [(first, last)] cache-line indices touched by the byte range. *)

@@ -1,0 +1,1 @@
+lib/nova/nova.ml: Bytes Format Hashtbl Int64 List Pmtest_pmem Pmtest_trace String

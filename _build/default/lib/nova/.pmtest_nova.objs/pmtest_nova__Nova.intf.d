@@ -1,0 +1,1 @@
+lib/nova/nova.mli: Pmtest_pmem Pmtest_trace Sink

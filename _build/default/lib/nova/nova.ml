@@ -1,0 +1,310 @@
+module Machine = Pmtest_pmem.Machine
+module Instr = Pmtest_pmem.Instr
+module Access = Pmtest_pmem.Access
+module Event = Pmtest_trace.Event
+
+let source_file = "nova/nova.c"
+let magic = 0x4E4F5641_4F430001L
+let page_size = 256
+
+(* Layout.
+   super (64B) @0: magic(8) device size(8) ninodes(8)
+                   log area offset(8) data area offset(8)
+   inode (64B):    valid(8) log_head(8) log_tail(8)
+     — head is the fixed start of the inode's log region; tail is the
+       commit point, advanced (and persisted) after each entry.
+   log entry (64B): type(8) pgoff(8) block(8) ino(8) name(32)
+     types: 1 = file write, 2 = dentry add, 3 = dentry delete.
+   Inode 0 is the root directory: its log holds the dentry entries.
+   Data pages are copy-on-write; superseded pages leak until a GC that is
+   out of scope here (as NOVA's is a background task). *)
+
+let super_size = 64
+let inode_size = 64
+let entry_size = 64
+let entries_per_inode = 64
+let log_region = entry_size * entries_per_inode
+
+type bug = Skip_data_persist | Skip_entry_persist | Skip_tail_persist
+
+type t = {
+  instr : Instr.t;
+  ninodes : int;
+  log_off : int;
+  data_off : int;
+  (* Volatile state, rebuilt on mount. *)
+  page_index : (int, (int, int) Hashtbl.t) Hashtbl.t; (* ino -> pgoff -> block *)
+  dir : (string, int) Hashtbl.t;
+  mutable data_top : int;
+  mutable bug : bug option;
+}
+
+let machine t = Instr.machine t.instr
+let set_bug t b = t.bug <- b
+
+let inode_off _t ino = super_size + (ino * inode_size)
+let inode_valid t ino = Access.get_int (machine t) (inode_off t ino)
+let inode_head t ino = Access.get_int (machine t) (inode_off t ino + 8)
+let inode_tail t ino = Access.get_int (machine t) (inode_off t ino + 16)
+let region_start t ino = t.log_off + (ino * log_region)
+let block_addr t b = t.data_off + (b * page_size)
+
+let entry_fields t e =
+  let m = machine t in
+  ( Access.get_int m e,
+    Access.get_int m (e + 8),
+    Access.get_int m (e + 16),
+    Access.get_int m (e + 24),
+    Access.get_string m (e + 32) 32 )
+
+let geometry ~inodes ~size =
+  let log_off = super_size + (inodes * inode_size) in
+  let data_off = (log_off + (inodes * log_region) + page_size - 1) / page_size * page_size in
+  if size <= data_off + page_size then invalid_arg "Nova: device too small";
+  (log_off, data_off)
+
+let page_capacity t = (Machine.size (machine t) - t.data_off) / page_size
+
+let index_for t ino =
+  match Hashtbl.find_opt t.page_index ino with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 16 in
+    Hashtbl.replace t.page_index ino h;
+    h
+
+(* Replay one inode's committed log into the volatile structures. *)
+let replay t ino =
+  let head = inode_head t ino and tail = inode_tail t ino in
+  let e = ref head in
+  while !e < tail do
+    (match entry_fields t !e with
+    | 1, pgoff, block, _, _ -> Hashtbl.replace (index_for t ino) pgoff block
+    | 2, _, _, child, name -> Hashtbl.replace t.dir name child
+    | 3, _, _, _, name -> Hashtbl.remove t.dir name
+    | _ -> ());
+    e := !e + entry_size
+  done
+
+let rebuild t =
+  Hashtbl.reset t.page_index;
+  Hashtbl.reset t.dir;
+  for ino = 0 to t.ninodes - 1 do
+    if inode_valid t ino = 1 then replay t ino
+  done;
+  (* Conservative data bump pointer: past every referenced page. *)
+  let top = ref 0 in
+  Hashtbl.iter (fun _ h -> Hashtbl.iter (fun _ b -> top := max !top (b + 1)) h) t.page_index;
+  t.data_top <- !top
+
+let mkfs ?(track_versions = false) ?(inodes = 32) ?(size = 1 lsl 20) ~sink () =
+  let log_off, data_off = geometry ~inodes ~size in
+  let machine = Machine.create ~track_versions ~size () in
+  let instr = Instr.make ~machine ~sink ~file:source_file in
+  let t =
+    {
+      instr;
+      ninodes = inodes;
+      log_off;
+      data_off;
+      page_index = Hashtbl.create 16;
+      dir = Hashtbl.create 16;
+      data_top = 0;
+      bug = None;
+    }
+  in
+  Instr.store_i64 instr ~line:10 ~addr:0 magic;
+  Instr.store_i64 instr ~line:11 ~addr:8 (Int64.of_int size);
+  Instr.store_i64 instr ~line:12 ~addr:16 (Int64.of_int inodes);
+  Instr.store_i64 instr ~line:13 ~addr:24 (Int64.of_int log_off);
+  Instr.store_i64 instr ~line:14 ~addr:32 (Int64.of_int data_off);
+  Instr.persist_barrier instr ~line:15 ~addr:0 ~size:40;
+  (* Root directory inode. *)
+  let r = region_start t 0 in
+  Instr.store_i64 instr ~line:16 ~addr:(inode_off t 0) 1L;
+  Instr.store_i64 instr ~line:17 ~addr:(inode_off t 0 + 8) (Int64.of_int r);
+  Instr.store_i64 instr ~line:18 ~addr:(inode_off t 0 + 16) (Int64.of_int r);
+  Instr.persist_barrier instr ~line:19 ~addr:(inode_off t 0) ~size:24;
+  t
+
+let mount ~machine ~sink =
+  if Access.get_i64 machine 0 <> magic then invalid_arg "Nova.mount: bad magic";
+  let instr = Instr.make ~machine ~sink ~file:source_file in
+  let inodes = Access.get_int machine 16 in
+  let t =
+    {
+      instr;
+      ninodes = inodes;
+      log_off = Access.get_int machine 24;
+      data_off = Access.get_int machine 32;
+      page_index = Hashtbl.create 16;
+      dir = Hashtbl.create 16;
+      data_top = 0;
+      bug = None;
+    }
+  in
+  rebuild t;
+  t
+
+(* Append an entry to [ino]'s log and commit it by advancing the
+   persisted tail — the heart of the log-structured discipline. *)
+let append_entry t ~ino ~etype ~pgoff ~block ~child ~name =
+  let tail = inode_tail t ino in
+  if tail + entry_size > region_start t ino + log_region then Error "inode log full"
+  else begin
+    Instr.store_i64 t.instr ~line:30 ~addr:tail (Int64.of_int etype);
+    Instr.store_i64 t.instr ~line:31 ~addr:(tail + 8) (Int64.of_int pgoff);
+    Instr.store_i64 t.instr ~line:32 ~addr:(tail + 16) (Int64.of_int block);
+    Instr.store_i64 t.instr ~line:33 ~addr:(tail + 24) (Int64.of_int child);
+    Instr.store_string t.instr ~line:34 ~addr:(tail + 32) ~len:32 name;
+    if t.bug <> Some Skip_entry_persist then
+      Instr.persist_barrier t.instr ~line:35 ~addr:tail ~size:entry_size;
+    let tail_slot = inode_off t ino + 16 in
+    Instr.store_i64 t.instr ~line:36 ~addr:tail_slot (Int64.of_int (tail + entry_size));
+    if t.bug <> Some Skip_tail_persist then
+      Instr.persist_barrier t.instr ~line:37 ~addr:tail_slot ~size:8;
+    (* The entry must be durable before the tail covers it; the tail
+       itself must be durable for the op to be committed. *)
+    Instr.checker t.instr ~line:38
+      Event.(Is_ordered_before { a_addr = tail; a_size = entry_size; b_addr = tail_slot; b_size = 8 });
+    Instr.checker t.instr ~line:39 Event.(Is_persist { addr = tail_slot; size = 8 });
+    Ok tail
+  end
+
+let lookup t name = Hashtbl.find_opt t.dir name
+let readdir t = List.sort compare (Hashtbl.fold (fun n i acc -> (n, i) :: acc) t.dir [])
+
+let create t name =
+  if String.length name > 31 then Error "name too long"
+  else if name = "" then Error "empty name"
+  else if lookup t name <> None then Error "file exists"
+  else begin
+    let rec free i =
+      if i >= t.ninodes then None else if inode_valid t i = 0 then Some i else free (i + 1)
+    in
+    match free 1 with
+    | None -> Error "no free inodes"
+    | Some ino ->
+      (* Initialise the inode durably before the dentry can commit it. *)
+      let r = region_start t ino in
+      Instr.store_i64 t.instr ~line:50 ~addr:(inode_off t ino) 1L;
+      Instr.store_i64 t.instr ~line:51 ~addr:(inode_off t ino + 8) (Int64.of_int r);
+      Instr.store_i64 t.instr ~line:52 ~addr:(inode_off t ino + 16) (Int64.of_int r);
+      Instr.persist_barrier t.instr ~line:53 ~addr:(inode_off t ino) ~size:24;
+      (match append_entry t ~ino:0 ~etype:2 ~pgoff:0 ~block:0 ~child:ino ~name with
+      | Error e -> Error e
+      | Ok _ ->
+        (* The inode must be durable before the dentry commits it. *)
+        Instr.checker t.instr ~line:54
+          Event.(
+            Is_ordered_before
+              { a_addr = inode_off t ino; a_size = 24; b_addr = inode_off t 0 + 16; b_size = 8 });
+        Hashtbl.replace t.dir name ino;
+        Ok ino)
+  end
+
+let unlink t name =
+  match lookup t name with
+  | None -> Error "no such file"
+  | Some ino -> (
+    match append_entry t ~ino:0 ~etype:3 ~pgoff:0 ~block:0 ~child:ino ~name with
+    | Error e -> Error e
+    | Ok _ ->
+      Hashtbl.remove t.dir name;
+      (* Invalidate the inode only after the dentry removal committed; a
+         crash in between merely leaks the inode (NOVA's GC territory). *)
+      Instr.store_i64 t.instr ~line:60 ~addr:(inode_off t ino) 0L;
+      Instr.persist_barrier t.instr ~line:61 ~addr:(inode_off t ino) ~size:8;
+      Hashtbl.remove t.page_index ino;
+      Ok ())
+
+let alloc_page t =
+  if t.data_top >= page_capacity t then Error "out of data pages"
+  else begin
+    let b = t.data_top in
+    t.data_top <- b + 1;
+    Ok b
+  end
+
+let write t ~ino ~pgoff data =
+  if String.length data > page_size then Error "write exceeds one page"
+  else if ino <= 0 || ino >= t.ninodes || inode_valid t ino <> 1 then Error "bad inode"
+  else begin
+    match alloc_page t with
+    | Error e -> Error e
+    | Ok block ->
+      (* Copy-on-write: build the new page (old contents overlaid with the
+         new data), persist it, then commit it through the log. *)
+      let addr = block_addr t block in
+      let page = Bytes.make page_size '\000' in
+      (match Hashtbl.find_opt (index_for t ino) pgoff with
+      | Some old -> Bytes.blit (Instr.load_bytes t.instr ~addr:(block_addr t old) ~len:page_size) 0 page 0 page_size
+      | None -> ());
+      Bytes.blit_string data 0 page 0 (String.length data);
+      Instr.store_bytes t.instr ~line:70 ~addr page;
+      if t.bug <> Some Skip_data_persist then
+        Instr.persist_barrier t.instr ~line:71 ~addr ~size:page_size;
+      match append_entry t ~ino ~etype:1 ~pgoff ~block ~child:0 ~name:"" with
+      | Error e -> Error e
+      | Ok _ ->
+        (* The data page must be durable before the tail committed the
+           entry that references it. *)
+        Instr.checker t.instr ~line:72
+          Event.(
+            Is_ordered_before
+              {
+                a_addr = addr;
+                a_size = page_size;
+                b_addr = inode_off t ino + 16;
+                b_size = 8;
+              });
+        Hashtbl.replace (index_for t ino) pgoff block;
+        Ok ()
+  end
+
+let read t ~ino ~pgoff =
+  if ino <= 0 || ino >= t.ninodes || inode_valid t ino <> 1 then Error "bad inode"
+  else
+    match Hashtbl.find_opt (index_for t ino) pgoff with
+    | None -> Ok (String.make page_size '\000')
+    | Some block -> Ok (Bytes.to_string (Instr.load_bytes t.instr ~addr:(block_addr t block) ~len:page_size))
+
+let file_pages t ~ino =
+  match Hashtbl.find_opt t.page_index ino with Some h -> Hashtbl.length h | None -> 0
+
+let check_consistent t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let cap = page_capacity t in
+  for ino = 0 to t.ninodes - 1 do
+    if inode_valid t ino = 1 then begin
+      let head = inode_head t ino and tail = inode_tail t ino in
+      let r = region_start t ino in
+      if head <> r then err "inode %d log head corrupt" ino;
+      if tail < head || tail > r + log_region || (tail - head) mod entry_size <> 0 then
+        err "inode %d log tail corrupt" ino
+      else begin
+        let e = ref head in
+        while !e < tail do
+          (match entry_fields t !e with
+          | 1, pgoff, block, _, _ ->
+            if ino = 0 then err "write entry in the directory log";
+            if pgoff < 0 then err "inode %d: negative page offset" ino;
+            if block < 0 || block >= cap then err "inode %d: block %d out of bounds" ino block
+          | (2 | 3), _, _, child, name ->
+            if ino <> 0 then err "dentry entry in a file log (inode %d)" ino;
+            if name = "" then err "empty dentry name";
+            if child <= 0 || child >= t.ninodes then err "dentry references bad inode %d" child
+          | ty, _, _, _, _ -> err "inode %d: bad entry type %d" ino ty);
+          e := !e + entry_size
+        done
+      end
+    end
+  done;
+  (* Directory entries must reference valid inodes. *)
+  Hashtbl.iter
+    (fun name ino ->
+      if ino <= 0 || ino >= t.ninodes || inode_valid t ino <> 1 then
+        err "dentry %s references dead inode %d" name ino)
+    t.dir;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

@@ -1,0 +1,59 @@
+(** A NOVA-style log-structured PM file system (Xu & Swanson, FAST'16),
+    simplified: per-inode append-only metadata logs with a persisted tail
+    pointer as the commit point, copy-on-write data pages, and volatile
+    per-inode page indexes rebuilt by replaying the logs on mount.
+
+    This is the third crash-consistency discipline in the repository
+    (after PMDK's undo log and Mnemosyne's redo log): nothing is ever
+    updated in place — a write allocates a fresh data page, persists it,
+    appends a log entry describing it, persists the entry, and only then
+    persists the inode's advanced log tail. A crash before the tail
+    update simply discards the trailing entries.
+
+    Per-operation commit protocol (annotated with the low-level
+    checkers):
+
+    {v  data page  <p  log entry  <p  inode tail  v}
+
+    Bug switches remove each of the three persists. *)
+
+open Pmtest_trace
+module Machine = Pmtest_pmem.Machine
+
+type t
+
+type bug =
+  | Skip_data_persist  (** Log may commit a torn data page. *)
+  | Skip_entry_persist  (** Tail may commit a torn log entry. *)
+  | Skip_tail_persist  (** Committed operations may vanish. *)
+
+val source_file : string
+val page_size : int
+
+val mkfs : ?track_versions:bool -> ?inodes:int -> ?size:int -> sink:Sink.t -> unit -> t
+val mount : machine:Machine.t -> sink:Sink.t -> t
+(** Replays every inode log to rebuild the volatile indexes. *)
+
+val machine : t -> Machine.t
+val set_bug : t -> bug option -> unit
+
+val create : t -> string -> (int, string) result
+val lookup : t -> string -> int option
+val unlink : t -> string -> (unit, string) result
+val readdir : t -> (string * int) list
+
+val write : t -> ino:int -> pgoff:int -> string -> (unit, string) result
+(** Copy-on-write write of one page (at most {!page_size} bytes) at page
+    offset [pgoff]. *)
+
+val read : t -> ino:int -> pgoff:int -> (string, string) result
+(** The page's current contents ([page_size] bytes, zero-filled if never
+    written). *)
+
+val file_pages : t -> ino:int -> int
+(** Number of distinct pages the file has written. *)
+
+val check_consistent : t -> (unit, string) result
+(** Every inode's log parses within bounds up to its committed tail,
+    referenced data pages are in bounds, directory entries reference
+    live inodes, and replay is deterministic. *)

@@ -1,0 +1,1 @@
+lib/pmdk/btree_map.ml: Bytes Format List Pool String Value_block

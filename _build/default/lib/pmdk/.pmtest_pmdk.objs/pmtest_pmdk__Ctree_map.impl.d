@@ -1,0 +1,1 @@
+lib/pmdk/ctree_map.ml: Bytes Format Int64 List Pmtest_pmem Pool String Value_block

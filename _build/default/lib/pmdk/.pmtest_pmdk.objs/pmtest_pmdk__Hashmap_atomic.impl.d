@@ -1,0 +1,1 @@
+lib/pmdk/hashmap_atomic.ml: Bytes Format Int64 List Pmtest_pmem Pool String Value_block

@@ -1,0 +1,1 @@
+lib/pmdk/hashmap_tx.ml: Bytes Format Int64 List Pmtest_pmem Pool String Value_block

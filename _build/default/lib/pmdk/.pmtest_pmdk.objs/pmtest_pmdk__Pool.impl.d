@@ -1,0 +1,1 @@
+lib/pmdk/pool.ml: Bytes Event Int64 Interval_map List Pmtest_itree Pmtest_model Pmtest_pmem Pmtest_trace

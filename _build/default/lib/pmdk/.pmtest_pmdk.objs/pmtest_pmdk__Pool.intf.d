@@ -1,0 +1,1 @@
+lib/pmdk/pool.mli: Pmtest_model Pmtest_pmem Pmtest_trace Sink

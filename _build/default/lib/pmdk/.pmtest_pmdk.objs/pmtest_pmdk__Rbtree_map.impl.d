@@ -1,0 +1,1 @@
+lib/pmdk/rbtree_map.ml: Bytes Format List Pool String Value_block

@@ -1,0 +1,1 @@
+lib/pmdk/rbtree_map.mli: Pool

@@ -1,0 +1,1 @@
+lib/pmdk/value_block.mli: Pool

@@ -1,0 +1,259 @@
+(* B-tree of order 8 (min degree 4), values stored in every node.
+
+   Node layout (256 B, 4 cache lines):
+     [0]   n               number of keys
+     [8]   is_leaf         1 / 0
+     [16]  keys[7]         8 B each
+     [72]  values[7]       (val_off, val_len) = 16 B each
+     [184] children[8]     8 B each
+
+   Root object: [0] = root node offset, [8] = count. *)
+
+type t = { pool : Pool.t; root : int }
+type bug = Skip_log_split_node | Duplicate_log_insert | Skip_log_leaf_insert | No_commit
+
+let order = 8
+let min_degree = order / 2
+let max_keys = order - 1
+let node_size = 256
+let off_keys = 16
+let off_vals = 72
+let off_children = 184
+
+let pool t = t.pool
+let root_off t = t.root
+
+let create pool =
+  let root = Pool.alloc pool 16 in
+  Pool.set_root pool root;
+  { pool; root }
+
+let open_ pool ~root = { pool; root }
+
+let load_root_node t = Pool.load_int t.pool ~off:t.root
+let cardinal t = Pool.load_int t.pool ~off:(t.root + 8)
+
+let bump_count t delta =
+  Pool.tx_add_once ~line:200 t.pool ~off:(t.root + 8) ~size:8;
+  Pool.store_int ~line:201 t.pool ~off:(t.root + 8) (cardinal t + delta)
+
+(* Node field accessors. *)
+let get_n t node = Pool.load_int t.pool ~off:node
+let set_n ?(line = 210) t node v = Pool.store_int ~line t.pool ~off:node v
+let get_leaf t node = Pool.load_int t.pool ~off:(node + 8) = 1
+let set_leaf ?(line = 211) t node v = Pool.store_int ~line t.pool ~off:(node + 8) (if v then 1 else 0)
+let get_key t node i = Pool.load_i64 t.pool ~off:(node + off_keys + (8 * i))
+let set_key ?(line = 212) t node i k = Pool.store_i64 ~line t.pool ~off:(node + off_keys + (8 * i)) k
+let get_val t node i =
+  ( Pool.load_int t.pool ~off:(node + off_vals + (16 * i)),
+    Pool.load_int t.pool ~off:(node + off_vals + (16 * i) + 8) )
+let set_val ?(line = 213) t node i (voff, vlen) =
+  Pool.store_int ~line t.pool ~off:(node + off_vals + (16 * i)) voff;
+  Pool.store_int ~line t.pool ~off:(node + off_vals + (16 * i) + 8) vlen
+let get_child t node j = Pool.load_int t.pool ~off:(node + off_children + (8 * j))
+let set_child ?(line = 214) t node j c = Pool.store_int ~line t.pool ~off:(node + off_children + (8 * j)) c
+
+let log_node ?(line = 220) t node = Pool.tx_add_once ~line t.pool ~off:node ~size:node_size
+
+(* Deliberately unconditioned snapshot, used only by the duplicate-log
+   bug variant. *)
+let log_node_again ?(line = 223) t node = Pool.tx_add ~line t.pool ~off:node ~size:node_size
+
+let alloc_node t ~leaf =
+  let node = Pool.alloc t.pool node_size in
+  set_leaf ~line:221 t node leaf;
+  set_n ~line:222 t node 0;
+  node
+
+(* Index of the first key >= k, or n if none. *)
+let lower_bound t node k =
+  let n = get_n t node in
+  let rec go i = if i >= n then n else if get_key t node i >= k then i else go (i + 1) in
+  go 0
+
+(* Split the full child [children.(i)] of non-full [parent]. *)
+let split_child ?bug t parent i =
+  let child = get_child t parent i in
+  let right = alloc_node t ~leaf:(get_leaf t child) in
+  let mid = min_degree - 1 in
+  (* Move upper keys/values/children of [child] into [right]. *)
+  for j = 0 to min_degree - 2 do
+    set_key ~line:230 t right j (get_key t child (j + min_degree));
+    set_val ~line:231 t right j (get_val t child (j + min_degree))
+  done;
+  if not (get_leaf t child) then
+    for j = 0 to min_degree - 1 do
+      set_child ~line:232 t right j (get_child t child (j + min_degree))
+    done;
+  set_n ~line:233 t right (min_degree - 1);
+  (* Shrinking [child] modifies an existing node: it must be logged.
+     Skipping this is exactly the Table-6 btree_map.c:201 bug. *)
+  if bug <> Some Skip_log_split_node then log_node ~line:234 t child;
+  set_n ~line:235 t child mid;
+  (* Insert the median into the parent. *)
+  log_node ~line:236 t parent;
+  let n = get_n t parent in
+  for j = n - 1 downto i do
+    set_key ~line:237 t parent (j + 1) (get_key t parent j);
+    set_val ~line:238 t parent (j + 1) (get_val t parent j)
+  done;
+  for j = n downto i + 1 do
+    set_child ~line:239 t parent (j + 1) (get_child t parent j)
+  done;
+  set_key ~line:240 t parent i (get_key t child mid);
+  set_val ~line:241 t parent i (get_val t child mid);
+  set_child ~line:242 t parent (i + 1) right;
+  set_n ~line:243 t parent (n + 1)
+
+let store_value t value =
+  let voff = Value_block.write t.pool value in
+  (voff, Bytes.length value)
+
+let replace_value ?(line = 250) t node i value =
+  let old_off, old_len = get_val t node i in
+  log_node ~line t node;
+  set_val ~line:(line + 1) t node i (store_value t value);
+  Value_block.free t.pool ~off:old_off ~len:old_len
+
+(* Insert into a node known to be non-full. Returns [true] if a new key
+   was added (vs. an update of an existing one). *)
+let rec insert_nonfull ?bug t node ~key ~value =
+  let i = lower_bound t node key in
+  if i < get_n t node && get_key t node i = key then begin
+    replace_value t node i value;
+    false
+  end
+  else if get_leaf t node then begin
+    if bug <> Some Skip_log_leaf_insert then begin
+      log_node ~line:260 t node;
+      if bug = Some Duplicate_log_insert then log_node_again ~line:261 t node
+    end;
+    let n = get_n t node in
+    for j = n - 1 downto i do
+      set_key ~line:262 t node (j + 1) (get_key t node j);
+      set_val ~line:263 t node (j + 1) (get_val t node j)
+    done;
+    set_key ~line:264 t node i key;
+    set_val ~line:265 t node i (store_value t value);
+    set_n ~line:266 t node (n + 1);
+    true
+  end
+  else begin
+    let i =
+      if get_n t (get_child t node i) = max_keys then begin
+        split_child ?bug t node i;
+        (* The median moved up; re-aim. *)
+        if key > get_key t node i then i + 1 else i
+      end
+      else i
+    in
+    if i < get_n t node && get_key t node i = key then begin
+      replace_value ~line:267 t node i value;
+      false
+    end
+    else insert_nonfull ?bug t (get_child t node i) ~key ~value
+  end
+
+let insert ?bug t ~key ~value =
+  Pool.tx_begin t.pool;
+  let root_node = load_root_node t in
+  let added =
+    if root_node = 0 then begin
+      let node = alloc_node t ~leaf:true in
+      set_key ~line:270 t node 0 key;
+      set_val ~line:271 t node 0 (store_value t value);
+      set_n ~line:272 t node 1;
+      Pool.tx_add_once ~line:273 t.pool ~off:t.root ~size:8;
+      Pool.store_int ~line:274 t.pool ~off:t.root node;
+      true
+    end
+    else begin
+      let root_node =
+        if get_n t root_node = max_keys then begin
+          let new_root = alloc_node t ~leaf:false in
+          set_child ~line:275 t new_root 0 root_node;
+          split_child ?bug t new_root 0;
+          Pool.tx_add_once ~line:276 t.pool ~off:t.root ~size:8;
+          Pool.store_int ~line:277 t.pool ~off:t.root new_root;
+          new_root
+        end
+        else root_node
+      in
+      insert_nonfull ?bug t root_node ~key ~value
+    end
+  in
+  if added then bump_count t 1;
+  if bug = Some No_commit then () else Pool.tx_commit t.pool
+
+let rec lookup_in t node ~key =
+  if node = 0 then None
+  else
+    let i = lower_bound t node key in
+    if i < get_n t node && get_key t node i = key then begin
+      let voff, vlen = get_val t node i in
+      Some (Value_block.read t.pool ~off:voff ~len:vlen)
+    end
+    else if get_leaf t node then None
+    else lookup_in t (get_child t node i) ~key
+
+let lookup t ~key = lookup_in t (load_root_node t) ~key
+
+let iter t f =
+  let rec go node =
+    if node <> 0 then begin
+      let n = get_n t node in
+      let leaf = get_leaf t node in
+      for i = 0 to n - 1 do
+        if not leaf then go (get_child t node i);
+        let voff, vlen = get_val t node i in
+        f (get_key t node i) (Value_block.read t.pool ~off:voff ~len:vlen)
+      done;
+      if not leaf then go (get_child t node n)
+    end
+  in
+  go (load_root_node t)
+
+let height t =
+  let rec go node acc =
+    if node = 0 then acc
+    else if get_leaf t node then acc + 1
+    else go (get_child t node 0) (acc + 1)
+  in
+  go (load_root_node t) 0
+
+let check_consistent t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let entries = ref 0 in
+  let leaf_depths = ref [] in
+  let rec go node ~lo ~hi ~depth ~is_root =
+    if node = 0 then err "null node reached at depth %d" depth
+    else begin
+      let n = get_n t node in
+      if n < 1 || n > max_keys then err "node 0x%x has %d keys" node n;
+      if (not is_root) && n < min_degree - 1 then
+        err "node 0x%x underfull (%d < %d)" node n (min_degree - 1);
+      entries := !entries + n;
+      for i = 0 to n - 1 do
+        let k = get_key t node i in
+        (match lo with Some l when k <= l -> err "key %Ld out of order in 0x%x" k node | _ -> ());
+        (match hi with Some h when k >= h -> err "key %Ld out of order in 0x%x" k node | _ -> ());
+        if i > 0 && get_key t node (i - 1) >= k then err "unsorted keys in node 0x%x" node
+      done;
+      if get_leaf t node then leaf_depths := depth :: !leaf_depths
+      else
+        for i = 0 to n do
+          let clo = if i = 0 then lo else Some (get_key t node (i - 1)) in
+          let chi = if i = n then hi else Some (get_key t node i) in
+          go (get_child t node i) ~lo:clo ~hi:chi ~depth:(depth + 1) ~is_root:false
+        done
+    end
+  in
+  let root_node = load_root_node t in
+  if root_node <> 0 then go root_node ~lo:None ~hi:None ~depth:0 ~is_root:true;
+  (match !leaf_depths with
+  | [] -> ()
+  | d :: rest -> if List.exists (fun d' -> d' <> d) rest then err "leaves at unequal depths");
+  if !entries <> cardinal t then
+    err "count mismatch: %d entries reachable, count says %d" !entries (cardinal t);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

@@ -1,0 +1,42 @@
+(** B-tree map (PMDK's [btree_map] example).
+
+    A fixed-order (8) B-tree over 64-bit keys with out-of-line value
+    payloads. Insertion uses preemptive splitting: full children are split
+    on the way down, so every in-node insertion happens in a non-full
+    node. Each mutating call is one failure-atomic transaction.
+
+    The two Table-6 PMDK bugs live here behind switches:
+    - {!Skip_log_split_node} reproduces btree_map.c:201 — the node created
+      by [create_split_node] has an {e existing} sibling modified without
+      snapshotting it first;
+    - {!Duplicate_log_insert} reproduces btree_map.c:367 — the same node is
+      [TX_ADD]ed twice on the insert path (a performance bug). *)
+
+type t
+
+type bug =
+  | Skip_log_split_node  (** Modify a node during split without logging. *)
+  | Duplicate_log_insert  (** Log the same node twice. *)
+  | Skip_log_leaf_insert  (** Insert into a leaf without logging it. *)
+  | No_commit  (** Leave the transaction open (improper termination). *)
+
+val order : int
+(** Maximum children per node (8). *)
+
+val create : Pool.t -> t
+val open_ : Pool.t -> root:int -> t
+val root_off : t -> int
+val pool : t -> Pool.t
+
+val insert : ?bug:bug -> t -> key:int64 -> value:bytes -> unit
+val lookup : t -> key:int64 -> bytes option
+val cardinal : t -> int
+
+val iter : t -> (int64 -> bytes -> unit) -> unit
+(** In increasing key order. *)
+
+val height : t -> int
+
+val check_consistent : t -> (unit, string) result
+(** Invariants: sorted keys, per-node occupancy bounds, uniform leaf
+    depth, reachable-entry count equals the stored count. *)

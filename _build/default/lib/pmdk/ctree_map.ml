@@ -1,0 +1,220 @@
+(* Crit-bit tree over 64-bit keys, mirroring PMDK's ctree_map example.
+
+   Node layout (one cache line each):
+     leaf:     [0]=1  [8]=key       [16]=val_off  [24]=val_len
+     internal: [0]=0  [8]=diff_bit  [16]=child0   [24]=child1
+
+   Root object: [0]=root node offset, [8]=count.
+
+   Invariant: along any root-to-leaf path the tested bit positions
+   strictly decrease (most significant difference first), so descent by
+   bit gives lexicographic (unsigned) key order. *)
+
+type t = { pool : Pool.t; root : int }
+
+type bug = Skip_log_root | Skip_log_leaf | Duplicate_log | No_tx
+
+let node_size = 32
+let pool t = t.pool
+let root_off t = t.root
+
+let create pool =
+  let root = Pool.alloc pool 16 in
+  Pool.set_root pool root;
+  { pool; root }
+
+let open_ pool ~root = { pool; root }
+
+let load_root_node t = Pool.load_int t.pool ~off:t.root
+let load_count t = Pool.load_int t.pool ~off:(t.root + 8)
+let cardinal = load_count
+
+let is_leaf t off = Pool.load_int t.pool ~off = 1
+let leaf_key t off = Pool.load_i64 t.pool ~off:(off + 8)
+let node_diff_bit t off = Pool.load_int t.pool ~off:(off + 8)
+let child t off dir = Pool.load_int t.pool ~off:(off + 16 + (8 * dir))
+let direction key bit = Int64.to_int (Int64.logand (Int64.shift_right_logical key bit) 1L)
+
+(* Position of the most significant differing bit. *)
+let diff_bit a b =
+  let x = Int64.logxor a b in
+  let rec scan i = if i < 0 then -1 else if direction x i = 1 then i else scan (i - 1) in
+  scan 63
+
+let log_count ?bug t =
+  if bug <> Some No_tx then Pool.tx_add_once ~line:100 t.pool ~off:(t.root + 8) ~size:8
+
+let bump_count ?bug t delta =
+  log_count ?bug t;
+  Pool.store_int ~line:101 t.pool ~off:(t.root + 8) (load_count t + delta)
+
+let new_leaf t ~key ~value =
+  let off = Pool.alloc t.pool node_size in
+  Pool.store_int ~line:110 t.pool ~off 1;
+  Pool.store_i64 ~line:111 t.pool ~off:(off + 8) key;
+  let voff = Value_block.write t.pool value in
+  Pool.store_int ~line:112 t.pool ~off:(off + 16) voff;
+  Pool.store_int ~line:113 t.pool ~off:(off + 24) (Bytes.length value);
+  off
+
+(* Find the leaf that shares the longest prefix with [key]. *)
+let rec closest_leaf t off key =
+  if is_leaf t off then off else closest_leaf t (child t off (direction key (node_diff_bit t off))) key
+
+let update_leaf_value ?bug t leaf ~value =
+  if bug <> Some Skip_log_leaf && bug <> Some No_tx then Pool.tx_add_once ~line:120 t.pool ~off:(leaf + 16) ~size:16;
+  let old_off = Pool.load_int t.pool ~off:(leaf + 16) in
+  let old_len = Pool.load_int t.pool ~off:(leaf + 24) in
+  let voff = Value_block.write t.pool value in
+  Pool.store_int ~line:121 t.pool ~off:(leaf + 16) voff;
+  Pool.store_int ~line:122 t.pool ~off:(leaf + 24) (Bytes.length value);
+  Value_block.free t.pool ~off:old_off ~len:old_len
+
+let insert_new ?bug t ~key ~value =
+  let root_node = load_root_node t in
+  if root_node = 0 then begin
+    let leaf = new_leaf t ~key ~value in
+    if bug <> Some Skip_log_root && bug <> Some No_tx then Pool.tx_add_once ~line:130 t.pool ~off:t.root ~size:8;
+    if bug = Some Duplicate_log then Pool.tx_add ~line:131 t.pool ~off:t.root ~size:8;
+    Pool.store_int ~line:132 t.pool ~off:t.root leaf;
+    bump_count ?bug t 1
+  end
+  else begin
+    let near = closest_leaf t root_node key in
+    let bit = diff_bit (leaf_key t near) key in
+    assert (bit >= 0);
+    (* Walk down again until the next node tests a less significant bit
+       than the new difference: that slot is the insertion point. *)
+    let slot = ref t.root in
+    let cur = ref root_node in
+    while (not (is_leaf t !cur)) && node_diff_bit t !cur > bit do
+      let dir = direction key (node_diff_bit t !cur) in
+      slot := !cur + 16 + (8 * dir);
+      cur := child t !cur dir
+    done;
+    let leaf = new_leaf t ~key ~value in
+    let internal = Pool.alloc t.pool node_size in
+    Pool.store_int ~line:140 t.pool ~off:internal 0;
+    Pool.store_int ~line:141 t.pool ~off:(internal + 8) bit;
+    let dir = direction key bit in
+    Pool.store_int ~line:142 t.pool ~off:(internal + 16 + (8 * dir)) leaf;
+    Pool.store_int ~line:143 t.pool ~off:(internal + 16 + (8 * (1 - dir))) !cur;
+    if bug <> Some Skip_log_root && bug <> Some No_tx then Pool.tx_add_once ~line:144 t.pool ~off:!slot ~size:8;
+    if bug = Some Duplicate_log then Pool.tx_add ~line:145 t.pool ~off:!slot ~size:8;
+    Pool.store_int ~line:146 t.pool ~off:!slot internal;
+    bump_count ?bug t 1
+  end
+
+let insert ?bug t ~key ~value =
+  let body () =
+    let root_node = load_root_node t in
+    if root_node <> 0 then begin
+      let near = closest_leaf t root_node key in
+      if leaf_key t near = key then update_leaf_value ?bug t near ~value
+      else insert_new ?bug t ~key ~value
+    end
+    else insert_new ?bug t ~key ~value
+  in
+  if bug = Some No_tx then body () else Pool.tx t.pool body
+
+let lookup t ~key =
+  let root_node = load_root_node t in
+  if root_node = 0 then None
+  else
+    let leaf = closest_leaf t root_node key in
+    if leaf_key t leaf = key then
+      let off = Pool.load_int t.pool ~off:(leaf + 16) in
+      let len = Pool.load_int t.pool ~off:(leaf + 24) in
+      Some (Value_block.read t.pool ~off ~len)
+    else None
+
+let free_leaf t leaf =
+  let voff = Pool.load_int t.pool ~off:(leaf + 16) in
+  let vlen = Pool.load_int t.pool ~off:(leaf + 24) in
+  Value_block.free t.pool ~off:voff ~len:vlen;
+  Pool.free t.pool ~off:leaf ~size:node_size
+
+let remove t ~key =
+  let root_node = load_root_node t in
+  if root_node = 0 then false
+  else begin
+    (* Track the leaf, its parent and the slot pointing at the parent. *)
+    let parent_slot = ref t.root in
+    let parent = ref 0 in
+    let slot = ref t.root in
+    let cur = ref root_node in
+    while not (is_leaf t !cur) do
+      let dir = direction key (node_diff_bit t !cur) in
+      parent_slot := !slot;
+      parent := !cur;
+      slot := !cur + 16 + (8 * dir);
+      cur := child t !cur dir
+    done;
+    if leaf_key t !cur <> key then false
+    else begin
+      Pool.tx t.pool (fun () ->
+          if !parent = 0 then begin
+            (* The leaf is the root. *)
+            Pool.tx_add_once ~line:160 t.pool ~off:t.root ~size:8;
+            Pool.store_int ~line:161 t.pool ~off:t.root 0
+          end
+          else begin
+            (* Replace the parent with the leaf's sibling. *)
+            let dir_taken = if child t !parent 0 = !cur then 0 else 1 in
+            let sibling = child t !parent (1 - dir_taken) in
+            Pool.tx_add_once ~line:162 t.pool ~off:!parent_slot ~size:8;
+            Pool.store_int ~line:163 t.pool ~off:!parent_slot sibling;
+            Pool.free t.pool ~off:!parent ~size:node_size
+          end;
+          free_leaf t !cur;
+          bump_count t (-1));
+      true
+    end
+  end
+
+let iter t f =
+  let rec go off =
+    if off <> 0 then
+      if is_leaf t off then
+        let voff = Pool.load_int t.pool ~off:(off + 16) in
+        let vlen = Pool.load_int t.pool ~off:(off + 24) in
+        f (leaf_key t off) (Value_block.read t.pool ~off:voff ~len:vlen)
+      else begin
+        go (child t off 0);
+        go (child t off 1)
+      end
+  in
+  go (load_root_node t)
+
+let check_consistent t =
+  let heap = Pool.heap_start t.pool in
+  let size = Pmtest_pmem.Machine.size (Pool.machine t.pool) in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let leaves = ref 0 in
+  let rec go off parent_bit =
+    if off < heap || off >= size then err "node offset 0x%x outside heap" off
+    else if is_leaf t off then begin
+      incr leaves;
+      let vlen = Pool.load_int t.pool ~off:(off + 24) in
+      let voff = Pool.load_int t.pool ~off:(off + 16) in
+      if vlen < 0 || (vlen > 0 && (voff < heap || voff + vlen > size)) then
+        err "leaf 0x%x has bad value block (0x%x,+%d)" off voff vlen
+    end
+    else begin
+      let bit = node_diff_bit t off in
+      if bit < 0 || bit > 63 then err "internal 0x%x has bad bit %d" off bit;
+      if bit >= parent_bit then err "internal 0x%x bit %d not below parent bit %d" off bit parent_bit;
+      let c0 = child t off 0 and c1 = child t off 1 in
+      if c0 = 0 || c1 = 0 then err "internal 0x%x has a null child" off
+      else begin
+        go c0 bit;
+        go c1 bit
+      end
+    end
+  in
+  let root_node = load_root_node t in
+  if root_node <> 0 then go root_node 64;
+  if !leaves <> load_count t then
+    err "count mismatch: %d leaves reachable, count says %d" !leaves (load_count t);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

@@ -1,0 +1,39 @@
+(** Crit-bit tree map (PMDK's [ctree_map] example).
+
+    A binary radix tree over 64-bit keys: internal nodes test a single
+    {e differing bit}; leaves hold the key and a pointer to a separately
+    allocated value payload. Every mutation runs inside a pool transaction
+    with undo-log snapshots of the slots it rewrites.
+
+    Keys are [int64]; values are byte payloads of arbitrary size (the
+    Fig. 10 benchmark scales the payload to vary the transaction size). *)
+
+type t
+
+type bug =
+  | Skip_log_root  (** Modify the root/parent slot without [TX_ADD]. *)
+  | Skip_log_leaf  (** Update a leaf's value pointer without [TX_ADD]. *)
+  | Duplicate_log  (** [TX_ADD] the same slot twice. *)
+  | No_tx  (** Perform the whole insert outside any transaction. *)
+
+val create : Pool.t -> t
+(** Allocate the map's root object and register it as the pool root. *)
+
+val open_ : Pool.t -> root:int -> t
+(** Attach to an existing map (after recovery). *)
+
+val root_off : t -> int
+val pool : t -> Pool.t
+
+val insert : ?bug:bug -> t -> key:int64 -> value:bytes -> unit
+(** Insert or update. One failure-atomic transaction per call. *)
+
+val lookup : t -> key:int64 -> bytes option
+val remove : t -> key:int64 -> bool
+val cardinal : t -> int
+val iter : t -> (int64 -> bytes -> unit) -> unit
+(** In increasing unsigned-key order. *)
+
+val check_consistent : t -> (unit, string) result
+(** Structural invariants: crit-bit ordering, reachable-leaf count equals
+    the stored count, every leaf's payload block is within the heap. *)

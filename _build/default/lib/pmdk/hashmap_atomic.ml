@@ -1,0 +1,183 @@
+(* Same layout as Hashmap_tx, but maintained with explicit writebacks and
+   fences instead of transactions.
+
+   Root object (32 B): [0]=nbuckets [8]=count [16]=buckets offset
+                       [24]=scratch (used by the Flush_unmodified bug).
+   Entry (32 B): [0]=key  [8]=next  [16]=val_off  [24]=val_len. *)
+
+type t = { pool : Pool.t; root : int; nbuckets : int; buckets : int }
+
+type bug =
+  | Missing_flush_entry
+  | Missing_fence_entry
+  | Missing_flush_slot
+  | Missing_fence_slot
+  | Misplaced_fence_entry
+  | Misplaced_flush_entry
+  | Duplicate_flush_entry
+  | Flush_unmodified
+  | Missing_count_flush
+
+type insert_info = { entry_off : int; slot_off : int }
+
+let entry_size = 32
+
+let pool t = t.pool
+let root_off t = t.root
+
+let hash t key =
+  (* Int64.to_int truncates to 63 bits, so mask AFTER the conversion to
+     keep the result non-negative. *)
+  let h = Int64.to_int (Int64.mul key 0x9E3779B97F4A7C15L) land max_int in
+  h mod t.nbuckets
+
+let create ?(buckets = 1024) pool =
+  let root = Pool.alloc pool 32 in
+  let arr = Pool.alloc pool (8 * buckets) in
+  Pool.set_root pool root;
+  Pool.store_int ~line:600 pool ~off:root buckets;
+  Pool.store_int ~line:601 pool ~off:(root + 8) 0;
+  Pool.store_int ~line:602 pool ~off:(root + 16) arr;
+  Pool.persist ~line:603 pool ~off:root ~size:24;
+  { pool; root; nbuckets = buckets; buckets = arr }
+
+let open_ pool ~root =
+  let nbuckets = Pool.load_int pool ~off:root in
+  let buckets = Pool.load_int pool ~off:(root + 16) in
+  { pool; root; nbuckets; buckets }
+
+let cardinal t = Pool.load_int t.pool ~off:(t.root + 8)
+let slot_of t key = t.buckets + (8 * hash t key)
+let entry_key t e = Pool.load_i64 t.pool ~off:e
+let entry_next t e = Pool.load_int t.pool ~off:(e + 8)
+let entry_val t e = (Pool.load_int t.pool ~off:(e + 16), Pool.load_int t.pool ~off:(e + 24))
+
+let find_entry t key =
+  let rec go e = if e = 0 then None else if entry_key t e = key then Some e else go (entry_next t e) in
+  go (Pool.load_int t.pool ~off:(slot_of t key))
+
+let insert ?bug t ~key ~value =
+  let slot = slot_of t key in
+  match find_entry t key with
+  | Some e ->
+    (* Update in place: write the new value block first, persist it, then
+       swing the entry's value pointer and persist that. *)
+    let voff = Value_block.write t.pool value in
+    let old_off, old_len = entry_val t e in
+    Pool.store_int ~line:610 t.pool ~off:(e + 16) voff;
+    Pool.store_int ~line:611 t.pool ~off:(e + 24) (Bytes.length value);
+    Pool.persist ~line:612 t.pool ~off:(e + 16) ~size:16;
+    Value_block.free t.pool ~off:old_off ~len:old_len;
+    { entry_off = e; slot_off = slot }
+  | None ->
+    let head = Pool.load_int t.pool ~off:slot in
+    let e = Pool.alloc t.pool entry_size in
+    let voff = Value_block.write t.pool value in
+    if bug = Some Misplaced_fence_entry then Pool.drain ~line:619 t.pool;
+    Pool.store_i64 ~line:620 t.pool ~off:e key;
+    Pool.store_int ~line:621 t.pool ~off:(e + 8) head;
+    Pool.store_int ~line:622 t.pool ~off:(e + 16) voff;
+    Pool.store_int ~line:623 t.pool ~off:(e + 24) (Bytes.length value);
+    (* Persist the entry before publishing it. *)
+    (match bug with
+    | Some Missing_flush_entry -> Pool.drain ~line:624 t.pool
+    | Some Missing_fence_entry -> Pool.flush ~line:625 t.pool ~off:e ~size:entry_size
+    | Some Misplaced_fence_entry ->
+      (* The fence already ran, before the stores; flush only. *)
+      Pool.flush ~line:626 t.pool ~off:e ~size:entry_size
+    | Some Misplaced_flush_entry ->
+      (* Covers only the first 8 bytes of the entry. *)
+      Pool.persist ~line:627 t.pool ~off:e ~size:8
+    | Some Duplicate_flush_entry ->
+      Pool.flush ~line:628 t.pool ~off:e ~size:entry_size;
+      Pool.flush ~line:629 t.pool ~off:e ~size:entry_size;
+      Pool.drain ~line:630 t.pool
+    | Some Flush_unmodified ->
+      Pool.flush ~line:631 t.pool ~off:(t.root + 24) ~size:8;
+      Pool.persist ~line:632 t.pool ~off:e ~size:entry_size
+    | Some Missing_flush_slot | Some Missing_fence_slot | Some Missing_count_flush | None ->
+      Pool.persist ~line:633 t.pool ~off:e ~size:entry_size);
+    (* Publish: link the bucket head to the new entry. *)
+    Pool.store_int ~line:634 t.pool ~off:slot e;
+    (match bug with
+    | Some Missing_flush_slot -> ()
+    | Some Missing_fence_slot -> Pool.flush ~line:635 t.pool ~off:slot ~size:8
+    | _ -> Pool.persist ~line:636 t.pool ~off:slot ~size:8);
+    (* The fundamental low-level checkers (paper Fig. 5a): the entry must
+       persist before the slot that publishes it, and the slot must be
+       durable here. *)
+    Pool.is_ordered_before ~line:637 t.pool ~a_off:e ~a_size:entry_size ~b_off:slot ~b_size:8;
+    Pool.is_persist ~line:638 t.pool ~off:slot ~size:8;
+    (* Element count, persisted last. *)
+    Pool.store_int ~line:639 t.pool ~off:(t.root + 8) (cardinal t + 1);
+    if bug <> Some Missing_count_flush then
+      Pool.persist ~line:640 t.pool ~off:(t.root + 8) ~size:8;
+    Pool.is_persist ~line:641 t.pool ~off:(t.root + 8) ~size:8;
+    { entry_off = e; slot_off = slot }
+
+let lookup t ~key =
+  match find_entry t key with
+  | None -> None
+  | Some e ->
+    let voff, vlen = entry_val t e in
+    Some (Value_block.read t.pool ~off:voff ~len:vlen)
+
+let remove t ~key =
+  let slot = slot_of t key in
+  let rec find_prev prev_slot e =
+    if e = 0 then None
+    else if entry_key t e = key then Some (prev_slot, e)
+    else find_prev (e + 8) (entry_next t e)
+  in
+  match find_prev slot (Pool.load_int t.pool ~off:slot) with
+  | None -> false
+  | Some (prev_slot, e) ->
+    let voff, vlen = entry_val t e in
+    (* Unlink, persist the unlink, then reclaim. *)
+    Pool.store_int ~line:650 t.pool ~off:prev_slot (entry_next t e);
+    Pool.persist ~line:651 t.pool ~off:prev_slot ~size:8;
+    Pool.is_persist ~line:652 t.pool ~off:prev_slot ~size:8;
+    Value_block.free t.pool ~off:voff ~len:vlen;
+    Pool.free t.pool ~off:e ~size:entry_size;
+    Pool.store_int ~line:653 t.pool ~off:(t.root + 8) (cardinal t - 1);
+    Pool.persist ~line:654 t.pool ~off:(t.root + 8) ~size:8;
+    true
+
+let iter t f =
+  for b = 0 to t.nbuckets - 1 do
+    let rec go e =
+      if e <> 0 then begin
+        let voff, vlen = entry_val t e in
+        f (entry_key t e) (Value_block.read t.pool ~off:voff ~len:vlen);
+        go (entry_next t e)
+      end
+    in
+    go (Pool.load_int t.pool ~off:(t.buckets + (8 * b)))
+  done
+
+let check_consistent t =
+  let heap = Pool.heap_start t.pool in
+  let size = Pmtest_pmem.Machine.size (Pool.machine t.pool) in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let reachable = ref 0 in
+  for b = 0 to t.nbuckets - 1 do
+    let rec go e steps =
+      if steps > 1_000_000 then err "cycle suspected in bucket %d" b
+      else if e <> 0 then
+        if e < heap || e + entry_size > size then err "entry 0x%x outside heap" e
+        else begin
+          incr reachable;
+          let k = entry_key t e in
+          if hash t k <> b then err "key %Ld found in wrong bucket %d" k b;
+          let voff, vlen = entry_val t e in
+          if vlen < 0 || (vlen > 0 && (voff < heap || voff + vlen > size)) then
+            err "entry 0x%x has bad value block" e;
+          go (entry_next t e) (steps + 1)
+        end
+    in
+    go (Pool.load_int t.pool ~off:(t.buckets + (8 * b))) 0
+  done;
+  if !reachable <> cardinal t then
+    err "count mismatch: %d reachable, count says %d" !reachable (cardinal t);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

@@ -1,0 +1,44 @@
+(** Chained hash map maintained with {e low-level} primitives — no
+    transactions (PMDK's [hashmap_atomic]; the paper's "HashMap (w/o TX)"
+    microbenchmark and its Fig. 1a-style running example).
+
+    Crash consistency is hand-rolled: a new entry is fully written and
+    persisted {e before} the bucket head is relinked to it, and the relink
+    itself is persisted before the element count is bumped. Each insert
+    self-annotates with the two fundamental low-level checkers:
+
+    - [isOrderedBefore entry slot] — the entry must be durable before it
+      is published;
+    - [isPersist slot] and [isPersist count] after their barriers.
+
+    The {!bug} switches remove or misplace individual writebacks and
+    fences, generating the low-level rows of Table 5. *)
+
+type t
+
+type bug =
+  | Missing_flush_entry  (** No [clwb] of the new entry (writeback bug). *)
+  | Missing_fence_entry  (** [clwb] but no [sfence] before publishing. *)
+  | Missing_flush_slot  (** Bucket head never written back. *)
+  | Missing_fence_slot  (** Bucket head written back but not fenced. *)
+  | Misplaced_fence_entry
+      (** The fence runs {e before} the entry writeback instead of after. *)
+  | Misplaced_flush_entry
+      (** The entry writeback covers only part of the entry. *)
+  | Duplicate_flush_entry  (** The entry is written back twice. *)
+  | Flush_unmodified  (** An untouched scratch range is written back. *)
+  | Missing_count_flush  (** The element count is never persisted. *)
+
+type insert_info = { entry_off : int; slot_off : int }
+
+val create : ?buckets:int -> Pool.t -> t
+val open_ : Pool.t -> root:int -> t
+val root_off : t -> int
+val pool : t -> Pool.t
+
+val insert : ?bug:bug -> t -> key:int64 -> value:bytes -> insert_info
+val lookup : t -> key:int64 -> bytes option
+val remove : t -> key:int64 -> bool
+val cardinal : t -> int
+val iter : t -> (int64 -> bytes -> unit) -> unit
+val check_consistent : t -> (unit, string) result

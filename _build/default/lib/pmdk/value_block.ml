@@ -1,0 +1,11 @@
+let write pool payload =
+  if Bytes.length payload = 0 then 0
+  else begin
+    let off = Pool.alloc pool (Bytes.length payload) in
+    Pool.store_bytes ~line:5 pool ~off payload;
+    if not (Pool.tx_active pool) then Pool.persist ~line:6 pool ~off ~size:(Bytes.length payload);
+    off
+  end
+
+let read pool ~off ~len = if len = 0 then Bytes.create 0 else Pool.load_bytes pool ~off ~len
+let free pool ~off ~len = if len > 0 then Pool.free pool ~off ~size:len

@@ -1,0 +1,14 @@
+(** Separately allocated value payloads shared by the map examples.
+
+    Every map stores its values out-of-line: a block is allocated, filled
+    inside the enclosing transaction (or persisted immediately when there
+    is none), and the node records [(off, len)]. Scaling the payload is
+    how the Fig. 10 benchmark varies the transaction size. *)
+
+val write : Pool.t -> bytes -> int
+(** Allocate a block, store the payload, return its offset. *)
+
+val read : Pool.t -> off:int -> len:int -> bytes
+
+val free : Pool.t -> off:int -> len:int -> unit
+(** Release the block (no-op for the empty payload). *)

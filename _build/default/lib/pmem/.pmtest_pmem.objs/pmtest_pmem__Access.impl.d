@@ -1,0 +1,1 @@
+lib/pmem/access.ml: Bytes Char Int64 Machine String

@@ -1,0 +1,1 @@
+lib/pmem/access.mli: Machine

@@ -1,0 +1,1 @@
+lib/pmem/instr.ml: Access Bytes Event Int64 Loc Machine Pmtest_trace Pmtest_util Sink

@@ -1,0 +1,1 @@
+lib/pmem/instr.mli: Event Loc Machine Pmtest_trace Pmtest_util Sink

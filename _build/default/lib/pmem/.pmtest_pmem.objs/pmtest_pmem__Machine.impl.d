@@ -1,0 +1,1 @@
+lib/pmem/machine.ml: Array Bytes Hashtbl List Pmtest_model Pmtest_util Printf Rng Vec

@@ -1,0 +1,1 @@
+lib/pmem/machine.mli: Pmtest_util Rng

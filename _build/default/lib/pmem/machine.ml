@@ -1,0 +1,208 @@
+open Pmtest_util
+module Model = Pmtest_model.Model
+
+let line_size = Model.cache_line
+
+type t = {
+  volatile : Bytes.t;
+  media : Bytes.t;
+  track_versions : bool;
+  (* line index -> full-line snapshot after each store to the line, oldest
+     first; present only while the line is dirty and tracking is on. *)
+  versions : (int, Bytes.t Vec.t) Hashtbl.t;
+  dirty : (int, unit) Hashtbl.t;
+  (* line index -> content captured by clwb, awaiting the next sfence; the
+     int is the number of versions the snapshot covers. *)
+  pending : (int, Bytes.t * int) Hashtbl.t;
+  mutable epoch : int;
+}
+
+let round_up_lines size = (size + line_size - 1) / line_size * line_size
+
+let create ?(track_versions = false) ~size () =
+  let size = round_up_lines (max size line_size) in
+  {
+    volatile = Bytes.make size '\000';
+    media = Bytes.make size '\000';
+    track_versions;
+    versions = Hashtbl.create 64;
+    dirty = Hashtbl.create 64;
+    pending = Hashtbl.create 16;
+    epoch = 0;
+  }
+
+let of_image ?(track_versions = false) image =
+  let size = round_up_lines (Bytes.length image) in
+  let volatile = Bytes.make size '\000' in
+  Bytes.blit image 0 volatile 0 (Bytes.length image);
+  {
+    volatile;
+    media = Bytes.copy volatile;
+    track_versions;
+    versions = Hashtbl.create 64;
+    dirty = Hashtbl.create 64;
+    pending = Hashtbl.create 16;
+    epoch = 0;
+  }
+
+let size t = Bytes.length t.volatile
+let track_versions t = t.track_versions
+let epoch t = t.epoch
+let dirty_line_count t = Hashtbl.length t.dirty
+
+let check_range t ~addr ~len name =
+  if addr < 0 || len <= 0 || addr + len > size t then
+    invalid_arg
+      (Printf.sprintf "Machine.%s: range [0x%x,+%d) outside device of %d bytes" name addr len
+         (size t))
+
+let line_bytes src line =
+  let b = Bytes.make line_size '\000' in
+  Bytes.blit src (line * line_size) b 0 line_size;
+  b
+
+let snapshot_line t line =
+  if t.track_versions then begin
+    let vec =
+      match Hashtbl.find_opt t.versions line with
+      | Some v -> v
+      | None ->
+        let v = Vec.create () in
+        Hashtbl.replace t.versions line v;
+        v
+    in
+    Vec.push vec (line_bytes t.volatile line)
+  end
+
+let mark_dirty t line =
+  if not (Hashtbl.mem t.dirty line) then Hashtbl.replace t.dirty line ()
+
+let store t ~addr b =
+  let len = Bytes.length b in
+  check_range t ~addr ~len "store";
+  Bytes.blit b 0 t.volatile addr len;
+  let first, last = Model.line_span ~addr ~size:len in
+  for line = first to last do
+    mark_dirty t line;
+    snapshot_line t line
+  done
+
+let store_string t ~addr s = store t ~addr (Bytes.of_string s)
+
+let load t ~addr ~len =
+  check_range t ~addr ~len "load";
+  Bytes.sub t.volatile addr len
+
+let clwb t ~addr ~size:sz =
+  check_range t ~addr ~len:sz "clwb";
+  let first, last = Model.line_span ~addr ~size:sz in
+  for line = first to last do
+    if Hashtbl.mem t.dirty line then
+      let covered =
+        match Hashtbl.find_opt t.versions line with Some v -> Vec.length v | None -> 0
+      in
+      Hashtbl.replace t.pending line (line_bytes t.volatile line, covered)
+  done
+
+let clean_line t line =
+  Hashtbl.remove t.dirty line;
+  Hashtbl.remove t.versions line
+
+let sfence t =
+  Hashtbl.iter
+    (fun line (snap, covered) ->
+      Bytes.blit snap 0 t.media (line * line_size) line_size;
+      (* Stores issued after the clwb remain pending for this line. *)
+      let still_dirty =
+        if t.track_versions then begin
+          match Hashtbl.find_opt t.versions line with
+          | Some vec when Vec.length vec > covered ->
+            let rest = Vec.create () in
+            for i = covered to Vec.length vec - 1 do
+              Vec.push rest (Vec.get vec i)
+            done;
+            Hashtbl.replace t.versions line rest;
+            true
+          | Some _ | None -> false
+        end
+        else not (Bytes.equal snap (line_bytes t.volatile line))
+      in
+      if not still_dirty then clean_line t line)
+    t.pending;
+  Hashtbl.reset t.pending;
+  t.epoch <- t.epoch + 1
+
+let persist_all t =
+  Bytes.blit t.volatile 0 t.media 0 (size t);
+  Hashtbl.reset t.dirty;
+  Hashtbl.reset t.versions;
+  Hashtbl.reset t.pending;
+  t.epoch <- t.epoch + 1
+
+let ofence t = t.epoch <- t.epoch + 1
+let dfence t = persist_all t
+
+let volatile_image t = Bytes.copy t.volatile
+let media_image t = Bytes.copy t.media
+
+let require_tracking t name =
+  if not t.track_versions then
+    invalid_arg ("Machine." ^ name ^ ": machine created without ~track_versions:true")
+
+let dirty_choices t =
+  (* For each dirty line: the list of candidate durable contents — media
+     baseline plus each tracked version. *)
+  Hashtbl.fold
+    (fun line () acc ->
+      let candidates =
+        match Hashtbl.find_opt t.versions line with
+        | Some vec -> Array.append [| line_bytes t.media line |] (Vec.to_array vec)
+        | None -> [| line_bytes t.media line; line_bytes t.volatile line |]
+      in
+      (line, candidates) :: acc)
+    t.dirty []
+
+let crash_state_count t =
+  require_tracking t "crash_state_count";
+  List.fold_left
+    (fun acc (_, candidates) -> acc *. float_of_int (Array.length candidates))
+    1.0 (dirty_choices t)
+
+let iter_crash_states ?(limit = 65536) t f =
+  require_tracking t "iter_crash_states";
+  let choices = Array.of_list (dirty_choices t) in
+  let image = media_image t in
+  let emitted = ref 0 in
+  let truncated = ref false in
+  let rec go i =
+    if !truncated then ()
+    else if i = Array.length choices then begin
+      if !emitted >= limit then truncated := true
+      else begin
+        incr emitted;
+        f image
+      end
+    end
+    else begin
+      let line, candidates = choices.(i) in
+      Array.iter
+        (fun content ->
+          if not !truncated then begin
+            Bytes.blit content 0 image (line * line_size) line_size;
+            go (i + 1)
+          end)
+        candidates
+    end
+  in
+  go 0;
+  not !truncated
+
+let sample_crash_state t rng =
+  require_tracking t "sample_crash_state";
+  let image = media_image t in
+  List.iter
+    (fun (line, candidates) ->
+      let content = candidates.(Rng.int rng (Array.length candidates)) in
+      Bytes.blit content 0 image (line * line_size) line_size)
+    (dirty_choices t);
+  image

@@ -1,0 +1,86 @@
+(** Simulated persistent-memory hardware.
+
+    The simulator separates the two views a real PM system has:
+
+    - the {e volatile} view — what loads observe (CPU caches included);
+    - the {e media} — bytes guaranteed durable across a crash.
+
+    A store only updates the volatile view and marks its cache lines dirty.
+    [clwb] snapshots the line's current content as {e pending}; the next
+    [sfence] commits every pending snapshot to media. A dirty line may
+    {e also} persist spontaneously at any moment (cache eviction), which is
+    precisely why unordered writes are dangerous: {!iter_crash_states}
+    enumerates every durable image the model admits, choosing independently
+    for each dirty line how many of its stores made it to media.
+
+    Version tracking (needed for crash-state enumeration) costs memory per
+    store, so it is off by default; benchmarks run untracked while the
+    crash-consistency oracle tests enable it. *)
+
+open Pmtest_util
+
+type t
+
+val create : ?track_versions:bool -> size:int -> unit -> t
+(** Fresh machine, volatile view and media both zeroed. [size] is rounded
+    up to a whole number of cache lines. *)
+
+val of_image : ?track_versions:bool -> bytes -> t
+(** Boot a machine from a durable image (recovery after a crash). *)
+
+val size : t -> int
+val track_versions : t -> bool
+
+(** {1 Program-visible operations} *)
+
+val store : t -> addr:int -> bytes -> unit
+(** Store [bytes] at [addr] in the volatile view. *)
+
+val store_string : t -> addr:int -> string -> unit
+val load : t -> addr:int -> len:int -> bytes
+val clwb : t -> addr:int -> size:int -> unit
+(** Initiate writeback of every cache line the range touches. The content
+    captured is the volatile content {e at this moment}: stores that hit
+    the line after the [clwb] but before the fence are not covered. *)
+
+val sfence : t -> unit
+(** Commit pending writebacks to media (x86). *)
+
+val ofence : t -> unit
+(** HOPS ordering fence: advances the epoch, persists nothing. *)
+
+val dfence : t -> unit
+(** HOPS durability fence: drains {e all} dirty lines to media. *)
+
+val persist_all : t -> unit
+(** Clean shutdown: everything volatile becomes durable. *)
+
+(** {1 Inspection} *)
+
+val volatile_image : t -> bytes
+(** Copy of the volatile view. *)
+
+val media_image : t -> bytes
+(** Copy of the guaranteed-durable bytes (the crash image if no dirty line
+    happened to be evicted). *)
+
+val dirty_line_count : t -> int
+val epoch : t -> int
+(** Number of fences executed (diagnostic only). *)
+
+(** {1 Crash-state oracle} *)
+
+val crash_state_count : t -> float
+(** Number of distinct durable images reachable if the machine lost power
+    now (as a float — it is a product over dirty lines and explodes
+    combinatorially, which is the Yat problem). Requires version tracking. *)
+
+val iter_crash_states : ?limit:int -> t -> (bytes -> unit) -> bool
+(** Enumerate reachable durable images, calling the function on each; stops
+    after [limit] images (default 65536) and returns [false] if truncated,
+    [true] if the enumeration was exhaustive. The same buffer is reused
+    between calls — copy it if you keep it. Requires version tracking. *)
+
+val sample_crash_state : t -> Rng.t -> bytes
+(** One uniformly-chosen-per-line reachable durable image. Requires
+    version tracking. *)

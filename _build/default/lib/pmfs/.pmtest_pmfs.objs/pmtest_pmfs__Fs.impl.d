@@ -1,0 +1,1 @@
+lib/pmfs/fs.ml: Bytes Format Hashtbl Int64 List Option Pmtest_pmem Pmtest_trace String

@@ -1,0 +1,1 @@
+lib/pmfs/fs.mli: Pmtest_pmem Pmtest_trace Sink

@@ -1,0 +1,517 @@
+module Machine = Pmtest_pmem.Machine
+module Instr = Pmtest_pmem.Instr
+module Access = Pmtest_pmem.Access
+module Event = Pmtest_trace.Event
+
+let source_file = "pmfs/fs.c"
+let magic = 0x504D_4653_4F43_616DL
+
+(* --- Layout ---------------------------------------------------------------
+   super (64B) @0:
+     [0]=magic [8]=device size [16]=ninodes [24]=nblocks
+     [32]=journal_off [40]=itable_off [48]=bitmap_off [56]=data_off
+   journal: header {n_entries(8), pad(56)} + entries (128B each):
+     le: {addr(8) size(8) data(112)}
+   inode (128B): {type(8) size(8) nlink(8) pad(8) blocks[12] (96)}
+     type: 0=free 1=file 2=dir; root dir is inode 0.
+   bitmap: one byte per data block.
+   dirent (64B, inside dir data blocks): {ino(8) in_use(8) name(48)} *)
+
+let block_size = 512
+let inode_size = 128
+let le_size = 128
+let le_data_cap = 112
+let max_journal_entries = 510
+let dirent_size = 64
+let direct_blocks = 12
+
+type fault =
+  | Journal_double_flush
+  | Data_double_flush
+  | Flush_unmapped
+  | Skip_journal_flush
+  | Skip_commit_fence
+
+type t = {
+  instr : Instr.t;
+  ninodes : int;
+  nblocks : int;
+  journal_off : int;
+  itable_off : int;
+  bitmap_off : int;
+  data_off : int;
+  mutable fault : fault option;
+  mutable recovered : int;
+  (* (le_addr, le_len, target_addr, target_len) per journaled range of
+     the open transaction: for the commit writeback and the post-commit
+     checker annotations. *)
+  mutable tx_ranges : (int * int * int * int) list;
+  mutable tx_open : bool;
+  annotate : bool;
+  (* A scratch region that is never written: the files.c:232 bug flushes
+     it. *)
+  scratch_off : int;
+}
+
+let machine t = Instr.machine t.instr
+let recovered_entries t = t.recovered
+let set_fault t f = t.fault <- f
+
+let super_size = 64
+let journal_size = 64 + (max_journal_entries * le_size)
+
+let geometry ~inodes ~blocks =
+  let journal_off = super_size in
+  let itable_off = journal_off + journal_size in
+  let bitmap_off = itable_off + (inodes * inode_size) in
+  let scratch_off = bitmap_off + blocks in
+  let data_off = (scratch_off + block_size + block_size - 1) / block_size * block_size in
+  let total = data_off + (blocks * block_size) in
+  (journal_off, itable_off, bitmap_off, scratch_off, data_off, total)
+
+(* --- Journal (undo log for metadata) -------------------------------------- *)
+
+let journal_count t = Access.get_int (machine t) t.journal_off
+
+let le_off t i = t.journal_off + 64 + (i * le_size)
+
+let tx_begin t =
+  assert (not t.tx_open);
+  t.tx_open <- true;
+  t.tx_ranges <- []
+
+(* Append an undo record for [addr,size) and persist it before the caller
+   modifies the range in place. *)
+let journal_add t ~line ~addr ~size =
+  assert t.tx_open;
+  if size > le_data_cap then invalid_arg "Fs.journal_add: range too large";
+  let n = journal_count t in
+  if n >= max_journal_entries then failwith "Fs: journal full";
+  let le = le_off t n in
+  let old = Access.get_bytes (machine t) addr size in
+  Instr.store_i64 t.instr ~line ~addr:le (Int64.of_int addr);
+  Instr.store_i64 t.instr ~line:(line + 1) ~addr:(le + 8) (Int64.of_int size);
+  Instr.store_bytes t.instr ~line:(line + 2) ~addr:(le + 16) old;
+  (* Flush exactly the bytes written: header plus [size] bytes of data. *)
+  if t.fault <> Some Skip_journal_flush then
+    Instr.persist_barrier t.instr ~line:(line + 3) ~addr:le ~size:(16 + size);
+  (* Bump the entry count (persisted with the same barrier discipline). *)
+  Instr.store_i64 t.instr ~line:(line + 4) ~addr:t.journal_off (Int64.of_int (n + 1));
+  if t.fault <> Some Skip_journal_flush then
+    Instr.persist_barrier t.instr ~line:(line + 5) ~addr:t.journal_off ~size:8;
+  t.tx_ranges <- (le, 16 + size, addr, size) :: t.tx_ranges
+
+let tx_commit t =
+  assert t.tx_open;
+  (* Write back every metadata range modified under journal protection. *)
+  List.iter
+    (fun (_, _, addr, size) -> Instr.clwb t.instr ~line:630 ~addr ~size)
+    (List.rev t.tx_ranges);
+  if t.fault = Some Journal_double_flush then begin
+    (* journal.c:632: the commit path flushes the log entries again even
+       though they were persisted when appended. *)
+    let n = journal_count t in
+    if n > 0 then Instr.clwb t.instr ~line:632 ~addr:(le_off t 0) ~size:(n * le_size)
+  end;
+  if t.fault <> Some Skip_commit_fence then Instr.sfence t.instr ~line:633;
+  if t.annotate then
+    List.iter
+      (fun (le_addr, le_len, addr, size) ->
+        Instr.checker t.instr ~line:634 Event.(Is_persist { addr; size });
+        (* The undo record must be durable before its in-place change. *)
+        Instr.checker t.instr ~line:637
+          Event.(
+            Is_ordered_before { a_addr = le_addr; a_size = le_len; b_addr = addr; b_size = size }))
+      (List.rev t.tx_ranges);
+  (* Invalidate the journal only after the updates are durable. *)
+  Instr.store_i64 t.instr ~line:635 ~addr:t.journal_off 0L;
+  if t.fault = Some Skip_commit_fence then
+    Instr.clwb t.instr ~line:636 ~addr:t.journal_off ~size:8
+  else Instr.persist_barrier t.instr ~line:636 ~addr:t.journal_off ~size:8;
+  t.tx_open <- false;
+  t.tx_ranges <- []
+
+let journal_recover t =
+  let n = journal_count t in
+  if n > 0 then begin
+    (* Undo newest-first. *)
+    for i = n - 1 downto 0 do
+      let le = le_off t i in
+      let addr = Access.get_int (machine t) le in
+      let size = Access.get_int (machine t) (le + 8) in
+      let old = Access.get_bytes (machine t) (le + 16) size in
+      Instr.store_bytes t.instr ~line:640 ~addr old;
+      Instr.clwb t.instr ~line:641 ~addr ~size;
+      t.recovered <- t.recovered + 1
+    done;
+    Instr.sfence t.instr ~line:642;
+    Instr.store_i64 t.instr ~line:643 ~addr:t.journal_off 0L;
+    Instr.persist_barrier t.instr ~line:644 ~addr:t.journal_off ~size:8
+  end
+
+(* --- Inode and block helpers ----------------------------------------------- *)
+
+let inode_off t ino = t.itable_off + (ino * inode_size)
+let inode_type t ino = Access.get_int (machine t) (inode_off t ino)
+let inode_nsize t ino = Access.get_int (machine t) (inode_off t ino + 8)
+let inode_block t ino i = Access.get_int (machine t) (inode_off t ino + 32 + (8 * i))
+let block_addr t b = t.data_off + (b * block_size)
+let bitmap_byte t b = t.bitmap_off + b
+
+let find_free_inode t =
+  let rec go i = if i >= t.ninodes then None else if inode_type t i = 0 then Some i else go (i + 1) in
+  go 1 (* inode 0 is the root directory *)
+
+let find_free_block t =
+  let m = machine t in
+  let rec go b =
+    if b >= t.nblocks then None
+    else if Access.get_u8 m (bitmap_byte t b) = 0 then Some b
+    else go (b + 1)
+  in
+  go 0
+
+(* Allocate a data block inside the open transaction: journal the bitmap
+   byte, mark it used. *)
+let alloc_block t =
+  match find_free_block t with
+  | None -> Error "no free blocks"
+  | Some b ->
+    journal_add t ~line:100 ~addr:(bitmap_byte t b) ~size:1;
+    Instr.store_u8 t.instr ~line:101 ~addr:(bitmap_byte t b) 1;
+    Ok b
+
+(* --- Mkfs / mount ----------------------------------------------------------- *)
+
+let mkfs ?(track_versions = false) ?(inodes = 64) ?(blocks = 256) ~sink () =
+  let journal_off, itable_off, bitmap_off, scratch_off, data_off, total =
+    geometry ~inodes ~blocks
+  in
+  let machine = Machine.create ~track_versions ~size:total () in
+  let instr = Instr.make ~machine ~sink ~file:source_file in
+  let t =
+    {
+      instr;
+      ninodes = inodes;
+      nblocks = blocks;
+      journal_off;
+      itable_off;
+      bitmap_off;
+      data_off;
+      fault = None;
+      recovered = 0;
+      tx_ranges = [];
+      tx_open = false;
+      annotate = true;
+      scratch_off;
+    }
+  in
+  Instr.store_i64 instr ~line:50 ~addr:0 magic;
+  Instr.store_i64 instr ~line:51 ~addr:8 (Int64.of_int total);
+  Instr.store_i64 instr ~line:52 ~addr:16 (Int64.of_int inodes);
+  Instr.store_i64 instr ~line:53 ~addr:24 (Int64.of_int blocks);
+  Instr.store_i64 instr ~line:54 ~addr:32 (Int64.of_int journal_off);
+  Instr.store_i64 instr ~line:55 ~addr:40 (Int64.of_int itable_off);
+  Instr.store_i64 instr ~line:56 ~addr:48 (Int64.of_int bitmap_off);
+  Instr.store_i64 instr ~line:57 ~addr:56 (Int64.of_int data_off);
+  Instr.persist_barrier instr ~line:58 ~addr:0 ~size:64;
+  (* Empty journal. *)
+  Instr.store_i64 instr ~line:59 ~addr:journal_off 0L;
+  Instr.persist_barrier instr ~line:60 ~addr:journal_off ~size:8;
+  (* Root directory: inode 0, type dir, no blocks yet. *)
+  Instr.store_i64 instr ~line:61 ~addr:(inode_off t 0) 2L;
+  Instr.store_i64 instr ~line:62 ~addr:(inode_off t 0 + 8) 0L;
+  Instr.store_i64 instr ~line:63 ~addr:(inode_off t 0 + 16) 1L;
+  Instr.persist_barrier instr ~line:64 ~addr:(inode_off t 0) ~size:24;
+  t
+
+let mount ~machine ~sink =
+  if Access.get_i64 machine 0 <> magic then invalid_arg "Fs.mount: bad magic";
+  let instr = Instr.make ~machine ~sink ~file:source_file in
+  let geti off = Access.get_int machine off in
+  let inodes = geti 16 and blocks = geti 24 in
+  let _, _, bitmap_off_chk, scratch_off, _, _ = geometry ~inodes ~blocks in
+  ignore bitmap_off_chk;
+  let t =
+    {
+      instr;
+      ninodes = inodes;
+      nblocks = blocks;
+      journal_off = geti 32;
+      itable_off = geti 40;
+      bitmap_off = geti 48;
+      data_off = geti 56;
+      fault = None;
+      recovered = 0;
+      tx_ranges = [];
+      tx_open = false;
+      annotate = true;
+      scratch_off;
+    }
+  in
+  journal_recover t;
+  t
+
+(* --- Directory -------------------------------------------------------------- *)
+
+let dirents_per_block = block_size / dirent_size
+
+(* Iterate the root directory's entries as (dirent address, ino, in_use, name). *)
+let iter_dirents t f =
+  for i = 0 to direct_blocks - 1 do
+    let b = inode_block t 0 i in
+    if b <> 0 then
+      for j = 0 to dirents_per_block - 1 do
+        let de = block_addr t (b - 1) + (j * dirent_size) in
+        let ino = Access.get_int (machine t) de in
+        let in_use = Access.get_int (machine t) (de + 8) in
+        let name = Access.get_string (machine t) (de + 16) 48 in
+        f ~de ~ino ~in_use ~name
+      done
+  done
+
+let find_dirent t name =
+  let found = ref None in
+  iter_dirents t (fun ~de ~ino ~in_use ~name:n ->
+      if !found = None && in_use = 1 && n = name then found := Some (de, ino));
+  !found
+
+let find_free_dirent t =
+  let found = ref None in
+  iter_dirents t (fun ~de ~ino:_ ~in_use ~name:_ ->
+      if !found = None && in_use = 0 then found := Some de);
+  !found
+
+let lookup t name = Option.map snd (find_dirent t name)
+
+let readdir t =
+  let acc = ref [] in
+  iter_dirents t (fun ~de:_ ~ino ~in_use ~name ->
+      if in_use = 1 then acc := (name, ino) :: !acc);
+  List.rev !acc
+
+(* Extend the root directory with one more data block of dirents. *)
+let grow_root_dir t =
+  let rec first_free i =
+    if i >= direct_blocks then Error "root directory full"
+    else if inode_block t 0 i = 0 then Ok i
+    else first_free (i + 1)
+  in
+  match first_free 0 with
+  | Error e -> Error e
+  | Ok slot -> (
+    match alloc_block t with
+    | Error e -> Error e
+    | Ok b ->
+      (* Zero the new block's dirents (data path: flushed directly). *)
+      let addr = block_addr t b in
+      Instr.store_bytes t.instr ~line:110 ~addr (Bytes.make block_size '\000');
+      Instr.clwb t.instr ~line:111 ~addr ~size:block_size;
+      Instr.sfence t.instr ~line:112;
+      let slot_addr = inode_off t 0 + 32 + (8 * slot) in
+      journal_add t ~line:113 ~addr:slot_addr ~size:8;
+      (* Block references are stored +1 so 0 means "no block". *)
+      Instr.store_i64 t.instr ~line:114 ~addr:slot_addr (Int64.of_int (b + 1));
+      Ok ())
+
+let create t name =
+  if String.length name > 47 then Error "name too long"
+  else if lookup t name <> None then Error "file exists"
+  else begin
+    match find_free_inode t with
+    | None -> Error "no free inodes"
+    | Some ino ->
+      tx_begin t;
+      let de =
+        match find_free_dirent t with
+        | Some de -> Ok de
+        | None -> (
+          match grow_root_dir t with
+          | Error e -> Error e
+          | Ok () -> (
+            match find_free_dirent t with
+            | Some de -> Ok de
+            | None -> Error "no dirent after grow"))
+      in
+      match de with
+      | Error e ->
+        tx_commit t;
+        Error e
+      | Ok de ->
+        (* Initialise the inode under journal protection. *)
+        journal_add t ~line:120 ~addr:(inode_off t ino) ~size:24;
+        Instr.store_i64 t.instr ~line:121 ~addr:(inode_off t ino) 1L;
+        Instr.store_i64 t.instr ~line:122 ~addr:(inode_off t ino + 8) 0L;
+        Instr.store_i64 t.instr ~line:123 ~addr:(inode_off t ino + 16) 1L;
+        (* Then the directory entry. *)
+        journal_add t ~line:124 ~addr:de ~size:dirent_size;
+        Instr.store_i64 t.instr ~line:125 ~addr:de (Int64.of_int ino);
+        Instr.store_string t.instr ~line:126 ~addr:(de + 16) ~len:48 name;
+        Instr.store_i64 t.instr ~line:127 ~addr:(de + 8) 1L;
+        tx_commit t;
+        Ok ino
+  end
+
+let unlink t name =
+  match find_dirent t name with
+  | None -> Error "no such file"
+  | Some (de, ino) ->
+    tx_begin t;
+    (* Free the file's blocks in the bitmap. *)
+    for i = 0 to direct_blocks - 1 do
+      let b = inode_block t ino i in
+      if b <> 0 then begin
+        journal_add t ~line:130 ~addr:(bitmap_byte t (b - 1)) ~size:1;
+        Instr.store_u8 t.instr ~line:131 ~addr:(bitmap_byte t (b - 1)) 0
+      end
+    done;
+    (* Clear the block references and free the inode. *)
+    journal_add t ~line:132 ~addr:(inode_off t ino) ~size:16;
+    Instr.store_i64 t.instr ~line:133 ~addr:(inode_off t ino) 0L;
+    Instr.store_i64 t.instr ~line:134 ~addr:(inode_off t ino + 8) 0L;
+    for i = 0 to direct_blocks - 1 do
+      if inode_block t ino i <> 0 then begin
+        journal_add t ~line:135 ~addr:(inode_off t ino + 32 + (8 * i)) ~size:8;
+        Instr.store_i64 t.instr ~line:136 ~addr:(inode_off t ino + 32 + (8 * i)) 0L
+      end
+    done;
+    (* Mark the dirent unused. *)
+    journal_add t ~line:137 ~addr:(de + 8) ~size:8;
+    Instr.store_i64 t.instr ~line:138 ~addr:(de + 8) 0L;
+    tx_commit t;
+    Ok ()
+
+(* --- File data -------------------------------------------------------------- *)
+
+let file_size t ~ino = inode_nsize t ino
+
+let write t ~ino ~off data =
+  if inode_type t ino <> 1 then Error "not a file"
+  else begin
+    let len = String.length data in
+    let last = off + len in
+    if last > direct_blocks * block_size then Error "file too large"
+    else begin
+      tx_begin t;
+      (* Make sure every touched block is allocated. *)
+      let first_blk = off / block_size in
+      let last_blk = (last - 1) / block_size in
+      let alloc_failed = ref None in
+      for i = first_blk to last_blk do
+        if !alloc_failed = None && inode_block t ino i = 0 then begin
+          match alloc_block t with
+          | Error e -> alloc_failed := Some e
+          | Ok b ->
+            let slot = inode_off t ino + 32 + (8 * i) in
+            journal_add t ~line:140 ~addr:slot ~size:8;
+            Instr.store_i64 t.instr ~line:141 ~addr:slot (Int64.of_int (b + 1))
+        end
+      done;
+      match !alloc_failed with
+      | Some e ->
+        tx_commit t;
+        Error e
+      | None ->
+        (* Data goes in place (XIP), flushed directly — not journaled. *)
+        let pos = ref off in
+        let remaining = ref len in
+        while !remaining > 0 do
+          let blk = !pos / block_size in
+          let in_blk = !pos mod block_size in
+          let chunk = min !remaining (block_size - in_blk) in
+          let addr = block_addr t (inode_block t ino blk - 1) + in_blk in
+          let piece = String.sub data (len - !remaining) chunk in
+          Instr.store_bytes t.instr ~line:205 ~addr (Bytes.of_string piece);
+          Instr.clwb t.instr ~line:206 ~addr ~size:chunk;
+          if t.fault = Some Data_double_flush then
+            (* xips.c:207/262: the same buffer is written back twice. *)
+            Instr.clwb t.instr ~line:207 ~addr ~size:chunk;
+          pos := !pos + chunk;
+          remaining := !remaining - chunk
+        done;
+        Instr.sfence t.instr ~line:208;
+        (* Size update is metadata: journaled. *)
+        if last > inode_nsize t ino then begin
+          journal_add t ~line:209 ~addr:(inode_off t ino + 8) ~size:8;
+          Instr.store_i64 t.instr ~line:210 ~addr:(inode_off t ino + 8) (Int64.of_int last)
+        end;
+        tx_commit t;
+        Ok ()
+    end
+  end
+
+let read t ~ino ~off ~len =
+  if inode_type t ino <> 1 then Error "not a file"
+  else begin
+    let size = inode_nsize t ino in
+    let len = max 0 (min len (size - off)) in
+    if t.fault = Some Flush_unmapped then
+      (* files.c:232: the read path flushes a buffer nothing ever wrote. *)
+      Instr.clwb t.instr ~line:232 ~addr:t.scratch_off ~size:64;
+    let buf = Bytes.create len in
+    let pos = ref off in
+    let remaining = ref len in
+    while !remaining > 0 do
+      let blk = !pos / block_size in
+      let in_blk = !pos mod block_size in
+      let chunk = min !remaining (block_size - in_blk) in
+      let b = inode_block t ino blk in
+      if b = 0 then Bytes.fill buf (len - !remaining) chunk '\000'
+      else
+        Bytes.blit
+          (Instr.load_bytes t.instr ~addr:(block_addr t (b - 1) + in_blk) ~len:chunk)
+          0 buf (len - !remaining) chunk;
+      pos := !pos + chunk;
+      remaining := !remaining - chunk
+    done;
+    Ok (Bytes.to_string buf)
+  end
+
+let fsync t ~ino =
+  (* Data is flushed on the write path; fsync drains outstanding stores. *)
+  ignore ino;
+  Instr.sfence t.instr ~line:260
+
+(* --- Consistency ------------------------------------------------------------- *)
+
+let check_consistent t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let m = machine t in
+  let referenced = Hashtbl.create 64 in
+  (* Walk every live inode's block list. *)
+  for ino = 0 to t.ninodes - 1 do
+    let ty = inode_type t ino in
+    if ty <> 0 then begin
+      if ty <> 1 && ty <> 2 then err "inode %d has invalid type %d" ino ty;
+      for i = 0 to direct_blocks - 1 do
+        let b = inode_block t ino i in
+        if b <> 0 then begin
+          let b = b - 1 in
+          if b < 0 || b >= t.nblocks then err "inode %d references bad block %d" ino b
+          else begin
+            if Hashtbl.mem referenced b then err "block %d referenced twice" b;
+            Hashtbl.replace referenced b ino;
+            if Access.get_u8 m (bitmap_byte t b) = 0 then
+              err "block %d referenced by inode %d but free in bitmap" b ino
+          end
+        end
+      done;
+      if ty = 1 && inode_nsize t ino > direct_blocks * block_size then
+        err "inode %d has impossible size %d" ino (inode_nsize t ino)
+    end
+  done;
+  (* Bitmap bytes must be 0/1 and set only for referenced blocks. *)
+  for b = 0 to t.nblocks - 1 do
+    let v = Access.get_u8 m (bitmap_byte t b) in
+    if v <> 0 && v <> 1 then err "bitmap byte for block %d is %d" b v;
+    if v = 1 && not (Hashtbl.mem referenced b) then err "block %d leaked (set but unreferenced)" b
+  done;
+  (* Directory entries must reference live file inodes. *)
+  iter_dirents t (fun ~de:_ ~ino ~in_use ~name ->
+      if in_use = 1 then begin
+        if ino < 0 || ino >= t.ninodes then err "dirent %s references bad inode %d" name ino
+        else if inode_type t ino <> 1 then err "dirent %s references non-file inode %d" name ino;
+        if name = "" then err "dirent with inode %d has empty name" ino
+      end);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

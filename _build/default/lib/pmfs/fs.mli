@@ -1,0 +1,70 @@
+(** Simulated PMFS — a PM-optimized file system kernel module
+    (Dulloor et al., EuroSys'14; the paper's kernel-space CCS).
+
+    On-media layout: superblock, undo journal, inode table, block bitmap,
+    data blocks; a single root directory. Metadata updates run inside an
+    undo-journaled transaction (journal entry persisted before the
+    in-place change, all metadata flushed at commit, then the journal is
+    invalidated); file data is written in place and flushed directly, as
+    PMFS does with its XIP path.
+
+    The three Table-6 PMFS bugs are reproducible switches:
+    - {!Journal_double_flush} — journal.c:632: commit writes back the log
+      entry again although it was already flushed when appended (the
+      {e new} bug PMTest found);
+    - {!Data_double_flush} — xips.c:207/262: the data buffer is flushed
+      twice on the write path (known bug);
+    - {!Flush_unmapped} — files.c:232: an untouched buffer is flushed on
+      the read path (known bug).
+
+    And two crash-consistency fault switches for the synthetic suite:
+    - {!Skip_journal_flush} — journal entries are not persisted before
+      the in-place metadata change;
+    - {!Skip_commit_fence} — metadata writebacks at commit are unfenced. *)
+
+open Pmtest_trace
+module Machine = Pmtest_pmem.Machine
+
+type t
+
+type fault =
+  | Journal_double_flush
+  | Data_double_flush
+  | Flush_unmapped
+  | Skip_journal_flush
+  | Skip_commit_fence
+
+val source_file : string
+val block_size : int
+
+val mkfs : ?track_versions:bool -> ?inodes:int -> ?blocks:int -> sink:Sink.t -> unit -> t
+(** Format a fresh device and mount it. *)
+
+val mount : machine:Machine.t -> sink:Sink.t -> t
+(** Mount an existing device image: an interrupted journal is rolled
+    back first. *)
+
+val machine : t -> Machine.t
+val recovered_entries : t -> int
+val set_fault : t -> fault option -> unit
+
+(** {1 File operations} *)
+
+val create : t -> string -> (int, string) result
+(** Create an empty file in the root directory; returns the inode number. *)
+
+val lookup : t -> string -> int option
+val unlink : t -> string -> (unit, string) result
+
+val write : t -> ino:int -> off:int -> string -> (unit, string) result
+(** Write (and persist) file data, extending the file as needed. *)
+
+val read : t -> ino:int -> off:int -> len:int -> (string, string) result
+val file_size : t -> ino:int -> int
+val fsync : t -> ino:int -> unit
+val readdir : t -> (string * int) list
+
+val check_consistent : t -> (unit, string) result
+(** Directory entries reference live inodes, block references are within
+    bounds, no data block is referenced twice, and the bitmap agrees with
+    the set of referenced blocks. *)

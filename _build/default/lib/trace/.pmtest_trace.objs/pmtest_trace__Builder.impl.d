@@ -1,0 +1,1 @@
+lib/trace/builder.ml: Event Pmtest_util Sink Vec

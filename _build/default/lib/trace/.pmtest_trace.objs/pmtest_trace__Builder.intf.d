@@ -1,0 +1,1 @@
+lib/trace/builder.mli: Event Loc Pmtest_util Sink

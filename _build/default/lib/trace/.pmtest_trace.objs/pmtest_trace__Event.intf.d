@@ -1,0 +1,1 @@
+lib/trace/event.mli: Format Loc Pmtest_model Pmtest_util

@@ -1,0 +1,1 @@
+lib/trace/serial.ml: Array Event Fun List Loc Pmtest_model Pmtest_util Printf Sink String Vec

@@ -1,0 +1,1 @@
+lib/trace/sink.ml: Event Loc Pmtest_model Pmtest_util

@@ -1,0 +1,29 @@
+(** Trace serialization: record a program's trace to a file and check it
+    offline later (or on another machine) — the workflow a kernel module
+    uses when its traces are exported through a FIFO (paper §4.5).
+
+    The format is line-oriented text, one entry per line:
+
+    {v
+    <kind>\t<thread>\t<file>\t<line>\t<args...>
+    v}
+
+    with kinds [w]rite, [f]lush (clwb), [s]fence, [o]fence, [d]fence,
+    [cp] (isPersist), [co] (isOrderedBefore), [tb]/[tc]/[ta] (TX begin /
+    commit / abort), [tA] (TX_ADD), [ts]/[te] (TX checker start / end),
+    [xe]/[xi] (exclude / include). Numeric fields are decimal. Tabs in
+    file names are replaced by spaces when writing. *)
+
+val entry_to_line : Event.t -> string
+val entry_of_line : string -> (Event.t, string) result
+
+val write_channel : out_channel -> Event.t array -> unit
+val read_channel : in_channel -> (Event.t array, string) result
+(** Fails with a message naming the first malformed line. *)
+
+val save_file : string -> Event.t array -> unit
+val load_file : string -> (Event.t array, string) result
+
+val recording_sink : unit -> Sink.t * (unit -> Event.t array)
+(** A sink that accumulates everything it sees; the closure returns (and
+    keeps) the entries recorded so far. *)

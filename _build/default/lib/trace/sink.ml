@@ -1,0 +1,19 @@
+open Pmtest_util
+module Model = Pmtest_model.Model
+
+type t = { emit : Event.kind -> Loc.t -> unit }
+
+let null = { emit = (fun _ _ -> ()) }
+
+let tee a b = { emit = (fun k loc -> a.emit k loc; b.emit k loc) }
+
+let counting () =
+  let n = ref 0 in
+  ({ emit = (fun _ _ -> incr n) }, fun () -> !n)
+
+let emit t ?(loc = Loc.none) kind = t.emit kind loc
+let write t ?loc ~addr ~size () = emit t ?loc (Event.Op (Model.Write { addr; size }))
+let clwb t ?loc ~addr ~size () = emit t ?loc (Event.Op (Model.Clwb { addr; size }))
+let sfence t ?loc () = emit t ?loc (Event.Op Model.Sfence)
+let ofence t ?loc () = emit t ?loc (Event.Op Model.Ofence)
+let dfence t ?loc () = emit t ?loc (Event.Op Model.Dfence)

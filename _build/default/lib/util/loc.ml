@@ -1,0 +1,22 @@
+type t = { file : string; line : int }
+
+let make ~file ~line =
+  assert (line >= 0);
+  { file; line }
+
+let none = { file = ""; line = 0 }
+let is_none t = t.file = "" && t.line = 0
+
+let pp ppf t =
+  if is_none t then Format.pp_print_string ppf "<unknown>"
+  else Format.fprintf ppf "%s:%d" t.file t.line
+
+let to_string t = Format.asprintf "%a" pp t
+let equal a b = a.file = b.file && a.line = b.line
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> Int.compare a.line b.line
+  | c -> c
+
+let here ?(file = "<inline>") line = make ~file ~line

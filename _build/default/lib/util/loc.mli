@@ -1,0 +1,27 @@
+(** Source locations attached to PM operations and checkers.
+
+    Every trace entry carries the location of the program statement that
+    produced it, so that diagnostics can be reported as
+    [WARN/FAIL @<file>:<line>] exactly as the paper's checking engine does. *)
+
+type t = private { file : string; line : int }
+
+val make : file:string -> line:int -> t
+(** [make ~file ~line] builds a location. [line] must be non-negative. *)
+
+val none : t
+(** Placeholder for events without a meaningful source position. *)
+
+val is_none : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints [<file>:<line>], or [<unknown>] for {!none}. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val here : ?file:string -> int -> t
+(** [here line] is shorthand used by the simulated libraries: the [file]
+    defaults to the name the library registers for itself. *)

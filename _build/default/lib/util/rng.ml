@@ -1,0 +1,69 @@
+(* Splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014). Chosen because it is tiny, fast, passes
+   BigCrush, and splits cleanly for per-thread streams. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for the
+     bounds used by the workloads (all far below 2^32). *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int bound))
+
+let float t bound =
+  let u = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (u /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Zipf via the classic Gray et al. rejection-free transform: uses the
+   closed-form inverse of the generalized harmonic CDF approximation. *)
+let zipf t ~n ~theta =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  if theta <= 0.0 || theta >= 1.0 then invalid_arg "Rng.zipf: theta in (0,1)";
+  let zeta2 = 1.0 +. (0.5 ** theta) in
+  (* zetan: approximate with the integral bound; exact enough for workload
+     skew and avoids an O(n) precomputation per call. *)
+  let zetan =
+    let fn = float_of_int n in
+    (1.0 -. (fn ** (1.0 -. theta))) /. (theta -. 1.0)
+  in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta = (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta))) /. (1.0 -. (zeta2 /. zetan)) in
+  let u = float t 1.0 in
+  let uz = u *. zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. (0.5 ** theta) then 1
+  else
+    let k = int_of_float (float_of_int n *. (((eta *. u) -. eta +. 1.0) ** alpha)) in
+    if k >= n then n - 1 else if k < 0 then 0 else k

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All workload generators and the crash-state sampler take an explicit
+    generator so experiments are reproducible run-to-run: the same seed
+    yields the same operation stream, which is essential when comparing a
+    run under PMTest against the uninstrumented run of the same program. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Two generators created from the
+    same seed produce the same stream. *)
+
+val copy : t -> t
+(** Independent clone with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator and
+    advances [t]; used to give each thread of a workload its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** Zipfian variate in [\[0, n)]; [theta] in [(0, 1)] controls the skew.
+    Used by the YCSB-style client, which draws keys from a Zipfian
+    distribution like the original benchmark. *)

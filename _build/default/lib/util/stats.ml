@@ -1,0 +1,44 @@
+let check_nonempty name xs = if Array.length xs = 0 then invalid_arg ("Stats." ^ name ^ ": empty")
+
+let mean xs =
+  check_nonempty "mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  check_nonempty "stddev" xs;
+  let m = mean xs in
+  let sq = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  sqrt (sq /. float_of_int (Array.length xs))
+
+let sorted xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  check_nonempty "percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted xs in
+  let n = Array.length ys in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then ys.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (ys.(lo) *. (1.0 -. frac)) +. (ys.(hi) *. frac)
+
+let median xs = percentile xs 50.0
+
+let geomean xs =
+  check_nonempty "geomean" xs;
+  let logsum = Array.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+  exp (logsum /. float_of_int (Array.length xs))
+
+let min xs =
+  check_nonempty "min" xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  check_nonempty "max" xs;
+  Array.fold_left Stdlib.max xs.(0) xs

@@ -1,0 +1,17 @@
+(** Small numeric helpers for the benchmark harness. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val median : float array -> float
+(** Median of a copy of the input (the input is not mutated). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation. *)
+
+val geomean : float array -> float
+(** Geometric mean; the paper reports average slowdowns as ratios, for
+    which the geometric mean is the meaningful aggregate. *)
+
+val min : float array -> float
+val max : float array -> float

@@ -1,0 +1,28 @@
+(** Growable arrays.
+
+    The stdlib gains [Dynarray] only in OCaml 5.2; the trace builder needs
+    an amortised-O(1) append buffer, so we provide our own. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+val clear : 'a t -> unit
+(** Drops all elements but keeps the backing storage. *)
+
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : 'a list -> 'a t
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+
+val take_all : 'a t -> 'a array
+(** [take_all t] returns the contents as a fresh array and clears [t];
+    this is how a trace section is handed to the checking engine. *)

@@ -1,0 +1,1 @@
+lib/workloads/clients.ml: Array Char Int64 List Pmtest_util Printf Rng String

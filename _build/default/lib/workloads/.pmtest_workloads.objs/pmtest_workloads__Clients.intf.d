@@ -1,0 +1,1 @@
+lib/workloads/clients.mli: Pmtest_util Rng

@@ -1,0 +1,1 @@
+lib/workloads/memcached.ml: Array Clients Domain Int64 List Pmtest_mnemosyne Pmtest_util Printf Rng String

@@ -1,0 +1,1 @@
+lib/workloads/memcached.mli: Clients Pmtest_mnemosyne Pmtest_trace Pmtest_util Rng Sink

@@ -1,0 +1,1 @@
+lib/workloads/pmfs_app.ml: Array Clients Pmtest_pmfs

@@ -1,0 +1,1 @@
+lib/workloads/pmfs_app.mli: Clients Pmtest_pmfs

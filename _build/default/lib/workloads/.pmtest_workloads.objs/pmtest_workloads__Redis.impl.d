@@ -1,0 +1,1 @@
+lib/workloads/redis.ml: Array Bytes Clients Hashtbl Pmtest_pmdk Printf

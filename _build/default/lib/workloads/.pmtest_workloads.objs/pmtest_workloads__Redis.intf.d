@@ -1,0 +1,1 @@
+lib/workloads/redis.mli: Clients Pmtest_pmdk Pmtest_trace Sink

@@ -1,0 +1,1 @@
+lib/workloads/vacation.ml: Array Bytes Format Hashtbl Int64 List Option Pmtest_pmdk Pmtest_util Rng String

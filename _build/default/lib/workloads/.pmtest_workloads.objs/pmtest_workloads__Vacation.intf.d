@@ -1,0 +1,1 @@
+lib/workloads/vacation.mli: Pmtest_pmdk Pmtest_trace Pmtest_util Rng Sink

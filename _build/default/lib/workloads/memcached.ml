@@ -1,0 +1,88 @@
+open Pmtest_util
+module Region = Pmtest_mnemosyne.Region
+module Pmap = Pmtest_mnemosyne.Pmap
+
+type shard = { region : Region.t; pmap : Pmap.t }
+type t = { shards : shard array; value_cap : int }
+
+let create ?(shard_size = 8 * 1024 * 1024) ?(buckets = 512) ?(value_cap = 64) ~shards ~sink_of
+    () =
+  if shards <= 0 then invalid_arg "Memcached.create: need at least one shard";
+  let mk i =
+    let region = Region.create ~size:shard_size ~sink:(sink_of i) () in
+    let pmap = Pmap.create ~buckets ~value_cap region in
+    { region; pmap }
+  in
+  { shards = Array.init shards mk; value_cap }
+
+let shard_count t = Array.length t.shards
+let pmap t i = t.shards.(i).pmap
+
+let shard_of t key =
+  let h = Int64.to_int (Int64.mul key 0xff51afd7ed558ccdL) land max_int in
+  h mod Array.length t.shards
+
+let partition t ops =
+  let per_shard = Array.make (Array.length t.shards) [] in
+  Array.iter
+    (fun op ->
+      let key = match (op : Clients.kv_op) with Clients.Get k | Clients.Set (k, _) -> k in
+      let s = shard_of t key in
+      per_shard.(s) <- op :: per_shard.(s))
+    ops;
+  Array.map (fun l -> Array.of_list (List.rev l)) per_shard
+
+let apply t ~shard op =
+  let { pmap; _ } = t.shards.(shard) in
+  match (op : Clients.kv_op) with
+  | Clients.Get key -> ignore (Pmap.get pmap ~key)
+  | Clients.Set (key, v) ->
+    let v = if String.length v > t.value_cap then String.sub v 0 t.value_cap else v in
+    Pmap.set pmap ~key ~value:v
+
+let run ?(section_every = 16) ?(on_section = fun _ -> ()) t ~streams =
+  if Array.length streams <> Array.length t.shards then
+    invalid_arg "Memcached.run: one stream per shard required";
+  let serve shard =
+    let stream = streams.(shard) in
+    Array.iteri
+      (fun i op ->
+        apply t ~shard op;
+        if (i + 1) mod section_every = 0 then on_section shard)
+      stream;
+    on_section shard
+  in
+  if Array.length t.shards = 1 then serve 0
+  else begin
+    let domains =
+      Array.mapi (fun i _ -> Domain.spawn (fun () -> serve i)) t.shards
+    in
+    Array.iter Domain.join domains
+  end
+
+let check_consistent t =
+  let rec go i =
+    if i >= Array.length t.shards then Ok ()
+    else
+      match Pmap.check_consistent t.shards.(i).pmap with
+      | Ok () -> go (i + 1)
+      | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+  in
+  go 0
+
+let total_entries t = Array.fold_left (fun acc s -> acc + Pmap.cardinal s.pmap) 0 t.shards
+
+let generate_streams ~client ~ops_per_client ~keys ~seed t =
+  let shards = Array.length t.shards in
+  let per_shard = Array.make shards [] in
+  for c = 0 to shards - 1 do
+    let rng = Rng.create (seed + (c * 7919)) in
+    let ops = client ~ops:ops_per_client ~keys rng in
+    Array.iter
+      (fun op ->
+        let key = match (op : Clients.kv_op) with Clients.Get k | Clients.Set (k, _) -> k in
+        let s = shard_of t key in
+        per_shard.(s) <- op :: per_shard.(s))
+      ops
+  done;
+  Array.map (fun l -> Array.of_list (List.rev l)) per_shard

@@ -1,0 +1,61 @@
+(** Memcached-like persistent KV server over Mnemosyne (paper Table 4).
+
+    The store is sharded: each server thread owns one shard — a Mnemosyne
+    region holding a persistent map — and drains its own client stream, so
+    threads never touch each other's PM state (WHISPER observes that
+    inter-thread PM dependencies are rare; §7.4). Every shard traces to
+    its own sink, matching PMTest's per-thread trace builders. *)
+
+open Pmtest_util
+open Pmtest_trace
+module Pmap = Pmtest_mnemosyne.Pmap
+
+type t
+
+val create :
+  ?shard_size:int ->
+  ?buckets:int ->
+  ?value_cap:int ->
+  shards:int ->
+  sink_of:(int -> Sink.t) ->
+  unit ->
+  t
+(** [sink_of i] is the trace sink for shard/thread [i]. *)
+
+val shard_count : t -> int
+val pmap : t -> int -> Pmap.t
+
+val shard_of : t -> int64 -> int
+(** Which shard serves this key. *)
+
+val partition : t -> Clients.kv_op array -> Clients.kv_op array array
+(** Split a client stream into per-shard streams (a client talks to the
+    shard its key hashes to). *)
+
+val apply : t -> shard:int -> Clients.kv_op -> unit
+(** Serve one operation on the shard (must be called from the thread that
+    owns the shard). *)
+
+val run :
+  ?section_every:int ->
+  ?on_section:(int -> unit) ->
+  t ->
+  streams:Clients.kv_op array array ->
+  unit
+(** Serve each stream on its own domain ([streams] must have one entry per
+    shard). [on_section shard] is invoked every [section_every] operations
+    (default 16) and once at the end — the hook used to send the trace
+    section to the checking pool. *)
+
+val check_consistent : t -> (unit, string) result
+val total_entries : t -> int
+
+val generate_streams :
+  client:(ops:int -> keys:int -> Rng.t -> Clients.kv_op array) ->
+  ops_per_client:int ->
+  keys:int ->
+  seed:int ->
+  t ->
+  Clients.kv_op array array
+(** One client per shard: generate each client's stream and route the ops
+    to the shard that owns each key. *)

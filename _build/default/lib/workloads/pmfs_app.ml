@@ -1,0 +1,31 @@
+module Fs = Pmtest_pmfs.Fs
+
+let apply fs op =
+  match (op : Clients.fs_op) with
+  | Clients.Create name -> ignore (Fs.create fs name)
+  | Clients.Delete name -> ignore (Fs.unlink fs name)
+  | Clients.Write { name; off; data } -> begin
+    match Fs.lookup fs name with
+    | None -> begin
+      match Fs.create fs name with
+      | Ok ino -> ignore (Fs.write fs ~ino ~off data)
+      | Error _ -> ()
+    end
+    | Some ino -> ignore (Fs.write fs ~ino ~off data)
+  end
+  | Clients.Read { name; off; len } -> begin
+    match Fs.lookup fs name with
+    | None -> ()
+    | Some ino -> ignore (Fs.read fs ~ino ~off ~len)
+  end
+  | Clients.Fsync name -> begin
+    match Fs.lookup fs name with None -> () | Some ino -> Fs.fsync fs ~ino
+  end
+
+let run ?(on_section = fun () -> ()) ?(section_every = 8) fs ops =
+  Array.iteri
+    (fun i op ->
+      apply fs op;
+      if (i + 1) mod section_every = 0 then on_section ())
+    ops;
+  on_section ()

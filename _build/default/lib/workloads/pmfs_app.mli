@@ -1,0 +1,12 @@
+(** Drives the simulated PMFS with the file-system client mixes
+    (paper Table 4: PMFS + Filebench / OLTP-complex). *)
+
+module Fs = Pmtest_pmfs.Fs
+
+val apply : Fs.t -> Clients.fs_op -> unit
+(** Serve one operation; unknown names and out-of-space conditions are
+    tolerated the way a load generator tolerates errors. *)
+
+val run : ?on_section:(unit -> unit) -> ?section_every:int -> Fs.t -> Clients.fs_op array -> unit
+(** Apply a stream, invoking [on_section] every [section_every] ops
+    (default 8) and once at the end. *)

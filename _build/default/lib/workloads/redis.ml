@@ -1,0 +1,94 @@
+module Pool = Pmtest_pmdk.Pool
+module Hashmap_tx = Pmtest_pmdk.Hashmap_tx
+
+(* Volatile LRU bookkeeping: key -> tick of last use, plus a min-heap-free
+   linear scan on eviction (capacities in the benchmarks are small enough;
+   Redis itself samples candidates rather than tracking exactly). *)
+type t = {
+  pool : Pool.t;
+  dict : Hashmap_tx.t;
+  capacity : int;
+  annotate : bool;
+  last_use : (int64, int) Hashtbl.t;
+  mutable tick : int;
+  mutable evictions : int;
+}
+
+let create ?(pool_size = 32 * 1024 * 1024) ?(buckets = 4096) ?(capacity = 4096)
+    ?(annotate = true) ~sink () =
+  let pool = Pool.create ~size:pool_size ~sink () in
+  let dict = Hashmap_tx.create ~buckets pool in
+  {
+    pool;
+    dict;
+    capacity;
+    annotate;
+    last_use = Hashtbl.create (2 * capacity);
+    tick = 0;
+    evictions = 0;
+  }
+
+let pool t = t.pool
+let dict t = t.dict
+let capacity t = t.capacity
+let cardinal t = Hashmap_tx.cardinal t.dict
+let evictions t = t.evictions
+
+let touch t key =
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.last_use key t.tick
+
+let lru_victim t =
+  Hashtbl.fold
+    (fun key tick acc ->
+      match acc with Some (_, best) when best <= tick -> acc | _ -> Some (key, tick))
+    t.last_use None
+
+let with_checkers t f =
+  if t.annotate then begin
+    Pool.tx_checker_start t.pool;
+    f ();
+    Pool.tx_checker_end t.pool
+  end
+  else f ()
+
+let del t ~key =
+  let existed = ref false in
+  with_checkers t (fun () ->
+      existed := Hashmap_tx.remove t.dict ~key;
+      if !existed then Hashtbl.remove t.last_use key);
+  !existed
+
+let set t ~key ~value =
+  with_checkers t (fun () ->
+      (* Evict if inserting a fresh key at capacity. *)
+      if (not (Hashtbl.mem t.last_use key)) && cardinal t >= t.capacity then begin
+        match lru_victim t with
+        | Some (victim, _) ->
+          ignore (Hashmap_tx.remove t.dict ~key:victim);
+          Hashtbl.remove t.last_use victim;
+          t.evictions <- t.evictions + 1
+        | None -> ()
+      end;
+      Hashmap_tx.insert t.dict ~key ~value);
+  touch t key
+
+let get t ~key =
+  let r = Hashmap_tx.lookup t.dict ~key in
+  if r <> None then touch t key;
+  r
+
+let apply t op =
+  match (op : Clients.kv_op) with
+  | Clients.Get key -> ignore (get t ~key)
+  | Clients.Set (key, v) -> set t ~key ~value:(Bytes.of_string v)
+
+let run t ops = Array.iter (apply t) ops
+
+let check_consistent t =
+  match Hashmap_tx.check_consistent t.dict with
+  | Error e -> Error e
+  | Ok () ->
+    if cardinal t > t.capacity then
+      Error (Printf.sprintf "over capacity: %d > %d" (cardinal t) t.capacity)
+    else Ok ()

@@ -1,0 +1,35 @@
+(** Redis-like persistent cache over the PMDK transactional hashmap
+    (paper Table 4: Redis + redis-cli LRU test).
+
+    Single-threaded (like Redis' event loop). The dictionary lives in PM;
+    the LRU bookkeeping is volatile runtime state, rebuilt on restart.
+    When the cache is at capacity an insert first evicts the
+    least-recently-used key, each step in its own failure-atomic
+    transaction, optionally wrapped in the transaction checkers the paper
+    uses for this workload. *)
+
+open Pmtest_trace
+module Pool = Pmtest_pmdk.Pool
+module Hashmap_tx = Pmtest_pmdk.Hashmap_tx
+
+type t
+
+val create :
+  ?pool_size:int -> ?buckets:int -> ?capacity:int -> ?annotate:bool -> sink:Sink.t -> unit -> t
+(** [annotate] (default true) wraps every command in
+    [TX_CHECKER_START]/[TX_CHECKER_END]. *)
+
+val pool : t -> Pool.t
+val dict : t -> Hashmap_tx.t
+val capacity : t -> int
+val cardinal : t -> int
+val evictions : t -> int
+
+val set : t -> key:int64 -> value:bytes -> unit
+val get : t -> key:int64 -> bytes option
+val del : t -> key:int64 -> bool
+
+val apply : t -> Clients.kv_op -> unit
+val run : t -> Clients.kv_op array -> unit
+
+val check_consistent : t -> (unit, string) result

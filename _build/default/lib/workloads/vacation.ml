@@ -1,0 +1,197 @@
+open Pmtest_util
+module Pool = Pmtest_pmdk.Pool
+module Hashmap_tx = Pmtest_pmdk.Hashmap_tx
+
+type resource = Car | Flight | Room
+
+let resource_index = function Car -> 0 | Flight -> 1 | Room -> 2
+let resources_all = [| Car; Flight; Room |]
+
+(* Resource record (16 B): total(8) used(8).
+   Customer record (8 + 8*16 B): n(8) then up to 8 reservations of
+   {type(8) id(8)}. *)
+let max_reservations = 8
+let customer_record_size = 8 + (max_reservations * 16)
+
+type t = {
+  pool : Pool.t;
+  tables : Hashmap_tx.t array; (* per resource type *)
+  customers : Hashmap_tx.t;
+  annotate : bool;
+}
+
+let pool t = t.pool
+
+let encode_resource ~total ~used =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 (Int64.of_int total);
+  Bytes.set_int64_le b 8 (Int64.of_int used);
+  b
+
+let decode_resource b = (Int64.to_int (Bytes.get_int64_le b 0), Int64.to_int (Bytes.get_int64_le b 8))
+
+let encode_customer reservations =
+  let b = Bytes.make customer_record_size '\000' in
+  Bytes.set_int64_le b 0 (Int64.of_int (List.length reservations));
+  List.iteri
+    (fun i (ty, id) ->
+      Bytes.set_int64_le b (8 + (16 * i)) (Int64.of_int (resource_index ty));
+      Bytes.set_int64_le b (8 + (16 * i) + 8) id)
+    reservations;
+  b
+
+let decode_customer b =
+  let n = Int64.to_int (Bytes.get_int64_le b 0) in
+  List.init n (fun i ->
+      let ty =
+        match Int64.to_int (Bytes.get_int64_le b (8 + (16 * i))) with
+        | 0 -> Car
+        | 1 -> Flight
+        | _ -> Room
+      in
+      (ty, Bytes.get_int64_le b (8 + (16 * i) + 8)))
+
+let create ?(pool_size = 32 * 1024 * 1024) ?(resources = 64) ?(annotate = true) ~sink () =
+  let pool = Pool.create ~size:pool_size ~sink () in
+  let tables = Array.map (fun _ -> Hashmap_tx.create ~buckets:256 pool) resources_all in
+  let customers = Hashmap_tx.create ~buckets:512 pool in
+  (* Seed each table with capacity (deterministic pseudo-random totals). *)
+  Array.iteri
+    (fun ti table ->
+      for id = 0 to resources - 1 do
+        let total = 2 + ((id + (7 * ti)) mod 5) in
+        Hashmap_tx.insert table ~key:(Int64.of_int id) ~value:(encode_resource ~total ~used:0)
+      done)
+    tables;
+  { pool; tables; customers; annotate }
+
+let table t ty = t.tables.(resource_index ty)
+
+let lookup_resource t ty ~id =
+  Option.map decode_resource (Hashmap_tx.lookup (table t ty) ~key:id)
+
+let used t ty ~id = match lookup_resource t ty ~id with Some (_, u) -> u | None -> 0
+let total t ty ~id = match lookup_resource t ty ~id with Some (tot, _) -> tot | None -> 0
+
+let lookup_customer t ~customer =
+  Option.map decode_customer (Hashmap_tx.lookup t.customers ~key:customer)
+
+let reservations t ~customer =
+  match lookup_customer t ~customer with Some l -> List.length l | None -> 0
+
+let with_checkers t f =
+  if t.annotate then begin
+    Pool.tx_checker_start t.pool;
+    let r = f () in
+    Pool.tx_checker_end t.pool;
+    r
+  end
+  else f ()
+
+let reserve t ~customer ty ~id =
+  with_checkers t (fun () ->
+      match lookup_resource t ty ~id with
+      | None -> false
+      | Some (tot, used) ->
+        let existing = Option.value ~default:[] (lookup_customer t ~customer) in
+        if used >= tot || List.length existing >= max_reservations then false
+        else begin
+          (* One failure-atomic transaction across both tables. *)
+          Pool.tx t.pool (fun () ->
+              Hashmap_tx.insert (table t ty) ~key:id
+                ~value:(encode_resource ~total:tot ~used:(used + 1));
+              Hashmap_tx.insert t.customers ~key:customer
+                ~value:(encode_customer ((ty, id) :: existing)));
+          true
+        end)
+
+let add_capacity t ty ~id amount =
+  with_checkers t (fun () ->
+      match lookup_resource t ty ~id with
+      | None ->
+        Pool.tx t.pool (fun () ->
+            Hashmap_tx.insert (table t ty) ~key:id
+              ~value:(encode_resource ~total:(max amount 0) ~used:0))
+      | Some (tot, used) ->
+        let total = max used (tot + amount) in
+        Pool.tx t.pool (fun () ->
+            Hashmap_tx.insert (table t ty) ~key:id ~value:(encode_resource ~total ~used)))
+
+let delete_customer t ~customer =
+  with_checkers t (fun () ->
+      match lookup_customer t ~customer with
+      | None -> false
+      | Some reservations ->
+        (* Release every held reservation and drop the customer, all in
+           one transaction. *)
+        Pool.tx t.pool (fun () ->
+            List.iter
+              (fun (ty, id) ->
+                match lookup_resource t ty ~id with
+                | Some (tot, used) when used > 0 ->
+                  Hashmap_tx.insert (table t ty) ~key:id
+                    ~value:(encode_resource ~total:tot ~used:(used - 1))
+                | _ -> ())
+              reservations;
+            ignore (Hashmap_tx.remove t.customers ~key:customer));
+        true)
+
+let check_consistent t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  Array.iter
+    (fun table -> match Hashmap_tx.check_consistent table with Ok () -> () | Error e -> err "%s" e)
+    t.tables;
+  (match Hashmap_tx.check_consistent t.customers with Ok () -> () | Error e -> err "%s" e);
+  (* Conservation: per (type, id), resource.used equals the number of
+     customer reservations pointing at it, and used <= total. *)
+  let claimed = Hashtbl.create 64 in
+  Hashmap_tx.iter t.customers (fun _cust b ->
+      List.iter
+        (fun (ty, id) ->
+          let k = (resource_index ty, id) in
+          Hashtbl.replace claimed k (1 + Option.value ~default:0 (Hashtbl.find_opt claimed k)))
+        (decode_customer b));
+  Array.iteri
+    (fun ti table ->
+      Hashmap_tx.iter table (fun id b ->
+          let tot, used = decode_resource b in
+          if used > tot then err "resource (%d,%Ld) overbooked: %d > %d" ti id used tot;
+          let c = Option.value ~default:0 (Hashtbl.find_opt claimed (ti, id)) in
+          if c <> used then
+            err "resource (%d,%Ld): used=%d but %d customer reservations" ti id used c))
+    t.tables;
+  (* Every claim must reference an existing resource. *)
+  Hashtbl.iter
+    (fun (ti, id) _ ->
+      if Hashmap_tx.lookup t.tables.(ti) ~key:id = None then
+        err "reservation references missing resource (%d,%Ld)" ti id)
+    claimed;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+type op =
+  | Reserve of { customer : int64; resource : resource; id : int64 }
+  | Add_capacity of { resource : resource; id : int64; amount : int }
+  | Delete_customer of { customer : int64 }
+
+let client ~ops ~customers ~resources rng =
+  Array.init ops (fun _ ->
+      let resource = resources_all.(Rng.int rng 3) in
+      let id = Int64.of_int (Rng.int rng resources) in
+      match Rng.int rng 100 with
+      | n when n < 90 -> Reserve { customer = Int64.of_int (Rng.int rng customers); resource; id }
+      | n when n < 95 -> Add_capacity { resource; id; amount = 1 + Rng.int rng 3 }
+      | _ -> Delete_customer { customer = Int64.of_int (Rng.int rng customers) })
+
+let apply t = function
+  | Reserve { customer; resource; id } -> ignore (reserve t ~customer resource ~id)
+  | Add_capacity { resource; id; amount } -> add_capacity t resource ~id amount
+  | Delete_customer { customer } -> ignore (delete_customer t ~customer)
+
+let run ?(on_section = fun () -> ()) ?(section_every = 8) t ops =
+  Array.iteri
+    (fun i op ->
+      apply t op;
+      if (i + 1) mod section_every = 0 then on_section ())
+    ops;
+  on_section ()

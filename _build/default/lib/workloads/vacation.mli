@@ -1,0 +1,56 @@
+(** Vacation — the STAMP travel-reservation benchmark in its WHISPER
+    persistent-memory port, simplified to a single mutator.
+
+    Three resource tables (cars / flights / rooms) and a customer table
+    live in one PMDK pool; every operation is a single failure-atomic
+    transaction that spans several maps — the multi-structure-transaction
+    pattern the per-map microbenchmarks never exercise:
+
+    - {!reserve}: pick a resource with free capacity, increment its used
+      count and the customer's reservation count;
+    - {!add_capacity}: grow a resource's total;
+    - {!delete_customer}: release every reservation the customer holds.
+
+    Conservation invariant (checked by {!check_consistent} and by the
+    crash tests): for every resource type, the used count equals the sum
+    of all customers' reservations of that type, and never exceeds the
+    total. *)
+
+open Pmtest_util
+open Pmtest_trace
+module Pool = Pmtest_pmdk.Pool
+
+type t
+
+type resource = Car | Flight | Room
+
+val create :
+  ?pool_size:int -> ?resources:int -> ?annotate:bool -> sink:Sink.t -> unit -> t
+(** [resources] resource records per type (default 64), each starting
+    with a small random-free capacity. *)
+
+val pool : t -> Pool.t
+
+val reserve : t -> customer:int64 -> resource -> id:int64 -> bool
+(** [false] if the resource does not exist or is fully booked. *)
+
+val add_capacity : t -> resource -> id:int64 -> int -> unit
+val delete_customer : t -> customer:int64 -> bool
+
+val used : t -> resource -> id:int64 -> int
+val total : t -> resource -> id:int64 -> int
+val reservations : t -> customer:int64 -> int
+(** Total reservations held by the customer, 0 if unknown. *)
+
+val check_consistent : t -> (unit, string) result
+
+type op = Reserve of { customer : int64; resource : resource; id : int64 }
+        | Add_capacity of { resource : resource; id : int64; amount : int }
+        | Delete_customer of { customer : int64 }
+
+val client : ops:int -> customers:int -> resources:int -> Rng.t -> op array
+(** STAMP-like mix: ~90% reservations, ~5% capacity updates, ~5%
+    customer deletions. *)
+
+val apply : t -> op -> unit
+val run : ?on_section:(unit -> unit) -> ?section_every:int -> t -> op array -> unit

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Format Hashtbl Int64 List Pmtest_apps Pmtest_core Pmtest_crashtest Pmtest_pmem Pmtest_trace Pmtest_util Printf

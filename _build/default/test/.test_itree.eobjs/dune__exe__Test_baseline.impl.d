@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Bytes Event List Model Pmtest_baseline Pmtest_core Pmtest_model Pmtest_pmem Pmtest_trace QCheck2 QCheck_alcotest Sink

@@ -1,0 +1,1 @@
+test/test_bugdb.ml: Alcotest Case Catalog List Pmtest_bugdb

@@ -1,0 +1,1 @@
+test/test_crashtest.ml: Alcotest Bytes Char Ctree_map Format Hashmap_tx Int64 List Pmtest_core Pmtest_crashtest Pmtest_mnemosyne Pmtest_pmdk Pmtest_pmem Pmtest_pmfs Pmtest_trace Pool Printf String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Event Format Interval List Model Pmtest_core Pmtest_model Pmtest_trace String

@@ -1,0 +1,1 @@
+test/test_itree.ml: Alcotest Array Interval_map Interval_tree List Pmtest_itree Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bytes List Pmtest_pmem Pmtest_util QCheck2 QCheck_alcotest Rng

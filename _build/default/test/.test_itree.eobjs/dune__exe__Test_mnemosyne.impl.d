@@ -1,0 +1,1 @@
+test/test_mnemosyne.ml: Alcotest Hashtbl Int64 Pmtest_core Pmtest_mnemosyne Pmtest_pmem Pmtest_trace Pmtest_util Printf Rng

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Interval List Model Option Pmtest_model QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_nova.ml: Alcotest Format Hashtbl Pmtest_core Pmtest_crashtest Pmtest_nova Pmtest_pmem Pmtest_trace Printf String

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Bytes Char Event List Model Pmtest_core Pmtest_model Pmtest_pmem Pmtest_trace Printf QCheck2 QCheck_alcotest String

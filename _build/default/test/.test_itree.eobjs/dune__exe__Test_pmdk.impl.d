@@ -1,0 +1,1 @@
+test/test_pmdk.ml: Alcotest Btree_map Bytes Ctree_map Hashmap_atomic Hashmap_tx Hashtbl Int64 List Pmtest_core Pmtest_model Pmtest_pmdk Pmtest_pmem Pmtest_trace Pmtest_util Pool Printf Rbtree_map Rng

@@ -1,0 +1,1 @@
+test/test_pmfs.ml: Alcotest Bytes Char Int64 List Pmtest_core Pmtest_pmem Pmtest_pmfs Pmtest_trace Pmtest_util Pmtest_workloads Printf Rng String

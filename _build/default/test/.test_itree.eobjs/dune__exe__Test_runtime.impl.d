@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Domain Event List Model Pmtest_core Pmtest_model Pmtest_trace Sink

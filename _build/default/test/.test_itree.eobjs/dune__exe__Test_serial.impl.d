@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Array Bytes Ctree_map Event Filename Int64 List Model Pmtest_core Pmtest_model Pmtest_pmdk Pmtest_trace Pmtest_util Pool QCheck2 QCheck_alcotest Serial String Sys

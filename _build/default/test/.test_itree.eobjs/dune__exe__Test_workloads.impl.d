@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bytes Clients Fun Hashtbl Int64 List Memcached Option Pmtest_core Pmtest_mnemosyne Pmtest_pmdk Pmtest_trace Pmtest_util Pmtest_workloads Redis Rng Vacation

@@ -1,0 +1,384 @@
+(* Custom low-level CCS applications (persistent queue and append log):
+   functional behaviour, recovery, PMTest detection of their seeded bugs,
+   and crash-injection ground truth. *)
+
+module Pqueue = Pmtest_apps.Pqueue
+module Plog = Pmtest_apps.Plog
+module Crashtest = Pmtest_crashtest.Crashtest
+module Machine = Pmtest_pmem.Machine
+module Report = Pmtest_core.Report
+module Pmtest = Pmtest_core.Pmtest
+module Sink = Pmtest_trace.Sink
+
+(* --- Queue ---------------------------------------------------------------- *)
+
+let test_queue_fifo () =
+  let q = Pqueue.create ~sink:Sink.null () in
+  List.iter (Pqueue.enqueue q) [ 1L; 2L; 3L ];
+  Alcotest.(check int) "length" 3 (Pqueue.length q);
+  Alcotest.(check (option int64)) "peek" (Some 1L) (Pqueue.peek q);
+  Alcotest.(check (option int64)) "deq 1" (Some 1L) (Pqueue.dequeue q);
+  Pqueue.enqueue q 4L;
+  Alcotest.(check (option int64)) "deq 2" (Some 2L) (Pqueue.dequeue q);
+  Alcotest.(check (option int64)) "deq 3" (Some 3L) (Pqueue.dequeue q);
+  Alcotest.(check (option int64)) "deq 4" (Some 4L) (Pqueue.dequeue q);
+  Alcotest.(check (option int64)) "empty" None (Pqueue.dequeue q);
+  match Pqueue.check_consistent q with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_queue_recovery () =
+  let q = Pqueue.create ~sink:Sink.null () in
+  List.iter (Pqueue.enqueue q) [ 10L; 20L; 30L ];
+  ignore (Pqueue.dequeue q);
+  Machine.persist_all (Pqueue.machine q);
+  let booted = Machine.of_image (Machine.media_image (Pqueue.machine q)) in
+  let q2 = Pqueue.of_machine ~machine:booted ~sink:Sink.null in
+  Alcotest.(check (list int64)) "survivors in order" [ 20L; 30L ] (Pqueue.to_list q2);
+  Alcotest.(check int) "length rebuilt" 2 (Pqueue.length q2);
+  (* The rebuilt tail is live: appends keep working. *)
+  Pqueue.enqueue q2 40L;
+  Alcotest.(check (list int64)) "append after recovery" [ 20L; 30L; 40L ] (Pqueue.to_list q2)
+
+let run_queue_under_pmtest bug n =
+  let session = Pmtest.init ~workers:0 () in
+  let q = Pqueue.create ~sink:(Pmtest.sink session) () in
+  Pqueue.set_bug q bug;
+  for i = 0 to n - 1 do
+    Pqueue.enqueue q (Int64.of_int i);
+    if i mod 2 = 1 then ignore (Pqueue.dequeue q);
+    Pmtest.send_trace session
+  done;
+  Pmtest.finish session
+
+let test_queue_pmtest () =
+  let clean = run_queue_under_pmtest None 8 in
+  if not (Report.is_clean clean) then Alcotest.failf "expected clean: %s" (Report.to_string clean);
+  let expect name kind bug =
+    let r = run_queue_under_pmtest (Some bug) 6 in
+    if Report.count kind r = 0 then
+      Alcotest.failf "%s: expected %s, got %s" name (Report.kind_string kind) (Report.to_string r)
+  in
+  expect "node not persisted before link" Report.Not_ordered Pqueue.Skip_node_persist;
+  expect "link never persisted" Report.Not_persisted Pqueue.Skip_link_persist;
+  expect "dequeue head not persisted" Report.Not_persisted Pqueue.Skip_head_persist_on_dequeue
+
+let test_queue_crashtest () =
+  (* Clean queue survives op-granular crash injection. A crash *inside*
+     an operation may land before or after its linearization point, so
+     the recovered contents must equal the committed history either
+     without or with the in-flight operation applied. *)
+  let expected = ref [] in
+  let pending = ref None in
+  let target = ref Sink.null in
+  let sink = { Sink.emit = (fun k l -> !target.Sink.emit k l) } in
+  let q = Pqueue.create ~track_versions:true ~sink () in
+  let apply_pending l =
+    match !pending with
+    | None -> None
+    | Some (`Enq v) -> Some (l @ [ v ])
+    | Some `Deq -> ( match l with [] -> None | _ :: tl -> Some tl)
+  in
+  let recover image =
+    let booted = Machine.of_image image in
+    let q2 = Pqueue.of_machine ~machine:booted ~sink:Sink.null in
+    match Pqueue.check_consistent q2 with
+    | Error e -> Error e
+    | Ok () ->
+      let got = Pqueue.to_list q2 in
+      if got = !expected || apply_pending !expected = Some got then Ok ()
+      else Error "committed contents differ"
+  in
+  let config =
+    { Crashtest.default_config with Crashtest.samples_per_point = 6; exhaustive_limit = 32 }
+  in
+  let live, crash_sink = Crashtest.attach ~config ~machine:(Pqueue.machine q) ~recover () in
+  target := crash_sink;
+  for i = 0 to 9 do
+    pending := Some (`Enq (Int64.of_int i));
+    Pqueue.enqueue q (Int64.of_int i);
+    expected := !expected @ [ Int64.of_int i ];
+    pending := None;
+    if i mod 3 = 2 then begin
+      pending := Some `Deq;
+      ignore (Pqueue.dequeue q);
+      expected := List.tl !expected;
+      pending := None
+    end
+  done;
+  let v = Crashtest.live_verdict live in
+  if not (Crashtest.survived v) then
+    Alcotest.failf "correct queue failed crash testing: %a" Crashtest.pp_verdict v
+
+let test_queue_bug_breaks_crashtest () =
+  let target = ref Sink.null in
+  let sink = { Sink.emit = (fun k l -> !target.Sink.emit k l) } in
+  let q = Pqueue.create ~track_versions:true ~sink () in
+  Pqueue.set_bug q (Some Pqueue.Skip_node_persist);
+  let recover image =
+    let booted = Machine.of_image image in
+    let q2 = Pqueue.of_machine ~machine:booted ~sink:Sink.null in
+    match Pqueue.check_consistent q2 with
+    | Error e -> Error e
+    | Ok () ->
+      (* Linked nodes must hold their committed values: an unpersisted
+         node exposed through a persisted link reads as zero. *)
+      if List.for_all (fun v -> v > 0L) (Pqueue.to_list q2) then Ok ()
+      else Error "dangling link exposes an unwritten node"
+  in
+  let config =
+    { Crashtest.default_config with Crashtest.samples_per_point = 8; exhaustive_limit = 48 }
+  in
+  let live, crash_sink = Crashtest.attach ~config ~machine:(Pqueue.machine q) ~recover () in
+  target := crash_sink;
+  for i = 1 to 8 do
+    Pqueue.enqueue q (Int64.of_int i)
+  done;
+  let v = Crashtest.live_verdict live in
+  Alcotest.(check bool)
+    (Format.asprintf "expected a violation, got %a" Crashtest.pp_verdict v)
+    false (Crashtest.survived v)
+
+(* --- Log ------------------------------------------------------------------- *)
+
+let test_log_round_trip () =
+  let l = Plog.create ~sink:Sink.null () in
+  List.iter (Plog.append l) [ "alpha"; ""; "a much longer record with more than one line's worth" ];
+  Alcotest.(check (list string)) "records"
+    [ "alpha"; ""; "a much longer record with more than one line's worth" ]
+    (Plog.records l);
+  match Plog.check_consistent l with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_log_recovery_truncates_cleanly () =
+  let l = Plog.create ~track_versions:true ~sink:Sink.null () in
+  Plog.append l "committed-1";
+  Plog.append l "committed-2";
+  let booted = Machine.of_image (Machine.media_image (Plog.machine l)) in
+  let l2 = Plog.of_machine ~machine:booted ~sink:Sink.null in
+  (match Plog.check_consistent l2 with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check (list string)) "committed records survive" [ "committed-1"; "committed-2" ]
+    (Plog.records l2)
+
+let run_log_under_pmtest bug n =
+  let session = Pmtest.init ~workers:0 () in
+  let l = Plog.create ~sink:(Pmtest.sink session) () in
+  Plog.set_bug l bug;
+  for i = 0 to n - 1 do
+    Plog.append l (Printf.sprintf "record-%d" i);
+    Pmtest.send_trace session
+  done;
+  Pmtest.finish session
+
+let test_log_pmtest () =
+  let clean = run_log_under_pmtest None 8 in
+  if not (Report.is_clean clean) then Alcotest.failf "expected clean: %s" (Report.to_string clean);
+  let expect name kind bug =
+    let r = run_log_under_pmtest (Some bug) 6 in
+    if Report.count kind r = 0 then
+      Alcotest.failf "%s: expected %s, got %s" name (Report.kind_string kind) (Report.to_string r)
+  in
+  expect "record not persisted" Report.Not_ordered Plog.Skip_record_persist;
+  expect "length never persisted" Report.Not_persisted Plog.Skip_length_persist;
+  expect "length persisted before record" Report.Not_ordered Plog.Length_before_record
+
+let test_log_bug_breaks_crashtest () =
+  (* Misplaced order: the committed length can cover a frame that never
+     became durable — recovery sees a checksum mismatch. *)
+  let target = ref Sink.null in
+  let sink = { Sink.emit = (fun k l -> !target.Sink.emit k l) } in
+  let l = Plog.create ~track_versions:true ~sink () in
+  Plog.set_bug l (Some Plog.Length_before_record);
+  let recover image =
+    let booted = Machine.of_image image in
+    let l2 = Plog.of_machine ~machine:booted ~sink:Sink.null in
+    Plog.check_consistent l2
+  in
+  let config =
+    { Crashtest.default_config with Crashtest.samples_per_point = 8; exhaustive_limit = 48 }
+  in
+  let live, crash_sink = Crashtest.attach ~config ~machine:(Plog.machine l) ~recover () in
+  target := crash_sink;
+  for i = 0 to 7 do
+    Plog.append l (Printf.sprintf "record-%d" i)
+  done;
+  let v = Crashtest.live_verdict live in
+  Alcotest.(check bool)
+    (Format.asprintf "expected log corruption, got %a" Crashtest.pp_verdict v)
+    false (Crashtest.survived v)
+
+let test_log_clean_survives_crashtest () =
+  let committed = ref [] in
+  let target = ref Sink.null in
+  let sink = { Sink.emit = (fun k l -> !target.Sink.emit k l) } in
+  let l = Plog.create ~track_versions:true ~sink () in
+  let recover image =
+    let booted = Machine.of_image image in
+    let l2 = Plog.of_machine ~machine:booted ~sink:Sink.null in
+    match Plog.check_consistent l2 with
+    | Error e -> Error e
+    | Ok () ->
+      (* Committed records form a prefix-closed history: everything the
+         program saw committed must be present, in order. *)
+      let got = Plog.records l2 in
+      let rec is_prefix xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | x :: xs, y :: ys when x = y -> is_prefix xs ys
+        | _ -> false
+      in
+      if is_prefix (List.rev !committed) got then Ok ()
+      else Error "a committed record is missing"
+  in
+  let config =
+    { Crashtest.default_config with Crashtest.samples_per_point = 6; exhaustive_limit = 32 }
+  in
+  let live, crash_sink = Crashtest.attach ~config ~machine:(Plog.machine l) ~recover () in
+  target := crash_sink;
+  for i = 0 to 9 do
+    let r = Printf.sprintf "r%d" i in
+    Plog.append l r;
+    committed := r :: !committed
+  done;
+  let v = Crashtest.live_verdict live in
+  if not (Crashtest.survived v) then
+    Alcotest.failf "correct log failed crash testing: %a" Crashtest.pp_verdict v
+
+(* --- NV-Tree ------------------------------------------------------------------ *)
+
+module Nvtree = Pmtest_apps.Nvtree
+
+let test_nvtree_round_trip () =
+  let m = Nvtree.create ~sink:Sink.null () in
+  let reference = Hashtbl.create 64 in
+  let rng = Pmtest_util.Rng.create 31 in
+  for i = 0 to 499 do
+    let key = Int64.of_int (Pmtest_util.Rng.int rng 80) in
+    if Pmtest_util.Rng.int rng 10 < 8 then begin
+      Nvtree.insert m ~key ~value:(Int64.of_int i);
+      Hashtbl.replace reference key (Int64.of_int i)
+    end
+    else begin
+      Nvtree.remove m ~key;
+      Hashtbl.remove reference key
+    end
+  done;
+  Alcotest.(check int) "cardinal" (Hashtbl.length reference) (Nvtree.cardinal m);
+  Hashtbl.iter
+    (fun key v ->
+      match Nvtree.lookup m ~key with
+      | Some got when got = v -> ()
+      | Some got -> Alcotest.failf "key %Ld: %Ld <> %Ld" key got v
+      | None -> Alcotest.failf "key %Ld missing" key)
+    reference;
+  Alcotest.(check bool) "splits happened" true (Nvtree.leaf_count m > 1);
+  (* Sorted output. *)
+  let keys = List.map fst (Nvtree.to_alist m) in
+  Alcotest.(check bool) "sorted" true (keys = List.sort compare keys);
+  match Nvtree.check_consistent m with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_nvtree_recovery_rebuilds_index () =
+  let m = Nvtree.create ~track_versions:true ~sink:Sink.null () in
+  for i = 0 to 99 do
+    Nvtree.insert m ~key:(Int64.of_int i) ~value:(Int64.of_int (i * 10))
+  done;
+  Machine.persist_all (Nvtree.machine m);
+  let booted = Machine.of_image (Machine.media_image (Nvtree.machine m)) in
+  let m2 = Nvtree.of_machine ~machine:booted ~sink:Sink.null in
+  Alcotest.(check int) "all bindings recovered" 100 (Nvtree.cardinal m2);
+  Alcotest.(check (option int64)) "spot check" (Some 420L) (Nvtree.lookup m2 ~key:42L);
+  (* The rebuilt volatile index routes new inserts correctly. *)
+  Nvtree.insert m2 ~key:1000L ~value:1L;
+  Alcotest.(check (option int64)) "post-recovery insert" (Some 1L) (Nvtree.lookup m2 ~key:1000L);
+  match Nvtree.check_consistent m2 with Ok () -> () | Error e -> Alcotest.fail e
+
+let run_nvtree_under_pmtest bug n =
+  let session = Pmtest.init ~workers:0 () in
+  let m = Nvtree.create ~sink:(Pmtest.sink session) () in
+  Nvtree.set_bug m bug;
+  for i = 0 to n - 1 do
+    Nvtree.insert m ~key:(Int64.of_int i) ~value:(Int64.of_int i);
+    Pmtest.send_trace session
+  done;
+  Pmtest.finish session
+
+let test_nvtree_pmtest () =
+  (* Enough inserts to force splits, so the split checkers run too. *)
+  let clean = run_nvtree_under_pmtest None 40 in
+  if not (Report.is_clean clean) then Alcotest.failf "expected clean: %s" (Report.to_string clean);
+  let expect name kind bug =
+    let r = run_nvtree_under_pmtest (Some bug) 20 in
+    if Report.count kind r = 0 then
+      Alcotest.failf "%s: expected %s, got %s" name (Report.kind_string kind) (Report.to_string r)
+  in
+  expect "entry not persisted before count" Report.Not_ordered Nvtree.Skip_entry_persist;
+  expect "count never persisted" Report.Not_persisted Nvtree.Skip_count_persist;
+  expect "split relink never persisted" Report.Not_persisted Nvtree.Skip_split_link_persist
+
+let test_nvtree_crashtest () =
+  let committed = Hashtbl.create 64 in
+  let target = ref Sink.null in
+  let sink = { Sink.emit = (fun k l -> !target.Sink.emit k l) } in
+  let m = Nvtree.create ~track_versions:true ~sink () in
+  let recover image =
+    let booted = Machine.of_image image in
+    let m2 = Nvtree.of_machine ~machine:booted ~sink:Sink.null in
+    match Nvtree.check_consistent m2 with
+    | Error e -> Error e
+    | Ok () ->
+      let missing =
+        Hashtbl.fold
+          (fun k v acc -> if acc = None && Nvtree.lookup m2 ~key:k <> Some v then Some k else acc)
+          committed None
+      in
+      (match missing with
+      | Some k -> Error (Printf.sprintf "committed key %Ld lost" k)
+      | None -> Ok ())
+  in
+  let config =
+    { Crashtest.default_config with Crashtest.samples_per_point = 6; exhaustive_limit = 32 }
+  in
+  let live, crash_sink = Crashtest.attach ~config ~machine:(Nvtree.machine m) ~recover () in
+  target := crash_sink;
+  (* Committed state is only extended after the insert returns; the
+     injector tests every intermediate op against the pre-op history
+     plus structural consistency. *)
+  for i = 0 to 39 do
+    Nvtree.insert m ~key:(Int64.of_int i) ~value:(Int64.of_int (i + 1));
+    Hashtbl.replace committed (Int64.of_int i) (Int64.of_int (i + 1))
+  done;
+  (* Skip the final injection: the in-flight state is committed. *)
+  let v = Crashtest.live_verdict live in
+  if not (Crashtest.survived v) then
+    Alcotest.failf "correct nvtree failed crash testing: %a" Crashtest.pp_verdict v
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "FIFO behaviour" `Quick test_queue_fifo;
+          Alcotest.test_case "recovery rebuilds volatile state" `Quick test_queue_recovery;
+          Alcotest.test_case "PMTest catches each bug switch" `Quick test_queue_pmtest;
+          Alcotest.test_case "correct queue survives crash injection" `Quick test_queue_crashtest;
+          Alcotest.test_case "unpersisted node breaks crash injection" `Quick
+            test_queue_bug_breaks_crashtest;
+        ] );
+      ( "nvtree",
+        [
+          Alcotest.test_case "round trip with splits" `Quick test_nvtree_round_trip;
+          Alcotest.test_case "recovery rebuilds the volatile index" `Quick
+            test_nvtree_recovery_rebuilds_index;
+          Alcotest.test_case "PMTest catches each bug switch" `Quick test_nvtree_pmtest;
+          Alcotest.test_case "correct nvtree survives crash injection" `Quick
+            test_nvtree_crashtest;
+        ] );
+      ( "plog",
+        [
+          Alcotest.test_case "append/read round trip" `Quick test_log_round_trip;
+          Alcotest.test_case "recovery keeps committed records" `Quick
+            test_log_recovery_truncates_cleanly;
+          Alcotest.test_case "PMTest catches each bug switch" `Quick test_log_pmtest;
+          Alcotest.test_case "correct log survives crash injection" `Quick
+            test_log_clean_survives_crashtest;
+          Alcotest.test_case "misplaced length breaks crash injection" `Quick
+            test_log_bug_breaks_crashtest;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+(* The Pmemcheck-model baseline and the Yat exhaustive tester. *)
+
+open Pmtest_model
+open Pmtest_trace
+module Pmemcheck = Pmtest_baseline.Pmemcheck
+module Yat = Pmtest_baseline.Yat
+module Report = Pmtest_core.Report
+
+let w addr size = Event.make (Event.Op (Model.Write { addr; size }))
+let clwb addr size = Event.make (Event.Op (Model.Clwb { addr; size }))
+let sfence = Event.make (Event.Op Model.Sfence)
+
+let feed pc entries =
+  let sink = Pmemcheck.sink pc in
+  List.iter (fun (e : Event.t) -> sink.Sink.emit e.Event.kind e.Event.loc) entries
+
+let test_pmemcheck_clean () =
+  let pc = Pmemcheck.create ~size:1024 in
+  feed pc [ w 0x100 8; clwb 0x100 8; sfence ];
+  Alcotest.(check bool) "clean" true (Report.is_clean (Pmemcheck.result pc))
+
+let test_pmemcheck_unflushed_store () =
+  let pc = Pmemcheck.create ~size:1024 in
+  feed pc [ w 0x100 8 ];
+  let r = Pmemcheck.result pc in
+  Alcotest.(check int) "one not-persisted" 1 (Report.count Report.Not_persisted r)
+
+let test_pmemcheck_flushed_unfenced () =
+  let pc = Pmemcheck.create ~size:1024 in
+  feed pc [ w 0x100 8; clwb 0x100 8 ];
+  let r = Pmemcheck.result pc in
+  Alcotest.(check int) "flushed but not fenced" 1 (Report.count Report.Not_persisted r)
+
+let test_pmemcheck_redundant_flush () =
+  let pc = Pmemcheck.create ~size:1024 in
+  feed pc [ w 0x100 8; clwb 0x100 8; clwb 0x100 8; sfence ];
+  let r = Pmemcheck.result pc in
+  Alcotest.(check int) "redundant flush warned" 1 (Report.count Report.Duplicate_writeback r)
+
+let test_pmemcheck_flush_clean_bytes () =
+  let pc = Pmemcheck.create ~size:1024 in
+  feed pc [ clwb 0x100 8; sfence ];
+  let r = Pmemcheck.result pc in
+  Alcotest.(check int) "unneeded flush warned" 1 (Report.count Report.Unnecessary_writeback r)
+
+let test_pmemcheck_tx_store_without_log () =
+  let pc = Pmemcheck.create ~size:1024 in
+  feed pc
+    [
+      Event.make (Event.Tx Event.Tx_begin);
+      w 0x100 8;
+      Event.make (Event.Tx Event.Tx_commit);
+      clwb 0x100 8;
+      sfence;
+    ];
+  let r = Pmemcheck.result pc in
+  Alcotest.(check int) "missing log" 1 (Report.count Report.Missing_log r)
+
+let test_pmemcheck_tx_logged_ok () =
+  let pc = Pmemcheck.create ~size:1024 in
+  feed pc
+    [
+      Event.make (Event.Tx Event.Tx_begin);
+      Event.make (Event.Tx (Event.Tx_add { addr = 0x100; size = 8 }));
+      w 0x100 8;
+      Event.make (Event.Tx Event.Tx_commit);
+      clwb 0x100 8;
+      sfence;
+    ];
+  Alcotest.(check bool) "clean" true (Report.is_clean (Pmemcheck.result pc))
+
+(* --- Yat ------------------------------------------------------------------ *)
+
+let test_yat_detects_ordering_violation () =
+  (* Valid flag (line 1) may persist before the data (line 0): some crash
+     state has valid=1 with stale data. The consistency predicate mirrors
+     the paper's Fig. 1a invariant. *)
+  let trace =
+    [|
+      w 0 8 (* data *);
+      w 64 1 (* valid flag, own cache line *);
+      clwb 0 8; clwb 64 1; sfence;
+    |]
+  in
+  let check img =
+    (* If the valid flag is set, the data must be fully new (0xff). *)
+    if Bytes.get img 64 = '\xff' then
+      Bytes.for_all (fun c -> c = '\xff') (Bytes.sub img 0 8)
+    else true
+  in
+  let outcome = Yat.run ~size:256 ~check trace in
+  Alcotest.(check bool) "found violation" true (outcome.Yat.violations > 0);
+  Alcotest.(check bool) "exhaustive" true outcome.Yat.exhaustive
+
+let test_yat_accepts_ordered_protocol () =
+  (* Persist data first, then set valid: no reachable bad state. *)
+  let trace =
+    [|
+      w 0 8; clwb 0 8; sfence;
+      w 64 1; clwb 64 1; sfence;
+    |]
+  in
+  let check img =
+    if Bytes.get img 64 = '\xff' then
+      Bytes.for_all (fun c -> c = '\xff') (Bytes.sub img 0 8)
+    else true
+  in
+  let outcome = Yat.run ~size:256 ~check trace in
+  Alcotest.(check int) "no violations" 0 outcome.Yat.violations;
+  Alcotest.(check bool) "tested several states" true (outcome.Yat.states_tested > 0)
+
+let test_yat_search_space_explodes () =
+  (* Each unfenced dirty line doubles the space: the §2.2 blow-up. *)
+  let mk n =
+    Array.init n (fun i -> w (i * 64) 8)
+  in
+  let small = Yat.estimated_states ~size:4096 (mk 4) in
+  let large = Yat.estimated_states ~size:4096 (mk 12) in
+  Alcotest.(check bool) "exponential growth" true (large >= 200.0 *. small)
+
+let test_yat_live_attachment () =
+  let machine = Pmtest_pmem.Machine.create ~track_versions:true ~size:1024 () in
+  let seen_bad = ref false in
+  let check img = if Bytes.get img 0 = 'X' && Bytes.get img 64 <> 'X' then (seen_bad := true; false) else true in
+  let live, sink = Yat.attach ~machine ~check () in
+  (* Write two lines, flush both, fence: during enumeration at the fence,
+     some state has line0 new but line1 old -> the predicate rejects. *)
+  Pmtest_pmem.Machine.store machine ~addr:0 (Bytes.of_string "X");
+  Sink.write sink ~addr:0 ~size:1 ();
+  Pmtest_pmem.Machine.store machine ~addr:64 (Bytes.of_string "X");
+  Sink.write sink ~addr:64 ~size:1 ();
+  Pmtest_pmem.Machine.clwb machine ~addr:0 ~size:128;
+  Sink.clwb sink ~addr:0 ~size:128 ();
+  Pmtest_pmem.Machine.sfence machine;
+  Sink.sfence sink ();
+  let outcome = Yat.live_outcome live in
+  Alcotest.(check bool) "saw the unordered state" true !seen_bad;
+  Alcotest.(check bool) "counted violations" true (outcome.Yat.violations > 0)
+
+(* --- Naive engine (differential twin) ---------------------------------------- *)
+
+module Naive = Pmtest_baseline.Naive_engine
+module Engine = Pmtest_core.Engine
+
+(* Rich random traces: ops, checkers, transactions, exclusions. *)
+let gen_trace =
+  let module G = QCheck2.Gen in
+  let addr = G.map (fun i -> i * 16) (G.int_range 0 15) in
+  let size = G.oneofl [ 8; 16; 32 ] in
+  let entry =
+    G.oneof
+      [
+        G.map2 (fun a s -> Event.make (Event.Op (Model.Write { addr = a; size = s }))) addr size;
+        G.map2 (fun a s -> Event.make (Event.Op (Model.Clwb { addr = a; size = s }))) addr size;
+        G.return sfence;
+        G.map2 (fun a s -> Event.make (Event.Checker (Event.Is_persist { addr = a; size = s }))) addr size;
+        G.map2
+          (fun a b ->
+            Event.make
+              (Event.Checker (Event.Is_ordered_before { a_addr = a; a_size = 8; b_addr = b; b_size = 8 })))
+          addr addr;
+        G.return (Event.make (Event.Tx Event.Tx_begin));
+        G.map2 (fun a s -> Event.make (Event.Tx (Event.Tx_add { addr = a; size = s }))) addr size;
+        G.return (Event.make (Event.Tx Event.Tx_commit));
+        G.return (Event.make (Event.Tx Event.Tx_checker_start));
+        G.return (Event.make (Event.Tx Event.Tx_checker_end));
+        G.map2 (fun a s -> Event.make (Event.Control (Event.Exclude { addr = a; size = s }))) addr size;
+        G.map2 (fun a s -> Event.make (Event.Control (Event.Include { addr = a; size = s }))) addr size;
+      ]
+  in
+  G.map Array.of_list (G.list_size (G.int_range 0 40) entry)
+
+let kind_multiset report =
+  List.sort compare (List.map (fun d -> Report.kind_string d.Report.kind) report.Report.diagnostics)
+
+let prop_naive_agrees =
+  QCheck2.Test.make ~name:"interval-map engine agrees with the naive list engine" ~count:500
+    gen_trace (fun trace ->
+      kind_multiset (Engine.check trace) = kind_multiset (Naive.check trace))
+
+let prop_naive_agrees_hops =
+  let module G = QCheck2.Gen in
+  let hops_trace =
+    G.map
+      (Array.map (fun (e : Event.t) ->
+           match e.Event.kind with
+           | Event.Op (Model.Clwb _) -> Event.make (Event.Op Model.Ofence)
+           | Event.Op Model.Sfence -> Event.make (Event.Op Model.Dfence)
+           | _ -> e))
+      gen_trace
+  in
+  QCheck2.Test.make ~name:"engines agree under HOPS too" ~count:300 hops_trace (fun trace ->
+      kind_multiset (Engine.check ~model:Model.Hops trace)
+      = kind_multiset (Naive.check ~model:Model.Hops trace))
+
+let prop_naive_agrees_eadr =
+  QCheck2.Test.make ~name:"engines agree under eADR too" ~count:300 gen_trace (fun trace ->
+      kind_multiset (Engine.check ~model:Model.Eadr trace)
+      = kind_multiset (Naive.check ~model:Model.Eadr trace))
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "pmemcheck",
+        [
+          Alcotest.test_case "clean run" `Quick test_pmemcheck_clean;
+          Alcotest.test_case "unflushed store reported" `Quick test_pmemcheck_unflushed_store;
+          Alcotest.test_case "flushed-unfenced reported" `Quick test_pmemcheck_flushed_unfenced;
+          Alcotest.test_case "redundant flush warned" `Quick test_pmemcheck_redundant_flush;
+          Alcotest.test_case "flush of clean bytes warned" `Quick test_pmemcheck_flush_clean_bytes;
+          Alcotest.test_case "tx store without log" `Quick test_pmemcheck_tx_store_without_log;
+          Alcotest.test_case "tx store with log is clean" `Quick test_pmemcheck_tx_logged_ok;
+        ] );
+      ( "naive-engine",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_naive_agrees; prop_naive_agrees_hops; prop_naive_agrees_eadr ] );
+      ( "yat",
+        [
+          Alcotest.test_case "detects ordering violations" `Quick
+            test_yat_detects_ordering_violation;
+          Alcotest.test_case "accepts the ordered protocol" `Quick test_yat_accepts_ordered_protocol;
+          Alcotest.test_case "search space explodes" `Quick test_yat_search_space_explodes;
+          Alcotest.test_case "live attachment to a machine" `Quick test_yat_live_attachment;
+        ] );
+    ]

@@ -1,0 +1,51 @@
+(* The bug-injection suite: every Table-5 and Table-6 case must be
+   detected with the expected diagnosis, and its bug-free twin must run
+   clean (no false positives). This is the repository's Table 5/6
+   validation, also exercised by `bench/main.exe table5`. *)
+
+open Pmtest_bugdb
+
+let test_catalog_shape () =
+  let counts =
+    List.map
+      (fun (cat, cs) -> (Case.category_name cat, List.length cs))
+      (Catalog.by_category Catalog.synthetic)
+  in
+  Alcotest.(check (list (pair string int)))
+    "Table 5 category counts"
+    [
+      ("ordering", 4);
+      ("writeback", 6);
+      ("performance (writeback)", 2);
+      ("backup", 19);
+      ("completion", 7);
+      ("performance (log)", 4);
+    ]
+    counts;
+  Alcotest.(check int) "42 synthetic cases" 42 (List.length Catalog.synthetic);
+  Alcotest.(check int) "6 real bugs" 6 (List.length Catalog.table6);
+  (* Unique ids. *)
+  let ids = List.map (fun c -> c.Case.id) Catalog.all in
+  Alcotest.(check int) "ids unique" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+let check_case case () =
+  let outcome = Case.execute case in
+  if not outcome.Case.detected then
+    Alcotest.failf "%s (%s) NOT detected; report: %s" case.Case.id case.Case.description
+      (Case.Report.to_string outcome.Case.report);
+  if not outcome.Case.clean then
+    Alcotest.failf "%s: clean twin reported diagnostics (false positive)" case.Case.id
+
+let () =
+  let case_tests cases =
+    List.map
+      (fun c -> Alcotest.test_case (c.Case.id ^ ": " ^ c.Case.description) `Quick (check_case c))
+      cases
+  in
+  Alcotest.run "bugdb"
+    [
+      ("catalog", [ Alcotest.test_case "shape matches Table 5" `Quick test_catalog_shape ]);
+      ("table5", case_tests Catalog.synthetic);
+      ("table6", case_tests Catalog.table6);
+      ("extended", case_tests Catalog.extended);
+    ]

@@ -1,0 +1,451 @@
+(* The checking engine against the paper's worked examples (Fig. 3, 4, 7)
+   and each update/checking rule of §4.4, §5.1 and §5.2. *)
+
+open Pmtest_model
+open Pmtest_trace
+module Engine = Pmtest_core.Engine
+module Report = Pmtest_core.Report
+
+let e kind = Event.make kind
+let w addr size = e (Event.Op (Model.Write { addr; size }))
+let clwb addr size = e (Event.Op (Model.Clwb { addr; size }))
+let sfence = e (Event.Op Model.Sfence)
+let ofence = e (Event.Op Model.Ofence)
+let dfence = e (Event.Op Model.Dfence)
+let is_persist addr size = e (Event.Checker (Event.Is_persist { addr; size }))
+
+let obefore a_addr a_size b_addr b_size =
+  e (Event.Checker (Event.Is_ordered_before { a_addr; a_size; b_addr; b_size }))
+
+let tx k = e (Event.Tx k)
+let tx_add addr size = e (Event.Tx (Event.Tx_add { addr; size }))
+
+let check ?model entries = Engine.check ?model (Array.of_list entries)
+
+let kinds report = List.map (fun d -> d.Report.kind) report.Report.diagnostics
+
+let check_kinds ?model entries expected =
+  Alcotest.(check (list string))
+    "diagnostic kinds"
+    (List.map Report.kind_string expected)
+    (List.map Report.kind_string (kinds (check ?model entries)))
+
+(* --- Fig. 7: the paper's worked example --------------------------------- *)
+
+let test_fig7 () =
+  (* write(0x10,64); clwb(0x10,64); sfence; write(0x50,64);
+     isPersist(0x50,64)          -> FAIL (persist interval (1,inf))
+     isOrderedBefore(0x10,0x50)  -> pass ((0,1) vs (1,inf) do not overlap) *)
+  let trace =
+    [
+      w 0x10 64; clwb 0x10 64; sfence; w 0x50 64;
+      is_persist 0x50 64;
+      obefore 0x10 64 0x50 64;
+    ]
+  in
+  check_kinds trace [ Report.Not_persisted ];
+  (* And the shadow state matches the figure's interval table. *)
+  let _, snap = Engine.check_with_snapshot (Array.of_list trace) in
+  Alcotest.(check int) "timestamp after one sfence" 1 snap.Engine.timestamp;
+  List.iter
+    (fun r ->
+      let open Engine in
+      if r.lo = 0x10 then
+        Alcotest.(check string) "0x10 interval" "(0,1)" (Format.asprintf "%a" Interval.pp r.persist)
+      else if r.lo = 0x50 then
+        Alcotest.(check string) "0x50 interval" "(1,inf)" (Format.asprintf "%a" Interval.pp r.persist))
+    snap.Engine.ranges
+
+(* --- Fig. 4: overlap means unordered ------------------------------------ *)
+
+let test_fig4 () =
+  (* sfence; write A; clwb A; write B; sfence;
+     isOrderedBefore A B -> FAIL (A=(1,2), B=(1,inf) overlap)
+     isPersist B         -> FAIL *)
+  let trace =
+    [
+      sfence; w 0x100 8; clwb 0x100 8; w 0x200 8; sfence;
+      obefore 0x100 8 0x200 8;
+      is_persist 0x200 8;
+    ]
+  in
+  check_kinds trace [ Report.Not_ordered; Report.Not_persisted ]
+
+let test_fig3_x86_correct () =
+  (* write A; clwb A; sfence; write B; clwb B; sfence; both checkers pass. *)
+  let trace =
+    [
+      w 0x100 8; clwb 0x100 8; sfence;
+      w 0x200 8; clwb 0x200 8; sfence;
+      obefore 0x100 8 0x200 8;
+      is_persist 0x100 8;
+      is_persist 0x200 8;
+    ]
+  in
+  check_kinds trace []
+
+let test_fig3_hops_correct () =
+  (* write A; ofence; write B; dfence: ordering from ofence, durability
+     from dfence (paper Fig. 3b). *)
+  let trace =
+    [
+      w 0x100 8; ofence; w 0x200 8; dfence;
+      obefore 0x100 8 0x200 8;
+      is_persist 0x100 8;
+      is_persist 0x200 8;
+    ]
+  in
+  check_kinds ~model:Model.Hops trace []
+
+let test_hops_ofence_orders_without_durability () =
+  let trace =
+    [
+      w 0x100 8; ofence; w 0x200 8;
+      obefore 0x100 8 0x200 8; (* pass: ofence separates the epochs *)
+      is_persist 0x100 8; (* FAIL: no dfence yet *)
+    ]
+  in
+  check_kinds ~model:Model.Hops trace [ Report.Not_persisted ]
+
+let test_hops_same_epoch_unordered () =
+  let trace = [ w 0x100 8; w 0x200 8; dfence; obefore 0x100 8 0x200 8 ] in
+  check_kinds ~model:Model.Hops trace [ Report.Not_ordered ]
+
+(* --- x86 rule details ---------------------------------------------------- *)
+
+let test_write_clears_flush () =
+  (* write; clwb; write again; sfence: the second write is NOT covered by
+     the earlier clwb, so isPersist must fail. *)
+  let trace = [ w 0x100 8; clwb 0x100 8; w 0x100 8; sfence; is_persist 0x100 8 ] in
+  check_kinds trace [ Report.Not_persisted ]
+
+let test_clwb_without_fence_not_durable () =
+  let trace = [ w 0x100 8; clwb 0x100 8; is_persist 0x100 8 ] in
+  check_kinds trace [ Report.Not_persisted ]
+
+let test_partial_flush_fails () =
+  (* Only half the range is written back. *)
+  let trace = [ w 0x100 16; clwb 0x100 8; sfence; is_persist 0x100 16 ] in
+  check_kinds trace [ Report.Not_persisted ]
+
+let test_unwritten_range_passes () =
+  check_kinds [ is_persist 0x500 8 ] [];
+  check_kinds [ obefore 0x500 8 0x600 8 ] []
+
+let test_later_clwb_closes_at_its_fence () =
+  (* write in epoch 0; fence; clwb in epoch 1; fence -> interval (0,2). *)
+  let trace = [ w 0x100 8; sfence; clwb 0x100 8; sfence; is_persist 0x100 8 ] in
+  check_kinds trace [];
+  let _, snap =
+    Engine.check_with_snapshot (Array.of_list [ w 0x100 8; sfence; clwb 0x100 8; sfence ])
+  in
+  match snap.Engine.ranges with
+  | [ r ] -> Alcotest.(check string) "interval" "(0,2)" (Format.asprintf "%a" Interval.pp r.Engine.persist)
+  | _ -> Alcotest.fail "expected a single shadow range"
+
+(* --- eADR rules (extension: persistent caches) --------------------------- *)
+
+let test_eadr_stores_immediately_durable () =
+  check_kinds ~model:Model.Eadr [ w 0x100 8; is_persist 0x100 8 ] []
+
+let test_eadr_program_order_is_persist_order () =
+  check_kinds ~model:Model.Eadr [ w 0x100 8; w 0x200 8; obefore 0x100 8 0x200 8 ] [];
+  check_kinds ~model:Model.Eadr [ w 0x200 8; w 0x100 8; obefore 0x100 8 0x200 8 ]
+    [ Report.Not_ordered ]
+
+let test_eadr_flags_redundant_writebacks () =
+  (* Legacy clwb/sfence code running on an eADR platform: every clwb is
+     wasted work. *)
+  check_kinds ~model:Model.Eadr
+    [ w 0x100 8; clwb 0x100 8; sfence ]
+    [ Report.Unnecessary_writeback ]
+
+let test_eadr_tx_scope_passes_without_flushes () =
+  let trace =
+    [
+      tx Event.Tx_checker_start;
+      tx Event.Tx_begin;
+      tx_add 0x100 8;
+      w 0x100 8;
+      tx Event.Tx_commit;
+      tx Event.Tx_checker_end;
+    ]
+  in
+  check_kinds ~model:Model.Eadr trace []
+
+(* --- Performance checkers (§5.1.2) -------------------------------------- *)
+
+let test_unnecessary_writeback () =
+  check_kinds [ clwb 0x100 8; sfence ] [ Report.Unnecessary_writeback ]
+
+let test_duplicate_writeback () =
+  check_kinds
+    [ w 0x100 8; clwb 0x100 8; clwb 0x100 8; sfence ]
+    [ Report.Duplicate_writeback ]
+
+let test_duplicate_writeback_after_fence () =
+  (* Flushing again after the data already persisted is still redundant. *)
+  check_kinds
+    [ w 0x100 8; clwb 0x100 8; sfence; clwb 0x100 8; sfence ]
+    [ Report.Duplicate_writeback ]
+
+let test_flush_then_write_then_flush_ok () =
+  (* A new write invalidates the old flush: the second clwb is needed. *)
+  check_kinds [ w 0x100 8; clwb 0x100 8; sfence; w 0x100 8; clwb 0x100 8; sfence ] []
+
+(* --- Transaction checkers (§5.1.1) --------------------------------------- *)
+
+let test_tx_clean () =
+  let trace =
+    [
+      tx Event.Tx_checker_start;
+      tx Event.Tx_begin;
+      tx_add 0x100 8;
+      w 0x100 8;
+      tx Event.Tx_commit;
+      clwb 0x100 8; sfence;
+      tx Event.Tx_checker_end;
+    ]
+  in
+  check_kinds trace []
+
+let test_tx_missing_log () =
+  let trace =
+    [
+      tx Event.Tx_checker_start;
+      tx Event.Tx_begin;
+      w 0x100 8; (* no tx_add *)
+      tx Event.Tx_commit;
+      clwb 0x100 8; sfence;
+      tx Event.Tx_checker_end;
+    ]
+  in
+  check_kinds trace [ Report.Missing_log ]
+
+let test_tx_incomplete_not_persisted () =
+  let trace =
+    [
+      tx Event.Tx_checker_start;
+      tx Event.Tx_begin;
+      tx_add 0x100 8;
+      w 0x100 8;
+      tx Event.Tx_commit;
+      (* no writeback at commit *)
+      tx Event.Tx_checker_end;
+    ]
+  in
+  check_kinds trace [ Report.Incomplete_tx ]
+
+let test_tx_never_terminated () =
+  let trace =
+    [
+      tx Event.Tx_checker_start;
+      tx Event.Tx_begin;
+      tx_add 0x100 8;
+      w 0x100 8;
+      clwb 0x100 8; sfence;
+      tx Event.Tx_checker_end;
+    ]
+  in
+  check_kinds trace [ Report.Incomplete_tx ]
+
+let test_tx_duplicate_log () =
+  let trace =
+    [
+      tx Event.Tx_begin;
+      tx_add 0x100 8;
+      tx_add 0x100 8;
+      w 0x100 8;
+      tx Event.Tx_commit;
+    ]
+  in
+  check_kinds trace [ Report.Duplicate_log ]
+
+let test_tx_partial_log_is_missing () =
+  let trace =
+    [
+      tx Event.Tx_checker_start;
+      tx Event.Tx_begin;
+      tx_add 0x100 8;
+      w 0x100 16; (* only half backed up *)
+      tx Event.Tx_commit;
+      clwb 0x100 16; sfence;
+      tx Event.Tx_checker_end;
+    ]
+  in
+  check_kinds trace [ Report.Missing_log ]
+
+let test_nested_tx_inner_end_not_durable () =
+  (* §7.1: updates are only guaranteed durable at the OUTERMOST commit, so
+     a checker scope around the inner transaction fails. *)
+  let inner_scope =
+    [
+      tx Event.Tx_begin;
+      tx Event.Tx_checker_start;
+      tx Event.Tx_begin;
+      tx_add 0x100 8;
+      w 0x100 8;
+      tx Event.Tx_commit; (* inner end: nothing flushed *)
+      tx Event.Tx_checker_end;
+      tx Event.Tx_commit;
+      clwb 0x100 8; sfence;
+    ]
+  in
+  Alcotest.(check bool) "inner scope reports" true (Report.has_fail (check inner_scope));
+  let outer_scope =
+    [
+      tx Event.Tx_checker_start;
+      tx Event.Tx_begin;
+      tx Event.Tx_begin;
+      tx_add 0x100 8;
+      w 0x100 8;
+      tx Event.Tx_commit;
+      tx Event.Tx_commit;
+      clwb 0x100 8; sfence;
+      tx Event.Tx_checker_end;
+    ]
+  in
+  check_kinds outer_scope []
+
+(* --- Exclusion (Table 2) -------------------------------------------------- *)
+
+let test_exclusion () =
+  let excl addr size = e (Event.Control (Event.Exclude { addr; size })) in
+  let incl addr size = e (Event.Control (Event.Include { addr; size })) in
+  (* Excluded writes are invisible to checkers. *)
+  check_kinds [ excl 0x100 8; w 0x100 8; is_persist 0x100 8 ] [];
+  (* Include restores tracking. *)
+  check_kinds [ excl 0x100 8; incl 0x100 8; w 0x100 8; is_persist 0x100 8 ]
+    [ Report.Not_persisted ]
+
+let test_exclusion_scopes_tx_checker () =
+  let excl addr size = e (Event.Control (Event.Exclude { addr; size })) in
+  let trace =
+    [
+      excl 0x200 8;
+      tx Event.Tx_checker_start;
+      tx Event.Tx_begin;
+      tx_add 0x100 8;
+      w 0x100 8;
+      w 0x200 8; (* excluded: no missing-log, no persistence obligation *)
+      tx Event.Tx_commit;
+      clwb 0x100 8; sfence;
+      tx Event.Tx_checker_end;
+    ]
+  in
+  check_kinds trace []
+
+(* --- Model mismatch -------------------------------------------------------- *)
+
+let test_invalid_op () =
+  check_kinds ~model:Model.Hops [ w 0x100 8; clwb 0x100 8; sfence ]
+    [ Report.Invalid_op; Report.Invalid_op ];
+  check_kinds ~model:Model.X86 [ w 0x100 8; ofence ] [ Report.Invalid_op ]
+
+(* --- Report bookkeeping --------------------------------------------------- *)
+
+let test_report_counts () =
+  let r = check [ w 0x100 8; clwb 0x100 8; sfence; is_persist 0x100 8 ] in
+  Alcotest.(check int) "entries" 4 r.Report.entries;
+  Alcotest.(check int) "ops" 3 r.Report.ops;
+  Alcotest.(check int) "checkers" 1 r.Report.checkers;
+  Alcotest.(check bool) "clean" true (Report.is_clean r)
+
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_report_summarize () =
+  (* Repeated diagnostics at one site collapse into one summary row. *)
+  let entries =
+    Array.concat
+      (List.init 50 (fun _ ->
+           [| w 0x100 8; e (Event.Checker (Event.Is_persist { addr = 0x100; size = 8 })) |]))
+  in
+  let r = Engine.check entries in
+  Alcotest.(check int) "50 diagnostics" 50 (List.length r.Report.diagnostics);
+  (match Report.summarize r with
+  | [ (Report.Not_persisted, _, _, 50) ] -> ()
+  | other -> Alcotest.failf "unexpected summary with %d groups" (List.length other));
+  let s = Format.asprintf "%a" Report.pp_summary r in
+  Alcotest.(check bool) "count printed" true (string_contains s "(x50)")
+
+let test_report_merge () =
+  let a = check [ w 0x100 8; is_persist 0x100 8 ] in
+  let b = check [ w 0x200 8; clwb 0x200 8; sfence ] in
+  let m = Report.merge a b in
+  Alcotest.(check int) "entries add" (a.Report.entries + b.Report.entries) m.Report.entries;
+  Alcotest.(check int) "one fail" 1 (List.length (Report.fails m))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "paper-figures",
+        [
+          Alcotest.test_case "Fig. 7 worked example" `Quick test_fig7;
+          Alcotest.test_case "Fig. 4 overlap example" `Quick test_fig4;
+          Alcotest.test_case "Fig. 3a x86 correct trace" `Quick test_fig3_x86_correct;
+          Alcotest.test_case "Fig. 3b HOPS correct trace" `Quick test_fig3_hops_correct;
+        ] );
+      ( "x86-rules",
+        [
+          Alcotest.test_case "write invalidates pending flush" `Quick test_write_clears_flush;
+          Alcotest.test_case "clwb without fence is not durable" `Quick
+            test_clwb_without_fence_not_durable;
+          Alcotest.test_case "partial flush fails isPersist" `Quick test_partial_flush_fails;
+          Alcotest.test_case "unwritten ranges pass vacuously" `Quick test_unwritten_range_passes;
+          Alcotest.test_case "late clwb closes at its own fence" `Quick
+            test_later_clwb_closes_at_its_fence;
+        ] );
+      ( "eadr-rules",
+        [
+          Alcotest.test_case "stores immediately durable" `Quick
+            test_eadr_stores_immediately_durable;
+          Alcotest.test_case "program order is persist order" `Quick
+            test_eadr_program_order_is_persist_order;
+          Alcotest.test_case "legacy writebacks flagged" `Quick
+            test_eadr_flags_redundant_writebacks;
+          Alcotest.test_case "transactions need no flushes" `Quick
+            test_eadr_tx_scope_passes_without_flushes;
+        ] );
+      ( "hops-rules",
+        [
+          Alcotest.test_case "ofence orders without durability" `Quick
+            test_hops_ofence_orders_without_durability;
+          Alcotest.test_case "same epoch writes unordered" `Quick test_hops_same_epoch_unordered;
+        ] );
+      ( "performance-checkers",
+        [
+          Alcotest.test_case "unnecessary writeback" `Quick test_unnecessary_writeback;
+          Alcotest.test_case "duplicate writeback" `Quick test_duplicate_writeback;
+          Alcotest.test_case "duplicate writeback after fence" `Quick
+            test_duplicate_writeback_after_fence;
+          Alcotest.test_case "rewrite then flush is fine" `Quick test_flush_then_write_then_flush_ok;
+        ] );
+      ( "tx-checkers",
+        [
+          Alcotest.test_case "clean transaction" `Quick test_tx_clean;
+          Alcotest.test_case "missing undo log" `Quick test_tx_missing_log;
+          Alcotest.test_case "updates not persisted at end" `Quick test_tx_incomplete_not_persisted;
+          Alcotest.test_case "transaction never terminated" `Quick test_tx_never_terminated;
+          Alcotest.test_case "duplicate log entry" `Quick test_tx_duplicate_log;
+          Alcotest.test_case "partially logged write is missing" `Quick
+            test_tx_partial_log_is_missing;
+          Alcotest.test_case "nested tx durable only at outermost end" `Quick
+            test_nested_tx_inner_end_not_durable;
+        ] );
+      ( "controls",
+        [
+          Alcotest.test_case "exclude/include" `Quick test_exclusion;
+          Alcotest.test_case "exclusion scopes the tx checker" `Quick
+            test_exclusion_scopes_tx_checker;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "ops outside the model fail" `Quick test_invalid_op;
+          Alcotest.test_case "report counters" `Quick test_report_counts;
+          Alcotest.test_case "report merge" `Quick test_report_merge;
+          Alcotest.test_case "report summary groups by site" `Quick test_report_summarize;
+        ] );
+    ]

@@ -1,0 +1,234 @@
+(* Interval map and interval tree: unit tests plus qcheck properties
+   against naive reference models. *)
+
+open Pmtest_itree
+
+(* ---------- Reference model: array of value options ---------- *)
+
+let universe = 64
+
+let denote map =
+  Array.init universe (fun i -> Interval_map.find map i)
+
+(* ---------- Interval map unit tests ---------- *)
+
+let test_set_find () =
+  let m = Interval_map.set Interval_map.empty ~lo:10 ~hi:20 "a" in
+  Alcotest.(check (option string)) "inside" (Some "a") (Interval_map.find m 15);
+  Alcotest.(check (option string)) "left edge" (Some "a") (Interval_map.find m 10);
+  Alcotest.(check (option string)) "right edge excluded" None (Interval_map.find m 20);
+  Alcotest.(check (option string)) "outside" None (Interval_map.find m 9)
+
+let test_set_splits () =
+  let m = Interval_map.set Interval_map.empty ~lo:0 ~hi:30 "a" in
+  let m = Interval_map.set m ~lo:10 ~hi:20 "b" in
+  Alcotest.(check (option string)) "left keeps a" (Some "a") (Interval_map.find m 5);
+  Alcotest.(check (option string)) "middle is b" (Some "b") (Interval_map.find m 15);
+  Alcotest.(check (option string)) "right keeps a" (Some "a") (Interval_map.find m 25);
+  Alcotest.(check int) "three fragments" 3 (Interval_map.cardinal m)
+
+let test_clear_splits () =
+  let m = Interval_map.set Interval_map.empty ~lo:0 ~hi:30 "a" in
+  let m = Interval_map.clear m ~lo:10 ~hi:20 in
+  Alcotest.(check (option string)) "left survives" (Some "a") (Interval_map.find m 9);
+  Alcotest.(check (option string)) "middle gone" None (Interval_map.find m 15);
+  Alcotest.(check (option string)) "right survives" (Some "a") (Interval_map.find m 20)
+
+let test_overlapping_clipped () =
+  let m = Interval_map.set Interval_map.empty ~lo:0 ~hi:10 "a" in
+  let m = Interval_map.set m ~lo:20 ~hi:30 "b" in
+  Alcotest.(check int) "two overlaps" 2 (List.length (Interval_map.overlapping m ~lo:5 ~hi:25));
+  match Interval_map.overlapping m ~lo:5 ~hi:25 with
+  | [ (5, 10, "a"); (20, 25, "b") ] -> ()
+  | other ->
+    Alcotest.failf "unexpected overlap list: %s"
+      (String.concat ";" (List.map (fun (l, h, v) -> Printf.sprintf "(%d,%d,%s)" l h v) other))
+
+let test_covered () =
+  let m = Interval_map.set Interval_map.empty ~lo:0 ~hi:10 () in
+  let m = Interval_map.set m ~lo:10 ~hi:20 () in
+  Alcotest.(check bool) "contiguous covered" true (Interval_map.covered m ~lo:3 ~hi:18);
+  let m = Interval_map.clear m ~lo:9 ~hi:10 in
+  Alcotest.(check bool) "gap breaks cover" false (Interval_map.covered m ~lo:3 ~hi:18)
+
+let test_update_range () =
+  let m = Interval_map.set Interval_map.empty ~lo:0 ~hi:10 1 in
+  let m =
+    Interval_map.update_range m ~lo:5 ~hi:15 ~f:(function None -> Some 9 | Some v -> Some (v + 1))
+  in
+  Alcotest.(check (option int)) "untouched" (Some 1) (Interval_map.find m 2);
+  Alcotest.(check (option int)) "bumped" (Some 2) (Interval_map.find m 7);
+  Alcotest.(check (option int)) "gap filled" (Some 9) (Interval_map.find m 12)
+
+(* ---------- Interval map properties ---------- *)
+
+type op = Set of int * int * int | Clear of int * int
+
+let gen_op =
+  QCheck2.Gen.(
+    let range = int_range 0 (universe - 1) >>= fun lo ->
+      int_range (lo + 1) universe >|= fun hi -> (lo, hi)
+    in
+    oneof
+      [
+        (range >>= fun (lo, hi) -> int_range 0 5 >|= fun v -> Set (lo, hi, v));
+        (range >|= fun (lo, hi) -> Clear (lo, hi));
+      ])
+
+let apply_model arr = function
+  | Set (lo, hi, v) -> Array.mapi (fun i x -> if i >= lo && i < hi then Some v else x) arr
+  | Clear (lo, hi) -> Array.mapi (fun i x -> if i >= lo && i < hi then None else x) arr
+
+let apply_map m = function
+  | Set (lo, hi, v) -> Interval_map.set m ~lo ~hi v
+  | Clear (lo, hi) -> Interval_map.clear m ~lo ~hi
+
+let prop_map_matches_model =
+  QCheck2.Test.make ~name:"interval_map denotes the same function as an array"
+    ~count:500
+    QCheck2.Gen.(list_size (int_range 0 40) gen_op)
+    (fun ops ->
+      let arr = List.fold_left apply_model (Array.make universe None) ops in
+      let m = List.fold_left apply_map Interval_map.empty ops in
+      denote m = arr)
+
+let prop_covered_matches_model =
+  QCheck2.Test.make ~name:"covered agrees with the array model" ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 20) gen_op)
+        (int_range 0 (universe - 2) >>= fun lo ->
+         int_range (lo + 1) (universe - 1) >|= fun hi -> (lo, hi)))
+    (fun (ops, (lo, hi)) ->
+      let arr = List.fold_left apply_model (Array.make universe None) ops in
+      let m = List.fold_left apply_map Interval_map.empty ops in
+      let model_covered =
+        let rec go i = i >= hi || (arr.(i) <> None && go (i + 1)) in
+        go lo
+      in
+      Interval_map.covered m ~lo ~hi = model_covered)
+
+let prop_equal_denotational =
+  QCheck2.Test.make ~name:"equal ignores fragmentation" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 20) gen_op)
+    (fun ops ->
+      let m = List.fold_left apply_map Interval_map.empty ops in
+      (* Re-apply a no-op split by setting a sub-range to its own value. *)
+      let m' =
+        match Interval_map.to_list m with
+        | (lo, hi, v) :: _ when hi - lo >= 2 ->
+          Interval_map.set m ~lo ~hi:(lo + 1) v
+        | _ -> m
+      in
+      Interval_map.equal ( = ) m m')
+
+(* ---------- Interval tree ---------- *)
+
+let test_tree_overlap () =
+  let t = Interval_tree.empty in
+  let t = Interval_tree.add t ~lo:0 ~hi:10 "a" in
+  let t = Interval_tree.add t ~lo:5 ~hi:15 "b" in
+  let t = Interval_tree.add t ~lo:20 ~hi:30 "c" in
+  Alcotest.(check int) "two overlap [7,9)" 2 (List.length (Interval_tree.overlapping t ~lo:7 ~hi:9));
+  Alcotest.(check int) "stab 5" 2 (List.length (Interval_tree.stab t 5));
+  Alcotest.(check bool) "any_overlap finds c" true (Interval_tree.any_overlap t ~lo:25 ~hi:26 <> None);
+  Alcotest.(check bool) "gap has none" true (Interval_tree.any_overlap t ~lo:16 ~hi:20 = None)
+
+let test_tree_covered () =
+  let t = Interval_tree.add Interval_tree.empty ~lo:0 ~hi:10 () in
+  let t = Interval_tree.add t ~lo:10 ~hi:20 () in
+  Alcotest.(check bool) "covered across entries" true (Interval_tree.covered t ~lo:0 ~hi:20);
+  Alcotest.(check bool) "not covered past end" false (Interval_tree.covered t ~lo:0 ~hi:21)
+
+let test_tree_remove_duplicates () =
+  let t = Interval_tree.add Interval_tree.empty ~lo:0 ~hi:10 "x" in
+  let t = Interval_tree.add t ~lo:0 ~hi:10 "y" in
+  let t = Interval_tree.remove t ~lo:0 ~hi:10 ~f:(fun v -> v = "x") in
+  Alcotest.(check int) "one left" 1 (Interval_tree.cardinal t);
+  match Interval_tree.to_list t with
+  | [ (0, 10, "y") ] -> ()
+  | _ -> Alcotest.fail "wrong entry removed"
+
+let gen_intervals =
+  QCheck2.Gen.(
+    list_size (int_range 0 60)
+      ( int_range 0 (universe - 2) >>= fun lo ->
+        int_range (lo + 1) (universe - 1) >|= fun hi -> (lo, hi) ))
+
+let prop_tree_invariants =
+  QCheck2.Test.make ~name:"interval tree stays balanced and augmented" ~count:300 gen_intervals
+    (fun ivs ->
+      let t =
+        List.fold_left (fun t (lo, hi) -> Interval_tree.add t ~lo ~hi ()) Interval_tree.empty ivs
+      in
+      Interval_tree.check_invariants t
+      && Interval_tree.cardinal t = List.length ivs
+      &&
+      (* Height must stay logarithmic: AVL guarantees < 1.45 log2(n+2). *)
+      let n = List.length ivs in
+      float_of_int (Interval_tree.height t) <= (1.45 *. (log (float_of_int (n + 2)) /. log 2.)) +. 1.0)
+
+let prop_tree_overlap_matches_naive =
+  QCheck2.Test.make ~name:"overlapping agrees with naive scan" ~count:300
+    QCheck2.Gen.(
+      pair gen_intervals
+        ( int_range 0 (universe - 2) >>= fun lo ->
+          int_range (lo + 1) (universe - 1) >|= fun hi -> (lo, hi) ))
+    (fun (ivs, (qlo, qhi)) ->
+      let t =
+        List.fold_left (fun t (lo, hi) -> Interval_tree.add t ~lo ~hi ()) Interval_tree.empty ivs
+      in
+      let naive =
+        List.sort compare (List.filter (fun (lo, hi) -> lo < qhi && qlo < hi) ivs)
+      in
+      let got =
+        List.sort compare
+          (List.map (fun (lo, hi, ()) -> (lo, hi)) (Interval_tree.overlapping t ~lo:qlo ~hi:qhi))
+      in
+      naive = got)
+
+let prop_tree_remove_then_absent =
+  QCheck2.Test.make ~name:"remove deletes exactly one matching entry" ~count:300 gen_intervals
+    (fun ivs ->
+      match ivs with
+      | [] -> true
+      | (lo, hi) :: _ ->
+        let t =
+          List.fold_left (fun t (l, h) -> Interval_tree.add t ~lo:l ~hi:h ()) Interval_tree.empty
+            ivs
+        in
+        let t' = Interval_tree.remove t ~lo ~hi ~f:(fun () -> true) in
+        Interval_tree.check_invariants t'
+        && Interval_tree.cardinal t' = List.length ivs - 1)
+
+let () =
+  let qtests =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_map_matches_model;
+        prop_covered_matches_model;
+        prop_equal_denotational;
+        prop_tree_invariants;
+        prop_tree_overlap_matches_naive;
+        prop_tree_remove_then_absent;
+      ]
+  in
+  Alcotest.run "itree"
+    [
+      ( "interval_map",
+        [
+          Alcotest.test_case "set/find boundaries" `Quick test_set_find;
+          Alcotest.test_case "set splits straddlers" `Quick test_set_splits;
+          Alcotest.test_case "clear splits straddlers" `Quick test_clear_splits;
+          Alcotest.test_case "overlapping is clipped and ordered" `Quick test_overlapping_clipped;
+          Alcotest.test_case "covered detects gaps" `Quick test_covered;
+          Alcotest.test_case "update_range splits and fills" `Quick test_update_range;
+        ] );
+      ( "interval_tree",
+        [
+          Alcotest.test_case "overlap queries" `Quick test_tree_overlap;
+          Alcotest.test_case "covered across entries" `Quick test_tree_covered;
+          Alcotest.test_case "remove with duplicate keys" `Quick test_tree_remove_duplicates;
+        ] );
+      ("properties", qtests);
+    ]

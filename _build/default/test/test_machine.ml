@@ -1,0 +1,176 @@
+(* The simulated PM device: volatile/media separation, writeback protocol,
+   crash-state enumeration. *)
+
+open Pmtest_util
+module Machine = Pmtest_pmem.Machine
+module Access = Pmtest_pmem.Access
+
+let mk ?(track = true) ?(size = 1024) () = Machine.create ~track_versions:track ~size ()
+
+let test_store_load () =
+  let m = mk () in
+  Machine.store m ~addr:100 (Bytes.of_string "hello");
+  Alcotest.(check string) "volatile readback" "hello" (Bytes.to_string (Machine.load m ~addr:100 ~len:5))
+
+let test_store_not_durable () =
+  let m = mk () in
+  Machine.store m ~addr:0 (Bytes.of_string "x");
+  Alcotest.(check char) "media still zero" '\000' (Bytes.get (Machine.media_image m) 0)
+
+let test_clwb_fence_durable () =
+  let m = mk () in
+  Machine.store m ~addr:0 (Bytes.of_string "x");
+  Machine.clwb m ~addr:0 ~size:1;
+  Machine.sfence m;
+  Alcotest.(check char) "media updated" 'x' (Bytes.get (Machine.media_image m) 0);
+  Alcotest.(check int) "line clean" 0 (Machine.dirty_line_count m)
+
+let test_clwb_snapshot_excludes_later_store () =
+  (* Store A, clwb, store B to the same line, fence: only A is guaranteed;
+     the line stays dirty with B pending. *)
+  let m = mk () in
+  Machine.store m ~addr:0 (Bytes.of_string "A");
+  Machine.clwb m ~addr:0 ~size:1;
+  Machine.store m ~addr:0 (Bytes.of_string "B");
+  Machine.sfence m;
+  Alcotest.(check char) "media has A" 'A' (Bytes.get (Machine.media_image m) 0);
+  Alcotest.(check int) "line still dirty" 1 (Machine.dirty_line_count m)
+
+let test_fence_without_clwb_persists_nothing () =
+  let m = mk () in
+  Machine.store m ~addr:0 (Bytes.of_string "x");
+  Machine.sfence m;
+  Alcotest.(check char) "media still zero" '\000' (Bytes.get (Machine.media_image m) 0);
+  Alcotest.(check int) "still dirty" 1 (Machine.dirty_line_count m)
+
+let test_crash_states_single_line () =
+  (* One dirty line with two stores -> 3 reachable images: old, v1, v2. *)
+  let m = mk () in
+  Machine.store m ~addr:0 (Bytes.of_string "A");
+  Machine.store m ~addr:0 (Bytes.of_string "B");
+  Alcotest.(check (float 0.01)) "3 states" 3.0 (Machine.crash_state_count m);
+  let seen = ref [] in
+  let exhaustive =
+    Machine.iter_crash_states m (fun img -> seen := Bytes.get img 0 :: !seen)
+  in
+  Alcotest.(check bool) "exhaustive" true exhaustive;
+  Alcotest.(check (list char)) "values" [ '\000'; 'A'; 'B' ] (List.sort compare !seen)
+
+let test_crash_states_two_lines_product () =
+  let m = mk () in
+  Machine.store m ~addr:0 (Bytes.of_string "A");
+  Machine.store m ~addr:64 (Bytes.of_string "B");
+  (* Each line: media or its one store -> 4 combinations. *)
+  Alcotest.(check (float 0.01)) "4 states" 4.0 (Machine.crash_state_count m);
+  let count = ref 0 in
+  ignore (Machine.iter_crash_states m (fun _ -> incr count));
+  Alcotest.(check int) "enumerated" 4 !count
+
+let test_crash_state_limit () =
+  let m = mk () in
+  for i = 0 to 9 do
+    Machine.store m ~addr:(i * 64) (Bytes.of_string "A")
+  done;
+  (* 2^10 = 1024 states; limit to 100. *)
+  let count = ref 0 in
+  let exhaustive = Machine.iter_crash_states ~limit:100 m (fun _ -> incr count) in
+  Alcotest.(check bool) "truncated" false exhaustive;
+  Alcotest.(check int) "stopped at limit" 100 !count
+
+let test_sample_crash_state_valid () =
+  let m = mk () in
+  Machine.store m ~addr:0 (Bytes.of_string "A");
+  Machine.store m ~addr:0 (Bytes.of_string "B");
+  let rng = Rng.create 42 in
+  for _ = 1 to 50 do
+    let img = Machine.sample_crash_state m rng in
+    let c = Bytes.get img 0 in
+    Alcotest.(check bool) "one of the versions" true (c = '\000' || c = 'A' || c = 'B')
+  done
+
+let test_persisted_line_has_no_choice () =
+  let m = mk () in
+  Machine.store m ~addr:0 (Bytes.of_string "A");
+  Machine.clwb m ~addr:0 ~size:1;
+  Machine.sfence m;
+  Alcotest.(check (float 0.001)) "single state" 1.0 (Machine.crash_state_count m);
+  ignore
+    (Machine.iter_crash_states m (fun img ->
+         Alcotest.(check char) "the persisted value" 'A' (Bytes.get img 0)))
+
+let test_of_image_round_trip () =
+  let m = mk () in
+  Machine.store m ~addr:10 (Bytes.of_string "abc");
+  Machine.persist_all m;
+  let booted = Machine.of_image (Machine.media_image m) in
+  Alcotest.(check string) "recovered bytes" "abc" (Bytes.to_string (Machine.load booted ~addr:10 ~len:3))
+
+let test_dfence_drains_everything () =
+  let m = mk () in
+  Machine.store m ~addr:0 (Bytes.of_string "A");
+  Machine.store m ~addr:64 (Bytes.of_string "B");
+  Machine.dfence m;
+  Alcotest.(check int) "clean" 0 (Machine.dirty_line_count m);
+  Alcotest.(check char) "A durable" 'A' (Bytes.get (Machine.media_image m) 0);
+  Alcotest.(check char) "B durable" 'B' (Bytes.get (Machine.media_image m) 64)
+
+let test_bounds_check () =
+  let m = mk ~size:128 () in
+  Alcotest.check_raises "store past end"
+    (Invalid_argument "Machine.store: range [0x7f,+4) outside device of 128 bytes") (fun () ->
+      Machine.store m ~addr:127 (Bytes.of_string "abcd"))
+
+let test_access_scalars () =
+  let m = mk ~track:false () in
+  Access.set_i64 m 8 0x1122334455667788L;
+  Alcotest.(check int64) "i64 round trip" 0x1122334455667788L (Access.get_i64 m 8);
+  Access.set_u8 m 3 200;
+  Alcotest.(check int) "u8 round trip" 200 (Access.get_u8 m 3);
+  Access.set_string m 100 ~len:16 "short";
+  Alcotest.(check string) "string trimmed" "short" (Access.get_string m 100 16)
+
+(* Property: after clwb+sfence of every dirty line, exactly one crash
+   state exists and it equals the volatile image. *)
+let prop_full_persist_single_state =
+  QCheck2.Test.make ~name:"persist-all collapses the crash-state space" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 20) (pair (int_range 0 60) (int_range 1 4)))
+    (fun writes ->
+      let m = mk ~size:(16 * 64) () in
+      List.iter
+        (fun (off, len) -> Machine.store m ~addr:(off * 8) (Bytes.make len 'Z'))
+        writes;
+      Machine.clwb m ~addr:0 ~size:(16 * 64);
+      Machine.sfence m;
+      Machine.crash_state_count m = 1.0
+      && Bytes.equal (Machine.media_image m) (Machine.volatile_image m))
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "store/load volatile" `Quick test_store_load;
+          Alcotest.test_case "store alone is not durable" `Quick test_store_not_durable;
+          Alcotest.test_case "clwb+sfence persists" `Quick test_clwb_fence_durable;
+          Alcotest.test_case "clwb snapshots at issue time" `Quick
+            test_clwb_snapshot_excludes_later_store;
+          Alcotest.test_case "fence without clwb persists nothing" `Quick
+            test_fence_without_clwb_persists_nothing;
+          Alcotest.test_case "dfence drains everything" `Quick test_dfence_drains_everything;
+          Alcotest.test_case "bounds are checked" `Quick test_bounds_check;
+          Alcotest.test_case "typed accessors" `Quick test_access_scalars;
+          Alcotest.test_case "boot from image" `Quick test_of_image_round_trip;
+        ] );
+      ( "crash-states",
+        [
+          Alcotest.test_case "versions of one line" `Quick test_crash_states_single_line;
+          Alcotest.test_case "independent lines multiply" `Quick test_crash_states_two_lines_product;
+          Alcotest.test_case "enumeration limit" `Quick test_crash_state_limit;
+          Alcotest.test_case "sampling stays in the reachable set" `Quick
+            test_sample_crash_state_valid;
+          Alcotest.test_case "persisted line is deterministic" `Quick
+            test_persisted_line_has_no_choice;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_full_persist_single_state ] );
+    ]

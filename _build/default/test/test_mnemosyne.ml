@@ -1,0 +1,171 @@
+(* Mnemosyne region (redo-log durable transactions) and the persistent
+   map on top. *)
+
+open Pmtest_util
+module Region = Pmtest_mnemosyne.Region
+module Pmap = Pmtest_mnemosyne.Pmap
+module Machine = Pmtest_pmem.Machine
+module Report = Pmtest_core.Report
+module Pmtest = Pmtest_core.Pmtest
+module Sink = Pmtest_trace.Sink
+
+let test_tx_commit_durable () =
+  let r = Region.create ~size:(1 lsl 20) ~sink:Sink.null () in
+  let off = Region.alloc r 8 in
+  Region.tx r (fun () -> Region.store_i64 r ~off 77L);
+  Alcotest.(check int64) "volatile sees it" 77L (Region.load_i64 r ~off);
+  let booted = Machine.of_image (Machine.media_image (Region.machine r)) in
+  Alcotest.(check int64) "durable after commit" 77L (Pmtest_pmem.Access.get_i64 booted off)
+
+let test_tx_read_your_writes () =
+  let r = Region.create ~size:(1 lsl 20) ~sink:Sink.null () in
+  let off = Region.alloc r 8 in
+  Region.tx r (fun () ->
+      Region.store_i64 r ~off 5L;
+      Alcotest.(check int64) "buffered read" 5L (Region.load_i64 r ~off))
+
+let test_tx_abort_discards () =
+  let r = Region.create ~size:(1 lsl 20) ~sink:Sink.null () in
+  let off = Region.alloc r 8 in
+  Region.tx r (fun () -> Region.store_i64 r ~off 1L);
+  (try Region.tx r (fun () -> Region.store_i64 r ~off 9L; failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int64) "abort discarded buffered writes" 1L (Region.load_i64 r ~off)
+
+let test_fault_loses_data_after_crash () =
+  (* With the apply-writeback fault the committed value never reaches the
+     media before the log is truncated: a crash silently loses it. This
+     is the ground truth behind the Not_persisted diagnostic. *)
+  let r = Region.create ~size:(1 lsl 20) ~sink:Sink.null () in
+  Region.set_fault r (Some Region.Skip_apply_writeback);
+  let off = Region.alloc r 8 in
+  Region.tx r (fun () -> Region.store_i64 r ~off 42L);
+  let booted = Machine.of_image (Machine.media_image (Region.machine r)) in
+  let r2 = Region.of_machine ~machine:booted ~sink:Sink.null in
+  Alcotest.(check bool) "committed value lost after crash" true
+    (Region.load_i64 r2 ~off <> 42L)
+
+let test_recovery_via_marker () =
+  (* Drive the protocol by hand to freeze the crash window: log + marker
+     durable, apply missing entirely. *)
+  let r = Region.create ~size:(1 lsl 20) ~sink:Sink.null () in
+  let off = Region.alloc r 8 in
+  let m = Region.machine r in
+  (* Forge a committed log record: target [off] := 99. *)
+  Pmtest_pmem.Access.set_i64 m 0x40 (Int64.of_int off);
+  Pmtest_pmem.Access.set_i64 m 0x48 8L;
+  Pmtest_pmem.Access.set_i64 m 0x50 99L;
+  Pmtest_pmem.Access.set_i64 m 16 1L (* marker: 1 record *);
+  Machine.persist_all m;
+  let booted = Machine.of_image (Machine.media_image m) in
+  let r2 = Region.of_machine ~machine:booted ~sink:Sink.null in
+  Alcotest.(check int) "one word replayed" 1 (Region.recovered_words r2);
+  Alcotest.(check int64) "update applied by recovery" 99L (Region.load_i64 r2 ~off)
+
+let test_clean_commit_passes_pmtest () =
+  let session = Pmtest.init ~workers:0 () in
+  let r = Region.create ~sink:(Pmtest.sink session) () in
+  let off = Region.alloc r 16 in
+  Region.tx_checker_start r;
+  Region.tx r (fun () ->
+      Region.store_i64 r ~off 1L;
+      Region.store_i64 r ~off:(off + 8) 2L);
+  Region.tx_checker_end r;
+  Pmtest.send_trace session;
+  let report = Pmtest.finish session in
+  if not (Report.is_clean report) then Alcotest.failf "expected clean: %s" (Report.to_string report)
+
+let run_with_fault fault =
+  let session = Pmtest.init ~workers:0 () in
+  let r = Region.create ~sink:(Pmtest.sink session) () in
+  Region.set_fault r fault;
+  let off = Region.alloc r 16 in
+  Region.tx_checker_start r;
+  Region.tx r (fun () -> Region.store_i64 r ~off 1L);
+  Region.tx_checker_end r;
+  Pmtest.send_trace session;
+  Pmtest.finish session
+
+let test_faults_detected () =
+  let expect name kind fault =
+    let report = run_with_fault (Some fault) in
+    if Report.count kind report = 0 then
+      Alcotest.failf "%s: expected %s, got %s" name (Report.kind_string kind)
+        (Report.to_string report)
+  in
+  Alcotest.(check bool) "clean without fault" true (Report.is_clean (run_with_fault None));
+  expect "skip log flush" Report.Not_persisted Region.Skip_log_flush;
+  expect "skip commit fence" Report.Not_ordered Region.Skip_commit_fence;
+  expect "skip apply writeback" Report.Not_persisted Region.Skip_apply_writeback;
+  expect "unlogged store" Report.Incomplete_tx Region.Skip_log_record
+
+(* --- Pmap ------------------------------------------------------------------- *)
+
+let test_pmap_round_trip () =
+  let r = Region.create ~sink:Sink.null () in
+  let m = Pmap.create ~buckets:32 ~value_cap:32 r in
+  let reference = Hashtbl.create 32 in
+  let rng = Rng.create 5 in
+  for i = 0 to 199 do
+    let key = Int64.of_int (Rng.int rng 50) in
+    let v = Printf.sprintf "val%d" i in
+    Pmap.set m ~key ~value:v;
+    Hashtbl.replace reference key v
+  done;
+  Alcotest.(check int) "cardinal" (Hashtbl.length reference) (Pmap.cardinal m);
+  Hashtbl.iter
+    (fun key v ->
+      match Pmap.get m ~key with
+      | Some got when got = v -> ()
+      | Some got -> Alcotest.failf "key %Ld: %s <> %s" key got v
+      | None -> Alcotest.failf "key %Ld missing" key)
+    reference;
+  (match Pmap.check_consistent m with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Removal *)
+  let some_key = Int64.of_int 1 in
+  if Hashtbl.mem reference some_key then begin
+    Alcotest.(check bool) "removed" true (Pmap.remove m ~key:some_key);
+    Alcotest.(check (option string)) "gone" None (Pmap.get m ~key:some_key)
+  end
+
+let test_pmap_value_cap () =
+  let r = Region.create ~sink:Sink.null () in
+  let m = Pmap.create ~value_cap:8 r in
+  Alcotest.check_raises "oversized value" (Invalid_argument "Pmap.set: value exceeds capacity")
+    (fun () -> Pmap.set m ~key:1L ~value:"way too long for cap")
+
+let test_pmap_clean_under_pmtest () =
+  let session = Pmtest.init ~workers:0 () in
+  let r = Region.create ~sink:(Pmtest.sink session) () in
+  let m = Pmap.create ~buckets:16 r in
+  for i = 0 to 19 do
+    Pmap.set m ~key:(Int64.of_int i) ~value:"x";
+    Pmtest.send_trace session
+  done;
+  let report = Pmtest.finish session in
+  if not (Report.is_clean report) then Alcotest.failf "expected clean: %s" (Report.to_string report)
+
+let () =
+  Alcotest.run "mnemosyne"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "commit is durable" `Quick test_tx_commit_durable;
+          Alcotest.test_case "read-your-writes in tx" `Quick test_tx_read_your_writes;
+          Alcotest.test_case "abort discards buffered writes" `Quick test_tx_abort_discards;
+          Alcotest.test_case "recovery replays a committed log" `Quick test_recovery_via_marker;
+          Alcotest.test_case "apply-writeback fault loses data" `Quick
+            test_fault_loses_data_after_crash;
+        ] );
+      ( "pmtest-integration",
+        [
+          Alcotest.test_case "clean commit passes" `Quick test_clean_commit_passes_pmtest;
+          Alcotest.test_case "all faults detected" `Quick test_faults_detected;
+        ] );
+      ( "pmap",
+        [
+          Alcotest.test_case "round trip" `Quick test_pmap_round_trip;
+          Alcotest.test_case "value capacity enforced" `Quick test_pmap_value_cap;
+          Alcotest.test_case "clean under PMTest" `Quick test_pmap_clean_under_pmtest;
+        ] );
+    ]

@@ -1,0 +1,118 @@
+(* Persist-interval algebra and persistency-model classification. *)
+
+open Pmtest_model
+
+let test_open_close () =
+  let i = Interval.make_open 3 in
+  Alcotest.(check bool) "open" true (Interval.is_open i);
+  Alcotest.(check bool) "never ends" false (Interval.ends_by i 1000);
+  let c = Interval.close i 5 in
+  Alcotest.(check bool) "closed" false (Interval.is_open c);
+  Alcotest.(check bool) "ends by 5" true (Interval.ends_by c 5);
+  Alcotest.(check bool) "not by 4" false (Interval.ends_by c 4);
+  (* Closing again keeps the first bound. *)
+  let c2 = Interval.close c 99 in
+  Alcotest.(check bool) "first close binds" true (Interval.equal c c2)
+
+let test_overlap_adjacent () =
+  let a = Interval.make ~lo:1 ~hi:2 in
+  let b = Interval.make_open 2 in
+  Alcotest.(check bool) "adjacent do not overlap" false (Interval.overlaps a b);
+  Alcotest.(check bool) "ordered" true (Interval.ordered_before a b);
+  let c = Interval.make_open 1 in
+  Alcotest.(check bool) "same-epoch opens overlap" true (Interval.overlaps b c || Interval.overlaps c b)
+
+let test_overlap_open () =
+  let a = Interval.make_open 0 in
+  let b = Interval.make ~lo:1 ~hi:3 in
+  Alcotest.(check bool) "open overlaps later closed" true (Interval.overlaps a b);
+  Alcotest.(check bool) "not ordered" false (Interval.ordered_before a b)
+
+let test_hops_rule () =
+  let a = Interval.make ~lo:0 ~hi:2 in
+  let b = Interval.make ~lo:1 ~hi:2 in
+  Alcotest.(check bool) "earlier epoch starts before" true (Interval.starts_before a b);
+  Alcotest.(check bool) "same epoch does not" false (Interval.starts_before b b)
+
+let test_invalid_intervals () =
+  Alcotest.check_raises "make with hi<=lo" (Invalid_argument "Interval.make: hi must exceed lo")
+    (fun () -> ignore (Interval.make ~lo:3 ~hi:3));
+  Alcotest.check_raises "close at lo" (Invalid_argument "Interval.close: bound must exceed lo")
+    (fun () -> ignore (Interval.close (Interval.make_open 3) 3))
+
+let test_model_validity () =
+  let w = Model.Write { addr = 0; size = 8 } in
+  Alcotest.(check bool) "write ok everywhere" true
+    (Model.valid_op Model.X86 w && Model.valid_op Model.Hops w);
+  Alcotest.(check bool) "clwb only x86" true
+    (Model.valid_op Model.X86 (Model.Clwb { addr = 0; size = 8 })
+    && not (Model.valid_op Model.Hops (Model.Clwb { addr = 0; size = 8 })));
+  Alcotest.(check bool) "sfence only x86" true
+    (Model.valid_op Model.X86 Model.Sfence && not (Model.valid_op Model.Hops Model.Sfence));
+  Alcotest.(check bool) "ofence/dfence only hops" true
+    (Model.valid_op Model.Hops Model.Ofence
+    && Model.valid_op Model.Hops Model.Dfence
+    && (not (Model.valid_op Model.X86 Model.Ofence))
+    && not (Model.valid_op Model.X86 Model.Dfence))
+
+let test_line_span () =
+  Alcotest.(check (pair int int)) "within one line" (0, 0) (Model.line_span ~addr:0 ~size:64);
+  Alcotest.(check (pair int int)) "straddles" (0, 1) (Model.line_span ~addr:60 ~size:8);
+  Alcotest.(check (pair int int)) "many lines" (1, 4) (Model.line_span ~addr:64 ~size:256)
+
+let test_kind_round_trip () =
+  Alcotest.(check (option string))
+    "x86" (Some "x86")
+    (Option.map Model.kind_name (Model.kind_of_string "x86"));
+  Alcotest.(check (option string))
+    "hops" (Some "hops")
+    (Option.map Model.kind_name (Model.kind_of_string "HOPS"));
+  Alcotest.(check bool) "unknown" true (Model.kind_of_string "arm" = None)
+
+let prop_overlap_symmetric =
+  let gen =
+    QCheck2.Gen.(
+      let interval =
+        int_range 0 10 >>= fun lo ->
+        oneof [ return None; int_range (lo + 1) 12 >|= Option.some ] >|= fun hi ->
+        match hi with None -> Interval.make_open lo | Some h -> Interval.make ~lo ~hi:h
+      in
+      pair interval interval)
+  in
+  QCheck2.Test.make ~name:"overlap is symmetric" ~count:500 gen (fun (a, b) ->
+      Interval.overlaps a b = Interval.overlaps b a)
+
+let prop_ordered_excludes_overlap =
+  let gen =
+    QCheck2.Gen.(
+      let interval =
+        int_range 0 10 >>= fun lo ->
+        oneof [ return None; int_range (lo + 1) 12 >|= Option.some ] >|= fun hi ->
+        match hi with None -> Interval.make_open lo | Some h -> Interval.make ~lo ~hi:h
+      in
+      pair interval interval)
+  in
+  QCheck2.Test.make ~name:"ordered_before implies no overlap" ~count:500 gen (fun (a, b) ->
+      (not (Interval.ordered_before a b)) || not (Interval.overlaps a b))
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "open/close lifecycle" `Quick test_open_close;
+          Alcotest.test_case "adjacent intervals do not overlap" `Quick test_overlap_adjacent;
+          Alcotest.test_case "open interval overlaps" `Quick test_overlap_open;
+          Alcotest.test_case "HOPS starts_before is strict" `Quick test_hops_rule;
+          Alcotest.test_case "invalid constructions raise" `Quick test_invalid_intervals;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "per-model op validity" `Quick test_model_validity;
+          Alcotest.test_case "cache-line spans" `Quick test_line_span;
+          Alcotest.test_case "kind parsing" `Quick test_kind_round_trip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_overlap_symmetric; prop_ordered_excludes_overlap ]
+      );
+    ]

@@ -1,0 +1,193 @@
+(* The NOVA-style log-structured file system: operations, log replay on
+   mount, PMTest detection of the commit-protocol bugs, and crash
+   injection. *)
+
+module Nova = Pmtest_nova.Nova
+module Crashtest = Pmtest_crashtest.Crashtest
+module Machine = Pmtest_pmem.Machine
+module Report = Pmtest_core.Report
+module Pmtest = Pmtest_core.Pmtest
+module Sink = Pmtest_trace.Sink
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+let page s = s ^ String.make (Nova.page_size - String.length s) '\000'
+
+let test_create_write_read () =
+  let fs = Nova.mkfs ~sink:Sink.null () in
+  let ino = ok (Nova.create fs "notes") in
+  ok (Nova.write fs ~ino ~pgoff:0 "hello nova");
+  ok (Nova.write fs ~ino ~pgoff:3 "sparse page");
+  Alcotest.(check string) "page 0" (page "hello nova") (ok (Nova.read fs ~ino ~pgoff:0));
+  Alcotest.(check string) "page 3" (page "sparse page") (ok (Nova.read fs ~ino ~pgoff:3));
+  Alcotest.(check string) "hole" (String.make Nova.page_size '\000') (ok (Nova.read fs ~ino ~pgoff:1));
+  Alcotest.(check int) "two pages" 2 (Nova.file_pages fs ~ino);
+  (* Copy-on-write overwrite: partial write overlays the old page. *)
+  ok (Nova.write fs ~ino ~pgoff:0 "HELLO");
+  Alcotest.(check string) "overlay" (page "HELLO nova") (ok (Nova.read fs ~ino ~pgoff:0));
+  match Nova.check_consistent fs with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_namespace () =
+  let fs = Nova.mkfs ~sink:Sink.null () in
+  let a = ok (Nova.create fs "a") in
+  let b = ok (Nova.create fs "b") in
+  Alcotest.(check (list (pair string int))) "readdir" [ ("a", a); ("b", b) ] (Nova.readdir fs);
+  (match Nova.create fs "a" with Error "file exists" -> () | _ -> Alcotest.fail "dup create");
+  ok (Nova.unlink fs "a");
+  Alcotest.(check (option int)) "gone" None (Nova.lookup fs "a");
+  (* The name can be reused; a fresh inode is allocated. *)
+  let a2 = ok (Nova.create fs "a") in
+  Alcotest.(check bool) "inode reused or fresh" true (a2 > 0);
+  match Nova.check_consistent fs with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_mount_replays_logs () =
+  let fs = Nova.mkfs ~track_versions:true ~sink:Sink.null () in
+  let ino = ok (Nova.create fs "data") in
+  for i = 0 to 9 do
+    ok (Nova.write fs ~ino ~pgoff:(i mod 4) (Printf.sprintf "version-%d" i))
+  done;
+  ok (Nova.unlink fs "data");
+  let keep = ok (Nova.create fs "keep") in
+  ok (Nova.write fs ~ino:keep ~pgoff:0 "persists");
+  (* Crash: only the media image survives; mount replays the logs. *)
+  let booted = Machine.of_image (Machine.media_image (Nova.machine fs)) in
+  let fs2 = Nova.mount ~machine:booted ~sink:Sink.null in
+  Alcotest.(check (option int)) "unlinked stays gone" None (Nova.lookup fs2 "data");
+  (match Nova.lookup fs2 "keep" with
+  | Some ino ->
+    Alcotest.(check string) "contents replayed" (page "persists") (ok (Nova.read fs2 ~ino ~pgoff:0))
+  | None -> Alcotest.fail "committed file lost");
+  match Nova.check_consistent fs2 with Ok () -> () | Error e -> Alcotest.fail e
+
+let run_under_pmtest bug n =
+  let session = Pmtest.init ~workers:0 () in
+  let fs = Nova.mkfs ~sink:(Pmtest.sink session) () in
+  Nova.set_bug fs bug;
+  let ino = match Nova.create fs "f" with Ok i -> i | Error e -> failwith e in
+  for i = 0 to n - 1 do
+    ignore (Nova.write fs ~ino ~pgoff:(i mod 4) (Printf.sprintf "w%d" i));
+    Pmtest.send_trace session
+  done;
+  Pmtest.finish session
+
+let test_pmtest_detection () =
+  let clean = run_under_pmtest None 8 in
+  if not (Report.is_clean clean) then Alcotest.failf "expected clean: %s" (Report.to_string clean);
+  let expect name kind bug =
+    let r = run_under_pmtest (Some bug) 6 in
+    if Report.count kind r = 0 then
+      Alcotest.failf "%s: expected %s, got %s" name (Report.kind_string kind) (Report.to_string r)
+  in
+  expect "data page not persisted" Report.Not_ordered Nova.Skip_data_persist;
+  expect "log entry not persisted" Report.Not_ordered Nova.Skip_entry_persist;
+  expect "tail never persisted" Report.Not_persisted Nova.Skip_tail_persist
+
+let test_crash_injection () =
+  (* Committed writes must survive any crash; a crash inside a write may
+     land before or after its commit point (the tail persist), so the
+     in-flight page may read either way. *)
+  let committed = Hashtbl.create 16 in
+  let pending = ref None in
+  let target = ref Sink.null in
+  let sink = { Sink.emit = (fun k l -> !target.Sink.emit k l) } in
+  let fs = Nova.mkfs ~track_versions:true ~sink () in
+  let recover image =
+    let booted = Machine.of_image image in
+    let fs2 = Nova.mount ~machine:booted ~sink:Sink.null in
+    match Nova.check_consistent fs2 with
+    | Error e -> Error e
+    | Ok () ->
+      let bad = ref None in
+      Hashtbl.iter
+        (fun (name, pgoff) contents ->
+          if !bad = None then
+            match Nova.lookup fs2 name with
+            | None -> bad := Some (name ^ " lost")
+            | Some ino -> (
+              match Nova.read fs2 ~ino ~pgoff with
+              | Ok s when s = contents -> ()
+              | Ok s when !pending = Some ((name, pgoff), s) -> ()
+              | Ok _ -> bad := Some (name ^ " corrupted")
+              | Error e -> bad := Some e))
+        committed;
+      (match !bad with None -> Ok () | Some m -> Error m)
+  in
+  let config =
+    { Crashtest.default_config with Crashtest.samples_per_point = 6; exhaustive_limit = 32 }
+  in
+  let live, crash_sink =
+    Crashtest.attach ~config ~every:6 ~machine:(Nova.machine fs) ~recover ()
+  in
+  target := crash_sink;
+  let ino = match Nova.create fs "f" with Ok i -> i | Error e -> failwith e in
+  for i = 0 to 11 do
+    let contents = Printf.sprintf "commit-%d" i in
+    pending := Some (("f", i mod 3), page contents);
+    (match Nova.write fs ~ino ~pgoff:(i mod 3) contents with
+    | Ok () ->
+      Hashtbl.replace committed ("f", i mod 3) (page contents);
+      pending := None
+    | Error e -> failwith e)
+  done;
+  let v = Crashtest.live_verdict live in
+  if not (Crashtest.survived v) then
+    Alcotest.failf "correct nova failed crash testing: %a" Crashtest.pp_verdict v
+
+let test_buggy_tail_loses_commits () =
+  let target = ref Sink.null in
+  let sink = { Sink.emit = (fun k l -> !target.Sink.emit k l) } in
+  let fs = Nova.mkfs ~track_versions:true ~sink () in
+  Nova.set_bug fs (Some Nova.Skip_tail_persist);
+  let committed = Hashtbl.create 16 in
+  let recover image =
+    let booted = Machine.of_image image in
+    let fs2 = Nova.mount ~machine:booted ~sink:Sink.null in
+    match Nova.check_consistent fs2 with
+    | Error e -> Error e
+    | Ok () ->
+      let bad = ref None in
+      Hashtbl.iter
+        (fun (name, pgoff) contents ->
+          if !bad = None then
+            match Nova.lookup fs2 name with
+            | None -> bad := Some "file lost"
+            | Some ino -> (
+              match Nova.read fs2 ~ino ~pgoff with
+              | Ok s when s = contents -> ()
+              | _ -> bad := Some "write lost"))
+        committed;
+      (match !bad with None -> Ok () | Some m -> Error m)
+  in
+  let config =
+    { Crashtest.default_config with Crashtest.samples_per_point = 8; exhaustive_limit = 48 }
+  in
+  let live, crash_sink = Crashtest.attach ~config ~every:4 ~machine:(Nova.machine fs) ~recover () in
+  target := crash_sink;
+  (match Nova.create fs "f" with
+  | Ok ino ->
+    for i = 0 to 7 do
+      match Nova.write fs ~ino ~pgoff:0 (Printf.sprintf "c%d" i) with
+      | Ok () -> Hashtbl.replace committed ("f", 0) (page (Printf.sprintf "c%d" i))
+      | Error e -> failwith e
+    done
+  | Error e -> failwith e);
+  let v = Crashtest.live_verdict live in
+  Alcotest.(check bool)
+    (Format.asprintf "expected lost commits, got %a" Crashtest.pp_verdict v)
+    false (Crashtest.survived v)
+
+let () =
+  Alcotest.run "nova"
+    [
+      ( "operations",
+        [
+          Alcotest.test_case "create/write/read with CoW overlay" `Quick test_create_write_read;
+          Alcotest.test_case "namespace add/remove/reuse" `Quick test_namespace;
+          Alcotest.test_case "mount replays logs" `Quick test_mount_replays_logs;
+        ] );
+      ( "testing",
+        [
+          Alcotest.test_case "PMTest catches each protocol bug" `Quick test_pmtest_detection;
+          Alcotest.test_case "correct fs survives crash injection" `Quick test_crash_injection;
+          Alcotest.test_case "unpersisted tail loses commits" `Quick test_buggy_tail_loses_commits;
+        ] );
+    ]

@@ -1,0 +1,533 @@
+(* The simulated PMDK: pool transactions and recovery, the five map
+   structures (functional correctness vs. a reference model, consistency
+   invariants, crash recovery), and bug-switch detection by PMTest. *)
+
+open Pmtest_util
+open Pmtest_pmdk
+module Machine = Pmtest_pmem.Machine
+module Report = Pmtest_core.Report
+module Pmtest = Pmtest_core.Pmtest
+module Sink = Pmtest_trace.Sink
+
+let value_of i = Bytes.of_string (Printf.sprintf "value-%d" i)
+
+(* --- Pool ----------------------------------------------------------------- *)
+
+let test_pool_tx_commit_durable () =
+  let pool = Pool.create ~track_versions:true ~size:(1 lsl 20) ~sink:Sink.null () in
+  let off = Pool.alloc pool 64 in
+  Pool.tx pool (fun () ->
+      Pool.tx_add pool ~off ~size:8;
+      Pool.store_i64 pool ~off 42L);
+  (* After commit the update must be in the media image. *)
+  let booted = Machine.of_image (Machine.media_image (Pool.machine pool)) in
+  Alcotest.(check int64) "durable after commit" 42L (Pmtest_pmem.Access.get_i64 booted off)
+
+let test_pool_tx_abort_rolls_back () =
+  let pool = Pool.create ~size:(1 lsl 20) ~sink:Sink.null () in
+  let off = Pool.alloc pool 64 in
+  Pool.store_i64 pool ~off 1L;
+  Pool.persist pool ~off ~size:8;
+  (try
+     Pool.tx pool (fun () ->
+         Pool.tx_add pool ~off ~size:8;
+         Pool.store_i64 pool ~off 99L;
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int64) "volatile rolled back" 1L (Pool.load_i64 pool ~off)
+
+let test_pool_recovery_rolls_back_open_tx () =
+  let pool = Pool.create ~track_versions:true ~size:(1 lsl 20) ~sink:Sink.null () in
+  let off = Pool.alloc pool 64 in
+  Pool.store_i64 pool ~off 7L;
+  Pool.persist pool ~off ~size:8;
+  (* Open a transaction, log, modify, and crash before commit: the crash
+     image is the media; recovery must restore the logged bytes. *)
+  Pool.tx_begin pool;
+  Pool.tx_add pool ~off ~size:8;
+  Pool.store_i64 pool ~off 1234L;
+  (* Simulate the in-flight store having reached PM (worst case). *)
+  Pool.persist pool ~off ~size:8;
+  let crash_image = Machine.media_image (Pool.machine pool) in
+  let booted = Machine.of_image crash_image in
+  let recovered = Pool.of_machine ~machine:booted ~sink:Sink.null in
+  Alcotest.(check bool) "log entries replayed" true (Pool.recovered_entries recovered >= 1);
+  Alcotest.(check int64) "old value restored" 7L (Pool.load_i64 recovered ~off)
+
+let test_pool_recovery_clean_after_commit () =
+  let pool = Pool.create ~size:(1 lsl 20) ~sink:Sink.null () in
+  let off = Pool.alloc pool 64 in
+  Pool.tx pool (fun () ->
+      Pool.tx_add pool ~off ~size:8;
+      Pool.store_i64 pool ~off 5L);
+  let booted = Machine.of_image (Machine.media_image (Pool.machine pool)) in
+  let recovered = Pool.of_machine ~machine:booted ~sink:Sink.null in
+  Alcotest.(check int) "no log entries" 0 (Pool.recovered_entries recovered);
+  Alcotest.(check int64) "committed value" 5L (Pool.load_i64 recovered ~off)
+
+let test_pool_alloc_reuse () =
+  let pool = Pool.create ~size:(1 lsl 20) ~sink:Sink.null () in
+  let a = Pool.alloc pool 64 in
+  Pool.free pool ~off:a ~size:64;
+  let b = Pool.alloc pool 64 in
+  Alcotest.(check int) "free block reused" a b
+
+let test_pool_edge_cases () =
+  let pool = Pool.create ~size:(1 lsl 20) ~sink:Sink.null () in
+  (* Transactional calls outside a transaction are programming errors. *)
+  Alcotest.check_raises "tx_add outside tx"
+    (Invalid_argument "Pool.tx_add: no active transaction") (fun () ->
+      Pool.tx_add pool ~off:(Pool.heap_start pool) ~size:8);
+  Alcotest.check_raises "commit outside tx"
+    (Invalid_argument "Pool.tx_commit: no active transaction") (fun () -> Pool.tx_commit pool);
+  (* Nested depth bookkeeping. *)
+  Pool.tx_begin pool;
+  Pool.tx_begin pool;
+  Alcotest.(check int) "depth 2" 2 (Pool.tx_depth pool);
+  Pool.tx_commit pool;
+  Alcotest.(check bool) "still active" true (Pool.tx_active pool);
+  Pool.tx_commit pool;
+  Alcotest.(check bool) "closed" false (Pool.tx_active pool);
+  (* Heap exhaustion surfaces as Out_of_memory. *)
+  Alcotest.check_raises "alloc too large" Out_of_memory (fun () ->
+      ignore (Pool.alloc pool (1 lsl 21)))
+
+let test_pool_undo_log_capacity () =
+  (* The undo log holds a large but bounded number of snapshots; a
+     transaction exceeding it fails loudly rather than corrupting. *)
+  let pool = Pool.create ~size:(1 lsl 22) ~sink:Sink.null () in
+  let base = Pool.alloc pool (1 lsl 19) in
+  Pool.tx_begin pool;
+  Alcotest.check_raises "log full" (Failure "Pool: undo log full") (fun () ->
+      for i = 0 to 100_000 do
+        Pool.tx_add pool ~off:(base + (8 * i)) ~size:8
+      done);
+  Pool.tx_abort pool
+
+let test_exclusions_survive_sections () =
+  (* The session re-announces exclusions at every section boundary, so a
+     range excluded in section 1 stays out of scope in section 2. *)
+  let session = Pmtest.init ~workers:0 () in
+  let sink = Pmtest.sink session in
+  Pmtest.exclude session ~addr:0x100 ~size:8;
+  Pmtest.send_trace session;
+  Sink.write sink ~addr:0x100 ~size:8 ();
+  Pmtest.is_persist session ~addr:0x100 ~size:8;
+  Pmtest.send_trace session;
+  let r = Pmtest.finish session in
+  Alcotest.(check bool) "excluded across sections" true (Report.is_clean r)
+
+(* --- Structure round trips ------------------------------------------------ *)
+
+type ops = {
+  insert : key:int64 -> value:bytes -> unit;
+  lookup : key:int64 -> bytes option;
+  cardinal : unit -> int;
+  iter : (int64 -> bytes -> unit) -> unit;
+  check : unit -> (unit, string) result;
+}
+
+let structures : (string * (Pool.t -> ops)) list =
+  [
+    ( "ctree",
+      fun pool ->
+        let m = Ctree_map.create pool in
+        {
+          insert = (fun ~key ~value -> Ctree_map.insert m ~key ~value);
+          lookup = (fun ~key -> Ctree_map.lookup m ~key);
+          cardinal = (fun () -> Ctree_map.cardinal m);
+          iter = (fun f -> Ctree_map.iter m f);
+          check = (fun () -> Ctree_map.check_consistent m);
+        } );
+    ( "btree",
+      fun pool ->
+        let m = Btree_map.create pool in
+        {
+          insert = (fun ~key ~value -> Btree_map.insert m ~key ~value);
+          lookup = (fun ~key -> Btree_map.lookup m ~key);
+          cardinal = (fun () -> Btree_map.cardinal m);
+          iter = (fun f -> Btree_map.iter m f);
+          check = (fun () -> Btree_map.check_consistent m);
+        } );
+    ( "rbtree",
+      fun pool ->
+        let m = Rbtree_map.create pool in
+        {
+          insert = (fun ~key ~value -> Rbtree_map.insert m ~key ~value);
+          lookup = (fun ~key -> Rbtree_map.lookup m ~key);
+          cardinal = (fun () -> Rbtree_map.cardinal m);
+          iter = (fun f -> Rbtree_map.iter m f);
+          check = (fun () -> Rbtree_map.check_consistent m);
+        } );
+    ( "hashmap_tx",
+      fun pool ->
+        let m = Hashmap_tx.create ~buckets:64 pool in
+        {
+          insert = (fun ~key ~value -> Hashmap_tx.insert m ~key ~value);
+          lookup = (fun ~key -> Hashmap_tx.lookup m ~key);
+          cardinal = (fun () -> Hashmap_tx.cardinal m);
+          iter = (fun f -> Hashmap_tx.iter m f);
+          check = (fun () -> Hashmap_tx.check_consistent m);
+        } );
+    ( "hashmap_atomic",
+      fun pool ->
+        let m = Hashmap_atomic.create ~buckets:64 pool in
+        {
+          insert = (fun ~key ~value -> ignore (Hashmap_atomic.insert m ~key ~value));
+          lookup = (fun ~key -> Hashmap_atomic.lookup m ~key);
+          cardinal = (fun () -> Hashmap_atomic.cardinal m);
+          iter = (fun f -> Hashmap_atomic.iter m f);
+          check = (fun () -> Hashmap_atomic.check_consistent m);
+        } );
+  ]
+
+let round_trip_test name make () =
+  let pool = Pool.create ~size:(1 lsl 22) ~sink:Sink.null () in
+  let { insert; lookup; cardinal; iter; check } = make pool in
+  let reference = Hashtbl.create 64 in
+  let rng = Rng.create 7 in
+  for i = 0 to 299 do
+    let key = Int64.of_int (Rng.int rng 120) in
+    let value = value_of i in
+    insert ~key ~value;
+    Hashtbl.replace reference key value
+  done;
+  Alcotest.(check int) (name ^ " cardinal") (Hashtbl.length reference) (cardinal ());
+  Hashtbl.iter
+    (fun key value ->
+      match lookup ~key with
+      | None -> Alcotest.failf "%s: key %Ld missing" name key
+      | Some got ->
+        if not (Bytes.equal got value) then Alcotest.failf "%s: key %Ld wrong value" name key)
+    reference;
+  Alcotest.(check (option bytes)) "absent key" None (lookup ~key:99999L);
+  let seen = ref 0 in
+  iter (fun _ _ -> incr seen);
+  Alcotest.(check int) (name ^ " iter count") (Hashtbl.length reference) !seen;
+  match check () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s inconsistent: %s" name msg
+
+let test_tree_iteration_sorted () =
+  List.iter
+    (fun which ->
+      let pool = Pool.create ~size:(1 lsl 22) ~sink:Sink.null () in
+      let keys = ref [] in
+      (match which with
+      | `Btree ->
+        let m = Btree_map.create pool in
+        for i = 0 to 199 do
+          Btree_map.insert m ~key:(Int64.of_int ((i * 37) mod 211)) ~value:(value_of i)
+        done;
+        Btree_map.iter m (fun k _ -> keys := k :: !keys)
+      | `Rbtree ->
+        let m = Rbtree_map.create pool in
+        for i = 0 to 199 do
+          Rbtree_map.insert m ~key:(Int64.of_int ((i * 37) mod 211)) ~value:(value_of i)
+        done;
+        Rbtree_map.iter m (fun k _ -> keys := k :: !keys)
+      | `Ctree ->
+        let m = Ctree_map.create pool in
+        for i = 0 to 199 do
+          Ctree_map.insert m ~key:(Int64.of_int ((i * 37) mod 211)) ~value:(value_of i)
+        done;
+        Ctree_map.iter m (fun k _ -> keys := k :: !keys));
+      let ks = List.rev !keys in
+      let sorted = List.sort compare ks in
+      if ks <> sorted then Alcotest.fail "iteration out of order")
+    [ `Btree; `Rbtree; `Ctree ]
+
+let test_remove () =
+  let pool = Pool.create ~size:(1 lsl 22) ~sink:Sink.null () in
+  let m = Ctree_map.create pool in
+  for i = 0 to 63 do
+    Ctree_map.insert m ~key:(Int64.of_int i) ~value:(value_of i)
+  done;
+  for i = 0 to 63 do
+    if i mod 2 = 0 then
+      Alcotest.(check bool) "removed" true (Ctree_map.remove m ~key:(Int64.of_int i))
+  done;
+  Alcotest.(check bool) "remove absent" false (Ctree_map.remove m ~key:1000L);
+  Alcotest.(check int) "half left" 32 (Ctree_map.cardinal m);
+  (match Ctree_map.check_consistent m with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let h = Hashmap_tx.create ~buckets:16 pool in
+  for i = 0 to 63 do
+    Hashmap_tx.insert h ~key:(Int64.of_int i) ~value:(value_of i)
+  done;
+  for i = 0 to 31 do
+    ignore (Hashmap_tx.remove h ~key:(Int64.of_int i))
+  done;
+  Alcotest.(check int) "hashmap half left" 32 (Hashmap_tx.cardinal h);
+  (match Hashmap_tx.check_consistent h with Ok () -> () | Error e -> Alcotest.fail e);
+  let rb = Rbtree_map.create pool in
+  for i = 0 to 127 do
+    Rbtree_map.insert rb ~key:(Int64.of_int i) ~value:(value_of i)
+  done;
+  let rng = Rng.create 3 in
+  let removed = ref 0 in
+  for _ = 0 to 63 do
+    let k = Int64.of_int (Rng.int rng 128) in
+    if Rbtree_map.remove rb ~key:k then incr removed
+  done;
+  Alcotest.(check int) "rbtree count tracks removals" (128 - !removed) (Rbtree_map.cardinal rb);
+  match Rbtree_map.check_consistent rb with Ok () -> () | Error e -> Alcotest.fail e
+
+(* --- Crash recovery end-to-end -------------------------------------------- *)
+
+let test_structure_crash_recovery () =
+  (* Insert under version tracking, crash at the media image mid-run,
+     recover, and require structural consistency. *)
+  let pool = Pool.create ~track_versions:true ~size:(1 lsl 22) ~sink:Sink.null () in
+  let m = Ctree_map.create pool in
+  for i = 0 to 40 do
+    Ctree_map.insert m ~key:(Int64.of_int i) ~value:(value_of i)
+  done;
+  (* Crash now: simulate power loss with only the media contents. *)
+  let booted = Machine.of_image (Machine.media_image (Pool.machine pool)) in
+  let recovered_pool = Pool.of_machine ~machine:booted ~sink:Sink.null in
+  let m' = Ctree_map.open_ recovered_pool ~root:(Pool.root recovered_pool) in
+  (match Ctree_map.check_consistent m' with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "inconsistent after recovery: %s" e);
+  (* Committed transactions must all be visible: the last committed insert
+     is i=40 or i=39 depending on log truncation timing; at minimum the
+     first 39 must be present. *)
+  for i = 0 to 38 do
+    match Ctree_map.lookup m' ~key:(Int64.of_int i) with
+    | Some v -> Alcotest.(check bytes) "value preserved" (value_of i) v
+    | None -> Alcotest.failf "committed key %d lost" i
+  done
+
+(* --- Bug switches are detected by PMTest ----------------------------------- *)
+
+let run_annotated ~insert_twice f =
+  (* Run [f pool] with the transaction checkers around each insert, under
+     a synchronous PMTest session; return the report. *)
+  let session = Pmtest.init ~workers:0 () in
+  let pool = Pool.create ~size:(1 lsl 22) ~sink:(Pmtest.sink session) () in
+  let wrap body =
+    Pool.tx_checker_start pool;
+    body ();
+    Pool.tx_checker_end pool;
+    Pmtest.send_trace session
+  in
+  f pool wrap;
+  ignore insert_twice;
+  Pmtest.finish session
+
+let expect_kind name kind report =
+  if Report.count kind report = 0 then
+    Alcotest.failf "%s: expected %s, got: %s" name (Report.kind_string kind)
+      (Report.to_string report)
+
+let expect_clean name report =
+  if not (Report.is_clean report) then
+    Alcotest.failf "%s: expected clean, got: %s" name (Report.to_string report)
+
+let test_ctree_bugs () =
+  let run bug =
+    run_annotated ~insert_twice:false (fun pool wrap ->
+        let m = Ctree_map.create pool in
+        wrap (fun () -> Ctree_map.insert ?bug m ~key:1L ~value:(value_of 1));
+        wrap (fun () -> Ctree_map.insert ?bug m ~key:2L ~value:(value_of 2)))
+  in
+  expect_clean "ctree no bug" (run None);
+  expect_kind "ctree skip log root" Report.Missing_log (run (Some Ctree_map.Skip_log_root));
+  expect_kind "ctree duplicate log" Report.Duplicate_log (run (Some Ctree_map.Duplicate_log));
+  expect_kind "ctree no tx" Report.Incomplete_tx (run (Some Ctree_map.No_tx))
+
+let test_ctree_skip_log_leaf () =
+  let report =
+    run_annotated ~insert_twice:false (fun pool wrap ->
+        let m = Ctree_map.create pool in
+        wrap (fun () -> Ctree_map.insert m ~key:1L ~value:(value_of 1));
+        (* Updating an existing key without logging the leaf. *)
+        wrap (fun () ->
+            Ctree_map.insert ~bug:Ctree_map.Skip_log_leaf m ~key:1L ~value:(value_of 99)))
+  in
+  expect_kind "ctree skip log leaf" Report.Missing_log report
+
+let test_btree_bugs () =
+  let run bug n =
+    run_annotated ~insert_twice:false (fun pool wrap ->
+        let m = Btree_map.create pool in
+        for i = 0 to n - 1 do
+          wrap (fun () -> Btree_map.insert ?bug m ~key:(Int64.of_int i) ~value:(value_of i))
+        done)
+  in
+  expect_clean "btree no bug" (run None 40);
+  (* 40 sorted inserts force splits, so the unlogged split-node shows. *)
+  expect_kind "btree skip log split" Report.Missing_log (run (Some Btree_map.Skip_log_split_node) 40);
+  expect_kind "btree duplicate log" Report.Duplicate_log (run (Some Btree_map.Duplicate_log_insert) 4);
+  expect_kind "btree missing log on leaf" Report.Missing_log (run (Some Btree_map.Skip_log_leaf_insert) 4);
+  expect_kind "btree no commit" Report.Incomplete_tx (run (Some Btree_map.No_commit) 2)
+
+let test_rbtree_bugs () =
+  let run bug n =
+    run_annotated ~insert_twice:false (fun pool wrap ->
+        let m = Rbtree_map.create pool in
+        for i = 0 to n - 1 do
+          wrap (fun () -> Rbtree_map.insert ?bug m ~key:(Int64.of_int i) ~value:(value_of i))
+        done)
+  in
+  expect_clean "rbtree no bug" (run None 60);
+  expect_kind "rbtree unlogged rotation" Report.Missing_log (run (Some Rbtree_map.Skip_log_fixup) 60);
+  expect_kind "rbtree unlogged parent" Report.Missing_log (run (Some Rbtree_map.Skip_log_insert) 8);
+  expect_kind "rbtree duplicate log" Report.Duplicate_log (run (Some Rbtree_map.Duplicate_log) 4)
+
+let test_hashmap_tx_bugs () =
+  let run bug n =
+    run_annotated ~insert_twice:false (fun pool wrap ->
+        let m = Hashmap_tx.create ~buckets:32 pool in
+        for i = 0 to n - 1 do
+          wrap (fun () -> Hashmap_tx.insert ?bug m ~key:(Int64.of_int i) ~value:(value_of i))
+        done)
+  in
+  expect_clean "hashmap_tx no bug" (run None 20);
+  expect_kind "hashmap_tx unlogged bucket" Report.Missing_log (run (Some Hashmap_tx.Skip_log_bucket) 8);
+  expect_kind "hashmap_tx unlogged count" Report.Missing_log (run (Some Hashmap_tx.Skip_log_count) 8);
+  expect_kind "hashmap_tx duplicate log" Report.Duplicate_log (run (Some Hashmap_tx.Duplicate_log) 8);
+  expect_kind "hashmap_tx no commit" Report.Incomplete_tx (run (Some Hashmap_tx.No_commit) 2)
+
+let test_hashmap_atomic_bugs () =
+  (* The low-level structure carries its own isPersist/isOrderedBefore
+     annotations; no tx checkers needed. *)
+  let run bug n =
+    let session = Pmtest.init ~workers:0 () in
+    let pool = Pool.create ~size:(1 lsl 22) ~sink:(Pmtest.sink session) () in
+    let m = Hashmap_atomic.create ~buckets:32 pool in
+    for i = 0 to n - 1 do
+      ignore (Hashmap_atomic.insert ?bug m ~key:(Int64.of_int i) ~value:(value_of i));
+      Pmtest.send_trace session
+    done;
+    Pmtest.finish session
+  in
+  expect_clean "atomic no bug" (run None 10);
+  expect_kind "missing entry flush" Report.Not_ordered (run (Some Hashmap_atomic.Missing_flush_entry) 4);
+  expect_kind "missing entry fence" Report.Not_ordered (run (Some Hashmap_atomic.Missing_fence_entry) 4);
+  expect_kind "missing slot flush" Report.Not_persisted (run (Some Hashmap_atomic.Missing_flush_slot) 4);
+  expect_kind "missing slot fence" Report.Not_persisted (run (Some Hashmap_atomic.Missing_fence_slot) 4);
+  expect_kind "misplaced fence" Report.Not_ordered (run (Some Hashmap_atomic.Misplaced_fence_entry) 4);
+  expect_kind "partial entry flush" Report.Not_ordered (run (Some Hashmap_atomic.Misplaced_flush_entry) 4);
+  expect_kind "duplicate flush" Report.Duplicate_writeback (run (Some Hashmap_atomic.Duplicate_flush_entry) 4);
+  expect_kind "flush of unmodified" Report.Unnecessary_writeback (run (Some Hashmap_atomic.Flush_unmodified) 4);
+  expect_kind "count never persisted" Report.Not_persisted (run (Some Hashmap_atomic.Missing_count_flush) 4)
+
+let test_pool_commit_faults () =
+  let run fault =
+    run_annotated ~insert_twice:false (fun pool wrap ->
+        Pool.set_fault pool fault;
+        let m = Hashmap_tx.create ~buckets:8 pool in
+        wrap (fun () -> Hashmap_tx.insert m ~key:5L ~value:(value_of 5)))
+  in
+  expect_clean "no fault" (run None);
+  expect_kind "commit skips writeback" Report.Incomplete_tx (run (Some Pool.Skip_commit_writeback));
+  expect_kind "commit skips fence" Report.Incomplete_tx (run (Some Pool.Skip_commit_fence))
+
+(* --- HOPS persistency model (paper Fig. 2b: PMDK over HOPS) --------------- *)
+
+let run_hops ?fault ?bug n =
+  let session = Pmtest.init ~model:Pmtest_model.Model.Hops ~workers:0 () in
+  let pool =
+    Pool.create ~model:Pmtest_model.Model.Hops ~size:(1 lsl 22) ~sink:(Pmtest.sink session) ()
+  in
+  Pool.set_fault pool fault;
+  let m = Hashmap_tx.create ~buckets:32 pool in
+  for i = 0 to n - 1 do
+    Pool.tx_checker_start pool;
+    Hashmap_tx.insert ?bug m ~key:(Int64.of_int i) ~value:(value_of i);
+    Pool.tx_checker_end pool;
+    Pmtest.send_trace session
+  done;
+  (Pmtest.finish session, m)
+
+let test_hops_clean () =
+  let report, m = run_hops 20 in
+  if not (Report.is_clean report) then Alcotest.failf "expected clean: %s" (Report.to_string report);
+  (match Hashmap_tx.check_consistent m with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "all inserted" 20 (Hashmap_tx.cardinal m)
+
+let test_hops_detects_faults () =
+  let report, _ = run_hops ~fault:Pool.Skip_commit_writeback 4 in
+  expect_kind "HOPS commit without dfence" Report.Incomplete_tx report;
+  let report, _ = run_hops ~bug:Hashmap_tx.Skip_log_bucket 4 in
+  expect_kind "HOPS unlogged bucket" Report.Missing_log report
+
+let test_hops_atomic_ordering () =
+  (* hashmap_atomic's low-level checkers under HOPS semantics. *)
+  let session = Pmtest.init ~model:Pmtest_model.Model.Hops ~workers:0 () in
+  let pool =
+    Pool.create ~model:Pmtest_model.Model.Hops ~size:(1 lsl 22) ~sink:(Pmtest.sink session) ()
+  in
+  let m = Hashmap_atomic.create ~buckets:16 pool in
+  for i = 0 to 7 do
+    ignore (Hashmap_atomic.insert m ~key:(Int64.of_int i) ~value:(value_of i));
+    Pmtest.send_trace session
+  done;
+  let report = Pmtest.finish session in
+  if not (Report.is_clean report) then
+    Alcotest.failf "expected clean under HOPS: %s" (Report.to_string report);
+  (* And the missing-ordering bug is still caught: no fence between the
+     entry and its publication means both land in the same HOPS epoch. *)
+  let session = Pmtest.init ~model:Pmtest_model.Model.Hops ~workers:0 () in
+  let pool =
+    Pool.create ~model:Pmtest_model.Model.Hops ~size:(1 lsl 22) ~sink:(Pmtest.sink session) ()
+  in
+  let m = Hashmap_atomic.create ~buckets:16 pool in
+  for i = 0 to 3 do
+    ignore
+      (Hashmap_atomic.insert ~bug:Hashmap_atomic.Missing_fence_entry m ~key:(Int64.of_int i)
+         ~value:(value_of i));
+    Pmtest.send_trace session
+  done;
+  expect_kind "HOPS missing ordering point" Report.Not_ordered (Pmtest.finish session)
+
+let () =
+  let structure_cases =
+    List.map
+      (fun (name, make) -> Alcotest.test_case (name ^ " round trip") `Quick (round_trip_test name make))
+      structures
+  in
+  Alcotest.run "pmdk"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "commit makes updates durable" `Quick test_pool_tx_commit_durable;
+          Alcotest.test_case "abort rolls back" `Quick test_pool_tx_abort_rolls_back;
+          Alcotest.test_case "recovery rolls back open tx" `Quick
+            test_pool_recovery_rolls_back_open_tx;
+          Alcotest.test_case "recovery after clean commit" `Quick
+            test_pool_recovery_clean_after_commit;
+          Alcotest.test_case "allocator reuses freed blocks" `Quick test_pool_alloc_reuse;
+          Alcotest.test_case "edge cases raise cleanly" `Quick test_pool_edge_cases;
+          Alcotest.test_case "undo log capacity bounded" `Quick test_pool_undo_log_capacity;
+          Alcotest.test_case "exclusions survive trace sections" `Quick
+            test_exclusions_survive_sections;
+        ] );
+      ("round-trips", structure_cases);
+      ( "structure-behaviour",
+        [
+          Alcotest.test_case "tree iteration is sorted" `Quick test_tree_iteration_sorted;
+          Alcotest.test_case "removals" `Quick test_remove;
+          Alcotest.test_case "crash recovery keeps committed data" `Quick
+            test_structure_crash_recovery;
+        ] );
+      ( "bug-detection",
+        [
+          Alcotest.test_case "ctree bug switches" `Quick test_ctree_bugs;
+          Alcotest.test_case "ctree unlogged leaf update" `Quick test_ctree_skip_log_leaf;
+          Alcotest.test_case "btree bug switches" `Quick test_btree_bugs;
+          Alcotest.test_case "rbtree bug switches" `Quick test_rbtree_bugs;
+          Alcotest.test_case "hashmap_tx bug switches" `Quick test_hashmap_tx_bugs;
+          Alcotest.test_case "hashmap_atomic bug switches" `Quick test_hashmap_atomic_bugs;
+          Alcotest.test_case "pool commit faults" `Quick test_pool_commit_faults;
+        ] );
+      ( "hops-model",
+        [
+          Alcotest.test_case "clean run under HOPS" `Quick test_hops_clean;
+          Alcotest.test_case "faults detected under HOPS" `Quick test_hops_detects_faults;
+          Alcotest.test_case "low-level checkers under HOPS" `Quick test_hops_atomic_ordering;
+        ] );
+    ]

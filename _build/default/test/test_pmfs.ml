@@ -1,0 +1,184 @@
+(* The simulated PMFS: file operations, journaled crash recovery, the
+   historical bug switches, and PMTest integration. *)
+
+open Pmtest_util
+module Fs = Pmtest_pmfs.Fs
+module Machine = Pmtest_pmem.Machine
+module Report = Pmtest_core.Report
+module Pmtest = Pmtest_core.Pmtest
+module Sink = Pmtest_trace.Sink
+
+let mkfs ?(track = false) () = Fs.mkfs ~track_versions:track ~sink:Sink.null ()
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let test_create_lookup () =
+  let fs = mkfs () in
+  let ino = ok (Fs.create fs "hello") in
+  Alcotest.(check (option int)) "lookup finds it" (Some ino) (Fs.lookup fs "hello");
+  Alcotest.(check (option int)) "missing file" None (Fs.lookup fs "nope");
+  (match Fs.create fs "hello" with
+  | Error "file exists" -> ()
+  | _ -> Alcotest.fail "duplicate create must fail");
+  Alcotest.(check (list (pair string int))) "readdir" [ ("hello", ino) ] (Fs.readdir fs)
+
+let test_write_read () =
+  let fs = mkfs () in
+  let ino = ok (Fs.create fs "data") in
+  ok (Fs.write fs ~ino ~off:0 "hello world");
+  Alcotest.(check string) "read back" "hello world" (ok (Fs.read fs ~ino ~off:0 ~len:64));
+  Alcotest.(check int) "size" 11 (Fs.file_size fs ~ino);
+  (* Cross-block write. *)
+  let big = String.init 1500 (fun i -> Char.chr (Char.code 'a' + (i mod 26))) in
+  ok (Fs.write fs ~ino ~off:100 big);
+  Alcotest.(check string) "cross-block read" big (ok (Fs.read fs ~ino ~off:100 ~len:1500));
+  Alcotest.(check int) "extended size" 1600 (Fs.file_size fs ~ino);
+  match Fs.check_consistent fs with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_sparse_read () =
+  let fs = mkfs () in
+  let ino = ok (Fs.create fs "sparse") in
+  ok (Fs.write fs ~ino ~off:1000 "end");
+  let s = ok (Fs.read fs ~ino ~off:0 ~len:1003) in
+  Alcotest.(check int) "length clipped to size" 1003 (String.length s);
+  Alcotest.(check char) "hole reads as zero" '\000' s.[10];
+  Alcotest.(check string) "tail data" "end" (String.sub s 1000 3)
+
+let test_unlink_frees_blocks () =
+  let fs = mkfs () in
+  let ino = ok (Fs.create fs "victim") in
+  ok (Fs.write fs ~ino ~off:0 (String.make 2000 'z'));
+  ok (Fs.unlink fs "victim");
+  Alcotest.(check (option int)) "gone" None (Fs.lookup fs "victim");
+  (match Fs.check_consistent fs with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Blocks must be reusable: fill a new file of the same size. *)
+  let ino2 = ok (Fs.create fs "reuse") in
+  ok (Fs.write fs ~ino:ino2 ~off:0 (String.make 2000 'y'));
+  match Fs.check_consistent fs with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_many_files () =
+  let fs = mkfs () in
+  for i = 0 to 30 do
+    ignore (ok (Fs.create fs (Printf.sprintf "file%02d" i)))
+  done;
+  Alcotest.(check int) "all listed" 31 (List.length (Fs.readdir fs));
+  match Fs.check_consistent fs with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_crash_recovery_consistent () =
+  (* Crash at the media image after a burst of operations; remount must
+     give a consistent file system with all committed files present. *)
+  let fs = Fs.mkfs ~track_versions:true ~sink:Sink.null () in
+  for i = 0 to 9 do
+    let name = Printf.sprintf "f%d" i in
+    ignore (ok (Fs.create fs name));
+    match Fs.lookup fs name with
+    | Some ino -> ok (Fs.write fs ~ino ~off:0 (String.make 100 'q'))
+    | None -> ()
+  done;
+  let booted = Machine.of_image (Machine.media_image (Fs.machine fs)) in
+  let fs2 = Fs.mount ~machine:booted ~sink:Sink.null in
+  (match Fs.check_consistent fs2 with Ok () -> () | Error e -> Alcotest.failf "after crash: %s" e);
+  for i = 0 to 9 do
+    let name = Printf.sprintf "f%d" i in
+    match Fs.lookup fs2 name with
+    | Some ino ->
+      Alcotest.(check string) (name ^ " contents") (String.make 100 'q')
+        (ok (Fs.read fs2 ~ino ~off:0 ~len:100))
+    | None -> Alcotest.failf "committed file %s lost" name
+  done
+
+let test_recovery_rolls_back_open_journal () =
+  (* Forge the crash window: journal entry durable, in-place change half
+     applied. Mount must restore the old bytes. *)
+  let fs = Fs.mkfs ~track_versions:true ~sink:Sink.null () in
+  ignore (ok (Fs.create fs "steady"));
+  Machine.persist_all (Fs.machine fs);
+  let m = Fs.machine fs in
+  let image = Machine.media_image m in
+  (* Journal offset is stored in the superblock at 32. *)
+  let journal_off = Int64.to_int (Bytes.get_int64_le image 32) in
+  let itable_off = Int64.to_int (Bytes.get_int64_le image 40) in
+  (* Entry 0: undo record for inode 5's first 16 bytes (old value zero). *)
+  let le = journal_off + 64 in
+  let target = itable_off + (5 * 128) in
+  Bytes.set_int64_le image le (Int64.of_int target);
+  Bytes.set_int64_le image (le + 8) 16L;
+  (* old data: all zeros — already zero in the image *)
+  Bytes.set_int64_le image journal_off 1L;
+  (* Simulate the torn in-place update. *)
+  Bytes.set_int64_le image target 1L;
+  let booted = Machine.of_image image in
+  let fs2 = Fs.mount ~machine:booted ~sink:Sink.null in
+  Alcotest.(check int) "one entry rolled back" 1 (Fs.recovered_entries fs2);
+  let restored = Pmtest_pmem.Access.get_i64 booted target in
+  Alcotest.(check int64) "old bytes restored" 0L restored;
+  match Fs.check_consistent fs2 with Ok () -> () | Error e -> Alcotest.fail e
+
+(* --- PMTest integration ------------------------------------------------------ *)
+
+let run_ops fault =
+  let session = Pmtest.init ~workers:0 () in
+  let fs = Fs.mkfs ~sink:(Pmtest.sink session) () in
+  Fs.set_fault fs fault;
+  ignore (Fs.create fs "a");
+  Pmtest.send_trace session;
+  (match Fs.lookup fs "a" with
+  | Some ino ->
+    ignore (Fs.write fs ~ino ~off:0 (String.make 600 'x'));
+    Pmtest.send_trace session;
+    ignore (Fs.read fs ~ino ~off:0 ~len:32);
+    Pmtest.send_trace session
+  | None -> ());
+  ignore (Fs.unlink fs "a");
+  Pmtest.send_trace session;
+  Pmtest.finish session
+
+let test_clean_run_passes () =
+  let report = run_ops None in
+  if not (Report.is_clean report) then Alcotest.failf "expected clean: %s" (Report.to_string report)
+
+let test_fault_detection () =
+  let expect name kind fault =
+    let report = run_ops (Some fault) in
+    if Report.count kind report = 0 then
+      Alcotest.failf "%s: expected %s, got %s" name (Report.kind_string kind)
+        (Report.to_string report)
+  in
+  expect "journal double flush (journal.c:632)" Report.Duplicate_writeback Fs.Journal_double_flush;
+  expect "data double flush (xips.c)" Report.Duplicate_writeback Fs.Data_double_flush;
+  expect "flush of unmapped buffer (files.c:232)" Report.Unnecessary_writeback Fs.Flush_unmapped;
+  expect "journal entries unpersisted" Report.Not_ordered Fs.Skip_journal_flush;
+  expect "commit unfenced" Report.Not_persisted Fs.Skip_commit_fence
+
+let test_fs_workload_random () =
+  (* Random op soup stays consistent (no tool attached). *)
+  let fs = mkfs () in
+  let rng = Rng.create 99 in
+  let ops = Pmtest_workloads.Clients.filebench ~ops:300 ~files:12 rng in
+  Pmtest_workloads.Pmfs_app.run fs ops;
+  match Fs.check_consistent fs with Ok () -> () | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "pmfs"
+    [
+      ( "operations",
+        [
+          Alcotest.test_case "create and lookup" `Quick test_create_lookup;
+          Alcotest.test_case "write and read" `Quick test_write_read;
+          Alcotest.test_case "sparse files" `Quick test_sparse_read;
+          Alcotest.test_case "unlink frees blocks" `Quick test_unlink_frees_blocks;
+          Alcotest.test_case "many files" `Quick test_many_files;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "crash image mounts consistent" `Quick test_crash_recovery_consistent;
+          Alcotest.test_case "open journal rolled back" `Quick
+            test_recovery_rolls_back_open_journal;
+        ] );
+      ( "pmtest-integration",
+        [
+          Alcotest.test_case "clean run passes" `Quick test_clean_run_passes;
+          Alcotest.test_case "all faults detected" `Quick test_fault_detection;
+          Alcotest.test_case "random workload stays consistent" `Quick test_fs_workload_random;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* Worker-pool runtime and the Pmtest session API. *)
+
+open Pmtest_model
+open Pmtest_trace
+module Runtime = Pmtest_core.Runtime
+module Report = Pmtest_core.Report
+module Pmtest = Pmtest_core.Pmtest
+
+let w addr size = Event.make (Event.Op (Model.Write { addr; size }))
+let clwb addr size = Event.make (Event.Op (Model.Clwb { addr; size }))
+let sfence = Event.make (Event.Op Model.Sfence)
+let is_persist addr size = Event.make (Event.Checker (Event.Is_persist { addr; size }))
+
+let clean_section = [| w 0x100 8; clwb 0x100 8; sfence; is_persist 0x100 8 |]
+let buggy_section = [| w 0x100 8; sfence; is_persist 0x100 8 |]
+
+let test_sync_runtime () =
+  let rt = Runtime.create ~workers:0 () in
+  Runtime.send_trace rt clean_section;
+  Runtime.send_trace rt buggy_section;
+  let r = Runtime.shutdown rt in
+  Alcotest.(check int) "one failure" 1 (List.length (Report.fails r));
+  Alcotest.(check int) "all entries counted" 7 r.Report.entries
+
+let test_worker_pool_aggregates () =
+  let rt = Runtime.create ~workers:4 () in
+  for _ = 1 to 50 do
+    Runtime.send_trace rt clean_section;
+    Runtime.send_trace rt buggy_section
+  done;
+  let r = Runtime.get_result rt in
+  Alcotest.(check int) "50 failures" 50 (List.length (Report.fails r));
+  Alcotest.(check int) "nothing pending" 0 (Runtime.pending rt);
+  ignore (Runtime.shutdown rt)
+
+let test_shutdown_idempotent () =
+  let rt = Runtime.create ~workers:2 () in
+  Runtime.send_trace rt clean_section;
+  let a = Runtime.shutdown rt in
+  let b = Runtime.shutdown rt in
+  Alcotest.(check int) "same entries" a.Report.entries b.Report.entries;
+  Alcotest.check_raises "send after shutdown"
+    (Invalid_argument "Runtime.send_trace: runtime already shut down") (fun () ->
+      Runtime.send_trace rt clean_section)
+
+let test_traces_are_independent () =
+  (* A fence in one section must not affect the next section's shadow
+     state: each starts from a fresh timestamp. *)
+  let rt = Runtime.create ~workers:1 () in
+  Runtime.send_trace rt [| w 0x100 8; clwb 0x100 8 |];
+  (* Unflushed end-of-section is not an error for PMTest (no checker). *)
+  Runtime.send_trace rt [| is_persist 0x100 8 |];
+  (* New section: 0x100 was never written HERE, so the checker passes. *)
+  let r = Runtime.shutdown rt in
+  Alcotest.(check bool) "clean" true (Report.is_clean r)
+
+(* --- Session API ---------------------------------------------------------- *)
+
+let test_session_basic () =
+  let t = Pmtest.init ~workers:1 () in
+  let sink = Pmtest.sink t in
+  Sink.write sink ~addr:0x100 ~size:8 ();
+  Sink.clwb sink ~addr:0x100 ~size:8 ();
+  Sink.sfence sink ();
+  Pmtest.is_persist t ~addr:0x100 ~size:8;
+  Pmtest.send_trace t;
+  let r = Pmtest.finish t in
+  Alcotest.(check bool) "clean" true (Report.is_clean r);
+  Alcotest.(check int) "ops" 3 r.Report.ops
+
+let test_session_detects_bug () =
+  let t = Pmtest.init ~workers:2 () in
+  let sink = Pmtest.sink t in
+  Sink.write sink ~addr:0x100 ~size:8 ();
+  Pmtest.is_persist t ~addr:0x100 ~size:8;
+  let r = Pmtest.finish t in
+  Alcotest.(check int) "one fail" 1 (List.length (Report.fails r))
+
+let test_session_tracking_toggle () =
+  let t = Pmtest.init ~workers:0 () in
+  let sink = Pmtest.sink t in
+  Pmtest.stop t;
+  Sink.write sink ~addr:0x100 ~size:8 ();
+  Pmtest.start t;
+  Alcotest.(check int) "dropped while stopped" 0 (Pmtest.section_length t);
+  Sink.write sink ~addr:0x200 ~size:8 ();
+  Alcotest.(check int) "recorded when started" 1 (Pmtest.section_length t);
+  ignore (Pmtest.finish t)
+
+let test_session_threads () =
+  let t = Pmtest.init ~workers:2 () in
+  Pmtest.thread_init t ~thread:1;
+  Pmtest.thread_init t ~thread:2;
+  let emit thread =
+    let sink = Pmtest.sink ~thread t in
+    Sink.write sink ~addr:(0x100 * (thread + 1)) ~size:8 ();
+    Pmtest.is_persist ~thread t ~addr:(0x100 * (thread + 1)) ~size:8;
+    Pmtest.send_trace ~thread t
+  in
+  let d1 = Domain.spawn (fun () -> emit 1) in
+  let d2 = Domain.spawn (fun () -> emit 2) in
+  Domain.join d1;
+  Domain.join d2;
+  let r = Pmtest.finish t in
+  Alcotest.(check int) "both sections failed" 2 (List.length (Report.fails r))
+
+let test_session_vars () =
+  let t = Pmtest.init ~workers:0 () in
+  Pmtest.reg_var t "backup" ~addr:0x40 ~size:16;
+  Alcotest.(check (option (pair int int))) "registered" (Some (0x40, 16)) (Pmtest.get_var t "backup");
+  let sink = Pmtest.sink t in
+  Sink.write sink ~addr:0x40 ~size:16 ();
+  Pmtest.is_persist_var t "backup";
+  Pmtest.unreg_var t "backup";
+  Alcotest.(check (option (pair int int))) "unregistered" None (Pmtest.get_var t "backup");
+  let r = Pmtest.finish t in
+  Alcotest.(check int) "checker ran" 1 (List.length (Report.fails r))
+
+let test_session_get_result_drains () =
+  let t = Pmtest.init ~workers:4 () in
+  let sink = Pmtest.sink t in
+  for i = 1 to 20 do
+    Sink.write sink ~addr:(i * 64) ~size:8 ();
+    Pmtest.is_persist t ~addr:(i * 64) ~size:8;
+    Pmtest.send_trace t
+  done;
+  let r = Pmtest.get_result t in
+  Alcotest.(check int) "all 20 checked" 20 (List.length (Report.fails r));
+  ignore (Pmtest.finish t)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "runtime",
+        [
+          Alcotest.test_case "synchronous mode" `Quick test_sync_runtime;
+          Alcotest.test_case "worker pool aggregates" `Quick test_worker_pool_aggregates;
+          Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "trace sections are independent" `Quick test_traces_are_independent;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "init/emit/finish round trip" `Quick test_session_basic;
+          Alcotest.test_case "detects a missing barrier" `Quick test_session_detects_bug;
+          Alcotest.test_case "start/stop tracking" `Quick test_session_tracking_toggle;
+          Alcotest.test_case "per-thread builders" `Quick test_session_threads;
+          Alcotest.test_case "variable registry" `Quick test_session_vars;
+          Alcotest.test_case "get_result blocks until drained" `Quick
+            test_session_get_result_drains;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* The WHISPER-style workloads: client generators, the sharded memcached
+   server, the redis-like cache, and their behaviour under PMTest. *)
+
+open Pmtest_util
+open Pmtest_workloads
+module Report = Pmtest_core.Report
+module Pmtest = Pmtest_core.Pmtest
+module Sink = Pmtest_trace.Sink
+
+(* --- Client generators -------------------------------------------------------- *)
+
+let count_sets ops =
+  Array.fold_left (fun n op -> match op with Clients.Set _ -> n + 1 | Clients.Get _ -> n) 0 ops
+
+let test_memslap_mix () =
+  let ops = Clients.memslap ~ops:10000 ~keys:100 (Rng.create 1) in
+  let sets = count_sets ops in
+  (* 5% sets, generously bounded. *)
+  Alcotest.(check bool) "set ratio near 5%" true (sets > 300 && sets < 700)
+
+let test_ycsb_mix_and_skew () =
+  let ops = Clients.ycsb ~ops:10000 ~keys:1000 (Rng.create 2) in
+  let sets = count_sets ops in
+  Alcotest.(check bool) "update ratio near 50%" true (sets > 4500 && sets < 5500);
+  (* Zipfian skew: the most popular key should dwarf the uniform share. *)
+  let freq = Hashtbl.create 64 in
+  Array.iter
+    (fun op ->
+      let k = match op with Clients.Get k | Clients.Set (k, _) -> k in
+      Hashtbl.replace freq k (1 + Option.value ~default:0 (Hashtbl.find_opt freq k)))
+    ops;
+  let top = Hashtbl.fold (fun _ n acc -> max n acc) freq 0 in
+  Alcotest.(check bool) "skewed popularity" true (top > 300)
+
+let test_generators_deterministic () =
+  let a = Clients.memslap ~ops:500 ~keys:50 (Rng.create 7) in
+  let b = Clients.memslap ~ops:500 ~keys:50 (Rng.create 7) in
+  Alcotest.(check bool) "same seed, same stream" true (a = b)
+
+let test_filebench_creates_before_use () =
+  let ops = Clients.filebench ~ops:500 ~files:10 (Rng.create 3) in
+  (* Every write/read/delete of a file must come after its create (the
+     generator tracks existence). *)
+  let live = Hashtbl.create 16 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Clients.Create n -> Hashtbl.replace live n true
+      | Clients.Delete n ->
+        Alcotest.(check bool) "delete of live file" true (Hashtbl.mem live n);
+        Hashtbl.remove live n
+      | Clients.Write { name; _ } | Clients.Read { name; _ } | Clients.Fsync name ->
+        Alcotest.(check bool) "op on live file" true (Hashtbl.mem live name))
+    ops
+
+(* --- Memcached ----------------------------------------------------------------- *)
+
+let test_memcached_single_shard () =
+  let mc = Memcached.create ~shards:1 ~sink_of:(fun _ -> Sink.null) () in
+  let streams = [| Clients.memslap ~ops:500 ~keys:64 (Rng.create 4) |] in
+  Memcached.run mc ~streams;
+  (match Memcached.check_consistent mc with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "entries stored" true (Memcached.total_entries mc > 0)
+
+let test_memcached_partition_routes_by_key () =
+  let mc = Memcached.create ~shards:4 ~sink_of:(fun _ -> Sink.null) () in
+  let ops = Clients.memslap ~ops:400 ~keys:64 (Rng.create 5) in
+  let streams = Memcached.partition mc ops in
+  Array.iteri
+    (fun shard stream ->
+      Array.iter
+        (fun op ->
+          let k = match op with Clients.Get k | Clients.Set (k, _) -> k in
+          Alcotest.(check int) "routed to owner" shard (Memcached.shard_of mc k))
+        stream)
+    streams
+
+let test_memcached_multithreaded_under_pmtest () =
+  let session = Pmtest.init ~workers:2 () in
+  let shards = 4 in
+  List.iter (fun i -> Pmtest.thread_init session ~thread:i) (List.init shards Fun.id);
+  let mc = Memcached.create ~shards ~sink_of:(fun i -> Pmtest.sink ~thread:i session) () in
+  let mk i = Clients.ycsb ~ops:200 ~keys:64 (Rng.create (100 + i)) in
+  let streams = Memcached.partition mc (Array.concat (List.init shards (fun i -> Array.to_list (mk i) |> Array.of_list))) in
+  Memcached.run mc ~section_every:8 ~on_section:(fun shard -> Pmtest.send_trace ~thread:shard session) ~streams;
+  let report = Pmtest.finish session in
+  if not (Report.is_clean report) then Alcotest.failf "expected clean: %s" (Report.to_string report);
+  match Memcached.check_consistent mc with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_memcached_get_after_set () =
+  let mc = Memcached.create ~shards:2 ~sink_of:(fun _ -> Sink.null) () in
+  let key = 42L in
+  let shard = Memcached.shard_of mc key in
+  Memcached.apply mc ~shard (Clients.Set (key, "payload"));
+  let pmap = Memcached.pmap mc shard in
+  Alcotest.(check (option string)) "stored" (Some "payload")
+    (Pmtest_mnemosyne.Pmap.get pmap ~key)
+
+(* --- Redis ----------------------------------------------------------------------- *)
+
+let test_redis_set_get_del () =
+  let r = Redis.create ~capacity:64 ~sink:Sink.null () in
+  Redis.set r ~key:1L ~value:(Bytes.of_string "one");
+  Alcotest.(check bool) "get hits" true (Redis.get r ~key:1L = Some (Bytes.of_string "one"));
+  Alcotest.(check bool) "del removes" true (Redis.del r ~key:1L);
+  Alcotest.(check bool) "get misses" true (Redis.get r ~key:1L = None)
+
+let test_redis_lru_eviction () =
+  let r = Redis.create ~capacity:16 ~sink:Sink.null () in
+  for i = 0 to 63 do
+    Redis.set r ~key:(Int64.of_int i) ~value:(Bytes.of_string "v")
+  done;
+  Alcotest.(check bool) "capacity respected" true (Redis.cardinal r <= 16);
+  Alcotest.(check bool) "evictions happened" true (Redis.evictions r >= 48);
+  (* The most recent keys survive. *)
+  Alcotest.(check bool) "hot key resident" true (Redis.get r ~key:63L <> None);
+  match Redis.check_consistent r with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_redis_clean_under_pmtest () =
+  let session = Pmtest.init ~workers:0 () in
+  let r = Redis.create ~capacity:32 ~sink:(Pmtest.sink session) () in
+  let ops = Clients.redis_lru ~ops:200 ~keys:128 (Rng.create 6) in
+  Array.iteri
+    (fun i op ->
+      Redis.apply r op;
+      if i mod 8 = 0 then Pmtest.send_trace session)
+    ops;
+  Pmtest.send_trace session;
+  let report = Pmtest.finish session in
+  if not (Report.is_clean report) then Alcotest.failf "expected clean: %s" (Report.to_string report)
+
+(* --- Vacation ---------------------------------------------------------------- *)
+
+let test_vacation_reserve_release () =
+  let v = Vacation.create ~resources:8 ~annotate:false ~sink:Sink.null () in
+  Alcotest.(check bool) "reserve ok" true (Vacation.reserve v ~customer:1L Vacation.Car ~id:0L);
+  Alcotest.(check int) "used bumped" 1 (Vacation.used v Vacation.Car ~id:0L);
+  Alcotest.(check int) "customer holds one" 1 (Vacation.reservations v ~customer:1L);
+  Alcotest.(check bool) "delete releases" true (Vacation.delete_customer v ~customer:1L);
+  Alcotest.(check int) "used back to zero" 0 (Vacation.used v Vacation.Car ~id:0L);
+  Alcotest.(check int) "customer gone" 0 (Vacation.reservations v ~customer:1L);
+  match Vacation.check_consistent v with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_vacation_capacity_limit () =
+  let v = Vacation.create ~resources:4 ~annotate:false ~sink:Sink.null () in
+  let cap = Vacation.total v Vacation.Room ~id:2L in
+  for c = 0 to cap - 1 do
+    Alcotest.(check bool) "reserve within capacity" true
+      (Vacation.reserve v ~customer:(Int64.of_int c) Vacation.Room ~id:2L)
+  done;
+  Alcotest.(check bool) "fully booked" false (Vacation.reserve v ~customer:99L Vacation.Room ~id:2L);
+  Vacation.add_capacity v Vacation.Room ~id:2L 1;
+  Alcotest.(check bool) "capacity growth admits one more" true
+    (Vacation.reserve v ~customer:99L Vacation.Room ~id:2L);
+  match Vacation.check_consistent v with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_vacation_random_mix_conserves () =
+  let v = Vacation.create ~resources:16 ~annotate:false ~sink:Sink.null () in
+  Vacation.run v (Vacation.client ~ops:600 ~customers:48 ~resources:16 (Rng.create 77));
+  match Vacation.check_consistent v with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_vacation_clean_under_pmtest () =
+  let session = Pmtest.init ~workers:1 () in
+  let v = Vacation.create ~resources:16 ~sink:(Pmtest.sink session) () in
+  Vacation.run v
+    ~on_section:(fun () -> Pmtest.send_trace session)
+    (Vacation.client ~ops:300 ~customers:32 ~resources:16 (Rng.create 78));
+  let report = Pmtest.finish session in
+  if not (Report.is_clean report) then Alcotest.failf "expected clean: %s" (Report.to_string report)
+
+let test_vacation_commit_fault_detected () =
+  let session = Pmtest.init ~workers:0 () in
+  let v = Vacation.create ~resources:8 ~sink:(Pmtest.sink session) () in
+  Pmtest_pmdk.Pool.set_fault (Vacation.pool v) (Some Pmtest_pmdk.Pool.Skip_commit_writeback);
+  Vacation.run v
+    ~on_section:(fun () -> Pmtest.send_trace session)
+    (Vacation.client ~ops:60 ~customers:8 ~resources:8 (Rng.create 79));
+  let report = Pmtest.finish session in
+  Alcotest.(check bool) "incomplete transactions reported" true
+    (Report.count Report.Incomplete_tx report > 0)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "clients",
+        [
+          Alcotest.test_case "memslap mix" `Quick test_memslap_mix;
+          Alcotest.test_case "ycsb mix and skew" `Quick test_ycsb_mix_and_skew;
+          Alcotest.test_case "generators are deterministic" `Quick test_generators_deterministic;
+          Alcotest.test_case "filebench op legality" `Quick test_filebench_creates_before_use;
+        ] );
+      ( "memcached",
+        [
+          Alcotest.test_case "single shard serves a stream" `Quick test_memcached_single_shard;
+          Alcotest.test_case "partition routes by key" `Quick test_memcached_partition_routes_by_key;
+          Alcotest.test_case "multithreaded run is clean under PMTest" `Quick
+            test_memcached_multithreaded_under_pmtest;
+          Alcotest.test_case "get after set" `Quick test_memcached_get_after_set;
+        ] );
+      ( "vacation",
+        [
+          Alcotest.test_case "reserve and release conserve" `Quick test_vacation_reserve_release;
+          Alcotest.test_case "capacity limits respected" `Quick test_vacation_capacity_limit;
+          Alcotest.test_case "random mix conserves" `Quick test_vacation_random_mix_conserves;
+          Alcotest.test_case "clean under PMTest" `Quick test_vacation_clean_under_pmtest;
+          Alcotest.test_case "commit fault detected" `Quick test_vacation_commit_fault_detected;
+        ] );
+      ( "redis",
+        [
+          Alcotest.test_case "set/get/del" `Quick test_redis_set_get_del;
+          Alcotest.test_case "LRU eviction" `Quick test_redis_lru_eviction;
+          Alcotest.test_case "clean under PMTest" `Quick test_redis_clean_under_pmtest;
+        ] );
+    ]
