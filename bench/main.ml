@@ -4,7 +4,7 @@
      dune exec bench/main.exe -- [target] [options]
 
    Targets: fig10a fig10b fig11 fig12a fig12b fig12c table1 table5 table6
-            yat ablation bechamel all (default: all)
+            yat ablation lint bechamel all (default: all)
    Options: --insertions N   microbenchmark insertions per cell (default 600)
             --ops N          real-workload operations (default 4000)
             --runs N         timing repetitions, best-of (default 3)
@@ -575,6 +575,34 @@ let ablation () =
   Fmt.pr "@.(the list shadow is O(n) per operation and sweeps everything at each fence:@.";
   Fmt.pr " quadratic blow-up on exactly the long traces PMTest targets)@."
 
+(* --- Static lint throughput ----------------------------------------------------------- *)
+
+let lint_bench () =
+  Fmt.pr "@.### Static lint throughput vs. the dynamic engine@.@.";
+  Fmt.pr "(both are single passes over the same recorded trace; the lint carries no@.";
+  Fmt.pr " checkers, so its cost bounds what checker-free triage of a trace costs)@.@.";
+  let record ops =
+    let builder = Builder.create () in
+    let r = Redis.create ~sink:(Builder.sink builder) () in
+    Redis.run r (Clients.redis_lru ~ops ~keys:16384 (Rng.create 21));
+    Builder.take builder
+  in
+  Fmt.pr "%-12s %10s %14s %14s %16s %16s@." "redis ops" "entries" "engine(s)" "lint(s)"
+    "engine(ev/s)" "lint(ev/s)";
+  List.iter
+    (fun ops ->
+      let trace = record ops in
+      let stripped = Pmtest_lint.Lint.strip_checkers trace in
+      let n = float_of_int (Array.length trace) in
+      let t_engine = time (fun () -> ignore (Engine.check trace)) in
+      let t_lint = time (fun () -> ignore (Pmtest_lint.Lint.run stripped)) in
+      Fmt.pr "%-12d %10d %14.4f %14.4f %16.0f %16.0f@." ops (Array.length trace) t_engine
+        t_lint (n /. t_engine) (n /. t_lint))
+    [ 1_000; 4_000; 16_000 ];
+  Fmt.pr "@.(the lint tracks one extra flush record per live store but skips checker@.";
+  Fmt.pr " evaluation and persist-interval queries; throughputs land in the same order@.";
+  Fmt.pr " of magnitude, keeping lint cheap enough to run on every recorded trace)@."
+
 (* --- Bechamel micro-measurements ------------------------------------------------------ *)
 
 let bechamel () =
@@ -682,6 +710,7 @@ let all_targets =
     ("table6", table6);
     ("yat", yat_bench);
     ("ablation", ablation);
+    ("lint", lint_bench);
     ("bechamel", bechamel);
   ]
 

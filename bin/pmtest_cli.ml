@@ -7,6 +7,8 @@ module Report = Pmtest_core.Report
 module Pmtest = Pmtest_core.Pmtest
 module Engine = Pmtest_core.Engine
 module Pmemcheck = Pmtest_baseline.Pmemcheck
+module Lint = Pmtest_lint.Lint
+module Rule = Pmtest_lint.Rule
 module Sink = Pmtest_trace.Sink
 module Event = Pmtest_trace.Event
 module Model = Pmtest_model.Model
@@ -241,6 +243,101 @@ let check_trace_cmd =
     (Cmd.info "check-trace" ~doc:"Check a previously recorded trace file offline.")
     Term.(const run_check_trace $ file $ model)
 
+(* --- lint -------------------------------------------------------------------- *)
+
+(* Lint every catalog case from its raw op stream, checkers stripped:
+   the validation mode behind the "checker-free" claim. *)
+let run_lint_bugdb rules =
+  Fmt.pr "%-14s %-10s %-40s %s@." "case" "expected" "lint findings (buggy)" "clean twin";
+  List.iter
+    (fun case ->
+      let lint trace = Lint.run ~rules (Lint.strip_checkers trace) in
+      let buggy = lint (Case.trace case) in
+      let clean = lint (Case.trace_clean case) in
+      let fired =
+        List.sort_uniq compare (List.map (fun f -> Rule.id f.Lint.rule) buggy.Lint.findings)
+      in
+      Fmt.pr "%-14s %-10s %-40s %s@." case.Case.id
+        (Report.kind_string case.Case.expected)
+        (match fired with [] -> "-" | ids -> String.concat "," ids)
+        (match clean.Lint.findings with
+        | [] -> "clean"
+        | fs ->
+          String.concat "; "
+            (List.map
+               (fun f -> Printf.sprintf "%s@%s" (Rule.id f.Lint.rule) (Loc.to_string f.Lint.loc))
+               fs)))
+    Catalog.all;
+  0
+
+let run_lint file bugdb model rules_spec machine verbose =
+  match Rule.of_spec rules_spec with
+  | Error e ->
+    Fmt.epr "--rules: %s@." e;
+    2
+  | Ok rules -> (
+    if bugdb then run_lint_bugdb rules
+    else
+      match file with
+      | None ->
+        Fmt.epr "a TRACE file is required (or use --bugdb)@.";
+        2
+      | Some file -> (
+        match Pmtest_trace.Serial.load_file file with
+        | Error e ->
+          Fmt.epr "cannot load %s: %s@." file e;
+          2
+        | Ok entries ->
+          let result = Lint.run ~model ~rules entries in
+          if machine then List.iter print_endline (Lint.machine_lines result)
+          else if verbose then Fmt.pr "%a@." Lint.pp result
+          else Fmt.pr "%a@." Report.pp_summary (Lint.report_of result);
+          if Lint.has_fail result then 1 else 0))
+
+let lint_cmd =
+  let file = Arg.(value (pos 0 (some file) None (info [] ~docv:"TRACE"))) in
+  let bugdb =
+    Arg.(
+      value
+        (flag
+           (info [ "bugdb" ]
+              ~doc:
+                "Instead of a trace file, lint every bug-catalog case from its raw op stream \
+                 (checkers stripped) and tabulate which rules fire.")))
+  in
+  let model =
+    Arg.(
+      value
+        (opt
+           (enum [ ("x86", Model.X86); ("hops", Model.Hops); ("eadr", Model.Eadr) ])
+           Model.X86
+           (info [ "model" ] ~doc:"Persistency model: x86, hops or eadr.")))
+  in
+  let rules =
+    Arg.(
+      value
+        (opt string "default"
+           (info [ "rules" ]
+              ~doc:
+                "Rule selection: $(b,all), $(b,none), $(b,default), a comma-separated list of \
+                 rule names (only those), or $(b,+rule)/$(b,-rule) tweaks to the default set.")))
+  in
+  let machine =
+    Arg.(
+      value
+        (flag
+           (info [ "machine" ]
+              ~doc:"Machine-readable output: one tab-separated finding per line.")))
+  in
+  let verbose =
+    Arg.(value (flag (info [ "v"; "verbose" ] ~doc:"Print every finding with its fix-it.")))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically lint a recorded trace: no checkers needed, fix-it suggestions included.")
+    Term.(const run_lint $ file $ bugdb $ model $ rules $ machine $ verbose)
+
 (* --- demo -------------------------------------------------------------------- *)
 
 let run_demo () =
@@ -284,4 +381,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "pmtest-cli" ~version:"1.0.0"
              ~doc:"PMTest: fast and flexible crash-consistency testing for PM programs.")
-          [ bugs_cmd; workload_cmd; record_cmd; check_trace_cmd; demo_cmd ]))
+          [ bugs_cmd; workload_cmd; record_cmd; check_trace_cmd; lint_cmd; demo_cmd ]))

@@ -252,6 +252,7 @@ let on_entry st (e : Event.t) =
             (if xlo < addr then [ (xlo, addr) ] else [])
             @ if addr + size < xhi then [ (addr + size, xhi) ] else [])
         st.excluded
+  | Event.Control (Event.Lint_off _ | Event.Lint_on _) -> ()
 
 let check ?(model = Model.X86) entries =
   let st =

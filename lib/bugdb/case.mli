@@ -5,6 +5,7 @@
     session yields the report the diagnosis is matched against. *)
 
 module Report = Pmtest_core.Report
+module Event = Pmtest_trace.Event
 
 type category =
   | Ordering  (** Missing or misplaced ordering enforcement (low-level). *)
@@ -19,14 +20,19 @@ type provenance =
   | Reproduced of string  (** Known bug from a commit history (Table 6). *)
   | New_bug of string  (** Bug PMTest found (Table 6). *)
 
+type runner = ?observer:(Event.t array -> unit) -> unit -> Report.t
+(** A case program under a PMTest session. [observer] sees every trace
+    section the session sends (see {!Pmtest_core.Pmtest.on_section}) —
+    how the static lint gets raw op streams out of the catalog. *)
+
 type t = {
   id : string;
   category : category;
   provenance : provenance;
   description : string;
   expected : Report.kind;
-  run : unit -> Report.t;  (** The buggy program under a PMTest session. *)
-  run_clean : unit -> Report.t;
+  run : runner;  (** The buggy program under a PMTest session. *)
+  run_clean : runner;
       (** The same program with the bug switched off — the false-positive
           control. *)
 }
@@ -42,3 +48,10 @@ type outcome = {
 }
 
 val execute : t -> outcome
+
+val trace : t -> Event.t array
+(** Run the buggy program and return the full concatenated trace it
+    sent, in section order. *)
+
+val trace_clean : t -> Event.t array
+(** Same for the bug-free twin. *)

@@ -10,8 +10,9 @@ module Fs = Pmtest_pmfs.Fs
    once clean — under a synchronous single-worker session, so detection
    and the false-positive control come from the same code path. *)
 
-let with_session f =
+let with_session ?observer f =
   let session = Pmtest.init ~workers:0 () in
+  (match observer with Some g -> Pmtest.on_section session g | None -> ());
   f session;
   Pmtest.finish session
 
@@ -21,8 +22,8 @@ let value_bytes rng n = Bytes.init n (fun _ -> Char.chr (Char.code 'a' + Rng.int
 
 (* Run [inserts] key/value pairs through a map builder, wrapping each
    insert in the transaction checkers and sending one section per op. *)
-let pmdk_runner ~build ~keys ~value_size ~seed bug () =
-  with_session (fun session ->
+let pmdk_runner ~build ~keys ~value_size ~seed bug ?observer () =
+  with_session ?observer (fun session ->
       let pool = Pool.create ~size:(1 lsl 23) ~sink:(Pmtest.sink session) () in
       let rng = Rng.create seed in
       let insert = build pool in
@@ -57,8 +58,8 @@ let hashmap_build ?(buckets = 64) pool =
 let hashmap_build_default pool = hashmap_build pool
 
 (* A pool-level fault active for the whole run (commit behaviour). *)
-let pool_fault_runner ~build ~keys ~seed fault () =
-  with_session (fun session ->
+let pool_fault_runner ~build ~keys ~seed fault ?observer () =
+  with_session ?observer (fun session ->
       let pool = Pool.create ~size:(1 lsl 23) ~sink:(Pmtest.sink session) () in
       Pool.set_fault pool fault;
       let rng = Rng.create seed in
@@ -72,8 +73,8 @@ let pool_fault_runner ~build ~keys ~seed fault () =
         keys)
 
 (* hashmap_atomic carries its own low-level checkers. *)
-let atomic_runner ?(buckets = 32) ~keys ~seed bug () =
-  with_session (fun session ->
+let atomic_runner ?(buckets = 32) ~keys ~seed bug ?observer () =
+  with_session ?observer (fun session ->
       let pool = Pool.create ~size:(1 lsl 23) ~sink:(Pmtest.sink session) () in
       let m = Hashmap_atomic.create ~buckets pool in
       let rng = Rng.create seed in
@@ -85,8 +86,8 @@ let atomic_runner ?(buckets = 32) ~keys ~seed bug () =
 
 (* Mnemosyne persistent-map runner (built-in commit annotations plus the
    transaction checkers around each set). *)
-let pmap_runner ~sets ~seed fault () =
-  with_session (fun session ->
+let pmap_runner ~sets ~seed fault ?observer () =
+  with_session ?observer (fun session ->
       let region = Region.create ~sink:(Pmtest.sink session) () in
       Region.set_fault region fault;
       let m = Pmap.create ~buckets:64 region in
@@ -99,8 +100,8 @@ let pmap_runner ~sets ~seed fault () =
       done)
 
 (* PMFS runner: a small create/write/read mix with the fault installed. *)
-let pmfs_runner ?(ops = `Mixed) fault () =
-  with_session (fun session ->
+let pmfs_runner ?(ops = `Mixed) fault ?observer () =
+  with_session ?observer (fun session ->
       let fs = Fs.mkfs ~sink:(Pmtest.sink session) () in
       Fs.set_fault fs fault;
       let send () = Pmtest.send_trace session in
@@ -387,8 +388,8 @@ let table6 =
 module Pqueue = Pmtest_apps.Pqueue
 module Plog = Pmtest_apps.Plog
 
-let pqueue_runner bug () =
-  with_session (fun session ->
+let pqueue_runner bug ?observer () =
+  with_session ?observer (fun session ->
       let q = Pqueue.create ~sink:(Pmtest.sink session) () in
       Pqueue.set_bug q bug;
       for i = 0 to 5 do
@@ -397,8 +398,8 @@ let pqueue_runner bug () =
         Pmtest.send_trace session
       done)
 
-let plog_runner bug () =
-  with_session (fun session ->
+let plog_runner bug ?observer () =
+  with_session ?observer (fun session ->
       let l = Plog.create ~sink:(Pmtest.sink session) () in
       Plog.set_bug l bug;
       for i = 0 to 5 do
@@ -433,8 +434,8 @@ let extended =
 
 module Nova = Pmtest_nova.Nova
 
-let nova_runner bug () =
-  with_session (fun session ->
+let nova_runner bug ?observer () =
+  with_session ?observer (fun session ->
       let fs = Nova.mkfs ~sink:(Pmtest.sink session) () in
       Nova.set_bug fs bug;
       match Nova.create fs "f" with

@@ -268,6 +268,9 @@ let on_entry st (e : Event.t) =
       st.excluded <- Interval_map.set st.excluded ~lo:addr ~hi:(addr + size) ()
     | Event.Include { addr; size } ->
       st.excluded <- Interval_map.clear st.excluded ~lo:addr ~hi:(addr + size)
+    | Event.Lint_off _ | Event.Lint_on _ ->
+      (* Static-lint suppression scopes mean nothing to the dynamic engine. *)
+      ()
   end
 
 let report_of st =

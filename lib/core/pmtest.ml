@@ -13,6 +13,9 @@ type t = {
      independently, so the active exclusion set is re-announced at the
      head of every section sent to the workers. *)
   mutable excluded : unit Interval_map.t;
+  (* Called with every section handed to the runtime — how offline tools
+     (the static lint, trace recorders) observe a live session. *)
+  mutable observers : (Event.t array -> unit) list;
 }
 
 let init ?(model = Model.X86) ?(workers = 1) () =
@@ -24,6 +27,7 @@ let init ?(model = Model.X86) ?(workers = 1) () =
       mutex = Mutex.create ();
       tracking = true;
       excluded = Interval_map.empty;
+      observers = [];
     }
   in
   Hashtbl.replace t.builders 0 (Builder.create ~thread:0 ());
@@ -70,6 +74,14 @@ let exclude ?thread ?loc t ~addr ~size =
 let include_ ?thread ?loc t ~addr ~size =
   emit ?thread ?loc t (Event.Control (Event.Include { addr; size }))
 
+let lint_off ?thread ?loc ?(rule = "*") t =
+  emit ?thread ?loc t (Event.Control (Event.Lint_off { rule }))
+
+let lint_on ?thread ?loc ?(rule = "*") t =
+  emit ?thread ?loc t (Event.Control (Event.Lint_on { rule }))
+
+let on_section t f = with_lock t (fun () -> t.observers <- t.observers @ [ f ])
+
 let reg_var t name ~addr ~size = with_lock t (fun () -> Hashtbl.replace t.vars name (addr, size))
 let unreg_var t name = with_lock t (fun () -> Hashtbl.remove t.vars name)
 let get_var t name = with_lock t (fun () -> Hashtbl.find_opt t.vars name)
@@ -79,6 +91,7 @@ let note_control t = function
     t.excluded <- Interval_map.set t.excluded ~lo:addr ~hi:(addr + size) ()
   | Event.Include { addr; size } ->
     t.excluded <- Interval_map.clear t.excluded ~lo:addr ~hi:(addr + size)
+  | Event.Lint_off _ | Event.Lint_on _ -> ()
 
 let send_trace ?(thread = 0) t =
   let b = builder t thread in
@@ -105,6 +118,7 @@ let send_trace ?(thread = 0) t =
     let section =
       if preamble = [] then section else Array.append (Array.of_list preamble) section
     in
+    List.iter (fun f -> f section) t.observers;
     Runtime.send_trace t.runtime section
   end
 

@@ -60,6 +60,13 @@ val sink : ?thread:int -> t -> Sink.t
 val exclude : ?thread:int -> ?loc:Loc.t -> t -> addr:int -> size:int -> unit
 val include_ : ?thread:int -> ?loc:Loc.t -> t -> addr:int -> size:int -> unit
 
+val lint_off : ?thread:int -> ?loc:Loc.t -> ?rule:string -> t -> unit
+(** Emit an inline suppression marker for the named static lint rule
+    (default ["*"], every rule). The dynamic engine ignores it. *)
+
+val lint_on : ?thread:int -> ?loc:Loc.t -> ?rule:string -> t -> unit
+(** Undo one matching {!lint_off}. *)
+
 val reg_var : t -> string -> addr:int -> size:int -> unit
 (** Register a named persistent variable so its address can be recovered
     outside the scope where it was declared. *)
@@ -76,6 +83,11 @@ val send_trace : ?thread:int -> t -> unit
 val get_result : t -> Report.t
 (** Block until everything sent so far has been checked. Does {e not}
     send the current sections — call {!send_trace} or {!finish} first. *)
+
+val on_section : t -> (Event.t array -> unit) -> unit
+(** Register an observer called (synchronously, on the sending thread)
+    with every section handed to the runtime, including the exclusion
+    preamble. Used by trace recorders and the static lint. *)
 
 val section_length : ?thread:int -> t -> int
 

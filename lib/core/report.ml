@@ -11,10 +11,17 @@ type kind =
   | Duplicate_log
   | Incomplete_tx
   | Invalid_op
+  | Lint_unflushed_write
+  | Lint_unfenced_flush
+  | Lint_redundant_fence
+  | Lint_write_after_flush
+  | Lint_unmatched_exclude
 
 let kind_severity = function
   | Unnecessary_writeback | Duplicate_writeback | Duplicate_log -> Warn
+  | Lint_redundant_fence | Lint_write_after_flush | Lint_unmatched_exclude -> Warn
   | Not_persisted | Not_ordered | Missing_log | Incomplete_tx | Invalid_op -> Fail
+  | Lint_unflushed_write | Lint_unfenced_flush -> Fail
 
 type diagnostic = { kind : kind; loc : Loc.t; message : string }
 type t = { diagnostics : diagnostic list; entries : int; ops : int; checkers : int }
@@ -68,6 +75,11 @@ let kind_string = function
   | Duplicate_log -> "duplicate-log"
   | Incomplete_tx -> "incomplete-transaction"
   | Invalid_op -> "invalid-operation"
+  | Lint_unflushed_write -> "write-never-flushed"
+  | Lint_unfenced_flush -> "flush-without-fence"
+  | Lint_redundant_fence -> "redundant-fence"
+  | Lint_write_after_flush -> "write-after-flush"
+  | Lint_unmatched_exclude -> "unmatched-exclude"
 
 let pp_diagnostic ppf d =
   Format.fprintf ppf "@[<h>%s [%s] %s @@ %a@]"

@@ -19,10 +19,22 @@ type kind =
       (** Transaction updates not durable at [TX_CHECKER_END], or the
           transaction never terminated. *)
   | Invalid_op  (** Operation outside the persistency model's ISA. *)
+  | Lint_unflushed_write
+      (** Static lint: a store still dirty (no writeback) at end of trace. *)
+  | Lint_unfenced_flush
+      (** Static lint: a writeback whose fence never arrives. *)
+  | Lint_redundant_fence
+      (** Static lint: a fence with no writeback pending since the last one. *)
+  | Lint_write_after_flush
+      (** Static lint: a store to a range with a flushed-but-unfenced
+          writeback pending — the torn-update hazard. *)
+  | Lint_unmatched_exclude
+      (** Static lint: an [Exclude] never re-[Include]d by end of trace. *)
 
 val kind_severity : kind -> severity
 (** Performance bugs ({!Unnecessary_writeback}, {!Duplicate_writeback},
-    {!Duplicate_log}) warn; everything else fails. *)
+    {!Duplicate_log}) and the advisory lint kinds warn; everything else
+    fails. *)
 
 type diagnostic = { kind : kind; loc : Loc.t; message : string }
 

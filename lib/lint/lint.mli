@@ -1,0 +1,69 @@
+(** pmlint: a static, checker-free lint pass over PM traces.
+
+    The dynamic engine ({!Pmtest_core.Engine}) answers questions the
+    program asks through checkers ([isPersist], [isOrderedBefore], the
+    transaction scope). The lint needs no annotations at all: one
+    forward dataflow pass over a recorded [Event.t array] tracks the
+    dirty/flushed/fenced state of every byte range and reports
+    anti-patterns directly from the operation stream — stores that are
+    never written back, writebacks that no fence completes, fences that
+    order nothing, duplicate and unnecessary writebacks, unlogged
+    in-transaction stores, and unbalanced transactions.
+
+    What it cannot see is {e intent}: a missing fence {e between} two
+    specific persists (the classic publish-before-persist race) is
+    invisible when a later fence in the stream happens to cover both —
+    only a checker carries that ordering requirement. The lint and the
+    engine are therefore complements, not substitutes.
+
+    Where a rule overlaps the engine's own performance diagnostics
+    ({!Rule.Duplicate_flush}, {!Rule.Unnecessary_flush}), the pass
+    reproduces the engine's semantics exactly — same exclusion holes,
+    same one-diagnostic-per-instruction dedup — so both tools agree on
+    the same trace.
+
+    Inline suppression: [Event.Lint_off {rule}] disables the named rule
+    (or every rule, for ["*"]) until a matching [Event.Lint_on]. For
+    end-of-trace rules the suppression state is captured at the store
+    or writeback that would be reported. *)
+
+open Pmtest_util
+open Pmtest_model
+open Pmtest_trace
+
+type finding = {
+  rule : Rule.t;
+  loc : Loc.t;  (** Where the offending instruction was issued. *)
+  message : string;
+  fixit : string option;  (** A concrete suggested edit, when one exists. *)
+}
+
+type result = {
+  findings : finding list;  (** In trace order; end-of-trace sweeps last. *)
+  entries : int;
+  ops : int;
+  checkers : int;  (** Checker entries seen (and ignored) in the input. *)
+}
+
+val run : ?model:Model.kind -> ?rules:Rule.set -> Event.t array -> result
+(** Analyse one trace. [model] defaults to {!Model.X86}; [rules] to
+    {!Rule.default}. *)
+
+val report_of : result -> Pmtest_core.Report.t
+(** Findings as engine diagnostics (fix-its appended to the message),
+    so [Report.summarize] / [Report.pp_summary] work unchanged. *)
+
+val strip_checkers : Event.t array -> Event.t array
+(** Drop every checker entry and transaction-checker scope marker —
+    the trace an unannotated program would have produced. Used to
+    validate the lint against the bug catalog. *)
+
+val has_fail : result -> bool
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp : Format.formatter -> result -> unit
+
+val machine_lines : result -> string list
+(** One tab-separated line per finding:
+    [severity<TAB>rule<TAB>file:line<TAB>message<TAB>fixit] (fixit ["-"]
+    when absent) — stable output for CI and editor integrations. *)

@@ -13,7 +13,11 @@ type tx_event =
   | Tx_checker_start
   | Tx_checker_end
 
-type control = Exclude of { addr : int; size : int } | Include of { addr : int; size : int }
+type control =
+  | Exclude of { addr : int; size : int }
+  | Include of { addr : int; size : int }
+  | Lint_off of { rule : string }
+  | Lint_on of { rule : string }
 
 type kind =
   | Op of Model.op
@@ -38,6 +42,8 @@ let pp_kind ppf = function
   | Tx Tx_checker_end -> Format.pp_print_string ppf "TX_CHECKER_END"
   | Control (Exclude { addr; size }) -> Format.fprintf ppf "EXCLUDE(0x%x,%d)" addr size
   | Control (Include { addr; size }) -> Format.fprintf ppf "INCLUDE(0x%x,%d)" addr size
+  | Control (Lint_off { rule }) -> Format.fprintf ppf "LINT_OFF(%s)" rule
+  | Control (Lint_on { rule }) -> Format.fprintf ppf "LINT_ON(%s)" rule
 
 let pp ppf t = Format.fprintf ppf "@[<h>[t%d] %a @@ %a@]" t.thread pp_kind t.kind Loc.pp t.loc
 

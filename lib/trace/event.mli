@@ -28,6 +28,11 @@ type control =
       (** Remove the range from testing scope ([PMTest_EXCLUDE]). *)
   | Include of { addr : int; size : int }
       (** Put the range back in scope ([PMTest_INCLUDE]). *)
+  | Lint_off of { rule : string }
+      (** Suppress the named static lint rule (["*"] for all rules) from
+          this point of the trace on. Ignored by the dynamic engine. *)
+  | Lint_on of { rule : string }
+      (** Undo one matching {!Lint_off}. Ignored by the dynamic engine. *)
 
 type kind =
   | Op of Pmtest_model.Model.op

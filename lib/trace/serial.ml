@@ -30,6 +30,8 @@ let entry_to_line (e : Event.t) =
       Printf.sprintf "xe\t%s\t%d\t%d" loc_part addr size
     | Event.Control (Event.Include { addr; size }) ->
       Printf.sprintf "xi\t%s\t%d\t%d" loc_part addr size
+    | Event.Control (Event.Lint_off { rule }) -> Printf.sprintf "lo\t%s\t%s" loc_part (sanitize rule)
+    | Event.Control (Event.Lint_on { rule }) -> Printf.sprintf "li\t%s\t%s" loc_part (sanitize rule)
   in
   tail
 
@@ -41,6 +43,10 @@ let entry_of_line line =
       let loc = if file = "-" && lineno = 0 then Loc.none else Loc.make ~file ~line:lineno in
       let ints () = List.filter_map int_of_string_opt args in
       let mk kind = Ok (Event.make ~thread ~loc kind) in
+      match (kind, args) with
+      | "lo", [ rule ] -> mk (Event.Control (Event.Lint_off { rule }))
+      | "li", [ rule ] -> mk (Event.Control (Event.Lint_on { rule }))
+      | _ -> (
       match (kind, ints ()) with
       | "w", [ addr; size ] -> mk (Event.Op (Model.Write { addr; size }))
       | "f", [ addr; size ] -> mk (Event.Op (Model.Clwb { addr; size }))
@@ -58,7 +64,7 @@ let entry_of_line line =
       | "te", [] -> mk (Event.Tx Event.Tx_checker_end)
       | "xe", [ addr; size ] -> mk (Event.Control (Event.Exclude { addr; size }))
       | "xi", [ addr; size ] -> mk (Event.Control (Event.Include { addr; size }))
-      | _ -> Error (Printf.sprintf "unknown or malformed entry %S" line))
+      | _ -> Error (Printf.sprintf "unknown or malformed entry %S" line)))
     | _ -> Error (Printf.sprintf "bad thread/line fields in %S" line))
   | _ -> Error (Printf.sprintf "too few fields in %S" line)
 

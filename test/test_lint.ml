@@ -1,0 +1,300 @@
+(* The static lint: per-rule golden traces, suppression and rule
+   selection, validation against the bug catalog from checker-stripped
+   op streams, and agreement with the dynamic engine on the shared
+   performance diagnostics. *)
+
+open Pmtest_model
+open Pmtest_trace
+module Engine = Pmtest_core.Engine
+module Report = Pmtest_core.Report
+module Lint = Pmtest_lint.Lint
+module Rule = Pmtest_lint.Rule
+open Pmtest_bugdb
+
+let e kind = Event.make kind
+let w addr size = e (Event.Op (Model.Write { addr; size }))
+let clwb addr size = e (Event.Op (Model.Clwb { addr; size }))
+let sfence = e (Event.Op Model.Sfence)
+let dfence = e (Event.Op Model.Dfence)
+let tx k = e (Event.Tx k)
+let tx_add addr size = e (Event.Tx (Event.Tx_add { addr; size }))
+let exclude addr size = e (Event.Control (Event.Exclude { addr; size }))
+let include_ addr size = e (Event.Control (Event.Include { addr; size }))
+let lint_off rule = e (Event.Control (Event.Lint_off { rule }))
+let lint_on rule = e (Event.Control (Event.Lint_on { rule }))
+
+let run ?model ?rules entries = Lint.run ?model ?rules (Array.of_list entries)
+
+let fired result =
+  List.sort_uniq compare (List.map (fun f -> Rule.id f.Lint.rule) result.Lint.findings)
+
+let check_rules ?model ?rules entries expected =
+  Alcotest.(check (list string))
+    "rules fired" (List.sort_uniq compare expected)
+    (fired (run ?model ?rules entries))
+
+(* --- Golden traces, one per rule ----------------------------------------- *)
+
+let test_clean () =
+  check_rules [ w 0x100 8; clwb 0x100 8; sfence ] [];
+  check_rules [ w 0x100 64; clwb 0x100 64; sfence; w 0x140 8; clwb 0x140 8; sfence ] []
+
+let test_write_never_flushed () =
+  check_rules [ w 0x100 8 ] [ "write-never-flushed" ];
+  (* A partial writeback leaves the rest dirty. *)
+  check_rules [ w 0x100 64; clwb 0x100 8; sfence ] [ "write-never-flushed" ];
+  (* One finding per store however the shadow fragments it. *)
+  let r = run [ w 0x100 64; clwb 0x110 8; sfence ] in
+  Alcotest.(check int) "one finding per store" 1 (List.length r.Lint.findings)
+
+let test_flush_without_fence () =
+  check_rules [ w 0x100 8; clwb 0x100 8 ] [ "flush-without-fence" ];
+  (* Any later fence completes it — even a distant one. *)
+  check_rules [ w 0x100 8; clwb 0x100 8; w 0x200 8; clwb 0x200 8; sfence ] []
+
+let test_redundant_fence () =
+  check_rules [ w 0x100 8; clwb 0x100 8; sfence; sfence ] [ "redundant-fence" ];
+  (* A fence before any writeback orders nothing. *)
+  check_rules [ sfence; w 0x100 8; clwb 0x100 8; sfence ] [ "redundant-fence" ]
+
+let test_duplicate_flush () =
+  check_rules [ w 0x100 8; clwb 0x100 8; clwb 0x100 8; sfence ] [ "duplicate-flush" ];
+  (* Also across a fence: the pending write was already flushed. *)
+  check_rules [ w 0x100 8; clwb 0x100 8; sfence; clwb 0x100 8; sfence ] [ "duplicate-flush" ];
+  (* A fresh store resets the range: no duplicate. *)
+  check_rules [ w 0x100 8; clwb 0x100 8; sfence; w 0x100 8; clwb 0x100 8; sfence ] []
+
+let test_unnecessary_flush () =
+  check_rules [ clwb 0x100 8; sfence ] [ "unnecessary-flush" ];
+  check_rules [ w 0x100 8; clwb 0x100 16; sfence ] [ "unnecessary-flush" ]
+
+let test_write_after_flush () =
+  check_rules
+    [ w 0x100 8; clwb 0x100 8; w 0x100 8; clwb 0x100 8; sfence ]
+    [ "write-after-flush" ];
+  (* After the fence the flush is complete: no hazard. *)
+  check_rules [ w 0x100 8; clwb 0x100 8; sfence; w 0x100 8; clwb 0x100 8; sfence ] []
+
+let test_unlogged_tx_write () =
+  check_rules
+    [ tx Event.Tx_begin; w 0x100 8; tx Event.Tx_commit; clwb 0x100 8; sfence ]
+    [ "unlogged-tx-write" ];
+  check_rules
+    [ tx Event.Tx_begin; tx_add 0x100 8; w 0x100 8; tx Event.Tx_commit; clwb 0x100 8; sfence ]
+    []
+
+let test_unbalanced_tx () =
+  check_rules [ tx Event.Tx_begin; tx_add 0x100 8; w 0x100 8; clwb 0x100 8; sfence ]
+    [ "unbalanced-tx" ];
+  check_rules [ tx Event.Tx_commit ] [ "unbalanced-tx" ];
+  check_rules [ tx Event.Tx_begin; tx Event.Tx_abort ] []
+
+let test_unmatched_exclude () =
+  (* Off by default: allocator metadata stays excluded for a whole run. *)
+  check_rules [ exclude 0x0 0x100 ] [];
+  check_rules ~rules:Rule.everything [ exclude 0x0 0x100 ] [ "unmatched-exclude" ];
+  check_rules ~rules:Rule.everything [ exclude 0x0 0x100; include_ 0x0 0x100 ] []
+
+let test_exclusion_scope () =
+  (* Ops on excluded ranges produce nothing — engine semantics. *)
+  check_rules [ exclude 0x100 0x100; w 0x140 8; clwb 0x180 8; sfence ] [];
+  (* ... but an excluded writeback still counts for fence accounting. *)
+  check_rules [ exclude 0x100 0x100; w 0x140 8; clwb 0x140 8; sfence ] []
+
+let test_models () =
+  (* HOPS: durability comes from dfence, not writebacks. *)
+  check_rules ~model:Model.Hops [ w 0x100 8; dfence ] [];
+  check_rules ~model:Model.Hops [ w 0x100 8 ] [ "write-never-flushed" ];
+  check_rules ~model:Model.Hops [ w 0x100 8; dfence; dfence ] [ "redundant-fence" ];
+  (* eADR: every writeback is overhead, nothing is ever dirty. *)
+  check_rules ~model:Model.Eadr [ w 0x100 8 ] [];
+  check_rules ~model:Model.Eadr [ w 0x100 8; clwb 0x100 8; sfence ] [ "unnecessary-flush" ];
+  (* Ops outside the model's ISA are the engine's business, not the lint's. *)
+  check_rules [ dfence ] []
+
+(* --- Suppression and rule selection -------------------------------------- *)
+
+let test_suppression () =
+  check_rules [ lint_off "write-never-flushed"; w 0x100 8; lint_on "write-never-flushed" ] [];
+  check_rules [ lint_off "*"; w 0x100 8; lint_on "*" ] [];
+  (* The scope that matters is the one at the store, not at end of trace. *)
+  check_rules [ w 0x100 8; lint_off "write-never-flushed" ] [ "write-never-flushed" ];
+  (* Other rules keep firing inside a named scope. *)
+  check_rules
+    [ lint_off "write-never-flushed"; w 0x100 8; clwb 0x100 8; clwb 0x100 8; sfence;
+      lint_on "write-never-flushed" ]
+    [ "duplicate-flush" ]
+
+let test_rule_selection () =
+  let only spec =
+    match Rule.of_spec spec with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  let dirty_dup = [ w 0x100 8; clwb 0x100 8; clwb 0x100 8 ] in
+  check_rules ~rules:(only "duplicate-flush") dirty_dup [ "duplicate-flush" ];
+  check_rules ~rules:(only "-duplicate-flush") dirty_dup [ "flush-without-fence" ];
+  check_rules ~rules:(only "none") dirty_dup [];
+  (match Rule.of_spec "no-such-rule" with
+  | Ok _ -> Alcotest.fail "bad spec accepted"
+  | Error _ -> ());
+  Alcotest.(check bool) "default excludes unmatched-exclude" false
+    (Rule.mem Rule.default Rule.Unmatched_exclude);
+  Alcotest.(check int) "all rules listed" 9 (List.length Rule.all)
+
+(* --- Output plumbing ------------------------------------------------------ *)
+
+let test_report_and_output () =
+  let r = run [ w 0x100 8; clwb 0x100 8; clwb 0x100 8; sfence ] in
+  let report = Lint.report_of r in
+  Alcotest.(check int) "duplicate-flush files under the engine's kind" 1
+    (Report.count Report.Duplicate_writeback report);
+  Alcotest.(check bool) "warn only" false (Report.has_fail report);
+  let r = run [ w 0x100 8 ] in
+  Alcotest.(check bool) "dirty store is a FAIL" true (Lint.has_fail r);
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (match (List.hd r.Lint.findings).Lint.fixit with
+  | Some fix ->
+    Alcotest.(check bool) "fix-it suggests the missing writeback" true (contains fix "clwb")
+  | None -> Alcotest.fail "expected a fix-it");
+  List.iter
+    (fun line ->
+      Alcotest.(check int) "machine line has five fields" 5
+        (List.length (String.split_on_char '\t' line)))
+    (Lint.machine_lines r)
+
+let test_strip_checkers () =
+  let trace =
+    [|
+      w 0x100 8; clwb 0x100 8; sfence;
+      e (Event.Checker (Event.Is_persist { addr = 0x100; size = 8 }));
+      tx Event.Tx_checker_start; tx Event.Tx_checker_end;
+    |]
+  in
+  let stripped = Lint.strip_checkers trace in
+  Alcotest.(check int) "checkers dropped" 3 (Array.length stripped)
+
+(* --- Validation against the bug catalog ----------------------------------- *)
+
+(* The statically visible cases: given only the raw op stream (checkers
+   stripped), the named rule must fire on the buggy trace and nothing may
+   fire on the clean twin. Ordering-intent cases (ord-1/3/4, xl-3) are
+   deliberately absent: a later fence in the stream covers their flushes,
+   so only a checker can express the violated requirement. *)
+let bugdb_expected =
+  [
+    ("ord-2", "redundant-fence");
+    ("wb-1", "write-never-flushed");
+    ("wb-2", "write-never-flushed");
+    ("wb-3", "write-never-flushed");
+    ("wb-4", "write-never-flushed");
+    ("wb-5", "write-never-flushed");
+    ("wb-6", "write-never-flushed");
+    ("pwb-1", "duplicate-flush");
+    ("pwb-2", "duplicate-flush");
+    ("bk-17", "write-never-flushed");
+    ("cp-6", "flush-without-fence");
+    ("cp-7", "flush-without-fence");
+    ("t6-xips", "duplicate-flush");
+    ("t6-files", "unnecessary-flush");
+    ("t6-journal", "duplicate-flush");
+    ("xq-1", "write-never-flushed");
+    ("xq-2", "write-never-flushed");
+    ("xq-3", "write-never-flushed");
+    ("xl-1", "write-never-flushed");
+    ("xl-2", "write-never-flushed");
+    ("xn-1", "write-never-flushed");
+    ("xn-2", "write-never-flushed");
+    ("xn-3", "write-never-flushed");
+  ]
+
+let find_case id =
+  match List.find_opt (fun c -> c.Case.id = id) Catalog.all with
+  | Some c -> c
+  | None -> Alcotest.failf "no catalog case %s" id
+
+let test_bugdb_detection () =
+  List.iter
+    (fun (id, rule) ->
+      let case = find_case id in
+      let result = Lint.run (Lint.strip_checkers (Case.trace case)) in
+      let ids = List.map (fun f -> Rule.id f.Lint.rule) result.Lint.findings in
+      Alcotest.(check bool) (id ^ " flagged by " ^ rule) true (List.mem rule ids))
+    bugdb_expected
+
+let test_bugdb_clean_twins () =
+  (* Zero findings on every clean twin in the whole catalog — the lint's
+     false-positive control, same bar as the dynamic engine's. *)
+  List.iter
+    (fun case ->
+      let result = Lint.run (Lint.strip_checkers (Case.trace_clean case)) in
+      Alcotest.(check int) (case.Case.id ^ " clean twin") 0
+        (List.length result.Lint.findings))
+    Catalog.all
+
+(* --- Agreement with the dynamic engine ------------------------------------ *)
+
+(* On the diagnostics both tools implement (unnecessary / duplicate
+   writeback), the lint reproduces the engine's semantics instruction for
+   instruction — same exclusion holes, same per-clwb dedup. *)
+let gen_trace =
+  let module G = QCheck2.Gen in
+  let addr = G.map (fun i -> i * 16) (G.int_range 0 15) in
+  let size = G.oneofl [ 8; 16; 32 ] in
+  let entry =
+    G.frequency
+      [
+        (4, G.map2 (fun a s -> w a s) addr size);
+        (4, G.map2 (fun a s -> clwb a s) addr size);
+        (2, G.return sfence);
+        (1, G.map2 (fun a s -> exclude a s) addr size);
+        (1, G.map2 (fun a s -> include_ a s) addr size);
+      ]
+  in
+  G.map Array.of_list (G.list_size (G.int_range 0 60) entry)
+
+let prop_agrees_with_engine =
+  QCheck2.Test.make ~name:"lint agrees with Engine.check on writeback diagnostics" ~count:500
+    gen_trace (fun trace ->
+      let engine = Engine.check trace in
+      let lint = Lint.report_of (Lint.run trace) in
+      Report.count Report.Unnecessary_writeback engine
+      = Report.count Report.Unnecessary_writeback lint
+      && Report.count Report.Duplicate_writeback engine
+         = Report.count Report.Duplicate_writeback lint)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "clean traces" `Quick test_clean;
+          Alcotest.test_case "write-never-flushed" `Quick test_write_never_flushed;
+          Alcotest.test_case "flush-without-fence" `Quick test_flush_without_fence;
+          Alcotest.test_case "redundant-fence" `Quick test_redundant_fence;
+          Alcotest.test_case "duplicate-flush" `Quick test_duplicate_flush;
+          Alcotest.test_case "unnecessary-flush" `Quick test_unnecessary_flush;
+          Alcotest.test_case "write-after-flush" `Quick test_write_after_flush;
+          Alcotest.test_case "unlogged-tx-write" `Quick test_unlogged_tx_write;
+          Alcotest.test_case "unbalanced-tx" `Quick test_unbalanced_tx;
+          Alcotest.test_case "unmatched-exclude" `Quick test_unmatched_exclude;
+          Alcotest.test_case "exclusion scope" `Quick test_exclusion_scope;
+          Alcotest.test_case "persistency models" `Quick test_models;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "inline suppression" `Quick test_suppression;
+          Alcotest.test_case "rule selection" `Quick test_rule_selection;
+          Alcotest.test_case "report and machine output" `Quick test_report_and_output;
+          Alcotest.test_case "strip_checkers" `Quick test_strip_checkers;
+        ] );
+      ( "bugdb",
+        [
+          Alcotest.test_case "flush/fence bugs from raw streams" `Quick test_bugdb_detection;
+          Alcotest.test_case "clean twins stay clean" `Quick test_bugdb_clean_twins;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_agrees_with_engine ] );
+    ]
