@@ -4,7 +4,7 @@
      dune exec bench/main.exe -- [target] [options]
 
    Targets: fig10a fig10b fig11 fig12a fig12b fig12c table1 table5 table6
-            yat ablation lint bechamel all (default: all)
+            yat ablation lint fuzz bechamel all (default: all)
    Options: --insertions N   microbenchmark insertions per cell (default 600)
             --ops N          real-workload operations (default 4000)
             --runs N         timing repetitions, best-of (default 3)
@@ -603,6 +603,42 @@ let lint_bench () =
   Fmt.pr " evaluation and persist-interval queries; throughputs land in the same order@.";
   Fmt.pr " of magnitude, keeping lint cheap enough to run on every recorded trace)@."
 
+(* --- Differential fuzzing throughput --------------------------------------------------- *)
+
+let fuzz_bench () =
+  let module Campaign = Pmtest_fuzz.Campaign in
+  let module Cross = Pmtest_fuzz.Cross in
+  Fmt.pr "@.### Differential fuzzing throughput (lib/fuzz)@.@.";
+  Fmt.pr "(each program is generated, then replayed through every applicable checker@.";
+  Fmt.pr " pair — the rate bounds how many programs a nightly campaign can afford)@.@.";
+  Fmt.pr "%-8s %10s %10s %10s %12s %12s@." "model" "programs" "entries" "total(s)" "prog/s"
+    "entries/s";
+  List.iter
+    (fun model ->
+      let cfg =
+        { (Campaign.default_cfg model) with Campaign.count = 400; seed = 0; shrink = false }
+      in
+      let stats = ref None in
+      let t = time (fun () -> stats := Some (Campaign.run cfg)) in
+      match !stats with
+      | None -> ()
+      | Some s ->
+        let name =
+          match model with Model.X86 -> "x86" | Model.Hops -> "hops" | Model.Eadr -> "eadr"
+        in
+        Fmt.pr "%-8s %10d %10d %10.3f %12.0f %12.0f@." name s.Campaign.programs
+          s.Campaign.events t
+          (float_of_int s.Campaign.programs /. t)
+          (float_of_int s.Campaign.events /. t);
+        List.iter
+          (fun (pair, secs) ->
+            let applied = List.assoc pair s.Campaign.applied in
+            Fmt.pr "    %-18s applied %6d  %8.3fs@." (Cross.pair_name pair) applied secs)
+          s.Campaign.pair_seconds)
+    [ Model.X86; Model.Hops; Model.Eadr ];
+  Fmt.pr "@.(differential checking dominates generation; the crashtest pair enumerates@.";
+  Fmt.pr " versioned crash images and is the budget to watch on long campaigns)@."
+
 (* --- Bechamel micro-measurements ------------------------------------------------------ *)
 
 let bechamel () =
@@ -711,6 +747,7 @@ let all_targets =
     ("yat", yat_bench);
     ("ablation", ablation);
     ("lint", lint_bench);
+    ("fuzz", fuzz_bench);
     ("bechamel", bechamel);
   ]
 

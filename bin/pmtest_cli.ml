@@ -338,6 +338,170 @@ let lint_cmd =
          "Statically lint a recorded trace: no checkers needed, fix-it suggestions included.")
     Term.(const run_lint $ file $ bugdb $ model $ rules $ machine $ verbose)
 
+(* --- fuzz -------------------------------------------------------------------- *)
+
+module Fuzz_gen = Pmtest_fuzz.Gen
+module Campaign = Pmtest_fuzz.Campaign
+module Cross = Pmtest_fuzz.Cross
+module Repro = Pmtest_fuzz.Repro
+module Mutate = Pmtest_fuzz.Mutate
+
+let model_name = function Model.X86 -> "x86" | Model.Hops -> "hops" | Model.Eadr -> "eadr"
+
+let replay_corpus dir failures =
+  match Repro.load_dir dir with
+  | Error e ->
+    Fmt.epr "corpus %s: %s@." dir e;
+    incr failures
+  | Ok [] -> ()
+  | Ok cases ->
+    Fmt.pr "replaying %d corpus case(s) from %s@." (List.length cases) dir;
+    List.iter
+      (fun c ->
+        match Repro.replay c with
+        | Ok () -> Fmt.pr "  ok   %s@." c.Repro.name
+        | Error e ->
+          incr failures;
+          Fmt.pr "  FAIL %s: %s@." c.Repro.name e)
+      cases
+
+let run_fuzz_mutate failures =
+  let seeded = Mutate.seed_catalog () in
+  Fmt.pr "@.mutation mode: %d mutant(s) seeded from the bug catalog's clean twins@."
+    (List.length seeded);
+  List.iter
+    (fun sd ->
+      let o = Mutate.check sd in
+      if o.Mutate.missed = [] then
+        Fmt.pr "  [caught] %-14s %-12s all %d claim(s) flagged; shrunk to %d event(s)@."
+          sd.Mutate.case_id
+          (Mutate.kind_name sd.Mutate.mutation)
+          (List.length sd.Mutate.claims)
+          (Array.length o.Mutate.shrunk)
+      else begin
+        incr failures;
+        List.iter
+          (fun cl ->
+            Fmt.pr "  [MISSED] %-14s %-12s %s no longer reports %s@." sd.Mutate.case_id
+              (Mutate.kind_name sd.Mutate.mutation)
+              (Repro.tool_name cl.Mutate.tool)
+              (Report.kind_string cl.Mutate.diag))
+          o.Mutate.missed
+      end)
+    seeded
+
+let run_fuzz_campaign models count seed max_ops corpus progress failures =
+  List.iter
+    (fun model ->
+      let base = Campaign.default_cfg model in
+      let gen =
+        match max_ops with
+        | None -> base.Campaign.gen
+        | Some m -> { base.Campaign.gen with Fuzz_gen.max_ops = m }
+      in
+      let cfg = { base with Campaign.count; seed; gen } in
+      Fmt.pr "@.== %s: %d program(s), base seed %d ==@." (model_name model) count seed;
+      let on_program i =
+        if progress && i > 0 && i mod 1000 = 0 then Fmt.pr "  ... %d@.%!" i
+      in
+      let stats = Campaign.run ~on_program cfg in
+      Fmt.pr "%a@." Campaign.pp_stats stats;
+      List.iter
+        (fun f ->
+          incr failures;
+          let shrunk = { f.Campaign.program with Fuzz_gen.events = f.Campaign.shrunk } in
+          Fmt.pr "@.-- disagreement: model %s, seed %d, pair %s --@.%s@.@.serial trace:@.%s@.OCaml repro:@.%s@."
+            (model_name model) f.Campaign.found_seed
+            (Cross.pair_name f.Campaign.pair)
+            f.Campaign.detail (Repro.serial_text shrunk) (Repro.ocaml_snippet shrunk);
+          match corpus with
+          | None -> ()
+          | Some dir ->
+            let name =
+              Printf.sprintf "%s-seed%d-%s" (model_name model) f.Campaign.found_seed
+                (String.map
+                   (fun c -> if c = '/' then '-' else c)
+                   (Cross.pair_name f.Campaign.pair))
+            in
+            let case =
+              { Repro.name; program = shrunk; checks = [ Repro.Agree f.Campaign.pair ] }
+            in
+            let path = Repro.save ~dir case in
+            Fmt.pr "saved regression case to %s@." path)
+        stats.Campaign.findings)
+    models
+
+let run_fuzz models count seed max_ops mutate corpus progress =
+  let failures = ref 0 in
+  (match corpus with None -> () | Some dir -> replay_corpus dir failures);
+  if mutate then run_fuzz_mutate failures
+  else run_fuzz_campaign models count seed max_ops corpus progress failures;
+  if !failures = 0 then begin
+    Fmt.pr "@.fuzz: OK@.";
+    0
+  end
+  else begin
+    Fmt.pr "@.fuzz: %d failure(s)@." !failures;
+    1
+  end
+
+let fuzz_cmd =
+  let models =
+    Arg.(
+      value
+        (opt
+           (enum
+              [
+                ("x86", [ Model.X86 ]);
+                ("hops", [ Model.Hops ]);
+                ("eadr", [ Model.Eadr ]);
+                ("both", [ Model.X86; Model.Hops ]);
+                ("all", [ Model.X86; Model.Hops; Model.Eadr ]);
+              ])
+           [ Model.X86; Model.Hops; Model.Eadr ]
+           (info [ "model" ]
+              ~doc:"Persistency model(s) to fuzz: x86, hops, eadr, both (x86+hops) or all.")))
+  in
+  let count = Arg.(value (opt int 1000 (info [ "count" ] ~doc:"Programs per model."))) in
+  let seed =
+    Arg.(value (opt int 0 (info [ "seed" ] ~doc:"Base seed; program $(i,i) uses seed+$(i,i).")))
+  in
+  let max_ops =
+    Arg.(
+      value
+        (opt (some int) None
+           (info [ "max-ops" ] ~doc:"Cap the operations per generated program.")))
+  in
+  let mutate =
+    Arg.(
+      value
+        (flag
+           (info [ "mutate" ]
+              ~doc:
+                "Mutation mode: seed known-bad edits (dropped writebacks, swapped fences, \
+                 widened stores, dropped undo-log backups) into the bug catalog's clean twins \
+                 and assert every tool claiming that bug class still catches it.")))
+  in
+  let corpus =
+    Arg.(
+      value
+        (opt (some string) None
+           (info [ "corpus" ] ~docv:"DIR"
+              ~doc:
+                "Replay this regression corpus before fuzzing and save newly shrunk \
+                 counterexamples into it.")))
+  in
+  let progress =
+    Arg.(value (flag (info [ "progress" ] ~doc:"Print a progress line every 1000 programs.")))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random annotated PM programs, replay them through \
+          every checker, cross-check verdicts, and shrink any disagreement to a minimal \
+          reproducer.")
+    Term.(const run_fuzz $ models $ count $ seed $ max_ops $ mutate $ corpus $ progress)
+
 (* --- demo -------------------------------------------------------------------- *)
 
 let run_demo () =
@@ -381,4 +545,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "pmtest-cli" ~version:"1.0.0"
              ~doc:"PMTest: fast and flexible crash-consistency testing for PM programs.")
-          [ bugs_cmd; workload_cmd; record_cmd; check_trace_cmd; lint_cmd; demo_cmd ]))
+          [ bugs_cmd; workload_cmd; record_cmd; check_trace_cmd; lint_cmd; fuzz_cmd; demo_cmd ]))

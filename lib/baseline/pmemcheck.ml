@@ -115,6 +115,22 @@ let on_entry t kind loc =
 
 let sink t = { Sink.emit = (fun kind loc -> on_entry t kind loc) }
 
+let unpersisted_ranges t =
+  let runs = ref [] in
+  let n = Bytes.length t.shadow in
+  let i = ref 0 in
+  while !i < n do
+    if Bytes.get t.shadow !i <> st_clean then begin
+      let start = !i in
+      while !i < n && Bytes.get t.shadow !i <> st_clean do
+        incr i
+      done;
+      runs := (start, !i - start) :: !runs
+    end
+    else incr i
+  done;
+  List.rev !runs
+
 let result t =
   (* Final sweep: anything still dirty or flushed-but-not-fenced was never
      made durable. Report contiguous runs, like the real tool's

@@ -37,3 +37,10 @@ val result : t -> Report.t
     all diagnostics. *)
 
 val bytes_tracked : t -> int
+
+val unpersisted_ranges : t -> (int * int) list
+(** Maximal runs [(addr, size)] of bytes that are not guaranteed durable
+    at this point (still dirty, or flushed with no fence yet) — the byte
+    set behind the final {!Report.Not_persisted} sweep, exposed so the
+    differential fuzzer can compare it against the engine's
+    persist-interval table without parsing messages. *)

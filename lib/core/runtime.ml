@@ -1,7 +1,7 @@
 open Pmtest_model
 open Pmtest_trace
 
-type msg = Task of Event.t array | Stop
+type msg = Task of int * Event.t array | Stop
 
 type worker = { queue : msg Queue.t; mutex : Mutex.t; nonempty : Condition.t }
 
@@ -9,11 +9,15 @@ type t = {
   model : Model.kind;
   workers : worker array;
   mutable domains : unit Domain.t array;
-  mutable next : int;
   (* All fields below are guarded by [agg_mutex]. *)
   agg_mutex : Mutex.t;
   drained : Condition.t;
   mutable aggregate : Report.t;
+  (* Sections finish out of order across workers; reports wait here until
+     every earlier section has been merged, so the aggregate is always the
+     one a synchronous run would have produced. *)
+  parked : (int, Report.t) Hashtbl.t;
+  mutable next_merge : int;
   mutable dispatched : int;
   mutable completed : int;
   mutable stopped : bool;
@@ -34,18 +38,24 @@ let take w =
   Mutex.unlock w.mutex;
   msg
 
-let complete t report =
+let complete t seq report =
   Mutex.lock t.agg_mutex;
-  t.aggregate <- Report.merge t.aggregate report;
-  t.completed <- t.completed + 1;
+  Hashtbl.replace t.parked seq report;
+  while Hashtbl.mem t.parked t.next_merge do
+    let r = Hashtbl.find t.parked t.next_merge in
+    Hashtbl.remove t.parked t.next_merge;
+    t.aggregate <- Report.merge t.aggregate r;
+    t.next_merge <- t.next_merge + 1;
+    t.completed <- t.completed + 1
+  done;
   Condition.broadcast t.drained;
   Mutex.unlock t.agg_mutex
 
 let rec worker_loop t w =
   match take w with
   | Stop -> ()
-  | Task entries ->
-    complete t (Engine.check ~model:t.model entries);
+  | Task (seq, entries) ->
+    complete t seq (Engine.check ~model:t.model entries);
     worker_loop t w
 
 let create ?(workers = 1) ?(model = Model.X86) () =
@@ -57,10 +67,11 @@ let create ?(workers = 1) ?(model = Model.X86) () =
       model;
       workers = pool;
       domains = [||];
-      next = 0;
       agg_mutex = Mutex.create ();
       drained = Condition.create ();
       aggregate = Report.empty;
+      parked = Hashtbl.create 16;
+      next_merge = 0;
       dispatched = 0;
       completed = 0;
       stopped = false;
@@ -78,14 +89,14 @@ let send_trace t entries =
     Mutex.unlock t.agg_mutex;
     invalid_arg "Runtime.send_trace: runtime already shut down"
   end;
+  let seq = t.dispatched in
   t.dispatched <- t.dispatched + 1;
   Mutex.unlock t.agg_mutex;
-  if Array.length t.workers = 0 then complete t (Engine.check ~model:t.model entries)
+  if Array.length t.workers = 0 then complete t seq (Engine.check ~model:t.model entries)
   else begin
     (* Round-robin dispatch, as the paper's master thread does. *)
-    let w = t.workers.(t.next mod Array.length t.workers) in
-    t.next <- t.next + 1;
-    post w (Task entries)
+    let w = t.workers.(seq mod Array.length t.workers) in
+    post w (Task (seq, entries))
   end
 
 let get_result t =

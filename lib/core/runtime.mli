@@ -28,7 +28,10 @@ val send_trace : t -> Event.t array -> unit
 
 val get_result : t -> Report.t
 (** Block until all sections dispatched so far are checked; returns the
-    aggregate report. *)
+    aggregate report. Aggregation is deterministic: reports are merged in
+    dispatch order regardless of which worker finished first, so the
+    result is byte-identical to a [~workers:0] synchronous run over the
+    same section stream. *)
 
 val pending : t -> int
 (** Sections dispatched but not yet checked (for tests). *)

@@ -1,0 +1,51 @@
+(** Fuzzing campaigns: generate, cross-check, shrink, report.
+
+    A campaign is fully determined by its configuration: program [i]
+    is generated from seed [cfg.seed + i], so a finding's printed seed
+    plus the model is a complete reproducer ({!program_for_seed}). *)
+
+open Pmtest_model
+open Pmtest_trace
+
+type cfg = {
+  model : Model.kind;
+  count : int;  (** Programs to generate. *)
+  seed : int;  (** Base seed; program [i] uses [seed + i]. *)
+  gen : Gen.cfg;  (** Full-program generator configuration. *)
+  oracle_share : int;
+      (** One in this many programs is straight-line oracle-shaped (with
+          embedded checkers) so the engine/oracle contract gets dense
+          coverage; [0] disables oracle-shaped programs. *)
+  shrink : bool;  (** Minimize disagreeing programs (default on). *)
+}
+
+val default_cfg : Model.kind -> cfg
+(** [count = 1000], [seed = 0], default generator, every 3rd program
+    oracle-shaped, shrinking on. *)
+
+type finding = {
+  found_seed : int;  (** Pass to {!program_for_seed} to regenerate. *)
+  pair : Cross.pair;
+  detail : string;
+  program : Gen.program;
+  shrunk : Event.t array;
+}
+
+type stats = {
+  programs : int;
+  events : int;  (** Total trace entries generated. *)
+  applied : (Cross.pair * int) list;
+  skipped : (Cross.pair * int) list;
+  findings : finding list;
+  gen_seconds : float;
+  pair_seconds : (Cross.pair * float) list;
+}
+
+val program_for_seed : cfg -> int -> Gen.program
+(** The program a campaign over [cfg] derives from this absolute seed. *)
+
+val run : ?on_program:(int -> unit) -> cfg -> stats
+(** [on_program] is called with each index before it is processed
+    (progress reporting). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,276 @@
+open Pmtest_util
+open Pmtest_model
+open Pmtest_trace
+module Engine = Pmtest_core.Engine
+module Report = Pmtest_core.Report
+module Naive = Pmtest_baseline.Naive_engine
+module Pmemcheck = Pmtest_baseline.Pmemcheck
+module Lint = Pmtest_lint.Lint
+module Crashtest = Pmtest_crashtest.Crashtest
+module Machine = Pmtest_pmem.Machine
+
+type pair =
+  | Engine_vs_naive
+  | Engine_vs_lint
+  | Engine_vs_pmemcheck
+  | Engine_vs_oracle
+  | Engine_vs_crashtest
+
+type outcome = Agree | Disagree of string | Skip of string
+
+let all_pairs =
+  [ Engine_vs_naive; Engine_vs_lint; Engine_vs_pmemcheck; Engine_vs_oracle; Engine_vs_crashtest ]
+
+let pair_name = function
+  | Engine_vs_naive -> "engine/naive"
+  | Engine_vs_lint -> "engine/lint"
+  | Engine_vs_pmemcheck -> "engine/pmemcheck"
+  | Engine_vs_oracle -> "engine/oracle"
+  | Engine_vs_crashtest -> "engine/crashtest"
+
+(* The engine only enforces undo logging inside a TX checker scope;
+   pmemcheck and the lint need no scope. Missing_log counts are only
+   comparable when every transaction opens inside a scope. *)
+let tx_scoped events =
+  let scope = ref false and ok = ref true in
+  Array.iter
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Tx Event.Tx_checker_start -> scope := true
+      | Event.Tx Event.Tx_checker_end -> scope := false
+      | Event.Tx Event.Tx_begin -> if not !scope then ok := false
+      | _ -> ())
+    events;
+  !ok
+
+(* Pmemcheck silently ignores out-of-range operations; the engine does
+   not. Only compare when every op stays inside the shadowed range. *)
+let ops_in_bounds (p : Gen.program) =
+  Array.for_all
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Op (Model.Write { addr; size } | Model.Clwb { addr; size })
+      | Event.Tx (Event.Tx_add { addr; size }) ->
+        addr >= 0 && size > 0 && addr + size <= p.Gen.pm_size
+      | _ -> true)
+    p.Gen.events
+
+let count_diff label a b =
+  if a = b then None else Some (Printf.sprintf "%s: engine %d vs %d" label a b)
+
+let first_diff diffs = match List.filter_map Fun.id diffs with [] -> Agree | d :: _ -> Disagree d
+
+let vs_naive (p : Gen.program) =
+  let key r = List.map (fun d -> (d.Report.kind, d.Report.loc)) r.Report.diagnostics in
+  let er = Engine.check ~model:p.Gen.model p.Gen.events in
+  let nr = Naive.check ~model:p.Gen.model p.Gen.events in
+  if key er = key nr then Agree
+  else
+    Disagree
+      (Printf.sprintf "diagnostic sequences differ (engine %d diag(s), naive %d)"
+         (List.length er.Report.diagnostics)
+         (List.length nr.Report.diagnostics))
+
+let vs_lint (p : Gen.program) =
+  if Gen.has_lint_control p then Skip "lint suppression controls present"
+  else begin
+    let er = Engine.check ~model:p.Gen.model p.Gen.events in
+    let lr = Lint.report_of (Lint.run ~model:p.Gen.model p.Gen.events) in
+    let diffs =
+      [
+        count_diff "duplicate-writeback"
+          (Report.count Report.Duplicate_writeback er)
+          (Report.count Report.Duplicate_writeback lr);
+        count_diff "unnecessary-writeback"
+          (Report.count Report.Unnecessary_writeback er)
+          (Report.count Report.Unnecessary_writeback lr);
+      ]
+      @
+      if tx_scoped p.Gen.events && not (Gen.has_exclusion p) then
+        [
+          count_diff "missing-log"
+            (Report.count Report.Missing_log er)
+            (Report.count Report.Missing_log lr);
+        ]
+      else []
+    in
+    first_diff diffs
+  end
+
+(* Bytes the engine cannot yet guarantee durable, from the final shadow
+   snapshot. *)
+let engine_unpersisted (p : Gen.program) =
+  let _, snap = Engine.check_with_snapshot ~model:p.Gen.model p.Gen.events in
+  let set = Bytes.make p.Gen.pm_size '\000' in
+  List.iter
+    (fun (r : Engine.range_status) ->
+      if not (Interval.ends_by r.Engine.persist snap.Engine.timestamp) then
+        Bytes.fill set r.Engine.lo (r.Engine.hi - r.Engine.lo) '\001')
+    snap.Engine.ranges;
+  set
+
+let vs_pmemcheck (p : Gen.program) =
+  if p.Gen.model <> Model.X86 then Skip "pmemcheck models x86 only"
+  else if Gen.has_exclusion p then Skip "pmemcheck has no exclusion scopes"
+  else if not (ops_in_bounds p) then Skip "ops outside the shadowed range"
+  else begin
+    let pc = Pmemcheck.create ~size:p.Gen.pm_size in
+    let sink = Pmemcheck.sink pc in
+    Array.iter (fun (e : Event.t) -> sink.Sink.emit e.Event.kind e.Event.loc) p.Gen.events;
+    let pc_set = Bytes.make p.Gen.pm_size '\000' in
+    List.iter
+      (fun (addr, size) -> Bytes.fill pc_set addr size '\001')
+      (Pmemcheck.unpersisted_ranges pc);
+    let en_set = engine_unpersisted p in
+    let byte_diff =
+      if Bytes.equal pc_set en_set then None
+      else begin
+        let i = ref 0 in
+        while Bytes.get pc_set !i = Bytes.get en_set !i do
+          incr i
+        done;
+        Some
+          (Printf.sprintf "unpersisted byte sets differ first at 0x%x (engine %b, pmemcheck %b)"
+             !i
+             (Bytes.get en_set !i = '\001')
+             (Bytes.get pc_set !i = '\001'))
+      end
+    in
+    let er = Engine.check ~model:p.Gen.model p.Gen.events in
+    let pr = Pmemcheck.result pc in
+    let diffs =
+      [ byte_diff ]
+      @ (if tx_scoped p.Gen.events then
+           [
+             count_diff "missing-log"
+               (Report.count Report.Missing_log er)
+               (Report.count Report.Missing_log pr);
+           ]
+         else [])
+      @ [
+          count_diff "duplicate-log"
+            (Report.count Report.Duplicate_log er)
+            (Report.count Report.Duplicate_log pr);
+        ]
+    in
+    first_diff diffs
+  end
+
+let checker_string = function
+  | Event.Is_persist { addr; size } -> Printf.sprintf "isPersist(0x%x,%d)" addr size
+  | Event.Is_ordered_before { a_addr; a_size; b_addr; b_size } ->
+    Printf.sprintf "isOrderedBefore(0x%x,%d; 0x%x,%d)" a_addr a_size b_addr b_size
+
+let vs_oracle (p : Gen.program) =
+  match Oracle.evaluate p with
+  | None -> Skip "not oracle-eligible (tx/control entries or unaligned ranges)"
+  | Some { Oracle.exhaustive = false; _ } -> Skip "crash-state enumeration truncated"
+  | Some { Oracle.points; _ } ->
+    let report = Engine.check ~model:p.Gen.model p.Gen.events in
+    let engine_holds idx =
+      let loc = p.Gen.events.(idx).Event.loc in
+      not
+        (List.exists
+           (fun (d : Report.diagnostic) ->
+             (d.Report.kind = Report.Not_persisted || d.Report.kind = Report.Not_ordered)
+             && Loc.equal d.Report.loc loc)
+           report.Report.diagnostics)
+    in
+    let bad =
+      List.find_opt (fun (pt : Oracle.point) -> engine_holds pt.Oracle.index <> pt.Oracle.holds) points
+    in
+    (match bad with
+    | None -> Agree
+    | Some pt ->
+      Disagree
+        (Printf.sprintf "%s at event %d: engine says %s, enumeration says %s"
+           (checker_string pt.Oracle.checker)
+           pt.Oracle.index
+           (if pt.Oracle.holds then "FAIL" else "pass")
+           (if pt.Oracle.holds then "holds" else "violated")))
+
+let vs_crashtest (p : Gen.program) =
+  if p.Gen.model = Model.Eadr then Skip "the simulated device does not model eADR"
+  else if not (ops_in_bounds p) then Skip "ops outside the simulated device"
+  else if Gen.has_exclusion p then
+    (* A write inside an exclusion hole never updates the engine's shadow,
+       so an older claim can outlive the data it described. *)
+    Skip "exclusion holes hide writes from the engine's shadow state"
+  else if Event.op_count p.Gen.events = 0 then Agree
+  else begin
+    let apply m (e : Event.t) ~payload =
+      match e.Event.kind with
+      | Event.Op (Model.Write { addr; size }) ->
+        Machine.store m ~addr (Bytes.make size (payload ()))
+      | Event.Op (Model.Clwb { addr; size }) -> Machine.clwb m ~addr ~size
+      | Event.Op Model.Sfence -> Machine.sfence m
+      | Event.Op Model.Ofence -> Machine.ofence m
+      | Event.Op Model.Dfence -> Machine.dfence m
+      | _ -> ()
+    in
+    let payload_counter () =
+      let k = ref 0 in
+      fun () ->
+        let v = Char.chr ((!k mod 250) + 1) in
+        incr k;
+        v
+    in
+    (* First replay: the final volatile content the durable claims are
+       checked against. *)
+    let probe = Machine.create ~size:p.Gen.pm_size () in
+    let pay = payload_counter () in
+    Array.iter (fun e -> apply probe e ~payload:(fun () -> pay ())) p.Gen.events;
+    let final = Machine.volatile_image probe in
+    let _, snap = Engine.check_with_snapshot ~model:p.Gen.model p.Gen.events in
+    let claims =
+      List.filter
+        (fun (r : Engine.range_status) ->
+          Interval.ends_by r.Engine.persist snap.Engine.timestamp)
+        snap.Engine.ranges
+    in
+    let machine = Machine.create ~track_versions:true ~size:p.Gen.pm_size () in
+    let pay = payload_counter () in
+    let steps = Array.length p.Gen.events in
+    let cur = ref (-1) in
+    let step i =
+      cur := i;
+      apply machine p.Gen.events.(i) ~payload:(fun () -> pay ())
+    in
+    let recover img =
+      (* Only the final crash point carries the engine's end-of-trace
+         durability claims; earlier points assert nothing. *)
+      if !cur <> steps - 1 then Ok ()
+      else
+        match
+          List.find_opt
+            (fun (r : Engine.range_status) ->
+              not
+                (String.equal
+                   (Bytes.sub_string img r.Engine.lo (r.Engine.hi - r.Engine.lo))
+                   (Bytes.sub_string final r.Engine.lo (r.Engine.hi - r.Engine.lo))))
+            claims
+        with
+        | None -> Ok ()
+        | Some r ->
+          Error
+            (Printf.sprintf
+               "engine claims [0x%x,+%d) persisted but a reachable image disagrees" r.Engine.lo
+               (r.Engine.hi - r.Engine.lo))
+    in
+    let verdict = Crashtest.run ~machine ~recover ~steps ~step () in
+    match verdict.Crashtest.failures with
+    | [] -> Agree
+    | f :: _ -> Disagree f.Crashtest.message
+  end
+
+let compare_pair pair p =
+  match pair with
+  | Engine_vs_naive -> vs_naive p
+  | Engine_vs_lint -> vs_lint p
+  | Engine_vs_pmemcheck -> vs_pmemcheck p
+  | Engine_vs_oracle -> vs_oracle p
+  | Engine_vs_crashtest -> vs_crashtest p
+
+let run p = List.map (fun pair -> (pair, compare_pair pair p)) all_pairs
+
+let disagrees pair p = match compare_pair pair p with Disagree _ -> true | _ -> false

@@ -1,0 +1,65 @@
+(** Pairwise differential contracts between the checkers.
+
+    Each pair is compared only where the tools' documented precision
+    contracts overlap; everything else is reported as [Skip] with the
+    reason, never silently dropped. The contracts:
+
+    - {b engine/naive}: identical diagnostic (kind, loc) sequences on
+      every trace — {!Pmtest_baseline.Naive_engine} is a semantic twin.
+    - {b engine/lint}: the lint documents that [Duplicate_flush] and
+      [Unnecessary_flush] reproduce the engine's performance
+      diagnostics exactly (same models, same exclusion holes), so those
+      counts must match; [Missing_log] counts must match when the trace
+      has no exclusion holes and every transaction is inside a TX
+      checker scope (the engine only checks logging inside a scope).
+      Skipped when lint suppression controls are present.
+    - {b engine/pmemcheck}: x86, in-bounds, no exclusions. The byte set
+      pmemcheck holds not-yet-durable must equal the bytes of engine
+      shadow ranges whose persist interval is still open; [Missing_log]
+      (when TX-scoped) and [Duplicate_log] counts must match. Warning
+      {e kinds} for writebacks are not compared — the tools classify
+      redundant-vs-unnecessary differently by design.
+    - {b engine/oracle}: on {!Gen.oracle_eligible} programs with
+      exhaustive enumeration, every checker verdict must equal the
+      {!Oracle} ground truth (isPersist/isOrderedBefore sound {e and}
+      complete).
+    - {b engine/crashtest}: not under eADR (the simulated device keeps
+      stores volatile) and no exclusion holes (a write inside a hole
+      never updates the engine's shadow, so an older persisted claim can
+      outlive the data it described). Replaying the program as
+      {!Pmtest_crashtest} steps, every durable image at the final crash
+      point must contain the content of every range the engine claims
+      persisted. *)
+
+open Pmtest_trace
+
+type pair =
+  | Engine_vs_naive
+  | Engine_vs_lint
+  | Engine_vs_pmemcheck
+  | Engine_vs_oracle
+  | Engine_vs_crashtest
+
+type outcome =
+  | Agree
+  | Disagree of string  (** Human-readable mismatch description. *)
+  | Skip of string  (** Why the contract does not apply to this program. *)
+
+val all_pairs : pair list
+val pair_name : pair -> string
+
+val compare_pair : pair -> Gen.program -> outcome
+(** Deterministic: depends only on the program. *)
+
+val run : Gen.program -> (pair * outcome) list
+(** Every pair in {!all_pairs} order. *)
+
+val disagrees : pair -> Gen.program -> bool
+(** [compare_pair] is [Disagree _] — the predicate handed to
+    {!Shrink.minimize}, so a shrink step that makes the contract
+    inapplicable ([Skip]) does not count as preserving the bug. *)
+
+val tx_scoped : Event.t array -> bool
+(** Every [Tx_begin] opens inside a TX checker scope — the precondition
+    for comparing [Missing_log] across tools (the engine only enforces
+    logging inside a scope). *)

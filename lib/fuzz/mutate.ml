@@ -1,0 +1,414 @@
+open Pmtest_model
+open Pmtest_trace
+module Report = Pmtest_core.Report
+module Case = Pmtest_bugdb.Case
+module Catalog = Pmtest_bugdb.Catalog
+
+type kind = Drop_clwb | Drop_fence | Swap_fence | Widen_write | Drop_tx_add
+type claim = { tool : Repro.tool; diag : Report.kind }
+
+type seeded = {
+  case_id : string;
+  mutation : kind;
+  at : int;
+  program : Gen.program;
+  claims : claim list;
+}
+
+type outcome = { seeded : seeded; missed : claim list; shrunk : Event.t array }
+
+let kind_name = function
+  | Drop_clwb -> "drop-clwb"
+  | Drop_fence -> "drop-fence"
+  | Swap_fence -> "swap-fence"
+  | Widen_write -> "widen-write"
+  | Drop_tx_add -> "drop-tx-add"
+
+let all_kinds = [ Drop_clwb; Drop_fence; Swap_fence; Widen_write; Drop_tx_add ]
+
+let overlaps (a, asz) (b, bsz) = a < b + bsz && b < a + asz
+
+(* The operators only reason about x86 traces. Most additionally demand
+   no control entries at all — exclusion holes change which tool sees
+   which byte and would turn filter misses into noise; [Drop_tx_add]
+   merely requires that no hole can touch the write it exposes. *)
+let x86_ops events =
+  Array.for_all
+    (fun (e : Event.t) ->
+      match e.Event.kind with Event.Op op -> Model.valid_op Model.X86 op | _ -> true)
+    events
+
+let control_free events =
+  Array.for_all
+    (fun (e : Event.t) ->
+      match e.Event.kind with Event.Control _ -> false | _ -> true)
+    events
+
+let control_range (e : Event.t) =
+  match e.Event.kind with
+  | Event.Control (Event.Exclude { addr; size } | Event.Include { addr; size }) ->
+    Some (addr, size)
+  | _ -> None
+
+let lint_control_free events =
+  Array.for_all
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Control (Event.Lint_off _ | Event.Lint_on _) -> false
+      | _ -> true)
+    events
+
+let pm_size_of events =
+  let hi =
+    Array.fold_left
+      (fun acc (e : Event.t) ->
+        match e.Event.kind with
+        | Event.Op (Model.Write { addr; size } | Model.Clwb { addr; size })
+        | Event.Tx (Event.Tx_add { addr; size })
+        | Event.Checker (Event.Is_persist { addr; size }) ->
+          max acc (addr + size)
+        | Event.Checker (Event.Is_ordered_before { a_addr; a_size; b_addr; b_size }) ->
+          max acc (max (a_addr + a_size) (b_addr + b_size))
+        | _ -> acc)
+      1 events
+  in
+  (hi + Model.cache_line - 1) / Model.cache_line * Model.cache_line
+
+let remove_at events i =
+  let n = Array.length events in
+  Array.init (n - 1) (fun k -> if k < i then events.(k) else events.(k + 1))
+
+let clwb_range (e : Event.t) =
+  match e.Event.kind with Event.Op (Model.Clwb { addr; size }) -> Some (addr, size) | _ -> None
+
+let write_range (e : Event.t) =
+  match e.Event.kind with Event.Op (Model.Write { addr; size }) -> Some (addr, size) | _ -> None
+
+let add_range (e : Event.t) =
+  match e.Event.kind with Event.Tx (Event.Tx_add { addr; size }) -> Some (addr, size) | _ -> None
+
+let is_drain_fence (e : Event.t) =
+  match e.Event.kind with Event.Op (Model.Sfence | Model.Dfence) -> true | _ -> false
+
+(* [any events lo hi f]: does f hold for some index in [lo, hi)? *)
+let any events lo hi f =
+  let hi = min hi (Array.length events) in
+  let rec go i = i < hi && (f i events.(i) || go (i + 1)) in
+  go (max lo 0)
+
+let persist_checker_after events k0 ~hits =
+  any events k0 (Array.length events) (fun _ (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Checker (Event.Is_persist { addr; size }) -> hits (addr, size)
+      | _ -> false)
+
+let intersect (a, asz) (b, bsz) =
+  let lo = max a b and hi = min (a + asz) (b + bsz) in
+  if lo < hi then Some (lo, hi - lo) else None
+
+let engine_np = { tool = Repro.Engine; diag = Report.Not_persisted }
+let pmemcheck_np = { tool = Repro.Pmemcheck; diag = Report.Not_persisted }
+let lint_unflushed = { tool = Repro.Lint; diag = Report.Lint_unflushed_write }
+let lint_unfenced = { tool = Repro.Lint; diag = Report.Lint_unfenced_flush }
+let missing_log tool = { tool; diag = Report.Missing_log }
+
+(* Drop a clwb that is the only writeback overlapping its range, when a
+   prior store dirtied the range and no later store rewrites it — the
+   un-flushed status then survives to the end of the trace. *)
+let drop_clwb events =
+  let n = Array.length events in
+  let rec find i =
+    if i >= n then None
+    else
+      match clwb_range events.(i) with
+      | None -> find (i + 1)
+      | Some r ->
+        let sole_flush =
+          not
+            (any events 0 n (fun j e ->
+                 j <> i && match clwb_range e with Some r' -> overlaps r r' | None -> false))
+        in
+        let prior_write j e =
+          ignore j;
+          match write_range e with Some w -> overlaps w r | None -> false
+        in
+        let dirtied = any events 0 i prior_write in
+        let rewritten = any events (i + 1) n prior_write in
+        if sole_flush && dirtied && not rewritten then begin
+          (* The engine only sees the bug through a checker: claim it
+             when a later isPersist covers still-dirty bytes. *)
+          let dirty_bytes c =
+            any events 0 i (fun _ e ->
+                match write_range e with
+                | Some w -> (
+                  match intersect w r with Some wr -> overlaps wr c | None -> false)
+                | None -> false)
+          in
+          let claims =
+            [ pmemcheck_np; lint_unflushed ]
+            @ if persist_checker_after events (i + 1) ~hits:dirty_bytes then [ engine_np ] else []
+          in
+          Some (i, remove_at events i, claims)
+        end
+        else find (i + 1)
+  in
+  find 0
+
+(* A clwb at [j] whose fence never comes once the trace's last drain
+   fence is removed. [j] must be the first flush after the last store
+   that dirtied its range (otherwise both tools attribute the flush to
+   an earlier, already-fenced writeback), with no drain fence between
+   store and flush or after the flush, and no later store resetting the
+   range. *)
+let unfenced_flush_claims events ~fence_idx =
+  let n = Array.length events in
+  let overlapping_write r _ e =
+    match write_range e with Some w -> overlaps w r | None -> false
+  in
+  let rec find j =
+    if j >= fence_idx then None
+    else
+      match clwb_range events.(j) with
+      | None -> find (j + 1)
+      | Some r ->
+        let fence_after = any events (j + 1) fence_idx (fun _ e -> is_drain_fence e) in
+        let last_write =
+          let rec back k =
+            if k < 0 then None else if overlapping_write r k events.(k) then Some k else back (k - 1)
+          in
+          back (j - 1)
+        in
+        let ok =
+          (not fence_after)
+          && (match last_write with
+             | None -> false
+             | Some jw ->
+               (not (any events (jw + 1) j (fun _ e -> is_drain_fence e)))
+               && not
+                    (any events (jw + 1) j (fun _ e ->
+                         match clwb_range e with Some r' -> overlaps r r' | None -> false)))
+          && not (any events (j + 1) n (overlapping_write r))
+        in
+        if ok then Some [ pmemcheck_np; lint_unfenced ] else find (j + 1)
+  in
+  find 0
+
+let drop_fence events =
+  let n = Array.length events in
+  let rec last_fence i = if i < 0 then None else if is_drain_fence events.(i) then Some i else last_fence (i - 1) in
+  match last_fence (n - 1) with
+  | None -> None
+  | Some i -> (
+    match unfenced_flush_claims events ~fence_idx:i with
+    | Some claims -> Some (i, remove_at events i, claims)
+    | None -> None)
+
+(* Swap an adjacent [clwb; fence] pair when the fence is the trace's
+   last and the clwb is the first flush after the last store that
+   dirtied its range: after the swap the flush has no fence left to
+   complete it, so the store's durability silently evaporates. *)
+let swap_fence events =
+  let n = Array.length events in
+  let overlapping_write r _ e =
+    match write_range e with Some w -> overlaps w r | None -> false
+  in
+  let rec find i =
+    if i + 1 >= n then None
+    else
+      match clwb_range events.(i) with
+      | Some r
+        when is_drain_fence events.(i + 1)
+             && not (any events (i + 2) n (fun _ e -> is_drain_fence e)) -> (
+        let last_write =
+          let rec back k =
+            if k < 0 then None
+            else if overlapping_write r k events.(k) then Some k
+            else back (k - 1)
+          in
+          back (i - 1)
+        in
+        match last_write with
+        | Some jw
+          when (not
+                  (any events (jw + 1) i (fun _ e ->
+                       match clwb_range e with Some r' -> overlaps r r' | None -> false)))
+               && not (any events (i + 2) n (overlapping_write r)) ->
+          let w = match write_range events.(jw) with Some w -> w | None -> assert false in
+          let dirty = match intersect w r with Some d -> d | None -> assert false in
+          let mutant = Array.copy events in
+          mutant.(i) <- events.(i + 1);
+          mutant.(i + 1) <- events.(i);
+          let claims =
+            [ pmemcheck_np; lint_unfenced ]
+            @
+            if persist_checker_after events (i + 2) ~hits:(overlaps dirty) then [ engine_np ]
+            else []
+          in
+          Some (i, mutant, claims)
+        | _ -> find (i + 1))
+      | _ -> find (i + 1)
+  in
+  find 0
+
+(* Track transaction depth at each index so widening stays outside
+   transactions (no Missing_log side effects) and tx_add dropping stays
+   inside the right block. *)
+let tx_depths events =
+  let depth = ref 0 in
+  Array.map
+    (fun (e : Event.t) ->
+      let d = !depth in
+      (match e.Event.kind with
+      | Event.Tx Event.Tx_begin -> incr depth
+      | Event.Tx (Event.Tx_commit | Event.Tx_abort) -> depth := max 0 (!depth - 1)
+      | _ -> ());
+      d)
+    events
+
+let widen_write events =
+  let n = Array.length events in
+  let depths = tx_depths events in
+  let ext_of (addr, size) = (addr + size, Model.cache_line) in
+  let touches ext (e : Event.t) =
+    match e.Event.kind with
+    | Event.Op (Model.Write { addr; size } | Model.Clwb { addr; size })
+    | Event.Tx (Event.Tx_add { addr; size })
+    | Event.Checker (Event.Is_persist { addr; size }) ->
+      overlaps ext (addr, size)
+    | Event.Checker (Event.Is_ordered_before { a_addr; a_size; b_addr; b_size }) ->
+      overlaps ext (a_addr, a_size) || overlaps ext (b_addr, b_size)
+    | _ -> false
+  in
+  let rec find i =
+    if i >= n then None
+    else
+      match write_range events.(i) with
+      | Some (addr, size) when depths.(i) = 0 ->
+        let ext = ext_of (addr, size) in
+        if not (any events 0 n (fun _ e -> touches ext e)) then begin
+          let mutant = Array.copy events in
+          mutant.(i) <-
+            {
+              (events.(i)) with
+              Event.kind = Event.Op (Model.Write { addr; size = size + Model.cache_line });
+            };
+          Some (i, mutant, [ pmemcheck_np; lint_unflushed ])
+        end
+        else find (i + 1)
+      | _ -> find (i + 1)
+  in
+  find 0
+
+(* Every tool scopes undo-log coverage to the enclosing top-level
+   transaction (the engine resets its log tree at a depth-0 [Tx_begin],
+   pmemcheck clears its logged bytes when depth returns to 0, the lint
+   resets at a top-level begin), so the no-other-backup condition only
+   has to hold within that block, not across the whole trace. *)
+let drop_tx_add events =
+  let n = Array.length events in
+  let depths = tx_depths events in
+  let rec find i =
+    if i >= n then None
+    else
+      match add_range events.(i) with
+      | Some r when depths.(i) >= 1 ->
+        (* [depths.(k)] is the depth before event [k]: the enclosing
+           top-level block spans from the last depth-0 index (its
+           [Tx_begin]) to the first depth-0 index after [i] (just past
+           its closing commit). *)
+        let bstart =
+          let rec back k = if k <= 0 then 0 else if depths.(k) = 0 then k else back (k - 1) in
+          back i
+        in
+        let bend =
+          let rec go j = if j >= n then n else if depths.(j) = 0 then j else go (j + 1) in
+          go (i + 1)
+        in
+        let protected_write =
+          let rec go j =
+            if j >= bend then None
+            else
+              match write_range events.(j) with
+              | Some w when overlaps w r -> Some w
+              | _ -> go (j + 1)
+          in
+          go (i + 1)
+        in
+        (match protected_write with
+        | Some w
+          when (not
+                  (any events bstart bend (fun j e ->
+                       j <> i
+                       && match add_range e with Some r' -> overlaps w r' | None -> false)))
+               (* No exclusion hole may ever touch the exposed write: the
+                  engine and the lint carve holes out of the store before
+                  checking coverage. *)
+               && not
+                    (any events 0 n (fun _ e ->
+                         match control_range e with Some c -> overlaps c w | None -> false))
+          ->
+          let claims =
+            [ missing_log Repro.Pmemcheck ]
+            @ (if lint_control_free events then [ missing_log Repro.Lint ] else [])
+            @ if Cross.tx_scoped events then [ missing_log Repro.Engine ] else []
+          in
+          Some (i, remove_at events i, claims)
+        | _ -> find (i + 1))
+      | _ -> find (i + 1)
+  in
+  find 0
+
+let candidate mutation events =
+  match mutation with
+  | Drop_clwb -> drop_clwb events
+  | Drop_fence -> drop_fence events
+  | Swap_fence -> swap_fence events
+  | Widen_write -> widen_write events
+  | Drop_tx_add -> drop_tx_add events
+
+let flags (p : Gen.program) cl = Report.count cl.diag (Repro.tool_report cl.tool p) > 0
+
+let seed_case (c : Case.t) =
+  let events = Case.trace_clean c in
+  if not (x86_ops events) then []
+  else begin
+    let clean = { Gen.model = Model.X86; pm_size = pm_size_of events; events } in
+    List.filter_map
+      (fun mutation ->
+        let applicable =
+          match mutation with Drop_tx_add -> true | _ -> control_free events
+        in
+        match (if applicable then candidate mutation events else None) with
+        | None -> None
+        | Some (at, mutant, claims) ->
+          (* Only claim diagnostics the clean twin does not already
+             raise: the mutation must be what introduces the finding. *)
+          let claims = List.filter (fun cl -> not (flags clean cl)) claims in
+          if claims = [] then None
+          else
+            Some
+              {
+                case_id = c.Case.id;
+                mutation;
+                at;
+                program = { Gen.model = Model.X86; pm_size = pm_size_of mutant; events = mutant };
+                claims;
+              })
+      all_kinds
+  end
+
+let seed_catalog ?(cases = Catalog.all) () = List.concat_map seed_case cases
+
+let check ?(shrink = true) s =
+  let missed = List.filter (fun cl -> not (flags s.program cl)) s.claims in
+  let shrunk =
+    if missed <> [] || not shrink then s.program.Gen.events
+    else begin
+      let pred evs =
+        let p = { s.program with Gen.events = evs } in
+        List.for_all (flags p) s.claims
+      in
+      Shrink.minimize ~pred s.program.Gen.events
+    end
+  in
+  { seeded = s; missed; shrunk }

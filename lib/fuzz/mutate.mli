@@ -1,0 +1,54 @@
+(** Mutation mode: seed known-bad edits into the bug catalog's clean
+    twins and assert the checkers still catch them.
+
+    Each mutation operator models one bug class from the paper's Table 5
+    and is only applied where static candidate filters {e guarantee} the
+    edit introduces that bug (e.g. a [clwb] is only dropped when no other
+    writeback covers the range and a prior store dirtied it), so a
+    missed claim is a real detection regression, not filter noise. The
+    claimed (tool, diagnostic) pairs are additionally required to be
+    absent from the clean twin, so it is the mutation that introduces
+    the finding. *)
+
+open Pmtest_trace
+module Report := Pmtest_core.Report
+module Case := Pmtest_bugdb.Case
+
+type kind =
+  | Drop_clwb  (** Remove a writeback nothing else covers. *)
+  | Drop_fence  (** Remove the final fence, leaving a flush pending. *)
+  | Swap_fence  (** Swap an adjacent [clwb; sfence] pair. *)
+  | Widen_write  (** Extend a store over bytes nothing writes back. *)
+  | Drop_tx_add  (** Remove an undo-log backup a later store needs. *)
+
+type claim = { tool : Repro.tool; diag : Report.kind }
+
+type seeded = {
+  case_id : string;
+  mutation : kind;
+  at : int;  (** Event index of the mutated entry in the clean trace. *)
+  program : Gen.program;
+  claims : claim list;  (** Every tool whose contract covers this bug class. *)
+}
+
+type outcome = {
+  seeded : seeded;
+  missed : claim list;  (** Claims no longer flagged — detection regressions. *)
+  shrunk : Event.t array;
+      (** Minimal trace on which every claim still fires (equals the
+          mutant when shrinking is disabled or a claim was missed). *)
+}
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+val seed_case : Case.t -> seeded list
+(** At most one mutant per operator per case; empty when the clean trace
+    is not x86 or no candidate passes the filters. *)
+
+val seed_catalog : ?cases:Case.t list -> unit -> seeded list
+(** Defaults to {!Pmtest_bugdb.Catalog.all}. *)
+
+val check : ?shrink:bool -> seeded -> outcome
+(** [shrink] defaults to [true]; shrinking preserves "every claimed tool
+    still flags its diagnostic". *)

@@ -1,0 +1,200 @@
+open Pmtest_model
+open Pmtest_trace
+module Machine = Pmtest_pmem.Machine
+
+type point = { index : int; checker : Event.checker; holds : bool }
+type t = { points : point list; exhaustive : bool }
+
+let range_eq img vol addr size =
+  let rec go k =
+    k >= size || (Bytes.get img (addr + k) = Bytes.get vol (addr + k) && go (k + 1))
+  in
+  go 0
+
+(* A model simulation the generic driver below steps through. [enum_now]
+   enumerates every durable image reachable by crashing at this instant
+   and returns [false] if it gave up at the limit. *)
+type sim = {
+  write : addr:int -> char -> unit;
+  op : Model.op -> unit;
+  enum_now : (Bytes.t -> unit) -> bool;
+  volatile : unit -> Bytes.t;
+}
+
+let x86_sim ~limit ~size =
+  let m = Machine.create ~track_versions:true ~size () in
+  {
+    write = (fun ~addr v -> Machine.store m ~addr (Bytes.make Gen.write_size v));
+    op =
+      (function
+      | Model.Clwb { addr; size } -> Machine.clwb m ~addr ~size
+      | Model.Sfence -> Machine.sfence m
+      | Model.Ofence -> Machine.ofence m
+      | Model.Dfence -> Machine.dfence m
+      | Model.Write _ -> assert false);
+    enum_now = (fun f -> Machine.iter_crash_states ~limit m f);
+    volatile = (fun () -> Machine.volatile_image m);
+  }
+
+(* eADR: caches are in the persistence domain, so the only image reachable
+   by crashing now is the volatile view itself. *)
+let eadr_sim ~size =
+  let vol = Bytes.make size '\000' in
+  {
+    write = (fun ~addr v -> Bytes.fill vol addr Gen.write_size v);
+    op = (fun _ -> ());
+    enum_now =
+      (fun f ->
+        f (Bytes.copy vol);
+        true);
+    volatile = (fun () -> Bytes.copy vol);
+  }
+
+(* HOPS: Machine.ofence only advances the epoch counter — its crash-state
+   enumerator does not honour epoch ordering, so we keep our own model.
+   State: [baseline] holds everything drained by a dfence; [pending] maps
+   each written line-start address to its undrained writes as
+   (epoch, value), newest first. A crash admits exactly the images where
+   one pending epoch [m] is in flight: epochs below [m] fully durable,
+   epochs above absent, and each line independently keeps any prefix of
+   its epoch-[m] writes (full-line writes, so a prefix is one value). *)
+let hops_sim ~limit ~size =
+  let volatile = Bytes.make size '\000' in
+  let baseline = Bytes.make size '\000' in
+  let pending : (int, (int * char) list) Hashtbl.t = Hashtbl.create 8 in
+  let epoch = ref 0 in
+  let enum_now f =
+    let groups = Hashtbl.fold (fun addr ws acc -> (addr, ws) :: acc) pending [] in
+    let epochs =
+      List.sort_uniq compare (List.concat_map (fun (_, ws) -> List.map fst ws) groups)
+    in
+    if epochs = [] then begin
+      f (Bytes.copy baseline);
+      true
+    end
+    else begin
+      let count = ref 0 in
+      let emit img =
+        incr count;
+        if !count > limit then raise Exit;
+        f img
+      in
+      try
+        List.iter
+          (fun m ->
+            let base = Bytes.copy baseline in
+            List.iter
+              (fun (addr, ws) ->
+                match List.find_opt (fun (e, _) -> e < m) ws with
+                | Some (_, v) -> Bytes.fill base addr Gen.write_size v
+                | None -> ())
+              groups;
+            let in_flight =
+              List.filter_map
+                (fun (addr, ws) ->
+                  match List.filter (fun (e, _) -> e = m) ws with
+                  | [] -> None
+                  | l -> Some (addr, List.map snd l))
+                groups
+            in
+            let rec product lines img =
+              match lines with
+              | [] -> emit img
+              | (addr, vals) :: rest ->
+                product rest img;
+                List.iter
+                  (fun v ->
+                    let img' = Bytes.copy img in
+                    Bytes.fill img' addr Gen.write_size v;
+                    product rest img')
+                  vals
+            in
+            product in_flight base)
+          epochs;
+        true
+      with Exit -> false
+    end
+  in
+  {
+    write =
+      (fun ~addr v ->
+        Bytes.fill volatile addr Gen.write_size v;
+        let ws = Option.value ~default:[] (Hashtbl.find_opt pending addr) in
+        Hashtbl.replace pending addr ((!epoch, v) :: ws));
+    op =
+      (function
+      | Model.Ofence -> incr epoch
+      | Model.Dfence ->
+        Bytes.blit volatile 0 baseline 0 size;
+        Hashtbl.reset pending;
+        incr epoch
+      | Model.Clwb _ | Model.Sfence -> ()
+      | Model.Write _ -> assert false);
+    enum_now;
+    volatile = (fun () -> Bytes.copy volatile);
+  }
+
+let run sim (p : Gen.program) =
+  let exhaustive = ref true in
+  (* Every image reachable at any crash point so far, deduplicated. *)
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let note () =
+    if not (sim.enum_now (fun img -> Hashtbl.replace seen (Bytes.to_string img) ())) then
+      exhaustive := false
+  in
+  note ();
+  let written = Hashtbl.create 8 in
+  let next_write = ref 0 in
+  let points = ref [] in
+  Array.iteri
+    (fun i (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Op (Model.Write { addr; size = _ }) ->
+        let v = Char.chr ((!next_write mod 250) + 1) in
+        incr next_write;
+        sim.write ~addr v;
+        Hashtbl.replace written addr ();
+        note ()
+      | Event.Op op ->
+        sim.op op;
+        note ()
+      | Event.Checker c ->
+        let vol = sim.volatile () in
+        let holds =
+          match c with
+          | Event.Is_persist { addr; size } ->
+            let ok = ref true in
+            if
+              not
+                (sim.enum_now (fun img ->
+                     if not (range_eq img vol addr size) then ok := false))
+            then exhaustive := false;
+            !ok
+          | Event.Is_ordered_before { a_addr; a_size; b_addr; b_size } ->
+            if not (Hashtbl.mem written a_addr && Hashtbl.mem written b_addr) then true
+            else begin
+              let bad = ref false in
+              Hashtbl.iter
+                (fun img_s () ->
+                  let img = Bytes.of_string img_s in
+                  if range_eq img vol b_addr b_size && not (range_eq img vol a_addr a_size)
+                  then bad := true)
+                seen;
+              not !bad
+            end
+        in
+        points := { index = i; checker = c; holds } :: !points
+      | Event.Tx _ | Event.Control _ -> ())
+    p.Gen.events;
+  { points = List.rev !points; exhaustive = !exhaustive }
+
+let evaluate ?(limit = 100_000) (p : Gen.program) =
+  if not (Gen.oracle_eligible p) then None
+  else
+    let sim =
+      match p.Gen.model with
+      | Model.X86 -> x86_sim ~limit ~size:p.Gen.pm_size
+      | Model.Hops -> hops_sim ~limit ~size:p.Gen.pm_size
+      | Model.Eadr -> eadr_sim ~size:p.Gen.pm_size
+    in
+    Some (run sim p)

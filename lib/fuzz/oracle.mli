@@ -1,0 +1,47 @@
+(** Ground truth for checker verdicts by crash-state enumeration.
+
+    For {!Gen.oracle_eligible} programs (straight-line, line-aligned
+    writes) this module replays the ops with a distinguishable payload
+    per write and enumerates every durable image the persistency model
+    admits, then decides each embedded checker exactly:
+
+    - [isPersist addr size] at position [i] holds iff {e every} image
+      reachable by crashing at position [i] matches the volatile content
+      of the range;
+    - [isOrderedBefore A B] at position [i] is violated iff {e some}
+      image reachable at {e any} crash point up to [i] contains B's
+      last-written value while A's last-written value is absent. If
+      either range was never written the assertion holds vacuously,
+      matching the engine's vacuous pass.
+
+    Enumeration strategy per model:
+    - {b x86}: the version-tracked {!Pmtest_pmem.Machine} enumerator
+      (independent per-line choice among store snapshots);
+    - {b HOPS}: a custom epoch-aware enumerator — {!Machine} ignores
+      [ofence] for crash purposes, which would make it unsound as a HOPS
+      ordering oracle. Writes drained by a [dfence] are durable; of the
+      still-pending epochs, one epoch [m] is in flight (everything
+      before [m] durable, everything after absent, per-line prefixes of
+      epoch-[m] writes chosen independently);
+    - {b eADR}: a store is durable when it executes, so the reachable
+      images are exactly the volatile snapshots after each op. *)
+
+open Pmtest_trace
+
+type point = {
+  index : int;  (** Position of the checker in [program.events]. *)
+  checker : Event.checker;
+  holds : bool;  (** Ground-truth verdict. *)
+}
+
+type t = {
+  points : point list;  (** In trace order. *)
+  exhaustive : bool;
+      (** [false] if enumeration was truncated at [limit] anywhere;
+          verdicts are then best-effort and differential contracts
+          should skip the program. *)
+}
+
+val evaluate : ?limit:int -> Gen.program -> t option
+(** [None] if the program is not {!Gen.oracle_eligible}. [limit]
+    (default 100_000) bounds images per crash point. *)

@@ -1,0 +1,256 @@
+open Pmtest_model
+open Pmtest_trace
+module Report = Pmtest_core.Report
+module Engine = Pmtest_core.Engine
+module Naive_engine = Pmtest_baseline.Naive_engine
+module Pmemcheck = Pmtest_baseline.Pmemcheck
+module Lint = Pmtest_lint.Lint
+
+type tool = Engine | Naive | Lint | Pmemcheck
+type check = Agree of Cross.pair | Flag of { tool : tool; kind : Report.kind }
+type case = { name : string; program : Gen.program; checks : check list }
+
+let tool_name = function
+  | Engine -> "engine"
+  | Naive -> "naive"
+  | Lint -> "lint"
+  | Pmemcheck -> "pmemcheck"
+
+let tool_of_name = function
+  | "engine" -> Some Engine
+  | "naive" -> Some Naive
+  | "lint" -> Some Lint
+  | "pmemcheck" -> Some Pmemcheck
+  | _ -> None
+
+let pair_of_name name = List.find_opt (fun p -> Cross.pair_name p = name) Cross.all_pairs
+
+let all_kinds =
+  [
+    Report.Not_persisted;
+    Report.Not_ordered;
+    Report.Unnecessary_writeback;
+    Report.Duplicate_writeback;
+    Report.Missing_log;
+    Report.Duplicate_log;
+    Report.Incomplete_tx;
+    Report.Invalid_op;
+    Report.Lint_unflushed_write;
+    Report.Lint_unfenced_flush;
+    Report.Lint_redundant_fence;
+    Report.Lint_write_after_flush;
+    Report.Lint_unmatched_exclude;
+  ]
+
+let kind_of_name name = List.find_opt (fun k -> Report.kind_string k = name) all_kinds
+
+let serial_text (p : Gen.program) =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf (Serial.entry_to_line e);
+      Buffer.add_char buf '\n')
+    p.Gen.events;
+  Buffer.contents buf
+
+let snippet_kind buf (e : Event.t) =
+  let p fmt = Printf.bprintf buf fmt in
+  (match e.Event.kind with
+  | Event.Op (Model.Write { addr; size }) ->
+    p "Event.Op (Model.Write { addr = 0x%x; size = %d })" addr size
+  | Event.Op (Model.Clwb { addr; size }) ->
+    p "Event.Op (Model.Clwb { addr = 0x%x; size = %d })" addr size
+  | Event.Op Model.Sfence -> p "Event.Op Model.Sfence"
+  | Event.Op Model.Ofence -> p "Event.Op Model.Ofence"
+  | Event.Op Model.Dfence -> p "Event.Op Model.Dfence"
+  | Event.Checker (Event.Is_persist { addr; size }) ->
+    p "Event.Checker (Event.Is_persist { addr = 0x%x; size = %d })" addr size
+  | Event.Checker (Event.Is_ordered_before { a_addr; a_size; b_addr; b_size }) ->
+    p
+      "Event.Checker (Event.Is_ordered_before { a_addr = 0x%x; a_size = %d; b_addr = 0x%x; \
+       b_size = %d })"
+      a_addr a_size b_addr b_size
+  | Event.Tx Event.Tx_begin -> p "Event.Tx Event.Tx_begin"
+  | Event.Tx Event.Tx_commit -> p "Event.Tx Event.Tx_commit"
+  | Event.Tx Event.Tx_abort -> p "Event.Tx Event.Tx_abort"
+  | Event.Tx (Event.Tx_add { addr; size }) ->
+    p "Event.Tx (Event.Tx_add { addr = 0x%x; size = %d })" addr size
+  | Event.Tx Event.Tx_checker_start -> p "Event.Tx Event.Tx_checker_start"
+  | Event.Tx Event.Tx_checker_end -> p "Event.Tx Event.Tx_checker_end"
+  | Event.Control (Event.Exclude { addr; size }) ->
+    p "Event.Control (Event.Exclude { addr = 0x%x; size = %d })" addr size
+  | Event.Control (Event.Include { addr; size }) ->
+    p "Event.Control (Event.Include { addr = 0x%x; size = %d })" addr size
+  | Event.Control (Event.Lint_off { rule }) ->
+    p "Event.Control (Event.Lint_off { rule = %S })" rule
+  | Event.Control (Event.Lint_on { rule }) ->
+    p "Event.Control (Event.Lint_on { rule = %S })" rule);
+  if e.Event.thread <> 0 then p " (* thread %d *)" e.Event.thread
+
+let model_constructor = function
+  | Model.X86 -> "Model.X86"
+  | Model.Hops -> "Model.Hops"
+  | Model.Eadr -> "Model.Eadr"
+
+let ocaml_snippet (p : Gen.program) =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "let trace =\n  [|\n";
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf "    Event.make (";
+      snippet_kind buf e;
+      Buffer.add_string buf ");\n")
+    p.Gen.events;
+  Printf.bprintf buf "  |]\n\nlet report = Engine.check ~model:%s trace\n"
+    (model_constructor p.Gen.model);
+  Buffer.contents buf
+
+let tool_report tool (p : Gen.program) =
+  match tool with
+  | Engine -> Engine.check ~model:p.Gen.model p.Gen.events
+  | Naive -> Naive_engine.check ~model:p.Gen.model p.Gen.events
+  | Lint -> Lint.report_of (Lint.run ~model:p.Gen.model p.Gen.events)
+  | Pmemcheck ->
+    let pc = Pmemcheck.create ~size:p.Gen.pm_size in
+    let sink = Pmemcheck.sink pc in
+    Array.iter (fun (e : Event.t) -> sink.Sink.emit e.Event.kind e.Event.loc) p.Gen.events;
+    Pmemcheck.result pc
+
+let check_to_header = function
+  | Agree pair -> Printf.sprintf "check: agree %s" (Cross.pair_name pair)
+  | Flag { tool; kind } ->
+    Printf.sprintf "check: flag %s %s" (tool_name tool) (Report.kind_string kind)
+
+let header_of_case c =
+  [
+    "pmtest-fuzz-case v1";
+    Printf.sprintf "name: %s" c.name;
+    Printf.sprintf "model: %s" (Model.kind_name c.program.Gen.model);
+    Printf.sprintf "pm_size: %d" c.program.Gen.pm_size;
+  ]
+  @ List.map check_to_header c.checks
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    Sys.mkdir dir 0o755
+  end
+
+let save ~dir c =
+  mkdir_p dir;
+  let path = Filename.concat dir (c.name ^ ".pmt") in
+  Serial.save_file ~header:(header_of_case c) path c.program.Gen.events;
+  path
+
+let parse_header_line acc line =
+  match acc with
+  | Error _ as e -> e
+  | Ok (name, model, pm_size, checks) -> (
+    match String.index_opt line ':' with
+    | None -> acc (* free-form comment, e.g. the version banner *)
+    | Some i -> (
+      let key = String.sub line 0 i in
+      let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      match key with
+      | "name" -> Ok (Some value, model, pm_size, checks)
+      | "model" -> (
+        match Model.kind_of_string value with
+        | Some m -> Ok (name, Some m, pm_size, checks)
+        | None -> Error (Printf.sprintf "unknown model %S" value))
+      | "pm_size" -> (
+        match int_of_string_opt value with
+        | Some n when n > 0 -> Ok (name, model, Some n, checks)
+        | _ -> Error (Printf.sprintf "bad pm_size %S" value))
+      | "check" -> (
+        match String.split_on_char ' ' value with
+        | [ "agree"; pair ] -> (
+          match pair_of_name pair with
+          | Some p -> Ok (name, model, pm_size, Agree p :: checks)
+          | None -> Error (Printf.sprintf "unknown pair %S" pair))
+        | [ "flag"; tool; kind ] -> (
+          match (tool_of_name tool, kind_of_name kind) with
+          | Some t, Some k -> Ok (name, model, pm_size, Flag { tool = t; kind = k } :: checks)
+          | None, _ -> Error (Printf.sprintf "unknown tool %S" tool)
+          | _, None -> Error (Printf.sprintf "unknown diagnostic kind %S" kind))
+        | _ -> Error (Printf.sprintf "malformed check %S" value))
+      | _ -> acc))
+
+let load_file path =
+  match Serial.load_file_with_header path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok (header, events) -> (
+    match List.fold_left parse_header_line (Ok (None, None, None, [])) header with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok (name, model, pm_size, checks) ->
+      let name =
+        match name with
+        | Some n -> n
+        | None -> Filename.remove_extension (Filename.basename path)
+      in
+      (match (model, checks) with
+      | None, _ -> Error (Printf.sprintf "%s: missing 'model:' header" path)
+      | _, [] -> Error (Printf.sprintf "%s: no 'check:' headers" path)
+      | Some model, checks ->
+        let default_size =
+          Array.fold_left
+            (fun acc (e : Event.t) ->
+              match e.Event.kind with
+              | Event.Op (Model.Write { addr; size } | Model.Clwb { addr; size })
+              | Event.Tx (Event.Tx_add { addr; size })
+              | Event.Checker (Event.Is_persist { addr; size }) ->
+                max acc (addr + size)
+              | Event.Checker (Event.Is_ordered_before { a_addr; a_size; b_addr; b_size }) ->
+                max acc (max (a_addr + a_size) (b_addr + b_size))
+              | _ -> acc)
+            Model.cache_line events
+        in
+        let pm_size = Option.value pm_size ~default:default_size in
+        Ok
+          {
+            name;
+            program = { Gen.model; pm_size; events };
+            checks = List.rev checks;
+          }))
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then Ok []
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".pmt")
+      |> List.sort compare
+    in
+    List.fold_left
+      (fun acc f ->
+        match acc with
+        | Error _ as e -> e
+        | Ok cases -> (
+          match load_file (Filename.concat dir f) with
+          | Ok c -> Ok (c :: cases)
+          | Error _ as e -> e))
+      (Ok []) files
+    |> Result.map List.rev
+  end
+
+let run_check c = function
+  | Agree pair -> (
+    match Cross.compare_pair pair c.program with
+    | Cross.Agree -> Ok ()
+    | Cross.Disagree d ->
+      Error (Printf.sprintf "%s: pair %s disagrees again: %s" c.name (Cross.pair_name pair) d)
+    | Cross.Skip why ->
+      Error
+        (Printf.sprintf "%s: pair %s no longer applies (%s) — stale corpus case" c.name
+           (Cross.pair_name pair) why))
+  | Flag { tool; kind } ->
+    if Report.count kind (tool_report tool c.program) > 0 then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: %s no longer reports %s" c.name (tool_name tool)
+           (Report.kind_string kind))
+
+let replay c =
+  List.fold_left
+    (fun acc check -> match acc with Error _ -> acc | Ok () -> run_check c check)
+    (Ok ()) c.checks

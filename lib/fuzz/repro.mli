@@ -1,0 +1,61 @@
+(** Reproducers and the on-disk regression corpus.
+
+    Every shrunk counterexample is emitted in two forms: the
+    {!Pmtest_trace.Serial} trace (replayable by [pmtest-cli check-trace]
+    and by the corpus loader here) and a generated OCaml snippet that
+    reconstructs the trace with [Event.make] and runs the engine — ready
+    to paste into a unit test.
+
+    A corpus case is a [.pmt] serial file whose leading comment block
+    carries the metadata:
+
+    {v
+    # pmtest-fuzz-case v1
+    # name: hops-ofence-ordering
+    # model: hops
+    # pm_size: 256
+    # check: agree engine/oracle
+    # check: flag lint missing-log
+    v}
+
+    [check: agree <pair>] asserts the pair's contract applies and agrees
+    on replay — a [Skip] is an error, so a stale case that stopped
+    exercising its contract fails loudly instead of rotting.
+    [check: flag <tool> <kind>] asserts the tool still reports at least
+    one diagnostic of the given {!Pmtest_core.Report.kind_string}. *)
+
+module Report := Pmtest_core.Report
+
+type tool = Engine | Naive | Lint | Pmemcheck
+
+type check =
+  | Agree of Cross.pair
+  | Flag of { tool : tool; kind : Report.kind }
+
+type case = { name : string; program : Gen.program; checks : check list }
+
+val tool_name : tool -> string
+val tool_of_name : string -> tool option
+val pair_of_name : string -> Cross.pair option
+val kind_of_name : string -> Report.kind option
+
+val serial_text : Gen.program -> string
+(** The {!Pmtest_trace.Serial} lines, no metadata header. *)
+
+val ocaml_snippet : Gen.program -> string
+(** A standalone OCaml fragment rebuilding the trace and running
+    [Engine.check] under the program's model. *)
+
+val tool_report : tool -> Gen.program -> Report.t
+
+val save : dir:string -> case -> string
+(** Write [dir/<name>.pmt] (creating [dir] if needed); returns the
+    path. *)
+
+val load_file : string -> (case, string) result
+val load_dir : string -> (case list, string) result
+(** Every [*.pmt] in [dir], sorted by file name; missing directory is an
+    empty corpus. *)
+
+val replay : case -> (unit, string) result
+(** Run every check; [Error] describes the first failing one. *)

@@ -1,0 +1,17 @@
+(** Counterexample shrinking: delta-debugging over the event list, then
+    greedy per-event field simplification.
+
+    [pred events] must return [true] while the interesting behaviour (a
+    cross-checker disagreement, a still-caught seeded bug) is present.
+    The input must satisfy [pred]; the result does, and is 1-minimal
+    with respect to removing single events. *)
+
+open Pmtest_trace
+
+val minimize :
+  ?max_rounds:int -> pred:(Event.t array -> bool) -> Event.t array -> Event.t array
+(** ddmin: try removing chunks of decreasing size, restarting whenever a
+    removal keeps [pred] true; then, for every event, try simplifying
+    addresses toward [0], sizes toward [8], threads toward [0] — again
+    keeping only changes that preserve [pred]. [max_rounds] (default 8)
+    bounds full restarts of the whole process. *)

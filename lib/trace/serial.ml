@@ -68,12 +68,20 @@ let entry_of_line line =
     | _ -> Error (Printf.sprintf "bad thread/line fields in %S" line))
   | _ -> Error (Printf.sprintf "too few fields in %S" line)
 
-let write_channel oc entries =
+let write_channel ?(header = []) oc entries =
+  List.iter
+    (fun h ->
+      output_string oc "# ";
+      output_string oc (String.map (fun c -> if c = '\n' then ' ' else c) h);
+      output_char oc '\n')
+    header;
   Array.iter
     (fun e ->
       output_string oc (entry_to_line e);
       output_char oc '\n')
     entries
+
+let is_comment line = String.length line > 0 && line.[0] = '#'
 
 let read_channel ic =
   let entries = Vec.create () in
@@ -81,6 +89,7 @@ let read_channel ic =
     match input_line ic with
     | exception End_of_file -> Ok (Vec.to_array entries)
     | "" -> go (lineno + 1)
+    | line when is_comment line -> go (lineno + 1)
     | line -> (
       match entry_of_line line with
       | Ok e ->
@@ -90,13 +99,39 @@ let read_channel ic =
   in
   go 1
 
-let save_file path entries =
+let save_file ?header path entries =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc entries)
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel ?header oc entries)
 
 let load_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+
+let strip_comment_prefix line =
+  let body = String.sub line 1 (String.length line - 1) in
+  if String.length body > 0 && body.[0] = ' ' then String.sub body 1 (String.length body - 1)
+  else body
+
+let load_file_with_header path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = Vec.create () in
+      let rec skim () =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | line when is_comment line ->
+          Vec.push header (strip_comment_prefix line);
+          skim ()
+        | _ -> ()
+      in
+      (* First pass collects the leading comment block only. *)
+      skim ();
+      seek_in ic 0;
+      match read_channel ic with
+      | Ok entries -> Ok (Vec.to_list header, entries)
+      | Error e -> Error e)
 
 let recording_sink () =
   let buf = Vec.create () in

@@ -11,18 +11,30 @@
     with kinds [w]rite, [f]lush (clwb), [s]fence, [o]fence, [d]fence,
     [cp] (isPersist), [co] (isOrderedBefore), [tb]/[tc]/[ta] (TX begin /
     commit / abort), [tA] (TX_ADD), [ts]/[te] (TX checker start / end),
-    [xe]/[xi] (exclude / include). Numeric fields are decimal. Tabs in
-    file names are replaced by spaces when writing. *)
+    [xe]/[xi] (exclude / include), [lo]/[li] (lint off / on). Numeric
+    fields are decimal. Tabs in file names are replaced by spaces when
+    writing.
+
+    Lines starting with [#] are comments and are skipped on read; a
+    leading block of [# key: value] comments is the {e header} the fuzz
+    corpus uses to carry case metadata alongside the trace. *)
 
 val entry_to_line : Event.t -> string
 val entry_of_line : string -> (Event.t, string) result
 
-val write_channel : out_channel -> Event.t array -> unit
-val read_channel : in_channel -> (Event.t array, string) result
-(** Fails with a message naming the first malformed line. *)
+val write_channel : ?header:string list -> out_channel -> Event.t array -> unit
+(** [header] lines are written first, each prefixed with ["# "]. *)
 
-val save_file : string -> Event.t array -> unit
+val read_channel : in_channel -> (Event.t array, string) result
+(** Fails with a message naming the first malformed line. Comment lines
+    ([#]-prefixed) and blank lines are skipped. *)
+
+val save_file : ?header:string list -> string -> Event.t array -> unit
 val load_file : string -> (Event.t array, string) result
+
+val load_file_with_header : string -> (string list * Event.t array, string) result
+(** Like {!load_file} but also returns the leading comment block, with
+    the ["# "] prefixes stripped — the corpus-case metadata. *)
 
 val recording_sink : unit -> Sink.t * (unit -> Event.t array)
 (** A sink that accumulates everything it sees; the closure returns (and

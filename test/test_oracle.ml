@@ -21,6 +21,10 @@ open Pmtest_trace
 module Machine = Pmtest_pmem.Machine
 module Engine = Pmtest_core.Engine
 module Report = Pmtest_core.Report
+module Rng = Pmtest_util.Rng
+module Gen = Pmtest_fuzz.Gen
+module Oracle = Pmtest_fuzz.Oracle
+module Cross = Pmtest_fuzz.Cross
 
 let n_lines = 4
 let line_addr i = i * Model.cache_line
@@ -153,11 +157,93 @@ let test_fig1a_scenario () =
   Alcotest.(check bool) "oracle confirms" true
     (List.exists (fun img -> has_value img 1 '\002' && not (has_value img 0 '\001')) images)
 
+(* --- All models, via the fuzzer's oracle-shaped generator -------------------
+
+   The hand-rolled generator above only covers x86. The fuzz subsystem's
+   oracle programs cover every model (HOPS's epoch enumerator, eADR's
+   instant durability), so the same sound-and-complete property is
+   restated per model through the differential contract: on every
+   oracle-eligible program, each embedded checker verdict must equal
+   exhaustive enumeration. *)
+
+let prop_model_agrees_with_oracle model =
+  QCheck2.Test.make
+    ~name:(Model.kind_name model ^ " engine agrees with enumeration on oracle programs")
+    ~count:300
+    ~print:(fun seed ->
+      Gen.program_to_string
+        (Gen.oracle_program ~with_checkers:true (Gen.oracle_cfg model) (Rng.create seed)))
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let p = Gen.oracle_program ~with_checkers:true (Gen.oracle_cfg model) (Rng.create seed) in
+      match Cross.compare_pair Cross.Engine_vs_oracle p with
+      | Cross.Agree | Cross.Skip _ -> true
+      | Cross.Disagree _ -> false)
+
+(* --- HOPS unit cases ---------------------------------------------------------
+
+   Known-answer traces for the HOPS interval rules: ofence separates
+   epochs for ordering, only dfence makes anything durable. Each verdict
+   is checked against both the engine and the epoch-aware enumerator. *)
+
+let hops_pm_size = n_lines * Model.cache_line
+
+let hw i = Event.make (Event.Op (Model.Write { addr = line_addr i; size = write_size }))
+let hofence = Event.make (Event.Op Model.Ofence)
+let hdfence = Event.make (Event.Op Model.Dfence)
+
+let ordered a b =
+  Event.Is_ordered_before
+    { a_addr = line_addr a; a_size = write_size; b_addr = line_addr b; b_size = write_size }
+
+let persist i = Event.Is_persist { addr = line_addr i; size = write_size }
+
+(* Engine verdict and oracle ground truth for [checker] appended to [ops];
+   both must agree, and both must equal [expect]. *)
+let check_hops name ops checker expect =
+  let events = Array.of_list (ops @ [ Event.make (Event.Checker checker) ]) in
+  let report = Engine.check ~model:Model.Hops events in
+  let engine_holds =
+    Report.count Report.Not_ordered report = 0 && Report.count Report.Not_persisted report = 0
+  in
+  Alcotest.(check bool) (name ^ ": engine") expect engine_holds;
+  match Oracle.evaluate { Gen.model = Model.Hops; pm_size = hops_pm_size; events } with
+  | None -> Alcotest.failf "%s: trace not oracle-eligible" name
+  | Some { Oracle.points = [ pt ]; exhaustive = true } ->
+    Alcotest.(check bool) (name ^ ": enumeration") expect pt.Oracle.holds
+  | Some _ -> Alcotest.failf "%s: expected one exhaustive oracle point" name
+
+let test_hops_ofence_orders () =
+  check_hops "w A; ofence; w B; dfence -> A before B"
+    [ hw 0; hofence; hw 1; hdfence ]
+    (ordered 0 1) true;
+  check_hops "w A; ofence; w B; dfence -> B before A fails"
+    [ hw 0; hofence; hw 1; hdfence ]
+    (ordered 1 0) false
+
+let test_hops_same_epoch_unordered () =
+  check_hops "same epoch -> A before B fails" [ hw 0; hw 1; hdfence ] (ordered 0 1) false;
+  check_hops "same epoch -> B before A fails" [ hw 0; hw 1; hdfence ] (ordered 1 0) false
+
+let test_hops_dfence_persists () =
+  check_hops "w A; dfence -> persisted" [ hw 0; hdfence ] (persist 0) true;
+  check_hops "w A alone -> not persisted" [ hw 0 ] (persist 0) false;
+  check_hops "w A; ofence -> still not persisted" [ hw 0; hofence ] (persist 0) false
+
 let () =
   Alcotest.run "oracle"
     [
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_ordering_sound_and_complete; prop_persist_sound_and_complete ] );
+      ( "all-models",
+        List.map QCheck_alcotest.to_alcotest
+          (List.map prop_model_agrees_with_oracle [ Model.X86; Model.Hops; Model.Eadr ]) );
+      ( "hops",
+        [
+          Alcotest.test_case "ofence separates ordering epochs" `Quick test_hops_ofence_orders;
+          Alcotest.test_case "same epoch is unordered" `Quick test_hops_same_epoch_unordered;
+          Alcotest.test_case "only dfence persists" `Quick test_hops_dfence_persists;
+        ] );
       ("regressions", [ Alcotest.test_case "Fig. 1a missing barrier" `Quick test_fig1a_scenario ]);
     ]

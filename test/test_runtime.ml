@@ -54,6 +54,26 @@ let test_traces_are_independent () =
   let r = Runtime.shutdown rt in
   Alcotest.(check bool) "clean" true (Report.is_clean r)
 
+let test_parallel_deterministic () =
+  (* The worker pool must merge per-section reports in send order, so a
+     parallel run is byte-identical to the synchronous one on the same
+     sections — fuzz campaigns rely on this to stay reproducible. *)
+  let sections =
+    List.init 40 (fun i ->
+        let p =
+          Pmtest_fuzz.Gen.generate
+            (Pmtest_fuzz.Gen.default_cfg Model.X86)
+            (Pmtest_util.Rng.create i)
+        in
+        p.Pmtest_fuzz.Gen.events)
+  in
+  let run workers =
+    let rt = Runtime.create ~workers () in
+    List.iter (Runtime.send_trace rt) sections;
+    Format.asprintf "%a" Report.pp (Runtime.shutdown rt)
+  in
+  Alcotest.(check string) "workers=4 matches workers=0" (run 0) (run 4)
+
 (* --- Session API ---------------------------------------------------------- *)
 
 let test_session_basic () =
@@ -137,6 +157,7 @@ let () =
           Alcotest.test_case "worker pool aggregates" `Quick test_worker_pool_aggregates;
           Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
           Alcotest.test_case "trace sections are independent" `Quick test_traces_are_independent;
+          Alcotest.test_case "parallel run is deterministic" `Quick test_parallel_deterministic;
         ] );
       ( "session",
         [

@@ -28,7 +28,30 @@ let sample_entries =
     Event.make (Event.Tx Event.Tx_checker_end);
     Event.make (Event.Control (Event.Exclude { addr = 0; size = 128 }));
     Event.make (Event.Control (Event.Include { addr = 0; size = 64 }));
+    Event.make (Event.Control (Event.Lint_off { rule = "flush-without-fence" }));
+    Event.make (Event.Control (Event.Lint_on { rule = "flush-without-fence" }));
   |]
+
+(* Every wire tag the format defines; [sample_entries] must exercise all
+   of them so the round-trip test cannot silently lose a constructor. *)
+let all_tags =
+  [ "w"; "f"; "s"; "o"; "d"; "cp"; "co"; "tb"; "tc"; "ta"; "tA"; "ts"; "te"; "xe"; "xi"; "lo"; "li" ]
+
+let test_sample_covers_every_tag () =
+  let tag (e : Event.t) =
+    match String.split_on_char '\t' (Serial.entry_to_line e) with
+    | t :: _ -> t
+    | [] -> Alcotest.fail "empty serialized line"
+  in
+  let seen = Array.to_list (Array.map tag sample_entries) in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (Printf.sprintf "tag %S exercised" t) true (List.mem t seen))
+    all_tags;
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (Printf.sprintf "tag %S is defined" t) true (List.mem t all_tags))
+    seen
 
 let entries_equal a b =
   Array.length a = Array.length b
@@ -106,10 +129,16 @@ let gen_entry =
             [
               Event.Tx Event.Tx_begin;
               Event.Tx Event.Tx_commit;
+              Event.Tx Event.Tx_abort;
               Event.Tx Event.Tx_checker_start;
               Event.Tx Event.Tx_checker_end;
             ];
           map2 (fun addr size -> Event.Control (Event.Exclude { addr; size })) addr size;
+          map2 (fun addr size -> Event.Control (Event.Include { addr; size })) addr size;
+          (oneofl [ "flush-without-fence"; "unflushed-write"; "*" ] >|= fun rule ->
+           Event.Control (Event.Lint_off { rule }));
+          (oneofl [ "redundant-fence"; "*" ] >|= fun rule ->
+           Event.Control (Event.Lint_on { rule }));
         ]
     in
     map3 (fun kind loc thread -> Event.make ~thread ~loc kind) kind loc (int_range 0 7))
@@ -128,6 +157,7 @@ let () =
       ( "serialization",
         [
           Alcotest.test_case "round trip of every entry kind" `Quick test_round_trip_all_kinds;
+          Alcotest.test_case "sample covers every wire tag" `Quick test_sample_covers_every_tag;
           Alcotest.test_case "malformed lines reported" `Quick test_malformed_line_reported;
           Alcotest.test_case "offline check equals online" `Quick test_offline_check_equals_online;
         ] );
