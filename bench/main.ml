@@ -4,7 +4,7 @@
      dune exec bench/main.exe -- [target] [options]
 
    Targets: fig10a fig10b fig11 fig12a fig12b fig12c table1 table5 table6
-            yat ablation lint fuzz bechamel all (default: all)
+            yat ablation lint fuzz obs bechamel all (default: all)
    Options: --insertions N   microbenchmark insertions per cell (default 600)
             --ops N          real-workload operations (default 4000)
             --runs N         timing repetitions, best-of (default 3)
@@ -160,6 +160,17 @@ let micro_time tool micro ~size ~n =
         let report = Pmtest.finish session in
         if Report.has_fail report then
           Fmt.epr "WARNING: unexpected FAIL in %s: %a@." micro.m_name Report.pp report;
+        t
+      | `Pmtest_profiled workers ->
+        (* As [`Pmtest] but with a live observability collector attached. *)
+        let session = Pmtest.init ~workers ~obs:(Pmtest_obs.Obs.create ()) () in
+        let pool = Pool.create ~size:psize ~sink:(Pmtest.sink session) () in
+        let t =
+          time_once (fun () ->
+              micro_loop micro pool ~size ~n ~per_insert:(fun _ -> Pmtest.send_trace session);
+              ignore (Pmtest.get_result session))
+        in
+        ignore (Pmtest.finish session);
         t
       | `Track_only ->
         (* Tracking cost without any checking: sections are dropped. *)
@@ -639,6 +650,70 @@ let fuzz_bench () =
   Fmt.pr "@.(differential checking dominates generation; the crashtest pair enumerates@.";
   Fmt.pr " versioned crash images and is the budget to watch on long campaigns)@."
 
+(* --- Observability overhead ------------------------------------------------------------ *)
+
+let obs_bench () =
+  let module Obs = Pmtest_obs.Obs in
+  Fmt.pr "@.### Observability overhead (lib/obs)@.@.";
+  Fmt.pr "(two claims: the disabled path costs nothing — [Sink.observed Obs.disabled]@.";
+  Fmt.pr " returns the unwrapped sink — and the enabled path stays within a few percent@.";
+  Fmt.pr " on the fig10a pipeline, where per-event counting dominates)@.@.";
+  (* Per-event cost of the instrumentation hot path. *)
+  let n = 1_000_000 in
+  let kind = Event.Op (Model.Write { addr = 0; size = 8 }) in
+  let bench_events name sink flush =
+    let t =
+      time (fun () ->
+          for i = 1 to n do
+            sink.Sink.emit kind Loc.none;
+            if i land 4095 = 0 then flush ()
+          done;
+          flush ())
+    in
+    let ns = t *. 1e9 /. float_of_int n in
+    Fmt.pr "  %-28s %8.1f ns/event@." name ns;
+    ns
+  in
+  let b1 = Builder.create () in
+  let b2 = Builder.create () in
+  let b3 = Builder.create () in
+  let _ = bench_events "null sink" Sink.null ignore in
+  let raw = bench_events "builder" (Builder.sink b1) (fun () -> ignore (Builder.take b1)) in
+  let off =
+    bench_events "builder, observed (off)"
+      (Sink.observed Obs.disabled (Builder.sink b2))
+      (fun () -> ignore (Builder.take b2))
+  in
+  let on =
+    bench_events "builder, observed (on)"
+      (Sink.observed (Obs.create ()) (Builder.sink b3))
+      (fun () -> ignore (Builder.take b3))
+  in
+  Fmt.pr "@.  event path: disabled %+.1f%%, enabled %+.1f%% vs the raw builder@."
+    (100.0 *. (off -. raw) /. raw)
+    (100.0 *. (on -. raw) /. raw);
+  (* Whole-pipeline overhead on a fig10a subset. *)
+  let n = !insertions in
+  Fmt.pr "@.%-16s %8s %12s %12s %10s@." "structure" "tx(B)" "obs off(ms)" "obs on(ms)"
+    "overhead";
+  let ratios = ref [] in
+  List.iter
+    (fun micro ->
+      List.iter
+        (fun size ->
+          let t_off = micro_time (`Pmtest 1) micro ~size ~n in
+          let t_on = micro_time (`Pmtest_profiled 1) micro ~size ~n in
+          ratios := ratio t_on t_off :: !ratios;
+          Fmt.pr "%-16s %8d %12.2f %12.2f %9.1f%%@." micro.m_name size (t_off *. 1e3)
+            (t_on *. 1e3)
+            (100.0 *. (t_on -. t_off) /. t_off))
+        [ 64; 512; 4096 ])
+    (List.filter (fun m -> List.mem m.m_name [ "C-Tree"; "HashMap(w/ TX)" ]) micros);
+  Fmt.pr "@.geomean pipeline overhead with observability on: %+.1f%%@."
+    (100.0 *. (Stats.geomean (Array.of_list !ratios) -. 1.0));
+  Fmt.pr "(target: <= 5%% enabled; disabled is the identical code path, so 0%% by@.";
+  Fmt.pr " construction — the transparency property test pins report equality)@."
+
 (* --- Bechamel micro-measurements ------------------------------------------------------ *)
 
 let bechamel () =
@@ -748,6 +823,7 @@ let all_targets =
     ("ablation", ablation);
     ("lint", lint_bench);
     ("fuzz", fuzz_bench);
+    ("obs", obs_bench);
     ("bechamel", bechamel);
   ]
 

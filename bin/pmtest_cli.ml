@@ -11,6 +11,7 @@ module Lint = Pmtest_lint.Lint
 module Rule = Pmtest_lint.Rule
 module Sink = Pmtest_trace.Sink
 module Event = Pmtest_trace.Event
+module Obs = Pmtest_obs.Obs
 module Model = Pmtest_model.Model
 module Interval = Pmtest_model.Interval
 open Pmtest_bugdb
@@ -67,10 +68,12 @@ let bugs_cmd =
 
 type tool = Tool_none | Tool_pmtest | Tool_pmemcheck
 
-let run_workload name tool ops threads workers seed =
+(* Shared by [workload] and [stat WORKLOAD]: run the named workload and
+   return the tool's report, with [obs] threaded into every session. *)
+let exec_workload ~obs name tool ops threads workers seed =
   let finish_report = ref Report.empty in
   let run_kv_memcached client =
-    let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ()) else None in
+    let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ~obs ()) else None in
     let sink_of i =
       match session with
       | Some s ->
@@ -96,7 +99,7 @@ let run_workload name tool ops threads workers seed =
       finish_report := Pmemcheck.result pc;
       Redis.check_consistent r
     | Tool_pmtest ->
-      let session = Pmtest.init ~workers () in
+      let session = Pmtest.init ~workers ~obs () in
       let r = Redis.create ~sink:(Pmtest.sink session) () in
       let ops_arr = Clients.redis_lru ~ops ~keys:16384 (Rng.create seed) in
       Array.iteri
@@ -113,7 +116,7 @@ let run_workload name tool ops threads workers seed =
       Redis.check_consistent r
   in
   let run_pmfs client =
-    let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ()) else None in
+    let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ~obs ()) else None in
     let sink = match session with Some s -> Pmtest.sink s | None -> Sink.null in
     let fs = Pmtest_pmfs.Fs.mkfs ~inodes:128 ~blocks:1024 ~sink () in
     let on_section () = match session with Some s -> Pmtest.send_trace s | None -> () in
@@ -129,7 +132,7 @@ let run_workload name tool ops threads workers seed =
     | "pmfs-filebench" -> run_pmfs (fun rng -> Clients.filebench ~ops ~files:32 rng)
     | "pmfs-oltp" -> run_pmfs (fun rng -> Clients.oltp ~ops ~tables:4 ~rows_per_table:64 rng)
     | "vacation" ->
-      let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ()) else None in
+      let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ~obs ()) else None in
       let sink = match session with Some s -> Pmtest.sink s | None -> Sink.null in
       let v = Vacation.create ~resources:64 ~sink () in
       let on_section () = match session with Some s -> Pmtest.send_trace s | None -> () in
@@ -138,16 +141,24 @@ let run_workload name tool ops threads workers seed =
       Vacation.check_consistent v
     | other -> Error (Printf.sprintf "unknown workload %S" other)
   in
-  match result with
+  match result with Error e -> Error e | Ok () -> Ok !finish_report
+
+let run_workload name tool ops threads workers seed profile =
+  if profile && tool <> Tool_pmtest then
+    Fmt.epr "note: --profile instruments the pmtest pipeline; --tool %s collects nothing@."
+      (match tool with Tool_none -> "none" | Tool_pmemcheck -> "pmemcheck" | Tool_pmtest -> "pmtest");
+  let obs = if profile then Obs.create () else Obs.disabled in
+  match exec_workload ~obs name tool ops threads workers seed with
   | Error e ->
     Fmt.epr "workload failed: %s@." e;
     1
-  | Ok () ->
+  | Ok report ->
     Fmt.pr "workload completed; store consistent.@.";
     (match tool with
     | Tool_none -> Fmt.pr "(no testing tool attached)@."
-    | Tool_pmtest | Tool_pmemcheck -> Fmt.pr "%a@." Report.pp !finish_report);
-    if Report.has_fail !finish_report then 1 else 0
+    | Tool_pmtest | Tool_pmemcheck -> Fmt.pr "%a@." Report.pp report);
+    if profile then Fmt.pr "@.%a@." Obs.pp (Obs.snapshot obs);
+    if Report.has_fail report then 1 else 0
 
 let workload_names =
   [ "memcached-memslap"; "memcached-ycsb"; "redis-lru"; "pmfs-filebench"; "pmfs-oltp"; "vacation" ]
@@ -170,9 +181,16 @@ let workload_cmd =
   let threads = Arg.(value (opt int 1 (info [ "threads" ] ~doc:"Server threads (memcached)."))) in
   let workers = Arg.(value (opt int 1 (info [ "workers" ] ~doc:"PMTest worker threads."))) in
   let seed = Arg.(value (opt int 42 (info [ "seed" ] ~doc:"Workload RNG seed."))) in
+  let profile =
+    Arg.(
+      value
+        (flag
+           (info [ "profile" ]
+              ~doc:"Collect and print a pipeline profile (counters, worker utilization, latency histograms).")))
+  in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a WHISPER-style workload under a testing tool.")
-    Term.(const run_workload $ wname $ tool $ ops $ threads $ workers $ seed)
+    Term.(const run_workload $ wname $ tool $ ops $ threads $ workers $ seed $ profile)
 
 (* --- record / check-trace ------------------------------------------------------ *)
 
@@ -219,14 +237,30 @@ let record_cmd =
     (Cmd.info "record" ~doc:"Run an annotated workload and save its trace to a file.")
     Term.(const run_record $ wname $ ops $ seed $ output)
 
-let run_check_trace file model =
+let run_check_trace file model profile =
   match Pmtest_trace.Serial.load_file file with
   | Error e ->
     Fmt.epr "cannot load %s: %s@." file e;
     2
   | Ok entries ->
-    let report = Engine.check ~model entries in
+    let obs = if profile then Obs.create () else Obs.disabled in
+    let report =
+      if Obs.enabled obs then begin
+        (* The whole file is one section through the synchronous path. *)
+        let n = Array.length entries in
+        Obs.events_traced_add obs n;
+        Obs.section_sent obs ~seq:0 ~entries:n;
+        Obs.queue_depth obs 1;
+        Obs.check_started obs ~seq:0 ~worker:0;
+        let r = Engine.check ~obs ~model entries in
+        Obs.check_finished obs ~seq:0;
+        Obs.section_merged obs ~seq:0;
+        r
+      end
+      else Engine.check ~model entries
+    in
     Fmt.pr "%a@." Report.pp_summary report;
+    if profile then Fmt.pr "@.%a@." Obs.pp (Obs.snapshot obs);
     if Report.has_fail report then 1 else 0
 
 let check_trace_cmd =
@@ -239,9 +273,14 @@ let check_trace_cmd =
            Model.X86
            (info [ "model" ] ~doc:"Persistency model: x86, hops or eadr.")))
   in
+  let profile =
+    Arg.(
+      value
+        (flag (info [ "profile" ] ~doc:"Print a pipeline profile of the checking pass.")))
+  in
   Cmd.v
     (Cmd.info "check-trace" ~doc:"Check a previously recorded trace file offline.")
-    Term.(const run_check_trace $ file $ model)
+    Term.(const run_check_trace $ file $ model $ profile)
 
 (* --- lint -------------------------------------------------------------------- *)
 
@@ -390,7 +429,7 @@ let run_fuzz_mutate failures =
       end)
     seeded
 
-let run_fuzz_campaign models count seed max_ops corpus progress failures =
+let run_fuzz_campaign models count seed max_ops corpus progress profile failures =
   List.iter
     (fun model ->
       let base = Campaign.default_cfg model in
@@ -404,8 +443,10 @@ let run_fuzz_campaign models count seed max_ops corpus progress failures =
       let on_program i =
         if progress && i > 0 && i mod 1000 = 0 then Fmt.pr "  ... %d@.%!" i
       in
-      let stats = Campaign.run ~on_program cfg in
+      let obs = if profile then Obs.create () else Obs.disabled in
+      let stats = Campaign.run ~obs ~on_program cfg in
       Fmt.pr "%a@." Campaign.pp_stats stats;
+      if profile then Fmt.pr "@.%a@." Obs.pp (Obs.snapshot obs);
       List.iter
         (fun f ->
           incr failures;
@@ -431,11 +472,11 @@ let run_fuzz_campaign models count seed max_ops corpus progress failures =
         stats.Campaign.findings)
     models
 
-let run_fuzz models count seed max_ops mutate corpus progress =
+let run_fuzz models count seed max_ops mutate corpus progress profile =
   let failures = ref 0 in
   (match corpus with None -> () | Some dir -> replay_corpus dir failures);
   if mutate then run_fuzz_mutate failures
-  else run_fuzz_campaign models count seed max_ops corpus progress failures;
+  else run_fuzz_campaign models count seed max_ops corpus progress profile failures;
   if !failures = 0 then begin
     Fmt.pr "@.fuzz: OK@.";
     0
@@ -494,13 +535,156 @@ let fuzz_cmd =
   let progress =
     Arg.(value (flag (info [ "progress" ] ~doc:"Print a progress line every 1000 programs.")))
   in
+  let profile =
+    Arg.(
+      value
+        (flag
+           (info [ "profile" ]
+              ~doc:"Print a per-model campaign throughput profile (one section per program).")))
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Differential fuzzing: generate random annotated PM programs, replay them through \
           every checker, cross-check verdicts, and shrink any disagreement to a minimal \
           reproducer.")
-    Term.(const run_fuzz $ models $ count $ seed $ max_ops $ mutate $ corpus $ progress)
+    Term.(const run_fuzz $ models $ count $ seed $ max_ops $ mutate $ corpus $ progress $ profile)
+
+(* --- stat -------------------------------------------------------------------- *)
+
+(* Replay a recorded trace through a live session, chunked into sections,
+   so the whole pipeline — dispatch, worker pool, in-order merge — is
+   exercised and profiled, not just the engine. *)
+let replay_trace ~obs ~model ~workers ~section entries =
+  let session = Pmtest.init ~model ~workers ~obs () in
+  let threads = Hashtbl.create 8 in
+  Array.iter (fun (e : Event.t) -> Hashtbl.replace threads e.Event.thread ()) entries;
+  Hashtbl.iter (fun th () -> if th <> 0 then Pmtest.thread_init session ~thread:th) threads;
+  Array.iteri
+    (fun i (e : Event.t) ->
+      Pmtest.emit ~thread:e.Event.thread ~loc:e.Event.loc session e.Event.kind;
+      if (i + 1) mod section = 0 then Pmtest.send_trace ~thread:e.Event.thread session)
+    entries;
+  Pmtest.finish session
+
+let header_model headers =
+  List.find_map
+    (fun h ->
+      match String.index_opt h ':' with
+      | Some i when String.trim (String.sub h 0 i) = "model" -> (
+        match String.trim (String.sub h (i + 1) (String.length h - i - 1)) with
+        | "x86" -> Some Model.X86
+        | "hops" -> Some Model.Hops
+        | "eadr" -> Some Model.Eadr
+        | _ -> None)
+      | _ -> None)
+    headers
+
+let run_stat source model_opt workers section ops threads seed machine json_out =
+  let section = max 1 section in
+  let obs = Obs.create () in
+  let outcome =
+    if List.mem source workload_names then
+      exec_workload ~obs source Tool_pmtest ops threads workers seed
+    else if Sys.file_exists source then
+      match Pmtest_trace.Serial.load_file_with_header source with
+      | Error e -> Error (Printf.sprintf "cannot load %s: %s" source e)
+      | Ok (headers, entries) ->
+        let model =
+          match model_opt with
+          | Some m -> m
+          | None -> Option.value (header_model headers) ~default:Model.X86
+        in
+        Ok (replay_trace ~obs ~model ~workers ~section entries)
+    else
+      match List.find_opt (fun c -> c.Case.id = source) Catalog.all with
+      | Some case ->
+        let model = Option.value model_opt ~default:Model.X86 in
+        Ok (replay_trace ~obs ~model ~workers ~section (Case.trace case))
+      | None ->
+        Error
+          (Printf.sprintf
+             "%S is neither a workload, an existing trace file nor a bug-catalog case id" source)
+  in
+  match outcome with
+  | Error e ->
+    Fmt.epr "stat: %s@." e;
+    2
+  | Ok report ->
+    let snap = Obs.snapshot obs in
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Obs.to_jsonl snap));
+      Fmt.epr "wrote JSON-lines profile to %s@." path);
+    if machine then print_string (Obs.to_tsv snap)
+    else begin
+      Fmt.pr "%a@.@." Report.pp_summary report;
+      Fmt.pr "%a@." Obs.pp snap
+    end;
+    0
+
+let stat_cmd =
+  let source =
+    Arg.(
+      required
+        (pos 0 (some string) None
+           (info [] ~docv:"SOURCE"
+              ~doc:
+                "What to profile: a workload name (run live under the pmtest tool), a recorded \
+                 $(b,.pmt) trace file, or a bug-catalog case id (both replayed through a live \
+                 session).")))
+  in
+  let model =
+    Arg.(
+      value
+        (opt
+           (some (enum [ ("x86", Model.X86); ("hops", Model.Hops); ("eadr", Model.Eadr) ]))
+           None
+           (info [ "model" ]
+              ~doc:
+                "Persistency model for replayed traces (default: the file's $(b,model:) header, \
+                 else x86).")))
+  in
+  let workers = Arg.(value (opt int 1 (info [ "workers" ] ~doc:"PMTest worker threads."))) in
+  let section =
+    Arg.(
+      value
+        (opt int 256
+           (info [ "section" ]
+              ~doc:"Trace entries per section when replaying a file or case.")))
+  in
+  let ops = Arg.(value (opt int 2000 (info [ "ops" ] ~doc:"Operations (workload sources)."))) in
+  let threads =
+    Arg.(value (opt int 1 (info [ "threads" ] ~doc:"Server threads (memcached workloads).")))
+  in
+  let seed = Arg.(value (opt int 42 (info [ "seed" ] ~doc:"Workload RNG seed."))) in
+  let machine =
+    Arg.(
+      value
+        (flag
+           (info [ "machine" ]
+              ~doc:
+                "Machine-readable profile: TSV on stdout, round-trippable through the \
+                 observability parser.")))
+  in
+  let json =
+    Arg.(
+      value
+        (opt (some string) None
+           (info [ "json" ] ~docv:"FILE"
+              ~doc:"Also write the profile as JSON lines to $(docv).")))
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Profile the checking pipeline: counters, per-worker utilization, queue and reorder \
+          high-water marks, check and end-to-end latency histograms.")
+    Term.(
+      const run_stat $ source $ model $ workers $ section $ ops $ threads $ seed $ machine $ json)
 
 (* --- demo -------------------------------------------------------------------- *)
 
@@ -545,4 +729,13 @@ let () =
        (Cmd.group ~default
           (Cmd.info "pmtest-cli" ~version:"1.0.0"
              ~doc:"PMTest: fast and flexible crash-consistency testing for PM programs.")
-          [ bugs_cmd; workload_cmd; record_cmd; check_trace_cmd; lint_cmd; fuzz_cmd; demo_cmd ]))
+          [
+            bugs_cmd;
+            workload_cmd;
+            record_cmd;
+            check_trace_cmd;
+            lint_cmd;
+            fuzz_cmd;
+            stat_cmd;
+            demo_cmd;
+          ]))

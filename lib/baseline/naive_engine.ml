@@ -78,14 +78,6 @@ let on_write st loc ~addr ~size =
         diag st Report.Missing_log loc
           "persistent object [0x%x,+%d) modified inside a transaction without a backup log entry"
           lo (hi - lo);
-      split_at st ~lo ~hi;
-      st.shadow <- List.filter (fun s -> not (inside s ~lo ~hi)) st.shadow;
-      let persist =
-        match st.model with
-        | Model.Eadr -> Interval.make ~lo:(st.now - 1) ~hi:st.now
-        | Model.X86 | Model.Hops -> Interval.make_open st.now
-      in
-      st.shadow <- { lo; hi; persist; flush = None; write_loc = loc } :: st.shadow;
       if st.scope_active then
         (* Keep scope ranges disjoint (the newest write owns the bytes),
            mirroring the production engine's interval-map semantics. *)
@@ -98,7 +90,19 @@ let on_write st loc ~addr ~size =
                    (if a < lo then [ (a, lo, l) ] else [])
                    @ if hi < b then [ (hi, b, l) ] else [])
                st.scope_writes)
-    (effective st ~lo:addr ~hi:(addr + size))
+    (effective st ~lo:addr ~hi:(addr + size));
+  (* As in the production engine, the shadow records the store across the
+     full range, exclusion holes included: holes gate diagnostics, not
+     history. *)
+  let lo = addr and hi = addr + size in
+  split_at st ~lo ~hi;
+  st.shadow <- List.filter (fun s -> not (inside s ~lo ~hi)) st.shadow;
+  let persist =
+    match st.model with
+    | Model.Eadr -> Interval.make ~lo:(st.now - 1) ~hi:st.now
+    | Model.X86 | Model.Hops -> Interval.make_open st.now
+  in
+  st.shadow <- { lo; hi; persist; flush = None; write_loc = loc } :: st.shadow
 
 let on_clwb st loc ~addr ~size =
   let unnecessary = ref false and duplicate = ref false in

@@ -106,10 +106,17 @@ let on_write st loc ~addr ~size =
         diag st Report.Missing_log loc
           "persistent object [0x%x,+%d) modified inside a transaction without a backup log entry"
           lo (hi - lo);
-      st.shadow <-
-        Interval_map.set st.shadow ~lo ~hi { write_epoch = st.now; write_loc = loc; flush = None };
       if st.scope_active then st.scope_writes <- Interval_map.set st.scope_writes ~lo ~hi loc)
-    subranges
+    subranges;
+  (* The store hits memory whether or not checking is excluded, so the
+     shadow must cover the whole range: exclusion suppresses diagnostics
+     (checkers and writeback rules filter through [effective_subranges]),
+     not history. Refreshing only the effective subranges would let a
+     stale pre-exclusion status describe bytes a hole write has since
+     overwritten — visible as wrong persist claims once re-included. *)
+  st.shadow <-
+    Interval_map.set st.shadow ~lo:addr ~hi:(addr + size)
+      { write_epoch = st.now; write_loc = loc; flush = None }
 
 let on_clwb st loc ~addr ~size =
   let unnecessary = ref false and duplicate = ref false in
@@ -281,9 +288,12 @@ let report_of st =
     checkers = st.checkers;
   }
 
-let check ?(model = Model.X86) entries =
+let check ?(obs = Pmtest_obs.Obs.disabled) ?(model = Model.X86) entries =
   let st = create_state model in
   Array.iter (on_entry st) entries;
+  if Pmtest_obs.Obs.enabled obs then
+    Pmtest_obs.Obs.engine_counts obs ~entries:st.entries ~ops:st.ops ~checkers:st.checkers
+      ~diags:(Vec.length st.diags);
   report_of st
 
 type range_status = { lo : int; hi : int; persist : Interval.t; flush : Interval.t option }

@@ -24,8 +24,10 @@ open Pmtest_itree
 open Pmtest_model
 open Pmtest_trace
 
-val check : ?model:Model.kind -> Event.t array -> Report.t
-(** Validate one trace section. Defaults to the x86 persistency model. *)
+val check : ?obs:Pmtest_obs.Obs.t -> ?model:Model.kind -> Event.t array -> Report.t
+(** Validate one trace section. Defaults to the x86 persistency model.
+    With an enabled [obs] the per-section entry/op/checker/diagnostic
+    totals are added to the collector after the pass. *)
 
 (** {1 Introspection for tests and examples} *)
 

@@ -3,8 +3,11 @@ open Pmtest_model
 open Pmtest_trace
 open Pmtest_itree
 
+module Obs = Pmtest_obs.Obs
+
 type t = {
   runtime : Runtime.t;
+  obs : Obs.t;
   builders : (int, Builder.t) Hashtbl.t;
   vars : (string, int * int) Hashtbl.t;
   mutex : Mutex.t;
@@ -18,10 +21,11 @@ type t = {
   mutable observers : (Event.t array -> unit) list;
 }
 
-let init ?(model = Model.X86) ?(workers = 1) () =
+let init ?(model = Model.X86) ?(workers = 1) ?(obs = Obs.disabled) () =
   let t =
     {
-      runtime = Runtime.create ~workers ~model ();
+      runtime = Runtime.create ~workers ~model ~obs ();
+      obs;
       builders = Hashtbl.create 8;
       vars = Hashtbl.create 16;
       mutex = Mutex.create ();
@@ -35,6 +39,7 @@ let init ?(model = Model.X86) ?(workers = 1) () =
 
 let model t = Runtime.model t.runtime
 let worker_count t = Runtime.worker_count t.runtime
+let obs t = t.obs
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -64,9 +69,11 @@ let stop t =
 
 let tracking t = t.tracking
 
-let sink ?(thread = 0) t = Builder.sink (builder t thread)
+let sink ?(thread = 0) t = Sink.observed t.obs (Builder.sink (builder t thread))
 
-let emit ?(thread = 0) ?(loc = Loc.none) t kind = Builder.emit (builder t thread) kind loc
+let emit ?(thread = 0) ?(loc = Loc.none) t kind =
+  if Obs.enabled t.obs then Obs.event_traced t.obs;
+  Builder.emit (builder t thread) kind loc
 
 let exclude ?thread ?loc t ~addr ~size =
   emit ?thread ?loc t (Event.Control (Event.Exclude { addr; size }))
@@ -121,6 +128,7 @@ let send_trace ?(thread = 0) t =
     List.iter (fun f -> f section) t.observers;
     Runtime.send_trace t.runtime section
   end
+  else if Obs.enabled t.obs then Obs.section_dropped t.obs
 
 let get_result t = Runtime.get_result t.runtime
 let section_length ?(thread = 0) t = Builder.length (builder t thread)

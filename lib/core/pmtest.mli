@@ -26,9 +26,14 @@ open Pmtest_trace
 
 type t
 
-val init : ?model:Model.kind -> ?workers:int -> unit -> t
+val init : ?model:Model.kind -> ?workers:int -> ?obs:Pmtest_obs.Obs.t -> unit -> t
 (** Create a session. [workers] is the size of the checking pool
-    (default 1; [0] checks synchronously inside [send_trace]). *)
+    (default 1; [0] checks synchronously inside [send_trace]). [obs]
+    (default {!Pmtest_obs.Obs.disabled}) observes the whole pipeline:
+    entries traced, sections sent/dropped, and — through the runtime —
+    dispatch/check/merge spans and worker utilization. *)
+
+val obs : t -> Pmtest_obs.Obs.t
 
 val finish : t -> Report.t
 (** Send any unfinished sections, drain the workers, shut the runtime
@@ -53,7 +58,12 @@ val stop : t -> unit
 val tracking : t -> bool
 
 val sink : ?thread:int -> t -> Sink.t
-(** The session viewed as an instrumentation sink for the given thread. *)
+(** The session viewed as an instrumentation sink for the given thread.
+    With observability off this is the thread's raw builder sink. *)
+
+val emit : ?thread:int -> ?loc:Loc.t -> t -> Event.kind -> unit
+(** Record one arbitrary trace entry — how replay tools (e.g.
+    [pmtest-cli stat] on a recorded trace) feed a live session. *)
 
 (** {1 Persistent objects} *)
 

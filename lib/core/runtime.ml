@@ -1,5 +1,6 @@
 open Pmtest_model
 open Pmtest_trace
+module Obs = Pmtest_obs.Obs
 
 type msg = Task of int * Event.t array | Stop
 
@@ -7,6 +8,7 @@ type worker = { queue : msg Queue.t; mutex : Mutex.t; nonempty : Condition.t }
 
 type t = {
   model : Model.kind;
+  obs : Obs.t;
   workers : worker array;
   mutable domains : unit Domain.t array;
   (* All fields below are guarded by [agg_mutex]. *)
@@ -41,30 +43,42 @@ let take w =
 let complete t seq report =
   Mutex.lock t.agg_mutex;
   Hashtbl.replace t.parked seq report;
+  if Obs.enabled t.obs then Obs.reorder_depth t.obs (Hashtbl.length t.parked);
   while Hashtbl.mem t.parked t.next_merge do
     let r = Hashtbl.find t.parked t.next_merge in
     Hashtbl.remove t.parked t.next_merge;
     t.aggregate <- Report.merge t.aggregate r;
+    if Obs.enabled t.obs then Obs.section_merged t.obs ~seq:t.next_merge;
     t.next_merge <- t.next_merge + 1;
     t.completed <- t.completed + 1
   done;
   Condition.broadcast t.drained;
   Mutex.unlock t.agg_mutex
 
-let rec worker_loop t w =
+let check_section t ~seq ~worker entries =
+  if Obs.enabled t.obs then begin
+    Obs.check_started t.obs ~seq ~worker;
+    let r = Engine.check ~obs:t.obs ~model:t.model entries in
+    Obs.check_finished t.obs ~seq;
+    r
+  end
+  else Engine.check ~model:t.model entries
+
+let rec worker_loop t idx w =
   match take w with
   | Stop -> ()
   | Task (seq, entries) ->
-    complete t seq (Engine.check ~model:t.model entries);
-    worker_loop t w
+    complete t seq (check_section t ~seq ~worker:idx entries);
+    worker_loop t idx w
 
-let create ?(workers = 1) ?(model = Model.X86) () =
+let create ?(workers = 1) ?(model = Model.X86) ?(obs = Obs.disabled) () =
   if workers < 0 then invalid_arg "Runtime.create: negative worker count";
   let mk_worker () = { queue = Queue.create (); mutex = Mutex.create (); nonempty = Condition.create () } in
   let pool = Array.init workers (fun _ -> mk_worker ()) in
   let t =
     {
       model;
+      obs;
       workers = pool;
       domains = [||];
       agg_mutex = Mutex.create ();
@@ -77,11 +91,12 @@ let create ?(workers = 1) ?(model = Model.X86) () =
       stopped = false;
     }
   in
-  t.domains <- Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w)) pool;
+  t.domains <- Array.mapi (fun idx w -> Domain.spawn (fun () -> worker_loop t idx w)) pool;
   t
 
 let worker_count t = Array.length t.workers
 let model t = t.model
+let obs t = t.obs
 
 let send_trace t entries =
   Mutex.lock t.agg_mutex;
@@ -91,8 +106,12 @@ let send_trace t entries =
   end;
   let seq = t.dispatched in
   t.dispatched <- t.dispatched + 1;
+  if Obs.enabled t.obs then begin
+    Obs.section_sent t.obs ~seq ~entries:(Array.length entries);
+    Obs.queue_depth t.obs (t.dispatched - t.completed)
+  end;
   Mutex.unlock t.agg_mutex;
-  if Array.length t.workers = 0 then complete t seq (Engine.check ~model:t.model entries)
+  if Array.length t.workers = 0 then complete t seq (check_section t ~seq ~worker:0 entries)
   else begin
     (* Round-robin dispatch, as the paper's master thread does. *)
     let w = t.workers.(seq mod Array.length t.workers) in

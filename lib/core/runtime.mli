@@ -16,11 +16,15 @@ open Pmtest_trace
 
 type t
 
-val create : ?workers:int -> ?model:Model.kind -> unit -> t
-(** [create ~workers ()] spawns that many checking domains (default 1). *)
+val create : ?workers:int -> ?model:Model.kind -> ?obs:Pmtest_obs.Obs.t -> unit -> t
+(** [create ~workers ()] spawns that many checking domains (default 1).
+    [obs] (default {!Pmtest_obs.Obs.disabled}) collects pipeline metrics:
+    section dispatch/check/merge spans, queue depth and reorder-buffer
+    occupancy high-water marks, per-worker busy time. *)
 
 val worker_count : t -> int
 val model : t -> Model.kind
+val obs : t -> Pmtest_obs.Obs.t
 
 val send_trace : t -> Event.t array -> unit
 (** Queue a section for checking. Raises [Invalid_argument] after

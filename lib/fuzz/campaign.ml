@@ -45,7 +45,8 @@ let program_for_seed cfg s =
     Gen.oracle_program ~with_checkers:true (Gen.oracle_cfg cfg.model) rng
   else Gen.generate { cfg.gen with Gen.model = cfg.model } rng
 
-let run ?(on_program = fun _ -> ()) cfg =
+let run ?(obs = Pmtest_obs.Obs.disabled) ?(on_program = fun _ -> ()) cfg =
+  let module Obs = Pmtest_obs.Obs in
   let n_pairs = List.length Cross.all_pairs in
   let applied = Array.make n_pairs 0 in
   let skipped = Array.make n_pairs 0 in
@@ -60,6 +61,15 @@ let run ?(on_program = fun _ -> ()) cfg =
     let program = program_for_seed cfg s in
     gen_seconds := !gen_seconds +. (Sys.time () -. t0);
     events := !events + Array.length program.Gen.events;
+    (* Each program plays the role of one section: generation is the
+       trace, the cross-check pass is the engine check. *)
+    if Obs.enabled obs then begin
+      let entries = Array.length program.Gen.events in
+      Obs.events_traced_add obs entries;
+      Obs.section_sent obs ~seq:i ~entries;
+      Obs.queue_depth obs 1;
+      Obs.check_started obs ~seq:i ~worker:0
+    end;
     List.iteri
       (fun pi pair ->
         let t0 = Sys.time () in
@@ -78,7 +88,11 @@ let run ?(on_program = fun _ -> ()) cfg =
                 program.Gen.events
           in
           findings := { found_seed = s; pair; detail; program; shrunk } :: !findings)
-      Cross.all_pairs
+      Cross.all_pairs;
+    if Obs.enabled obs then begin
+      Obs.check_finished obs ~seq:i;
+      Obs.section_merged obs ~seq:i
+    end
   done;
   let assoc arr = List.mapi (fun pi pair -> (pair, arr.(pi))) Cross.all_pairs in
   {

@@ -44,8 +44,12 @@ type stats = {
 val program_for_seed : cfg -> int -> Gen.program
 (** The program a campaign over [cfg] derives from this absolute seed. *)
 
-val run : ?on_program:(int -> unit) -> cfg -> stats
+val run : ?obs:Pmtest_obs.Obs.t -> ?on_program:(int -> unit) -> cfg -> stats
 (** [on_program] is called with each index before it is processed
-    (progress reporting). *)
+    (progress reporting). [obs] (default disabled) profiles campaign
+    throughput: each program is recorded as one section — generation
+    feeds the trace counters, the cross-check pass brackets the check
+    span — so [pmtest-cli fuzz --profile] can report programs/s and
+    check-latency distribution. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -192,10 +192,6 @@ let vs_oracle (p : Gen.program) =
 let vs_crashtest (p : Gen.program) =
   if p.Gen.model = Model.Eadr then Skip "the simulated device does not model eADR"
   else if not (ops_in_bounds p) then Skip "ops outside the simulated device"
-  else if Gen.has_exclusion p then
-    (* A write inside an exclusion hole never updates the engine's shadow,
-       so an older claim can outlive the data it described. *)
-    Skip "exclusion holes hide writes from the engine's shadow state"
   else if Event.op_count p.Gen.events = 0 then Agree
   else begin
     let apply m (e : Event.t) ~payload =

@@ -24,12 +24,14 @@
       {!Oracle} ground truth (isPersist/isOrderedBefore sound {e and}
       complete).
     - {b engine/crashtest}: not under eADR (the simulated device keeps
-      stores volatile) and no exclusion holes (a write inside a hole
-      never updates the engine's shadow, so an older persisted claim can
-      outlive the data it described). Replaying the program as
-      {!Pmtest_crashtest} steps, every durable image at the final crash
-      point must contain the content of every range the engine claims
-      persisted. *)
+      stores volatile). Replaying the program as {!Pmtest_crashtest}
+      steps, every durable image at the final crash point must contain
+      the content of every range the engine claims persisted. Exclusion
+      holes are covered: the engine's shadow now records writes across
+      holes (exclusion gates diagnostics, not history), so no stale
+      pre-exclusion claim can outlive the data it described — the
+      regression corpus pins the shrunk reproducer of the staleness gap
+      this contract once had to skip around. *)
 
 open Pmtest_trace
 

@@ -104,21 +104,24 @@ let on_write st loc ~addr ~size =
             addr size (Loc.to_string f.floc)
       end
     end;
-    if st.model <> Model.Eadr then begin
-      (* Under eADR the caches are persistent: a store is durable as it
-         executes, so there is nothing to track. *)
-      st.serial <- st.serial + 1;
-      let s =
-        {
-          wserial = st.serial;
-          wloc = loc;
-          wepoch = st.epoch;
-          wsup = suppressed st Rule.Write_never_flushed;
-          flush = None;
-        }
-      in
-      List.iter (fun (lo, hi) -> st.shadow <- Interval_map.set st.shadow ~lo ~hi s) subs
-    end
+  end;
+  if st.model <> Model.Eadr then begin
+    (* Under eADR the caches are persistent: a store is durable as it
+       executes, so there is nothing to track. Like the dynamic engine,
+       the shadow spans the whole stored range even inside exclusion
+       holes — findings above stay hole-gated, but the recorded state
+       must describe what memory actually holds. *)
+    st.serial <- st.serial + 1;
+    let s =
+      {
+        wserial = st.serial;
+        wloc = loc;
+        wepoch = st.epoch;
+        wsup = suppressed st Rule.Write_never_flushed;
+        flush = None;
+      }
+    in
+    st.shadow <- Interval_map.set st.shadow ~lo:addr ~hi:(addr + size) s
   end
 
 let on_clwb st loc ~addr ~size =

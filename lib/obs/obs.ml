@@ -1,0 +1,493 @@
+(* Collector internals: one Atomic for the per-event hot counter, one
+   mutex for everything section-grained. Section hooks fire a handful of
+   times per section (hundreds of entries), so a mutex there costs
+   nothing next to the engine pass itself; the per-event counter is the
+   only hook on the tracing fast path and stays lock-free. *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+type hist = {
+  total : int;
+  sum_ns : int;
+  min_ns : int;
+  max_ns : int;
+  buckets : (int * int) list;
+}
+
+type worker_stat = { id : int; sections : int; busy_ns : int }
+
+type span = {
+  seq : int;
+  worker : int;
+  entries : int;
+  sent_ns : int;
+  start_ns : int;
+  done_ns : int;
+  merged_ns : int;
+}
+
+type snapshot = {
+  elapsed_ns : int;
+  events_traced : int;
+  sections_sent : int;
+  sections_checked : int;
+  sections_merged : int;
+  sections_dropped : int;
+  queue_hwm : int;
+  reorder_hwm : int;
+  entries_checked : int;
+  ops_checked : int;
+  checkers_run : int;
+  diagnostics : int;
+  workers : worker_stat list;
+  check_hist : hist;
+  e2e_hist : hist;
+  spans : span list;
+}
+
+(* Durations live in log2 buckets: bucket [i] holds [2^i, 2^(i+1)) ns,
+   with 0 and 1 ns both in bucket 0. 63 buckets cover any OCaml int. *)
+let n_buckets = 63
+
+let bucket_of ns =
+  if ns < 2 then 0
+  else begin
+    let i = ref 0 and v = ref ns in
+    while !v > 1 do
+      v := !v lsr 1;
+      incr i
+    done;
+    min !i (n_buckets - 1)
+  end
+
+type hist_acc = {
+  mutable h_total : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+let hist_acc () = { h_total = 0; h_sum = 0; h_min = 0; h_max = 0; h_buckets = Array.make n_buckets 0 }
+
+let hist_add h ns =
+  let ns = max 0 ns in
+  if h.h_total = 0 || ns < h.h_min then h.h_min <- ns;
+  if ns > h.h_max then h.h_max <- ns;
+  h.h_total <- h.h_total + 1;
+  h.h_sum <- h.h_sum + ns;
+  let b = bucket_of ns in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let hist_of_acc h =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+  done;
+  { total = h.h_total; sum_ns = h.h_sum; min_ns = h.h_min; max_ns = h.h_max; buckets = !buckets }
+
+type pending = {
+  p_entries : int;
+  p_sent : int;
+  mutable p_worker : int;
+  mutable p_start : int;
+  mutable p_done : int;
+}
+
+type t = {
+  on : bool;
+  max_spans : int;
+  created : int;
+  events : int Atomic.t;
+  m : Mutex.t;
+  mutable sent : int;
+  mutable checked : int;
+  mutable merged : int;
+  mutable dropped : int;
+  mutable queue_hwm : int;
+  mutable reorder_hwm : int;
+  mutable n_entries : int;
+  mutable n_ops : int;
+  mutable n_checkers : int;
+  mutable n_diags : int;
+  pending : (int, pending) Hashtbl.t;
+  wstats : (int, int ref * int ref) Hashtbl.t;  (* id -> (sections, busy_ns) *)
+  check_h : hist_acc;
+  e2e_h : hist_acc;
+  spans : span Queue.t;
+}
+
+let make ~on ~max_spans =
+  {
+    on;
+    max_spans;
+    created = now_ns ();
+    events = Atomic.make 0;
+    m = Mutex.create ();
+    sent = 0;
+    checked = 0;
+    merged = 0;
+    dropped = 0;
+    queue_hwm = 0;
+    reorder_hwm = 0;
+    n_entries = 0;
+    n_ops = 0;
+    n_checkers = 0;
+    n_diags = 0;
+    pending = Hashtbl.create 32;
+    wstats = Hashtbl.create 8;
+    check_h = hist_acc ();
+    e2e_h = hist_acc ();
+    spans = Queue.create ();
+  }
+
+let disabled = make ~on:false ~max_spans:0
+let create ?(max_spans = 1024) () = make ~on:true ~max_spans
+let enabled t = t.on
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let since t = now_ns () - t.created
+
+let event_traced t = if t.on then Atomic.incr t.events
+let events_traced_add t n = if t.on then ignore (Atomic.fetch_and_add t.events n)
+let section_dropped t = if t.on then locked t (fun () -> t.dropped <- t.dropped + 1)
+
+let section_sent t ~seq ~entries =
+  if t.on then
+    locked t (fun () ->
+        t.sent <- t.sent + 1;
+        Hashtbl.replace t.pending seq
+          { p_entries = entries; p_sent = since t; p_worker = 0; p_start = 0; p_done = 0 })
+
+let queue_depth t d = if t.on then locked t (fun () -> if d > t.queue_hwm then t.queue_hwm <- d)
+
+let reorder_depth t d =
+  if t.on then locked t (fun () -> if d > t.reorder_hwm then t.reorder_hwm <- d)
+
+let check_started t ~seq ~worker =
+  if t.on then
+    locked t (fun () ->
+        match Hashtbl.find_opt t.pending seq with
+        | None -> ()
+        | Some p ->
+          p.p_worker <- worker;
+          (* The producer's and worker's gettimeofday readings may step
+             past each other; clamp so sent <= start <= done <= merged. *)
+          p.p_start <- max (since t) p.p_sent)
+
+let worker_stat t id =
+  match Hashtbl.find_opt t.wstats id with
+  | Some s -> s
+  | None ->
+    let s = (ref 0, ref 0) in
+    Hashtbl.replace t.wstats id s;
+    s
+
+let check_finished t ~seq =
+  if t.on then
+    locked t (fun () ->
+        match Hashtbl.find_opt t.pending seq with
+        | None -> ()
+        | Some p ->
+          p.p_done <- max (since t) p.p_start;
+          t.checked <- t.checked + 1;
+          let sections, busy = worker_stat t p.p_worker in
+          incr sections;
+          busy := !busy + (p.p_done - p.p_start);
+          hist_add t.check_h (p.p_done - p.p_start))
+
+let section_merged t ~seq =
+  if t.on then
+    locked t (fun () ->
+        match Hashtbl.find_opt t.pending seq with
+        | None -> ()
+        | Some p ->
+          Hashtbl.remove t.pending seq;
+          let merged_ns = max (since t) p.p_done in
+          t.merged <- t.merged + 1;
+          hist_add t.e2e_h (merged_ns - p.p_sent);
+          Queue.push
+            {
+              seq;
+              worker = p.p_worker;
+              entries = p.p_entries;
+              sent_ns = p.p_sent;
+              start_ns = p.p_start;
+              done_ns = p.p_done;
+              merged_ns;
+            }
+            t.spans;
+          if Queue.length t.spans > t.max_spans then ignore (Queue.pop t.spans))
+
+let engine_counts t ~entries ~ops ~checkers ~diags =
+  if t.on then
+    locked t (fun () ->
+        t.n_entries <- t.n_entries + entries;
+        t.n_ops <- t.n_ops + ops;
+        t.n_checkers <- t.n_checkers + checkers;
+        t.n_diags <- t.n_diags + diags)
+
+let empty_hist = { total = 0; sum_ns = 0; min_ns = 0; max_ns = 0; buckets = [] }
+
+let empty_snapshot =
+  {
+    elapsed_ns = 0;
+    events_traced = 0;
+    sections_sent = 0;
+    sections_checked = 0;
+    sections_merged = 0;
+    sections_dropped = 0;
+    queue_hwm = 0;
+    reorder_hwm = 0;
+    entries_checked = 0;
+    ops_checked = 0;
+    checkers_run = 0;
+    diagnostics = 0;
+    workers = [];
+    check_hist = empty_hist;
+    e2e_hist = empty_hist;
+    spans = [];
+  }
+
+let snapshot t =
+  if not t.on then empty_snapshot
+  else
+    locked t (fun () ->
+        let workers =
+          List.sort compare
+            (Hashtbl.fold
+               (fun id (sections, busy) acc ->
+                 { id; sections = !sections; busy_ns = !busy } :: acc)
+               t.wstats [])
+        in
+        {
+          elapsed_ns = since t;
+          events_traced = Atomic.get t.events;
+          sections_sent = t.sent;
+          sections_checked = t.checked;
+          sections_merged = t.merged;
+          sections_dropped = t.dropped;
+          queue_hwm = t.queue_hwm;
+          reorder_hwm = t.reorder_hwm;
+          entries_checked = t.n_entries;
+          ops_checked = t.n_ops;
+          checkers_run = t.n_checkers;
+          diagnostics = t.n_diags;
+          workers;
+          check_hist = hist_of_acc t.check_h;
+          e2e_hist = hist_of_acc t.e2e_h;
+          spans = List.of_seq (Queue.to_seq t.spans);
+        })
+
+(* --- Pretty console sink ---------------------------------------------------- *)
+
+let pp_dur ppf ns =
+  if ns < 1_000 then Format.fprintf ppf "%dns" ns
+  else if ns < 1_000_000 then Format.fprintf ppf "%.1fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then Format.fprintf ppf "%.1fms" (float_of_int ns /. 1e6)
+  else Format.fprintf ppf "%.2fs" (float_of_int ns /. 1e9)
+
+let dur_to_string ns = Format.asprintf "%a" pp_dur ns
+
+let pp_hist ppf (name, h) =
+  if h.total = 0 then Format.fprintf ppf "@,%s: no samples" name
+  else begin
+    Format.fprintf ppf "@,%s: %d sample(s), min %s, mean %s, max %s" name h.total
+      (dur_to_string h.min_ns)
+      (dur_to_string (h.sum_ns / h.total))
+      (dur_to_string h.max_ns);
+    let widest = List.fold_left (fun m (_, c) -> max m c) 1 h.buckets in
+    List.iter
+      (fun (i, count) ->
+        let lo = if i = 0 then 0 else 1 lsl i in
+        let hi = 1 lsl (i + 1) in
+        let bar = String.make (max 1 (count * 24 / widest)) '#' in
+        Format.fprintf ppf "@,  [%7s, %7s)  %-24s %d" (dur_to_string lo) (dur_to_string hi) bar
+          count)
+      h.buckets
+  end
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>pipeline profile — %s elapsed" (dur_to_string s.elapsed_ns);
+  Format.fprintf ppf "@,events traced    %d" s.events_traced;
+  Format.fprintf ppf "@,sections         sent %d  checked %d  merged %d  dropped %d"
+    s.sections_sent s.sections_checked s.sections_merged s.sections_dropped;
+  Format.fprintf ppf "@,queue high-water %d   reorder-buffer high-water %d" s.queue_hwm
+    s.reorder_hwm;
+  Format.fprintf ppf "@,engine           entries %d  ops %d  checkers %d  diagnostics %d"
+    s.entries_checked s.ops_checked s.checkers_run s.diagnostics;
+  if s.workers <> [] then begin
+    Format.fprintf ppf "@,workers (utilization = busy / elapsed):";
+    List.iter
+      (fun w ->
+        let util =
+          if s.elapsed_ns <= 0 then 0.0
+          else 100.0 *. float_of_int w.busy_ns /. float_of_int s.elapsed_ns
+        in
+        Format.fprintf ppf "@,  w%-3d sections %6d  busy %8s  utilization %5.1f%%" w.id
+          w.sections (dur_to_string w.busy_ns) util)
+      s.workers
+  end;
+  pp_hist ppf ("check latency", s.check_hist);
+  pp_hist ppf ("end-to-end section latency", s.e2e_hist);
+  if s.spans <> [] then
+    Format.fprintf ppf "@,%d span(s) retained (full records in the TSV/JSON output)"
+      (List.length s.spans);
+  Format.fprintf ppf "@]"
+
+(* --- TSV sink (round-trippable) --------------------------------------------- *)
+
+let counter_fields s =
+  [
+    ("elapsed_ns", s.elapsed_ns);
+    ("events_traced", s.events_traced);
+    ("sections_sent", s.sections_sent);
+    ("sections_checked", s.sections_checked);
+    ("sections_merged", s.sections_merged);
+    ("sections_dropped", s.sections_dropped);
+    ("queue_hwm", s.queue_hwm);
+    ("reorder_hwm", s.reorder_hwm);
+    ("entries_checked", s.entries_checked);
+    ("ops_checked", s.ops_checked);
+    ("checkers_run", s.checkers_run);
+    ("diagnostics", s.diagnostics);
+  ]
+
+let to_tsv s =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b l; Buffer.add_char b '\n') fmt in
+  List.iter (fun (k, v) -> line "counter\t%s\t%d" k v) (counter_fields s);
+  List.iter (fun w -> line "worker\t%d\t%d\t%d" w.id w.sections w.busy_ns) s.workers;
+  List.iter
+    (fun (name, h) ->
+      line "hist\t%s\t%d\t%d\t%d\t%d" name h.total h.sum_ns h.min_ns h.max_ns;
+      List.iter (fun (i, c) -> line "histbucket\t%s\t%d\t%d" name i c) h.buckets)
+    [ ("check", s.check_hist); ("e2e", s.e2e_hist) ];
+  List.iter
+    (fun sp ->
+      line "span\t%d\t%d\t%d\t%d\t%d\t%d\t%d" sp.seq sp.worker sp.entries sp.sent_ns sp.start_ns
+        sp.done_ns sp.merged_ns)
+    s.spans;
+  Buffer.contents b
+
+let of_tsv text =
+  let snap = ref empty_snapshot in
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt in
+  let set_counter k v =
+    let s = !snap in
+    match k with
+    | "elapsed_ns" -> snap := { s with elapsed_ns = v }
+    | "events_traced" -> snap := { s with events_traced = v }
+    | "sections_sent" -> snap := { s with sections_sent = v }
+    | "sections_checked" -> snap := { s with sections_checked = v }
+    | "sections_merged" -> snap := { s with sections_merged = v }
+    | "sections_dropped" -> snap := { s with sections_dropped = v }
+    | "queue_hwm" -> snap := { s with queue_hwm = v }
+    | "reorder_hwm" -> snap := { s with reorder_hwm = v }
+    | "entries_checked" -> snap := { s with entries_checked = v }
+    | "ops_checked" -> snap := { s with ops_checked = v }
+    | "checkers_run" -> snap := { s with checkers_run = v }
+    | "diagnostics" -> snap := { s with diagnostics = v }
+    | other -> fail "unknown counter %S" other
+  in
+  let set_hist name f =
+    let s = !snap in
+    match name with
+    | "check" -> snap := { s with check_hist = f s.check_hist }
+    | "e2e" -> snap := { s with e2e_hist = f s.e2e_hist }
+    | other -> fail "unknown histogram %S" other
+  in
+  let ints l = List.map int_of_string l in
+  List.iter
+    (fun l ->
+      if !err = None && String.trim l <> "" then
+        match String.split_on_char '\t' l with
+        | [ "counter"; k; v ] -> (
+          match int_of_string_opt v with
+          | Some v -> set_counter k v
+          | None -> fail "bad counter value in %S" l)
+        | "worker" :: rest -> (
+          match ints rest with
+          | [ id; sections; busy_ns ] ->
+            let s = !snap in
+            snap := { s with workers = s.workers @ [ { id; sections; busy_ns } ] }
+          | _ | (exception Failure _) -> fail "malformed worker line %S" l)
+        | "hist" :: name :: rest -> (
+          match ints rest with
+          | [ total; sum_ns; min_ns; max_ns ] ->
+            set_hist name (fun _ -> { total; sum_ns; min_ns; max_ns; buckets = [] })
+          | _ | (exception Failure _) -> fail "malformed hist line %S" l)
+        | "histbucket" :: name :: rest -> (
+          match ints rest with
+          | [ i; c ] -> set_hist name (fun h -> { h with buckets = h.buckets @ [ (i, c) ] })
+          | _ | (exception Failure _) -> fail "malformed histbucket line %S" l)
+        | "span" :: rest -> (
+          match ints rest with
+          | [ seq; worker; entries; sent_ns; start_ns; done_ns; merged_ns ] ->
+            let s = !snap in
+            snap :=
+              {
+                s with
+                spans =
+                  s.spans @ [ { seq; worker; entries; sent_ns; start_ns; done_ns; merged_ns } ];
+              }
+          | _ | (exception Failure _) -> fail "malformed span line %S" l)
+        | _ -> fail "unrecognized line %S" l)
+    (String.split_on_char '\n' text);
+  match !err with Some m -> Error m | None -> Ok !snap
+
+(* --- JSON-lines sink --------------------------------------------------------- *)
+
+let to_jsonl s =
+  let b = Buffer.create 1024 in
+  let obj fields =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "%S:%s" k v))
+      fields;
+    Buffer.add_string b "}\n"
+  in
+  let i n = string_of_int n in
+  obj
+    ((("type", "\"counters\"") :: List.map (fun (k, v) -> (k, i v)) (counter_fields s)));
+  List.iter
+    (fun w ->
+      obj
+        [
+          ("type", "\"worker\""); ("id", i w.id); ("sections", i w.sections);
+          ("busy_ns", i w.busy_ns);
+        ])
+    s.workers;
+  List.iter
+    (fun (name, h) ->
+      obj
+        [
+          ("type", "\"hist\"");
+          ("name", Printf.sprintf "%S" name);
+          ("total", i h.total);
+          ("sum_ns", i h.sum_ns);
+          ("min_ns", i h.min_ns);
+          ("max_ns", i h.max_ns);
+          ( "buckets",
+            "["
+            ^ String.concat ","
+                (List.map (fun (bi, c) -> Printf.sprintf "[%d,%d]" bi c) h.buckets)
+            ^ "]" );
+        ])
+    [ ("check", s.check_hist); ("e2e", s.e2e_hist) ];
+  List.iter
+    (fun sp ->
+      obj
+        [
+          ("type", "\"span\""); ("seq", i sp.seq); ("worker", i sp.worker);
+          ("entries", i sp.entries); ("sent_ns", i sp.sent_ns); ("start_ns", i sp.start_ns);
+          ("done_ns", i sp.done_ns); ("merged_ns", i sp.merged_ns);
+        ])
+    s.spans;
+  Buffer.contents b

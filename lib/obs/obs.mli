@@ -1,0 +1,137 @@
+(** Observability for the checking pipeline.
+
+    One {!t} instruments a whole session: the tracer counts every entry
+    it records, the runtime stamps each section's trip through dispatch,
+    worker checking and in-order merge, and the engine reports what it
+    examined. Everything is exposed as immutable {!snapshot} values that
+    can be pretty-printed, serialized to TSV (machine-readable,
+    round-trippable via {!of_tsv}) or to JSON lines.
+
+    The disabled path is deliberately free: {!disabled} is a singleton
+    whose [on] field is an immutable [false], every hook is guarded by
+    callers with a single [if Obs.enabled obs] load-and-branch, and
+    [Sink.observed] returns the {e unwrapped} sink when given
+    {!disabled}, so the per-event hot path is byte-for-byte the
+    uninstrumented one.
+
+    Timestamps come from [Unix.gettimeofday] (the repo has no monotonic
+    clock outside the bench harness); span stamps are clamped so that
+    sent <= start <= done <= merged even if the wall clock steps
+    backwards, which keeps the end-to-end >= check-latency invariant
+    machine-checkable. *)
+
+type t
+
+val disabled : t
+(** The shared no-op instance; every hook returns immediately. *)
+
+val create : ?max_spans:int -> unit -> t
+(** A live collector. At most [max_spans] (default 1024) of the most
+    recent completed section spans are retained. *)
+
+val enabled : t -> bool
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds since the Unix epoch. *)
+
+(** {1 Hooks}
+
+    All hooks are safe to call from any domain. [seq] is the runtime's
+    dispatch sequence number; [worker] identifies the checking domain
+    (the synchronous [workers:0] path uses worker 0). Calling any hook
+    on {!disabled} is a no-op. *)
+
+val event_traced : t -> unit
+(** One trace entry recorded by an instrumentation sink or emitter. *)
+
+val events_traced_add : t -> int -> unit
+(** Bulk version of {!event_traced} for replay paths. *)
+
+val section_dropped : t -> unit
+(** [send_trace] found an empty section: nothing was dispatched. *)
+
+val section_sent : t -> seq:int -> entries:int -> unit
+(** Section [seq] ([entries] trace entries) handed to the runtime. *)
+
+val queue_depth : t -> int -> unit
+(** Sections dispatched but not yet merged, sampled at dispatch; the
+    high-water mark is kept. *)
+
+val check_started : t -> seq:int -> worker:int -> unit
+val check_finished : t -> seq:int -> unit
+(** Bracket the engine pass over section [seq] on a worker. On finish
+    the per-worker section count and busy time and the check-latency
+    histogram are updated. *)
+
+val section_merged : t -> seq:int -> unit
+(** Section [seq] merged into the aggregate in dispatch order; closes
+    its span and feeds the end-to-end latency histogram. *)
+
+val reorder_depth : t -> int -> unit
+(** Occupancy of the reorder buffer (reports parked waiting for an
+    earlier section), sampled after each parking; high-water kept. *)
+
+val engine_counts : t -> entries:int -> ops:int -> checkers:int -> diags:int -> unit
+(** Totals from one engine pass over a section. *)
+
+(** {1 Snapshots} *)
+
+type hist = {
+  total : int;  (** Samples recorded. *)
+  sum_ns : int;
+  min_ns : int;  (** 0 when [total = 0]. *)
+  max_ns : int;
+  buckets : (int * int) list;
+      (** [(i, count)] with count > 0, ascending [i]: durations in
+          [\[2{^i}, 2{^i+1}) ns] (bucket 0 also holds 0 and 1 ns). *)
+}
+
+type worker_stat = { id : int; sections : int; busy_ns : int }
+
+type span = {
+  seq : int;
+  worker : int;
+  entries : int;
+  sent_ns : int;  (** Relative to collector creation. *)
+  start_ns : int;
+  done_ns : int;
+  merged_ns : int;
+}
+
+type snapshot = {
+  elapsed_ns : int;  (** Since collector creation. *)
+  events_traced : int;
+  sections_sent : int;
+  sections_checked : int;
+  sections_merged : int;
+  sections_dropped : int;
+  queue_hwm : int;
+  reorder_hwm : int;
+  entries_checked : int;
+  ops_checked : int;
+  checkers_run : int;
+  diagnostics : int;
+  workers : worker_stat list;  (** Ascending worker id. *)
+  check_hist : hist;  (** Engine pass time per section. *)
+  e2e_hist : hist;  (** Dispatch-to-merge time per section. *)
+  spans : span list;  (** Oldest retained first. *)
+}
+
+val snapshot : t -> snapshot
+(** A consistent copy of the current state; {!disabled} yields all
+    zeros. Counters are monotonic from one snapshot to the next. *)
+
+(** {1 Sinks} *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Console profile: counters, per-worker utilization, histogram bars. *)
+
+val to_tsv : snapshot -> string
+(** Machine-readable: one [tag\tfield...] line per datum. *)
+
+val of_tsv : string -> (snapshot, string) result
+(** Inverse of {!to_tsv}: [of_tsv (to_tsv s) = Ok s]. *)
+
+val to_jsonl : snapshot -> string
+(** JSON-lines: one object per line ([counters], [worker], [hist],
+    [span]), integer fields only. *)

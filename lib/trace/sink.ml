@@ -7,6 +7,12 @@ let null = { emit = (fun _ _ -> ()) }
 
 let tee a b = { emit = (fun k loc -> a.emit k loc; b.emit k loc) }
 
+let observed obs t =
+  (* Disabled observability must not cost an extra closure on the
+     per-event hot path: hand the caller back the unwrapped sink. *)
+  if not (Pmtest_obs.Obs.enabled obs) then t
+  else { emit = (fun k loc -> Pmtest_obs.Obs.event_traced obs; t.emit k loc) }
+
 let counting () =
   let n = ref 0 in
   ({ emit = (fun _ _ -> incr n) }, fun () -> !n)

@@ -24,6 +24,11 @@ val tee : t -> t -> t
 val counting : unit -> t * (unit -> int)
 (** A sink that just counts entries; returns the sink and a reader. *)
 
+val observed : Pmtest_obs.Obs.t -> t -> t
+(** Counts every entry into the collector's events-traced counter before
+    forwarding. With a disabled collector this returns the input sink
+    itself, so the uninstrumented emit path is completely unchanged. *)
+
 val emit : t -> ?loc:Loc.t -> Event.kind -> unit
 val write : t -> ?loc:Loc.t -> addr:int -> size:int -> unit -> unit
 val clwb : t -> ?loc:Loc.t -> addr:int -> size:int -> unit -> unit
