@@ -29,6 +29,18 @@ val check : ?obs:Pmtest_obs.Obs.t -> ?model:Model.kind -> Event.t array -> Repor
     With an enabled [obs] the per-section entry/op/checker/diagnostic
     totals are added to the collector after the pass. *)
 
+val check_packed :
+  ?obs:Pmtest_obs.Obs.t -> ?model:Model.kind -> ?prelude:Event.t array -> Packed.t -> Report.t
+(** The flat fast path: walk a packed arena with a cursor — no
+    [Event.t array] is materialised — over the mutable page-indexed
+    shadow memory.  [prelude] (default empty) is a boxed event prefix
+    replayed before the arena — the session's exclusion preamble — so
+    the report equals {!check} on [Array.append prelude (to_events p)].
+    Produces a report byte-identical to {!check} on the boxed decoding
+    of the same arena (pinned by the packed-vs-boxed fuzz contract and
+    test_packed); diagnostics render their messages only here, at
+    report-materialisation time. *)
+
 (** {1 Introspection for tests and examples} *)
 
 type range_status = {

@@ -26,14 +26,24 @@ open Pmtest_trace
 
 type t
 
-val init : ?model:Model.kind -> ?workers:int -> ?obs:Pmtest_obs.Obs.t -> unit -> t
+val init : ?model:Model.kind -> ?workers:int -> ?obs:Pmtest_obs.Obs.t -> ?packed:bool -> unit -> t
 (** Create a session. [workers] is the size of the checking pool
     (default 1; [0] checks synchronously inside [send_trace]). [obs]
     (default {!Pmtest_obs.Obs.disabled}) observes the whole pipeline:
     entries traced, sections sent/dropped, and — through the runtime —
-    dispatch/check/merge spans and worker utilization. *)
+    dispatch/check/merge spans and worker utilization.
+
+    [packed] (default false) selects the flat-trace fast path: builders
+    encode into reusable {!Pmtest_trace.Packed} arenas and sections are
+    handed to the runtime without materialising an [Event.t array]. The
+    verdict is identical either way; sections that carry an exclusion
+    preamble or feed {!on_section} observers fall back to the boxed
+    shape transparently. *)
 
 val obs : t -> Pmtest_obs.Obs.t
+
+val packed : t -> bool
+(** Whether this session uses the packed fast path. *)
 
 val finish : t -> Report.t
 (** Send any unfinished sections, drain the workers, shut the runtime

@@ -2,15 +2,34 @@ open Pmtest_model
 open Pmtest_trace
 module Obs = Pmtest_obs.Obs
 
-type msg = Task of int * Event.t array | Stop
+(* A section travels either boxed (the historical Event.t array) or as a
+   packed arena that the worker checks with the cursor engine and then
+   recycles to the freelist.  A packed section may carry a small boxed
+   prelude — the session's exclusion preamble — replayed before the
+   arena so active scopes never force the decode-to-boxed fallback. *)
+type section = Boxed of Event.t array | Packed of { p : Packed.t; prelude : Event.t array }
 
-type worker = { queue : msg Queue.t; mutex : Mutex.t; nonempty : Condition.t }
+type msg = Task of int * section | Stop
+
+type worker = {
+  queue : msg Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  (* Sections posted but not yet drained; written under [mutex], read
+     racily by the dispatcher's least-loaded scan (a stale value only
+     costs a slightly worse pick, never correctness). *)
+  mutable queued : int;
+}
 
 type t = {
   model : Model.kind;
   obs : Obs.t;
   workers : worker array;
   mutable domains : unit Domain.t array;
+  (* The send path touches only these two atomics — no lock shared with
+     the aggregation side. *)
+  dispatched : int Atomic.t;
+  stopped : bool Atomic.t;
   (* All fields below are guarded by [agg_mutex]. *)
   agg_mutex : Mutex.t;
   drained : Condition.t;
@@ -20,25 +39,43 @@ type t = {
      one a synchronous run would have produced. *)
   parked : (int, Report.t) Hashtbl.t;
   mutable next_merge : int;
-  mutable dispatched : int;
   mutable completed : int;
-  mutable stopped : bool;
 }
 
 let post w msg =
   Mutex.lock w.mutex;
   Queue.push msg w.queue;
+  (match msg with Task _ -> w.queued <- w.queued + 1 | Stop -> ());
   Condition.signal w.nonempty;
   Mutex.unlock w.mutex
 
-let take w =
+(* Drain the whole queue in one lock acquisition — the batch hand-off:
+   a worker that fell behind catches up without re-contending the mutex
+   per section. *)
+let drain_batch w =
   Mutex.lock w.mutex;
   while Queue.is_empty w.queue do
     Condition.wait w.nonempty w.mutex
   done;
-  let msg = Queue.pop w.queue in
+  let batch = ref [] in
+  while not (Queue.is_empty w.queue) do
+    let msg = Queue.pop w.queue in
+    (match msg with Task _ -> w.queued <- w.queued - 1 | Stop -> ());
+    batch := msg :: !batch
+  done;
   Mutex.unlock w.mutex;
-  msg
+  List.rev !batch
+
+let drain_rest w =
+  Mutex.lock w.mutex;
+  let batch = ref [] in
+  while not (Queue.is_empty w.queue) do
+    let msg = Queue.pop w.queue in
+    (match msg with Task _ -> w.queued <- w.queued - 1 | Stop -> ());
+    batch := msg :: !batch
+  done;
+  Mutex.unlock w.mutex;
+  List.rev !batch
 
 let complete t seq report =
   Mutex.lock t.agg_mutex;
@@ -55,25 +92,53 @@ let complete t seq report =
   Condition.broadcast t.drained;
   Mutex.unlock t.agg_mutex
 
-let check_section t ~seq ~worker entries =
+let check_payload t payload =
+  match payload with
+  | Boxed entries -> Engine.check ~obs:t.obs ~model:t.model entries
+  | Packed { p; prelude } ->
+    let r = Engine.check_packed ~obs:t.obs ~model:t.model ~prelude p in
+    Packed.free p;
+    r
+
+let check_section t ~seq ~worker payload =
   if Obs.enabled t.obs then begin
     Obs.check_started t.obs ~seq ~worker;
-    let r = Engine.check ~obs:t.obs ~model:t.model entries in
+    let r = check_payload t payload in
     Obs.check_finished t.obs ~seq;
     r
   end
-  else Engine.check ~model:t.model entries
+  else check_payload t payload
 
+(* Run every task in the batch; Stop only takes effect once the queue is
+   exhausted, so a task that raced past the shutdown gate is still
+   checked rather than stranded (get_result waits on its seq). *)
 let rec worker_loop t idx w =
-  match take w with
-  | Stop -> ()
-  | Task (seq, entries) ->
-    complete t seq (check_section t ~seq ~worker:idx entries);
-    worker_loop t idx w
+  let batch = drain_batch w in
+  let stopping = ref false in
+  let tasks = ref 0 in
+  List.iter
+    (fun msg ->
+      match msg with
+      | Stop -> stopping := true
+      | Task (seq, payload) ->
+        incr tasks;
+        complete t seq (check_section t ~seq ~worker:idx payload))
+    batch;
+  if !tasks > 0 && Obs.enabled t.obs then Obs.batch_drained t.obs ~sections:!tasks;
+  if not !stopping then worker_loop t idx w
+  else
+    List.iter
+      (fun msg ->
+        match msg with
+        | Stop -> ()
+        | Task (seq, payload) -> complete t seq (check_section t ~seq ~worker:idx payload))
+      (drain_rest w)
 
 let create ?(workers = 1) ?(model = Model.X86) ?(obs = Obs.disabled) () =
   if workers < 0 then invalid_arg "Runtime.create: negative worker count";
-  let mk_worker () = { queue = Queue.create (); mutex = Mutex.create (); nonempty = Condition.create () } in
+  let mk_worker () =
+    { queue = Queue.create (); mutex = Mutex.create (); nonempty = Condition.create (); queued = 0 }
+  in
   let pool = Array.init workers (fun _ -> mk_worker ()) in
   let t =
     {
@@ -81,14 +146,14 @@ let create ?(workers = 1) ?(model = Model.X86) ?(obs = Obs.disabled) () =
       obs;
       workers = pool;
       domains = [||];
+      dispatched = Atomic.make 0;
+      stopped = Atomic.make false;
       agg_mutex = Mutex.create ();
       drained = Condition.create ();
       aggregate = Report.empty;
       parked = Hashtbl.create 16;
       next_merge = 0;
-      dispatched = 0;
       completed = 0;
-      stopped = false;
     }
   in
   t.domains <- Array.mapi (fun idx w -> Domain.spawn (fun () -> worker_loop t idx w)) pool;
@@ -98,29 +163,42 @@ let worker_count t = Array.length t.workers
 let model t = t.model
 let obs t = t.obs
 
-let send_trace t entries =
-  Mutex.lock t.agg_mutex;
-  if t.stopped then begin
-    Mutex.unlock t.agg_mutex;
-    invalid_arg "Runtime.send_trace: runtime already shut down"
-  end;
-  let seq = t.dispatched in
-  t.dispatched <- t.dispatched + 1;
+let section_entries = function
+  | Boxed a -> Array.length a
+  | Packed { p; prelude } -> Packed.count p + Array.length prelude
+
+let send_section t payload =
+  if Atomic.get t.stopped then invalid_arg "Runtime.send_trace: runtime already shut down";
+  let seq = Atomic.fetch_and_add t.dispatched 1 in
   if Obs.enabled t.obs then begin
-    Obs.section_sent t.obs ~seq ~entries:(Array.length entries);
-    Obs.queue_depth t.obs (t.dispatched - t.completed)
+    Obs.section_sent t.obs ~seq ~entries:(section_entries payload);
+    (* [completed] is read without the lock: the queue-depth high-water
+       mark is a sampled metric, an occasionally stale sample is fine. *)
+    Obs.queue_depth t.obs (seq + 1 - t.completed)
   end;
-  Mutex.unlock t.agg_mutex;
-  if Array.length t.workers = 0 then complete t seq (check_section t ~seq ~worker:0 entries)
+  let n = Array.length t.workers in
+  if n = 0 then complete t seq (check_section t ~seq ~worker:0 payload)
   else begin
-    (* Round-robin dispatch, as the paper's master thread does. *)
-    let w = t.workers.(seq mod Array.length t.workers) in
-    post w (Task (seq, entries))
+    (* Least-loaded dispatch; ties break round-robin by seq so an idle
+       pool still interleaves the way the paper's master thread does. *)
+    let best = ref (seq mod n) in
+    let best_load = ref t.workers.(!best).queued in
+    for i = 0 to n - 1 do
+      let load = t.workers.(i).queued in
+      if load < !best_load then begin
+        best := i;
+        best_load := load
+      end
+    done;
+    post t.workers.(!best) (Task (seq, payload))
   end
+
+let send_trace t entries = send_section t (Boxed entries)
+let send_packed ?(prelude = [||]) t p = send_section t (Packed { p; prelude })
 
 let get_result t =
   Mutex.lock t.agg_mutex;
-  while t.completed < t.dispatched do
+  while t.completed < Atomic.get t.dispatched do
     Condition.wait t.drained t.agg_mutex
   done;
   let r = t.aggregate in
@@ -129,18 +207,12 @@ let get_result t =
 
 let pending t =
   Mutex.lock t.agg_mutex;
-  let n = t.dispatched - t.completed in
+  let n = Atomic.get t.dispatched - t.completed in
   Mutex.unlock t.agg_mutex;
   n
 
 let shutdown t =
-  let already_stopped =
-    Mutex.lock t.agg_mutex;
-    let s = t.stopped in
-    t.stopped <- true;
-    Mutex.unlock t.agg_mutex;
-    s
-  in
+  let already_stopped = Atomic.exchange t.stopped true in
   let r = get_result t in
   if not already_stopped then begin
     Array.iter (fun w -> post w Stop) t.workers;

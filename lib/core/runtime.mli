@@ -1,9 +1,10 @@
 (** Decoupled trace checking (paper §3.2, §4.4 Fig. 8).
 
     The program under test keeps executing while a master dispatches
-    completed trace sections round-robin to a pool of worker threads, each
-    of which runs the {!Engine} on its section independently and merges the
-    resulting report into the session aggregate. [get_result] implements
+    completed trace sections to the least-loaded worker in a pool, each
+    of which drains its queue in batches, runs the {!Engine} on each
+    section independently and merges the resulting report into the
+    session aggregate. [get_result] implements
     [PMTest_GET_RESULT]: it blocks until every dispatched section has been
     tested.
 
@@ -28,7 +29,18 @@ val obs : t -> Pmtest_obs.Obs.t
 
 val send_trace : t -> Event.t array -> unit
 (** Queue a section for checking. Raises [Invalid_argument] after
-    {!shutdown}. *)
+    {!shutdown}. Dispatch is least-loaded with round-robin tie-breaking,
+    and the send path takes no lock (sequence numbers come from an
+    atomic), so tracing threads never contend with the merge side. *)
+
+val send_packed : ?prelude:Event.t array -> t -> Packed.t -> unit
+(** Like {!send_trace} for a packed arena: the worker checks it with
+    [Engine.check_packed] (no [Event.t array] is materialised) and then
+    recycles the arena to the freelist. [prelude] (default empty) is a
+    boxed prefix — the session's exclusion preamble — replayed before
+    the arena, so sessions with active exclusion scopes stay on the
+    packed path. Ownership transfers to the runtime — the caller must
+    not touch the arena afterwards. *)
 
 val get_result : t -> Report.t
 (** Block until all sections dispatched so far are checked; returns the

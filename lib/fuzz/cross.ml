@@ -15,11 +15,19 @@ type pair =
   | Engine_vs_pmemcheck
   | Engine_vs_oracle
   | Engine_vs_crashtest
+  | Engine_vs_packed
 
 type outcome = Agree | Disagree of string | Skip of string
 
 let all_pairs =
-  [ Engine_vs_naive; Engine_vs_lint; Engine_vs_pmemcheck; Engine_vs_oracle; Engine_vs_crashtest ]
+  [
+    Engine_vs_naive;
+    Engine_vs_lint;
+    Engine_vs_pmemcheck;
+    Engine_vs_oracle;
+    Engine_vs_crashtest;
+    Engine_vs_packed;
+  ]
 
 let pair_name = function
   | Engine_vs_naive -> "engine/naive"
@@ -27,6 +35,7 @@ let pair_name = function
   | Engine_vs_pmemcheck -> "engine/pmemcheck"
   | Engine_vs_oracle -> "engine/oracle"
   | Engine_vs_crashtest -> "engine/crashtest"
+  | Engine_vs_packed -> "engine/packed"
 
 (* The engine only enforces undo logging inside a TX checker scope;
    pmemcheck and the lint need no scope. Missing_log counts are only
@@ -259,6 +268,27 @@ let vs_crashtest (p : Gen.program) =
     | f :: _ -> Disagree f.Crashtest.message
   end
 
+(* The packed cursor checker is a representation twin of the boxed
+   engine: every trace applies, every report field must match. *)
+let vs_packed (p : Gen.program) =
+  let key r =
+    ( List.map
+        (fun (d : Report.diagnostic) -> (d.Report.kind, d.Report.loc, d.Report.message))
+        r.Report.diagnostics,
+      r.Report.entries,
+      r.Report.ops,
+      r.Report.checkers )
+  in
+  let er = Engine.check ~model:p.Gen.model p.Gen.events in
+  let packed = Packed.of_events p.Gen.events in
+  let pr = Engine.check_packed ~model:p.Gen.model packed in
+  if key er = key pr then Agree
+  else
+    Disagree
+      (Printf.sprintf "boxed and packed reports differ (boxed %d diag(s), packed %d)"
+         (List.length er.Report.diagnostics)
+         (List.length pr.Report.diagnostics))
+
 let compare_pair pair p =
   match pair with
   | Engine_vs_naive -> vs_naive p
@@ -266,6 +296,7 @@ let compare_pair pair p =
   | Engine_vs_pmemcheck -> vs_pmemcheck p
   | Engine_vs_oracle -> vs_oracle p
   | Engine_vs_crashtest -> vs_crashtest p
+  | Engine_vs_packed -> vs_packed p
 
 let run p = List.map (fun pair -> (pair, compare_pair pair p)) all_pairs
 

@@ -31,7 +31,13 @@
       holes (exclusion gates diagnostics, not history), so no stale
       pre-exclusion claim can outlive the data it described — the
       regression corpus pins the shrunk reproducer of the staleness gap
-      this contract once had to skip around. *)
+      this contract once had to skip around.
+    - {b engine/packed}: on every trace, checking the packed encoding
+      with [Engine.check_packed] must produce a report identical to the
+      boxed [Engine.check] — same diagnostic (kind, loc, message)
+      sequence and same entry/op/checker counts. This pins the flat
+      fast path (codec + cursor dispatch + page-indexed shadow) to the
+      boxed reference semantics. *)
 
 open Pmtest_trace
 
@@ -41,6 +47,7 @@ type pair =
   | Engine_vs_pmemcheck
   | Engine_vs_oracle
   | Engine_vs_crashtest
+  | Engine_vs_packed
 
 type outcome =
   | Agree

@@ -1,0 +1,278 @@
+(* Mutable page-indexed disjoint interval map — the flat fast-path twin
+   of {!Interval_map}.
+
+   Storage is a hash table from page index (address asr [page_bits]) to a
+   small sorted array of segments, each segment confined to its page.  A
+   logical interval that crosses a page boundary is stored as one segment
+   per page; every continuation segment carries a [jl] ("joined left")
+   flag meaning "I am the same logical interval as the segment ending at
+   my [lo]".  Read operations stitch flagged runs back together, so the
+   observable contents — [to_list], [overlapping], [update_range] piece
+   boundaries — are exactly what {!Interval_map} would hold after the
+   same operation sequence, including its deliberate non-merging of
+   adjacent equal values.  That exactness is what lets the packed engine
+   path produce byte-identical reports to the boxed one (pinned by the
+   fuzz cross-contract and the property tests in test_itree).
+
+   Mutation is in-place: page arrays are spliced with [Array.blit], no
+   balanced-tree rebuilding, no allocation beyond occasional array
+   growth.  Typical engine workloads touch a handful of segments per
+   page, so every operation is a hash lookup plus a short memmove. *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_of_addr a = a asr page_bits
+let page_lo k = k lsl page_bits
+
+type 'a seg = { mutable lo : int; mutable hi : int; mutable v : 'a; mutable jl : bool }
+type 'a page = { mutable segs : 'a seg array; mutable n : int }
+
+type 'a t = { pages : (int, 'a page) Hashtbl.t; mutable nsegs : int }
+
+(* Sections touch few pages; a small table keeps per-check setup cheap
+   (one map is created for every checked section). *)
+let create () = { pages = Hashtbl.create 16; nsegs = 0 }
+let is_empty t = t.nsegs = 0
+
+let check_range name lo hi =
+  if lo >= hi then invalid_arg ("Page_map." ^ name ^ ": empty range")
+
+(* Exception-based lookups: [Hashtbl.find_opt] would allocate an option
+   on every probe of the engine's per-op hot path. *)
+let ensure_page t k =
+  match Hashtbl.find t.pages k with
+  | p -> p
+  | exception Not_found ->
+    let p = { segs = [||]; n = 0 } in
+    Hashtbl.replace t.pages k p;
+    p
+
+(* First index whose segment ends strictly after [x] — the first segment
+   that could intersect anything at or right of [x]. *)
+let lower_bound p x =
+  let lo = ref 0 and hi = ref p.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if p.segs.(mid).hi > x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let page_insert t p i seg =
+  if p.n = Array.length p.segs then begin
+    let cap = max 4 (2 * Array.length p.segs) in
+    let segs = Array.make cap seg in
+    Array.blit p.segs 0 segs 0 p.n;
+    p.segs <- segs
+  end;
+  Array.blit p.segs i p.segs (i + 1) (p.n - i);
+  p.segs.(i) <- seg;
+  p.n <- p.n + 1;
+  t.nsegs <- t.nsegs + 1
+
+let page_remove t p i j =
+  if j > i then begin
+    Array.blit p.segs j p.segs i (p.n - j);
+    t.nsegs <- t.nsegs - (j - i);
+    p.n <- p.n - (j - i)
+  end
+
+(* Clear [plo, phi) inside one page, preserving straddling fragments.  A
+   right fragment starts a fresh logical interval, so its [jl] drops. *)
+let clear_in_page t p ~plo ~phi =
+  let i = ref (lower_bound p plo) in
+  if !i < p.n && p.segs.(!i).lo < plo then begin
+    let s = p.segs.(!i) in
+    if s.hi > phi then begin
+      (* One segment covers the whole cleared span: split it. *)
+      page_insert t p (!i + 1) { lo = phi; hi = s.hi; v = s.v; jl = false };
+      s.hi <- plo;
+      i := p.n (* nothing left to do *)
+    end
+    else begin
+      s.hi <- plo;
+      incr i
+    end
+  end;
+  if !i < p.n then begin
+    let j = ref !i in
+    while !j < p.n && p.segs.(!j).hi <= phi && p.segs.(!j).lo < phi do
+      incr j
+    done;
+    page_remove t p !i !j;
+    if !i < p.n && p.segs.(!i).lo < phi then begin
+      let s = p.segs.(!i) in
+      s.lo <- phi;
+      s.jl <- false
+    end
+  end
+
+(* Fold [f] over existing pages whose index lies in [k0, k1], ascending.
+   For queries spanning far more pages than are populated, walk the
+   table's keys instead of the address range. *)
+let iter_pages_in_range t k0 k1 f =
+  let span = k1 - k0 + 1 in
+  if span <= 1 + (2 * Hashtbl.length t.pages) then
+    for k = k0 to k1 do
+      match Hashtbl.find t.pages k with
+      | p -> if p.n > 0 then f k p
+      | exception Not_found -> ()
+    done
+  else begin
+    let keys = Hashtbl.fold (fun k p acc -> if k >= k0 && k <= k1 && p.n > 0 then k :: acc else acc) t.pages [] in
+    List.iter (fun k -> f k (Hashtbl.find t.pages k)) (List.sort compare keys)
+  end
+
+let clear_unchecked t ~lo ~hi =
+  iter_pages_in_range t (page_of_addr lo) (page_of_addr (hi - 1)) (fun k p ->
+      let base = page_lo k in
+      clear_in_page t p ~plo:(max lo base) ~phi:(min hi (base + page_size)));
+  (* The segment starting exactly at [hi] (if any) may have continued a
+     logical interval we just truncated or removed; nothing ends at [hi]
+     any more, so sever the join.  Only page-aligned starts carry [jl]. *)
+  if hi land (page_size - 1) = 0 then
+    match Hashtbl.find t.pages (page_of_addr hi) with
+    | p ->
+      let i = lower_bound p hi in
+      if i < p.n && p.segs.(i).lo = hi then p.segs.(i).jl <- false
+    | exception Not_found -> ()
+
+let clear t ~lo ~hi =
+  check_range "clear" lo hi;
+  clear_unchecked t ~lo ~hi
+
+(* Insert the logical interval [lo, hi) -> v over a range known to be
+   clear, one segment per page, continuations flagged. *)
+let insert_logical t ~lo ~hi v =
+  let k0 = page_of_addr lo and k1 = page_of_addr (hi - 1) in
+  for k = k0 to k1 do
+    let base = page_lo k in
+    let plo = max lo base and phi = min hi (base + page_size) in
+    let p = ensure_page t k in
+    let i = lower_bound p plo in
+    page_insert t p i { lo = plo; hi = phi; v; jl = plo <> lo }
+  done
+
+let set t ~lo ~hi v =
+  check_range "set" lo hi;
+  clear_unchecked t ~lo ~hi;
+  insert_logical t ~lo ~hi v
+
+let find t addr =
+  match Hashtbl.find t.pages (page_of_addr addr) with
+  | exception Not_found -> None
+  | p ->
+    let i = lower_bound p addr in
+    if i < p.n && p.segs.(i).lo <= addr then Some p.segs.(i).v else None
+
+(* Walk logical (merged) pieces intersecting [lo, hi), clipped to the
+   query, ascending.  [f lo hi v]. *)
+let iter_logical t ~lo ~hi f =
+  (* Current un-emitted run, unclipped bounds. *)
+  let cur_lo = ref 0 and cur_hi = ref 0 and cur_v = ref None in
+  let flush () =
+    match !cur_v with
+    | None -> ()
+    | Some v ->
+      f (max !cur_lo lo) (min !cur_hi hi) v;
+      cur_v := None
+  in
+  iter_pages_in_range t (page_of_addr lo) (page_of_addr (hi - 1)) (fun _ p ->
+      let i = ref (lower_bound p lo) in
+      while !i < p.n && p.segs.(!i).lo < hi do
+        let s = p.segs.(!i) in
+        (match !cur_v with
+        | Some _ when s.jl && s.lo = !cur_hi -> cur_hi := s.hi
+        | _ ->
+          flush ();
+          cur_lo := s.lo;
+          cur_hi := s.hi;
+          cur_v := Some s.v);
+        incr i
+      done);
+  flush ()
+
+let overlapping t ~lo ~hi =
+  check_range "overlapping" lo hi;
+  let acc = ref [] in
+  iter_logical t ~lo ~hi (fun l h v -> acc := (l, h, v) :: !acc);
+  List.rev !acc
+
+let covered_by t ~lo ~hi ~f =
+  check_range "covered_by" lo hi;
+  let rec walk cursor = function
+    | [] -> cursor >= hi
+    | (k, h, v) :: rest ->
+      if k > cursor then false else if not (f v) then false else walk (max cursor h) rest
+  in
+  walk lo (overlapping t ~lo ~hi)
+
+let covered t ~lo ~hi = covered_by t ~lo ~hi ~f:(fun _ -> true)
+
+let exists_overlap t ~lo ~hi ~f =
+  check_range "exists_overlap" lo hi;
+  let found = ref false in
+  iter_logical t ~lo ~hi (fun _ _ v -> if (not !found) && f v then found := true);
+  !found
+
+let update_range t ~lo ~hi ~f =
+  check_range "update_range" lo hi;
+  let pieces = overlapping t ~lo ~hi in
+  clear_unchecked t ~lo ~hi;
+  (* Mirror Interval_map.update_range: f over pieces and the gaps between
+     them, left to right; each surviving piece is re-stored clipped at
+     the query boundaries (fragmentation is observable and must match). *)
+  let store k h = function
+    | None -> ()
+    | Some v' -> insert_logical t ~lo:k ~hi:h v'
+  in
+  let cursor = ref lo in
+  List.iter
+    (fun (k, h, v) ->
+      if k > !cursor then store !cursor k (f None);
+      store k h (f (Some v));
+      cursor := h)
+    pieces;
+  if !cursor < hi then store !cursor hi (f None)
+
+let iter f t =
+  let keys = List.sort compare (Hashtbl.fold (fun k p acc -> if p.n > 0 then k :: acc else acc) t.pages []) in
+  let cur_lo = ref 0 and cur_hi = ref 0 and cur_v = ref None in
+  let flush () =
+    match !cur_v with
+    | None -> ()
+    | Some v ->
+      f !cur_lo !cur_hi v;
+      cur_v := None
+  in
+  List.iter
+    (fun k ->
+      let p = Hashtbl.find t.pages k in
+      for i = 0 to p.n - 1 do
+        let s = p.segs.(i) in
+        match !cur_v with
+        | Some _ when s.jl && s.lo = !cur_hi -> cur_hi := s.hi
+        | _ ->
+          flush ();
+          cur_lo := s.lo;
+          cur_hi := s.hi;
+          cur_v := Some s.v
+      done)
+    keys;
+  flush ()
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun lo hi v -> acc := f lo hi v !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun lo hi v acc -> (lo, hi, v) :: acc) t [])
+
+let cardinal t =
+  let n = ref 0 in
+  iter (fun _ _ _ -> incr n) t;
+  !n
+
+let of_interval_map m =
+  let t = create () in
+  Interval_map.iter (fun lo hi v -> insert_logical t ~lo ~hi v) m;
+  t

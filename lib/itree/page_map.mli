@@ -1,0 +1,54 @@
+(** Mutable page-indexed disjoint interval map — the in-place twin of
+    {!Interval_map} used by the engine's packed fast path.
+
+    Same observable semantics: half-open ranges, stored intervals never
+    overlap, [set]/[clear] split straddlers, adjacent equal values are
+    {e not} merged, and [update_range] clips surviving pieces at the
+    query boundaries.  After any operation sequence, {!to_list} here
+    equals [Interval_map.to_list] of the same sequence — pinned by the
+    property tests in test_itree and the packed-vs-boxed fuzz contract.
+
+    The difference is the cost model: a hash table of per-page sorted
+    segment arrays mutated in place with [Array.blit], so a write is a
+    hash probe plus a short memmove instead of a persistent-tree rebuild.
+    Ranges are expected to be small relative to the 4 KiB page (PM ops
+    span bytes to a few cache lines); an interval spanning [p] pages
+    costs O(p). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+
+val cardinal : 'a t -> int
+(** Number of stored (maximal) intervals. *)
+
+val set : 'a t -> lo:int -> hi:int -> 'a -> unit
+(** Make every address in [\[lo, hi)] map to [v], splitting straddlers.
+    Raises [Invalid_argument] if [lo >= hi]. *)
+
+val clear : 'a t -> lo:int -> hi:int -> unit
+(** Remove all bindings in [\[lo, hi)], keeping straddling fragments. *)
+
+val find : 'a t -> int -> 'a option
+
+val overlapping : 'a t -> lo:int -> hi:int -> (int * int * 'a) list
+(** Stored intervals intersecting [\[lo, hi)], clipped, ascending. *)
+
+val covered : 'a t -> lo:int -> hi:int -> bool
+val covered_by : 'a t -> lo:int -> hi:int -> f:('a -> bool) -> bool
+val exists_overlap : 'a t -> lo:int -> hi:int -> f:('a -> bool) -> bool
+
+val update_range : 'a t -> lo:int -> hi:int -> f:('a option -> 'a option) -> unit
+(** Rewrite the range in place: each covered sub-range with value [v]
+    becomes [f (Some v)] (removed on [None]); each gap becomes [f None].
+    [f] is applied left to right. *)
+
+val iter : (int -> int -> 'a -> unit) -> 'a t -> unit
+(** Stored intervals as [(lo, hi, v)] in address order. *)
+
+val fold : (int -> int -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+val to_list : 'a t -> (int * int * 'a) list
+
+val of_interval_map : 'a Interval_map.t -> 'a t
+(** Copy with identical stored-interval boundaries. *)

@@ -39,6 +39,10 @@ type snapshot = {
   ops_checked : int;
   checkers_run : int;
   diagnostics : int;
+  batches : int;
+  batch_sections_max : int;
+  arenas_allocated : int;
+  arenas_reused : int;
   workers : worker_stat list;
   check_hist : hist;
   e2e_hist : hist;
@@ -110,6 +114,10 @@ type t = {
   mutable n_ops : int;
   mutable n_checkers : int;
   mutable n_diags : int;
+  mutable n_batches : int;
+  mutable batch_max : int;
+  arena_allocs : int Atomic.t;
+  arena_reuses : int Atomic.t;
   pending : (int, pending) Hashtbl.t;
   wstats : (int, int ref * int ref) Hashtbl.t;  (* id -> (sections, busy_ns) *)
   check_h : hist_acc;
@@ -134,6 +142,10 @@ let make ~on ~max_spans =
     n_ops = 0;
     n_checkers = 0;
     n_diags = 0;
+    n_batches = 0;
+    batch_max = 0;
+    arena_allocs = Atomic.make 0;
+    arena_reuses = Atomic.make 0;
     pending = Hashtbl.create 32;
     wstats = Hashtbl.create 8;
     check_h = hist_acc ();
@@ -222,6 +234,18 @@ let section_merged t ~seq =
             t.spans;
           if Queue.length t.spans > t.max_spans then ignore (Queue.pop t.spans))
 
+let batch_drained t ~sections =
+  if t.on then
+    locked t (fun () ->
+        t.n_batches <- t.n_batches + 1;
+        if sections > t.batch_max then t.batch_max <- sections)
+
+let arena_alloc t ~reused =
+  if t.on then begin
+    Atomic.incr t.arena_allocs;
+    if reused then Atomic.incr t.arena_reuses
+  end
+
 let engine_counts t ~entries ~ops ~checkers ~diags =
   if t.on then
     locked t (fun () ->
@@ -246,6 +270,10 @@ let empty_snapshot =
     ops_checked = 0;
     checkers_run = 0;
     diagnostics = 0;
+    batches = 0;
+    batch_sections_max = 0;
+    arenas_allocated = 0;
+    arenas_reused = 0;
     workers = [];
     check_hist = empty_hist;
     e2e_hist = empty_hist;
@@ -276,6 +304,10 @@ let snapshot t =
           ops_checked = t.n_ops;
           checkers_run = t.n_checkers;
           diagnostics = t.n_diags;
+          batches = t.n_batches;
+          batch_sections_max = t.batch_max;
+          arenas_allocated = Atomic.get t.arena_allocs;
+          arenas_reused = Atomic.get t.arena_reuses;
           workers;
           check_hist = hist_of_acc t.check_h;
           e2e_hist = hist_of_acc t.e2e_h;
@@ -319,6 +351,9 @@ let pp ppf s =
     s.reorder_hwm;
   Format.fprintf ppf "@,engine           entries %d  ops %d  checkers %d  diagnostics %d"
     s.entries_checked s.ops_checked s.checkers_run s.diagnostics;
+  if s.batches > 0 || s.arenas_allocated > 0 then
+    Format.fprintf ppf "@,flat path        batches %d (max %d section(s))  arenas %d (%d reused)"
+      s.batches s.batch_sections_max s.arenas_allocated s.arenas_reused;
   if s.workers <> [] then begin
     Format.fprintf ppf "@,workers (utilization = busy / elapsed):";
     List.iter
@@ -354,6 +389,10 @@ let counter_fields s =
     ("ops_checked", s.ops_checked);
     ("checkers_run", s.checkers_run);
     ("diagnostics", s.diagnostics);
+    ("batches", s.batches);
+    ("batch_sections_max", s.batch_sections_max);
+    ("arenas_allocated", s.arenas_allocated);
+    ("arenas_reused", s.arenas_reused);
   ]
 
 let to_tsv s =
@@ -392,6 +431,10 @@ let of_tsv text =
     | "ops_checked" -> snap := { s with ops_checked = v }
     | "checkers_run" -> snap := { s with checkers_run = v }
     | "diagnostics" -> snap := { s with diagnostics = v }
+    | "batches" -> snap := { s with batches = v }
+    | "batch_sections_max" -> snap := { s with batch_sections_max = v }
+    | "arenas_allocated" -> snap := { s with arenas_allocated = v }
+    | "arenas_reused" -> snap := { s with arenas_reused = v }
     | other -> fail "unknown counter %S" other
   in
   let set_hist name f =

@@ -74,6 +74,14 @@ val reorder_depth : t -> int -> unit
 val engine_counts : t -> entries:int -> ops:int -> checkers:int -> diags:int -> unit
 (** Totals from one engine pass over a section. *)
 
+val batch_drained : t -> sections:int -> unit
+(** A worker drained its queue in one lock acquisition and got this many
+    sections; the count and the per-batch high-water mark are kept. *)
+
+val arena_alloc : t -> reused:bool -> unit
+(** A packed trace arena was handed out — [reused] when it came from the
+    freelist instead of a fresh allocation. *)
+
 (** {1 Snapshots} *)
 
 type hist = {
@@ -111,6 +119,10 @@ type snapshot = {
   ops_checked : int;
   checkers_run : int;
   diagnostics : int;
+  batches : int;  (** Worker queue drains (batch hand-offs). *)
+  batch_sections_max : int;  (** Largest single batch. *)
+  arenas_allocated : int;  (** Packed arenas handed out. *)
+  arenas_reused : int;  (** ... of which came from the freelist. *)
   workers : worker_stat list;  (** Ascending worker id. *)
   check_hist : hist;  (** Engine pass time per section. *)
   e2e_hist : hist;  (** Dispatch-to-merge time per section. *)

@@ -1,0 +1,112 @@
+(** Packed trace arenas: the flat, allocation-free twin of
+    [Event.t array] sections.
+
+    A builder encodes events into one growable byte buffer (1-byte tag +
+    zigzag-LEB128 varints, locations interned per arena), the runtime
+    hands whole arenas to workers, and [Engine.check_packed] walks them
+    with a cursor — no [Event.t] is ever materialised on the fast path.
+    The boxed representation stays available through {!to_events} /
+    {!of_events}, and the packed↔boxed round trip is exact (pinned by
+    test_packed and the fuzz packed-vs-boxed contract).
+
+    An arena has a single internal read cursor, so concurrent decodes of
+    the {e same} arena are not supported; arenas are owned by exactly one
+    builder or worker at a time. *)
+
+open Pmtest_util
+module Model = Pmtest_model.Model
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh arena with [capacity] bytes pre-reserved (default 256). *)
+
+val reset : t -> unit
+(** Forget all contents (buffer retained for reuse). *)
+
+val count : t -> int
+(** Events encoded. *)
+
+val byte_length : t -> int
+val is_empty : t -> bool
+
+val has_scope_controls : t -> bool
+(** Whether any [Exclude]/[Include] control was encoded — lets the
+    session skip the control re-scan on the common (control-free)
+    path. *)
+
+(** {1 Encoding} *)
+
+val push : t -> thread:int -> Event.kind -> Loc.t -> unit
+
+val push_event : t -> Event.t -> unit
+
+val push_write : t -> thread:int -> addr:int -> size:int -> Loc.t -> unit
+val push_clwb : t -> thread:int -> addr:int -> size:int -> Loc.t -> unit
+
+val push_fence : t -> thread:int -> Model.op -> Loc.t -> unit
+(** [op] must be [Sfence], [Ofence] or [Dfence]. *)
+
+val of_events : Event.t array -> t
+
+(** {1 Decoding} *)
+
+(** Wire tags, one per {!Event.kind} shape (17 in all, mirroring
+    [Serial]'s line tags). *)
+type tag =
+  | T_write
+  | T_clwb
+  | T_sfence
+  | T_ofence
+  | T_dfence
+  | T_is_persist
+  | T_is_ordered
+  | T_tx_begin
+  | T_tx_add
+  | T_tx_commit
+  | T_tx_abort
+  | T_tx_checker_start
+  | T_tx_checker_end
+  | T_exclude
+  | T_include
+  | T_lint_off
+  | T_lint_on
+
+(** One decoded event, overwritten in place by each {!read} — callers
+    must copy anything they keep.  [a]/[b] hold addr/size (or the A
+    range of isOrderedBefore, whose B range is [c]/[d]); [rule] is only
+    meaningful for lint tags. *)
+type view = {
+  mutable tag : tag;
+  mutable thread : int;
+  mutable loc : Loc.t;
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable d : int;
+  mutable rule : string;
+}
+
+val make_view : unit -> view
+
+val read : t -> pos:int -> view -> int
+(** Decode the event at byte offset [pos] into the view; returns the
+    offset of the next event.  Iterate from 0 while [< byte_length t].
+    Raises [Invalid_argument] if [pos] is out of bounds. *)
+
+val iter : t -> (view -> unit) -> unit
+
+val kind_of_view : view -> Event.kind
+val event_of_view : view -> Event.t
+val to_events : t -> Event.t array
+
+(** {1 Arena freelist}
+
+    Bounded global pool so steady-state sections recycle buffers instead
+    of allocating.  [obs] (default disabled) records pool hit/miss via
+    [Obs.arena_alloc]. *)
+
+val alloc : ?obs:Pmtest_obs.Obs.t -> unit -> t
+val free : t -> unit
+(** Reset and return the arena to the pool (dropped if the pool is
+    full).  The caller must not touch the arena afterwards. *)

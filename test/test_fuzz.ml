@@ -76,7 +76,7 @@ let test_campaign_no_disagreements () =
       List.iter
         (fun (pair, n) ->
           match pair with
-          | Cross.Engine_vs_naive | Cross.Engine_vs_lint ->
+          | Cross.Engine_vs_naive | Cross.Engine_vs_lint | Cross.Engine_vs_packed ->
             Alcotest.(check bool)
               (Model.kind_name model ^ " " ^ Cross.pair_name pair ^ " applied everywhere")
               true (n = 150)

@@ -122,6 +122,118 @@ let prop_equal_denotational =
       in
       Interval_map.equal ( = ) m m')
 
+(* ---------- Page map: the mutable twin must match exactly ---------- *)
+
+(* Page_map indexes by 4 KiB page, so the interesting cases sit on and
+   around page boundaries: ranges that straddle pages, end exactly at a
+   boundary, or cover several pages whole. Sample addresses from a window
+   spanning three pages plus small offsets to hit all of those. *)
+let pm_universe = 3 * 4096 + 96
+
+type pm_op =
+  | Pm_set of int * int * int
+  | Pm_clear of int * int
+  | Pm_update of int * int * int
+
+let gen_pm_range =
+  QCheck2.Gen.(
+    let point =
+      oneof
+        [
+          int_range 0 pm_universe;
+          (* Cluster around page boundaries where the jl bookkeeping lives. *)
+          (int_range 0 3 >>= fun page ->
+           int_range (-32) 32 >|= fun off -> max 0 (min pm_universe ((page * 4096) + off)));
+        ]
+    in
+    pair point point >|= fun (a, b) ->
+    if a = b then (a, b + 1) else if a < b then (a, b) else (b, a))
+
+let gen_pm_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        (gen_pm_range >>= fun (lo, hi) -> int_range 0 5 >|= fun v -> Pm_set (lo, hi, v));
+        (gen_pm_range >|= fun (lo, hi) -> Pm_clear (lo, hi));
+        (gen_pm_range >>= fun (lo, hi) -> int_range 0 5 >|= fun v -> Pm_update (lo, hi, v));
+      ])
+
+(* update_range exercised with a genuinely partial f: it drops value 0,
+   bumps others, and fills every other gap — covering remove, rewrite and
+   insert paths in one op. *)
+let pm_update_f v = function
+  | Some 0 -> None
+  | Some x -> Some (x + v)
+  | None -> if v mod 2 = 0 then Some v else None
+
+let apply_pm_imap m = function
+  | Pm_set (lo, hi, v) -> Interval_map.set m ~lo ~hi v
+  | Pm_clear (lo, hi) -> Interval_map.clear m ~lo ~hi
+  | Pm_update (lo, hi, v) -> Interval_map.update_range m ~lo ~hi ~f:(pm_update_f v)
+
+let apply_pm_pmap m = function
+  | Pm_set (lo, hi, v) -> Page_map.set m ~lo ~hi v
+  | Pm_clear (lo, hi) -> Page_map.clear m ~lo ~hi
+  | Pm_update (lo, hi, v) -> Page_map.update_range m ~lo ~hi ~f:(pm_update_f v)
+
+let prop_page_map_matches_interval_map =
+  QCheck2.Test.make ~name:"page_map to_list equals interval_map" ~count:500
+    QCheck2.Gen.(list_size (int_range 0 40) gen_pm_op)
+    (fun ops ->
+      let im = List.fold_left apply_pm_imap Interval_map.empty ops in
+      let pm = Page_map.create () in
+      List.iter (apply_pm_pmap pm) ops;
+      Page_map.to_list pm = Interval_map.to_list im
+      && Page_map.cardinal pm = Interval_map.cardinal im
+      && Page_map.is_empty pm = Interval_map.is_empty im)
+
+let prop_page_map_queries_match =
+  QCheck2.Test.make ~name:"page_map queries equal interval_map" ~count:300
+    QCheck2.Gen.(pair (list_size (int_range 0 25) gen_pm_op) gen_pm_range)
+    (fun (ops, (qlo, qhi)) ->
+      let im = List.fold_left apply_pm_imap Interval_map.empty ops in
+      let pm = Page_map.create () in
+      List.iter (apply_pm_pmap pm) ops;
+      let odd v = v mod 2 = 1 in
+      Page_map.overlapping pm ~lo:qlo ~hi:qhi = Interval_map.overlapping im ~lo:qlo ~hi:qhi
+      && Page_map.covered pm ~lo:qlo ~hi:qhi = Interval_map.covered im ~lo:qlo ~hi:qhi
+      && Page_map.covered_by pm ~lo:qlo ~hi:qhi ~f:odd
+         = Interval_map.covered_by im ~lo:qlo ~hi:qhi ~f:odd
+      && Page_map.exists_overlap pm ~lo:qlo ~hi:qhi ~f:odd
+         = Interval_map.exists_overlap im ~lo:qlo ~hi:qhi ~f:odd
+      && Page_map.find pm qlo = Interval_map.find im qlo)
+
+let prop_page_map_of_interval_map =
+  QCheck2.Test.make ~name:"of_interval_map copies boundaries exactly" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 30) gen_pm_op)
+    (fun ops ->
+      let im = List.fold_left apply_pm_imap Interval_map.empty ops in
+      Page_map.to_list (Page_map.of_interval_map im) = Interval_map.to_list im)
+
+let test_page_map_empty_range_rejected () =
+  let pm = Page_map.create () in
+  Alcotest.check_raises "set" (Invalid_argument "Page_map.set: empty range") (fun () ->
+      Page_map.set pm ~lo:5 ~hi:5 ());
+  Alcotest.check_raises "clear" (Invalid_argument "Page_map.clear: empty range") (fun () ->
+      Page_map.clear pm ~lo:9 ~hi:3)
+
+(* The regression this module almost shipped with: clearing up to a page
+   boundary must sever the joined-left flag of a continuation starting
+   exactly there, or later reads re-merge a dead interval. *)
+let test_page_map_boundary_sever () =
+  let pm = Page_map.create () in
+  Page_map.set pm ~lo:4000 ~hi:4200 "a";
+  Page_map.clear pm ~lo:4000 ~hi:4096;
+  Alcotest.(check (list (triple int int string)))
+    "right fragment stands alone"
+    [ (4096, 4200, "a") ]
+    (Page_map.to_list pm);
+  Page_map.set pm ~lo:4090 ~hi:4096 "a";
+  Alcotest.(check (list (triple int int string)))
+    "adjacent equal values stay unmerged"
+    [ (4090, 4096, "a"); (4096, 4200, "a") ]
+    (Page_map.to_list pm)
+
 (* ---------- Interval tree ---------- *)
 
 let test_tree_overlap () =
@@ -208,6 +320,9 @@ let () =
         prop_map_matches_model;
         prop_covered_matches_model;
         prop_equal_denotational;
+        prop_page_map_matches_interval_map;
+        prop_page_map_queries_match;
+        prop_page_map_of_interval_map;
         prop_tree_invariants;
         prop_tree_overlap_matches_naive;
         prop_tree_remove_then_absent;
@@ -223,6 +338,11 @@ let () =
           Alcotest.test_case "overlapping is clipped and ordered" `Quick test_overlapping_clipped;
           Alcotest.test_case "covered detects gaps" `Quick test_covered;
           Alcotest.test_case "update_range splits and fills" `Quick test_update_range;
+        ] );
+      ( "page_map",
+        [
+          Alcotest.test_case "empty ranges rejected" `Quick test_page_map_empty_range_rejected;
+          Alcotest.test_case "page-boundary clear severs joins" `Quick test_page_map_boundary_sever;
         ] );
       ( "interval_tree",
         [

@@ -83,6 +83,10 @@ let counters (s : Obs.snapshot) =
     s.Obs.ops_checked;
     s.Obs.checkers_run;
     s.Obs.diagnostics;
+    s.Obs.batches;
+    s.Obs.batch_sections_max;
+    s.Obs.arenas_allocated;
+    s.Obs.arenas_reused;
   ]
 
 let test_snapshot_invariants () =
@@ -149,6 +153,10 @@ let synthetic : Obs.snapshot =
     ops_checked = 30;
     checkers_run = 5;
     diagnostics = 2;
+    batches = 4;
+    batch_sections_max = 2;
+    arenas_allocated = 3;
+    arenas_reused = 1;
     workers =
       [
         { Obs.id = 0; sections = 2; busy_ns = 700 }; { Obs.id = 1; sections = 1; busy_ns = 300 };
@@ -195,6 +203,10 @@ let golden_tsv =
       "counter\tops_checked\t30";
       "counter\tcheckers_run\t5";
       "counter\tdiagnostics\t2";
+      "counter\tbatches\t4";
+      "counter\tbatch_sections_max\t2";
+      "counter\tarenas_allocated\t3";
+      "counter\tarenas_reused\t1";
       "worker\t0\t2\t700";
       "worker\t1\t1\t300";
       "hist\tcheck\t3\t1000\t100\t600";
@@ -211,7 +223,7 @@ let golden_tsv =
 let golden_jsonl =
   String.concat "\n"
     [
-      {|{"type":"counters","elapsed_ns":5000,"events_traced":42,"sections_sent":3,"sections_checked":3,"sections_merged":3,"sections_dropped":1,"queue_hwm":2,"reorder_hwm":1,"entries_checked":40,"ops_checked":30,"checkers_run":5,"diagnostics":2}|};
+      {|{"type":"counters","elapsed_ns":5000,"events_traced":42,"sections_sent":3,"sections_checked":3,"sections_merged":3,"sections_dropped":1,"queue_hwm":2,"reorder_hwm":1,"entries_checked":40,"ops_checked":30,"checkers_run":5,"diagnostics":2,"batches":4,"batch_sections_max":2,"arenas_allocated":3,"arenas_reused":1}|};
       {|{"type":"worker","id":0,"sections":2,"busy_ns":700}|};
       {|{"type":"worker","id":1,"sections":1,"busy_ns":300}|};
       {|{"type":"hist","name":"check","total":3,"sum_ns":1000,"min_ns":100,"max_ns":600,"buckets":[[6,1],[8,2]]}|};

@@ -74,6 +74,44 @@ let test_parallel_deterministic () =
   in
   Alcotest.(check string) "workers=4 matches workers=0" (run 0) (run 4)
 
+let test_packed_sections_deterministic () =
+  (* Packed arenas through the pool must aggregate to the same report as
+     boxed sections through the synchronous path — least-loaded dispatch
+     and batch draining must not perturb merge order. *)
+  let sections =
+    List.init 40 (fun i ->
+        let p =
+          Pmtest_fuzz.Gen.generate
+            (Pmtest_fuzz.Gen.default_cfg Model.X86)
+            (Pmtest_util.Rng.create i)
+        in
+        p.Pmtest_fuzz.Gen.events)
+  in
+  let boxed =
+    let rt = Runtime.create ~workers:0 () in
+    List.iter (Runtime.send_trace rt) sections;
+    Format.asprintf "%a" Report.pp (Runtime.shutdown rt)
+  in
+  let packed workers =
+    let rt = Runtime.create ~workers () in
+    List.iter (fun evs -> Runtime.send_packed rt (Packed.of_events evs)) sections;
+    Format.asprintf "%a" Report.pp (Runtime.shutdown rt)
+  in
+  Alcotest.(check string) "packed workers=0 matches boxed" boxed (packed 0);
+  Alcotest.(check string) "packed workers=4 matches boxed" boxed (packed 4)
+
+let test_mixed_sections_aggregate () =
+  (* Boxed and packed sections interleaved in one runtime keep send
+     order in the aggregate. *)
+  let rt = Runtime.create ~workers:2 () in
+  for _ = 1 to 25 do
+    Runtime.send_trace rt clean_section;
+    Runtime.send_packed rt (Packed.of_events buggy_section)
+  done;
+  let r = Runtime.shutdown rt in
+  Alcotest.(check int) "25 failures" 25 (List.length (Report.fails r));
+  Alcotest.(check int) "all entries counted" (25 * 7) r.Report.entries
+
 (* --- Session API ---------------------------------------------------------- *)
 
 let test_session_basic () =
@@ -158,6 +196,9 @@ let () =
           Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
           Alcotest.test_case "trace sections are independent" `Quick test_traces_are_independent;
           Alcotest.test_case "parallel run is deterministic" `Quick test_parallel_deterministic;
+          Alcotest.test_case "packed sections are deterministic" `Quick
+            test_packed_sections_deterministic;
+          Alcotest.test_case "boxed and packed sections mix" `Quick test_mixed_sections_aggregate;
         ] );
       ( "session",
         [
