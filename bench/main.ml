@@ -4,7 +4,7 @@
      dune exec bench/main.exe -- [target] [options]
 
    Targets: fig10a fig10b fig11 fig12a fig12b fig12c table1 table5 table6
-            yat ablation lint fuzz obs perf bechamel all (default: all)
+            yat ablation lint fuzz obs perf serve bechamel all (default: all)
    Options: --insertions N   microbenchmark insertions per cell (default 600)
             --ops N          real-workload operations (default 4000)
             --runs N         timing repetitions, best-of (default 3)
@@ -879,6 +879,110 @@ let perf () =
     exit 1
   end
 
+(* --- pmtestd service overhead ----------------------------------------------------------- *)
+
+module Server = Pmtest_server.Server
+module Client = Pmtest_client.Client
+
+let serve_bench () =
+  Fmt.pr "@.### serve — pmtestd overhead over the in-process runtime@.@.";
+  Fmt.pr "(the same pre-recorded sections checked by the same worker pool; the@.";
+  Fmt.pr " difference is the framed protocol: encode, CRC, socket hop, decode)@.@.";
+  (* One representative trace, chunked as a session would chunk it. *)
+  let entries =
+    let builder = Builder.create () in
+    let r = Redis.create ~sink:(Builder.sink builder) () in
+    Redis.run r (Clients.redis_lru ~ops:!kv_ops ~keys:16384 (Rng.create 23));
+    Builder.take builder
+  in
+  let section_len = 256 in
+  let sections =
+    let n = Array.length entries in
+    List.init
+      ((n + section_len - 1) / section_len)
+      (fun i -> Array.sub entries (i * section_len) (min section_len (n - (i * section_len))))
+  in
+  let nsec = List.length sections in
+  let workers = 2 in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmtest-bench-%d.sock" (Unix.getpid ()))
+  in
+  (* 1. Single client: the per-section cost of the wire.  Each timed
+     pass is one complete session — fresh aggregate, stream every
+     section, drain, tear down — because that is what one run of a
+     program under the tool costs, and because a session's report must
+     start empty on both sides for the comparison to be fair.  The
+     local baseline goes first, before the daemon exists, so both
+     measurements see the same number of live domains (idle worker
+     domains still cost stop-the-world GC synchronisation). *)
+  let run_local () =
+    let rt = Pmtest_core.Runtime.create ~workers () in
+    List.iter
+      (fun sec -> Pmtest_core.Runtime.send_packed rt (Packed.of_events sec))
+      sections;
+    ignore (Pmtest_core.Runtime.shutdown rt)
+  in
+  run_local ();
+  (* warm-up *)
+  let t_local = time run_local in
+  let t =
+    Server.start { Server.default_config with Server.socket; workers; max_sessions = 16 }
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop t)
+    (fun () ->
+      let run_remote () =
+        match Client.connect ~socket () with
+        | Error m -> failwith ("bench serve: connect: " ^ m)
+        | Ok c ->
+          List.iter
+            (fun sec ->
+              match Client.send_events c sec with
+              | Ok () -> ()
+              | Error m -> failwith ("bench serve: send: " ^ m))
+            sections;
+          (match Client.get_result c with
+          | Ok _ -> ()
+          | Error m -> failwith ("bench serve: get_result: " ^ m));
+          Client.close c
+      in
+      run_remote ();
+      (* warm-up: page in the daemon's read/dispatch path *)
+      let t_remote = time run_remote in
+      let per_sec_us = 1e6 *. (t_remote -. t_local) /. float_of_int nsec in
+      Fmt.pr "single client, %d sections of <=%d entries, %d workers:@." nsec section_len
+        workers;
+      Fmt.pr "  %-24s %10.2f ms@." "in-process" (t_local *. 1e3);
+      Fmt.pr "  %-24s %10.2f ms  (%.2fx, %+.1f us/section)@." "over the socket"
+        (t_remote *. 1e3) (ratio t_remote t_local) per_sec_us;
+      tsv "serve\tsingle\t%d\tlocal_ms\t%.3f" nsec (t_local *. 1e3);
+      tsv "serve\tsingle\t%d\tremote_ms\t%.3f" nsec (t_remote *. 1e3);
+      tsv "serve\tsingle\t%d\toverhead_ratio\t%.3f" nsec (ratio t_remote t_local);
+      tsv "serve\tsingle\t%d\tper_section_us\t%.2f" nsec per_sec_us;
+      (* 2. Client scaling: one shared daemon, N concurrent sessions each
+         streaming the full section list. *)
+      Fmt.pr "@.client scaling (each session streams all %d sections):@.@." nsec;
+      Fmt.pr "%-10s %12s %14s %10s@." "clients" "total(s)" "sections/s" "vs 1";
+      let t1 = ref nan in
+      List.iter
+        (fun clients ->
+          let t =
+            time (fun () ->
+                let threads = List.init clients (fun _ -> Thread.create run_remote ()) in
+                List.iter Thread.join threads)
+          in
+          if clients = 1 then t1 := t;
+          let rate = float_of_int (clients * nsec) /. t in
+          Fmt.pr "%-10d %12.3f %14.0f %9.2fx@." clients t rate (!t1 *. float_of_int clients /. t);
+          tsv "serve\tscaling\t%d\tsections_per_s\t%.0f" clients rate)
+        [ 1; 4; 8 ];
+      Fmt.pr
+        "@.(sessions share one pool of %d workers: aggregate throughput is bounded by@."
+        workers;
+      Fmt.pr
+        " checking, not the protocol — the wire's cost is the single-client delta above)@.")
+
 (* --- Bechamel micro-measurements ------------------------------------------------------ *)
 
 let bechamel () =
@@ -990,6 +1094,7 @@ let all_targets =
     ("fuzz", fuzz_bench);
     ("obs", obs_bench);
     ("perf", perf);
+    ("serve", serve_bench);
     ("bechamel", bechamel);
   ]
 

@@ -14,6 +14,9 @@ module Event = Pmtest_trace.Event
 module Obs = Pmtest_obs.Obs
 module Model = Pmtest_model.Model
 module Interval = Pmtest_model.Interval
+module Server = Pmtest_server.Server
+module Client = Pmtest_client.Client
+module Wire = Pmtest_wire.Wire
 open Pmtest_bugdb
 open Pmtest_workloads
 
@@ -66,63 +69,174 @@ let bugs_cmd =
 
 (* --- workload ---------------------------------------------------------------- *)
 
-type tool = Tool_none | Tool_pmtest | Tool_pmemcheck
+type tool =
+  | Tool_none
+  | Tool_pmtest
+  | Tool_pmemcheck
+  | Tool_remote of { socket : string; model : Model.kind }
+      (** Trace into a session on a running [pmtestd] ([attach]). *)
 
-(* Shared by [workload] and [stat WORKLOAD]: run the named workload and
-   return the tool's report, with [obs] threaded into every session. *)
-let exec_workload ~obs name tool ops threads workers seed =
+(* The slice of a tracing session the workload drivers need — one
+   implementation wraps an in-process [Pmtest] session, the other a
+   remote daemon session, so every workload can run under either
+   without knowing which. *)
+type session_like = {
+  s_sink : int -> Sink.t;  (* per program thread *)
+  s_send : int -> unit;  (* PMTest_SEND_TRACE for that thread *)
+  s_finish : unit -> (Report.t, string) result;
+}
+
+let pmtest_session ?(model = Model.X86) ~obs ~workers () =
+  let s = Pmtest.init ~model ~workers ~obs () in
+  {
+    s_sink =
+      (fun thread ->
+        Pmtest.thread_init s ~thread;
+        Pmtest.sink ~thread s);
+    s_send = (fun thread -> Pmtest.send_trace ~thread s);
+    s_finish = (fun () -> Ok (Pmtest.finish s));
+  }
+
+let remote_session ~obs ~socket ~model () =
+  match Client.connect ~model ~socket () with
+  | Error m -> Error m
+  | Ok conn ->
+    let s = Client.Session.make ~obs conn in
+    Ok
+      {
+        s_sink = (fun thread -> Client.Session.sink ~thread s);
+        s_send = (fun thread -> Client.Session.send_trace ~thread s);
+        s_finish =
+          (fun () ->
+            let r = Client.Session.finish s in
+            Client.close conn;
+            r);
+      }
+
+(* Tee: record every event a session sink sees, so [attach --record]
+   can save the trace it just streamed. *)
+let recording = ref None
+
+let record_events () =
+  let buf = Pmtest_util.Vec.create () in
+  let m = Mutex.create () in
+  recording := Some (buf, m);
+  fun () ->
+    Mutex.lock m;
+    let a = Pmtest_util.Vec.to_array buf in
+    Mutex.unlock m;
+    a
+
+let tee_sink thread (sink : Sink.t) =
+  match !recording with
+  | None -> sink
+  | Some (buf, m) ->
+    {
+      Sink.emit =
+        (fun kind loc ->
+          Mutex.lock m;
+          Pmtest_util.Vec.push buf (Event.make ~thread ~loc kind);
+          Mutex.unlock m;
+          sink.Sink.emit kind loc);
+    }
+
+(* Replay a recorded event stream through a session, chunked into
+   sections of [section] entries, flushing the boundary event's thread —
+   the same chunking for the in-process and the remote session, so an
+   [attach --verify] comparison is over identical section streams. *)
+let replay_session ~section s entries =
+  let sinks = Hashtbl.create 8 in
+  let sink th =
+    match Hashtbl.find_opt sinks th with
+    | Some k -> k
+    | None ->
+      let k = tee_sink th (s.s_sink th) in
+      Hashtbl.replace sinks th k;
+      k
+  in
+  Array.iteri
+    (fun i (e : Event.t) ->
+      (sink e.Event.thread).Sink.emit e.Event.kind e.Event.loc;
+      if (i + 1) mod section = 0 then s.s_send e.Event.thread)
+    entries;
+  s.s_finish ()
+
+(* Shared by [workload], [stat WORKLOAD] and [attach WORKLOAD]: run the
+   named workload and return the tool's report, with [obs] threaded
+   into every session. *)
+let exec_workload ?(local_model = Model.X86) ~obs name tool ops threads workers seed =
   let finish_report = ref Report.empty in
+  let mk_session () =
+    match tool with
+    | Tool_pmtest -> Ok (Some (pmtest_session ~model:local_model ~obs ~workers ()))
+    | Tool_remote { socket; model } -> (
+      match remote_session ~obs ~socket ~model () with
+      | Ok s -> Ok (Some s)
+      | Error m -> Error ("cannot attach: " ^ m))
+    | Tool_none | Tool_pmemcheck -> Ok None
+  in
+  let with_session k =
+    match mk_session () with
+    | Error _ as e -> e
+    | Ok session -> (
+      match k session with
+      | Error _ as e -> e
+      | Ok () -> (
+        match session with
+        | None -> Ok ()
+        | Some s -> (
+          match s.s_finish () with
+          | Ok r ->
+            finish_report := r;
+            Ok ()
+          | Error m -> Error ("session failed: " ^ m))))
+  in
+  let sink_for session thread =
+    tee_sink thread (match session with Some s -> s.s_sink thread | None -> Sink.null)
+  in
   let run_kv_memcached client =
-    let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ~obs ()) else None in
-    let sink_of i =
-      match session with
-      | Some s ->
-        Pmtest.thread_init s ~thread:i;
-        Pmtest.sink ~thread:i s
-      | None -> Sink.null
-    in
-    let mc = Memcached.create ~shards:threads ~sink_of () in
-    let streams = Memcached.generate_streams ~client ~ops_per_client:(ops / threads) ~keys:4096 ~seed mc in
-    let on_section shard =
-      match session with Some s -> Pmtest.send_trace ~thread:shard s | None -> ()
-    in
-    Memcached.run mc ~on_section ~streams;
-    (match session with Some s -> finish_report := Pmtest.finish s | None -> ());
-    Memcached.check_consistent mc
+    with_session (fun session ->
+        let mc = Memcached.create ~shards:threads ~sink_of:(sink_for session) () in
+        let streams =
+          Memcached.generate_streams ~client ~ops_per_client:(ops / threads) ~keys:4096 ~seed mc
+        in
+        let on_section shard =
+          match session with Some s -> s.s_send shard | None -> ()
+        in
+        Memcached.run mc ~on_section ~streams;
+        Memcached.check_consistent mc)
   in
   let run_redis () =
     match tool with
     | Tool_pmemcheck ->
       let pc = Pmemcheck.create ~size:(32 * 1024 * 1024) in
-      let r = Redis.create ~sink:(Pmemcheck.sink pc) () in
+      let r = Redis.create ~sink:(tee_sink 0 (Pmemcheck.sink pc)) () in
       Redis.run r (Clients.redis_lru ~ops ~keys:16384 (Rng.create seed));
       finish_report := Pmemcheck.result pc;
       Redis.check_consistent r
-    | Tool_pmtest ->
-      let session = Pmtest.init ~workers ~obs () in
-      let r = Redis.create ~sink:(Pmtest.sink session) () in
-      let ops_arr = Clients.redis_lru ~ops ~keys:16384 (Rng.create seed) in
-      Array.iteri
-        (fun i op ->
-          Redis.apply r op;
-          if i mod 16 = 0 then Pmtest.send_trace session)
-        ops_arr;
-      Pmtest.send_trace session;
-      finish_report := Pmtest.finish session;
-      Redis.check_consistent r
+    | Tool_pmtest | Tool_remote _ ->
+      with_session (fun session ->
+          let r = Redis.create ~sink:(sink_for session 0) () in
+          let ops_arr = Clients.redis_lru ~ops ~keys:16384 (Rng.create seed) in
+          let send () = match session with Some s -> s.s_send 0 | None -> () in
+          Array.iteri
+            (fun i op ->
+              Redis.apply r op;
+              if i mod 16 = 0 then send ())
+            ops_arr;
+          send ();
+          Redis.check_consistent r)
     | Tool_none ->
       let r = Redis.create ~annotate:false ~sink:Sink.null () in
       Redis.run r (Clients.redis_lru ~ops ~keys:16384 (Rng.create seed));
       Redis.check_consistent r
   in
   let run_pmfs client =
-    let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ~obs ()) else None in
-    let sink = match session with Some s -> Pmtest.sink s | None -> Sink.null in
-    let fs = Pmtest_pmfs.Fs.mkfs ~inodes:128 ~blocks:1024 ~sink () in
-    let on_section () = match session with Some s -> Pmtest.send_trace s | None -> () in
-    Pmfs_app.run ~on_section fs (client (Rng.create seed));
-    (match session with Some s -> finish_report := Pmtest.finish s | None -> ());
-    Pmtest_pmfs.Fs.check_consistent fs
+    with_session (fun session ->
+        let fs = Pmtest_pmfs.Fs.mkfs ~inodes:128 ~blocks:1024 ~sink:(sink_for session 0) () in
+        let on_section () = match session with Some s -> s.s_send 0 | None -> () in
+        Pmfs_app.run ~on_section fs (client (Rng.create seed));
+        Pmtest_pmfs.Fs.check_consistent fs)
   in
   let result =
     match name with
@@ -132,21 +246,29 @@ let exec_workload ~obs name tool ops threads workers seed =
     | "pmfs-filebench" -> run_pmfs (fun rng -> Clients.filebench ~ops ~files:32 rng)
     | "pmfs-oltp" -> run_pmfs (fun rng -> Clients.oltp ~ops ~tables:4 ~rows_per_table:64 rng)
     | "vacation" ->
-      let session = if tool = Tool_pmtest then Some (Pmtest.init ~workers ~obs ()) else None in
-      let sink = match session with Some s -> Pmtest.sink s | None -> Sink.null in
-      let v = Vacation.create ~resources:64 ~sink () in
-      let on_section () = match session with Some s -> Pmtest.send_trace s | None -> () in
-      Vacation.run v ~on_section (Vacation.client ~ops ~customers:256 ~resources:64 (Rng.create seed));
-      (match session with Some s -> finish_report := Pmtest.finish s | None -> ());
-      Vacation.check_consistent v
+      with_session (fun session ->
+          let v = Vacation.create ~resources:64 ~sink:(sink_for session 0) () in
+          let on_section () = match session with Some s -> s.s_send 0 | None -> () in
+          Vacation.run v ~on_section
+            (Vacation.client ~ops ~customers:256 ~resources:64 (Rng.create seed));
+          Vacation.check_consistent v)
     | other -> Error (Printf.sprintf "unknown workload %S" other)
   in
   match result with Error e -> Error e | Ok () -> Ok !finish_report
 
+let tool_name = function
+  | Tool_none -> "none"
+  | Tool_pmemcheck -> "pmemcheck"
+  | Tool_pmtest -> "pmtest"
+  | Tool_remote _ -> "remote"
+
 let run_workload name tool ops threads workers seed profile =
-  if profile && tool <> Tool_pmtest then
-    Fmt.epr "note: --profile instruments the pmtest pipeline; --tool %s collects nothing@."
-      (match tool with Tool_none -> "none" | Tool_pmemcheck -> "pmemcheck" | Tool_pmtest -> "pmtest");
+  (match tool with
+  | Tool_pmtest | Tool_remote _ -> ()
+  | Tool_none | Tool_pmemcheck ->
+    if profile then
+      Fmt.epr "note: --profile instruments the pmtest pipeline; --tool %s collects nothing@."
+        (tool_name tool));
   let obs = if profile then Obs.create () else Obs.disabled in
   match exec_workload ~obs name tool ops threads workers seed with
   | Error e ->
@@ -156,7 +278,7 @@ let run_workload name tool ops threads workers seed profile =
     Fmt.pr "workload completed; store consistent.@.";
     (match tool with
     | Tool_none -> Fmt.pr "(no testing tool attached)@."
-    | Tool_pmtest | Tool_pmemcheck -> Fmt.pr "%a@." Report.pp report);
+    | Tool_pmtest | Tool_pmemcheck | Tool_remote _ -> Fmt.pr "%a@." Report.pp report);
     if profile then Fmt.pr "@.%a@." Obs.pp (Obs.snapshot obs);
     if Report.has_fail report then 1 else 0
 
@@ -177,20 +299,19 @@ let workload_cmd =
            Tool_pmtest
            (info [ "tool" ] ~doc:"Testing tool to attach: none, pmtest or pmemcheck.")))
   in
-  let ops = Arg.(value (opt int 2000 (info [ "ops" ] ~doc:"Operations to run."))) in
-  let threads = Arg.(value (opt int 1 (info [ "threads" ] ~doc:"Server threads (memcached)."))) in
-  let workers = Arg.(value (opt int 1 (info [ "workers" ] ~doc:"PMTest worker threads."))) in
-  let seed = Arg.(value (opt int 42 (info [ "seed" ] ~doc:"Workload RNG seed."))) in
   let profile =
-    Arg.(
-      value
-        (flag
-           (info [ "profile" ]
-              ~doc:"Collect and print a pipeline profile (counters, worker utilization, latency histograms).")))
+    Common_args.profile
+      ~doc:"Collect and print a pipeline profile (counters, worker utilization, latency histograms)."
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a WHISPER-style workload under a testing tool.")
-    Term.(const run_workload $ wname $ tool $ ops $ threads $ workers $ seed $ profile)
+    Term.(
+      const run_workload $ wname $ tool
+      $ Common_args.ops ()
+      $ Common_args.threads
+      $ Common_args.workers ()
+      $ Common_args.seed ()
+      $ profile)
 
 (* --- record / check-trace ------------------------------------------------------ *)
 
@@ -230,12 +351,11 @@ let record_cmd =
         (pos 0 (some (enum [ ("redis-lru", "redis-lru"); ("pmfs-filebench", "pmfs-filebench"); ("pmfs-oltp", "pmfs-oltp") ])) None
            (info [] ~docv:"WORKLOAD" ~doc:"redis-lru, pmfs-filebench or pmfs-oltp.")))
   in
-  let ops = Arg.(value (opt int 1000 (info [ "ops" ] ~doc:"Operations to run."))) in
-  let seed = Arg.(value (opt int 42 (info [ "seed" ] ~doc:"Workload RNG seed."))) in
   let output = Arg.(value (opt string "trace.pmt" (info [ "o"; "output" ] ~doc:"Output file."))) in
   Cmd.v
     (Cmd.info "record" ~doc:"Run an annotated workload and save its trace to a file.")
-    Term.(const run_record $ wname $ ops $ seed $ output)
+    Term.(
+      const run_record $ wname $ Common_args.ops ~default:1000 () $ Common_args.seed () $ output)
 
 let run_check_trace file model profile =
   match Pmtest_trace.Serial.load_file file with
@@ -265,22 +385,12 @@ let run_check_trace file model profile =
 
 let check_trace_cmd =
   let file = Arg.(required (pos 0 (some file) None (info [] ~docv:"TRACE"))) in
-  let model =
-    Arg.(
-      value
-        (opt
-           (enum [ ("x86", Model.X86); ("hops", Model.Hops); ("eadr", Model.Eadr) ])
-           Model.X86
-           (info [ "model" ] ~doc:"Persistency model: x86, hops or eadr.")))
-  in
-  let profile =
-    Arg.(
-      value
-        (flag (info [ "profile" ] ~doc:"Print a pipeline profile of the checking pass.")))
-  in
   Cmd.v
     (Cmd.info "check-trace" ~doc:"Check a previously recorded trace file offline.")
-    Term.(const run_check_trace $ file $ model $ profile)
+    Term.(
+      const run_check_trace $ file
+      $ Common_args.model ()
+      $ Common_args.profile ~doc:"Print a pipeline profile of the checking pass.")
 
 (* --- lint -------------------------------------------------------------------- *)
 
@@ -344,14 +454,6 @@ let lint_cmd =
                 "Instead of a trace file, lint every bug-catalog case from its raw op stream \
                  (checkers stripped) and tabulate which rules fire.")))
   in
-  let model =
-    Arg.(
-      value
-        (opt
-           (enum [ ("x86", Model.X86); ("hops", Model.Hops); ("eadr", Model.Eadr) ])
-           Model.X86
-           (info [ "model" ] ~doc:"Persistency model: x86, hops or eadr.")))
-  in
   let rules =
     Arg.(
       value
@@ -361,21 +463,16 @@ let lint_cmd =
                 "Rule selection: $(b,all), $(b,none), $(b,default), a comma-separated list of \
                  rule names (only those), or $(b,+rule)/$(b,-rule) tweaks to the default set.")))
   in
-  let machine =
-    Arg.(
-      value
-        (flag
-           (info [ "machine" ]
-              ~doc:"Machine-readable output: one tab-separated finding per line.")))
-  in
-  let verbose =
-    Arg.(value (flag (info [ "v"; "verbose" ] ~doc:"Print every finding with its fix-it.")))
-  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically lint a recorded trace: no checkers needed, fix-it suggestions included.")
-    Term.(const run_lint $ file $ bugdb $ model $ rules $ machine $ verbose)
+    Term.(
+      const run_lint $ file $ bugdb
+      $ Common_args.model ()
+      $ rules
+      $ Common_args.machine ~doc:"Machine-readable output: one tab-separated finding per line."
+      $ Common_args.verbose ~doc:"Print every finding with its fix-it.")
 
 (* --- fuzz -------------------------------------------------------------------- *)
 
@@ -487,26 +584,8 @@ let run_fuzz models count seed max_ops mutate corpus progress profile =
   end
 
 let fuzz_cmd =
-  let models =
-    Arg.(
-      value
-        (opt
-           (enum
-              [
-                ("x86", [ Model.X86 ]);
-                ("hops", [ Model.Hops ]);
-                ("eadr", [ Model.Eadr ]);
-                ("both", [ Model.X86; Model.Hops ]);
-                ("all", [ Model.X86; Model.Hops; Model.Eadr ]);
-              ])
-           [ Model.X86; Model.Hops; Model.Eadr ]
-           (info [ "model" ]
-              ~doc:"Persistency model(s) to fuzz: x86, hops, eadr, both (x86+hops) or all.")))
-  in
   let count = Arg.(value (opt int 1000 (info [ "count" ] ~doc:"Programs per model."))) in
-  let seed =
-    Arg.(value (opt int 0 (info [ "seed" ] ~doc:"Base seed; program $(i,i) uses seed+$(i,i).")))
-  in
+  let seed = Common_args.seed ~default:0 ~doc:"Base seed; program $(i,i) uses seed+$(i,i)." () in
   let max_ops =
     Arg.(
       value
@@ -536,11 +615,8 @@ let fuzz_cmd =
     Arg.(value (flag (info [ "progress" ] ~doc:"Print a progress line every 1000 programs.")))
   in
   let profile =
-    Arg.(
-      value
-        (flag
-           (info [ "profile" ]
-              ~doc:"Print a per-model campaign throughput profile (one section per program).")))
+    Common_args.profile
+      ~doc:"Print a per-model campaign throughput profile (one section per program)."
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -548,7 +624,9 @@ let fuzz_cmd =
          "Differential fuzzing: generate random annotated PM programs, replay them through \
           every checker, cross-check verdicts, and shrink any disagreement to a minimal \
           reproducer.")
-    Term.(const run_fuzz $ models $ count $ seed $ max_ops $ mutate $ corpus $ progress $ profile)
+    Term.(
+      const run_fuzz $ Common_args.models $ count $ seed $ max_ops $ mutate $ corpus $ progress
+      $ profile)
 
 (* --- stat -------------------------------------------------------------------- *)
 
@@ -639,44 +717,16 @@ let stat_cmd =
                  session).")))
   in
   let model =
-    Arg.(
-      value
-        (opt
-           (some (enum [ ("x86", Model.X86); ("hops", Model.Hops); ("eadr", Model.Eadr) ]))
-           None
-           (info [ "model" ]
-              ~doc:
-                "Persistency model for replayed traces (default: the file's $(b,model:) header, \
-                 else x86).")))
+    Common_args.model_opt
+      ~doc:
+        "Persistency model for replayed traces (default: the file's $(b,model:) header, else \
+         x86)."
   in
-  let workers = Arg.(value (opt int 1 (info [ "workers" ] ~doc:"PMTest worker threads."))) in
-  let section =
-    Arg.(
-      value
-        (opt int 256
-           (info [ "section" ]
-              ~doc:"Trace entries per section when replaying a file or case.")))
-  in
-  let ops = Arg.(value (opt int 2000 (info [ "ops" ] ~doc:"Operations (workload sources)."))) in
-  let threads =
-    Arg.(value (opt int 1 (info [ "threads" ] ~doc:"Server threads (memcached workloads).")))
-  in
-  let seed = Arg.(value (opt int 42 (info [ "seed" ] ~doc:"Workload RNG seed."))) in
   let machine =
-    Arg.(
-      value
-        (flag
-           (info [ "machine" ]
-              ~doc:
-                "Machine-readable profile: TSV on stdout, round-trippable through the \
-                 observability parser.")))
-  in
-  let json =
-    Arg.(
-      value
-        (opt (some string) None
-           (info [ "json" ] ~docv:"FILE"
-              ~doc:"Also write the profile as JSON lines to $(docv).")))
+    Common_args.machine
+      ~doc:
+        "Machine-readable profile: TSV on stdout, round-trippable through the observability \
+         parser."
   in
   Cmd.v
     (Cmd.info "stat"
@@ -684,7 +734,222 @@ let stat_cmd =
          "Profile the checking pipeline: counters, per-worker utilization, queue and reorder \
           high-water marks, check and end-to-end latency histograms.")
     Term.(
-      const run_stat $ source $ model $ workers $ section $ ops $ threads $ seed $ machine $ json)
+      const run_stat $ source $ model
+      $ Common_args.workers ()
+      $ Common_args.section ()
+      $ Common_args.ops ~doc:"Operations (workload sources)." ()
+      $ Common_args.threads
+      $ Common_args.seed ()
+      $ machine $ Common_args.json)
+
+(* --- serve / attach ----------------------------------------------------------- *)
+
+let run_serve socket workers max_sessions max_inflight idle_timeout policy profile =
+  let obs = if profile then Obs.create () else Obs.disabled in
+  let cfg = { Server.socket; workers; max_sessions; max_inflight; idle_timeout; policy } in
+  (* Block the termination signals before the daemon spawns any thread
+     (they inherit the mask), then park in [wait_signal]: SIGTERM and
+     SIGINT become a graceful drain instead of a process kill. *)
+  let signals = [ Sys.sigterm; Sys.sigint ] in
+  ignore (Thread.sigmask SIG_BLOCK signals);
+  match Server.start ~obs cfg with
+  | exception Unix.Unix_error (err, _, _) ->
+    Fmt.epr "pmtestd: cannot listen on %s: %s@." socket (Unix.error_message err);
+    2
+  | t ->
+    Fmt.pr "pmtestd: listening on %s (%d worker(s), %d max session(s), %s policy)@.%!" socket
+      workers max_sessions (Wire.policy_name policy);
+    let s = Thread.wait_signal signals in
+    Fmt.pr "pmtestd: %s received, draining %d active session(s)@.%!"
+      (if s = Sys.sigterm then "SIGTERM" else "SIGINT")
+      (Server.active_sessions t);
+    Server.stop t;
+    if profile then Fmt.pr "@.%a@." Obs.pp (Obs.snapshot obs);
+    Fmt.pr "pmtestd: drained, bye@.";
+    0
+
+let serve_cmd =
+  let max_sessions =
+    Arg.(
+      value
+        (opt int Server.default_config.Server.max_sessions
+           (info [ "max-sessions" ] ~doc:"Concurrent client sessions admitted.")))
+  in
+  let max_inflight =
+    Arg.(
+      value
+        (opt int Server.default_config.Server.max_inflight
+           (info [ "max-inflight" ]
+              ~doc:"Per-session bound on dispatched-but-unmerged sections.")))
+  in
+  let idle_timeout =
+    Arg.(
+      value
+        (opt float Server.default_config.Server.idle_timeout
+           (info [ "idle-timeout" ] ~docv:"SECONDS"
+              ~doc:"Disconnect a session silent for this long; 0 disables the timeout.")))
+  in
+  let policy =
+    Arg.(
+      value
+        (opt
+           (enum [ ("block", Wire.Block); ("shed", Wire.Shed) ])
+           Wire.Block
+           (info [ "policy" ]
+              ~doc:
+                "Backpressure when a session exceeds --max-inflight: $(b,block) parks the \
+                 session's reader (the client's sends stall), $(b,shed) drops the section and \
+                 counts it.")))
+  in
+  let profile =
+    Common_args.profile ~doc:"Print the service profile (sessions, frames, latency) on exit."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run pmtestd: a checking daemon accepting concurrent client sessions over a Unix \
+          domain socket.  SIGTERM/SIGINT drain active sessions before exit.")
+    Term.(
+      const run_serve
+      $ Common_args.socket ()
+      $ Common_args.workers ~default:2 ~doc:"Checking worker domains." ()
+      $ max_sessions $ max_inflight $ idle_timeout $ policy $ profile)
+
+let run_attach source socket model_opt section ops threads seed record verify profile =
+  let section = max 1 section in
+  let obs = if profile then Obs.create () else Obs.disabled in
+  let recorded = Option.map (fun path -> (path, record_events ())) record in
+  let is_workload = List.mem source workload_names in
+  (* Model: --model wins, else a trace file's [model:] header, else x86. *)
+  let model =
+    match model_opt with
+    | Some m -> m
+    | None when (not is_workload) && Sys.file_exists source -> (
+      match Pmtest_trace.Serial.load_file_with_header source with
+      | Ok (headers, _) -> Option.value (header_model headers) ~default:Model.X86
+      | Error _ -> Model.X86)
+    | None -> Model.X86
+  in
+  let run_under tool =
+    if is_workload then exec_workload ~local_model:model ~obs source tool ops threads 1 seed
+    else
+      let entries =
+        if Sys.file_exists source then
+          match Pmtest_trace.Serial.load_file_with_header source with
+          | Error e -> Error (Printf.sprintf "cannot load %s: %s" source e)
+          | Ok (_, entries) -> Ok entries
+        else
+          match List.find_opt (fun c -> c.Case.id = source) Catalog.all with
+          | Some case -> Ok (Case.trace case)
+          | None ->
+            Error
+              (Printf.sprintf
+                 "%S is neither a workload, an existing trace file nor a bug-catalog case id"
+                 source)
+      in
+      match entries with
+      | Error _ as e -> e
+      | Ok entries -> (
+        let session =
+          match tool with
+          | Tool_remote { socket; model } -> (
+            match remote_session ~obs ~socket ~model () with
+            | Ok s -> Ok s
+            | Error m -> Error ("cannot attach: " ^ m))
+          | _ -> Ok (pmtest_session ~model ~obs ~workers:1 ())
+        in
+        match session with
+        | Error _ as e -> e
+        | Ok s -> replay_session ~section s entries)
+  in
+  match run_under (Tool_remote { socket; model }) with
+  | Error e ->
+    Fmt.epr "attach: %s@." e;
+    2
+  | Ok remote_report ->
+    (* Stop teeing before any verify re-run: the file must hold exactly
+       the stream the daemon saw, once. *)
+    (match recorded with
+    | None -> ()
+    | Some (path, take) ->
+      recording := None;
+      let entries = take () in
+      Pmtest_trace.Serial.save_file
+        ~header:[ "model: " ^ model_name model ]
+        path entries;
+      Fmt.pr "recorded %d trace entries to %s@." (Array.length entries) path);
+    recording := None;
+    Fmt.pr "%a@." Report.pp remote_report;
+    if profile then Fmt.pr "@.%a@." Obs.pp (Obs.snapshot obs);
+    let rc = if Report.has_fail remote_report then 1 else 0 in
+    if not verify then rc
+    else begin
+      match run_under Tool_pmtest with
+      | Error e ->
+        Fmt.epr "attach --verify: in-process run failed: %s@." e;
+        2
+      | Ok local_report ->
+        let render r = Fmt.str "%a" Report.pp r in
+        if render remote_report = render local_report then begin
+          Fmt.pr "verify: remote and in-process reports are identical@.";
+          rc
+        end
+        else begin
+          Fmt.epr "verify: reports DIFFER@.-- remote --@.%s@.-- in-process --@.%s@."
+            (render remote_report) (render local_report);
+          1
+        end
+    end
+
+let attach_cmd =
+  let source =
+    Arg.(
+      required
+        (pos 0 (some string) None
+           (info [] ~docv:"SOURCE"
+              ~doc:
+                "What to run against the daemon: a workload name, a recorded $(b,.pmt) trace \
+                 file, or a bug-catalog case id.")))
+  in
+  let model =
+    Common_args.model_opt
+      ~doc:
+        "Persistency model for the remote session (default: the file's $(b,model:) header, \
+         else x86)."
+  in
+  let record =
+    Arg.(
+      value
+        (opt (some string) None
+           (info [ "record" ] ~docv:"FILE"
+              ~doc:"Also save the streamed trace to $(docv) (atomic write).")))
+  in
+  let verify =
+    Arg.(
+      value
+        (flag
+           (info [ "verify" ]
+              ~doc:
+                "Re-run the same source through an in-process session and fail unless the two \
+                 reports are identical.")))
+  in
+  let profile =
+    Common_args.profile ~doc:"Print the client-side pipeline profile after the report."
+  in
+  Cmd.v
+    (Cmd.info "attach"
+       ~doc:
+         "Run a workload, trace file or bug-catalog case against a running pmtestd and print \
+          the daemon's report.")
+    Term.(
+      const run_attach $ source
+      $ Common_args.socket ()
+      $ model
+      $ Common_args.section ()
+      $ Common_args.ops ~doc:"Operations (workload sources)." ()
+      $ Common_args.threads
+      $ Common_args.seed ()
+      $ record $ verify $ profile)
 
 (* --- demo -------------------------------------------------------------------- *)
 
@@ -737,5 +1002,7 @@ let () =
             lint_cmd;
             fuzz_cmd;
             stat_cmd;
+            serve_cmd;
+            attach_cmd;
             demo_cmd;
           ]))

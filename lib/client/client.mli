@@ -1,0 +1,62 @@
+(** Client side of the [pmtestd] framed protocol.
+
+    A {!t} is one session on a remote daemon: connect with a
+    persistency model, stream packed sections, fetch the aggregate
+    report.  All calls are blocking and single-threaded per connection;
+    errors are [Error msg] results (and mark the client closed when the
+    transport is gone), never exceptions. *)
+
+open Pmtest_trace
+module Model = Pmtest_model.Model
+module Report = Pmtest_core.Report
+module Wire = Pmtest_wire.Wire
+
+type t
+
+val connect : ?model:Model.kind -> socket:string -> unit -> (t, string) result
+(** Dial the daemon's Unix socket and run the [Hello]/[Hello_ack]
+    handshake. *)
+
+val session_id : t -> int
+val model : t -> Model.kind
+
+val max_inflight : t -> int
+val policy : t -> Wire.policy
+(** The backpressure contract the server announced in its ack. *)
+
+val send_packed : ?prelude:Event.t array -> t -> Packed.t -> (unit, string) result
+(** Ship one section.  Consumes the arena (freed after encoding).
+    [prelude] is the session's current exclusion preamble; it travels
+    as a separate [Prelude] frame and only when it differs from the
+    last one sent. *)
+
+val send_events : ?prelude:Event.t array -> t -> Event.t array -> (unit, string) result
+(** Boxed convenience over {!send_packed}; empty sections are skipped. *)
+
+val get_result : t -> (Report.t, string) result
+(** [PMTest_GET_RESULT] over the wire: blocks until the daemon has
+    checked every section this session sent, returns the session
+    aggregate. *)
+
+val close : t -> unit
+(** Send [Bye] (best effort) and close the socket. *)
+
+(** A full tracing session against a remote daemon — the [attach]-side
+    mirror of {!Pmtest_core.Pmtest}: per-thread packed builders, live
+    exclusion scope, preamble announced before each section.  Transport
+    errors are latched and reported by [finish]. *)
+module Session : sig
+  type conn = t
+  type t
+
+  val make : ?obs:Pmtest_obs.Obs.t -> conn -> t
+  val sink : ?thread:int -> t -> Sink.t
+  val emit : ?thread:int -> ?loc:Pmtest_util.Loc.t -> t -> Event.kind -> unit
+
+  val send_trace : ?thread:int -> t -> unit
+  (** Hand the thread's accumulated section to the daemon
+      ([PMTest_SEND_TRACE]). *)
+
+  val finish : t -> (Report.t, string) result
+  (** Flush every thread's pending section and fetch the aggregate. *)
+end

@@ -9,7 +9,14 @@ module Obs = Pmtest_obs.Obs
    arena so active scopes never force the decode-to-boxed fallback. *)
 type section = Boxed of Event.t array | Packed of { p : Packed.t; prelude : Event.t array }
 
-type msg = Task of int * section | Stop
+(* [model] overrides the runtime's default for this section (the daemon
+   serves sessions with different persistency models off one pool);
+   [k], when present, receives the section's report — in dispatch order,
+   from inside the merge loop — instead of the report entering the
+   global aggregate.  Per-session aggregation is built on it. *)
+type task = { payload : section; model : Model.kind; k : (Report.t -> unit) option }
+
+type msg = Task of int * task | Stop
 
 type worker = {
   queue : msg Queue.t;
@@ -37,7 +44,7 @@ type t = {
   (* Sections finish out of order across workers; reports wait here until
      every earlier section has been merged, so the aggregate is always the
      one a synchronous run would have produced. *)
-  parked : (int, Report.t) Hashtbl.t;
+  parked : (int, Report.t * (Report.t -> unit) option) Hashtbl.t;
   mutable next_merge : int;
   mutable completed : int;
 }
@@ -77,14 +84,19 @@ let drain_rest w =
   Mutex.unlock w.mutex;
   List.rev !batch
 
-let complete t seq report =
+let complete t seq report k =
   Mutex.lock t.agg_mutex;
-  Hashtbl.replace t.parked seq report;
+  Hashtbl.replace t.parked seq (report, k);
   if Obs.enabled t.obs then Obs.reorder_depth t.obs (Hashtbl.length t.parked);
   while Hashtbl.mem t.parked t.next_merge do
-    let r = Hashtbl.find t.parked t.next_merge in
+    let r, k = Hashtbl.find t.parked t.next_merge in
     Hashtbl.remove t.parked t.next_merge;
-    t.aggregate <- Report.merge t.aggregate r;
+    (* A callback section's report belongs to its own consumer (one
+       daemon session), not the global aggregate; callbacks still fire
+       here, in dispatch order, so per-consumer aggregation is as
+       deterministic as the global one.  They run under [agg_mutex] and
+       must be brief and must not re-enter the runtime. *)
+    (match k with None -> t.aggregate <- Report.merge t.aggregate r | Some k -> k r);
     if Obs.enabled t.obs then Obs.section_merged t.obs ~seq:t.next_merge;
     t.next_merge <- t.next_merge + 1;
     t.completed <- t.completed + 1
@@ -92,22 +104,22 @@ let complete t seq report =
   Condition.broadcast t.drained;
   Mutex.unlock t.agg_mutex
 
-let check_payload t payload =
-  match payload with
-  | Boxed entries -> Engine.check ~obs:t.obs ~model:t.model entries
+let check_payload t (task : task) =
+  match task.payload with
+  | Boxed entries -> Engine.check ~obs:t.obs ~model:task.model entries
   | Packed { p; prelude } ->
-    let r = Engine.check_packed ~obs:t.obs ~model:t.model ~prelude p in
+    let r = Engine.check_packed ~obs:t.obs ~model:task.model ~prelude p in
     Packed.free p;
     r
 
-let check_section t ~seq ~worker payload =
+let check_section t ~seq ~worker task =
   if Obs.enabled t.obs then begin
     Obs.check_started t.obs ~seq ~worker;
-    let r = check_payload t payload in
+    let r = check_payload t task in
     Obs.check_finished t.obs ~seq;
     r
   end
-  else check_payload t payload
+  else check_payload t task
 
 (* Run every task in the batch; Stop only takes effect once the queue is
    exhausted, so a task that raced past the shutdown gate is still
@@ -120,9 +132,9 @@ let rec worker_loop t idx w =
     (fun msg ->
       match msg with
       | Stop -> stopping := true
-      | Task (seq, payload) ->
+      | Task (seq, task) ->
         incr tasks;
-        complete t seq (check_section t ~seq ~worker:idx payload))
+        complete t seq (check_section t ~seq ~worker:idx task) task.k)
     batch;
   if !tasks > 0 && Obs.enabled t.obs then Obs.batch_drained t.obs ~sections:!tasks;
   if not !stopping then worker_loop t idx w
@@ -131,7 +143,7 @@ let rec worker_loop t idx w =
       (fun msg ->
         match msg with
         | Stop -> ()
-        | Task (seq, payload) -> complete t seq (check_section t ~seq ~worker:idx payload))
+        | Task (seq, task) -> complete t seq (check_section t ~seq ~worker:idx task) task.k)
       (drain_rest w)
 
 let create ?(workers = 1) ?(model = Model.X86) ?(obs = Obs.disabled) () =
@@ -167,17 +179,17 @@ let section_entries = function
   | Boxed a -> Array.length a
   | Packed { p; prelude } -> Packed.count p + Array.length prelude
 
-let send_section t payload =
+let send_section t task =
   if Atomic.get t.stopped then invalid_arg "Runtime.send_trace: runtime already shut down";
   let seq = Atomic.fetch_and_add t.dispatched 1 in
   if Obs.enabled t.obs then begin
-    Obs.section_sent t.obs ~seq ~entries:(section_entries payload);
+    Obs.section_sent t.obs ~seq ~entries:(section_entries task.payload);
     (* [completed] is read without the lock: the queue-depth high-water
        mark is a sampled metric, an occasionally stale sample is fine. *)
     Obs.queue_depth t.obs (seq + 1 - t.completed)
   end;
   let n = Array.length t.workers in
-  if n = 0 then complete t seq (check_section t ~seq ~worker:0 payload)
+  if n = 0 then complete t seq (check_section t ~seq ~worker:0 task) task.k
   else begin
     (* Least-loaded dispatch; ties break round-robin by seq so an idle
        pool still interleaves the way the paper's master thread does. *)
@@ -190,11 +202,17 @@ let send_section t payload =
         best_load := load
       end
     done;
-    post t.workers.(!best) (Task (seq, payload))
+    post t.workers.(!best) (Task (seq, task))
   end
 
-let send_trace t entries = send_section t (Boxed entries)
-let send_packed ?(prelude = [||]) t p = send_section t (Packed { p; prelude })
+let send_trace t entries = send_section t { payload = Boxed entries; model = t.model; k = None }
+
+let send_packed ?(prelude = [||]) t p =
+  send_section t { payload = Packed { p; prelude }; model = t.model; k = None }
+
+let send_packed_cb ?model ?(prelude = [||]) t p k =
+  let model = Option.value model ~default:t.model in
+  send_section t { payload = Packed { p; prelude }; model; k = Some k }
 
 let get_result t =
   Mutex.lock t.agg_mutex;

@@ -42,6 +42,20 @@ val send_packed : ?prelude:Event.t array -> t -> Packed.t -> unit
     packed path. Ownership transfers to the runtime — the caller must
     not touch the arena afterwards. *)
 
+val send_packed_cb :
+  ?model:Model.kind -> ?prelude:Event.t array -> t -> Packed.t -> (Report.t -> unit) -> unit
+(** Like {!send_packed}, but the section's report is handed to the
+    callback instead of entering the global aggregate — the building
+    block for per-session aggregation in [pmtestd], where one worker
+    pool serves many independent client sessions. Callbacks fire in
+    dispatch order (from inside the in-order merge loop), so a consumer
+    that merges callback reports as they arrive reproduces exactly the
+    aggregate a dedicated synchronous runtime would have produced. The
+    callback runs on a worker (or, with [workers:0], the sending)
+    thread with the runtime's merge lock held: it must be brief and
+    must not call back into the runtime. [model] overrides the
+    runtime's persistency model for this section only. *)
+
 val get_result : t -> Report.t
 (** Block until all sections dispatched so far are checked; returns the
     aggregate report. Aggregation is deterministic: reports are merged in

@@ -8,6 +8,9 @@ module Pmemcheck = Pmtest_baseline.Pmemcheck
 module Lint = Pmtest_lint.Lint
 module Crashtest = Pmtest_crashtest.Crashtest
 module Machine = Pmtest_pmem.Machine
+module Pmtest = Pmtest_core.Pmtest
+module Server = Pmtest_server.Server
+module Client = Pmtest_client.Client
 
 type pair =
   | Engine_vs_naive
@@ -16,6 +19,7 @@ type pair =
   | Engine_vs_oracle
   | Engine_vs_crashtest
   | Engine_vs_packed
+  | Engine_vs_serve
 
 type outcome = Agree | Disagree of string | Skip of string
 
@@ -27,6 +31,7 @@ let all_pairs =
     Engine_vs_oracle;
     Engine_vs_crashtest;
     Engine_vs_packed;
+    Engine_vs_serve;
   ]
 
 let pair_name = function
@@ -36,6 +41,7 @@ let pair_name = function
   | Engine_vs_oracle -> "engine/oracle"
   | Engine_vs_crashtest -> "engine/crashtest"
   | Engine_vs_packed -> "engine/packed"
+  | Engine_vs_serve -> "engine/serve"
 
 (* The engine only enforces undo logging inside a TX checker scope;
    pmemcheck and the lint need no scope. Missing_log counts are only
@@ -289,6 +295,77 @@ let vs_packed (p : Gen.program) =
          (List.length er.Report.diagnostics)
          (List.length pr.Report.diagnostics))
 
+(* One shared in-process daemon for the whole campaign, started on the
+   first engine/serve comparison and drained at exit.  Each program gets
+   a fresh session, so per-session state (model, exclusion preamble,
+   aggregate) is exercised, while the worker pool is shared across
+   thousands of programs the way a real daemon's would be. *)
+let serve_daemon =
+  lazy
+    (let socket =
+       Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "pmtest-cross-%d.sock" (Unix.getpid ()))
+     in
+     let srv =
+       Server.start
+         { Server.default_config with socket; workers = 2; max_sessions = 64; idle_timeout = 60.0 }
+     in
+     at_exit (fun () -> Server.stop srv);
+     srv)
+
+(* Both sides of the serve contract drive the same session shape: events
+   emitted in program order into per-thread builders, every thread's
+   section flushed at fixed boundaries (in first-seen thread order, so
+   the dispatch sequence is identical on both sides). *)
+let serve_section_len = 16
+
+let drive_session ~emit ~flush (p : Gen.program) =
+  let threads = ref [] in
+  Array.iteri
+    (fun i (e : Event.t) ->
+      if not (List.mem e.Event.thread !threads) then threads := !threads @ [ e.Event.thread ];
+      emit e;
+      if (i + 1) mod serve_section_len = 0 then List.iter flush !threads)
+    p.Gen.events;
+  List.iter flush !threads
+
+let report_key r =
+  ( List.map
+      (fun (d : Report.diagnostic) -> (d.Report.kind, d.Report.loc, d.Report.message))
+      r.Report.diagnostics,
+    r.Report.entries,
+    r.Report.ops,
+    r.Report.checkers )
+
+let vs_serve (p : Gen.program) =
+  let local =
+    let s = Pmtest.init ~model:p.Gen.model ~workers:0 ~packed:true () in
+    drive_session p
+      ~emit:(fun (e : Event.t) -> Pmtest.emit ~thread:e.Event.thread ~loc:e.Event.loc s e.Event.kind)
+      ~flush:(fun thread -> Pmtest.send_trace ~thread s);
+    Pmtest.finish s
+  in
+  let srv = Lazy.force serve_daemon in
+  match Client.connect ~model:p.Gen.model ~socket:(Server.config srv).Server.socket () with
+  | Error m -> Disagree ("cannot attach to daemon: " ^ m)
+  | Ok conn -> (
+    let s = Client.Session.make conn in
+    drive_session p
+      ~emit:(fun (e : Event.t) ->
+        Client.Session.emit ~thread:e.Event.thread ~loc:e.Event.loc s e.Event.kind)
+      ~flush:(fun thread -> Client.Session.send_trace ~thread s);
+    let remote = Client.Session.finish s in
+    Client.close conn;
+    match remote with
+    | Error m -> Disagree ("daemon session failed: " ^ m)
+    | Ok remote ->
+      if report_key local = report_key remote then Agree
+      else
+        Disagree
+          (Printf.sprintf "in-process and served reports differ (local %d diag(s), served %d)"
+             (List.length local.Report.diagnostics)
+             (List.length remote.Report.diagnostics)))
+
 let compare_pair pair p =
   match pair with
   | Engine_vs_naive -> vs_naive p
@@ -297,6 +374,7 @@ let compare_pair pair p =
   | Engine_vs_oracle -> vs_oracle p
   | Engine_vs_crashtest -> vs_crashtest p
   | Engine_vs_packed -> vs_packed p
+  | Engine_vs_serve -> vs_serve p
 
 let run p = List.map (fun pair -> (pair, compare_pair pair p)) all_pairs
 

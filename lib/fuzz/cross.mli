@@ -37,7 +37,16 @@
       boxed [Engine.check] — same diagnostic (kind, loc, message)
       sequence and same entry/op/checker counts. This pins the flat
       fast path (codec + cursor dispatch + page-indexed shadow) to the
-      boxed reference semantics. *)
+      boxed reference semantics.
+    - {b engine/serve}: on every trace and model, driving the program
+      through a fresh session on a shared in-process [pmtestd] daemon
+      (sections over the framed wire protocol, exclusion preambles as
+      [Prelude] frames) must yield a report identical — diagnostics
+      (kind, loc, message) and entry/op/checker counts — to an
+      in-process packed session flushing at the same boundaries. This
+      pins the whole service stack: wire codecs, per-session
+      aggregation callbacks, prelude deduplication. The daemon is
+      started lazily on a temp socket and drained at process exit. *)
 
 open Pmtest_trace
 
@@ -48,6 +57,7 @@ type pair =
   | Engine_vs_oracle
   | Engine_vs_crashtest
   | Engine_vs_packed
+  | Engine_vs_serve
 
 type outcome =
   | Agree

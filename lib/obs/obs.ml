@@ -26,6 +26,19 @@ type span = {
   merged_ns : int;
 }
 
+type serve_stat = {
+  sessions_opened : int;
+  sessions_closed : int;
+  sessions_hwm : int;
+  frames_in : int;
+  frames_out : int;
+  frame_bytes_in : int;
+  frame_bytes_out : int;
+  frames_corrupt : int;
+  sections_shed : int;
+  inflight_hwm : int;
+}
+
 type snapshot = {
   elapsed_ns : int;
   events_traced : int;
@@ -43,9 +56,11 @@ type snapshot = {
   batch_sections_max : int;
   arenas_allocated : int;
   arenas_reused : int;
+  serve : serve_stat;
   workers : worker_stat list;
   check_hist : hist;
   e2e_hist : hist;
+  serve_hist : hist;
   spans : span list;
 }
 
@@ -118,10 +133,23 @@ type t = {
   mutable batch_max : int;
   arena_allocs : int Atomic.t;
   arena_reuses : int Atomic.t;
+  (* Service-side (pmtestd) counters; all under [m]. *)
+  mutable s_opened : int;
+  mutable s_closed : int;
+  mutable s_active : int;
+  mutable s_hwm : int;
+  mutable f_in : int;
+  mutable f_out : int;
+  mutable fb_in : int;
+  mutable fb_out : int;
+  mutable f_corrupt : int;
+  mutable s_shed : int;
+  mutable inflight_hwm : int;
   pending : (int, pending) Hashtbl.t;
   wstats : (int, int ref * int ref) Hashtbl.t;  (* id -> (sections, busy_ns) *)
   check_h : hist_acc;
   e2e_h : hist_acc;
+  serve_h : hist_acc;
   spans : span Queue.t;
 }
 
@@ -146,10 +174,22 @@ let make ~on ~max_spans =
     batch_max = 0;
     arena_allocs = Atomic.make 0;
     arena_reuses = Atomic.make 0;
+    s_opened = 0;
+    s_closed = 0;
+    s_active = 0;
+    s_hwm = 0;
+    f_in = 0;
+    f_out = 0;
+    fb_in = 0;
+    fb_out = 0;
+    f_corrupt = 0;
+    s_shed = 0;
+    inflight_hwm = 0;
     pending = Hashtbl.create 32;
     wstats = Hashtbl.create 8;
     check_h = hist_acc ();
     e2e_h = hist_acc ();
+    serve_h = hist_acc ();
     spans = Queue.create ();
   }
 
@@ -246,6 +286,41 @@ let arena_alloc t ~reused =
     if reused then Atomic.incr t.arena_reuses
   end
 
+(* --- Service (pmtestd) hooks -------------------------------------------- *)
+
+let session_opened t =
+  if t.on then
+    locked t (fun () ->
+        t.s_opened <- t.s_opened + 1;
+        t.s_active <- t.s_active + 1;
+        if t.s_active > t.s_hwm then t.s_hwm <- t.s_active)
+
+let session_closed t =
+  if t.on then
+    locked t (fun () ->
+        t.s_closed <- t.s_closed + 1;
+        t.s_active <- t.s_active - 1)
+
+let frame_received t ~bytes =
+  if t.on then
+    locked t (fun () ->
+        t.f_in <- t.f_in + 1;
+        t.fb_in <- t.fb_in + bytes)
+
+let frame_sent t ~bytes =
+  if t.on then
+    locked t (fun () ->
+        t.f_out <- t.f_out + 1;
+        t.fb_out <- t.fb_out + bytes)
+
+let frame_corrupt t = if t.on then locked t (fun () -> t.f_corrupt <- t.f_corrupt + 1)
+let section_shed t = if t.on then locked t (fun () -> t.s_shed <- t.s_shed + 1)
+
+let inflight_depth t d =
+  if t.on then locked t (fun () -> if d > t.inflight_hwm then t.inflight_hwm <- d)
+
+let serve_section_ns t ns = if t.on then locked t (fun () -> hist_add t.serve_h ns)
+
 let engine_counts t ~entries ~ops ~checkers ~diags =
   if t.on then
     locked t (fun () ->
@@ -255,6 +330,20 @@ let engine_counts t ~entries ~ops ~checkers ~diags =
         t.n_diags <- t.n_diags + diags)
 
 let empty_hist = { total = 0; sum_ns = 0; min_ns = 0; max_ns = 0; buckets = [] }
+
+let empty_serve =
+  {
+    sessions_opened = 0;
+    sessions_closed = 0;
+    sessions_hwm = 0;
+    frames_in = 0;
+    frames_out = 0;
+    frame_bytes_in = 0;
+    frame_bytes_out = 0;
+    frames_corrupt = 0;
+    sections_shed = 0;
+    inflight_hwm = 0;
+  }
 
 let empty_snapshot =
   {
@@ -274,9 +363,11 @@ let empty_snapshot =
     batch_sections_max = 0;
     arenas_allocated = 0;
     arenas_reused = 0;
+    serve = empty_serve;
     workers = [];
     check_hist = empty_hist;
     e2e_hist = empty_hist;
+    serve_hist = empty_hist;
     spans = [];
   }
 
@@ -308,9 +399,23 @@ let snapshot t =
           batch_sections_max = t.batch_max;
           arenas_allocated = Atomic.get t.arena_allocs;
           arenas_reused = Atomic.get t.arena_reuses;
+          serve =
+            {
+              sessions_opened = t.s_opened;
+              sessions_closed = t.s_closed;
+              sessions_hwm = t.s_hwm;
+              frames_in = t.f_in;
+              frames_out = t.f_out;
+              frame_bytes_in = t.fb_in;
+              frame_bytes_out = t.fb_out;
+              frames_corrupt = t.f_corrupt;
+              sections_shed = t.s_shed;
+              inflight_hwm = t.inflight_hwm;
+            };
           workers;
           check_hist = hist_of_acc t.check_h;
           e2e_hist = hist_of_acc t.e2e_h;
+          serve_hist = hist_of_acc t.serve_h;
           spans = List.of_seq (Queue.to_seq t.spans);
         })
 
@@ -354,6 +459,16 @@ let pp ppf s =
   if s.batches > 0 || s.arenas_allocated > 0 then
     Format.fprintf ppf "@,flat path        batches %d (max %d section(s))  arenas %d (%d reused)"
       s.batches s.batch_sections_max s.arenas_allocated s.arenas_reused;
+  if s.serve.sessions_opened > 0 || s.serve.frames_in > 0 then begin
+    Format.fprintf ppf
+      "@,service          sessions %d opened, %d closed (peak %d concurrent)"
+      s.serve.sessions_opened s.serve.sessions_closed s.serve.sessions_hwm;
+    Format.fprintf ppf "@,                 frames in %d (%d B)  out %d (%d B)  corrupt %d"
+      s.serve.frames_in s.serve.frame_bytes_in s.serve.frames_out s.serve.frame_bytes_out
+      s.serve.frames_corrupt;
+    Format.fprintf ppf "@,                 sections shed %d   inflight high-water %d"
+      s.serve.sections_shed s.serve.inflight_hwm
+  end;
   if s.workers <> [] then begin
     Format.fprintf ppf "@,workers (utilization = busy / elapsed):";
     List.iter
@@ -368,6 +483,7 @@ let pp ppf s =
   end;
   pp_hist ppf ("check latency", s.check_hist);
   pp_hist ppf ("end-to-end section latency", s.e2e_hist);
+  if s.serve_hist.total > 0 then pp_hist ppf ("per-session section latency", s.serve_hist);
   if s.spans <> [] then
     Format.fprintf ppf "@,%d span(s) retained (full records in the TSV/JSON output)"
       (List.length s.spans);
@@ -393,6 +509,16 @@ let counter_fields s =
     ("batch_sections_max", s.batch_sections_max);
     ("arenas_allocated", s.arenas_allocated);
     ("arenas_reused", s.arenas_reused);
+    ("serve_sessions_opened", s.serve.sessions_opened);
+    ("serve_sessions_closed", s.serve.sessions_closed);
+    ("serve_sessions_hwm", s.serve.sessions_hwm);
+    ("serve_frames_in", s.serve.frames_in);
+    ("serve_frames_out", s.serve.frames_out);
+    ("serve_frame_bytes_in", s.serve.frame_bytes_in);
+    ("serve_frame_bytes_out", s.serve.frame_bytes_out);
+    ("serve_frames_corrupt", s.serve.frames_corrupt);
+    ("serve_sections_shed", s.serve.sections_shed);
+    ("serve_inflight_hwm", s.serve.inflight_hwm);
   ]
 
 let to_tsv s =
@@ -404,7 +530,7 @@ let to_tsv s =
     (fun (name, h) ->
       line "hist\t%s\t%d\t%d\t%d\t%d" name h.total h.sum_ns h.min_ns h.max_ns;
       List.iter (fun (i, c) -> line "histbucket\t%s\t%d\t%d" name i c) h.buckets)
-    [ ("check", s.check_hist); ("e2e", s.e2e_hist) ];
+    [ ("check", s.check_hist); ("e2e", s.e2e_hist); ("serve", s.serve_hist) ];
   List.iter
     (fun sp ->
       line "span\t%d\t%d\t%d\t%d\t%d\t%d\t%d" sp.seq sp.worker sp.entries sp.sent_ns sp.start_ns
@@ -435,6 +561,16 @@ let of_tsv text =
     | "batch_sections_max" -> snap := { s with batch_sections_max = v }
     | "arenas_allocated" -> snap := { s with arenas_allocated = v }
     | "arenas_reused" -> snap := { s with arenas_reused = v }
+    | "serve_sessions_opened" -> snap := { s with serve = { s.serve with sessions_opened = v } }
+    | "serve_sessions_closed" -> snap := { s with serve = { s.serve with sessions_closed = v } }
+    | "serve_sessions_hwm" -> snap := { s with serve = { s.serve with sessions_hwm = v } }
+    | "serve_frames_in" -> snap := { s with serve = { s.serve with frames_in = v } }
+    | "serve_frames_out" -> snap := { s with serve = { s.serve with frames_out = v } }
+    | "serve_frame_bytes_in" -> snap := { s with serve = { s.serve with frame_bytes_in = v } }
+    | "serve_frame_bytes_out" -> snap := { s with serve = { s.serve with frame_bytes_out = v } }
+    | "serve_frames_corrupt" -> snap := { s with serve = { s.serve with frames_corrupt = v } }
+    | "serve_sections_shed" -> snap := { s with serve = { s.serve with sections_shed = v } }
+    | "serve_inflight_hwm" -> snap := { s with serve = { s.serve with inflight_hwm = v } }
     | other -> fail "unknown counter %S" other
   in
   let set_hist name f =
@@ -442,6 +578,7 @@ let of_tsv text =
     match name with
     | "check" -> snap := { s with check_hist = f s.check_hist }
     | "e2e" -> snap := { s with e2e_hist = f s.e2e_hist }
+    | "serve" -> snap := { s with serve_hist = f s.serve_hist }
     | other -> fail "unknown histogram %S" other
   in
   let ints l = List.map int_of_string l in
@@ -523,7 +660,7 @@ let to_jsonl s =
                 (List.map (fun (bi, c) -> Printf.sprintf "[%d,%d]" bi c) h.buckets)
             ^ "]" );
         ])
-    [ ("check", s.check_hist); ("e2e", s.e2e_hist) ];
+    [ ("check", s.check_hist); ("e2e", s.e2e_hist); ("serve", s.serve_hist) ];
   List.iter
     (fun sp ->
       obj

@@ -82,6 +82,38 @@ val arena_alloc : t -> reused:bool -> unit
 (** A packed trace arena was handed out — [reused] when it came from the
     freelist instead of a fresh allocation. *)
 
+(** {2 Service hooks}
+
+    Fired by the [pmtestd] daemon ({!Pmtest_server.Server}): session
+    lifecycle, wire frames in either direction, corrupt frames, sections
+    shed under backpressure, and per-session check latency. *)
+
+val session_opened : t -> unit
+(** A client session was accepted; the concurrent-session high-water
+    mark is updated. *)
+
+val session_closed : t -> unit
+
+val frame_received : t -> bytes:int -> unit
+(** One wire frame read from a client ([bytes] = header + payload). *)
+
+val frame_sent : t -> bytes:int -> unit
+
+val frame_corrupt : t -> unit
+(** A frame failed CRC / version / decode validation and was rejected
+    without killing the worker pool. *)
+
+val section_shed : t -> unit
+(** A decoded section was dropped by the [Shed] backpressure policy. *)
+
+val inflight_depth : t -> int -> unit
+(** Sections accepted from clients but not yet checked, sampled per
+    arrival; high-water kept. *)
+
+val serve_section_ns : t -> int -> unit
+(** Receipt-to-checked latency of one client section (feeds the
+    per-session latency histogram). *)
+
 (** {1 Snapshots} *)
 
 type hist = {
@@ -95,6 +127,19 @@ type hist = {
 }
 
 type worker_stat = { id : int; sections : int; busy_ns : int }
+
+type serve_stat = {
+  sessions_opened : int;
+  sessions_closed : int;
+  sessions_hwm : int;  (** Peak concurrent sessions. *)
+  frames_in : int;
+  frames_out : int;
+  frame_bytes_in : int;
+  frame_bytes_out : int;
+  frames_corrupt : int;  (** Rejected (CRC / version / decode). *)
+  sections_shed : int;  (** Dropped by the [Shed] policy. *)
+  inflight_hwm : int;  (** Peak accepted-but-unchecked sections. *)
+}
 
 type span = {
   seq : int;
@@ -123,9 +168,11 @@ type snapshot = {
   batch_sections_max : int;  (** Largest single batch. *)
   arenas_allocated : int;  (** Packed arenas handed out. *)
   arenas_reused : int;  (** ... of which came from the freelist. *)
+  serve : serve_stat;  (** Daemon-side counters (all zero in-process). *)
   workers : worker_stat list;  (** Ascending worker id. *)
   check_hist : hist;  (** Engine pass time per section. *)
   e2e_hist : hist;  (** Dispatch-to-merge time per section. *)
+  serve_hist : hist;  (** Per-session receipt-to-checked latency. *)
   spans : span list;  (** Oldest retained first. *)
 }
 

@@ -1,0 +1,325 @@
+open Pmtest_model
+open Pmtest_trace
+module Runtime = Pmtest_core.Runtime
+module Report = Pmtest_core.Report
+module Obs = Pmtest_obs.Obs
+module Wire = Pmtest_wire.Wire
+
+type config = {
+  socket : string;
+  workers : int;
+  max_sessions : int;
+  max_inflight : int;
+  idle_timeout : float;
+  policy : Wire.policy;
+}
+
+let default_config =
+  {
+    socket = "pmtestd.sock";
+    workers = 2;
+    max_sessions = 32;
+    max_inflight = 64;
+    idle_timeout = 30.0;
+    policy = Wire.Block;
+  }
+
+(* One attached client.  [sm]/[sc] guard the per-session fields; lock
+   order is runtime-merge-lock before [sm] (the completion callback runs
+   under the former and takes the latter), and the reader thread never
+   holds [sm] while dispatching, so that order is never inverted. *)
+type session = {
+  sid : int;
+  fd : Unix.file_descr;
+  model : Model.kind;
+  sm : Mutex.t;
+  sc : Condition.t;
+  mutable prelude : Event.t array;
+  mutable inflight : int;  (* dispatched, not yet merged *)
+  mutable aggregate : Report.t;
+}
+
+type t = {
+  cfg : config;
+  obs : Obs.t;
+  rt : Runtime.t;
+  listen : Unix.file_descr;
+  m : Mutex.t;
+  drained : Condition.t;
+  mutable next_sid : int;
+  (* sid -> fd of live sessions, so [stop] can shut their reads down. *)
+  live : (int, Unix.file_descr) Hashtbl.t;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let active_sessions t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.live in
+  Mutex.unlock t.m;
+  n
+
+(* --- Per-session protocol ------------------------------------------------ *)
+
+let send t fd kind payload =
+  match Wire.write_frame fd kind payload with
+  | Ok () ->
+    if Obs.enabled t.obs then
+      Obs.frame_sent t.obs ~bytes:(Wire.header_len + String.length payload);
+    true
+  | Error _ -> false
+
+let send_err t fd msg = ignore (send t fd Wire.Err (Wire.encode_err msg))
+
+(* Backpressure: [Block] parks the reader thread until the pool catches
+   up — the client's sends then stall in [write(2)] once the socket
+   buffers fill, with no explicit credit protocol.  [Shed] drops the
+   section on the floor and counts it. *)
+let dispatch t sess p =
+  Mutex.lock sess.sm;
+  if t.cfg.policy = Wire.Shed && sess.inflight >= t.cfg.max_inflight then begin
+    Mutex.unlock sess.sm;
+    Packed.free p;
+    if Obs.enabled t.obs then Obs.section_shed t.obs
+  end
+  else begin
+    while sess.inflight >= t.cfg.max_inflight do
+      Condition.wait sess.sc sess.sm
+    done;
+    sess.inflight <- sess.inflight + 1;
+    let depth = sess.inflight in
+    let prelude = sess.prelude in
+    Mutex.unlock sess.sm;
+    if Obs.enabled t.obs then Obs.inflight_depth t.obs depth;
+    let t0 = Obs.now_ns () in
+    Runtime.send_packed_cb ~model:sess.model ~prelude t.rt p (fun r ->
+        (* Fires in dispatch order under the runtime's merge lock: the
+           per-session aggregate is byte-identical to a dedicated
+           synchronous run over the same section stream. *)
+        Mutex.lock sess.sm;
+        sess.aggregate <- Report.merge sess.aggregate r;
+        sess.inflight <- sess.inflight - 1;
+        Condition.broadcast sess.sc;
+        Mutex.unlock sess.sm;
+        if Obs.enabled t.obs then Obs.serve_section_ns t.obs (Obs.now_ns () - t0))
+  end
+
+(* Returns [false] to end the session. *)
+let handle_frame t sess kind payload =
+  match (kind : Wire.kind) with
+  | Wire.Prelude -> (
+    match Packed.decode_wire payload with
+    | Error e ->
+      if Obs.enabled t.obs then Obs.frame_corrupt t.obs;
+      send_err t sess.fd ("bad prelude: " ^ Packed.decode_error_to_string e);
+      false
+    | Ok arena ->
+      let events = Packed.to_events arena in
+      Packed.free arena;
+      Mutex.lock sess.sm;
+      sess.prelude <- events;
+      Mutex.unlock sess.sm;
+      true)
+  | Wire.Section -> (
+    (* A frame with a valid CRC can still carry garbage (hostile or
+       buggy client); the checked decoder turns that into a session
+       error instead of an exception inside a checking worker. *)
+    match Packed.decode_wire payload with
+    | Error e ->
+      if Obs.enabled t.obs then Obs.frame_corrupt t.obs;
+      send_err t sess.fd ("bad section: " ^ Packed.decode_error_to_string e);
+      false
+    | Ok p ->
+      dispatch t sess p;
+      true)
+  | Wire.Get_result ->
+    Mutex.lock sess.sm;
+    while sess.inflight > 0 do
+      Condition.wait sess.sc sess.sm
+    done;
+    let r = sess.aggregate in
+    Mutex.unlock sess.sm;
+    send t sess.fd Wire.Report_frame (Wire.encode_report r)
+  | Wire.Bye -> false
+  | Wire.Hello | Wire.Hello_ack | Wire.Report_frame | Wire.Err ->
+    send_err t sess.fd (Printf.sprintf "unexpected %s frame" (Wire.kind_name kind));
+    false
+
+let rec session_loop t sess =
+  match Wire.read_frame sess.fd with
+  | Ok (kind, payload) ->
+    if Obs.enabled t.obs then
+      Obs.frame_received t.obs ~bytes:(Wire.header_len + String.length payload);
+    if handle_frame t sess kind payload then session_loop t sess
+  | Error Wire.Timeout -> send_err t sess.fd "idle timeout exceeded"
+  | Error Wire.Closed ->
+    (* Client hung up — possibly mid-frame; anything already dispatched
+       keeps flowing through the pool and is simply never reported. *)
+    ()
+  | Error (Wire.Corrupt m) ->
+    if Obs.enabled t.obs then Obs.frame_corrupt t.obs;
+    send_err t sess.fd ("corrupt frame: " ^ m)
+  | Error (Wire.Version_mismatch v) ->
+    if Obs.enabled t.obs then Obs.frame_corrupt t.obs;
+    send_err t sess.fd (Printf.sprintf "unsupported protocol version %d" v)
+
+(* Handshake, registration, the frame loop, then teardown.  Runs on its
+   own thread; never lets an exception escape (a dead session must not
+   take the daemon down). *)
+let serve_conn t fd =
+  let cleanup registered sid =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if registered then begin
+      Mutex.lock t.m;
+      Hashtbl.remove t.live sid;
+      Condition.broadcast t.drained;
+      Mutex.unlock t.m;
+      if Obs.enabled t.obs then Obs.session_closed t.obs
+    end
+  in
+  match
+    if t.cfg.idle_timeout > 0.0 then
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
+    match Wire.read_frame fd with
+    | Ok (Wire.Hello, payload) -> (
+      if Obs.enabled t.obs then
+        Obs.frame_received t.obs ~bytes:(Wire.header_len + String.length payload);
+      match Wire.decode_hello payload with
+      | Error e ->
+        send_err t fd (Wire.error_to_string e);
+        cleanup false 0
+      | Ok model -> (
+        Mutex.lock t.m;
+        let admitted =
+          if t.stopping then Error "daemon is shutting down"
+          else if Hashtbl.length t.live >= t.cfg.max_sessions then
+            Error
+              (Printf.sprintf "session limit reached (%d active)" (Hashtbl.length t.live))
+          else begin
+            let sid = t.next_sid in
+            t.next_sid <- sid + 1;
+            Hashtbl.replace t.live sid fd;
+            Ok sid
+          end
+        in
+        Mutex.unlock t.m;
+        match admitted with
+        | Error msg ->
+          send_err t fd msg;
+          cleanup false 0
+        | Ok sid ->
+          if Obs.enabled t.obs then Obs.session_opened t.obs;
+          let sess =
+            {
+              sid;
+              fd;
+              model;
+              sm = Mutex.create ();
+              sc = Condition.create ();
+              prelude = [||];
+              inflight = 0;
+              aggregate = Report.empty;
+            }
+          in
+          if
+            send t fd Wire.Hello_ack
+              (Wire.encode_hello_ack ~session:sid ~max_inflight:t.cfg.max_inflight
+                 ~policy:t.cfg.policy)
+          then session_loop t sess;
+          cleanup true sid))
+    | Ok (kind, _) ->
+      send_err t fd (Printf.sprintf "expected hello, got %s" (Wire.kind_name kind));
+      cleanup false 0
+    | Error (Wire.Version_mismatch v) ->
+      if Obs.enabled t.obs then Obs.frame_corrupt t.obs;
+      send_err t fd (Printf.sprintf "unsupported protocol version %d" v);
+      cleanup false 0
+    | Error _ -> cleanup false 0
+  with
+  | () -> ()
+  | exception _ -> cleanup false 0
+
+let rec accept_loop t =
+  if not t.stopping then
+    match Unix.accept ~cloexec:true t.listen with
+    | fd, _ ->
+      if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+      else
+        (* Detached: the session unregisters itself under [t.m]; [stop]
+           waits on that, not on thread joins. *)
+        ignore (Thread.create (fun () -> serve_conn t fd) ());
+      accept_loop t
+    | exception Unix.Unix_error (EINTR, _, _) -> accept_loop t
+    | exception Unix.Unix_error _ -> ()  (* listen fd closed by [stop] *)
+
+let start ?(obs = Obs.disabled) cfg =
+  (* Writing a report to a vanished client must be an EPIPE result, not
+     a process kill. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let cfg =
+    (* [Block] with a zero bound would deadlock the first section;
+       [Shed] with zero is a legitimate drop-everything configuration
+       (the deterministic shed test uses it). *)
+    if cfg.policy = Wire.Block && cfg.max_inflight < 1 then { cfg with max_inflight = 1 }
+    else cfg
+  in
+  if Sys.file_exists cfg.socket then Unix.unlink cfg.socket;
+  let listen = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  (try
+     Unix.bind listen (ADDR_UNIX cfg.socket);
+     Unix.listen listen 64
+   with e ->
+     (try Unix.close listen with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      cfg;
+      obs;
+      rt = Runtime.create ~workers:cfg.workers ~obs ();
+      listen;
+      m = Mutex.create ();
+      drained = Condition.create ();
+      next_sid = 1;
+      live = Hashtbl.create 16;
+      stopping = false;
+      stopped = false;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let config t = t.cfg
+
+let stop t =
+  Mutex.lock t.m;
+  let first = not t.stopped in
+  t.stopped <- true;
+  t.stopping <- true;
+  Mutex.unlock t.m;
+  if first then begin
+    (* Closing a listening fd does not wake a thread parked in
+       accept(2); a throwaway connection does.  The acceptor re-checks
+       [stopping] before every accept, so it exits either way. *)
+    (try
+       let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+       (try Unix.connect fd (ADDR_UNIX t.cfg.socket) with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen with Unix.Unix_error _ -> ());
+    (* Stop reading from every live session: each reader finishes the
+       frame in hand, drains what it dispatched and unregisters.  The
+       write side stays open so a pending report still goes out. *)
+    Mutex.lock t.m;
+    Hashtbl.iter
+      (fun _ fd -> try Unix.shutdown fd SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      t.live;
+    while Hashtbl.length t.live > 0 do
+      Condition.wait t.drained t.m
+    done;
+    Mutex.unlock t.m;
+    ignore (Runtime.shutdown t.rt);
+    try Unix.unlink t.cfg.socket with Unix.Unix_error _ | Sys_error _ -> ()
+  end

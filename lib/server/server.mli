@@ -1,0 +1,58 @@
+(** [pmtestd]: a multi-client checking service over the packed wire
+    format.
+
+    One daemon owns one {!Pmtest_core.Runtime} worker pool and a Unix
+    domain socket.  Each accepted connection is a {e session}: it
+    declares a persistency model in its [Hello], then streams packed
+    trace sections ({!Pmtest_wire.Wire} frames); sections are fed into
+    the shared pool with a per-session completion callback, so every
+    session accumulates its own aggregate report — byte-identical to
+    what a dedicated in-process run over the same sections would
+    produce — while sharing the checking domains with every other
+    session, across models.
+
+    Robustness contract:
+    - a corrupt frame (bad CRC, bad packed bytes) fails {e that
+      session} with an [Err] reply; the worker pool never sees the
+      bytes;
+    - a client that crashes mid-frame is reaped when its socket reads
+      EOF; sections it already sent finish checking and are discarded;
+    - a session idle longer than [idle_timeout] is closed;
+    - sessions past [max_inflight] unchecked sections are either paused
+      ([Block]: the daemon stops reading their socket) or trimmed
+      ([Shed]: further sections are dropped and counted);
+    - {!stop} drains: no new sessions, live readers are shut down,
+      everything dispatched is checked, then the pool exits. *)
+
+module Wire = Pmtest_wire.Wire
+
+type config = {
+  socket : string;  (** Path of the Unix domain socket to bind. *)
+  workers : int;  (** Checking domains in the shared pool. *)
+  max_sessions : int;  (** Concurrent sessions; excess get [Err]. *)
+  max_inflight : int;  (** Unchecked sections per session. *)
+  idle_timeout : float;  (** Seconds between frames; [0.] disables. *)
+  policy : Wire.policy;  (** What to do past [max_inflight]. *)
+}
+
+val default_config : config
+(** [pmtestd.sock], 2 workers, 32 sessions, 64 inflight, 30 s idle,
+    [Block]. *)
+
+type t
+
+val start : ?obs:Pmtest_obs.Obs.t -> config -> t
+(** Bind, listen and return immediately; sessions run on their own
+    threads.  A stale socket file at [cfg.socket] is replaced.  [Block]
+    clamps [max_inflight] up to 1 (zero would deadlock); [Shed] keeps
+    it, so [max_inflight = 0] + [Shed] drops every section — the
+    deterministic shed configuration tests use. *)
+
+val stop : t -> unit
+(** Graceful drain, idempotent: stop accepting, shut down every live
+    session's read side, wait for them to unregister, then drain and
+    join the worker pool and unlink the socket. *)
+
+val config : t -> config
+
+val active_sessions : t -> int

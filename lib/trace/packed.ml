@@ -349,6 +349,179 @@ let of_events evs =
   Array.iter (push_event t) evs;
   t
 
+(* --- Checked decoding and the wire form --------------------------------
+   The hot cursor above trusts its input: it was encoded by this module
+   in this process.  Arenas that arrive over a socket are hostile bytes;
+   the checked reader walks the same layout with every bound verified
+   and a typed error instead of an exception, so one corrupt frame is a
+   session-level failure, never a dead worker. *)
+
+type decode_error = { offset : int; reason : string }
+
+let decode_error_to_string e = Printf.sprintf "byte %d: %s" e.offset e.reason
+
+exception Bad of decode_error
+
+let bad offset fmt = Printf.ksprintf (fun reason -> raise (Bad { offset; reason })) fmt
+
+(* Bounds-checked varint: unlike [read_u] it never reads past [len] and
+   rejects encodings longer than an OCaml int. *)
+let read_u_checked t pos =
+  let rec go p shift acc =
+    if p >= t.len then bad pos "truncated varint"
+    else if shift > 63 then bad pos "varint too long"
+    else begin
+      let b = Char.code (Bytes.get t.buf p) in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 <> 0 then go (p + 1) (shift + 7) acc else (acc, p + 1)
+    end
+  in
+  go pos 0 0
+
+let read_checked t ~pos (v : view) =
+  try
+    if pos < 0 || pos >= t.len then bad pos "event offset out of bounds";
+    let code = Char.code (Bytes.get t.buf pos) in
+    if code >= Array.length tag_of_code then bad pos "unknown tag 0x%02x" code;
+    v.tag <- tag_of_code.(code);
+    let arg p =
+      let u, p = read_u_checked t p in
+      (unzigzag u, p)
+    in
+    let thread, p = arg (pos + 1) in
+    v.thread <- thread;
+    let lid, p = arg p in
+    if lid < 0 || lid >= Vec.length t.locs then bad p "location id %d out of range" lid;
+    v.loc <- Vec.get t.locs lid;
+    let p =
+      match v.tag with
+      | T_write | T_clwb | T_is_persist | T_tx_add | T_exclude | T_include ->
+        let a, p = arg p in
+        let b, p = arg p in
+        v.a <- a;
+        v.b <- b;
+        p
+      | T_is_ordered ->
+        let a, p = arg p in
+        let b, p = arg p in
+        let c, p = arg p in
+        let d, p = arg p in
+        v.a <- a;
+        v.b <- b;
+        v.c <- c;
+        v.d <- d;
+        p
+      | T_lint_off | T_lint_on ->
+        let n, p = arg p in
+        if n < 0 || n > t.len - p then bad p "rule string overruns the arena";
+        v.rule <- Bytes.sub_string t.buf p n;
+        p + n
+      | T_sfence | T_ofence | T_dfence | T_tx_begin | T_tx_commit | T_tx_abort
+      | T_tx_checker_start | T_tx_checker_end ->
+        p
+    in
+    Ok p
+  with Bad e -> Error e
+
+let validate t =
+  let v = make_view () in
+  let rec go pos n =
+    if pos >= t.len then
+      if n = t.count then Ok ()
+      else
+        Error
+          {
+            offset = t.len;
+            reason = Printf.sprintf "event count mismatch: header says %d, decoded %d" t.count n;
+          }
+    else
+      match read_checked t ~pos v with Error _ as e -> e | Ok next -> go next (n + 1)
+  in
+  go 0 0
+
+(* Self-contained byte form: the per-arena loc intern table travels in
+   front of the event bytes, so the receiver can rebuild an equivalent
+   arena without sharing this process's intern state.  Layout (unsigned
+   LEB128 varints):
+
+     nlocs, then for ids 1..nlocs-1: line, file length, file bytes
+     event count, event byte length, event bytes (the arena buffer)
+
+   Slot 0 is always [Loc.none] and is not transmitted. *)
+
+let put_uv buf u =
+  let rec go u =
+    if u < 0x80 then Buffer.add_char buf (Char.unsafe_chr u)
+    else begin
+      Buffer.add_char buf (Char.unsafe_chr (u land 0x7f lor 0x80));
+      go (u lsr 7)
+    end
+  in
+  if u < 0 then invalid_arg "Packed.encode_wire: negative length field";
+  go u
+
+let encode_wire t =
+  let b = Buffer.create (t.len + 64) in
+  put_uv b (Vec.length t.locs);
+  for i = 1 to Vec.length t.locs - 1 do
+    let l = Vec.get t.locs i in
+    put_uv b l.Loc.line;
+    put_uv b (String.length l.Loc.file);
+    Buffer.add_string b l.Loc.file
+  done;
+  put_uv b t.count;
+  put_uv b t.len;
+  Buffer.add_subbytes b t.buf 0 t.len;
+  Buffer.contents b
+
+let decode_wire s =
+  let slen = String.length s in
+  let uv pos =
+    let rec go p shift acc =
+      if p >= slen then bad pos "truncated varint"
+      else if shift > 63 then bad pos "varint too long"
+      else begin
+        let b = Char.code (String.unsafe_get s p) in
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 <> 0 then go (p + 1) (shift + 7) acc else (acc, p + 1)
+      end
+    in
+    go pos 0 0
+  in
+  try
+    let nlocs, p = uv 0 in
+    if nlocs < 1 then bad 0 "location table must include slot 0";
+    let t = create ~capacity:16 () in
+    let p = ref p in
+    for _ = 1 to nlocs - 1 do
+      let line, q = uv !p in
+      if line < 0 then bad !p "negative location line";
+      let flen, q = uv q in
+      if flen < 0 || flen > slen - q then bad q "file name overruns the frame";
+      Vec.push t.locs (Loc.make ~file:(String.sub s q flen) ~line);
+      p := q + flen
+    done;
+    let count, q = uv !p in
+    if count < 0 then bad !p "negative event count";
+    let blen, q = uv q in
+    if blen < 0 || blen <> slen - q then bad q "event bytes do not fill the frame";
+    t.buf <- Bytes.of_string (String.sub s q blen);
+    t.len <- blen;
+    t.count <- count;
+    (match validate t with Ok () -> () | Error e -> raise (Bad e));
+    (* Recount scope controls (the counter normally accrues at encode
+       time) so [has_scope_controls] holds on received arenas too. *)
+    let v = make_view () in
+    let pos = ref 0 in
+    while !pos < t.len do
+      pos := read t ~pos:!pos v;
+      match v.tag with
+      | T_exclude | T_include -> t.scope_controls <- t.scope_controls + 1
+      | _ -> ()
+    done;
+    Ok t
+  with Bad e -> Error e
+
 (* --- Arena freelist ----------------------------------------------------
    Sections retire at a steady rate (builder fills, worker drains), so a
    small pool keeps the hot loop at zero arena allocations.  Guarded by

@@ -100,6 +100,42 @@ val kind_of_view : view -> Event.kind
 val event_of_view : view -> Event.t
 val to_events : t -> Event.t array
 
+(** {1 Checked decoding and the wire form}
+
+    The cursor above ([read]/[iter]) trusts its input — it only ever
+    sees arenas encoded by this module in this process.  Arenas that
+    cross a process boundary (the [pmtestd] framed protocol) are
+    arbitrary bytes: the functions here verify every tag, varint, rule
+    string and location id and return a typed error instead of raising,
+    so a corrupt network frame is a recoverable session error, never a
+    dead checking worker. *)
+
+type decode_error = { offset : int; reason : string }
+
+val decode_error_to_string : decode_error -> string
+
+val read_checked : t -> pos:int -> view -> (int, decode_error) result
+(** Like {!read} but every access is bounds-checked: a truncated or
+    garbage tag, an overlong or unterminated varint, an out-of-range
+    location id or an overrunning rule string yields [Error] with the
+    byte offset of the malformed field. Does not disturb the internal
+    cursor. *)
+
+val validate : t -> (unit, decode_error) result
+(** Walk the whole arena with {!read_checked}; also verifies the event
+    count matches the encoded header. *)
+
+val encode_wire : t -> string
+(** Self-contained byte form: the arena's loc intern table followed by
+    the event bytes, suitable for framing onto a socket.  Unlike the raw
+    buffer, the result does not depend on this process's intern state. *)
+
+val decode_wire : string -> (t, decode_error) result
+(** Inverse of {!encode_wire}, fully validated ({!validate} has run, the
+    loc table is in bounds, nothing trails the event bytes).  The
+    resulting arena is safe to hand to the unchecked cursor / the
+    engine. *)
+
 (** {1 Arena freelist}
 
     Bounded global pool so steady-state sections recycle buffers instead

@@ -30,6 +30,10 @@ val read_channel : in_channel -> (Event.t array, string) result
     ([#]-prefixed) and blank lines are skipped. *)
 
 val save_file : ?header:string list -> string -> Event.t array -> unit
+(** Atomic: writes to a temporary file in the same directory and renames
+    it over [path], so a crash mid-write never leaves a half-written
+    trace behind. *)
+
 val load_file : string -> (Event.t array, string) result
 
 val load_file_with_header : string -> (string list * Event.t array, string) result

@@ -1,0 +1,328 @@
+open Pmtest_util
+module Model = Pmtest_model.Model
+module Report = Pmtest_core.Report
+
+(* One frame on the wire:
+
+     version  u8   (= 1)
+     kind     u8
+     len      u32be  (payload bytes)
+     crc      u32be  (CRC-32/IEEE of the payload)
+     payload  len bytes
+
+   The CRC catches a torn or bit-flipped frame before its payload ever
+   reaches the packed decoder; the decoder's own validation (checked
+   varints, loc-table bounds) then guards against a hostile client that
+   computes a correct CRC over garbage. *)
+
+let version = 1
+
+(* Cap well above any real section (the fuzz generator tops out around
+   tens of KiB) but low enough that a corrupt length field cannot make
+   the reader try to allocate gigabytes. *)
+let max_payload = 64 * 1024 * 1024
+
+type kind = Hello | Hello_ack | Prelude | Section | Get_result | Report_frame | Bye | Err
+
+let kind_code = function
+  | Hello -> 0
+  | Hello_ack -> 1
+  | Prelude -> 2
+  | Section -> 3
+  | Get_result -> 4
+  | Report_frame -> 5
+  | Bye -> 6
+  | Err -> 7
+
+let kind_of_code = function
+  | 0 -> Some Hello
+  | 1 -> Some Hello_ack
+  | 2 -> Some Prelude
+  | 3 -> Some Section
+  | 4 -> Some Get_result
+  | 5 -> Some Report_frame
+  | 6 -> Some Bye
+  | 7 -> Some Err
+  | _ -> None
+
+let kind_name = function
+  | Hello -> "hello"
+  | Hello_ack -> "hello-ack"
+  | Prelude -> "prelude"
+  | Section -> "section"
+  | Get_result -> "get-result"
+  | Report_frame -> "report"
+  | Bye -> "bye"
+  | Err -> "err"
+
+type error = Closed | Timeout | Corrupt of string | Version_mismatch of int
+
+let error_to_string = function
+  | Closed -> "connection closed"
+  | Timeout -> "receive timeout"
+  | Corrupt m -> "corrupt frame: " ^ m
+  | Version_mismatch v -> Printf.sprintf "protocol version mismatch (peer sent %d, want %d)" v version
+
+(* --- CRC-32 (IEEE 802.3, reflected) ------------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
+  !c lxor 0xffffffff
+
+(* --- Raw fd I/O ---------------------------------------------------------- *)
+
+(* SO_RCVTIMEO surfaces as EAGAIN/EWOULDBLOCK from read(2): that is the
+   session idle timeout, distinct from the peer closing. *)
+let rec read_exactly fd buf pos len =
+  if len = 0 then Ok ()
+  else
+    match Unix.read fd buf pos len with
+    | 0 -> Error Closed
+    | n -> read_exactly fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> Error Timeout
+    | exception Unix.Unix_error (EINTR, _, _) -> read_exactly fd buf pos len
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) -> Error Closed
+
+let rec write_exactly fd buf pos len =
+  if len = 0 then Ok ()
+  else
+    match Unix.write fd buf pos len with
+    | n -> write_exactly fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (EINTR, _, _) -> write_exactly fd buf pos len
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) -> Error Closed
+
+(* version + kind + len + crc. *)
+let header_len = 10
+
+let put_u32be b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let get_u32be b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let write_frame fd kind payload =
+  let len = String.length payload in
+  if len > max_payload then Error (Corrupt (Printf.sprintf "outgoing payload too large (%d bytes)" len))
+  else begin
+    (* One buffer, one write: a frame is never torn by a concurrent
+       writer on the same fd (the server's reply path is per-session
+       anyway, but the client may interleave sends with get-result). *)
+    let b = Bytes.create (header_len + len) in
+    Bytes.set b 0 (Char.chr version);
+    Bytes.set b 1 (Char.chr (kind_code kind));
+    put_u32be b 2 len;
+    put_u32be b 6 (crc32 payload);
+    Bytes.blit_string payload 0 b header_len len;
+    write_exactly fd b 0 (Bytes.length b)
+  end
+
+let read_frame fd =
+  let hdr = Bytes.create header_len in
+  match read_exactly fd hdr 0 header_len with
+  | Error _ as e -> e
+  | Ok () ->
+    let v = Char.code (Bytes.get hdr 0) in
+    if v <> version then Error (Version_mismatch v)
+    else (
+      match kind_of_code (Char.code (Bytes.get hdr 1)) with
+      | None -> Error (Corrupt (Printf.sprintf "unknown frame kind %d" (Char.code (Bytes.get hdr 1))))
+      | Some kind ->
+        let len = get_u32be hdr 2 in
+        let crc = get_u32be hdr 6 in
+        if len > max_payload then Error (Corrupt (Printf.sprintf "payload length %d exceeds limit" len))
+        else begin
+          let payload = Bytes.create len in
+          match read_exactly fd payload 0 len with
+          | Error Closed when len > 0 -> Error (Corrupt "frame truncated mid-payload")
+          | Error _ as e -> e
+          | Ok () ->
+            let payload = Bytes.unsafe_to_string payload in
+            if crc32 payload <> crc then Error (Corrupt "payload CRC mismatch")
+            else Ok (kind, payload)
+        end)
+
+(* --- Payload codecs ------------------------------------------------------ *)
+
+(* Same unsigned LEB128 the packed arenas use; lengths and counts only
+   (nothing here is signed). *)
+let put_uv b v =
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char b (Char.chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char b (Char.chr !v)
+
+(* Reader over a payload string; all access bounds-checked, errors as
+   [Corrupt]. *)
+exception Bad of string
+
+let get_uv s pos =
+  let len = String.length s in
+  let v = ref 0 and shift = ref 0 and p = ref pos and fin = ref false in
+  while not !fin do
+    if !p >= len then raise (Bad "truncated varint");
+    if !shift > 62 then raise (Bad "varint overflow");
+    let c = Char.code s.[!p] in
+    incr p;
+    v := !v lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if c < 0x80 then fin := true
+  done;
+  (!v, !p)
+
+let put_str b s =
+  put_uv b (String.length s);
+  Buffer.add_string b s
+
+let get_str s pos =
+  let n, pos = get_uv s pos in
+  if pos + n > String.length s then raise (Bad "truncated string");
+  (String.sub s pos n, pos + n)
+
+let decode f s = match f s with v -> Ok v | exception Bad m -> Error (Corrupt m)
+
+let at_end s pos = if pos <> String.length s then raise (Bad "trailing bytes in payload")
+
+(* Hello: the session's persistency model. *)
+
+let model_code = function Model.X86 -> 0 | Model.Hops -> 1 | Model.Eadr -> 2
+let model_of_code = function 0 -> Model.X86 | 1 -> Model.Hops | 2 -> Model.Eadr | c -> raise (Bad (Printf.sprintf "unknown model code %d" c))
+
+let encode_hello ~model =
+  let b = Buffer.create 4 in
+  put_uv b (model_code model);
+  Buffer.contents b
+
+let decode_hello s =
+  decode
+    (fun s ->
+      let c, pos = get_uv s 0 in
+      at_end s pos;
+      model_of_code c)
+    s
+
+(* Hello-ack: session id plus the server's backpressure contract. *)
+
+type policy = Block | Shed
+
+let policy_code = function Block -> 0 | Shed -> 1
+let policy_of_code = function 0 -> Block | 1 -> Shed | c -> raise (Bad (Printf.sprintf "unknown policy code %d" c))
+let policy_name = function Block -> "block" | Shed -> "shed"
+
+let encode_hello_ack ~session ~max_inflight ~policy =
+  let b = Buffer.create 8 in
+  put_uv b session;
+  put_uv b max_inflight;
+  put_uv b (policy_code policy);
+  Buffer.contents b
+
+let decode_hello_ack s =
+  decode
+    (fun s ->
+      let session, pos = get_uv s 0 in
+      let max_inflight, pos = get_uv s pos in
+      let pc, pos = get_uv s pos in
+      at_end s pos;
+      (session, max_inflight, policy_of_code pc))
+    s
+
+(* Report: the aggregate a session has earned so far.  Diagnostics carry
+   (kind, loc, message) — exactly the identity the cross-engine oracles
+   compare on, so serve-vs-in-process equality is meaningful. *)
+
+let report_kinds =
+  [|
+    Report.Not_persisted;
+    Report.Not_ordered;
+    Report.Unnecessary_writeback;
+    Report.Duplicate_writeback;
+    Report.Missing_log;
+    Report.Duplicate_log;
+    Report.Incomplete_tx;
+    Report.Invalid_op;
+    Report.Lint_unflushed_write;
+    Report.Lint_unfenced_flush;
+    Report.Lint_redundant_fence;
+    Report.Lint_write_after_flush;
+    Report.Lint_unmatched_exclude;
+  |]
+
+let report_kind_code k =
+  let rec go i = if report_kinds.(i) = k then i else go (i + 1) in
+  go 0
+
+let report_kind_of_code c =
+  if c < 0 || c >= Array.length report_kinds then
+    raise (Bad (Printf.sprintf "unknown diagnostic kind code %d" c))
+  else report_kinds.(c)
+
+let encode_report (r : Report.t) =
+  let b = Buffer.create 64 in
+  put_uv b r.Report.entries;
+  put_uv b r.Report.ops;
+  put_uv b r.Report.checkers;
+  put_uv b (List.length r.Report.diagnostics);
+  List.iter
+    (fun (d : Report.diagnostic) ->
+      put_uv b (report_kind_code d.Report.kind);
+      let loc = (d.Report.loc :> Loc.t) in
+      put_str b (if Loc.is_none d.Report.loc then "" else loc.Loc.file);
+      put_uv b loc.Loc.line;
+      put_str b d.Report.message)
+    r.Report.diagnostics;
+  Buffer.contents b
+
+let decode_report s =
+  decode
+    (fun s ->
+      let entries, pos = get_uv s 0 in
+      let ops, pos = get_uv s pos in
+      let checkers, pos = get_uv s pos in
+      let n, pos = get_uv s pos in
+      let pos = ref pos in
+      let diags =
+        List.init n (fun _ ->
+            let kc, p = get_uv s !pos in
+            let file, p = get_str s p in
+            let line, p = get_uv s p in
+            let message, p = get_str s p in
+            pos := p;
+            let loc = if file = "" && line = 0 then Loc.none else Loc.make ~file ~line in
+            { Report.kind = report_kind_of_code kc; loc; message })
+      in
+      at_end s !pos;
+      { Report.diagnostics = diags; entries; ops; checkers })
+    s
+
+(* Err: a human-readable refusal (session limit, corrupt section, ...). *)
+
+let encode_err msg =
+  let b = Buffer.create (String.length msg + 2) in
+  put_str b msg;
+  Buffer.contents b
+
+let decode_err s =
+  decode
+    (fun s ->
+      let m, pos = get_str s 0 in
+      at_end s pos;
+      m)
+    s

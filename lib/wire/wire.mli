@@ -1,0 +1,101 @@
+(** The [pmtestd] framed protocol.
+
+    Every message between an attached client and the daemon is one
+    frame:
+
+    {v
+    version  u8     (= 1)
+    kind     u8
+    len      u32be  payload length in bytes
+    crc      u32be  CRC-32/IEEE of the payload
+    payload  len bytes
+    v}
+
+    Frame kinds and their payloads:
+
+    - [Hello] (client → server): persistency model code — opens a
+      session.
+    - [Hello_ack] (server → client): session id, the server's
+      [max_inflight] bound and backpressure {!policy}.
+    - [Prelude] (client → server): the session's current exclusion
+      preamble as a {!Pmtest_trace.Packed.encode_wire} arena; re-sent
+      only when it changes, applies to every following [Section].
+    - [Section] (client → server): one packed trace section
+      ([Packed.encode_wire]).
+    - [Get_result] (client → server): barrier — reply comes once every
+      section sent so far is checked.
+    - [Report_frame] (server → client): the session's aggregate report.
+    - [Bye] (client → server): orderly close (empty payload).
+    - [Err] (server → client): refusal with a message; the session is
+      then closed.
+
+    The CRC rejects torn or corrupted frames cheaply;
+    [Packed.decode_wire]'s full validation then protects the worker
+    pool from adversarial payloads that carry a correct CRC. *)
+
+module Model = Pmtest_model.Model
+module Report = Pmtest_core.Report
+
+val version : int
+
+val max_payload : int
+(** Reader-side allocation guard (64 MiB); larger frames are corrupt by
+    definition. *)
+
+type kind = Hello | Hello_ack | Prelude | Section | Get_result | Report_frame | Bye | Err
+
+val kind_code : kind -> int
+val kind_of_code : int -> kind option
+val kind_name : kind -> string
+
+type error =
+  | Closed  (** Peer hung up (or fd shut down during drain). *)
+  | Timeout  (** [SO_RCVTIMEO] expired — the session idle limit. *)
+  | Corrupt of string  (** Bad CRC / kind / length / payload encoding. *)
+  | Version_mismatch of int  (** Peer speaks another protocol version. *)
+
+val error_to_string : error -> string
+
+val crc32 : string -> int
+(** CRC-32/IEEE (the zlib polynomial), for tests and tools. *)
+
+val header_len : int
+(** Fixed frame header size (10 bytes) — for byte accounting. *)
+
+(** {1 Frame I/O}
+
+    Blocking, EINTR-safe reads and writes on a connected socket. A
+    frame is written with a single [write(2)] so concurrent writers on
+    one fd never tear it. *)
+
+val read_frame : Unix.file_descr -> (kind * string, error) result
+val write_frame : Unix.file_descr -> kind -> string -> (unit, error) result
+
+(** {1 Payload codecs}
+
+    Decoders are total: malformed payloads yield [Error (Corrupt _)],
+    never an exception, and trailing bytes are rejected. *)
+
+val encode_hello : model:Model.kind -> string
+val decode_hello : string -> (Model.kind, error) result
+
+type policy = Block | Shed
+(** What the server does when a session exceeds [max_inflight] unchecked
+    sections: [Block] stops reading that session's socket (the client
+    blocks in [write(2)] once buffers fill); [Shed] drops further
+    sections on the floor and counts them. *)
+
+val policy_code : policy -> int
+val policy_name : policy -> string
+
+val encode_hello_ack : session:int -> max_inflight:int -> policy:policy -> string
+val decode_hello_ack : string -> (int * int * policy, error) result
+
+val encode_report : Report.t -> string
+val decode_report : string -> (Report.t, error) result
+(** Round-trip preserves exactly the fields report equality is judged
+    on: entries/ops/checkers and each diagnostic's (kind, loc, message),
+    in order. *)
+
+val encode_err : string -> string
+val decode_err : string -> (string, error) result

@@ -76,7 +76,8 @@ let test_campaign_no_disagreements () =
       List.iter
         (fun (pair, n) ->
           match pair with
-          | Cross.Engine_vs_naive | Cross.Engine_vs_lint | Cross.Engine_vs_packed ->
+          | Cross.Engine_vs_naive | Cross.Engine_vs_lint | Cross.Engine_vs_packed
+          | Cross.Engine_vs_serve ->
             Alcotest.(check bool)
               (Model.kind_name model ^ " " ^ Cross.pair_name pair ^ " applied everywhere")
               true (n = 150)

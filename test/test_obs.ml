@@ -157,6 +157,19 @@ let synthetic : Obs.snapshot =
     batch_sections_max = 2;
     arenas_allocated = 3;
     arenas_reused = 1;
+    serve =
+      {
+        Obs.sessions_opened = 2;
+        sessions_closed = 2;
+        sessions_hwm = 2;
+        frames_in = 6;
+        frames_out = 4;
+        frame_bytes_in = 900;
+        frame_bytes_out = 120;
+        frames_corrupt = 1;
+        sections_shed = 0;
+        inflight_hwm = 3;
+      };
     workers =
       [
         { Obs.id = 0; sections = 2; busy_ns = 700 }; { Obs.id = 1; sections = 1; busy_ns = 300 };
@@ -165,6 +178,8 @@ let synthetic : Obs.snapshot =
       { Obs.total = 3; sum_ns = 1000; min_ns = 100; max_ns = 600; buckets = [ (6, 1); (8, 2) ] };
     e2e_hist =
       { Obs.total = 3; sum_ns = 2100; min_ns = 400; max_ns = 1000; buckets = [ (8, 1); (9, 2) ] };
+    serve_hist =
+      { Obs.total = 2; sum_ns = 900; min_ns = 300; max_ns = 600; buckets = [ (8, 1); (9, 1) ] };
     spans =
       [
         {
@@ -207,6 +222,16 @@ let golden_tsv =
       "counter\tbatch_sections_max\t2";
       "counter\tarenas_allocated\t3";
       "counter\tarenas_reused\t1";
+      "counter\tserve_sessions_opened\t2";
+      "counter\tserve_sessions_closed\t2";
+      "counter\tserve_sessions_hwm\t2";
+      "counter\tserve_frames_in\t6";
+      "counter\tserve_frames_out\t4";
+      "counter\tserve_frame_bytes_in\t900";
+      "counter\tserve_frame_bytes_out\t120";
+      "counter\tserve_frames_corrupt\t1";
+      "counter\tserve_sections_shed\t0";
+      "counter\tserve_inflight_hwm\t3";
       "worker\t0\t2\t700";
       "worker\t1\t1\t300";
       "hist\tcheck\t3\t1000\t100\t600";
@@ -215,6 +240,9 @@ let golden_tsv =
       "hist\te2e\t3\t2100\t400\t1000";
       "histbucket\te2e\t8\t1";
       "histbucket\te2e\t9\t2";
+      "hist\tserve\t2\t900\t300\t600";
+      "histbucket\tserve\t8\t1";
+      "histbucket\tserve\t9\t1";
       "span\t0\t0\t10\t10\t20\t320\t330";
       "span\t1\t1\t16\t40\t50\t450\t470";
       "";
@@ -223,11 +251,12 @@ let golden_tsv =
 let golden_jsonl =
   String.concat "\n"
     [
-      {|{"type":"counters","elapsed_ns":5000,"events_traced":42,"sections_sent":3,"sections_checked":3,"sections_merged":3,"sections_dropped":1,"queue_hwm":2,"reorder_hwm":1,"entries_checked":40,"ops_checked":30,"checkers_run":5,"diagnostics":2,"batches":4,"batch_sections_max":2,"arenas_allocated":3,"arenas_reused":1}|};
+      {|{"type":"counters","elapsed_ns":5000,"events_traced":42,"sections_sent":3,"sections_checked":3,"sections_merged":3,"sections_dropped":1,"queue_hwm":2,"reorder_hwm":1,"entries_checked":40,"ops_checked":30,"checkers_run":5,"diagnostics":2,"batches":4,"batch_sections_max":2,"arenas_allocated":3,"arenas_reused":1,"serve_sessions_opened":2,"serve_sessions_closed":2,"serve_sessions_hwm":2,"serve_frames_in":6,"serve_frames_out":4,"serve_frame_bytes_in":900,"serve_frame_bytes_out":120,"serve_frames_corrupt":1,"serve_sections_shed":0,"serve_inflight_hwm":3}|};
       {|{"type":"worker","id":0,"sections":2,"busy_ns":700}|};
       {|{"type":"worker","id":1,"sections":1,"busy_ns":300}|};
       {|{"type":"hist","name":"check","total":3,"sum_ns":1000,"min_ns":100,"max_ns":600,"buckets":[[6,1],[8,2]]}|};
       {|{"type":"hist","name":"e2e","total":3,"sum_ns":2100,"min_ns":400,"max_ns":1000,"buckets":[[8,1],[9,2]]}|};
+      {|{"type":"hist","name":"serve","total":2,"sum_ns":900,"min_ns":300,"max_ns":600,"buckets":[[8,1],[9,1]]}|};
       {|{"type":"span","seq":0,"worker":0,"entries":10,"sent_ns":10,"start_ns":20,"done_ns":320,"merged_ns":330}|};
       {|{"type":"span","seq":1,"worker":1,"entries":16,"sent_ns":40,"start_ns":50,"done_ns":450,"merged_ns":470}|};
       "";

@@ -190,6 +190,62 @@ let test_freelist_recycles () =
   Alcotest.(check int) "two allocs accounted" 2 snap.Obs.arenas_allocated;
   Alcotest.(check bool) "at least one reuse" true (snap.Obs.arenas_reused >= 1)
 
+(* --- Wire codec and typed decode errors ------------------------------------ *)
+
+let test_wire_round_trip () =
+  let p = Packed.of_events sample_entries in
+  let s = Packed.encode_wire p in
+  match Packed.decode_wire s with
+  | Error e -> Alcotest.fail (Packed.decode_error_to_string e)
+  | Ok q ->
+    Alcotest.(check bool) "wire round trip preserves entries" true
+      (entries_equal sample_entries (Packed.to_events q))
+
+let expect_decode_error name s =
+  match Packed.decode_wire s with
+  | Ok _ -> Alcotest.failf "%s: decoded successfully" name
+  | Error e ->
+    (* The error must carry a usable position and reason, not just fail. *)
+    Alcotest.(check bool) (name ^ " offset in range") true (e.Packed.offset >= 0);
+    Alcotest.(check bool) (name ^ " has a reason") true (String.length e.Packed.reason > 0)
+
+let test_wire_truncated () =
+  let s = Packed.encode_wire (Packed.of_events sample_entries) in
+  (* Every proper prefix must fail with a typed error, never raise. *)
+  for len = 0 to min 64 (String.length s - 1) do
+    expect_decode_error (Printf.sprintf "prefix of %d bytes" len) (String.sub s 0 len)
+  done;
+  expect_decode_error "one byte short" (String.sub s 0 (String.length s - 1))
+
+let test_wire_garbage () =
+  let rng = Pmtest_util.Rng.create 7 in
+  for i = 0 to 99 do
+    let len = Pmtest_util.Rng.int rng 200 in
+    let s = String.init len (fun _ -> Char.chr (Pmtest_util.Rng.int rng 256)) in
+    match Packed.decode_wire s with
+    | Error _ -> ()
+    | Ok q ->
+      (* Random bytes may parse by luck, but then the arena must be
+         fully valid — [to_events] must not raise. *)
+      (try ignore (Packed.to_events q)
+       with e ->
+         Alcotest.failf "garbage %d decoded but to_events raised %s" i (Printexc.to_string e))
+  done
+
+let test_wire_corrupted_tag () =
+  let s = Packed.encode_wire (Packed.of_events sample_entries) in
+  let b = Bytes.of_string s in
+  (* Smash bytes one at a time; decode must return a typed error or a
+     still-valid arena — never throw. *)
+  for pos = 0 to min 63 (Bytes.length b - 1) do
+    let orig = Bytes.get b pos in
+    Bytes.set b pos (Char.chr (Char.code orig lxor 0xff));
+    (match Packed.decode_wire (Bytes.to_string b) with
+    | Error _ -> ()
+    | Ok q -> ignore (Packed.to_events q));
+    Bytes.set b pos orig
+  done
+
 let check_session ~packed ~workers () =
   let t = Pmtest.init ~model:Model.X86 ~workers ~packed () in
   (* Two sections with an exclusion scope crossing the boundary, checkers
@@ -250,6 +306,13 @@ let () =
           Alcotest.test_case "all 17 tags reachable" `Quick test_tag_coverage;
           Alcotest.test_case "agrees with the serial codec" `Quick test_serial_packed_agree;
           Alcotest.test_case "freelist recycles arenas" `Quick test_freelist_recycles;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "encode/decode round trip" `Quick test_wire_round_trip;
+          Alcotest.test_case "typed errors on truncation" `Quick test_wire_truncated;
+          Alcotest.test_case "typed errors on garbage" `Quick test_wire_garbage;
+          Alcotest.test_case "byte corruption never raises" `Quick test_wire_corrupted_tag;
         ] );
       ( "corpus",
         [

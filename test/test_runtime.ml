@@ -112,6 +112,72 @@ let test_mixed_sections_aggregate () =
   Alcotest.(check int) "25 failures" 25 (List.length (Report.fails r));
   Alcotest.(check int) "all entries counted" (25 * 7) r.Report.entries
 
+let test_send_packed_cb_order_and_merge () =
+  (* Callback reports, merged as they arrive, must equal the aggregate a
+     dedicated synchronous runtime produces over the same sections — the
+     property pmtestd's per-session aggregation is built on. *)
+  let sections =
+    List.init 30 (fun i ->
+        let p =
+          Pmtest_fuzz.Gen.generate
+            (Pmtest_fuzz.Gen.default_cfg Model.X86)
+            (Pmtest_util.Rng.create (1000 + i))
+        in
+        p.Pmtest_fuzz.Gen.events)
+  in
+  let dedicated =
+    let rt = Runtime.create ~workers:0 ~model:Model.X86 () in
+    List.iter (Runtime.send_trace rt) sections;
+    Format.asprintf "%a" Report.pp (Runtime.shutdown rt)
+  in
+  List.iter
+    (fun workers ->
+      let rt = Runtime.create ~workers () in
+      let agg = ref Report.empty in
+      List.iter
+        (fun evs ->
+          Runtime.send_packed_cb ~model:Model.X86 rt (Packed.of_events evs) (fun r ->
+              agg := Report.merge !agg r))
+        sections;
+      ignore (Runtime.shutdown rt);
+      Alcotest.(check string)
+        (Printf.sprintf "callback merge equals dedicated run, %d worker(s)" workers)
+        dedicated
+        (Format.asprintf "%a" Report.pp !agg))
+    [ 0; 2 ]
+
+let test_send_packed_cb_isolated_from_aggregate () =
+  (* Sections checked through the callback path must not leak into the
+     runtime's own aggregate. *)
+  let rt = Runtime.create ~workers:1 () in
+  let hits = ref 0 in
+  Runtime.send_packed_cb rt (Packed.of_events buggy_section) (fun r ->
+      incr hits;
+      Alcotest.(check int) "callback sees the failure" 1 (List.length (Report.fails r)));
+  Runtime.send_trace rt clean_section;
+  let r = Runtime.shutdown rt in
+  Alcotest.(check int) "callback fired once" 1 !hits;
+  Alcotest.(check int) "aggregate only holds the boxed section" 4 r.Report.entries;
+  Alcotest.(check bool) "aggregate clean" true (Report.is_clean r)
+
+let test_send_packed_cb_per_model () =
+  (* Two interleaved "sessions" on one pool, each pinned to its own
+     model via the per-dispatch override. *)
+  let section = [| w 0x100 8; is_persist 0x100 8 |] in
+  let rt = Runtime.create ~workers:2 () in
+  let x86 = ref Report.empty and eadr = ref Report.empty in
+  for _ = 1 to 10 do
+    Runtime.send_packed_cb ~model:Model.X86 rt (Packed.of_events section) (fun r ->
+        x86 := Report.merge !x86 r);
+    Runtime.send_packed_cb ~model:Model.Eadr rt (Packed.of_events section) (fun r ->
+        eadr := Report.merge !eadr r)
+  done;
+  ignore (Runtime.shutdown rt);
+  (* An unflushed store: a bug under x86, durable by construction under
+     eADR (the persistence domain includes the caches). *)
+  Alcotest.(check int) "x86 session sees 10 failures" 10 (List.length (Report.fails !x86));
+  Alcotest.(check bool) "eadr session is clean" true (Report.is_clean !eadr)
+
 (* --- Session API ---------------------------------------------------------- *)
 
 let test_session_basic () =
@@ -199,6 +265,12 @@ let () =
           Alcotest.test_case "packed sections are deterministic" `Quick
             test_packed_sections_deterministic;
           Alcotest.test_case "boxed and packed sections mix" `Quick test_mixed_sections_aggregate;
+          Alcotest.test_case "send_packed_cb merge equals dedicated run" `Quick
+            test_send_packed_cb_order_and_merge;
+          Alcotest.test_case "send_packed_cb stays out of the aggregate" `Quick
+            test_send_packed_cb_isolated_from_aggregate;
+          Alcotest.test_case "send_packed_cb per-dispatch model" `Quick
+            test_send_packed_cb_per_model;
         ] );
       ( "session",
         [

@@ -1,0 +1,295 @@
+(* pmtestd end to end: serve-vs-in-process report identity over the bug
+   catalog, robustness against clients dying mid-frame and garbage
+   sections, admission control, the shed backpressure policy, idle
+   timeouts, and SIGTERM drain of the real CLI daemon. *)
+
+open Pmtest_model
+open Pmtest_trace
+module Report = Pmtest_core.Report
+module Pmtest = Pmtest_core.Pmtest
+module Obs = Pmtest_obs.Obs
+module Wire = Pmtest_wire.Wire
+module Server = Pmtest_server.Server
+module Client = Pmtest_client.Client
+module Case = Pmtest_bugdb.Case
+module Catalog = Pmtest_bugdb.Catalog
+
+let next_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmtest-serve-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?obs ?(cfg = Server.default_config) f =
+  let socket = next_socket () in
+  let t = Server.start ?obs { cfg with Server.socket } in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f socket t)
+
+let render r = Format.asprintf "%a" Report.pp r
+
+(* Drive one event stream through [emit]/[flush] with fixed chunking, so
+   the remote and the in-process side see identical section streams. *)
+let drive ~emit ~flush entries =
+  Array.iteri
+    (fun i (e : Event.t) ->
+      emit e;
+      if (i + 1) mod 32 = 0 then flush e.Event.thread)
+    entries
+
+let local_report ~model entries =
+  let t = Pmtest.init ~model ~workers:0 ~packed:true () in
+  let seen = Hashtbl.create 4 in
+  drive
+    ~emit:(fun (e : Event.t) ->
+      if not (Hashtbl.mem seen e.Event.thread) then begin
+        Hashtbl.replace seen e.Event.thread ();
+        if e.Event.thread <> 0 then Pmtest.thread_init t ~thread:e.Event.thread
+      end;
+      Pmtest.emit ~thread:e.Event.thread ~loc:e.Event.loc t e.Event.kind)
+    ~flush:(fun th -> Pmtest.send_trace ~thread:th t)
+    entries;
+  Pmtest.finish t
+
+let remote_report ~socket ~model entries =
+  match Client.connect ~model ~socket () with
+  | Error m -> Alcotest.failf "connect: %s" m
+  | Ok conn ->
+    let s = Client.Session.make conn in
+    drive
+      ~emit:(fun (e : Event.t) ->
+        Client.Session.emit ~thread:e.Event.thread ~loc:e.Event.loc s e.Event.kind)
+      ~flush:(fun th -> Client.Session.send_trace ~thread:th s)
+      entries;
+    let r = Client.Session.finish s in
+    Client.close conn;
+    (match r with Ok r -> r | Error m -> Alcotest.failf "finish: %s" m)
+
+let test_serve_equals_in_process_bugdb () =
+  with_server (fun socket _t ->
+      List.iter
+        (fun (case : Case.t) ->
+          List.iter
+            (fun (name, entries) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s (%s) identical over the wire" case.Case.id name)
+                (render (local_report ~model:Model.X86 entries))
+                (render (remote_report ~socket ~model:Model.X86 entries)))
+            [ ("buggy", Case.trace case); ("clean", Case.trace_clean case) ])
+        Catalog.all)
+
+let test_concurrent_sessions_isolated () =
+  (* Several sessions on one daemon, interleaved: each aggregate must be
+     exactly what a dedicated run over that session's trace yields. *)
+  with_server (fun socket _t ->
+      let cases =
+        match Catalog.all with a :: b :: c :: _ -> [ a; b; c ] | _ -> Alcotest.fail "catalog"
+      in
+      let results = Array.make (List.length cases) (Ok Report.empty) in
+      let threads =
+        List.mapi
+          (fun i (case : Case.t) ->
+            Thread.create
+              (fun () ->
+                try results.(i) <- Ok (remote_report ~socket ~model:Model.X86 (Case.trace case))
+                with e -> results.(i) <- Error (Printexc.to_string e))
+              ())
+          cases
+      in
+      List.iter Thread.join threads;
+      List.iteri
+        (fun i (case : Case.t) ->
+          match results.(i) with
+          | Error m -> Alcotest.failf "%s: %s" case.Case.id m
+          | Ok r ->
+            Alcotest.(check string)
+              (case.Case.id ^ " unaffected by concurrent sessions")
+              (render (local_report ~model:Model.X86 (Case.trace case)))
+              (render r))
+        cases)
+
+(* --- Robustness -------------------------------------------------------------- *)
+
+let connect_raw socket =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX socket);
+  (match Wire.write_frame fd Wire.Hello (Wire.encode_hello ~model:Model.X86) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Wire.error_to_string e));
+  (match Wire.read_frame fd with
+  | Ok (Wire.Hello_ack, _) -> ()
+  | Ok (k, _) -> Alcotest.failf "expected hello_ack, got %s" (Wire.kind_name k)
+  | Error e -> Alcotest.fail (Wire.error_to_string e));
+  fd
+
+let wait_for cond =
+  let rec go n =
+    if cond () then ()
+    else if n = 0 then Alcotest.fail "condition not reached within 5s"
+    else begin
+      Thread.delay 0.05;
+      go (n - 1)
+    end
+  in
+  go 100
+
+let test_client_killed_mid_frame () =
+  let obs = Obs.create () in
+  with_server ~obs (fun socket t ->
+      let fd = connect_raw socket in
+      (* A frame header promising 4096 payload bytes, then silence: the
+         client "crashes" mid-frame. *)
+      let header = Bytes.make Wire.header_len '\x00' in
+      Bytes.set header 0 (Char.chr Wire.version);
+      Bytes.set header 1 (Char.chr (Wire.kind_code Wire.Section));
+      Bytes.set header 4 '\x10' (* len = 4096, big-endian at offset 2 *);
+      ignore (Unix.write fd header 0 Wire.header_len);
+      ignore (Unix.write_substring fd "only part of it" 0 15);
+      Unix.close fd;
+      (* The daemon must shrug the session off... *)
+      wait_for (fun () -> Server.active_sessions t = 0);
+      (* ... and keep serving: a fresh session still round-trips. *)
+      let case = List.hd Catalog.all in
+      Alcotest.(check string) "daemon survives a mid-frame crash"
+        (render (local_report ~model:Model.X86 (Case.trace case)))
+        (render (remote_report ~socket ~model:Model.X86 (Case.trace case)));
+      let snap = Obs.snapshot obs in
+      Alcotest.(check bool) "torn frame counted" true (snap.Obs.serve.Obs.frames_corrupt >= 1))
+
+let test_garbage_section_rejected () =
+  with_server (fun socket t ->
+      let fd = connect_raw socket in
+      (* Valid CRC, hostile payload: must come back as Err, not take a
+         checking worker down. *)
+      (match Wire.write_frame fd Wire.Section "\xff\xff\xff\xff" with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Wire.error_to_string e));
+      (match Wire.read_frame fd with
+      | Ok (Wire.Err, _) -> ()
+      | Ok (k, _) -> Alcotest.failf "expected err, got %s" (Wire.kind_name k)
+      | Error e -> Alcotest.failf "expected err frame, got %s" (Wire.error_to_string e));
+      Unix.close fd;
+      wait_for (fun () -> Server.active_sessions t = 0))
+
+let test_max_sessions_rejected () =
+  with_server
+    ~cfg:{ Server.default_config with Server.max_sessions = 1 }
+    (fun socket _t ->
+      match Client.connect ~socket () with
+      | Error m -> Alcotest.failf "first connect: %s" m
+      | Ok c1 ->
+        (match Client.connect ~socket () with
+        | Ok _ -> Alcotest.fail "second session admitted past max-sessions=1"
+        | Error m ->
+          Alcotest.(check bool)
+            ("rejection names the limit: " ^ m)
+            true
+            (String.length m > 0));
+        Client.close c1)
+
+let buggy_section =
+  [|
+    Event.make (Event.Op (Model.Write { addr = 0x100; size = 8 }));
+    Event.make (Event.Checker (Event.Is_persist { addr = 0x100; size = 8 }));
+  |]
+
+let test_shed_policy_drops () =
+  let obs = Obs.create () in
+  with_server ~obs
+    ~cfg:{ Server.default_config with Server.policy = Wire.Shed; max_inflight = 0 }
+    (fun socket _t ->
+      (* max_inflight=0 + Shed sheds deterministically: every section is
+         dropped, so the aggregate stays empty — but the session itself
+         stays healthy. *)
+      match Client.connect ~socket () with
+      | Error m -> Alcotest.failf "connect: %s" m
+      | Ok c ->
+        (match Client.policy c with
+        | Wire.Shed -> ()
+        | Wire.Block -> Alcotest.fail "server did not announce shed policy");
+        for _ = 1 to 5 do
+          match Client.send_events c buggy_section with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "send: %s" m
+        done;
+        (match Client.get_result c with
+        | Error m -> Alcotest.failf "get_result: %s" m
+        | Ok r -> Alcotest.(check int) "everything shed, nothing checked" 0 r.Report.entries);
+        Client.close c;
+        let snap = Obs.snapshot obs in
+        Alcotest.(check int) "five sections shed" 5 snap.Obs.serve.Obs.sections_shed)
+
+let test_idle_timeout_disconnects () =
+  with_server
+    ~cfg:{ Server.default_config with Server.idle_timeout = 0.3 }
+    (fun socket t ->
+      match Client.connect ~socket () with
+      | Error m -> Alcotest.failf "connect: %s" m
+      | Ok c ->
+        Thread.delay 0.8;
+        (match Client.get_result c with
+        | Ok _ -> Alcotest.fail "session survived past the idle timeout"
+        | Error _ -> ());
+        Client.close c;
+        wait_for (fun () -> Server.active_sessions t = 0))
+
+(* --- SIGTERM drain of the real daemon ----------------------------------------- *)
+
+let cli_exe = "../bin/pmtest_cli.exe"
+
+let test_sigterm_drains_cli_daemon () =
+  let socket = next_socket () in
+  let out = Filename.temp_file "pmtest-serve-drain" ".log" in
+  let fd = Unix.openfile out [ O_WRONLY; O_TRUNC ] 0o600 in
+  let pid =
+    Unix.create_process cli_exe
+      [| cli_exe; "serve"; "--socket"; socket; "--workers"; "1" |]
+      Unix.stdin fd fd
+  in
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      (try Sys.remove out with Sys_error _ -> ());
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () ->
+      wait_for (fun () -> Sys.file_exists socket);
+      (* A full session against the spawned daemon... *)
+      let case = List.hd Catalog.all in
+      Alcotest.(check string) "report over the spawned daemon"
+        (render (local_report ~model:Model.X86 (Case.trace case)))
+        (render (remote_report ~socket ~model:Model.X86 (Case.trace case)));
+      (* ... then SIGTERM must drain and exit 0, removing the socket. *)
+      Unix.kill pid Sys.sigterm;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED n -> Alcotest.failf "daemon exited %d" n
+      | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) -> Alcotest.failf "daemon killed by signal %d" s);
+      Alcotest.(check bool) "socket unlinked on drain" false (Sys.file_exists socket))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "bugdb reports identical over the wire" `Quick
+            test_serve_equals_in_process_bugdb;
+          Alcotest.test_case "concurrent sessions are isolated" `Quick
+            test_concurrent_sessions_isolated;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "client killed mid-frame" `Quick test_client_killed_mid_frame;
+          Alcotest.test_case "garbage section rejected" `Quick test_garbage_section_rejected;
+          Alcotest.test_case "max-sessions admission control" `Quick test_max_sessions_rejected;
+          Alcotest.test_case "shed policy drops deterministically" `Quick test_shed_policy_drops;
+          Alcotest.test_case "idle timeout disconnects" `Quick test_idle_timeout_disconnects;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "SIGTERM drains the CLI daemon" `Quick
+            test_sigterm_drains_cli_daemon;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* The framed wire protocol: CRC-32 golden values, frame round trips
+   over a real socketpair, torn/corrupt/alien-version frames, and the
+   payload codecs (hello, hello_ack, report, err). *)
+
+open Pmtest_model
+module Wire = Pmtest_wire.Wire
+module Report = Pmtest_core.Report
+module Loc = Pmtest_util.Loc
+
+(* --- CRC-32 ----------------------------------------------------------------- *)
+
+let test_crc32_golden () =
+  (* The CRC-32/IEEE check value from the ROCKSOFT catalog. *)
+  Alcotest.(check int) "check string" 0xcbf43926 (Wire.crc32 "123456789");
+  Alcotest.(check int) "empty string" 0 (Wire.crc32 "");
+  Alcotest.(check int) "single zero byte" 0xd202ef8d (Wire.crc32 "\x00")
+
+(* --- Frames ----------------------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_round_trip () =
+  with_socketpair (fun a b ->
+      let payload = String.init 300 (fun i -> Char.chr (i mod 256)) in
+      (match Wire.write_frame a Wire.Section payload with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Wire.error_to_string e));
+      match Wire.read_frame b with
+      | Ok (kind, got) ->
+        Alcotest.(check bool) "kind survives" true (kind = Wire.Section);
+        Alcotest.(check string) "payload survives" payload got
+      | Error e -> Alcotest.fail (Wire.error_to_string e))
+
+let test_frame_empty_payload () =
+  with_socketpair (fun a b ->
+      (match Wire.write_frame a Wire.Bye "" with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Wire.error_to_string e));
+      match Wire.read_frame b with
+      | Ok (kind, got) ->
+        Alcotest.(check bool) "bye" true (kind = Wire.Bye);
+        Alcotest.(check string) "empty" "" got
+      | Error e -> Alcotest.fail (Wire.error_to_string e))
+
+(* Capture a valid frame's raw bytes by writing into a socketpair. *)
+let raw_frame kind payload =
+  with_socketpair (fun a b ->
+      (match Wire.write_frame a kind payload with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Wire.error_to_string e));
+      let len = Wire.header_len + String.length payload in
+      let buf = Bytes.create len in
+      let rec fill off =
+        if off < len then begin
+          let n = Unix.read b buf off (len - off) in
+          if n = 0 then Alcotest.fail "short read";
+          fill (off + n)
+        end
+      in
+      fill 0;
+      Bytes.to_string buf)
+
+let feed raw f =
+  with_socketpair (fun a b ->
+      let n = Unix.write_substring a raw 0 (String.length raw) in
+      Alcotest.(check int) "fed everything" (String.length raw) n;
+      Unix.close a;
+      (* a closed: a truncated stream ends in EOF, not a hang *)
+      f (Wire.read_frame b))
+
+let test_frame_bad_crc () =
+  let raw = raw_frame Wire.Section "hello, pmtestd" in
+  let b = Bytes.of_string raw in
+  (* Flip one payload byte: the length still matches, the CRC cannot. *)
+  Bytes.set b (Wire.header_len + 3) 'X';
+  feed (Bytes.to_string b) (function
+    | Error (Wire.Corrupt _) -> ()
+    | Ok _ -> Alcotest.fail "corrupt frame accepted"
+    | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
+
+let test_frame_torn_mid_payload () =
+  let raw = raw_frame Wire.Section "a section that never fully arrives" in
+  feed
+    (String.sub raw 0 (Wire.header_len + 5))
+    (function
+      | Error (Wire.Corrupt _) -> ()
+      | Ok _ -> Alcotest.fail "torn frame accepted"
+      | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
+
+let test_frame_torn_mid_header () =
+  let raw = raw_frame Wire.Get_result "" in
+  feed (String.sub raw 0 3) (function
+    | Error (Wire.Corrupt _ | Wire.Closed) -> ()
+    | Ok _ -> Alcotest.fail "torn header accepted"
+    | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
+
+let test_frame_eof_at_boundary () =
+  (* A clean close between frames is Closed, not Corrupt: the client
+     simply hung up. *)
+  feed "" (function
+    | Error Wire.Closed -> ()
+    | Ok _ -> Alcotest.fail "read from closed peer succeeded"
+    | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
+
+let test_frame_alien_version () =
+  let raw = raw_frame Wire.Hello "x" in
+  let b = Bytes.of_string raw in
+  Bytes.set b 0 (Char.chr 99);
+  feed (Bytes.to_string b) (function
+    | Error (Wire.Version_mismatch 99) -> ()
+    | Ok _ -> Alcotest.fail "alien version accepted"
+    | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
+
+let test_frame_unknown_kind () =
+  let raw = raw_frame Wire.Hello "x" in
+  let b = Bytes.of_string raw in
+  Bytes.set b 1 (Char.chr 250);
+  feed (Bytes.to_string b) (function
+    | Error (Wire.Corrupt _) -> ()
+    | Ok _ -> Alcotest.fail "unknown kind accepted"
+    | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
+
+(* --- Payload codecs ---------------------------------------------------------- *)
+
+let test_hello_round_trip () =
+  List.iter
+    (fun model ->
+      match Wire.decode_hello (Wire.encode_hello ~model) with
+      | Ok m -> Alcotest.(check bool) (Model.kind_name model) true (m = model)
+      | Error e -> Alcotest.fail (Wire.error_to_string e))
+    [ Model.X86; Model.Hops; Model.Eadr ]
+
+let test_hello_ack_round_trip () =
+  List.iter
+    (fun (session, max_inflight, policy) ->
+      match
+        Wire.decode_hello_ack (Wire.encode_hello_ack ~session ~max_inflight ~policy)
+      with
+      | Ok (s, m, p) ->
+        Alcotest.(check int) "session" session s;
+        Alcotest.(check int) "max_inflight" max_inflight m;
+        Alcotest.(check bool) "policy" true (p = policy)
+      | Error e -> Alcotest.fail (Wire.error_to_string e))
+    [ (1, 64, Wire.Block); (70000, 0, Wire.Shed) ]
+
+let test_report_round_trip () =
+  let loc = Loc.make ~file:"pmdk/pool.c" ~line:620 in
+  let report =
+    {
+      Report.diagnostics =
+        [
+          { Report.kind = Report.Not_persisted; loc; message = "write may not persist" };
+          {
+            Report.kind = Report.Unnecessary_writeback;
+            loc = Loc.none;
+            message = "redundant flush";
+          };
+        ];
+      entries = 15;
+      ops = 12;
+      checkers = 3;
+    }
+  in
+  match Wire.decode_report (Wire.encode_report report) with
+  | Error e -> Alcotest.fail (Wire.error_to_string e)
+  | Ok got ->
+    Alcotest.(check string) "report renders identically"
+      (Format.asprintf "%a" Report.pp report)
+      (Format.asprintf "%a" Report.pp got)
+
+let test_err_round_trip () =
+  match Wire.decode_err (Wire.encode_err "session limit reached (32 active)") with
+  | Ok m -> Alcotest.(check string) "message" "session limit reached (32 active)" m
+  | Error e -> Alcotest.fail (Wire.error_to_string e)
+
+let test_codec_rejects_garbage () =
+  List.iter
+    (fun (name, r) ->
+      match r with
+      | Ok _ -> Alcotest.failf "%s decoded garbage" name
+      | Error _ -> ())
+    [
+      ("hello", Result.map ignore (Wire.decode_hello "\xff\xff"));
+      ("hello_ack", Result.map ignore (Wire.decode_hello_ack ""));
+      ("report", Result.map ignore (Wire.decode_report "\x81"));
+    ]
+
+let () =
+  Alcotest.run "wire"
+    [
+      ("crc", [ Alcotest.test_case "golden values" `Quick test_crc32_golden ]);
+      ( "frames",
+        [
+          Alcotest.test_case "round trip over a socketpair" `Quick test_frame_round_trip;
+          Alcotest.test_case "empty payload" `Quick test_frame_empty_payload;
+          Alcotest.test_case "bad CRC rejected" `Quick test_frame_bad_crc;
+          Alcotest.test_case "torn mid-payload" `Quick test_frame_torn_mid_payload;
+          Alcotest.test_case "torn mid-header" `Quick test_frame_torn_mid_header;
+          Alcotest.test_case "EOF at a frame boundary is Closed" `Quick
+            test_frame_eof_at_boundary;
+          Alcotest.test_case "alien protocol version" `Quick test_frame_alien_version;
+          Alcotest.test_case "unknown frame kind" `Quick test_frame_unknown_kind;
+        ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "hello" `Quick test_hello_round_trip;
+          Alcotest.test_case "hello_ack" `Quick test_hello_ack_round_trip;
+          Alcotest.test_case "report" `Quick test_report_round_trip;
+          Alcotest.test_case "err" `Quick test_err_round_trip;
+          Alcotest.test_case "garbage rejected" `Quick test_codec_rejects_garbage;
+        ] );
+    ]
