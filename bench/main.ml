@@ -4,11 +4,12 @@
      dune exec bench/main.exe -- [target] [options]
 
    Targets: fig10a fig10b fig11 fig12a fig12b fig12c table1 table5 table6
-            yat ablation lint fuzz obs perf serve bechamel all (default: all)
+            yat ablation lint fuzz obs perf repair serve bechamel all (default: all)
    Options: --insertions N   microbenchmark insertions per cell (default 600)
             --ops N          real-workload operations (default 4000)
             --runs N         timing repetitions, best-of (default 3)
             --tsv FILE       also write machine-readable rows to FILE
+            --json FILE      repair only: write the summary as JSON to FILE
             --gate           perf only: exit 1 if the packed representation
                              (geomean of codec emit and engine check speedup)
                              is slower than boxed
@@ -1075,6 +1076,128 @@ let bechamel () =
       | _ -> Fmt.pr "%-40s %16s@." name "n/a")
     (List.sort compare rows)
 
+(* --- Auto-repair throughput ------------------------------------------------------------- *)
+
+module Repair = Pmtest_repair.Repair
+
+let json_path = ref None
+
+let repair_bench () =
+  let module Gen = Pmtest_fuzz.Gen in
+  Fmt.pr "@.### repair — auto-repair fixpoint throughput and edit mix@.@.";
+  Fmt.pr "(every generated program is repaired to a fixed point and the plan proven@.";
+  Fmt.pr " with verify_static; the rate bounds what repairing every recorded trace@.";
+  Fmt.pr " of a nightly campaign costs)@.@.";
+  let progs = max 200 (!kv_ops / 4) in
+  let seed0 = 1000 in
+  Fmt.pr "%-8s %10s %10s %12s %12s %8s %8s %8s %8s@." "model" "programs" "edits" "prog/s"
+    "entries/s" "del-f" "del-wb" "ins-f" "ins-wb";
+  let model_rows = ref [] in
+  List.iter
+    (fun model ->
+      let programs =
+        Array.init progs (fun i ->
+            Gen.generate (Gen.default_cfg model) (Rng.create (seed0 + i)))
+      in
+      let entries =
+        Array.fold_left (fun n (p : Gen.program) -> n + Array.length p.Gen.events) 0 programs
+      in
+      let outcomes = ref [||] in
+      let t =
+        time (fun () ->
+            outcomes :=
+              Array.map
+                (fun (p : Gen.program) -> Repair.fixpoint ~model:p.Gen.model p.Gen.events)
+                programs)
+      in
+      Array.iteri
+        (fun i o ->
+          match
+            Repair.verify_static ~model:programs.(i).Gen.model
+              ~original:programs.(i).Gen.events o
+          with
+          | [] -> ()
+          | problem :: _ ->
+            Fmt.epr "WARNING: seed %d failed its proof: %s@." (seed0 + i) problem)
+        !outcomes;
+      let sum f = Array.fold_left (fun n o -> n + f o) 0 !outcomes in
+      let edits = sum Repair.edits_applied in
+      let del_fences = sum (fun o -> o.Repair.deleted_fences) in
+      let del_flushes = sum (fun o -> o.Repair.deleted_flushes) in
+      let ins_fences = sum (fun o -> o.Repair.inserted_fences) in
+      let ins_flushes = sum (fun o -> o.Repair.inserted_flushes) in
+      let name = Model.kind_name model in
+      Fmt.pr "%-8s %10d %10d %12.0f %12.0f %8d %8d %8d %8d@." name progs edits
+        (float_of_int progs /. t)
+        (float_of_int entries /. t)
+        del_fences del_flushes ins_fences ins_flushes;
+      tsv "repair\t%s\t%d\tprogs_per_s\t%.0f" name progs (float_of_int progs /. t);
+      tsv "repair\t%s\t%d\tedits\t%d" name progs edits;
+      model_rows :=
+        Printf.sprintf
+          "    {\"model\": %S, \"programs\": %d, \"seed_base\": %d, \"progs_per_s\": %.0f, \
+           \"entries_per_s\": %.0f, \"edits_applied\": %d, \"fences_deleted\": %d, \
+           \"flushes_deleted\": %d, \"flushes_narrowed\": %d, \"fences_inserted\": %d, \
+           \"flushes_inserted\": %d, \"logs_inserted\": %d}"
+          name progs seed0
+          (float_of_int progs /. t)
+          (float_of_int entries /. t)
+          edits del_fences del_flushes
+          (sum (fun o -> o.Repair.narrowed_flushes))
+          ins_fences ins_flushes
+          (sum (fun o -> o.Repair.inserted_logs))
+        :: !model_rows)
+    [ Model.X86; Model.Hops; Model.Eadr ];
+  (* The two seeded PMFS performance bugs: the repairer must reproduce the
+     upstream fixes mechanically. *)
+  let record_pmfs fault ops =
+    let sink, recorded = Pmtest_trace.Serial.recording_sink () in
+    let fs = Fs.mkfs ~inodes:16 ~blocks:64 ~sink () in
+    Fs.set_fault fs (Some fault);
+    (match ops fs with Ok () -> () | Error e -> failwith ("bench repair: pmfs: " ^ e));
+    recorded ()
+  in
+  let fsync_trace =
+    record_pmfs Fs.Fsync_redundant_fence (fun fs ->
+        Result.bind (Fs.create fs "wal") (fun ino ->
+            Result.bind
+              (Fs.write fs ~ino ~off:0 (String.make 192 'a'))
+              (fun () ->
+                Fs.fsync fs ~ino;
+                Fs.fsync fs ~ino;
+                Ok ())))
+  in
+  let empty_tx_trace =
+    record_pmfs Fs.Empty_tx_fence (fun fs ->
+        Result.bind (Fs.create fs "table") (fun ino ->
+            Result.bind
+              (Fs.write fs ~ino ~off:0 (String.make 128 'a'))
+              (fun () -> Result.map ignore (Fs.write fs ~ino ~off:0 (String.make 128 'b')))))
+  in
+  let o_fsync = Repair.fixpoint fsync_trace in
+  let o_empty = Repair.fixpoint empty_tx_trace in
+  Fmt.pr "@.seeded PMFS perf bugs (the repairer reproduces the upstream fixes):@.";
+  Fmt.pr "  fsync redundant drain   %d fence(s) deleted (expect 2)@."
+    o_fsync.Repair.deleted_fences;
+  Fmt.pr "  empty-commit fence      %d fence(s) deleted (expect 1)@."
+    o_empty.Repair.deleted_fences;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"repair\",\n\
+      \  \"models\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"pmfs\": {\"fsync_fences_deleted\": %d, \"empty_tx_fences_deleted\": %d}\n\
+       }\n"
+      (String.concat ",\n" (List.rev !model_rows))
+      o_fsync.Repair.deleted_fences o_empty.Repair.deleted_fences;
+    close_out oc;
+    Fmt.pr "@.JSON written to %s@." path
+
 (* --- Driver ----------------------------------------------------------------------------- *)
 
 let all_targets =
@@ -1094,6 +1217,7 @@ let all_targets =
     ("fuzz", fuzz_bench);
     ("obs", obs_bench);
     ("perf", perf);
+    ("repair", repair_bench);
     ("serve", serve_bench);
     ("bechamel", bechamel);
   ]
@@ -1113,6 +1237,9 @@ let () =
       parse rest
     | "--tsv" :: v :: rest ->
       tsv_path := Some v;
+      parse rest
+    | "--json" :: v :: rest ->
+      json_path := Some v;
       parse rest
     | "--gate" :: rest ->
       gate := true;

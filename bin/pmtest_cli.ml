@@ -9,6 +9,7 @@ module Engine = Pmtest_core.Engine
 module Pmemcheck = Pmtest_baseline.Pmemcheck
 module Lint = Pmtest_lint.Lint
 module Rule = Pmtest_lint.Rule
+module Repair = Pmtest_repair.Repair
 module Sink = Pmtest_trace.Sink
 module Event = Pmtest_trace.Event
 module Obs = Pmtest_obs.Obs
@@ -315,7 +316,13 @@ let workload_cmd =
 
 (* --- record / check-trace ------------------------------------------------------ *)
 
-let run_record name ops seed output =
+(* Every recordable source runs under the x86 model; the two pmfs-*-bug
+   drivers seed the auto-repair differentials with the real PMFS
+   performance bugs (a surplus drain fence each). *)
+let recordable_names =
+  [ "redis-lru"; "pmfs-filebench"; "pmfs-oltp"; "pmfs-fsync-bug"; "pmfs-empty-tx-bug" ]
+
+let record_workload name ops seed =
   let sink, recorded = Pmtest_trace.Serial.recording_sink () in
   let result =
     match name with
@@ -331,15 +338,43 @@ let run_record name ops seed output =
       let fs = Pmtest_pmfs.Fs.mkfs ~inodes:128 ~blocks:1024 ~sink () in
       Pmfs_app.run fs (Clients.oltp ~ops ~tables:4 ~rows_per_table:64 (Rng.create seed));
       Pmtest_pmfs.Fs.check_consistent fs
+    | "pmfs-fsync-bug" ->
+      (* fsync.c:260 without the deliberate-drain annotation: everything
+         is already durable after the write's commit, so both fsync
+         fences drain nothing. *)
+      let fs = Pmtest_pmfs.Fs.mkfs ~inodes:16 ~blocks:64 ~sink () in
+      Pmtest_pmfs.Fs.set_fault fs (Some Pmtest_pmfs.Fs.Fsync_redundant_fence);
+      Result.bind (Pmtest_pmfs.Fs.create fs "wal") (fun ino ->
+          Result.bind
+            (Pmtest_pmfs.Fs.write fs ~ino ~off:0 (String.make 192 'a'))
+            (fun () ->
+              Pmtest_pmfs.Fs.fsync fs ~ino;
+              Pmtest_pmfs.Fs.fsync fs ~ino;
+              Pmtest_pmfs.Fs.check_consistent fs))
+    | "pmfs-empty-tx-bug" ->
+      (* journal.c:633 without the empty-commit guard: an in-place
+         overwrite journals no metadata, yet commit still fences — right
+         after the data path's own drain at xips.c:208. *)
+      let fs = Pmtest_pmfs.Fs.mkfs ~inodes:16 ~blocks:64 ~sink () in
+      Pmtest_pmfs.Fs.set_fault fs (Some Pmtest_pmfs.Fs.Empty_tx_fence);
+      Result.bind (Pmtest_pmfs.Fs.create fs "table") (fun ino ->
+          Result.bind
+            (Pmtest_pmfs.Fs.write fs ~ino ~off:0 (String.make 128 'a'))
+            (fun () ->
+              Result.bind
+                (Pmtest_pmfs.Fs.write fs ~ino ~off:0 (String.make 128 'b'))
+                (fun () -> Pmtest_pmfs.Fs.check_consistent fs)))
     | other -> Error (Printf.sprintf "workload %S cannot be recorded" other)
   in
-  match result with
+  match result with Error e -> Error e | Ok () -> Ok (recorded ())
+
+let run_record name ops seed output =
+  match record_workload name ops seed with
   | Error e ->
     Fmt.epr "record failed: %s@." e;
     1
-  | Ok () ->
-    let entries = recorded () in
-    Pmtest_trace.Serial.save_file output entries;
+  | Ok entries ->
+    Pmtest_trace.Serial.save_file ~header:[ "model: x86" ] output entries;
     Fmt.pr "recorded %d trace entries (%d PM operations) to %s@." (Array.length entries)
       (Pmtest_trace.Event.op_count entries) output;
     0
@@ -348,8 +383,13 @@ let record_cmd =
   let wname =
     Arg.(
       required
-        (pos 0 (some (enum [ ("redis-lru", "redis-lru"); ("pmfs-filebench", "pmfs-filebench"); ("pmfs-oltp", "pmfs-oltp") ])) None
-           (info [] ~docv:"WORKLOAD" ~doc:"redis-lru, pmfs-filebench or pmfs-oltp.")))
+        (pos 0
+           (some (enum (List.map (fun n -> (n, n)) recordable_names)))
+           None
+           (info [] ~docv:"WORKLOAD"
+              ~doc:
+                "redis-lru, pmfs-filebench, pmfs-oltp, or one of the seeded PMFS performance \
+                 bugs: pmfs-fsync-bug, pmfs-empty-tx-bug.")))
   in
   let output = Arg.(value (opt string "trace.pmt" (info [ "o"; "output" ] ~doc:"Output file."))) in
   Cmd.v
@@ -420,6 +460,11 @@ let run_lint_bugdb rules =
   0
 
 let run_lint file bugdb model rules_spec machine verbose =
+  if rules_spec = "help" then begin
+    print_endline (Rule.help ());
+    0
+  end
+  else
   match Rule.of_spec rules_spec with
   | Error e ->
     Fmt.epr "--rules: %s@." e;
@@ -443,6 +488,16 @@ let run_lint file bugdb model rules_spec machine verbose =
           else Fmt.pr "%a@." Report.pp_summary (Lint.report_of result);
           if Lint.has_fail result then 1 else 0))
 
+let rules_arg =
+  Arg.(
+    value
+      (opt string "default"
+         (info [ "rules" ]
+            ~doc:
+              "Rule selection: $(b,all), $(b,none), $(b,default), a comma-separated list of \
+               rule names (only those), $(b,+rule)/$(b,-rule) tweaks to the default set, or \
+               $(b,help) to list every rule with its description.")))
+
 let lint_cmd =
   let file = Arg.(value (pos 0 (some file) None (info [] ~docv:"TRACE"))) in
   let bugdb =
@@ -454,15 +509,7 @@ let lint_cmd =
                 "Instead of a trace file, lint every bug-catalog case from its raw op stream \
                  (checkers stripped) and tabulate which rules fire.")))
   in
-  let rules =
-    Arg.(
-      value
-        (opt string "default"
-           (info [ "rules" ]
-              ~doc:
-                "Rule selection: $(b,all), $(b,none), $(b,default), a comma-separated list of \
-                 rule names (only those), or $(b,+rule)/$(b,-rule) tweaks to the default set.")))
-  in
+  let rules = rules_arg in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -474,6 +521,183 @@ let lint_cmd =
       $ Common_args.machine ~doc:"Machine-readable output: one tab-separated finding per line."
       $ Common_args.verbose ~doc:"Print every finding with its fix-it.")
 
+(* --- repair ------------------------------------------------------------------- *)
+
+let model_name = function Model.X86 -> "x86" | Model.Hops -> "hops" | Model.Eadr -> "eadr"
+
+let header_model headers =
+  List.find_map
+    (fun h ->
+      match String.index_opt h ':' with
+      | Some i when String.trim (String.sub h 0 i) = "model" -> (
+        match String.trim (String.sub h (i + 1) (String.length h - i - 1)) with
+        | "x86" -> Some Model.X86
+        | "hops" -> Some Model.Hops
+        | "eadr" -> Some Model.Eadr
+        | _ -> None)
+      | _ -> None)
+    headers
+
+(* SOURCE resolves like [stat]: a recordable workload (run live, then
+   repaired from its recorded trace), an existing trace file, or a
+   bug-catalog case id. *)
+let resolve_repair_source source model_opt ops seed =
+  if List.mem source recordable_names then
+    match record_workload source ops seed with
+    | Error e -> Error e
+    | Ok entries -> Ok (entries, Option.value model_opt ~default:Model.X86, false)
+  else if Sys.file_exists source then
+    match Pmtest_trace.Serial.load_file_with_header source with
+    | Error e -> Error (Printf.sprintf "cannot load %s: %s" source e)
+    | Ok (headers, entries) ->
+      let model =
+        match model_opt with
+        | Some m -> m
+        | None -> Option.value (header_model headers) ~default:Model.X86
+      in
+      Ok (entries, model, true)
+  else
+    match List.find_opt (fun c -> c.Case.id = source) Catalog.all with
+    | Some case -> Ok (Case.trace case, Option.value model_opt ~default:Model.X86, false)
+    | None ->
+      Error
+        (Printf.sprintf
+           "%S is neither a recordable workload, an existing trace file nor a bug-catalog case \
+            id"
+           source)
+
+let run_repair source model_opt rules_spec ops seed max_rounds diff machine verify in_place
+    output profile =
+  if rules_spec = "help" then begin
+    print_endline (Rule.help ());
+    0
+  end
+  else
+    match Rule.of_spec rules_spec with
+    | Error e ->
+      Fmt.epr "--rules: %s@." e;
+      2
+    | Ok rules -> (
+      match
+        match source with
+        | None -> Error "a SOURCE is required (or use --rules help)"
+        | Some source -> resolve_repair_source source model_opt ops seed
+      with
+      | Error e ->
+        Fmt.epr "repair: %s@." e;
+        2
+      | Ok (_, _, false) when in_place ->
+        Fmt.epr "repair: --in-place needs SOURCE to be a trace file@.";
+        2
+      | Ok (entries, model, _is_file) ->
+        let obs = if profile then Obs.create () else Obs.disabled in
+        let o = Repair.fixpoint ~obs ~model ~rules ~max_rounds entries in
+        if machine then List.iter print_endline (Repair.machine_lines o)
+        else begin
+          Fmt.pr "%a@." Repair.pp_outcome o;
+          if diff && Repair.edits_applied o > 0 then
+            Fmt.pr "@.%a@."
+              (fun ppf () -> Repair.pp_diff ppf ~original:entries ~repaired:o.Repair.repaired)
+              ()
+        end;
+        let problems =
+          if not verify then []
+          else begin
+            let t0 = Obs.now_ns () in
+            let ps = Repair.verify_static ~model ~rules ~original:entries o in
+            Obs.repair_verify_ns obs (Obs.now_ns () - t0);
+            List.iter (fun p -> Fmt.epr "verify: %s@." p) ps;
+            if ps = [] && not machine then
+              Fmt.pr
+                "verify: repair proven (repaired trace lints clean, plan is idempotent, engine \
+                 differential holds)@.";
+            ps
+          end
+        in
+        let dest =
+          match output with Some p -> Some p | None when in_place -> source | None -> None
+        in
+        (match dest with
+        | None -> ()
+        | Some path ->
+          Pmtest_trace.Serial.save_file
+            ~header:[ "model: " ^ model_name model ]
+            path o.Repair.repaired;
+          if not machine then
+            Fmt.pr "wrote repaired trace (%d entries) to %s@."
+              (Array.length o.Repair.repaired)
+              path);
+        if profile then Fmt.pr "@.%a@." Obs.pp (Obs.snapshot obs);
+        if (not o.Repair.converged) || problems <> [] then 1 else 0)
+
+let repair_cmd =
+  let source =
+    Arg.(
+      value
+        (pos 0 (some string) None
+           (info [] ~docv:"SOURCE"
+              ~doc:
+                "What to repair: a recordable workload name (run live, repaired from its \
+                 recorded trace), a recorded $(b,.pmt) trace file, or a bug-catalog case id.")))
+  in
+  let model =
+    Common_args.model_opt
+      ~doc:
+        "Persistency model (default: the file's $(b,model:) header, else x86)."
+  in
+  let max_rounds =
+    Arg.(
+      value
+        (opt int Repair.default_max_rounds
+           (info [ "max-rounds" ] ~doc:"Fixed-point iteration bound.")))
+  in
+  let diff =
+    Arg.(
+      value
+        (flag
+           (info [ "diff" ]
+              ~doc:"Print a unified line diff of the original and repaired traces.")))
+  in
+  let verify =
+    Arg.(
+      value
+        (flag
+           (info [ "verify" ]
+              ~doc:
+                "Prove the repair: the repaired trace must lint clean for every repairable \
+                 rule, the plan over it must be empty, and the dynamic engine (boxed and \
+                 packed) must agree no diagnostic got worse. Non-zero exit if any obligation \
+                 fails.")))
+  in
+  let in_place =
+    Arg.(
+      value
+        (flag
+           (info [ "in-place" ]
+              ~doc:"Rewrite the SOURCE trace file with the repaired trace (atomic replace).")))
+  in
+  let output =
+    Arg.(
+      value
+        (opt (some string) None
+           (info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the repaired trace to $(docv).")))
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Auto-repair a trace: delete redundant fences and surplus writebacks, insert missing \
+          ones, iterate to a fixed point, and optionally prove the result against the dynamic \
+          engine.")
+    Term.(
+      const run_repair $ source $ model $ rules_arg
+      $ Common_args.ops ~doc:"Operations (workload sources)." ~default:1000 ()
+      $ Common_args.seed ()
+      $ max_rounds $ diff
+      $ Common_args.machine
+          ~doc:"Machine-readable output: one tab-separated edit per line (round, index, rule, fixit)."
+      $ verify $ in_place $ output
+      $ Common_args.profile ~doc:"Print the repair counters and timings after the outcome.")
+
 (* --- fuzz -------------------------------------------------------------------- *)
 
 module Fuzz_gen = Pmtest_fuzz.Gen
@@ -482,7 +706,6 @@ module Cross = Pmtest_fuzz.Cross
 module Repro = Pmtest_fuzz.Repro
 module Mutate = Pmtest_fuzz.Mutate
 
-let model_name = function Model.X86 -> "x86" | Model.Hops -> "hops" | Model.Eadr -> "eadr"
 
 let replay_corpus dir failures =
   match Repro.load_dir dir with
@@ -644,19 +867,6 @@ let replay_trace ~obs ~model ~workers ~section entries =
       if (i + 1) mod section = 0 then Pmtest.send_trace ~thread:e.Event.thread session)
     entries;
   Pmtest.finish session
-
-let header_model headers =
-  List.find_map
-    (fun h ->
-      match String.index_opt h ':' with
-      | Some i when String.trim (String.sub h 0 i) = "model" -> (
-        match String.trim (String.sub h (i + 1) (String.length h - i - 1)) with
-        | "x86" -> Some Model.X86
-        | "hops" -> Some Model.Hops
-        | "eadr" -> Some Model.Eadr
-        | _ -> None)
-      | _ -> None)
-    headers
 
 let run_stat source model_opt workers section ops threads seed machine json_out =
   let section = max 1 section in
@@ -1000,6 +1210,7 @@ let () =
             record_cmd;
             check_trace_cmd;
             lint_cmd;
+            repair_cmd;
             fuzz_cmd;
             stat_cmd;
             serve_cmd;

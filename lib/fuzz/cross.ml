@@ -6,6 +6,7 @@ module Report = Pmtest_core.Report
 module Naive = Pmtest_baseline.Naive_engine
 module Pmemcheck = Pmtest_baseline.Pmemcheck
 module Lint = Pmtest_lint.Lint
+module Repair = Pmtest_repair.Repair
 module Crashtest = Pmtest_crashtest.Crashtest
 module Machine = Pmtest_pmem.Machine
 module Pmtest = Pmtest_core.Pmtest
@@ -20,6 +21,7 @@ type pair =
   | Engine_vs_crashtest
   | Engine_vs_packed
   | Engine_vs_serve
+  | Engine_vs_repair
 
 type outcome = Agree | Disagree of string | Skip of string
 
@@ -32,6 +34,7 @@ let all_pairs =
     Engine_vs_crashtest;
     Engine_vs_packed;
     Engine_vs_serve;
+    Engine_vs_repair;
   ]
 
 let pair_name = function
@@ -42,6 +45,7 @@ let pair_name = function
   | Engine_vs_crashtest -> "engine/crashtest"
   | Engine_vs_packed -> "engine/packed"
   | Engine_vs_serve -> "engine/serve"
+  | Engine_vs_repair -> "engine/repair"
 
 (* The engine only enforces undo logging inside a TX checker scope;
    pmemcheck and the lint need no scope. Missing_log counts are only
@@ -366,6 +370,72 @@ let vs_serve (p : Gen.program) =
              (List.length local.Report.diagnostics)
              (List.length remote.Report.diagnostics)))
 
+(* The repair contract. The engine-side core applies to every program
+   on every model: the fixpoint must converge, and [Repair.verify_static]
+   must prove the outcome (clean re-lint, idempotent plan, no new engine
+   Fail diagnostics, packed/boxed agreement). On top of that, whenever
+   both the original and the repaired trace are oracle-eligible and
+   crash-state enumeration is exhaustive, the repair must pass the
+   crash-state differential:
+
+   - the final volatile image is untouched (repairs never move stores);
+   - no crash state reachable in the original is lost (deletions are
+     machine no-ops, insertions only append);
+   - a deletion-only repair leaves the reachable set exactly unchanged;
+   - the repaired trace ends fully durable — the final crash-state set
+     is the singleton volatile image — and that image was already
+     reachable at the original's final crash point, so insertions only
+     shrink the end-of-trace uncertainty, never invent a new image. *)
+let image_subset a b = Hashtbl.fold (fun k () acc -> acc && Hashtbl.mem b k) a true
+
+let vs_repair (p : Gen.program) =
+  let o = Repair.fixpoint ~model:p.Gen.model p.Gen.events in
+  if not o.Repair.converged then
+    Disagree
+      (Printf.sprintf "repair did not converge (%d lint passes, %d edits)" o.Repair.iterations
+         (Repair.edits_applied o))
+  else
+    match Repair.verify_static ~model:p.Gen.model ~original:p.Gen.events o with
+    | problem :: _ -> Disagree ("static proof: " ^ problem)
+    | [] ->
+      if Repair.edits_applied o = 0 then Agree
+      else begin
+        let rp = { p with Gen.events = o.Repair.repaired } in
+        match (Oracle.explore p, Oracle.explore rp) with
+        | None, _ | _, None ->
+          (* Not oracle-eligible: the engine-side proof above is the
+             whole contract. *)
+          Agree
+        | Some w0, Some w1 ->
+          if not (w0.Oracle.exhaustive && w1.Oracle.exhaustive) then Agree
+          else begin
+            let deletions_only =
+              o.Repair.inserted_flushes = 0 && o.Repair.inserted_fences = 0
+              && o.Repair.inserted_logs = 0
+            in
+            let problems =
+              List.filter_map Fun.id
+                [
+                  (if String.equal w0.Oracle.volatile w1.Oracle.volatile then None
+                   else Some "repair changed the final volatile image");
+                  (if image_subset w0.Oracle.images w1.Oracle.images then None
+                   else Some "a crash state reachable in the original is lost after repair");
+                  (if deletions_only && not (image_subset w1.Oracle.images w0.Oracle.images) then
+                     Some "a deletion-only repair changed the reachable crash-state set"
+                   else None);
+                  (if
+                     Hashtbl.length w1.Oracle.final = 1
+                     && Hashtbl.mem w1.Oracle.final w1.Oracle.volatile
+                   then None
+                   else Some "repaired trace does not end fully durable");
+                  (if Hashtbl.mem w0.Oracle.final w1.Oracle.volatile then None
+                   else Some "final persisted image was not reachable in the original");
+                ]
+            in
+            match problems with [] -> Agree | d :: _ -> Disagree ("oracle differential: " ^ d)
+          end
+      end
+
 let compare_pair pair p =
   match pair with
   | Engine_vs_naive -> vs_naive p
@@ -375,6 +445,7 @@ let compare_pair pair p =
   | Engine_vs_crashtest -> vs_crashtest p
   | Engine_vs_packed -> vs_packed p
   | Engine_vs_serve -> vs_serve p
+  | Engine_vs_repair -> vs_repair p
 
 let run p = List.map (fun pair -> (pair, compare_pair pair p)) all_pairs
 

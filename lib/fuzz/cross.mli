@@ -46,7 +46,19 @@
       in-process packed session flushing at the same boundaries. This
       pins the whole service stack: wire codecs, per-session
       aggregation callbacks, prelude deduplication. The daemon is
-      started lazily on a temp socket and drained at process exit. *)
+      started lazily on a temp socket and drained at process exit.
+    - {b engine/repair}: applies to {e every} program on every model —
+      the only pair that never skips. [Repair.fixpoint] must converge
+      and [Repair.verify_static] must prove the outcome (the repaired
+      trace lints clean for the repairable rules, the plan over it is
+      empty, no new engine Fail diagnostics, packed and boxed engines
+      agree on it). When both the original and the repaired trace are
+      additionally {!Gen.oracle_eligible} with exhaustive enumeration,
+      the crash-state differential must also hold: the final volatile
+      image is untouched, no reachable crash state is lost, a
+      deletion-only repair leaves the reachable set exactly unchanged,
+      and the repaired trace ends fully durable on an image that was
+      already reachable at the original's final crash point. *)
 
 open Pmtest_trace
 
@@ -58,6 +70,7 @@ type pair =
   | Engine_vs_crashtest
   | Engine_vs_packed
   | Engine_vs_serve
+  | Engine_vs_repair
 
 type outcome =
   | Agree

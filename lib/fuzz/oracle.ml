@@ -188,13 +188,54 @@ let run sim (p : Gen.program) =
     p.Gen.events;
   { points = List.rev !points; exhaustive = !exhaustive }
 
+let sim_for ~limit (p : Gen.program) =
+  match p.Gen.model with
+  | Model.X86 -> x86_sim ~limit ~size:p.Gen.pm_size
+  | Model.Hops -> hops_sim ~limit ~size:p.Gen.pm_size
+  | Model.Eadr -> eadr_sim ~size:p.Gen.pm_size
+
 let evaluate ?(limit = 100_000) (p : Gen.program) =
+  if not (Gen.oracle_eligible p) then None else Some (run (sim_for ~limit p) p)
+
+type world = {
+  images : (string, unit) Hashtbl.t;
+  final : (string, unit) Hashtbl.t;
+  volatile : string;
+  exhaustive : bool;
+}
+
+(* [run] without the checkers: the raw crash-state sets the repair
+   differential compares. Write payloads are assigned by the same
+   counter as [run], so two traces with identical store sequences (a
+   trace and its repair) see identical values. *)
+let explore ?(limit = 100_000) (p : Gen.program) =
   if not (Gen.oracle_eligible p) then None
-  else
-    let sim =
-      match p.Gen.model with
-      | Model.X86 -> x86_sim ~limit ~size:p.Gen.pm_size
-      | Model.Hops -> hops_sim ~limit ~size:p.Gen.pm_size
-      | Model.Eadr -> eadr_sim ~size:p.Gen.pm_size
+  else begin
+    let sim = sim_for ~limit p in
+    let exhaustive = ref true in
+    let images : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+    let note () =
+      if not (sim.enum_now (fun img -> Hashtbl.replace images (Bytes.to_string img) ())) then
+        exhaustive := false
     in
-    Some (run sim p)
+    note ();
+    let next_write = ref 0 in
+    Array.iter
+      (fun (e : Event.t) ->
+        match e.Event.kind with
+        | Event.Op (Model.Write { addr; size = _ }) ->
+          let v = Char.chr ((!next_write mod 250) + 1) in
+          incr next_write;
+          sim.write ~addr v;
+          note ()
+        | Event.Op op ->
+          sim.op op;
+          note ()
+        | Event.Checker _ | Event.Tx _ | Event.Control _ -> ())
+      p.Gen.events;
+    let final : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    if not (sim.enum_now (fun img -> Hashtbl.replace final (Bytes.to_string img) ())) then
+      exhaustive := false;
+    Some
+      { images; final; volatile = Bytes.to_string (sim.volatile ()); exhaustive = !exhaustive }
+  end

@@ -45,3 +45,21 @@ type t = {
 val evaluate : ?limit:int -> Gen.program -> t option
 (** [None] if the program is not {!Gen.oracle_eligible}. [limit]
     (default 100_000) bounds images per crash point. *)
+
+type world = {
+  images : (string, unit) Hashtbl.t;
+      (** Every durable image reachable by crashing at any point. *)
+  final : (string, unit) Hashtbl.t;
+      (** The images reachable by crashing after the last event. *)
+  volatile : string;  (** The volatile view at the end of the trace. *)
+  exhaustive : bool;  (** As in {!t}: [false] if truncated at [limit]. *)
+}
+(** The raw crash-state sets of a program, for differential comparison
+    of a trace against its repair (see [Cross.Engine_vs_repair]). *)
+
+val explore : ?limit:int -> Gen.program -> world option
+(** [None] if the program is not {!Gen.oracle_eligible}. Replays the
+    ops exactly as {!evaluate} does (same write payload sequence, so a
+    trace and its repair — which never touches the stores — see
+    identical values) but ignores embedded checkers and returns the
+    crash-state sets themselves. *)

@@ -1,0 +1,72 @@
+type range = { addr : int; size : int }
+
+type t =
+  | Delete
+  | Narrow of range list
+  | Insert_flush of range list
+  | Insert_fence
+  | Insert_log of range list
+  | Hint of string
+
+let range ~addr ~size =
+  if size <= 0 then invalid_arg "Fixit.range: size must be positive";
+  { addr; size }
+
+let ranges_to_string rs =
+  String.concat "," (List.map (fun r -> Printf.sprintf "0x%x+%d" r.addr r.size) rs)
+
+(* Machine lines are tab-separated; a hint that smuggled a tab or
+   newline in would corrupt the record. *)
+let sanitize s = String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
+let to_string = function
+  | Delete -> "delete"
+  | Narrow rs -> "narrow=" ^ ranges_to_string rs
+  | Insert_flush rs -> "insert-flush=" ^ ranges_to_string rs
+  | Insert_fence -> "insert-fence"
+  | Insert_log rs -> "insert-log=" ^ ranges_to_string rs
+  | Hint s -> "hint=" ^ sanitize s
+
+let parse_ranges s =
+  let parts = String.split_on_char ',' s in
+  let parse_one p =
+    match String.index_opt p '+' with
+    | None -> None
+    | Some i -> (
+      let a = String.sub p 0 i and n = String.sub p (i + 1) (String.length p - i - 1) in
+      match (int_of_string_opt a, int_of_string_opt n) with
+      | Some addr, Some size when size > 0 -> Some { addr; size }
+      | _ -> None)
+  in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | p :: rest -> ( match parse_one p with None -> None | Some r -> go (r :: acc) rest)
+  in
+  if s = "" then None else go [] parts
+
+let of_string s =
+  match s with
+  | "delete" -> Some Delete
+  | "insert-fence" -> Some Insert_fence
+  | _ -> (
+    match String.index_opt s '=' with
+    | None -> None
+    | Some i -> (
+      let key = String.sub s 0 i and v = String.sub s (i + 1) (String.length s - i - 1) in
+      match key with
+      | "hint" -> Some (Hint v)
+      | "narrow" -> Option.map (fun rs -> Narrow rs) (parse_ranges v)
+      | "insert-flush" -> Option.map (fun rs -> Insert_flush rs) (parse_ranges v)
+      | "insert-log" -> Option.map (fun rs -> Insert_log rs) (parse_ranges v)
+      | _ -> None))
+
+let describe = function
+  | Delete -> "delete this instruction"
+  | Narrow rs -> Printf.sprintf "narrow this writeback to %s" (ranges_to_string rs)
+  | Insert_flush rs -> Printf.sprintf "insert a writeback of %s before the final fence"
+                         (ranges_to_string rs)
+  | Insert_fence -> "insert a drain fence before the trace ends"
+  | Insert_log rs -> Printf.sprintf "insert TX_ADD over %s before this store" (ranges_to_string rs)
+  | Hint s -> s
+
+let equal a b = a = b

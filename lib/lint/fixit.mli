@@ -1,0 +1,49 @@
+(** Structured fix-it suggestions.
+
+    Lint findings used to carry a free-form prose suggestion; the
+    auto-repair pass ({!Pmtest_repair.Repair}) needs something it can
+    apply mechanically, so suggestions are now a small closed edit
+    language anchored at the finding's event index:
+
+    - {!Delete}: remove the offending instruction (redundant fences,
+      duplicate/unnecessary writebacks that do no useful work).
+    - {!Narrow}: replace the writeback with writebacks of exactly the
+      listed ranges — the portion that actually flushes dirty data.
+    - {!Insert_flush}: append writebacks of the listed still-dirty
+      ranges before the end of the trace.
+    - {!Insert_fence}: append a drain fence ([sfence]/[dfence]) before
+      the end of the trace.
+    - {!Insert_log}: insert [TX_ADD] entries for the listed ranges
+      immediately before the offending in-transaction store.
+    - {!Hint}: prose advice that cannot be applied mechanically (e.g.
+      "move this store after the fence"). The repairer skips these.
+
+    The machine form ({!to_string}/{!of_string}) is a stable
+    single-token grammar used in {!Lint.machine_lines}:
+    [delete], [insert-fence], [narrow=0x100+8,0x140+8],
+    [insert-flush=0x100+8], [insert-log=0x100+8], [hint=<prose>]. *)
+
+type range = { addr : int; size : int }
+
+type t =
+  | Delete
+  | Narrow of range list
+  | Insert_flush of range list
+  | Insert_fence
+  | Insert_log of range list
+  | Hint of string
+
+val range : addr:int -> size:int -> range
+(** Raises [Invalid_argument] when [size <= 0]. *)
+
+val to_string : t -> string
+(** Stable machine form (never contains tabs or newlines). *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (hints round-trip up to tab/newline
+    sanitisation). *)
+
+val describe : t -> string
+(** Human-readable rendering for pretty reports. *)
+
+val equal : t -> t -> bool

@@ -4,7 +4,14 @@ open Pmtest_model
 open Pmtest_trace
 module Report = Pmtest_core.Report
 
-type finding = { rule : Rule.t; loc : Loc.t; message : string; fixit : string option }
+type finding = {
+  rule : Rule.t;
+  index : int;
+  loc : Loc.t;
+  message : string;
+  fixit : Fixit.t option;
+}
+
 type result = { findings : finding list; entries : int; ops : int; checkers : int }
 
 (* Per-byte-range shadow state. [wserial]/[fserial] identify the store
@@ -34,6 +41,7 @@ type st = {
   mutable tx_depth : int;
   mutable tx_stack : Loc.t list;  (** Open TX_BEGIN locations, newest first. *)
   mutable work_since_fence : int;
+  mutable cur : int;  (** Index of the event being analysed; trace length during {!sweep}. *)
   mutable serial : int;
   mutable wild_off : int;
   offs : (string, int) Hashtbl.t;
@@ -51,7 +59,9 @@ let enabled st rule = Rule.mem st.rules rule
 let active st rule = enabled st rule && not (suppressed st rule)
 
 let finding st rule loc ?fixit fmt =
-  Format.kasprintf (fun message -> Vec.push st.findings { rule; loc; message; fixit }) fmt
+  Format.kasprintf
+    (fun message -> Vec.push st.findings { rule; index = st.cur; loc; message; fixit })
+    fmt
 
 (* Subranges of [addr, addr+size) not currently excluded — the same
    holes the dynamic engine punches (Engine.effective_subranges). *)
@@ -71,12 +81,18 @@ let on_write st loc ~addr ~size =
   let subs = effective st.excluded ~addr ~size in
   if subs <> [] then begin
     if st.tx_depth > 0 && active st Rule.Unlogged_tx_write then begin
-      match List.find_opt (fun (lo, hi) -> not (Interval_map.covered st.logged ~lo ~hi)) subs with
-      | None -> ()
-      | Some (lo, hi) ->
+      (* Every logged-coverage gap becomes an [Insert_log] range, so one
+         applied edit silences the finding (and adds no duplicate log). *)
+      let missing =
+        List.concat_map (fun (lo, hi) -> effective st.logged ~addr:lo ~size:(hi - lo)) subs
+      in
+      match missing with
+      | [] -> ()
+      | (lo, hi) :: _ ->
         finding st Rule.Unlogged_tx_write loc
-          ~fixit:(Printf.sprintf "insert TX_ADD(0x%x,%d) before the store at %s" lo (hi - lo)
-                    (Loc.to_string loc))
+          ~fixit:
+            (Fixit.Insert_log
+               (List.map (fun (lo, hi) -> Fixit.range ~addr:lo ~size:(hi - lo)) missing))
           "persistent object [0x%x,+%d) modified inside a transaction without a backup log entry"
           lo (hi - lo)
     end;
@@ -98,8 +114,9 @@ let on_write st loc ~addr ~size =
         | Some f ->
           finding st Rule.Write_after_flush loc
             ~fixit:
-              (Printf.sprintf "move this store after the fence completing the writeback at %s"
-                 (Loc.to_string f.floc))
+              (Fixit.Hint
+                 (Printf.sprintf "move this store after the fence completing the writeback at %s"
+                    (Loc.to_string f.floc)))
             "store to [0x%x,+%d) overlaps a writeback (at %s) that no fence has completed yet"
             addr size (Loc.to_string f.floc)
       end
@@ -127,16 +144,39 @@ let on_write st loc ~addr ~size =
 let on_clwb st loc ~addr ~size =
   if st.model = Model.Eadr then begin
     if active st Rule.Unnecessary_flush then
-      finding st Rule.Unnecessary_flush loc
-        ~fixit:"remove the writeback: eADR caches are already persistent"
+      finding st Rule.Unnecessary_flush loc ~fixit:Fixit.Delete
         "writeback of [0x%x,+%d) is redundant under eADR (caches are persistent)" addr size
   end
   else begin
     st.work_since_fence <- st.work_since_fence + 1;
     let subs = effective st.excluded ~addr ~size in
     if subs <> [] then begin
+      (* Classify the effective range before mutating the shadow: the
+         fragments doing useful work (a dirty, not-yet-flushed byte)
+         become the [Narrow] target when the writeback also covers
+         clean or already-flushed bytes; a writeback with no work at
+         all can simply be deleted. *)
+      let work = ref [] in
       let unnecessary = ref false in
       let dup = ref None in
+      List.iter
+        (fun (lo, hi) ->
+          let cursor = ref lo in
+          List.iter
+            (fun (k, h, s) ->
+              if k > !cursor then unnecessary := true;
+              (match s.flush with
+              | None -> work := (k, h) :: !work
+              | Some prev -> if !dup = None then dup := Some prev);
+              cursor := h)
+            (Interval_map.overlapping st.shadow ~lo ~hi);
+          if !cursor < hi then unnecessary := true)
+        subs;
+      let work = List.rev !work in
+      let narrow_or_delete () =
+        if work = [] then Fixit.Delete
+        else Fixit.Narrow (List.map (fun (lo, hi) -> Fixit.range ~addr:lo ~size:(hi - lo)) work)
+      in
       st.serial <- st.serial + 1;
       let fi =
         {
@@ -150,27 +190,18 @@ let on_clwb st loc ~addr ~size =
         (fun (lo, hi) ->
           st.shadow <-
             Interval_map.update_range st.shadow ~lo ~hi ~f:(function
-              | None ->
-                unnecessary := true;
-                None
+              | None -> None
               | Some s -> (
-                match s.flush with
-                | None -> Some { s with flush = Some fi }
-                | Some prev ->
-                  if !dup = None then dup := Some prev;
-                  Some s)))
+                match s.flush with None -> Some { s with flush = Some fi } | Some _ -> Some s)))
         subs;
       if !unnecessary && active st Rule.Unnecessary_flush then
-        finding st Rule.Unnecessary_flush loc
-          ~fixit:"drop the writeback, or narrow it to the bytes actually stored"
+        finding st Rule.Unnecessary_flush loc ~fixit:(narrow_or_delete ())
           "writeback of unmodified data at [0x%x,+%d)" addr size;
       match !dup with
       | Some prev when active st Rule.Duplicate_flush ->
-        finding st Rule.Duplicate_flush loc
-          ~fixit:
-            (Printf.sprintf "drop this writeback; the range was already flushed at %s"
-               (Loc.to_string prev.floc))
-          "persistent object [0x%x,+%d) written back more than once" addr size
+        finding st Rule.Duplicate_flush loc ~fixit:(narrow_or_delete ())
+          "persistent object [0x%x,+%d) written back more than once (already flushed at %s)" addr
+          size (Loc.to_string prev.floc)
       | _ -> ()
     end
   end
@@ -183,12 +214,10 @@ let on_fence st loc ~kind =
     if st.work_since_fence = 0 && active st Rule.Redundant_fence then begin
       match st.model with
       | Model.X86 ->
-        finding st Rule.Redundant_fence loc
-          ~fixit:"drop this sfence: no writeback is pending since the previous ordering point"
+        finding st Rule.Redundant_fence loc ~fixit:Fixit.Delete
           "fence orders no writeback (nothing was flushed since the previous fence)"
       | Model.Hops ->
-        finding st Rule.Redundant_fence loc
-          ~fixit:"drop this dfence: nothing was written since the previous one"
+        finding st Rule.Redundant_fence loc ~fixit:Fixit.Delete
           "durability fence drains nothing (no write since the previous dfence)"
       | Model.Eadr -> ()
     end;
@@ -215,10 +244,10 @@ let on_tx st loc tx =
     st.logged <- Interval_map.set st.logged ~lo:addr ~hi:(addr + size) ()
   | Event.Tx_commit | Event.Tx_abort ->
     if st.tx_depth = 0 then begin
+      (* No fixit: removing the TX_END and adding the missing TX_BEGIN
+         are both plausible, so no single mechanical edit applies. *)
       if active st Rule.Unbalanced_tx then
-        finding st Rule.Unbalanced_tx loc
-          ~fixit:"remove this TX_END, or add the TX_BEGIN it should balance"
-          "transaction end with no transaction open"
+        finding st Rule.Unbalanced_tx loc "transaction end with no transaction open"
     end
     else begin
       st.tx_depth <- st.tx_depth - 1;
@@ -249,7 +278,8 @@ let on_control st loc c =
       | Some n when n > 0 -> Hashtbl.replace st.offs rule (n - 1)
       | _ -> ())
 
-let on_entry st (e : Event.t) =
+let on_entry st i (e : Event.t) =
+  st.cur <- i;
   st.entries <- st.entries + 1;
   match e.Event.kind with
   | Event.Op op -> on_op st e.Event.loc op
@@ -258,62 +288,78 @@ let on_entry st (e : Event.t) =
   | Event.Control c -> on_control st e.Event.loc c
 
 (* End-of-trace sweeps. Shadow fragments sharing a serial are one
-   instruction; bytes excluded by then are not reported. *)
+   instruction; bytes excluded by then are not reported. Fragments are
+   first grouped per instruction so a finding's [Insert_flush] covers
+   {e every} still-dirty byte of the store, not just the first
+   fragment the interval map happened to yield. *)
+type sweep_group = {
+  mutable gloc : Loc.t;
+  mutable gfrags : (int * int) list;  (** Reportable fragments, reversed. *)
+}
+
 let sweep st =
+  (* Sweep findings anchor at the trace length: insertion edits append. *)
   if st.model <> Model.Eadr then begin
-    let seen_w = Hashtbl.create 64 and seen_f = Hashtbl.create 64 in
+    let groups_w = Hashtbl.create 64 and groups_f = Hashtbl.create 64 in
+    let accumulate tbl serial loc subs =
+      let g =
+        match Hashtbl.find_opt tbl serial with
+        | Some g -> g
+        | None ->
+          let g = { gloc = loc; gfrags = [] } in
+          Hashtbl.add tbl serial g;
+          g
+      in
+      g.gfrags <- List.rev_append subs g.gfrags
+    in
     Interval_map.iter
       (fun lo hi s ->
-        if effective st.excluded ~addr:lo ~size:(hi - lo) <> [] then begin
-          (match st.model with
+        let subs = effective st.excluded ~addr:lo ~size:(hi - lo) in
+        if subs <> [] then
+          match st.model with
           | Model.X86 -> (
             match s.flush with
             | None ->
-              if
-                enabled st Rule.Write_never_flushed
-                && (not s.wsup)
-                && not (Hashtbl.mem seen_w s.wserial)
-              then begin
-                Hashtbl.add seen_w s.wserial ();
-                finding st Rule.Write_never_flushed s.wloc
-                  ~fixit:
-                    (Printf.sprintf "insert clwb(0x%x,%d) + sfence after %s" lo (hi - lo)
-                       (Loc.to_string s.wloc))
-                  "store to [0x%x,+%d) is never written back" lo (hi - lo)
-              end
+              if enabled st Rule.Write_never_flushed && not s.wsup then
+                accumulate groups_w s.wserial s.wloc subs
             | Some f ->
-              if
-                f.fepoch >= st.epoch
-                && enabled st Rule.Flush_without_fence
-                && (not f.fsup)
-                && not (Hashtbl.mem seen_f f.fserial)
-              then begin
-                Hashtbl.add seen_f f.fserial ();
-                finding st Rule.Flush_without_fence f.floc
-                  ~fixit:(Printf.sprintf "insert sfence after %s" (Loc.to_string f.floc))
-                  "writeback of [0x%x,+%d) is never completed by a fence" lo (hi - lo)
-              end)
+              if f.fepoch >= st.epoch && enabled st Rule.Flush_without_fence && not f.fsup then
+                accumulate groups_f f.fserial f.floc subs)
           | Model.Hops ->
-            if
-              s.wepoch >= st.epoch
-              && enabled st Rule.Write_never_flushed
-              && (not s.wsup)
-              && not (Hashtbl.mem seen_w s.wserial)
-            then begin
-              Hashtbl.add seen_w s.wserial ();
-              finding st Rule.Write_never_flushed s.wloc
-                ~fixit:(Printf.sprintf "insert a dfence after %s" (Loc.to_string s.wloc))
-                "store to [0x%x,+%d) is never made durable (no dfence follows)" lo (hi - lo)
-            end
+            if s.wepoch >= st.epoch && enabled st Rule.Write_never_flushed && not s.wsup then
+              accumulate groups_w s.wserial s.wloc subs
           | Model.Eadr -> ())
-        end)
-      st.shadow
+      st.shadow;
+    let in_serial_order tbl = List.sort compare (Hashtbl.fold (fun k g acc -> (k, g) :: acc) tbl [])
+    in
+    List.iter
+      (fun (_, g) ->
+        let frags = List.rev g.gfrags in
+        let lo, hi = List.hd frags in
+        match st.model with
+        | Model.X86 ->
+          finding st Rule.Write_never_flushed g.gloc
+            ~fixit:
+              (Fixit.Insert_flush
+                 (List.map (fun (lo, hi) -> Fixit.range ~addr:lo ~size:(hi - lo)) frags))
+            "store to [0x%x,+%d) is never written back" lo (hi - lo)
+        | Model.Hops ->
+          finding st Rule.Write_never_flushed g.gloc ~fixit:Fixit.Insert_fence
+            "store to [0x%x,+%d) is never made durable (no dfence follows)" lo (hi - lo)
+        | Model.Eadr -> ())
+      (in_serial_order groups_w);
+    List.iter
+      (fun (_, g) ->
+        let lo, hi = List.hd (List.rev g.gfrags) in
+        finding st Rule.Flush_without_fence g.gloc ~fixit:Fixit.Insert_fence
+          "writeback of [0x%x,+%d) is never completed by a fence" lo (hi - lo))
+      (in_serial_order groups_f)
   end;
   if enabled st Rule.Unbalanced_tx then
     List.iter
       (fun bloc ->
         finding st Rule.Unbalanced_tx bloc
-          ~fixit:"add TX_END (or TX_ABORT) on every path out of this transaction"
+          ~fixit:(Fixit.Hint "add TX_END (or TX_ABORT) on every path out of this transaction")
           "transaction opened here never commits or aborts")
       (List.rev st.tx_stack);
   if enabled st Rule.Unmatched_exclude then begin
@@ -323,8 +369,10 @@ let sweep st =
         if (not sup) && not (Hashtbl.mem seen loc) then begin
           Hashtbl.add seen loc ();
           finding st Rule.Unmatched_exclude loc
-            ~fixit:(Printf.sprintf "add PMTest_INCLUDE(0x%x,%d) when checking should resume" lo
-                      (hi - lo))
+            ~fixit:
+              (Fixit.Hint
+                 (Printf.sprintf "add PMTest_INCLUDE(0x%x,%d) when checking should resume" lo
+                    (hi - lo)))
             "range [0x%x,+%d) excluded here is never re-included" lo (hi - lo)
         end)
       st.excl_sites
@@ -343,6 +391,7 @@ let run ?(model = Model.X86) ?(rules = Rule.default) entries =
       tx_depth = 0;
       tx_stack = [];
       work_since_fence = 0;
+      cur = 0;
       serial = 0;
       wild_off = 0;
       offs = Hashtbl.create 8;
@@ -352,7 +401,8 @@ let run ?(model = Model.X86) ?(rules = Rule.default) entries =
       checkers = 0;
     }
   in
-  Array.iter (on_entry st) entries;
+  Array.iteri (on_entry st) entries;
+  st.cur <- Array.length entries;
   sweep st;
   {
     findings = Vec.to_list st.findings;
@@ -368,7 +418,7 @@ let report_of (r : result) =
         let message =
           match f.fixit with
           | None -> f.message
-          | Some fix -> Printf.sprintf "%s [fix-it: %s]" f.message fix
+          | Some fix -> Printf.sprintf "%s [fix-it: %s]" f.message (Fixit.describe fix)
         in
         { Report.kind = Rule.report_kind f.rule; loc = f.loc; message })
       r.findings
@@ -393,7 +443,7 @@ let pp_finding ppf f =
     (Rule.id f.rule) f.message Loc.pp f.loc
     (fun ppf -> function
       | None -> ()
-      | Some fix -> Format.fprintf ppf "@,fix-it: %s" fix)
+      | Some fix -> Format.fprintf ppf "@,fix-it: %s" (Fixit.describe fix))
     f.fixit
 
 let pp ppf (r : result) =
@@ -412,5 +462,5 @@ let machine_lines (r : result) =
       Printf.sprintf "%s\t%s\t%s\t%s\t%s"
         (Report.severity_string (Rule.severity f.rule))
         (Rule.id f.rule) (Loc.to_string f.loc) f.message
-        (match f.fixit with None -> "-" | Some fix -> fix))
+        (match f.fixit with None -> "-" | Some fix -> Fixit.to_string fix))
     r.findings

@@ -33,9 +33,15 @@ open Pmtest_trace
 
 type finding = {
   rule : Rule.t;
+  index : int;
+      (** The trace index the fix-it anchors to: the offending event for
+          deletions/narrowings/log insertions, the trace length for
+          end-of-trace flush/fence insertions. *)
   loc : Loc.t;  (** Where the offending instruction was issued. *)
   message : string;
-  fixit : string option;  (** A concrete suggested edit, when one exists. *)
+  fixit : Fixit.t option;
+      (** A structured suggested edit, when one exists ({!Fixit.Hint}
+          for advice that cannot be applied mechanically). *)
 }
 
 type result = {
@@ -65,5 +71,6 @@ val pp : Format.formatter -> result -> unit
 
 val machine_lines : result -> string list
 (** One tab-separated line per finding:
-    [severity<TAB>rule<TAB>file:line<TAB>message<TAB>fixit] (fixit ["-"]
-    when absent) — stable output for CI and editor integrations. *)
+    [severity<TAB>rule<TAB>file:line<TAB>message<TAB>fixit], where
+    [fixit] is the stable {!Fixit.to_string} form (["-"] when absent) —
+    stable output for CI and editor integrations. *)

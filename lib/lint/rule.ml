@@ -117,9 +117,20 @@ let of_spec spec =
             else (true, tok)
           in
           (match of_id name with
-          | None -> Error (Printf.sprintf "unknown lint rule %S" name)
+          | None ->
+            Error
+              (Printf.sprintf "unknown lint rule %S (valid rules: %s)" name
+                 (String.concat ", " (List.map id all)))
           | Some r -> Ok (if add then enable s r else disable s r))))
     (Ok base) tokens
 
 let pp_set ppf s =
   Format.fprintf ppf "{%s}" (String.concat "," (List.map id (to_list s)))
+
+let help () =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%-21s %s%s" (id r) (doc r)
+           (if default_enabled r then "" else " [off by default]"))
+       all)

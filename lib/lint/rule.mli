@@ -76,6 +76,11 @@ val of_spec : string -> (set, string) result
 (** Parse a comma-separated selection spec. Tokens: [all], [none],
     [default], [+rule] / [rule] (enable), [-rule] (disable). A spec
     that starts with a bare rule name selects only the listed rules;
-    one that starts with [+]/[-] modifies the default set. *)
+    one that starts with [+]/[-] modifies the default set. An unknown
+    token yields an error that lists every valid rule id. *)
 
 val pp_set : Format.formatter -> set -> unit
+
+val help : unit -> string
+(** One line per rule ([id], {!doc}, default flag) — the body of the
+    CLI's [--rules help] listing. *)

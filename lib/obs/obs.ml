@@ -56,6 +56,11 @@ type snapshot = {
   batch_sections_max : int;
   arenas_allocated : int;
   arenas_reused : int;
+  repair_traces : int;
+  repair_edits : int;
+  repair_rounds : int;
+  repair_ns : int;
+  repair_verify_ns : int;
   serve : serve_stat;
   workers : worker_stat list;
   check_hist : hist;
@@ -133,6 +138,12 @@ type t = {
   mutable batch_max : int;
   arena_allocs : int Atomic.t;
   arena_reuses : int Atomic.t;
+  (* Auto-repair counters; all under [m]. *)
+  mutable r_traces : int;
+  mutable r_edits : int;
+  mutable r_rounds : int;
+  mutable r_ns : int;
+  mutable r_verify_ns : int;
   (* Service-side (pmtestd) counters; all under [m]. *)
   mutable s_opened : int;
   mutable s_closed : int;
@@ -174,6 +185,11 @@ let make ~on ~max_spans =
     batch_max = 0;
     arena_allocs = Atomic.make 0;
     arena_reuses = Atomic.make 0;
+    r_traces = 0;
+    r_edits = 0;
+    r_rounds = 0;
+    r_ns = 0;
+    r_verify_ns = 0;
     s_opened = 0;
     s_closed = 0;
     s_active = 0;
@@ -286,6 +302,18 @@ let arena_alloc t ~reused =
     if reused then Atomic.incr t.arena_reuses
   end
 
+(* --- Auto-repair hooks ---------------------------------------------------- *)
+
+let repair_trace t ~edits ~rounds ~ns =
+  if t.on then
+    locked t (fun () ->
+        t.r_traces <- t.r_traces + 1;
+        t.r_edits <- t.r_edits + edits;
+        t.r_rounds <- t.r_rounds + rounds;
+        t.r_ns <- t.r_ns + ns)
+
+let repair_verify_ns t ns = if t.on then locked t (fun () -> t.r_verify_ns <- t.r_verify_ns + ns)
+
 (* --- Service (pmtestd) hooks -------------------------------------------- *)
 
 let session_opened t =
@@ -363,6 +391,11 @@ let empty_snapshot =
     batch_sections_max = 0;
     arenas_allocated = 0;
     arenas_reused = 0;
+    repair_traces = 0;
+    repair_edits = 0;
+    repair_rounds = 0;
+    repair_ns = 0;
+    repair_verify_ns = 0;
     serve = empty_serve;
     workers = [];
     check_hist = empty_hist;
@@ -399,6 +432,11 @@ let snapshot t =
           batch_sections_max = t.batch_max;
           arenas_allocated = Atomic.get t.arena_allocs;
           arenas_reused = Atomic.get t.arena_reuses;
+          repair_traces = t.r_traces;
+          repair_edits = t.r_edits;
+          repair_rounds = t.r_rounds;
+          repair_ns = t.r_ns;
+          repair_verify_ns = t.r_verify_ns;
           serve =
             {
               sessions_opened = t.s_opened;
@@ -459,6 +497,11 @@ let pp ppf s =
   if s.batches > 0 || s.arenas_allocated > 0 then
     Format.fprintf ppf "@,flat path        batches %d (max %d section(s))  arenas %d (%d reused)"
       s.batches s.batch_sections_max s.arenas_allocated s.arenas_reused;
+  if s.repair_traces > 0 then
+    Format.fprintf ppf
+      "@,repair           traces %d  edits %d  rounds %d  analyse %s  verify %s" s.repair_traces
+      s.repair_edits s.repair_rounds (dur_to_string s.repair_ns)
+      (dur_to_string s.repair_verify_ns);
   if s.serve.sessions_opened > 0 || s.serve.frames_in > 0 then begin
     Format.fprintf ppf
       "@,service          sessions %d opened, %d closed (peak %d concurrent)"
@@ -509,6 +552,11 @@ let counter_fields s =
     ("batch_sections_max", s.batch_sections_max);
     ("arenas_allocated", s.arenas_allocated);
     ("arenas_reused", s.arenas_reused);
+    ("repair_traces", s.repair_traces);
+    ("repair_edits", s.repair_edits);
+    ("repair_rounds", s.repair_rounds);
+    ("repair_ns", s.repair_ns);
+    ("repair_verify_ns", s.repair_verify_ns);
     ("serve_sessions_opened", s.serve.sessions_opened);
     ("serve_sessions_closed", s.serve.sessions_closed);
     ("serve_sessions_hwm", s.serve.sessions_hwm);
@@ -561,6 +609,11 @@ let of_tsv text =
     | "batch_sections_max" -> snap := { s with batch_sections_max = v }
     | "arenas_allocated" -> snap := { s with arenas_allocated = v }
     | "arenas_reused" -> snap := { s with arenas_reused = v }
+    | "repair_traces" -> snap := { s with repair_traces = v }
+    | "repair_edits" -> snap := { s with repair_edits = v }
+    | "repair_rounds" -> snap := { s with repair_rounds = v }
+    | "repair_ns" -> snap := { s with repair_ns = v }
+    | "repair_verify_ns" -> snap := { s with repair_verify_ns = v }
     | "serve_sessions_opened" -> snap := { s with serve = { s.serve with sessions_opened = v } }
     | "serve_sessions_closed" -> snap := { s with serve = { s.serve with sessions_closed = v } }
     | "serve_sessions_hwm" -> snap := { s with serve = { s.serve with sessions_hwm = v } }

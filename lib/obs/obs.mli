@@ -82,6 +82,18 @@ val arena_alloc : t -> reused:bool -> unit
 (** A packed trace arena was handed out — [reused] when it came from the
     freelist instead of a fresh allocation. *)
 
+(** {2 Auto-repair hooks}
+
+    Fired by the repair pass ({!Pmtest_repair.Repair}). *)
+
+val repair_trace : t -> edits:int -> rounds:int -> ns:int -> unit
+(** One trace ran to a repair fixed point: [edits] applied over
+    [rounds] analysis passes in [ns] nanoseconds. *)
+
+val repair_verify_ns : t -> int -> unit
+(** Time spent verifying repair plans (engine and oracle
+    differentials). *)
+
 (** {2 Service hooks}
 
     Fired by the [pmtestd] daemon ({!Pmtest_server.Server}): session
@@ -168,6 +180,11 @@ type snapshot = {
   batch_sections_max : int;  (** Largest single batch. *)
   arenas_allocated : int;  (** Packed arenas handed out. *)
   arenas_reused : int;  (** ... of which came from the freelist. *)
+  repair_traces : int;  (** Traces run to a repair fixed point. *)
+  repair_edits : int;  (** Edits applied across those traces. *)
+  repair_rounds : int;  (** Analysis passes across those traces. *)
+  repair_ns : int;  (** Time spent analysing and applying. *)
+  repair_verify_ns : int;  (** Time spent verifying repair plans. *)
   serve : serve_stat;  (** Daemon-side counters (all zero in-process). *)
   workers : worker_stat list;  (** Ascending worker id. *)
   check_hist : hist;  (** Engine pass time per section. *)

@@ -31,6 +31,8 @@ type fault =
   | Flush_unmapped
   | Skip_journal_flush
   | Skip_commit_fence
+  | Fsync_redundant_fence
+  | Empty_tx_fence
 
 type t = {
   instr : Instr.t;
@@ -114,7 +116,13 @@ let tx_commit t =
     Instr.clwb t.instr ~line:632 ~addr:(le_off t 0) ~size:(journal_count t * le_size);
   (* An empty transaction wrote back nothing: the commit fence would order
      nothing, and the journal reset below carries its own barrier. *)
-  if (t.tx_ranges <> [] || extra_flush) && t.fault <> Some Skip_commit_fence then
+  if
+    (t.tx_ranges <> [] || extra_flush || t.fault = Some Empty_tx_fence)
+    && t.fault <> Some Skip_commit_fence
+  then
+    (* journal.c:633 before the empty-commit guard: the fence is emitted
+       unconditionally, so committing an empty transaction drains
+       nothing the journal-reset barrier below would not. *)
     Instr.sfence t.instr ~line:633;
   if t.annotate then
     List.iter
@@ -474,9 +482,15 @@ let fsync t ~ino =
      The drain is deliberate even when nothing is pending, so the static
      lint's redundant-fence rule is suppressed around it. *)
   ignore ino;
-  Instr.control t.instr ~line:259 (Event.Lint_off { rule = "redundant-fence" });
-  Instr.sfence t.instr ~line:260;
-  Instr.control t.instr ~line:261 (Event.Lint_on { rule = "redundant-fence" })
+  if t.fault = Some Fsync_redundant_fence then
+    (* fsync.c:260 before the annotation: the drain is unconditional, so
+       an fsync with no outstanding store fences nothing. *)
+    Instr.sfence t.instr ~line:260
+  else begin
+    Instr.control t.instr ~line:259 (Event.Lint_off { rule = "redundant-fence" });
+    Instr.sfence t.instr ~line:260;
+    Instr.control t.instr ~line:261 (Event.Lint_on { rule = "redundant-fence" })
+  end
 
 (* --- Consistency ------------------------------------------------------------- *)
 

@@ -20,7 +20,16 @@
     And two crash-consistency fault switches for the synthetic suite:
     - {!Skip_journal_flush} — journal entries are not persisted before
       the in-place metadata change;
-    - {!Skip_commit_fence} — metadata writebacks at commit are unfenced. *)
+    - {!Skip_commit_fence} — metadata writebacks at commit are unfenced.
+
+    Two performance-bug switches seed the auto-repair differentials
+    (the repairer must delete exactly the surplus fence):
+    - {!Fsync_redundant_fence} — fsync.c:260: the fsync drain fence is
+      emitted without the deliberate-drain lint annotation, so an fsync
+      with nothing outstanding fences nothing;
+    - {!Empty_tx_fence} — journal.c:633: committing an {e empty}
+      transaction still emits the commit fence, although no writeback
+      precedes it and the journal reset carries its own barrier. *)
 
 open Pmtest_trace
 module Machine = Pmtest_pmem.Machine
@@ -33,6 +42,8 @@ type fault =
   | Flush_unmapped
   | Skip_journal_flush
   | Skip_commit_fence
+  | Fsync_redundant_fence
+  | Empty_tx_fence
 
 val source_file : string
 val block_size : int

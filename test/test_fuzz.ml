@@ -77,7 +77,7 @@ let test_campaign_no_disagreements () =
         (fun (pair, n) ->
           match pair with
           | Cross.Engine_vs_naive | Cross.Engine_vs_lint | Cross.Engine_vs_packed
-          | Cross.Engine_vs_serve ->
+          | Cross.Engine_vs_serve | Cross.Engine_vs_repair ->
             Alcotest.(check bool)
               (Model.kind_name model ^ " " ^ Cross.pair_name pair ^ " applied everywhere")
               true (n = 150)

@@ -9,6 +9,7 @@ module Engine = Pmtest_core.Engine
 module Report = Pmtest_core.Report
 module Lint = Pmtest_lint.Lint
 module Rule = Pmtest_lint.Rule
+module Fixit = Pmtest_lint.Fixit
 open Pmtest_bugdb
 
 let e kind = Event.make kind
@@ -156,14 +157,64 @@ let test_report_and_output () =
     go 0
   in
   (match (List.hd r.Lint.findings).Lint.fixit with
-  | Some fix ->
-    Alcotest.(check bool) "fix-it suggests the missing writeback" true (contains fix "clwb")
+  | Some (Fixit.Insert_flush [ { Fixit.addr = 0x100; size = 8 } ]) -> ()
+  | Some fix -> Alcotest.failf "unexpected fix-it %s" (Fixit.to_string fix)
   | None -> Alcotest.fail "expected a fix-it");
+  Alcotest.(check bool) "fix-it machine form is stable" true
+    (contains (List.hd (Lint.machine_lines r)) "insert-flush=0x100+8");
   List.iter
     (fun line ->
       Alcotest.(check int) "machine line has five fields" 5
         (List.length (String.split_on_char '\t' line)))
     (Lint.machine_lines r)
+
+(* The full machine-line grammar, pinned: severity, rule id, location,
+   message and the stable fix-it column ("-" when the lint suggests no
+   mechanical edit, as for a TX_END with no transaction open). *)
+let test_machine_lines_golden () =
+  let le n kind = Event.make ~loc:(Pmtest_util.Loc.make ~file:"t.c" ~line:n) kind in
+  let trace =
+    [|
+      le 1 (Event.Op (Model.Write { addr = 0x100; size = 8 }));
+      le 2 (Event.Op (Model.Write { addr = 0x140; size = 8 }));
+      le 3 (Event.Op (Model.Clwb { addr = 0x140; size = 8 }));
+      le 4 (Event.Op (Model.Clwb { addr = 0x140; size = 8 }));
+      le 5 (Event.Op Model.Sfence);
+      le 6 (Event.Tx Event.Tx_commit);
+    |]
+  in
+  Alcotest.(check (list string))
+    "golden machine TSV"
+    [
+      "WARN\tduplicate-flush\tt.c:4\tpersistent object [0x140,+8) written back more than once \
+       (already flushed at t.c:3)\tdelete";
+      "FAIL\tunbalanced-tx\tt.c:6\ttransaction end with no transaction open\t-";
+      "FAIL\twrite-never-flushed\tt.c:1\tstore to [0x100,+8) is never written \
+       back\tinsert-flush=0x100+8";
+    ]
+    (Lint.machine_lines (Lint.run trace))
+
+let test_rule_ids_round_trip () =
+  List.iter
+    (fun r ->
+      match Rule.of_id (Rule.id r) with
+      | Some r' -> Alcotest.(check string) "same rule back" (Rule.id r) (Rule.id r')
+      | None -> Alcotest.failf "rule id %S does not parse back" (Rule.id r))
+    Rule.all;
+  Alcotest.(check bool) "unknown id rejected" true (Rule.of_id "no-such-rule" = None);
+  (* The of_spec error must teach the valid vocabulary. *)
+  match Rule.of_spec "no-such-rule" with
+  | Ok _ -> Alcotest.fail "bogus rule accepted"
+  | Error e ->
+    List.iter
+      (fun r ->
+        let id = Rule.id r in
+        let n = String.length id in
+        let rec contains i =
+          i + n <= String.length e && (String.sub e i n = id || contains (i + 1))
+        in
+        Alcotest.(check bool) (id ^ " listed in the error") true (contains 0))
+      Rule.all
 
 let test_strip_checkers () =
   let trace =
@@ -288,6 +339,8 @@ let () =
           Alcotest.test_case "inline suppression" `Quick test_suppression;
           Alcotest.test_case "rule selection" `Quick test_rule_selection;
           Alcotest.test_case "report and machine output" `Quick test_report_and_output;
+          Alcotest.test_case "machine lines golden TSV" `Quick test_machine_lines_golden;
+          Alcotest.test_case "rule ids round-trip" `Quick test_rule_ids_round_trip;
           Alcotest.test_case "strip_checkers" `Quick test_strip_checkers;
         ] );
       ( "bugdb",

@@ -157,6 +157,11 @@ let synthetic : Obs.snapshot =
     batch_sections_max = 2;
     arenas_allocated = 3;
     arenas_reused = 1;
+    repair_traces = 2;
+    repair_edits = 5;
+    repair_rounds = 4;
+    repair_ns = 800;
+    repair_verify_ns = 650;
     serve =
       {
         Obs.sessions_opened = 2;
@@ -222,6 +227,11 @@ let golden_tsv =
       "counter\tbatch_sections_max\t2";
       "counter\tarenas_allocated\t3";
       "counter\tarenas_reused\t1";
+      "counter\trepair_traces\t2";
+      "counter\trepair_edits\t5";
+      "counter\trepair_rounds\t4";
+      "counter\trepair_ns\t800";
+      "counter\trepair_verify_ns\t650";
       "counter\tserve_sessions_opened\t2";
       "counter\tserve_sessions_closed\t2";
       "counter\tserve_sessions_hwm\t2";
@@ -251,7 +261,7 @@ let golden_tsv =
 let golden_jsonl =
   String.concat "\n"
     [
-      {|{"type":"counters","elapsed_ns":5000,"events_traced":42,"sections_sent":3,"sections_checked":3,"sections_merged":3,"sections_dropped":1,"queue_hwm":2,"reorder_hwm":1,"entries_checked":40,"ops_checked":30,"checkers_run":5,"diagnostics":2,"batches":4,"batch_sections_max":2,"arenas_allocated":3,"arenas_reused":1,"serve_sessions_opened":2,"serve_sessions_closed":2,"serve_sessions_hwm":2,"serve_frames_in":6,"serve_frames_out":4,"serve_frame_bytes_in":900,"serve_frame_bytes_out":120,"serve_frames_corrupt":1,"serve_sections_shed":0,"serve_inflight_hwm":3}|};
+      {|{"type":"counters","elapsed_ns":5000,"events_traced":42,"sections_sent":3,"sections_checked":3,"sections_merged":3,"sections_dropped":1,"queue_hwm":2,"reorder_hwm":1,"entries_checked":40,"ops_checked":30,"checkers_run":5,"diagnostics":2,"batches":4,"batch_sections_max":2,"arenas_allocated":3,"arenas_reused":1,"repair_traces":2,"repair_edits":5,"repair_rounds":4,"repair_ns":800,"repair_verify_ns":650,"serve_sessions_opened":2,"serve_sessions_closed":2,"serve_sessions_hwm":2,"serve_frames_in":6,"serve_frames_out":4,"serve_frame_bytes_in":900,"serve_frame_bytes_out":120,"serve_frames_corrupt":1,"serve_sections_shed":0,"serve_inflight_hwm":3}|};
       {|{"type":"worker","id":0,"sections":2,"busy_ns":700}|};
       {|{"type":"worker","id":1,"sections":1,"busy_ns":300}|};
       {|{"type":"hist","name":"check","total":3,"sum_ns":1000,"min_ns":100,"max_ns":600,"buckets":[[6,1],[8,2]]}|};
