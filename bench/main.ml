@@ -4,12 +4,13 @@
      dune exec bench/main.exe -- [target] [options]
 
    Targets: fig10a fig10b fig11 fig12a fig12b fig12c table1 table5 table6
-            yat ablation lint fuzz obs perf repair serve bechamel all (default: all)
+            yat ablation lint fuzz litmus obs perf repair serve bechamel
+            all (default: all)
    Options: --insertions N   microbenchmark insertions per cell (default 600)
             --ops N          real-workload operations (default 4000)
             --runs N         timing repetitions, best-of (default 3)
             --tsv FILE       also write machine-readable rows to FILE
-            --json FILE      repair only: write the summary as JSON to FILE
+            --json FILE      repair/litmus only: write the summary as JSON to FILE
             --gate           perf only: exit 1 if the packed representation
                              (geomean of codec emit and engine check speedup)
                              is slower than boxed
@@ -668,9 +669,7 @@ let fuzz_bench () =
       match !stats with
       | None -> ()
       | Some s ->
-        let name =
-          match model with Model.X86 -> "x86" | Model.Hops -> "hops" | Model.Eadr -> "eadr"
-        in
+        let name = Model.kind_name model in
         Fmt.pr "%-8s %10d %10d %10.3f %12.0f %12.0f@." name s.Campaign.programs
           s.Campaign.events t
           (float_of_int s.Campaign.programs /. t)
@@ -680,7 +679,7 @@ let fuzz_bench () =
             let applied = List.assoc pair s.Campaign.applied in
             Fmt.pr "    %-18s applied %6d  %8.3fs@." (Cross.pair_name pair) applied secs)
           s.Campaign.pair_seconds)
-    [ Model.X86; Model.Hops; Model.Eadr ];
+    Model.all_kinds;
   Fmt.pr "@.(differential checking dominates generation; the crashtest pair enumerates@.";
   Fmt.pr " versioned crash images and is the budget to watch on long campaigns)@."
 
@@ -1147,7 +1146,7 @@ let repair_bench () =
           ins_fences ins_flushes
           (sum (fun o -> o.Repair.inserted_logs))
         :: !model_rows)
-    [ Model.X86; Model.Hops; Model.Eadr ];
+    Model.all_kinds;
   (* The two seeded PMFS performance bugs: the repairer must reproduce the
      upstream fixes mechanically. *)
   let record_pmfs fault ops =
@@ -1198,6 +1197,64 @@ let repair_bench () =
     close_out oc;
     Fmt.pr "@.JSON written to %s@." path
 
+(* --- Litmus-suite throughput ------------------------------------------------------------- *)
+
+let litmus_bench () =
+  let module Litmus = Pmtest_litmus.Litmus in
+  let module Suite = Pmtest_litmus.Suite in
+  Fmt.pr "@.### litmus — axiomatic suite throughput (engine + oracle + crashtest per test)@.@.";
+  Fmt.pr "(each test replays its program through three independent implementations and@.";
+  Fmt.pr " cross-checks every allowed/forbidden state; the rate bounds how often the@.";
+  Fmt.pr " whole-model validation gate can run)@.@.";
+  let reps = 20 in
+  Fmt.pr "%-8s %8s %10s %12s@." "model" "tests" "total(s)" "tests/s";
+  let model_rows = ref [] and rates = ref [] in
+  List.iter
+    (fun model ->
+      let tests = Suite.for_model model in
+      let n = List.length tests in
+      let t =
+        time (fun () ->
+            for _ = 1 to reps do
+              List.iter
+                (fun test ->
+                  let o = Litmus.run_test test in
+                  if not (Litmus.passed o) then
+                    Fmt.epr "WARNING: litmus test %s failed during the bench@."
+                      test.Litmus.name)
+                tests
+            done)
+      in
+      let rate = float_of_int (n * reps) /. t in
+      let name = Model.kind_name model in
+      rates := rate :: !rates;
+      Fmt.pr "%-8s %8d %10.3f %12.0f@." name n t rate;
+      tsv "litmus\t%s\t%d\ttests_per_s\t%.0f" name n rate;
+      model_rows :=
+        Printf.sprintf "    {\"model\": %S, \"tests\": %d, \"reps\": %d, \"tests_per_s\": %.1f}"
+          name n reps rate
+        :: !model_rows)
+    Model.all_kinds;
+  let geo = Stats.geomean (Array.of_list !rates) in
+  Fmt.pr "@.geomean across models: %.0f tests/s@." geo;
+  tsv "litmus\tgeomean\t-\ttests_per_s\t%.0f" geo;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"litmus\",\n\
+      \  \"models\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"geomean_tests_per_s\": %.1f\n\
+       }\n"
+      (String.concat ",\n" (List.rev !model_rows))
+      geo;
+    close_out oc;
+    Fmt.pr "@.JSON written to %s@." path
+
 (* --- Driver ----------------------------------------------------------------------------- *)
 
 let all_targets =
@@ -1215,6 +1272,7 @@ let all_targets =
     ("ablation", ablation);
     ("lint", lint_bench);
     ("fuzz", fuzz_bench);
+    ("litmus", litmus_bench);
     ("obs", obs_bench);
     ("perf", perf);
     ("repair", repair_bench);

@@ -5,9 +5,10 @@
 open Cmdliner
 module Model = Pmtest_model.Model
 
-let model_assoc = [ ("x86", Model.X86); ("hops", Model.Hops); ("eadr", Model.Eadr) ]
+let model_assoc = List.map (fun k -> (Model.kind_name k, k)) Model.all_kinds
 
-let model_doc = "Persistency model: x86, hops or eadr."
+let model_doc =
+  Printf.sprintf "Persistency model: %s." (String.concat ", " Model.kind_names)
 
 let model ?(default = Model.X86) ?(doc = model_doc) () =
   Arg.(value (opt (enum model_assoc) default (info [ "model" ] ~doc)))
@@ -24,12 +25,14 @@ let models =
               ("x86", [ Model.X86 ]);
               ("hops", [ Model.Hops ]);
               ("eadr", [ Model.Eadr ]);
+              ("cxl", [ Model.Cxl ]);
               ("both", [ Model.X86; Model.Hops ]);
-              ("all", [ Model.X86; Model.Hops; Model.Eadr ]);
+              ("all", Model.all_kinds);
             ])
-         [ Model.X86; Model.Hops; Model.Eadr ]
+         Model.all_kinds
          (info [ "model" ]
-            ~doc:"Persistency model(s) to fuzz: x86, hops, eadr, both (x86+hops) or all.")))
+            ~doc:
+              "Persistency model(s) to fuzz: x86, hops, eadr, cxl, both (x86+hops) or all.")))
 
 let workers ?(default = 1) ?(doc = "PMTest worker threads.") () =
   Arg.(value (opt int default (info [ "workers" ] ~doc)))

@@ -18,6 +18,8 @@ module Interval = Pmtest_model.Interval
 module Server = Pmtest_server.Server
 module Client = Pmtest_client.Client
 module Wire = Pmtest_wire.Wire
+module Litmus = Pmtest_litmus.Litmus
+module Suite = Pmtest_litmus.Suite
 open Pmtest_bugdb
 open Pmtest_workloads
 
@@ -523,18 +525,14 @@ let lint_cmd =
 
 (* --- repair ------------------------------------------------------------------- *)
 
-let model_name = function Model.X86 -> "x86" | Model.Hops -> "hops" | Model.Eadr -> "eadr"
+let model_name = Model.kind_name
 
 let header_model headers =
   List.find_map
     (fun h ->
       match String.index_opt h ':' with
-      | Some i when String.trim (String.sub h 0 i) = "model" -> (
-        match String.trim (String.sub h (i + 1) (String.length h - i - 1)) with
-        | "x86" -> Some Model.X86
-        | "hops" -> Some Model.Hops
-        | "eadr" -> Some Model.Eadr
-        | _ -> None)
+      | Some i when String.trim (String.sub h 0 i) = "model" ->
+        Model.kind_of_string (String.trim (String.sub h (i + 1) (String.length h - i - 1)))
       | _ -> None)
     headers
 
@@ -850,6 +848,91 @@ let fuzz_cmd =
     Term.(
       const run_fuzz $ Common_args.models $ count $ seed $ max_ops $ mutate $ corpus $ progress
       $ profile)
+
+(* --- litmus ------------------------------------------------------------------ *)
+
+let run_litmus all models list_only name verbose =
+  let models = if all then Model.all_kinds else models in
+  let tests =
+    match name with
+    | Some n -> (
+      match Suite.find n with
+      | Some t -> Ok [ t ]
+      | None ->
+        Error
+          (Printf.sprintf "unknown litmus test %S (see pmtest-cli litmus --list)" n))
+    | None -> Ok (List.filter (fun (t : Litmus.t) -> List.mem t.Litmus.model models) Suite.all)
+  in
+  match tests with
+  | Error e ->
+    Fmt.epr "%s@." e;
+    1
+  | Ok tests ->
+    if list_only then begin
+      List.iter
+        (fun (t : Litmus.t) ->
+          Fmt.pr "%-28s %-5s %s@." t.Litmus.name (Model.kind_name t.Litmus.model) t.Litmus.doc)
+        tests;
+      0
+    end
+    else begin
+      let failures = ref 0 in
+      List.iter
+        (fun (t : Litmus.t) ->
+          let o = Litmus.run_test t in
+          if Litmus.passed o then begin
+            if verbose then Fmt.pr "ok   %-28s %s@." t.Litmus.name (Model.kind_name t.Litmus.model)
+          end
+          else begin
+            incr failures;
+            Fmt.pr "FAIL %-28s %s@." t.Litmus.name (Model.kind_name t.Litmus.model);
+            List.iter
+              (fun (f : Litmus.failure) -> Fmt.pr "     [%s] %s@." f.Litmus.leg f.Litmus.message)
+              o.Litmus.failures
+          end)
+        tests;
+      List.iter
+        (fun kind ->
+          let mine = List.filter (fun (t : Litmus.t) -> t.Litmus.model = kind) tests in
+          if mine <> [] then
+            Fmt.pr "%s: %d test(s) against engine+oracle+crashtest@." (Model.kind_name kind)
+              (List.length mine))
+        Model.all_kinds;
+      if !failures = 0 then begin
+        Fmt.pr "litmus: OK (%d tests)@." (List.length tests);
+        0
+      end
+      else begin
+        Fmt.pr "litmus: %d failure(s)@." !failures;
+        1
+      end
+    end
+
+let litmus_cmd =
+  let all =
+    Arg.(
+      value
+        (flag
+           (info [ "all" ]
+              ~doc:"Run the whole suite across every persistency model (the CI gate).")))
+  in
+  let list_only =
+    Arg.(value (flag (info [ "list" ] ~doc:"List the selected tests instead of running them.")))
+  in
+  let only =
+    Arg.(
+      value
+        (opt (some string) None
+           (info [ "test" ] ~docv:"NAME" ~doc:"Run a single suite entry by name.")))
+  in
+  let verbose = Common_args.verbose ~doc:"Print a line for passing tests too." in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:
+         "Run the axiomatic litmus suite: small programs with allowed/forbidden post-crash \
+          states, each validated against the engine, the crash-state oracle and the \
+          crash-injection harness simultaneously.")
+    Term.(const run_litmus $ all $ Common_args.models $ list_only $ only $ verbose)
 
 (* --- stat -------------------------------------------------------------------- *)
 
@@ -1212,6 +1295,7 @@ let () =
             lint_cmd;
             repair_cmd;
             fuzz_cmd;
+            litmus_cmd;
             stat_cmd;
             serve_cmd;
             attach_cmd;

@@ -100,7 +100,7 @@ let on_write st loc ~addr ~size =
   let persist =
     match st.model with
     | Model.Eadr -> Interval.make ~lo:(st.now - 1) ~hi:st.now
-    | Model.X86 | Model.Hops -> Interval.make_open st.now
+    | Model.X86 | Model.Hops | Model.Cxl -> Interval.make_open st.now
   in
   st.shadow <- { lo; hi; persist; flush = None; write_loc = loc } :: st.shadow
 
@@ -170,7 +170,7 @@ let on_is_ordered_before st loc ~a_addr ~a_size ~b_addr ~b_size =
   let b_statuses = statuses_in st ~addr:b_addr ~size:b_size in
   let ordered sa sb =
     match st.model with
-    | Model.X86 | Model.Eadr -> Interval.ordered_before sa.persist sb.persist
+    | Model.X86 | Model.Eadr | Model.Cxl -> Interval.ordered_before sa.persist sb.persist
     | Model.Hops -> Interval.starts_before sa.persist sb.persist
   in
   if
@@ -217,7 +217,9 @@ let on_entry st (e : Event.t) =
         else on_clwb st loc ~addr ~size
       | Model.Sfence -> if st.model <> Model.Eadr then on_sfence st
       | Model.Ofence -> st.now <- st.now + 1
-      | Model.Dfence -> on_dfence st
+      (* A global persist barrier drains every pending persist — exactly
+         the dfence's eager close-all sweep. *)
+      | Model.Dfence | Model.Gpf -> on_dfence st
     end
   | Event.Checker c -> begin
     st.checkers <- st.checkers + 1;

@@ -100,7 +100,7 @@ let on_entry t kind loc =
     match op with
     | Model.Write { addr; size } -> on_store t loc ~addr ~size
     | Model.Clwb { addr; size } -> on_flush t loc ~addr ~size
-    | Model.Sfence | Model.Dfence -> on_fence t
+    | Model.Sfence | Model.Dfence | Model.Gpf -> on_fence t
     | Model.Ofence -> ()
   end
   | Event.Tx Event.Tx_begin -> t.tx_depth <- t.tx_depth + 1

@@ -25,6 +25,9 @@ let replay_op m = function
   | Model.Sfence -> Machine.sfence m
   | Model.Ofence -> Machine.ofence m
   | Model.Dfence -> Machine.dfence m
+  (* A global persist barrier drains every host's pending persists —
+     on a single simulated device that is the dfence's persist-all. *)
+  | Model.Gpf -> Machine.dfence m
 
 let replay m entries =
   Array.iter

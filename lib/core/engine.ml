@@ -87,7 +87,7 @@ module Core (S : SHADOW) = struct
     mutable now : int;
     shadow : S.t;
     mutable excluded : unit Interval_map.t;
-    dfence_times : int Vec.t;  (* HOPS: timestamps produced by dfences *)
+    dfence_times : int Vec.t;  (* HOPS dfence / CXL gpf drain timestamps *)
     mutable log_tree : Loc.t Interval_tree.t;
     mutable tx_depth : int;
     mutable scope_active : bool;
@@ -124,7 +124,9 @@ module Core (S : SHADOW) = struct
       | Some (fe, _) when st.now > fe -> Interval.make ~lo:s.write_epoch ~hi:(fe + 1)
       | Some _ | None -> Interval.make_open s.write_epoch
     end
-    | Model.Hops -> begin
+    | Model.Hops | Model.Cxl -> begin
+      (* CXL reuses the drain-time machinery: a store is durable once
+         the first global persist barrier after its epoch completes. *)
       match first_dfence_after st.dfence_times s.write_epoch with
       | Some d -> Interval.make ~lo:s.write_epoch ~hi:d
       | None -> Interval.make_open s.write_epoch
@@ -145,9 +147,9 @@ module Core (S : SHADOW) = struct
     | Model.X86 -> begin
       match s.flush with Some (fe, _) -> st.now > fe | None -> false
     end
-    | Model.Hops ->
-      (* [dfence_times] is ascending: a dfence after the write epoch
-         exists iff the newest one is after it. *)
+    | Model.Hops | Model.Cxl ->
+      (* [dfence_times] is ascending: a drain point after the write
+         epoch exists iff the newest one is after it. *)
       let n = Vec.length st.dfence_times in
       n > 0 && Vec.get st.dfence_times (n - 1) > s.write_epoch
     | Model.Eadr -> true
@@ -239,7 +241,7 @@ module Core (S : SHADOW) = struct
               let ib = persist_interval st sb in
               let ordered =
                 match st.model with
-                | Model.X86 | Model.Eadr -> Interval.ordered_before ia ib
+                | Model.X86 | Model.Eadr | Model.Cxl -> Interval.ordered_before ia ib
                 | Model.Hops -> Interval.starts_before ia ib
               in
               if ordered then None else Some ((alo, ahi, sa, ia), (blo, bhi, sb, ib)))
@@ -310,7 +312,7 @@ module Core (S : SHADOW) = struct
         else on_clwb st loc ~addr ~size
       | Model.Sfence -> if st.model <> Model.Eadr then st.now <- st.now + 1
       | Model.Ofence -> st.now <- st.now + 1
-      | Model.Dfence ->
+      | Model.Dfence | Model.Gpf ->
         st.now <- st.now + 1;
         Vec.push st.dfence_times st.now
     end
@@ -366,13 +368,13 @@ module Core (S : SHADOW) = struct
       on_write st loc ~addr:v.Packed.a ~size:v.Packed.b
     | Packed.T_clwb ->
       st.ops <- st.ops + 1;
-      if st.model = Model.Hops then
+      if st.model = Model.Hops || st.model = Model.Cxl then
         invalid_op st loc (Model.Clwb { addr = v.Packed.a; size = v.Packed.b })
       else if st.model = Model.Eadr then eadr_clwb st loc ~addr:v.Packed.a ~size:v.Packed.b
       else on_clwb st loc ~addr:v.Packed.a ~size:v.Packed.b
     | Packed.T_sfence ->
       st.ops <- st.ops + 1;
-      if st.model = Model.Hops then invalid_op st loc Model.Sfence
+      if st.model = Model.Hops || st.model = Model.Cxl then invalid_op st loc Model.Sfence
       else if st.model <> Model.Eadr then st.now <- st.now + 1
     | Packed.T_ofence ->
       st.ops <- st.ops + 1;
@@ -380,6 +382,13 @@ module Core (S : SHADOW) = struct
     | Packed.T_dfence ->
       st.ops <- st.ops + 1;
       if st.model <> Model.Hops then invalid_op st loc Model.Dfence
+      else begin
+        st.now <- st.now + 1;
+        Vec.push st.dfence_times st.now
+      end
+    | Packed.T_gpf ->
+      st.ops <- st.ops + 1;
+      if st.model <> Model.Cxl then invalid_op st loc Model.Gpf
       else begin
         st.now <- st.now + 1;
         Vec.push st.dfence_times st.now

@@ -221,6 +221,9 @@ let vs_crashtest (p : Gen.program) =
       | Event.Op Model.Sfence -> Machine.sfence m
       | Event.Op Model.Ofence -> Machine.ofence m
       | Event.Op Model.Dfence -> Machine.dfence m
+      (* The global persist barrier drains everything pending — the
+         simulated device's dfence. *)
+      | Event.Op Model.Gpf -> Machine.dfence m
       | _ -> ()
     in
     let payload_counter () =

@@ -74,6 +74,7 @@ let fence_op b =
   match b.cfg.model with
   | Model.X86 | Model.Eadr -> Model.Sfence
   | Model.Hops -> if Rng.bool b.rng then Model.Ofence else Model.Dfence
+  | Model.Cxl -> Model.Gpf
 
 let written_range b =
   match b.written with
@@ -142,7 +143,7 @@ let generate cfg rng =
           match written_range b with Some r when Rng.bool rng -> r | _ -> random_range b
         in
         emit_op b (Model.Clwb { addr; size })
-      | Model.Hops -> emit_op b (fence_op b));
+      | Model.Hops | Model.Cxl -> emit_op b (fence_op b));
       incr ops
     end
     else if roll < 75 then begin
@@ -183,7 +184,8 @@ let generate cfg rng =
     | Model.X86 | Model.Eadr ->
       List.iter (fun (addr, size) -> emit_op b (Model.Clwb { addr; size })) b.written;
       emit_op b Model.Sfence
-    | Model.Hops -> emit_op b Model.Dfence)
+    | Model.Hops -> emit_op b Model.Dfence
+    | Model.Cxl -> emit_op b Model.Gpf)
   end;
   { model = cfg.model; pm_size = pm_size cfg; events = Vec.to_array b.events }
 
@@ -219,7 +221,14 @@ let oracle_program ?(with_checkers = false) cfg rng =
         Hashtbl.replace written_lines addr ()
       end
       else if roll < 8 then emit_op b (Model.Clwb { addr = line_addr (); size = write_size })
-      else emit_op b Model.Sfence);
+      else emit_op b Model.Sfence
+    | Model.Cxl ->
+      if roll < 6 then begin
+        let addr = line_addr () in
+        emit_op b (Model.Write { addr; size = write_size });
+        Hashtbl.replace written_lines addr ()
+      end
+      else emit_op b Model.Gpf);
     if with_checkers && Hashtbl.length written_lines > 0 && Rng.int rng 4 = 0 then begin
       let lines = Array.of_seq (Hashtbl.to_seq_keys written_lines) in
       Array.sort compare lines;
@@ -250,7 +259,7 @@ let oracle_eligible (p : program) =
       match e.Event.kind with
       | Event.Op (Model.Write { addr; size } | Model.Clwb { addr; size }) ->
         aligned_write addr size
-      | Event.Op (Model.Sfence | Model.Ofence | Model.Dfence) -> true
+      | Event.Op (Model.Sfence | Model.Ofence | Model.Dfence | Model.Gpf) -> true
       | Event.Checker (Event.Is_persist { addr; size }) -> aligned_write addr size
       | Event.Checker (Event.Is_ordered_before { a_addr; a_size; b_addr; b_size }) ->
         aligned_write a_addr a_size && aligned_write b_addr b_size
@@ -283,6 +292,7 @@ let pp_event ppf (e : Event.t) =
   | Event.Op Model.Sfence -> Format.pp_print_string ppf "s"
   | Event.Op Model.Ofence -> Format.pp_print_string ppf "o"
   | Event.Op Model.Dfence -> Format.pp_print_string ppf "d"
+  | Event.Op Model.Gpf -> Format.pp_print_string ppf "g"
   | Event.Checker (Event.Is_persist { addr; size }) -> Format.fprintf ppf "cp0x%x+%d" addr size
   | Event.Checker (Event.Is_ordered_before { a_addr; a_size; b_addr; b_size }) ->
     Format.fprintf ppf "co0x%x+%d<0x%x+%d" a_addr a_size b_addr b_size

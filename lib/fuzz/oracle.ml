@@ -31,6 +31,29 @@ let x86_sim ~limit ~size =
       | Model.Sfence -> Machine.sfence m
       | Model.Ofence -> Machine.ofence m
       | Model.Dfence -> Machine.dfence m
+      | Model.Gpf -> ()
+      | Model.Write _ -> assert false);
+    enum_now = (fun f -> Machine.iter_crash_states ~limit m f);
+    volatile = (fun () -> Machine.volatile_image m);
+  }
+
+(* CXL: a store is globally visible at once, but durability is deferred —
+   every per-line version written since the last global persist barrier
+   may or may not have reached the device when a crash hits, each line
+   independently. That unordered space is exactly what the
+   version-tracking machine's crash-state enumerator walks, with [gpf]
+   as a persist-everything drain. *)
+let cxl_sim ~limit ~size =
+  let m = Machine.create ~track_versions:true ~size () in
+  {
+    write = (fun ~addr v -> Machine.store m ~addr (Bytes.make Gen.write_size v));
+    op =
+      (function
+      | Model.Gpf -> Machine.dfence m
+      | Model.Clwb _ | Model.Sfence | Model.Ofence | Model.Dfence ->
+        (* Not part of the CXL ISA; a model-valid program never reaches
+           here, and the engine flags such an op without epoch effects. *)
+        ()
       | Model.Write _ -> assert false);
     enum_now = (fun f -> Machine.iter_crash_states ~limit m f);
     volatile = (fun () -> Machine.volatile_image m);
@@ -128,7 +151,7 @@ let hops_sim ~limit ~size =
         Bytes.blit volatile 0 baseline 0 size;
         Hashtbl.reset pending;
         incr epoch
-      | Model.Clwb _ | Model.Sfence -> ()
+      | Model.Clwb _ | Model.Sfence | Model.Gpf -> ()
       | Model.Write _ -> assert false);
     enum_now;
     volatile = (fun () -> Bytes.copy volatile);
@@ -193,6 +216,7 @@ let sim_for ~limit (p : Gen.program) =
   | Model.X86 -> x86_sim ~limit ~size:p.Gen.pm_size
   | Model.Hops -> hops_sim ~limit ~size:p.Gen.pm_size
   | Model.Eadr -> eadr_sim ~size:p.Gen.pm_size
+  | Model.Cxl -> cxl_sim ~limit ~size:p.Gen.pm_size
 
 let evaluate ?(limit = 100_000) (p : Gen.program) =
   if not (Gen.oracle_eligible p) then None else Some (run (sim_for ~limit p) p)
@@ -208,10 +232,8 @@ type world = {
    differential compares. Write payloads are assigned by the same
    counter as [run], so two traces with identical store sequences (a
    trace and its repair) see identical values. *)
-let explore ?(limit = 100_000) (p : Gen.program) =
-  if not (Gen.oracle_eligible p) then None
-  else begin
-    let sim = sim_for ~limit p in
+let explore_with sim (p : Gen.program) =
+  begin
     let exhaustive = ref true in
     let images : (string, unit) Hashtbl.t = Hashtbl.create 256 in
     let note () =
@@ -236,6 +258,8 @@ let explore ?(limit = 100_000) (p : Gen.program) =
     let final : (string, unit) Hashtbl.t = Hashtbl.create 64 in
     if not (sim.enum_now (fun img -> Hashtbl.replace final (Bytes.to_string img) ())) then
       exhaustive := false;
-    Some
-      { images; final; volatile = Bytes.to_string (sim.volatile ()); exhaustive = !exhaustive }
+    { images; final; volatile = Bytes.to_string (sim.volatile ()); exhaustive = !exhaustive }
   end
+
+let explore ?(limit = 100_000) (p : Gen.program) =
+  if not (Gen.oracle_eligible p) then None else Some (explore_with (sim_for ~limit p) p)

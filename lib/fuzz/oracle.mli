@@ -46,6 +46,29 @@ val evaluate : ?limit:int -> Gen.program -> t option
 (** [None] if the program is not {!Gen.oracle_eligible}. [limit]
     (default 100_000) bounds images per crash point. *)
 
+(** {1 Model simulations}
+
+    The per-model crash-state simulations {!evaluate} is built from,
+    exposed so harnesses (the litmus runner, the broken-model tests) can
+    drive them directly or substitute a deliberately wrong one. A [sim]
+    is stateful — build a fresh one per replay. *)
+
+type sim = {
+  write : addr:int -> char -> unit;
+  op : Pmtest_model.Model.op -> unit;
+  enum_now : (Bytes.t -> unit) -> bool;
+      (** Enumerate every durable image reachable by crashing right now;
+          returns [false] if truncated at the construction-time limit. *)
+  volatile : unit -> Bytes.t;
+}
+
+val sim_for : limit:int -> Gen.program -> sim
+(** A fresh simulation of [p.model] sized for [p]. *)
+
+val run : sim -> Gen.program -> t
+(** Replay the program through [sim] and decide its embedded checkers.
+    The caller is responsible for [Gen.oracle_eligible]-shaped input. *)
+
 type world = {
   images : (string, unit) Hashtbl.t;
       (** Every durable image reachable by crashing at any point. *)
@@ -63,3 +86,6 @@ val explore : ?limit:int -> Gen.program -> world option
     trace and its repair — which never touches the stores — see
     identical values) but ignores embedded checkers and returns the
     crash-state sets themselves. *)
+
+val explore_with : sim -> Gen.program -> world
+(** {!explore} through a caller-supplied (fresh) simulation. *)

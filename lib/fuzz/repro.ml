@@ -63,6 +63,7 @@ let snippet_kind buf (e : Event.t) =
   | Event.Op Model.Sfence -> p "Event.Op Model.Sfence"
   | Event.Op Model.Ofence -> p "Event.Op Model.Ofence"
   | Event.Op Model.Dfence -> p "Event.Op Model.Dfence"
+  | Event.Op Model.Gpf -> p "Event.Op Model.Gpf"
   | Event.Checker (Event.Is_persist { addr; size }) ->
     p "Event.Checker (Event.Is_persist { addr = 0x%x; size = %d })" addr size
   | Event.Checker (Event.Is_ordered_before { a_addr; a_size; b_addr; b_size }) ->
@@ -91,6 +92,7 @@ let model_constructor = function
   | Model.X86 -> "Model.X86"
   | Model.Hops -> "Model.Hops"
   | Model.Eadr -> "Model.Eadr"
+  | Model.Cxl -> "Model.Cxl"
 
 let ocaml_snippet (p : Gen.program) =
   let buf = Buffer.create 1024 in

@@ -77,7 +77,10 @@ let effective excluded ~addr ~size =
   walk lo holes
 
 let on_write st loc ~addr ~size =
-  if st.model = Model.Hops then st.work_since_fence <- st.work_since_fence + 1;
+  (* HOPS and CXL have no writeback: the store itself is the work a
+     drain point (dfence / gpf) completes. *)
+  if st.model = Model.Hops || st.model = Model.Cxl then
+    st.work_since_fence <- st.work_since_fence + 1;
   let subs = effective st.excluded ~addr ~size in
   if subs <> [] then begin
     if st.tx_depth > 0 && active st Rule.Unlogged_tx_write then begin
@@ -219,6 +222,9 @@ let on_fence st loc ~kind =
       | Model.Hops ->
         finding st Rule.Redundant_fence loc ~fixit:Fixit.Delete
           "durability fence drains nothing (no write since the previous dfence)"
+      | Model.Cxl ->
+        finding st Rule.Redundant_fence loc ~fixit:Fixit.Delete
+          "global persist barrier drains nothing (no write since the previous gpf)"
       | Model.Eadr -> ()
     end;
     st.epoch <- st.epoch + 1;
@@ -232,7 +238,7 @@ let on_op st loc op =
     | Model.Clwb { addr; size } -> on_clwb st loc ~addr ~size
     | Model.Sfence -> if st.model <> Model.Eadr then on_fence st loc ~kind:`Drain
     | Model.Ofence -> on_fence st loc ~kind:`Order
-    | Model.Dfence -> on_fence st loc ~kind:`Drain
+    | Model.Dfence | Model.Gpf -> on_fence st loc ~kind:`Drain
 
 let on_tx st loc tx =
   match tx with
@@ -325,7 +331,7 @@ let sweep st =
             | Some f ->
               if f.fepoch >= st.epoch && enabled st Rule.Flush_without_fence && not f.fsup then
                 accumulate groups_f f.fserial f.floc subs)
-          | Model.Hops ->
+          | Model.Hops | Model.Cxl ->
             if s.wepoch >= st.epoch && enabled st Rule.Write_never_flushed && not s.wsup then
               accumulate groups_w s.wserial s.wloc subs
           | Model.Eadr -> ())
@@ -346,6 +352,9 @@ let sweep st =
         | Model.Hops ->
           finding st Rule.Write_never_flushed g.gloc ~fixit:Fixit.Insert_fence
             "store to [0x%x,+%d) is never made durable (no dfence follows)" lo (hi - lo)
+        | Model.Cxl ->
+          finding st Rule.Write_never_flushed g.gloc ~fixit:Fixit.Insert_fence
+            "store to [0x%x,+%d) is never made durable (no gpf follows)" lo (hi - lo)
         | Model.Eadr -> ())
       (in_serial_order groups_w);
     List.iter

@@ -1,0 +1,282 @@
+(* The curated litmus suite. Line letters [a]-[d] name the first four
+   cache lines; write ordinals come back from [Litmus.w] so state
+   expectations read off the program text. Shapes covered: store
+   ordering (message passing with and without the ordering op),
+   fence elision (what a missing flush/fence/barrier makes reachable),
+   epoch overlap (HOPS ofence batches), and the CXL split between
+   immediate visibility and gpf-deferred durability. *)
+
+open Pmtest_model
+module L = Litmus
+
+let a = 0
+let b = 1
+let c = 2
+
+let t ~name ~model ~doc f = L.make ~name ~model ~doc f
+
+(* {1 x86: clwb + sfence} *)
+
+let x86 =
+  [
+    t ~name:"x86-store-alone" ~model:Model.X86
+      ~doc:"a bare store stays in the cache: durable or not, nothing is promised"
+      (fun l ->
+        let wa = L.w l a in
+        L.check_persist l a ~pass:false;
+        L.allowed_final l [ (a, 0) ];
+        L.allowed_final l [ (a, wa) ]);
+    t ~name:"x86-flush-fence-durable" ~model:Model.X86
+      ~doc:"clwb + sfence closes the persist interval: the store is durable"
+      (fun l ->
+        let wa = L.w l a in
+        L.clwb l a;
+        L.sfence l;
+        L.check_persist l a ~pass:true;
+        L.forbidden_final l [ (a, 0) ];
+        L.allowed_final l [ (a, wa) ]);
+    t ~name:"x86-flush-no-fence" ~model:Model.X86
+      ~doc:"clwb without the fence promises nothing (fence elision)"
+      (fun l ->
+        let wa = L.w l a in
+        L.clwb l a;
+        L.check_persist l a ~pass:false;
+        L.allowed_final l [ (a, 0) ];
+        L.allowed_final l [ (a, wa) ]);
+    t ~name:"x86-mp-fenced" ~model:Model.X86
+      ~doc:"message passing: flag flushed after the data's fence can never lead it"
+      (fun l ->
+        let _wa = L.w l a in
+        L.clwb l a;
+        L.sfence l;
+        let wb = L.w l b in
+        L.clwb l b;
+        L.sfence l;
+        L.check_ordered l a b ~pass:true;
+        L.forbidden l [ (a, 0); (b, wb) ];
+        L.forbidden_final l [ (a, 0) ];
+        L.forbidden_final l [ (b, 0) ]);
+    t ~name:"x86-mp-unfenced" ~model:Model.X86
+      ~doc:"without the intermediate fence the flag can persist before the data"
+      (fun l ->
+        let _wa = L.w l a in
+        let wb = L.w l b in
+        L.clwb l b;
+        L.sfence l;
+        L.check_ordered l a b ~pass:false;
+        L.allowed l [ (a, 0); (b, wb) ]);
+    t ~name:"x86-clwb-snapshot" ~model:Model.X86
+      ~doc:"clwb captures the line's content at flush time, not at fence time"
+      (fun l ->
+        let w1 = L.w l a in
+        L.clwb l a;
+        let w2 = L.w l a in
+        L.sfence l;
+        L.check_persist l a ~pass:false;
+        L.forbidden_final l [ (a, 0) ];
+        L.allowed_final l [ (a, w1) ];
+        L.allowed_final l [ (a, w2) ]);
+    t ~name:"x86-overwrite-flushed" ~model:Model.X86
+      ~doc:"flushing after the last store persists the final value only"
+      (fun l ->
+        let w1 = L.w l a in
+        let w2 = L.w l a in
+        L.clwb l a;
+        L.sfence l;
+        L.check_persist l a ~pass:true;
+        L.allowed l [ (a, w1) ];
+        L.forbidden_final l [ (a, w1) ];
+        L.forbidden_final l [ (a, 0) ];
+        L.allowed_final l [ (a, w2) ]);
+    t ~name:"x86-independent-lines" ~model:Model.X86
+      ~doc:"unflushed lines evict independently: both orders reachable"
+      (fun l ->
+        let wa = L.w l a in
+        let wb = L.w l b in
+        L.check_ordered l a b ~pass:false;
+        L.allowed l [ (a, 0); (b, wb) ];
+        L.allowed l [ (a, wa); (b, 0) ]);
+  ]
+
+(* {1 HOPS: ofence orders, dfence drains} *)
+
+let hops =
+  [
+    t ~name:"hops-ofence-orders" ~model:Model.Hops
+      ~doc:"an ofence between two stores orders their persists"
+      (fun l ->
+        let _wa = L.w l a in
+        L.ofence l;
+        let wb = L.w l b in
+        L.dfence l;
+        L.check_ordered l a b ~pass:true;
+        L.forbidden l [ (a, 0); (b, wb) ]);
+    t ~name:"hops-same-epoch-unordered" ~model:Model.Hops
+      ~doc:"stores in one epoch persist in any order"
+      (fun l ->
+        let wa = L.w l a in
+        let wb = L.w l b in
+        L.dfence l;
+        L.check_ordered l a b ~pass:false;
+        L.allowed l [ (a, 0); (b, wb) ];
+        L.allowed l [ (a, wa); (b, 0) ]);
+    t ~name:"hops-dfence-durable" ~model:Model.Hops
+      ~doc:"dfence drains everything: the store is durable after it"
+      (fun l ->
+        let wa = L.w l a in
+        L.dfence l;
+        L.check_persist l a ~pass:true;
+        L.forbidden_final l [ (a, 0) ];
+        L.allowed_final l [ (a, wa) ]);
+    t ~name:"hops-ofence-not-durable" ~model:Model.Hops
+      ~doc:"ofence orders but does not drain (fence elision of the dfence)"
+      (fun l ->
+        let wa = L.w l a in
+        L.ofence l;
+        L.check_persist l a ~pass:false;
+        L.allowed_final l [ (a, 0) ];
+        L.allowed_final l [ (a, wa) ]);
+    t ~name:"hops-epoch-overlap" ~model:Model.Hops
+      ~doc:"three epochs: a later epoch in flight implies every earlier one is durable"
+      (fun l ->
+        let wa = L.w l a in
+        L.ofence l;
+        let wb = L.w l b in
+        L.ofence l;
+        let wc = L.w l c in
+        L.dfence l;
+        L.check_ordered l a c ~pass:true;
+        L.forbidden l [ (a, 0); (c, wc) ];
+        L.forbidden l [ (b, 0); (c, wc) ];
+        L.allowed l [ (a, wa); (b, 0) ];
+        L.allowed l [ (a, wa); (b, wb); (c, 0) ]);
+    t ~name:"hops-epoch-tail-unordered" ~model:Model.Hops
+      ~doc:"stores after the last ofence share an epoch and stay unordered"
+      (fun l ->
+        let _wa = L.w l a in
+        L.ofence l;
+        let _wb = L.w l b in
+        let wc = L.w l c in
+        L.dfence l;
+        L.check_ordered l b c ~pass:false;
+        L.allowed l [ (b, 0); (c, wc) ];
+        L.forbidden l [ (a, 0); (c, wc) ]);
+  ]
+
+(* {1 eADR: caches are persistent} *)
+
+let eadr =
+  [
+    t ~name:"eadr-store-durable" ~model:Model.Eadr
+      ~doc:"a store is durable the moment it executes"
+      (fun l ->
+        let wa = L.w l a in
+        L.check_persist l a ~pass:true;
+        L.forbidden_final l [ (a, 0) ];
+        L.allowed_final l [ (a, wa) ]);
+    t ~name:"eadr-program-order" ~model:Model.Eadr
+      ~doc:"persists follow program order: the flag never leads the data"
+      (fun l ->
+        let _wa = L.w l a in
+        let wb = L.w l b in
+        L.check_ordered l a b ~pass:true;
+        L.forbidden l [ (a, 0); (b, wb) ]);
+    t ~name:"eadr-overwrite" ~model:Model.Eadr
+      ~doc:"the old value is reachable only before the overwrite executes"
+      (fun l ->
+        let w1 = L.w l a in
+        let w2 = L.w l a in
+        L.check_persist l a ~pass:true;
+        L.allowed l [ (a, w1) ];
+        L.forbidden_final l [ (a, w1) ];
+        L.allowed_final l [ (a, w2) ]);
+    t ~name:"eadr-chain" ~model:Model.Eadr
+      ~doc:"every prefix of the store sequence is a crash state; nothing else is"
+      (fun l ->
+        let wa = L.w l a in
+        let wb = L.w l b in
+        let wc = L.w l c in
+        L.check_ordered l a c ~pass:true;
+        L.forbidden l [ (b, 0); (c, wc) ];
+        L.allowed l [ (a, wa); (b, wb); (c, 0) ];
+        L.forbidden_final l [ (c, 0) ]);
+  ]
+
+(* {1 CXL: visible at once, durable at gpf} *)
+
+let cxl =
+  [
+    t ~name:"cxl-store-not-durable" ~model:Model.Cxl
+      ~doc:"a store is visible to every host immediately but durable only after gpf"
+      (fun l ->
+        let wa = L.w l a in
+        L.check_persist l a ~pass:false;
+        L.allowed_final l [ (a, 0) ];
+        L.allowed_final l [ (a, wa) ]);
+    t ~name:"cxl-gpf-durable" ~model:Model.Cxl
+      ~doc:"the global persist barrier drains every pending persist"
+      (fun l ->
+        let wa = L.w l a in
+        L.gpf l;
+        L.check_persist l a ~pass:true;
+        L.forbidden_final l [ (a, 0) ];
+        L.allowed_final l [ (a, wa) ]);
+    t ~name:"cxl-visibility-vs-durability" ~model:Model.Cxl
+      ~doc:"between barriers both stores are visible yet either may be lost"
+      (fun l ->
+        let wa = L.w l a in
+        let wb = L.w l b in
+        L.check_ordered l a b ~pass:false;
+        L.allowed l [ (a, 0); (b, wb) ];
+        L.allowed l [ (a, wa); (b, 0) ];
+        L.gpf l;
+        L.forbidden_final l [ (a, 0) ];
+        L.forbidden_final l [ (b, 0) ]);
+    t ~name:"cxl-gpf-orders-batches" ~model:Model.Cxl
+      ~doc:"a gpf between two stores orders their durability"
+      (fun l ->
+        let _wa = L.w l a in
+        L.gpf l;
+        let wb = L.w l b in
+        L.gpf l;
+        L.check_ordered l a b ~pass:true;
+        L.forbidden l [ (a, 0); (b, wb) ]);
+    t ~name:"cxl-gpf-partial-batch" ~model:Model.Cxl
+      ~doc:"only stores before the barrier are durable; the tail stays pending"
+      (fun l ->
+        let wa = L.w l a in
+        L.gpf l;
+        let wb = L.w l b in
+        L.check_persist l a ~pass:true;
+        L.check_persist l b ~pass:false;
+        L.allowed_final l [ (a, wa); (b, 0) ];
+        L.allowed_final l [ (a, wa); (b, wb) ];
+        L.forbidden_final l [ (a, 0) ]);
+    t ~name:"cxl-overwrite-before-gpf" ~model:Model.Cxl
+      ~doc:"the barrier persists the newest value; older versions die with it"
+      (fun l ->
+        let w1 = L.w l a in
+        let w2 = L.w l a in
+        L.gpf l;
+        L.check_persist l a ~pass:true;
+        L.allowed l [ (a, w1) ];
+        L.forbidden_final l [ (a, w1) ];
+        L.forbidden_final l [ (a, 0) ];
+        L.allowed_final l [ (a, w2) ]);
+    t ~name:"cxl-no-barrier-any-order" ~model:Model.Cxl
+      ~doc:"without any barrier, per-line durability is completely unordered"
+      (fun l ->
+        let wa = L.w l a in
+        let _wb = L.w l b in
+        let wc = L.w l c in
+        L.check_persist l c ~pass:false;
+        L.check_ordered l a c ~pass:false;
+        L.allowed l [ (a, 0); (b, 0); (c, wc) ];
+        L.allowed l [ (a, wa); (b, 0); (c, 0) ]);
+  ]
+
+let all = x86 @ hops @ eadr @ cxl
+
+let for_model kind = List.filter (fun (t : L.t) -> t.L.model = kind) all
+
+let find name = List.find_opt (fun (t : L.t) -> t.L.name = name) all

@@ -1,0 +1,18 @@
+(** The curated litmus suite: store-ordering, fence-elision and
+    epoch-overlap shapes for every persistency model, plus the CXL
+    visibility-before-durability shapes. Each entry is validated by
+    {!Litmus.run_test} against the engine, the oracle and the crashtest
+    harness at once. *)
+
+open Pmtest_model
+
+val x86 : Litmus.t list
+val hops : Litmus.t list
+val eadr : Litmus.t list
+val cxl : Litmus.t list
+
+val all : Litmus.t list
+(** Every test, grouped by model, x86 first. *)
+
+val for_model : Model.kind -> Litmus.t list
+val find : string -> Litmus.t option

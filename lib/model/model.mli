@@ -14,9 +14,15 @@
       are within the persistence domain, so a store is durable the moment
       it executes and persists in program order. Writebacks are never
       needed (a [clwb] is pure overhead the performance checker flags);
-      [sfence] is accepted as an ordering no-op. *)
+      [sfence] is accepted as an ordering no-op.
+    - {b CXL}: shared memory over a CXL fabric — a store is globally
+      {e visible} to every host the moment it executes, but it is only
+      {e durable} once a global persist barrier ([gpf]) drains all hosts'
+      pending persists. There is no per-line writeback; [gpf] is the only
+      durability primitive and persists between barriers complete in any
+      order. *)
 
-type kind = X86 | Hops | Eadr
+type kind = X86 | Hops | Eadr | Cxl
 
 type op =
   | Write of { addr : int; size : int }
@@ -26,17 +32,29 @@ type op =
   | Sfence  (** Store fence: completes preceding writebacks (x86). *)
   | Ofence  (** Ordering fence (HOPS). *)
   | Dfence  (** Durability fence (HOPS). *)
+  | Gpf  (** Global persist barrier: drains all hosts' pending persists (CXL). *)
 
 val kind_name : kind -> string
+
+val all_kinds : kind list
+(** Every model, in declaration order: [[X86; Hops; Eadr; Cxl]]. *)
+
+val kind_names : string list
+(** Canonical names of [all_kinds], for error messages and help text. *)
+
 val kind_of_string : string -> kind option
+
+val kind_of_string_err : string -> (kind, string) result
+(** Like {!kind_of_string} but the error names the accepted values,
+    mirroring the lint/repair [--rules] UX. *)
 
 val valid_op : kind -> op -> bool
 (** Whether the operation belongs to the model's ISA: [Write] is valid
-    everywhere; [Clwb]/[Sfence] only under X86; [Ofence]/[Dfence] only
-    under HOPS. *)
+    everywhere; [Clwb]/[Sfence] only under X86 and eADR (legacy);
+    [Ofence]/[Dfence] only under HOPS; [Gpf] only under CXL. *)
 
 val is_fence : op -> bool
-(** [Sfence], [Ofence] and [Dfence] advance the global timestamp. *)
+(** [Sfence], [Ofence], [Dfence] and [Gpf] advance the global timestamp. *)
 
 val op_range : op -> (int * int) option
 (** [(addr, size)] for range-carrying operations. *)

@@ -44,22 +44,25 @@ let model t = t.model
 
 (* Durability and ordering points, spelled in the pool's persistency
    model: x86 writes back the range then fences; HOPS has no explicit
-   writeback — dfence makes everything durable, ofence only orders. *)
+   writeback — dfence makes everything durable, ofence only orders; CXL
+   has no writeback either — the global persist barrier drains all. *)
 let hw_persist t ~line ~off ~size =
   match t.model with
   | Pmtest_model.Model.X86 -> Instr.persist_barrier t.instr ~line ~addr:off ~size
   | Pmtest_model.Model.Hops -> Instr.dfence t.instr ~line
+  | Pmtest_model.Model.Cxl -> Instr.gpf t.instr ~line
   | Pmtest_model.Model.Eadr -> () (* stores are already durable *)
 
 let hw_flush t ~line ~off ~size =
   match t.model with
   | Pmtest_model.Model.X86 -> Instr.clwb t.instr ~line ~addr:off ~size
-  | Pmtest_model.Model.Hops | Pmtest_model.Model.Eadr -> ()
+  | Pmtest_model.Model.Hops | Pmtest_model.Model.Eadr | Pmtest_model.Model.Cxl -> ()
 
 let hw_drain t ~line =
   match t.model with
   | Pmtest_model.Model.X86 -> Instr.sfence t.instr ~line
   | Pmtest_model.Model.Hops -> Instr.dfence t.instr ~line
+  | Pmtest_model.Model.Cxl -> Instr.gpf t.instr ~line
   | Pmtest_model.Model.Eadr -> ()
 let recovered_entries t = t.recovered
 let heap_start _ = heap_base

@@ -55,6 +55,12 @@ let dfence t ~line =
   Machine.dfence t.machine;
   Sink.dfence t.sink ~loc:(loc t line) ()
 
+let gpf t ~line =
+  (* One simulated device stands in for the fabric: the global persist
+     barrier drains everything pending, like a dfence at machine level. *)
+  Machine.dfence t.machine;
+  Sink.gpf t.sink ~loc:(loc t line) ()
+
 let tx_event t ~line ev = Sink.emit t.sink ~loc:(loc t line) (Event.Tx ev)
 let checker t ~line c = Sink.emit t.sink ~loc:(loc t line) (Event.Checker c)
 let control t ~line c = Sink.emit t.sink ~loc:(loc t line) (Event.Control c)

@@ -48,6 +48,10 @@ val persist_barrier : t -> line:int -> addr:int -> size:int -> unit
 val ofence : t -> line:int -> unit
 val dfence : t -> line:int -> unit
 
+val gpf : t -> line:int -> unit
+(** CXL global persist barrier: drains all pending persists (machine
+    [dfence]) and emits [gpf]. *)
+
 (** {1 Annotations relayed to the sink} *)
 
 val tx_event : t -> line:int -> Event.tx_event -> unit

@@ -26,6 +26,7 @@ let repairable rule = List.mem rule repairable_rules
 let drain_fence_op = function
   | Model.X86 | Model.Eadr -> Model.Sfence
   | Model.Hops -> Model.Dfence
+  | Model.Cxl -> Model.Gpf
 
 (* Sub-ranges of [addr, addr+size) not covered by [map] — the lint's
    exclusion-hole walk, reused for planned-log coverage. *)

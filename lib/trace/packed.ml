@@ -37,12 +37,13 @@ type tag =
   | T_include
   | T_lint_off
   | T_lint_on
+  | T_gpf
 
 let tag_of_code =
   [|
     T_write; T_clwb; T_sfence; T_ofence; T_dfence; T_is_persist; T_is_ordered; T_tx_begin;
     T_tx_add; T_tx_commit; T_tx_abort; T_tx_checker_start; T_tx_checker_end; T_exclude;
-    T_include; T_lint_off; T_lint_on;
+    T_include; T_lint_off; T_lint_on; T_gpf;
   |]
 
 type t = {
@@ -184,7 +185,9 @@ let push_clwb t ~thread ~addr ~size loc =
   fin t
 
 let push_fence t ~thread op loc =
-  let code = match op with Model.Sfence -> 2 | Model.Ofence -> 3 | _ -> 4 in
+  let code =
+    match op with Model.Sfence -> 2 | Model.Ofence -> 3 | Model.Gpf -> 17 | _ -> 4
+  in
   hdr t code ~thread (intern t loc);
   fin t
 
@@ -207,6 +210,7 @@ let push t ~thread (kind : Event.kind) loc =
   | Event.Op Model.Sfence -> hdr t 2 ~thread (intern t loc)
   | Event.Op Model.Ofence -> hdr t 3 ~thread (intern t loc)
   | Event.Op Model.Dfence -> hdr t 4 ~thread (intern t loc)
+  | Event.Op Model.Gpf -> hdr t 17 ~thread (intern t loc)
   | Event.Checker (Event.Is_persist { addr; size }) ->
     hdr t 5 ~thread (intern t loc);
     put_varint_unsafe t addr;
@@ -305,6 +309,7 @@ let kind_of_view v : Event.kind =
   | T_sfence -> Event.Op Model.Sfence
   | T_ofence -> Event.Op Model.Ofence
   | T_dfence -> Event.Op Model.Dfence
+  | T_gpf -> Event.Op Model.Gpf
   | T_is_persist -> Event.Checker (Event.Is_persist { addr = v.a; size = v.b })
   | T_is_ordered ->
     Event.Checker
@@ -416,7 +421,7 @@ let read_checked t ~pos (v : view) =
         if n < 0 || n > t.len - p then bad p "rule string overruns the arena";
         v.rule <- Bytes.sub_string t.buf p n;
         p + n
-      | T_sfence | T_ofence | T_dfence | T_tx_begin | T_tx_commit | T_tx_abort
+      | T_sfence | T_ofence | T_dfence | T_gpf | T_tx_begin | T_tx_commit | T_tx_abort
       | T_tx_checker_start | T_tx_checker_end ->
         p
     in

@@ -45,14 +45,15 @@ val push_write : t -> thread:int -> addr:int -> size:int -> Loc.t -> unit
 val push_clwb : t -> thread:int -> addr:int -> size:int -> Loc.t -> unit
 
 val push_fence : t -> thread:int -> Model.op -> Loc.t -> unit
-(** [op] must be [Sfence], [Ofence] or [Dfence]. *)
+(** [op] must be [Sfence], [Ofence], [Dfence] or [Gpf]. *)
 
 val of_events : Event.t array -> t
 
 (** {1 Decoding} *)
 
-(** Wire tags, one per {!Event.kind} shape (17 in all, mirroring
-    [Serial]'s line tags). *)
+(** Wire tags, one per {!Event.kind} shape (18 in all, mirroring
+    [Serial]'s line tags).  [T_gpf] was appended last so the 17 seeded
+    codes keep their on-wire values. *)
 type tag =
   | T_write
   | T_clwb
@@ -71,6 +72,7 @@ type tag =
   | T_include
   | T_lint_off
   | T_lint_on
+  | T_gpf
 
 (** One decoded event, overwritten in place by each {!read} — callers
     must copy anything they keep.  [a]/[b] hold addr/size (or the A

@@ -16,6 +16,7 @@ let entry_to_line (e : Event.t) =
     | Event.Op Model.Sfence -> Printf.sprintf "s\t%s" loc_part
     | Event.Op Model.Ofence -> Printf.sprintf "o\t%s" loc_part
     | Event.Op Model.Dfence -> Printf.sprintf "d\t%s" loc_part
+    | Event.Op Model.Gpf -> Printf.sprintf "g\t%s" loc_part
     | Event.Checker (Event.Is_persist { addr; size }) ->
       Printf.sprintf "cp\t%s\t%d\t%d" loc_part addr size
     | Event.Checker (Event.Is_ordered_before { a_addr; a_size; b_addr; b_size }) ->
@@ -53,6 +54,7 @@ let entry_of_line line =
       | "s", [] -> mk (Event.Op Model.Sfence)
       | "o", [] -> mk (Event.Op Model.Ofence)
       | "d", [] -> mk (Event.Op Model.Dfence)
+      | "g", [] -> mk (Event.Op Model.Gpf)
       | "cp", [ addr; size ] -> mk (Event.Checker (Event.Is_persist { addr; size }))
       | "co", [ a_addr; a_size; b_addr; b_size ] ->
         mk (Event.Checker (Event.Is_ordered_before { a_addr; a_size; b_addr; b_size }))

@@ -23,3 +23,4 @@ let clwb t ?loc ~addr ~size () = emit t ?loc (Event.Op (Model.Clwb { addr; size 
 let sfence t ?loc () = emit t ?loc (Event.Op Model.Sfence)
 let ofence t ?loc () = emit t ?loc (Event.Op Model.Ofence)
 let dfence t ?loc () = emit t ?loc (Event.Op Model.Dfence)
+let gpf t ?loc () = emit t ?loc (Event.Op Model.Gpf)

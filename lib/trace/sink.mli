@@ -35,3 +35,4 @@ val clwb : t -> ?loc:Loc.t -> addr:int -> size:int -> unit -> unit
 val sfence : t -> ?loc:Loc.t -> unit -> unit
 val ofence : t -> ?loc:Loc.t -> unit -> unit
 val dfence : t -> ?loc:Loc.t -> unit -> unit
+val gpf : t -> ?loc:Loc.t -> unit -> unit

@@ -203,8 +203,8 @@ let at_end s pos = if pos <> String.length s then raise (Bad "trailing bytes in 
 
 (* Hello: the session's persistency model. *)
 
-let model_code = function Model.X86 -> 0 | Model.Hops -> 1 | Model.Eadr -> 2
-let model_of_code = function 0 -> Model.X86 | 1 -> Model.Hops | 2 -> Model.Eadr | c -> raise (Bad (Printf.sprintf "unknown model code %d" c))
+let model_code = function Model.X86 -> 0 | Model.Hops -> 1 | Model.Eadr -> 2 | Model.Cxl -> 3
+let model_of_code = function 0 -> Model.X86 | 1 -> Model.Hops | 2 -> Model.Eadr | 3 -> Model.Cxl | c -> raise (Bad (Printf.sprintf "unknown model code %d" c))
 
 let encode_hello ~model =
   let b = Buffer.create 4 in

@@ -13,7 +13,7 @@ module Gen = Pmtest_fuzz.Gen
 module Obs = Pmtest_obs.Obs
 module Loc = Pmtest_util.Loc
 
-(* One event per wire tag (17), mirroring test_serial's sample. *)
+(* One event per wire tag (18), mirroring test_serial's sample. *)
 let sample_entries =
   [|
     Event.make ~thread:2
@@ -23,6 +23,7 @@ let sample_entries =
     Event.make (Event.Op Model.Sfence);
     Event.make (Event.Op Model.Ofence);
     Event.make (Event.Op Model.Dfence);
+    Event.make (Event.Op Model.Gpf);
     Event.make (Event.Checker (Event.Is_persist { addr = 0x40; size = 8 }));
     Event.make
       (Event.Checker (Event.Is_ordered_before { a_addr = 1; a_size = 2; b_addr = 3; b_size = 4 }));
@@ -57,10 +58,10 @@ let test_round_trip_all_tags () =
 let test_tag_coverage () =
   (* Every tag constructor must be reachable from sample_entries, so the
      round-trip test cannot silently lose a wire shape. *)
-  let seen = Hashtbl.create 17 in
+  let seen = Hashtbl.create 18 in
   let p = Packed.of_events sample_entries in
   Packed.iter p (fun v -> Hashtbl.replace seen v.Packed.tag ());
-  Alcotest.(check int) "all 17 tags exercised" 17 (Hashtbl.length seen)
+  Alcotest.(check int) "all 18 tags exercised" 18 (Hashtbl.length seen)
 
 let test_serial_packed_agree () =
   (* packed -> boxed -> Serial -> boxed -> packed: both codecs preserve
@@ -95,7 +96,13 @@ let gen_entry =
         [
           map2 (fun addr size -> Event.Op (Model.Write { addr; size })) addr size;
           map2 (fun addr size -> Event.Op (Model.Clwb { addr; size })) addr size;
-          oneofl [ Event.Op Model.Sfence; Event.Op Model.Ofence; Event.Op Model.Dfence ];
+          oneofl
+            [
+              Event.Op Model.Sfence;
+              Event.Op Model.Ofence;
+              Event.Op Model.Dfence;
+              Event.Op Model.Gpf;
+            ];
           map2 (fun addr size -> Event.Checker (Event.Is_persist { addr; size })) addr size;
           map2
             (fun a b ->
@@ -131,7 +138,7 @@ let prop_check_packed_equals_boxed =
     QCheck2.Gen.(
       pair
         (array_size (int_range 0 48) gen_entry)
-        (oneofl [ Model.X86; Model.Hops; Model.Eadr ]))
+        (oneofl Model.all_kinds))
     (fun (evs, model) ->
       let key (r : Report.t) =
         ( List.map
@@ -303,7 +310,7 @@ let () =
       ( "codec",
         [
           Alcotest.test_case "round trip of every wire tag" `Quick test_round_trip_all_tags;
-          Alcotest.test_case "all 17 tags reachable" `Quick test_tag_coverage;
+          Alcotest.test_case "all 18 tags reachable" `Quick test_tag_coverage;
           Alcotest.test_case "agrees with the serial codec" `Quick test_serial_packed_agree;
           Alcotest.test_case "freelist recycles arenas" `Quick test_freelist_recycles;
         ] );

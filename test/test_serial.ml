@@ -17,6 +17,7 @@ let sample_entries =
     Event.make (Event.Op Model.Sfence);
     Event.make (Event.Op Model.Ofence);
     Event.make (Event.Op Model.Dfence);
+    Event.make (Event.Op Model.Gpf);
     Event.make (Event.Checker (Event.Is_persist { addr = 0x40; size = 8 }));
     Event.make
       (Event.Checker (Event.Is_ordered_before { a_addr = 1; a_size = 2; b_addr = 3; b_size = 4 }));
@@ -35,7 +36,10 @@ let sample_entries =
 (* Every wire tag the format defines; [sample_entries] must exercise all
    of them so the round-trip test cannot silently lose a constructor. *)
 let all_tags =
-  [ "w"; "f"; "s"; "o"; "d"; "cp"; "co"; "tb"; "tc"; "ta"; "tA"; "ts"; "te"; "xe"; "xi"; "lo"; "li" ]
+  [
+    "w"; "f"; "s"; "o"; "d"; "g"; "cp"; "co"; "tb"; "tc"; "ta"; "tA"; "ts"; "te"; "xe"; "xi";
+    "lo"; "li";
+  ]
 
 let test_sample_covers_every_tag () =
   let tag (e : Event.t) =
@@ -118,7 +122,13 @@ let gen_entry =
         [
           map2 (fun addr size -> Event.Op (Model.Write { addr; size })) addr size;
           map2 (fun addr size -> Event.Op (Model.Clwb { addr; size })) addr size;
-          oneofl [ Event.Op Model.Sfence; Event.Op Model.Ofence; Event.Op Model.Dfence ];
+          oneofl
+            [
+              Event.Op Model.Sfence;
+              Event.Op Model.Ofence;
+              Event.Op Model.Dfence;
+              Event.Op Model.Gpf;
+            ];
           map2 (fun addr size -> Event.Checker (Event.Is_persist { addr; size })) addr size;
           map2
             (fun a b ->

@@ -134,7 +134,7 @@ let test_hello_round_trip () =
       match Wire.decode_hello (Wire.encode_hello ~model) with
       | Ok m -> Alcotest.(check bool) (Model.kind_name model) true (m = model)
       | Error e -> Alcotest.fail (Wire.error_to_string e))
-    [ Model.X86; Model.Hops; Model.Eadr ]
+    Model.all_kinds
 
 let test_hello_ack_round_trip () =
   List.iter
@@ -174,6 +174,27 @@ let test_report_round_trip () =
       (Format.asprintf "%a" Report.pp report)
       (Format.asprintf "%a" Report.pp got)
 
+let test_corrupt_cxl_hello_frame () =
+  (* A CXL hello whose payload byte is smashed must surface as a typed
+     Corrupt error at the frame layer, never as a silent model downgrade. *)
+  let raw = raw_frame Wire.Hello (Wire.encode_hello ~model:Model.Cxl) in
+  let b = Bytes.of_string raw in
+  Bytes.set b Wire.header_len (Char.chr 0xff);
+  feed (Bytes.to_string b) (function
+    | Error (Wire.Corrupt _) -> ()
+    | Ok _ -> Alcotest.fail "corrupt cxl hello accepted"
+    | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
+
+let test_hello_unknown_model_code () =
+  (* One code past Cxl: the payload codec must reject it, so an older
+     server cannot misread a future model as one of the known four. *)
+  let good = Wire.encode_hello ~model:Model.Cxl in
+  let bad = Bytes.of_string good in
+  Bytes.set bad 0 (Char.chr (Char.code good.[0] + 1));
+  match Wire.decode_hello (Bytes.to_string bad) with
+  | Ok m -> Alcotest.failf "model code past cxl decoded as %s" (Model.kind_name m)
+  | Error _ -> ()
+
 let test_err_round_trip () =
   match Wire.decode_err (Wire.encode_err "session limit reached (32 active)") with
   | Ok m -> Alcotest.(check string) "message" "session limit reached (32 active)" m
@@ -206,10 +227,13 @@ let () =
             test_frame_eof_at_boundary;
           Alcotest.test_case "alien protocol version" `Quick test_frame_alien_version;
           Alcotest.test_case "unknown frame kind" `Quick test_frame_unknown_kind;
+          Alcotest.test_case "corrupt cxl hello frame" `Quick test_corrupt_cxl_hello_frame;
         ] );
       ( "codecs",
         [
           Alcotest.test_case "hello" `Quick test_hello_round_trip;
+          Alcotest.test_case "model code past cxl rejected" `Quick
+            test_hello_unknown_model_code;
           Alcotest.test_case "hello_ack" `Quick test_hello_ack_round_trip;
           Alcotest.test_case "report" `Quick test_report_round_trip;
           Alcotest.test_case "err" `Quick test_err_round_trip;
