@@ -42,6 +42,7 @@ let insertions = ref 600
 let kv_ops = ref 4000
 let runs = ref 3
 let tsv_path = ref None
+let json_path = ref None
 let gate = ref false
 
 let tsv_rows : string list ref = ref []
@@ -659,6 +660,7 @@ let fuzz_bench () =
   Fmt.pr " pair — the rate bounds how many programs a nightly campaign can afford)@.@.";
   Fmt.pr "%-8s %10s %10s %10s %12s %12s@." "model" "programs" "entries" "total(s)" "prog/s"
     "entries/s";
+  let model_rows = ref [] in
   List.iter
     (fun model ->
       let cfg =
@@ -674,14 +676,40 @@ let fuzz_bench () =
           s.Campaign.events t
           (float_of_int s.Campaign.programs /. t)
           (float_of_int s.Campaign.events /. t);
-        List.iter
-          (fun (pair, secs) ->
-            let applied = List.assoc pair s.Campaign.applied in
-            Fmt.pr "    %-18s applied %6d  %8.3fs@." (Cross.pair_name pair) applied secs)
-          s.Campaign.pair_seconds)
+        tsv "fuzz\t%s\t%d\tprogs_per_s\t%.0f" name s.Campaign.programs
+          (float_of_int s.Campaign.programs /. t);
+        let pairs =
+          List.map
+            (fun (pair, secs) ->
+              let applied = List.assoc pair s.Campaign.applied in
+              Fmt.pr "    %-18s applied %6d  %8.3fs@." (Cross.pair_name pair) applied secs;
+              Printf.sprintf "      {\"pair\": %S, \"applied\": %d, \"seconds\": %.3f}"
+                (Cross.pair_name pair) applied secs)
+            s.Campaign.pair_seconds
+        in
+        model_rows :=
+          Printf.sprintf
+            "    {\"model\": %S, \"programs\": %d, \"entries\": %d, \"progs_per_s\": %.0f, \
+             \"entries_per_s\": %.0f, \"findings\": %d, \"pairs\": [\n\
+             %s\n\
+            \    ]}"
+            name s.Campaign.programs s.Campaign.events
+            (float_of_int s.Campaign.programs /. t)
+            (float_of_int s.Campaign.events /. t)
+            (List.length s.Campaign.findings)
+            (String.concat ",\n" pairs)
+          :: !model_rows)
     Model.all_kinds;
   Fmt.pr "@.(differential checking dominates generation; the crashtest pair enumerates@.";
-  Fmt.pr " versioned crash images and is the budget to watch on long campaigns)@."
+  Fmt.pr " versioned crash images and is the budget to watch on long campaigns)@.";
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"bench\": \"fuzz\",\n  \"models\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" (List.rev !model_rows));
+    close_out oc;
+    Fmt.pr "@.JSON written to %s@." path
 
 (* --- Observability overhead ------------------------------------------------------------ *)
 
@@ -1079,8 +1107,6 @@ let bechamel () =
 
 module Repair = Pmtest_repair.Repair
 
-let json_path = ref None
-
 let repair_bench () =
   let module Gen = Pmtest_fuzz.Gen in
   Fmt.pr "@.### repair — auto-repair fixpoint throughput and edit mix@.@.";
@@ -1255,6 +1281,64 @@ let litmus_bench () =
     close_out oc;
     Fmt.pr "@.JSON written to %s@." path
 
+(* --- Crash-state exploration throughput -------------------------------------------------- *)
+
+let crashfs_bench () =
+  let module Crashfs = Pmtest_crashfs.Crashfs in
+  Fmt.pr "@.### crashfs — crash-state exploration throughput (lib/crashfs)@.@.";
+  Fmt.pr "(each run drives a seeded syscall workload, enumerates the durable images at@.";
+  Fmt.pr " every persist boundary and remounts each distinct one; the pruned ratio is@.";
+  Fmt.pr " the fraction of candidate states the epoch/dedup bounding never remounts)@.@.";
+  let count = max 20 (!kv_ops / 40) in
+  Fmt.pr "%-6s %6s %8s %10s %10s %10s %12s %12s %8s@." "fs" "runs" "bounds" "images" "remounts"
+    "total(s)" "images/s" "remounts/s" "pruned";
+  let rows = ref [] in
+  List.iter
+    (fun fs ->
+      let config = Crashfs.default_config fs in
+      let c = ref None in
+      let t = time (fun () -> c := Some (Crashfs.run_campaign config ~count ~seed:0 ())) in
+      match !c with
+      | None -> ()
+      | Some c ->
+        let s = c.Crashfs.total in
+        let name = Crashfs.fs_kind_name fs in
+        let ratio = Crashfs.pruned_ratio s in
+        if c.Crashfs.findings <> [] then
+          Fmt.epr "WARNING: %s reported %d finding(s) during the bench@." name
+            (List.length c.Crashfs.findings);
+        Fmt.pr "%-6s %6d %8d %10d %10d %10.3f %12.0f %12.0f %7.1f%%@." name c.Crashfs.runs
+          s.Crashfs.boundaries s.Crashfs.images s.Crashfs.recoveries t
+          (float_of_int s.Crashfs.images /. t)
+          (float_of_int s.Crashfs.recoveries /. t)
+          (100. *. ratio);
+        tsv "crashfs\t%s\t%d\timages_per_s\t%.0f" name count
+          (float_of_int s.Crashfs.images /. t);
+        tsv "crashfs\t%s\t%d\tpruned_ratio\t%.3f" name count ratio;
+        rows :=
+          Printf.sprintf
+            "    {\"fs\": %S, \"runs\": %d, \"ops\": %d, \"applied\": %d, \"boundaries\": %d, \
+             \"explored\": %d, \"images\": %d, \"recoveries\": %d, \"avoided\": %.0f, \
+             \"pruned_ratio\": %.4f, \"images_per_s\": %.0f, \"recoveries_per_s\": %.0f, \
+             \"findings\": %d}"
+            name c.Crashfs.runs s.Crashfs.ops s.Crashfs.applied s.Crashfs.boundaries
+            s.Crashfs.explored s.Crashfs.images s.Crashfs.recoveries s.Crashfs.avoided ratio
+            (float_of_int s.Crashfs.images /. t)
+            (float_of_int s.Crashfs.recoveries /. t)
+            (List.length c.Crashfs.findings)
+          :: !rows)
+    [ Crashfs.Pmfs; Crashfs.Nova ];
+  Fmt.pr "@.(remounting dominates; every remount replays recovery plus the fsck@.";
+  Fmt.pr " invariants, so the pruned ratio is the speedup the bounding buys)@.";
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"bench\": \"crashfs\",\n  \"fs\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" (List.rev !rows));
+    close_out oc;
+    Fmt.pr "@.JSON written to %s@." path
+
 (* --- Driver ----------------------------------------------------------------------------- *)
 
 let all_targets =
@@ -1272,6 +1356,7 @@ let all_targets =
     ("ablation", ablation);
     ("lint", lint_bench);
     ("fuzz", fuzz_bench);
+    ("crashfs", crashfs_bench);
     ("litmus", litmus_bench);
     ("obs", obs_bench);
     ("perf", perf);

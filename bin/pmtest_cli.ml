@@ -849,6 +849,146 @@ let fuzz_cmd =
       const run_fuzz $ Common_args.models $ count $ seed $ max_ops $ mutate $ corpus $ progress
       $ profile)
 
+(* --- crashfs ----------------------------------------------------------------- *)
+
+module Crashfs = Pmtest_crashfs.Crashfs
+
+let replay_crashfs_corpus dir fses failures =
+  match Crashfs.Repro.load_dir dir with
+  | Error e ->
+    Fmt.epr "corpus %s: %s@." dir e;
+    incr failures
+  | Ok all -> (
+    match List.filter (fun c -> List.mem c.Crashfs.Repro.fs fses) all with
+    | [] -> ()
+    | cases ->
+      Fmt.pr "replaying %d crashfs corpus case(s) from %s@." (List.length cases) dir;
+      List.iter
+        (fun c ->
+          match Crashfs.Repro.replay c with
+          | Ok _ -> Fmt.pr "  ok   %s@." c.Crashfs.Repro.name
+          | Error e ->
+            incr failures;
+            Fmt.pr "  FAIL %s@." e)
+        cases)
+
+let run_crashfs fses model count seed max_ops fault corpus progress =
+  let failures = ref 0 in
+  (match corpus with None -> () | Some dir -> replay_crashfs_corpus dir fses failures);
+  List.iter
+    (fun fs ->
+      let config = { (Crashfs.default_config fs) with Crashfs.model } in
+      let config =
+        match max_ops with None -> config | Some m -> { config with Crashfs.max_ops = m }
+      in
+      match
+        match fault with None -> Ok config | Some f -> Crashfs.with_fault config f
+      with
+      | Error e ->
+        Fmt.epr "%s@." e;
+        incr failures
+      | Ok config ->
+        Fmt.pr "@.== crashfs %s, model %s%s: %d run(s), base seed %d ==@."
+          (Crashfs.fs_kind_name fs) (Model.kind_name model)
+          (match Crashfs.fault_name config with
+          | Some f -> Printf.sprintf ", fault %s" f
+          | None -> "")
+          count seed;
+        let on_run i = if progress && i mod 50 = 0 then Fmt.pr "  ... %d@.%!" i in
+        let c = Crashfs.run_campaign config ~count ~seed ~progress:on_run () in
+        Fmt.pr "%a@." Crashfs.pp_summary c;
+        List.iter
+          (fun (f : Crashfs.finding) ->
+            incr failures;
+            match corpus with
+            | None -> ()
+            | Some dir ->
+              let name =
+                Printf.sprintf "%s-%s-seed%d" (Crashfs.fs_kind_name fs)
+                  (Option.value ~default:"clean" (Crashfs.fault_name config))
+                  f.Crashfs.f_seed
+              in
+              let path = Crashfs.Repro.save ~dir (Crashfs.Repro.of_finding config ~name f) in
+              Fmt.pr "saved crashfs case to %s@." path)
+          c.Crashfs.findings)
+    fses;
+  if !failures = 0 then begin
+    Fmt.pr "@.crashfs: OK@.";
+    0
+  end
+  else begin
+    Fmt.pr "@.crashfs: %d failure(s)@." !failures;
+    1
+  end
+
+let crashfs_cmd =
+  let fses =
+    Arg.(
+      value
+        (opt
+           (enum
+              [
+                ("pmfs", [ Crashfs.Pmfs ]);
+                ("nova", [ Crashfs.Nova ]);
+                ("both", [ Crashfs.Pmfs; Crashfs.Nova ]);
+              ])
+           [ Crashfs.Pmfs; Crashfs.Nova ]
+           (info [ "fs" ] ~doc:"File system(s) to explore: pmfs, nova or both.")))
+  in
+  let model =
+    Arg.(
+      value
+        (opt
+           (enum [ ("x86", Model.X86); ("hops", Model.Hops); ("eadr", Model.Eadr) ])
+           Model.X86
+           (info [ "model" ]
+              ~doc:
+                "Persistency model for crash-image enumeration: x86, hops or eadr (cxl \
+                 programs are gpf-based and covered by the crashtest suite).")))
+  in
+  let count = Arg.(value (opt int 100 (info [ "count" ] ~doc:"Workloads per file system."))) in
+  let seed = Common_args.seed ~default:0 ~doc:"Base seed; run $(i,i) uses seed+$(i,i)." () in
+  let max_ops =
+    Arg.(
+      value
+        (opt (some int) None (info [ "max-ops" ] ~doc:"Cap the operations per workload.")))
+  in
+  let fault =
+    Arg.(
+      value
+        (opt (some string) None
+           (info [ "fault" ] ~docv:"NAME"
+              ~doc:
+                "Seed a known fault into the file system under test (sanity-checks the \
+                 harness catches it): pmfs takes journal-double-flush, data-double-flush, \
+                 flush-unmapped, skip-journal-flush, skip-commit-fence, \
+                 fsync-redundant-fence, empty-tx-fence, alloc-no-zero; nova takes \
+                 skip-data-persist, skip-entry-persist, skip-tail-persist, \
+                 valid-before-init.")))
+  in
+  let corpus =
+    Arg.(
+      value
+        (opt (some string) None
+           (info [ "corpus" ] ~docv:"DIR"
+              ~doc:
+                "Replay this crashfs regression corpus first and save newly shrunk failing \
+                 workloads into it.")))
+  in
+  let progress =
+    Arg.(value (flag (info [ "progress" ] ~doc:"Print a progress line every 50 runs.")))
+  in
+  Cmd.v
+    (Cmd.info "crashfs"
+       ~doc:
+         "Systematic crash-state exploration for the PM file systems: run seeded syscall \
+          workloads against PMFS/NOVA, snapshot the reachable durable images at every \
+          persist boundary (epoch-equivalent boundaries and duplicate images are pruned), \
+          remount each distinct image and check recovery against fsck-style invariants and \
+          a committed-operation oracle; failing workloads shrink to minimal reproducers.")
+    Term.(
+      const run_crashfs $ fses $ model $ count $ seed $ max_ops $ fault $ corpus $ progress)
+
 (* --- litmus ------------------------------------------------------------------ *)
 
 let run_litmus all models list_only name verbose =
@@ -1295,6 +1435,7 @@ let () =
             lint_cmd;
             repair_cmd;
             fuzz_cmd;
+            crashfs_cmd;
             litmus_cmd;
             stat_cmd;
             serve_cmd;

@@ -1,0 +1,150 @@
+(** Systematic crash-state exploration for the PM file systems.
+
+    The harness drives a seeded syscall workload ({!Workload}) against a
+    live {!Pmtest_pmfs.Fs} or {!Pmtest_nova.Nova} instance on a
+    version-tracked {!Pmtest_pmem.Machine}, snapshots the reachable
+    durable images at every persist boundary (each [clwb]/fence the file
+    system issues), remounts every {e distinct} image and runs recovery
+    plus fsck-style invariants ({!Fsck}) and a committed-operation
+    oracle: operations completed before the crash must be intact,
+    in-flight operations must be atomic (PMFS metadata) or absent/whole
+    (NOVA log commits), with PMFS's documented torn-data window for the
+    in-flight XIP write.
+
+    State-space bounding, in the spirit of the HOPS epoch enumerator in
+    [lib/fuzz/oracle.ml]: two boundaries with no intervening store are
+    epoch-equivalent (a fence that drained nothing new cannot enlarge
+    the reachable image set), so only persist-order-distinct boundaries
+    are enumerated, and byte-identical images are deduplicated before
+    the (comparatively expensive) remount — the recovered state is a
+    pure function of the image. Yat-style enumeration at every store,
+    by contrast, is the product over dirty lines that
+    {!Pmtest_pmem.Machine.crash_state_count} reports. *)
+
+module Fs = Pmtest_pmfs.Fs
+module Nova = Pmtest_nova.Nova
+
+type fs_kind = Pmfs | Nova
+
+val fs_kind_name : fs_kind -> string
+val fs_kind_of_string : string -> fs_kind option
+
+type config = {
+  fs : fs_kind;
+  model : Pmtest_model.Model.kind;
+      (** Enumeration semantics: [X86] (and [Hops], whose fences drain
+          the same way at machine level) enumerate per-dirty-line store
+          versions; [Eadr] takes the volatile snapshot (caches are in
+          the persistence domain). [Cxl] is rejected — the file systems
+          are written against flush/fence primitives; [Gpf]-based
+          programs are covered by the crashtest litmus/CXL tests. *)
+  max_ops : int;
+  samples_per_boundary : int;  (** Sampled images when past the limit. *)
+  exhaustive_limit : int;  (** Enumerate exhaustively up to this count. *)
+  max_failures : int;
+  pmfs_fault : Fs.fault option;
+  nova_bug : Nova.bug option;
+  boundary_filter : (int -> bool) option;
+      (** Testing hook: boundaries where this returns [false] are marked
+          explored but nothing is enumerated — a deliberately broken
+          enumerator for the catch-proof tests. [None] explores all. *)
+}
+
+val default_config : fs_kind -> config
+
+val fault_names : fs_kind -> string list
+(** Canonical fault switch names accepted by {!with_fault}. *)
+
+val with_fault : config -> string -> (config, string) result
+(** Set the seeded fault by canonical name (["none"] clears it). *)
+
+val fault_name : config -> string option
+
+(** {1 Single-run harness} *)
+
+type failure = {
+  op_index : int;  (** Index of the in-flight op; [-1] = live/final check. *)
+  boundary : int;  (** Persist boundary at which the image was taken. *)
+  message : string;
+}
+
+type stats = {
+  ops : int;  (** Operations attempted. *)
+  applied : int;  (** Operations that returned [Ok]. *)
+  boundaries : int;  (** Persist boundaries seen (plus the final one). *)
+  explored : int;  (** Boundaries actually enumerated. *)
+  images : int;  (** Crash images enumerated (including duplicates). *)
+  recoveries : int;  (** Distinct images remounted and checked. *)
+  avoided : float;
+      (** States skipped by the bounding: epoch-equivalent boundaries
+          contribute their class size, duplicate images one each. *)
+  failures : failure list;
+}
+
+val pruned_ratio : stats -> float
+(** [avoided / (avoided + recoveries)] — the fraction of candidate crash
+    states that never reached the remount-and-check path. *)
+
+val run_ops : config -> seed:int -> Workload.op array -> stats
+(** Run one workload under crash exploration. [seed] drives the sampler
+    (and nothing else), so runs are deterministic. Raises
+    [Invalid_argument] for a {!Pmtest_model.Model.Cxl} config. *)
+
+val gen_ops : config -> seed:int -> Workload.op array
+(** The workload a campaign run with this seed executes. *)
+
+val shrink : config -> seed:int -> Workload.op array -> Workload.op array
+(** ddmin the op sequence (plus operand simplification) to a 1-minimal
+    sequence that still fails under {!run_ops}, in the style of
+    [Fuzz.Shrink]. Raises [Invalid_argument] if the input survives. *)
+
+(** {1 Campaigns} *)
+
+type finding = {
+  f_seed : int;
+  f_ops : Workload.op array;
+  f_shrunk : Workload.op array;
+  f_failure : failure;
+}
+
+type campaign = { runs : int; total : stats; findings : finding list }
+
+val run_campaign :
+  config -> count:int -> seed:int -> ?progress:(int -> unit) -> unit -> campaign
+(** [count] independent runs; run [i] generates its workload from
+    [seed + i] and explores with the same seed. Failing runs are shrunk
+    (the first {!config.max_failures} of them). *)
+
+val pp_summary : Format.formatter -> campaign -> unit
+
+(** {1 Reproducers}
+
+    [.pmt]-style crashfs cases: a [# pmtest-crashfs-case v1] header
+    (fs, model, seed, optional fault, expected outcome) followed by one
+    serial {!Workload} op per line. Stored under [fuzz/corpus/crashfs/]
+    and replayed by the test suite and [pmtest-cli crashfs --corpus]. *)
+
+module Repro : sig
+  type case = {
+    name : string;
+    fs : fs_kind;
+    model : Pmtest_model.Model.kind;
+    seed : int;
+    fault : string option;
+    expect_failure : bool;
+    ops : Workload.op array;
+  }
+
+  val config_of_case : case -> config
+  val of_finding : config -> name:string -> finding -> case
+  val to_text : case -> string
+  val of_text : name:string -> string -> (case, string) result
+  val save : dir:string -> case -> string
+  (** Atomic write; returns the path. *)
+
+  val load_dir : string -> (case list, string) result
+  (** Every [*.pmt] in the directory, sorted by name. *)
+
+  val replay : case -> (stats, string) result
+  (** Re-run and compare the outcome against [expect_failure]. *)
+end

@@ -1,0 +1,78 @@
+module Access = Pmtest_pmem.Access
+module Fs = Pmtest_pmfs.Fs
+module Nova = Pmtest_nova.Nova
+
+let le_size = 128
+let le_data_cap = 112
+
+let pmfs_journal machine =
+  let geti off = Access.get_int machine off in
+  let total = geti 8 in
+  let journal_off = geti 32 in
+  let itable_off = geti 40 in
+  let cap = (itable_off - journal_off - 64) / le_size in
+  let count = geti journal_off in
+  if count < 0 || count > cap then
+    Error (Printf.sprintf "journal: entry count %d outside [0, %d]" count cap)
+  else begin
+    let errors = ref [] in
+    for i = 0 to count - 1 do
+      let le = journal_off + 64 + (i * le_size) in
+      let addr = geti le in
+      let size = geti (le + 8) in
+      if size < 1 || size > le_data_cap || addr < itable_off || addr + size > total then
+        errors :=
+          Printf.sprintf "journal: torn entry %d (addr=%d size=%d)" i addr size :: !errors
+    done;
+    match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+  end
+
+let pmfs fs =
+  match Fs.check_consistent fs with
+  | Error _ as e -> e
+  | Ok () ->
+    let errors = ref [] in
+    let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+    let referenced = Hashtbl.create 16 in
+    List.iter (fun (_, ino) -> Hashtbl.replace referenced ino ()) (Fs.readdir fs);
+    for ino = 1 to Fs.ninodes fs - 1 do
+      match Fs.inode_kind fs ~ino with
+      | 0 -> ()
+      | 2 -> err "inode %d is a directory (only the root may be)" ino
+      | _ ->
+        (* Creates and unlinks journal the inode and the dirent in one
+           transaction, so a live file inode without a dirent cannot
+           survive a rollback. *)
+        if not (Hashtbl.mem referenced ino) then
+          err "orphan inode %d (live file inode unreferenced by any dirent)" ino
+        else begin
+          let size = Fs.file_size fs ~ino in
+          List.iter
+            (fun (slot, block) ->
+              if slot * Fs.block_size >= size then
+                err "inode %d: block slot %d (block %d) beyond file size %d" ino slot block size)
+            (Fs.inode_blocks fs ~ino)
+        end
+    done;
+    (match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es)))
+
+let nova fs =
+  match Nova.check_consistent fs with
+  | Error _ as e -> e
+  | Ok () ->
+    let errors = ref [] in
+    let owner = Hashtbl.create 32 in
+    for ino = 0 to Nova.ninodes fs - 1 do
+      if Nova.is_valid fs ~ino then
+        List.iter
+          (fun (pgoff, block) ->
+            match Hashtbl.find_opt owner block with
+            | Some (ino', pgoff') ->
+              errors :=
+                Printf.sprintf "data page %d shared by inodes %d:%d and %d:%d" block ino' pgoff'
+                  ino pgoff
+                :: !errors
+            | None -> Hashtbl.replace owner block (ino, pgoff))
+          (Nova.page_map fs ~ino)
+    done;
+    (match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es)))

@@ -1,0 +1,32 @@
+(** Fsck-style whole-FS invariants run on recovered crash images.
+
+    Each file system's own [check_consistent] is the base layer; these
+    checks add the cross-structure invariants the crashfs recovery
+    harness needs (inode/directory agreement, file-size vs block
+    ownership, journal atomicity, CoW page ownership), with stable
+    message fragments the golden corrupted-image tests key on:
+
+    - ["journal: ..."] — torn PMFS journal (an entry covered by the
+      persisted count parses outside the metadata area);
+    - ["orphan inode ..."] — a live PMFS file inode no dirent references
+      (create/unlink journal both sides in one transaction, so this can
+      never survive a rollback);
+    - ["beyond file size"] — an allocated block slot past the last
+      size-covered block;
+    - ["shared by inodes"] — a NOVA CoW data page referenced by two
+      committed page mappings. *)
+
+val pmfs_journal : Pmtest_pmem.Machine.t -> (unit, string) result
+(** Validate the undo journal of an {e unmounted} image: every entry the
+    persisted count covers must target the metadata area with a sane
+    size. Run before {!Pmtest_pmfs.Fs.mount}, whose rollback would
+    otherwise replay a torn entry into the superblock. *)
+
+val pmfs : Pmtest_pmfs.Fs.t -> (unit, string) result
+(** [check_consistent] plus: no orphan file inodes, no non-root
+    directory inodes, and every allocated block slot of a file lies
+    within its size-covered extent. *)
+
+val nova : Pmtest_nova.Nova.t -> (unit, string) result
+(** [check_consistent] plus: no committed CoW data page is referenced by
+    two (inode, page-offset) mappings. *)

@@ -1,0 +1,99 @@
+open Pmtest_util
+
+type op =
+  | Create of string
+  | Write of { name : string; off : int; len : int; fill : char }
+  | Unlink of string
+  | Fsync of string
+  | Readdir
+
+type cfg = {
+  max_ops : int;
+  names : string array;
+  create_w : int;
+  write_w : int;
+  unlink_w : int;
+  fsync_w : int;
+  readdir_w : int;
+  max_off : int;
+  max_len : int;
+}
+
+let names = [| "a"; "b"; "c"; "d"; "e"; "f" |]
+
+let pmfs_cfg ~max_ops =
+  {
+    max_ops;
+    names;
+    create_w = 4;
+    write_w = 6;
+    unlink_w = 2;
+    fsync_w = 1;
+    readdir_w = 1;
+    (* Up to two 512-byte blocks away from the start, so writes journal
+       multi-block allocations and extensions past holes. *)
+    max_off = 1024;
+    max_len = 600;
+  }
+
+let nova_cfg ~max_ops =
+  {
+    max_ops;
+    names;
+    create_w = 4;
+    write_w = 6;
+    unlink_w = 2;
+    fsync_w = 1;
+    readdir_w = 1;
+    max_off = 4;
+    max_len = 256;
+  }
+
+let generate cfg rng =
+  let total = cfg.create_w + cfg.write_w + cfg.unlink_w + cfg.fsync_w + cfg.readdir_w in
+  if total <= 0 then invalid_arg "Workload.generate: weights sum to zero";
+  let name () = Rng.pick rng cfg.names in
+  let one () =
+    let r = Rng.int rng total in
+    if r < cfg.create_w then Create (name ())
+    else if r < cfg.create_w + cfg.write_w then
+      Write
+        {
+          name = name ();
+          off = (if cfg.max_off <= 0 then 0 else Rng.int rng cfg.max_off);
+          len = 1 + Rng.int rng (max 1 cfg.max_len);
+          fill = Char.chr (Char.code 'a' + Rng.int rng 26);
+        }
+    else if r < cfg.create_w + cfg.write_w + cfg.unlink_w then Unlink (name ())
+    else if r < cfg.create_w + cfg.write_w + cfg.unlink_w + cfg.fsync_w then Fsync (name ())
+    else Readdir
+  in
+  Array.init cfg.max_ops (fun _ -> one ())
+
+let op_to_string = function
+  | Create n -> Printf.sprintf "c\t%s" n
+  | Write { name; off; len; fill } -> Printf.sprintf "w\t%s\t%d\t%d\t%d" name off len (Char.code fill)
+  | Unlink n -> Printf.sprintf "u\t%s" n
+  | Fsync n -> Printf.sprintf "f\t%s" n
+  | Readdir -> "r"
+
+let op_of_string line =
+  match String.split_on_char '\t' line with
+  | [ "c"; n ] -> Ok (Create n)
+  | [ "w"; name; off; len; fill ] -> (
+    match (int_of_string_opt off, int_of_string_opt len, int_of_string_opt fill) with
+    | Some off, Some len, Some fill when len > 0 && off >= 0 && fill >= 0 && fill < 256 ->
+      Ok (Write { name; off; len; fill = Char.chr fill })
+    | _ -> Error (Printf.sprintf "bad write operands in %S" line))
+  | [ "u"; n ] -> Ok (Unlink n)
+  | [ "f"; n ] -> Ok (Fsync n)
+  | [ "r" ] -> Ok Readdir
+  | _ -> Error (Printf.sprintf "unparseable op line %S" line)
+
+let pp_op ppf op =
+  match op with
+  | Create n -> Format.fprintf ppf "create %s" n
+  | Write { name; off; len; fill } -> Format.fprintf ppf "write %s off=%d len=%d fill=%c" name off len fill
+  | Unlink n -> Format.fprintf ppf "unlink %s" n
+  | Fsync n -> Format.fprintf ppf "fsync %s" n
+  | Readdir -> Format.fprintf ppf "readdir"

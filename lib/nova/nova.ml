@@ -25,7 +25,7 @@ let entry_size = 64
 let entries_per_inode = 64
 let log_region = entry_size * entries_per_inode
 
-type bug = Skip_data_persist | Skip_entry_persist | Skip_tail_persist
+type bug = Skip_data_persist | Skip_entry_persist | Skip_tail_persist | Valid_before_init
 
 type t = {
   instr : Instr.t;
@@ -185,11 +185,17 @@ let create t name =
     match free 1 with
     | None -> Error "no free inodes"
     | Some ino ->
-      (* Initialise the inode durably before the dentry can commit it. *)
+      (* Initialise the inode durably before the dentry can commit it.
+         Within the line, head/tail go first and the valid bit last: the
+         line can be evicted between stores, so publishing valid first
+         risks a crash image holding a valid inode with a zero log. *)
       let r = region_start t ino in
-      Instr.store_i64 t.instr ~line:50 ~addr:(inode_off t ino) 1L;
+      if t.bug = Some Valid_before_init then
+        Instr.store_i64 t.instr ~line:50 ~addr:(inode_off t ino) 1L;
       Instr.store_i64 t.instr ~line:51 ~addr:(inode_off t ino + 8) (Int64.of_int r);
       Instr.store_i64 t.instr ~line:52 ~addr:(inode_off t ino + 16) (Int64.of_int r);
+      if t.bug <> Some Valid_before_init then
+        Instr.store_i64 t.instr ~line:50 ~addr:(inode_off t ino) 1L;
       Instr.persist_barrier t.instr ~line:53 ~addr:(inode_off t ino) ~size:24;
       (match append_entry t ~ino:0 ~etype:2 ~pgoff:0 ~block:0 ~child:ino ~name with
       | Error e -> Error e
@@ -271,6 +277,16 @@ let read t ~ino ~pgoff =
 
 let file_pages t ~ino =
   match Hashtbl.find_opt t.page_index ino with Some h -> Hashtbl.length h | None -> 0
+
+(* --- Introspection (for external fsck-style checkers) ---------------------- *)
+
+let ninodes t = t.ninodes
+let is_valid t ~ino = inode_valid t ino = 1
+
+let page_map t ~ino =
+  match Hashtbl.find_opt t.page_index ino with
+  | None -> []
+  | Some h -> List.sort compare (Hashtbl.fold (fun pgoff b acc -> (pgoff, b) :: acc) h [])
 
 let check_consistent t =
   let errors = ref [] in

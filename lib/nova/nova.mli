@@ -26,6 +26,14 @@ type bug =
   | Skip_data_persist  (** Log may commit a torn data page. *)
   | Skip_entry_persist  (** Tail may commit a torn log entry. *)
   | Skip_tail_persist  (** Committed operations may vanish. *)
+  | Valid_before_init
+      (** [create] stores the inode's valid bit before head/tail. All
+          three live on one cache line under a single persist barrier,
+          so the trace checkers see nothing wrong — but the line can be
+          evicted between the stores, and a crash then leaves a valid
+          inode with an uninitialised log. Only reachable by crash-state
+          enumeration (the crashfs harness found it in the original
+          store order). *)
 
 val source_file : string
 val page_size : int
@@ -57,3 +65,19 @@ val check_consistent : t -> (unit, string) result
 (** Every inode's log parses within bounds up to its committed tail,
     referenced data pages are in bounds, directory entries reference
     live inodes, and replay is deterministic. *)
+
+(** {1 Introspection}
+
+    Views for external fsck-style checkers (the crashfs recovery harness
+    layers cross-structure invariants on top of {!check_consistent}). *)
+
+val ninodes : t -> int
+
+val is_valid : t -> ino:int -> bool
+(** Whether the on-media inode is marked valid. A valid inode that no
+    directory entry references is {e not} an inconsistency: NOVA's
+    unlink commits the dentry removal before invalidating the inode, so
+    a crash in between merely leaks it. *)
+
+val page_map : t -> ino:int -> (int * int) list
+(** The replayed [(pgoff, block)] mapping of an inode, sorted. *)

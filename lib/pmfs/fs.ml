@@ -33,11 +33,13 @@ type fault =
   | Skip_commit_fence
   | Fsync_redundant_fence
   | Empty_tx_fence
+  | Alloc_no_zero
 
 type t = {
   instr : Instr.t;
   ninodes : int;
   nblocks : int;
+  journal_cap : int;
   journal_off : int;
   itable_off : int;
   bitmap_off : int;
@@ -60,11 +62,10 @@ let recovered_entries t = t.recovered
 let set_fault t f = t.fault <- f
 
 let super_size = 64
-let journal_size = 64 + (max_journal_entries * le_size)
 
-let geometry ~inodes ~blocks =
+let geometry ?(journal_entries = max_journal_entries) ~inodes ~blocks () =
   let journal_off = super_size in
-  let itable_off = journal_off + journal_size in
+  let itable_off = journal_off + 64 + (journal_entries * le_size) in
   let bitmap_off = itable_off + (inodes * inode_size) in
   let scratch_off = bitmap_off + blocks in
   let data_off = (scratch_off + block_size + block_size - 1) / block_size * block_size in
@@ -88,7 +89,7 @@ let journal_add t ~line ~addr ~size =
   assert t.tx_open;
   if size > le_data_cap then invalid_arg "Fs.journal_add: range too large";
   let n = journal_count t in
-  if n >= max_journal_entries then failwith "Fs: journal full";
+  if n >= t.journal_cap then failwith "Fs: journal full";
   let le = le_off t n in
   let old = Access.get_bytes (machine t) addr size in
   Instr.store_i64 t.instr ~line ~addr:le (Int64.of_int addr);
@@ -193,9 +194,10 @@ let alloc_block t =
 
 (* --- Mkfs / mount ----------------------------------------------------------- *)
 
-let mkfs ?(track_versions = false) ?(inodes = 64) ?(blocks = 256) ~sink () =
+let mkfs ?(track_versions = false) ?(inodes = 64) ?(blocks = 256)
+    ?(journal_entries = max_journal_entries) ~sink () =
   let journal_off, itable_off, bitmap_off, scratch_off, data_off, total =
-    geometry ~inodes ~blocks
+    geometry ~journal_entries ~inodes ~blocks ()
   in
   let machine = Machine.create ~track_versions ~size:total () in
   let instr = Instr.make ~machine ~sink ~file:source_file in
@@ -204,6 +206,7 @@ let mkfs ?(track_versions = false) ?(inodes = 64) ?(blocks = 256) ~sink () =
       instr;
       ninodes = inodes;
       nblocks = blocks;
+      journal_cap = journal_entries;
       journal_off;
       itable_off;
       bitmap_off;
@@ -240,13 +243,17 @@ let mount ~machine ~sink =
   let instr = Instr.make ~machine ~sink ~file:source_file in
   let geti off = Access.get_int machine off in
   let inodes = geti 16 and blocks = geti 24 in
-  let _, _, bitmap_off_chk, scratch_off, _, _ = geometry ~inodes ~blocks in
-  ignore bitmap_off_chk;
+  let scratch_off = geti 48 + blocks in
+  (* The journal's capacity is whatever fits between its header and the
+     inode table — derived from the superblock so any mkfs-time geometry
+     mounts correctly. *)
+  let journal_cap = (geti 40 - geti 32 - 64) / le_size in
   let t =
     {
       instr;
       ninodes = inodes;
       nblocks = blocks;
+      journal_cap;
       journal_off = geti 32;
       itable_off = geti 40;
       bitmap_off = geti 48;
@@ -414,7 +421,21 @@ let write t ~ino ~off data =
           | Ok b ->
             let slot = inode_off t ino + 32 + (8 * i) in
             journal_add t ~line:140 ~addr:slot ~size:8;
-            Instr.store_i64 t.instr ~line:141 ~addr:slot (Int64.of_int (b + 1))
+            Instr.store_i64 t.instr ~line:141 ~addr:slot (Int64.of_int (b + 1));
+            (* Zero whatever the incoming data won't cover: the block may
+               have been freed by an unlink and still hold the previous
+               owner's bytes, which must not leak into this file's holes.
+               Fenced by the data path's sfence below. *)
+            let blk_lo = i * block_size and blk_hi = (i + 1) * block_size in
+            let zero lo hi =
+              if hi > lo && t.fault <> Some Alloc_no_zero then begin
+                let addr = block_addr t b + (lo - blk_lo) in
+                Instr.store_bytes t.instr ~line:142 ~addr (Bytes.make (hi - lo) '\000');
+                Instr.clwb t.instr ~line:143 ~addr ~size:(hi - lo)
+              end
+            in
+            zero blk_lo (min blk_hi (max blk_lo off));
+            zero (max blk_lo (min blk_hi last)) blk_hi
         end
       done;
       match !alloc_failed with
@@ -491,6 +512,19 @@ let fsync t ~ino =
     Instr.sfence t.instr ~line:260;
     Instr.control t.instr ~line:261 (Event.Lint_on { rule = "redundant-fence" })
   end
+
+(* --- Introspection (for external fsck-style checkers) ----------------------- *)
+
+let ninodes t = t.ninodes
+let inode_kind t ~ino = inode_type t ino
+
+let inode_blocks t ~ino =
+  let acc = ref [] in
+  for i = direct_blocks - 1 downto 0 do
+    let b = inode_block t ino i in
+    if b <> 0 then acc := (i, b - 1) :: !acc
+  done;
+  !acc
 
 (* --- Consistency ------------------------------------------------------------- *)
 

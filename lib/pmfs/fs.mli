@@ -29,7 +29,15 @@
       with nothing outstanding fences nothing;
     - {!Empty_tx_fence} — journal.c:633: committing an {e empty}
       transaction still emits the commit fence, although no writeback
-      precedes it and the journal reset carries its own barrier. *)
+      precedes it and the journal reset carries its own barrier.
+
+    One data-integrity switch reproduces a bug the crashfs harness
+    found in this module's own write path:
+    - {!Alloc_no_zero} — a freshly allocated data block is not zeroed
+      outside the incoming data range, so a block freed by an unlink
+      leaks the previous owner's bytes into the new file's holes. The
+      trace checkers cannot see it (every store is flushed and fenced
+      correctly); only remounting and reading the file back does. *)
 
 open Pmtest_trace
 module Machine = Pmtest_pmem.Machine
@@ -44,12 +52,23 @@ type fault =
   | Skip_commit_fence
   | Fsync_redundant_fence
   | Empty_tx_fence
+  | Alloc_no_zero
 
 val source_file : string
 val block_size : int
 
-val mkfs : ?track_versions:bool -> ?inodes:int -> ?blocks:int -> sink:Sink.t -> unit -> t
-(** Format a fresh device and mount it. *)
+val mkfs :
+  ?track_versions:bool ->
+  ?inodes:int ->
+  ?blocks:int ->
+  ?journal_entries:int ->
+  sink:Sink.t ->
+  unit ->
+  t
+(** Format a fresh device and mount it. [journal_entries] sizes the undo
+    journal (default 510); crash-image enumeration uses small journals to
+    keep images compact. The capacity is recovered from the superblock
+    geometry on {!mount}. *)
 
 val mount : machine:Machine.t -> sink:Sink.t -> t
 (** Mount an existing device image: an interrupted journal is rolled
@@ -79,3 +98,18 @@ val check_consistent : t -> (unit, string) result
 (** Directory entries reference live inodes, block references are within
     bounds, no data block is referenced twice, and the bitmap agrees with
     the set of referenced blocks. *)
+
+(** {1 Introspection}
+
+    Raw layout views for external fsck-style checkers (the crashfs
+    recovery harness layers cross-structure invariants on top of
+    {!check_consistent}). *)
+
+val ninodes : t -> int
+
+val inode_kind : t -> ino:int -> int
+(** Raw inode type field: 0 = free, 1 = file, 2 = directory. *)
+
+val inode_blocks : t -> ino:int -> (int * int) list
+(** Allocated [(slot, block)] pairs of the inode's direct-block array,
+    in slot order; [block] is zero-based. *)

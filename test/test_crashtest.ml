@@ -213,6 +213,65 @@ let test_pmfs_unjournaled_breaks () =
     (Format.asprintf "expected fs corruption, got %a" Crashtest.pp_verdict v)
     false (Crashtest.survived v)
 
+(* --- CXL: global persistent flush programs --------------------------------------- *)
+
+module Instr = Pmtest_pmem.Instr
+
+(* A two-word commit under the CXL model: payload at 0, flag at 64 (its
+   own cache line). The gpf is the only persist primitive — no per-line
+   flushes — so correctness is entirely about where the gpf sits. The
+   invariant: a durable flag implies a durable payload. *)
+let cxl_commit ~buggy =
+  let machine = Machine.create ~track_versions:true ~size:256 () in
+  let sink, target = forwarding_sink () in
+  let instr = Instr.make ~machine ~sink ~file:"cxl_commit.c" in
+  let recover image =
+    let flag = Bytes.get_int64_le image 64 and payload = Bytes.get_int64_le image 0 in
+    if flag = 1L && payload <> 1L then Error "flag durable without its payload" else Ok ()
+  in
+  let live, crash_sink = Crashtest.attach ~config:fast_config ~every:1 ~machine ~recover () in
+  target := crash_sink;
+  Instr.store_i64 instr ~line:1 ~addr:0 1L;
+  if not buggy then Instr.gpf instr ~line:2;
+  Instr.store_i64 instr ~line:3 ~addr:64 1L;
+  Instr.gpf instr ~line:4;
+  Crashtest.live_verdict live
+
+let test_cxl_correct_commit_survives () =
+  let v = cxl_commit ~buggy:false in
+  if not (Crashtest.survived v) then
+    Alcotest.failf "correct gpf commit failed crash testing: %a" Crashtest.pp_verdict v
+
+let test_cxl_missing_gpf_breaks () =
+  (* Both stores race to the media under one trailing gpf: some admitted
+     image persists the flag line but not the payload line. *)
+  let v = cxl_commit ~buggy:true in
+  Alcotest.(check bool)
+    (Format.asprintf "expected a violation, got %a" Crashtest.pp_verdict v)
+    false (Crashtest.survived v)
+
+let test_cxl_visibility_is_not_durability () =
+  (* The CXL model's split: after [payload; gpf; store flag] the flag is
+     visible (volatile image) but not yet durable — some admitted crash
+     image lacks it, while the gpf-covered payload is in every one. *)
+  let machine = Machine.create ~track_versions:true ~size:256 () in
+  let instr = Instr.make ~machine ~sink:Sink.null ~file:"cxl_commit.c" in
+  Instr.store_i64 instr ~line:1 ~addr:0 1L;
+  Instr.gpf instr ~line:2;
+  Instr.store_i64 instr ~line:3 ~addr:64 1L;
+  Alcotest.(check int64) "flag is visible" 1L
+    (Bytes.get_int64_le (Machine.volatile_image machine) 64);
+  let missing_flag = ref false in
+  let all_have_payload = ref true in
+  let exhaustive =
+    Machine.iter_crash_states machine (fun img ->
+        if Bytes.get_int64_le img 0 <> 1L then all_have_payload := false;
+        if Bytes.get_int64_le img 64 <> 1L then missing_flag := true)
+  in
+  Alcotest.(check bool) "space was enumerated exhaustively" true exhaustive;
+  Alcotest.(check bool) "gpf-covered payload is in every image" true !all_have_payload;
+  Alcotest.(check bool) "visible flag is absent from some image" true !missing_flag
+
 (* --- Agreement with PMTest ------------------------------------------------------- *)
 
 let test_pmtest_verdict_predicts_crash_outcome () =
@@ -263,6 +322,13 @@ let () =
           Alcotest.test_case "unflushed apply loses data" `Quick test_pmap_unflushed_apply_breaks;
           Alcotest.test_case "correct pmfs survives" `Quick test_pmfs_survives;
           Alcotest.test_case "unjournaled pmfs breaks" `Quick test_pmfs_unjournaled_breaks;
+        ] );
+      ( "cxl",
+        [
+          Alcotest.test_case "correct gpf commit survives" `Quick test_cxl_correct_commit_survives;
+          Alcotest.test_case "missing gpf breaks recovery" `Quick test_cxl_missing_gpf_breaks;
+          Alcotest.test_case "visibility is not durability" `Quick
+            test_cxl_visibility_is_not_durability;
         ] );
       ( "pmtest-agreement",
         [
