@@ -45,6 +45,12 @@ let tsv_path = ref None
 let json_path = ref None
 let gate = ref false
 
+(* 0 = auto: sized to the machine — shards only buy throughput when the
+   cores exist to run them in parallel, and an oversharded daemon on a
+   small box pays stop-the-world GC synchronisation across its domains
+   for nothing.  [--shards] overrides. *)
+let bench_shards = ref 0
+
 let tsv_rows : string list ref = ref []
 
 let tsv fmt = Printf.ksprintf (fun row -> tsv_rows := row :: !tsv_rows) fmt
@@ -911,16 +917,18 @@ let perf () =
 
 module Server = Pmtest_server.Server
 module Client = Pmtest_client.Client
+module Wire = Pmtest_wire.Wire
 
 let serve_bench () =
-  Fmt.pr "@.### serve — pmtestd overhead over the in-process runtime@.@.";
-  Fmt.pr "(the same pre-recorded sections checked by the same worker pool; the@.";
-  Fmt.pr " difference is the framed protocol: encode, CRC, socket hop, decode)@.@.";
+  Fmt.pr "@.### serve — pmtestd: wire overhead and shard scaling@.@.";
+  Fmt.pr "(single client: the framed protocol's cost over the in-process runtime;@.";
+  Fmt.pr " scaling: aggregate daemon capacity as sessions spread over shards)@.@.";
   (* One representative trace, chunked as a session would chunk it. *)
+  let seed = 23 in
   let entries =
     let builder = Builder.create () in
     let r = Redis.create ~sink:(Builder.sink builder) () in
-    Redis.run r (Clients.redis_lru ~ops:!kv_ops ~keys:16384 (Rng.create 23));
+    Redis.run r (Clients.redis_lru ~ops:!kv_ops ~keys:16384 (Rng.create seed));
     Builder.take builder
   in
   let section_len = 256 in
@@ -957,59 +965,166 @@ let serve_bench () =
   let t =
     Server.start { Server.default_config with Server.socket; workers; max_sessions = 16 }
   in
-  Fun.protect
-    ~finally:(fun () -> Server.stop t)
-    (fun () ->
-      let run_remote () =
-        match Client.connect ~socket () with
-        | Error m -> failwith ("bench serve: connect: " ^ m)
-        | Ok c ->
-          List.iter
-            (fun sec ->
-              match Client.send_events c sec with
-              | Ok () -> ()
-              | Error m -> failwith ("bench serve: send: " ^ m))
-            sections;
-          (match Client.get_result c with
-          | Ok _ -> ()
-          | Error m -> failwith ("bench serve: get_result: " ^ m));
-          Client.close c
-      in
-      run_remote ();
-      (* warm-up: page in the daemon's read/dispatch path *)
-      let t_remote = time run_remote in
-      let per_sec_us = 1e6 *. (t_remote -. t_local) /. float_of_int nsec in
-      Fmt.pr "single client, %d sections of <=%d entries, %d workers:@." nsec section_len
-        workers;
-      Fmt.pr "  %-24s %10.2f ms@." "in-process" (t_local *. 1e3);
-      Fmt.pr "  %-24s %10.2f ms  (%.2fx, %+.1f us/section)@." "over the socket"
-        (t_remote *. 1e3) (ratio t_remote t_local) per_sec_us;
-      tsv "serve\tsingle\t%d\tlocal_ms\t%.3f" nsec (t_local *. 1e3);
-      tsv "serve\tsingle\t%d\tremote_ms\t%.3f" nsec (t_remote *. 1e3);
-      tsv "serve\tsingle\t%d\toverhead_ratio\t%.3f" nsec (ratio t_remote t_local);
-      tsv "serve\tsingle\t%d\tper_section_us\t%.2f" nsec per_sec_us;
-      (* 2. Client scaling: one shared daemon, N concurrent sessions each
-         streaming the full section list. *)
-      Fmt.pr "@.client scaling (each session streams all %d sections):@.@." nsec;
-      Fmt.pr "%-10s %12s %14s %10s@." "clients" "total(s)" "sections/s" "vs 1";
-      let t1 = ref nan in
-      List.iter
-        (fun clients ->
-          let t =
-            time (fun () ->
-                let threads = List.init clients (fun _ -> Thread.create run_remote ()) in
-                List.iter Thread.join threads)
-          in
-          if clients = 1 then t1 := t;
-          let rate = float_of_int (clients * nsec) /. t in
-          Fmt.pr "%-10d %12.3f %14.0f %9.2fx@." clients t rate (!t1 *. float_of_int clients /. t);
-          tsv "serve\tscaling\t%d\tsections_per_s\t%.0f" clients rate)
-        [ 1; 4; 8 ];
-      Fmt.pr
-        "@.(sessions share one pool of %d workers: aggregate throughput is bounded by@."
-        workers;
-      Fmt.pr
-        " checking, not the protocol — the wire's cost is the single-client delta above)@.")
+  let t_remote =
+    Fun.protect
+      ~finally:(fun () -> Server.stop t)
+      (fun () ->
+        let run_remote () =
+          match Client.connect ~socket () with
+          | Error m -> failwith ("bench serve: connect: " ^ m)
+          | Ok c ->
+            List.iter
+              (fun sec ->
+                match Client.send_events c sec with
+                | Ok () -> ()
+                | Error m -> failwith ("bench serve: send: " ^ m))
+              sections;
+            (match Client.get_result c with
+            | Ok _ -> ()
+            | Error m -> failwith ("bench serve: get_result: " ^ m));
+            Client.close c
+        in
+        run_remote ();
+        (* warm-up: page in the daemon's read/dispatch path *)
+        time run_remote)
+  in
+  let per_sec_us = 1e6 *. (t_remote -. t_local) /. float_of_int nsec in
+  Fmt.pr "single client, %d sections of <=%d entries, %d workers, 1 shard:@." nsec section_len
+    workers;
+  Fmt.pr "  %-24s %10.2f ms@." "in-process" (t_local *. 1e3);
+  Fmt.pr "  %-24s %10.2f ms  (%.2fx, %+.1f us/section)@." "over the socket"
+    (t_remote *. 1e3) (ratio t_remote t_local) per_sec_us;
+  tsv "serve\tsingle\t%d\tlocal_ms\t%.3f" nsec (t_local *. 1e3);
+  tsv "serve\tsingle\t%d\tremote_ms\t%.3f" nsec (t_remote *. 1e3);
+  tsv "serve\tsingle\t%d\toverhead_ratio\t%.3f" nsec (ratio t_remote t_local);
+  tsv "serve\tsingle\t%d\tper_section_us\t%.2f" nsec per_sec_us;
+  (* 2. Shard scaling: a fresh daemon with [--shards] shards (one worker
+     domain each), N concurrent sessions each streaming the same
+     pre-encoded section frames.  Frames are encoded once, outside the
+     timed region, so the measurement is daemon capacity — accept,
+     batch decode, dispatch, check, merge — not client-side encoding. *)
+  let cores = Domain.recommended_domain_count () in
+  let parallel_capacity = max 1 ((cores - 1) / 2) in
+  let shards = if !bench_shards > 0 then !bench_shards else min 4 parallel_capacity in
+  let payloads = List.map (fun sec -> Packed.encode_wire (Packed.of_events sec)) sections in
+  let scaling_socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmtest-bench-scale-%d.sock" (Unix.getpid ()))
+  in
+  let t =
+    Server.start
+      {
+        Server.default_config with
+        Server.socket = scaling_socket;
+        shards;
+        workers = 1;
+        max_sessions = 32;
+        max_inflight = 256;
+      }
+  in
+  let rates =
+    Fun.protect
+      ~finally:(fun () -> Server.stop t)
+      (fun () ->
+        let run_raw_client () =
+          let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect fd (ADDR_UNIX scaling_socket);
+              let send kind payload =
+                match Wire.write_frame fd kind payload with
+                | Ok () -> ()
+                | Error e -> failwith ("bench serve: " ^ Wire.error_to_string e)
+              in
+              send Wire.Hello (Wire.encode_hello ~model:Model.X86);
+              (match Wire.read_frame fd with
+              | Ok (Wire.Hello_ack, _) -> ()
+              | Ok (k, _) -> failwith ("bench serve: expected hello_ack, got " ^ Wire.kind_name k)
+              | Error e -> failwith ("bench serve: " ^ Wire.error_to_string e));
+              List.iter (send Wire.Section) payloads;
+              send Wire.Get_result "";
+              match Wire.read_frame fd with
+              | Ok (Wire.Report_frame, _) -> ()
+              | Ok (k, _) -> failwith ("bench serve: expected report, got " ^ Wire.kind_name k)
+              | Error e -> failwith ("bench serve: " ^ Wire.error_to_string e))
+        in
+        run_raw_client ();
+        (* warm-up *)
+        Fmt.pr
+          "@.shard scaling, %d shard(s) x 1 worker, pre-encoded frames (each session@." shards;
+        Fmt.pr " streams all %d sections):@.@." nsec;
+        Fmt.pr "%-10s %12s %14s %10s@." "clients" "total(s)" "sections/s" "vs 1";
+        let r1 = ref nan in
+        List.map
+          (fun clients ->
+            let t =
+              time (fun () ->
+                  let threads = List.init clients (fun _ -> Thread.create run_raw_client ()) in
+                  List.iter Thread.join threads)
+            in
+            let rate = float_of_int (clients * nsec) /. t in
+            if clients = 1 then r1 := rate;
+            Fmt.pr "%-10d %12.3f %14.0f %9.2fx@." clients t rate (rate /. !r1);
+            tsv "serve\tscaling\t%d\tsections_per_s\t%.0f" clients rate;
+            (clients, rate))
+          [ 1; 4; 8 ])
+  in
+  let rate_at n = try List.assoc n rates with Not_found -> nan in
+  let scaling_8v1 = rate_at 8 /. rate_at 1 in
+  (* The gate scales its bar to the machine: a shard can only buy
+     throughput if it has cores to run on.  With [c] cores, about
+     [(c-1)/2] shards can make progress in parallel (each shard is an
+     acceptor/session side plus a checking worker, and the clients
+     themselves burn cores), capped by the shard count itself. *)
+  let parallel_shards = min shards parallel_capacity in
+  let required, mode =
+    if parallel_shards >= 4 then (3.0, "full")
+    else if parallel_shards >= 2 then (0.75 *. float_of_int parallel_shards, "partial")
+    else (0.85, "degraded")
+  in
+  let passed = scaling_8v1 >= required in
+  Fmt.pr "@.8-client vs 1-client aggregate: %.2fx (gate: >= %.2fx, %s mode on %d core(s))@."
+    scaling_8v1 required mode cores;
+  if mode <> "full" then
+    Fmt.pr
+      " (too few cores for %d shards to run in parallel — the near-linear bar needs >= %d cores;@.\
+      \ this machine's bar only checks that sharding does not regress throughput)@."
+      shards ((2 * 4) + 1);
+  tsv "serve\tscaling\t8v1\tratio\t%.3f" scaling_8v1;
+  tsv "serve\tgate\t%s\trequired\t%.3f" mode required;
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"serve\",\n\
+      \  \"shards\": %d,\n\
+      \  \"workers_per_shard\": 1,\n\
+      \  \"cores\": %d,\n\
+      \  \"seed\": %d,\n\
+      \  \"section_entries\": %d,\n\
+      \  \"sections_per_client\": %d,\n\
+      \  \"single_client\": {\"local_ms\": %.3f, \"remote_ms\": %.3f, \"per_section_us\": %.2f},\n\
+      \  \"scaling\": [%s],\n\
+      \  \"scaling_8v1\": %.3f,\n\
+      \  \"gate\": {\"required\": %.3f, \"mode\": \"%s\", \"passed\": %b}\n\
+       }\n"
+      shards cores seed section_len nsec (t_local *. 1e3) (t_remote *. 1e3) per_sec_us
+      (String.concat ", "
+         (List.map
+            (fun (c, r) -> Printf.sprintf "{\"clients\": %d, \"sections_per_s\": %.0f}" c r)
+            rates))
+      scaling_8v1 required mode passed;
+    close_out oc;
+    Fmt.pr "@.JSON written to %s@." path);
+  if !gate && not passed then begin
+    Fmt.epr "GATE FAILED: 8-client scaling %.2fx < required %.2fx (%s mode, %d core(s))@."
+      scaling_8v1 required mode cores;
+    write_tsv ();
+    exit 1
+  end
 
 (* --- Bechamel micro-measurements ------------------------------------------------------ *)
 
@@ -1386,6 +1501,9 @@ let () =
       parse rest
     | "--gate" :: rest ->
       gate := true;
+      parse rest
+    | "--shards" :: v :: rest ->
+      bench_shards := int_of_string v;
       parse rest
     | "--full" :: rest ->
       insertions := 100_000;

@@ -1177,9 +1177,9 @@ let stat_cmd =
 
 (* --- serve / attach ----------------------------------------------------------- *)
 
-let run_serve socket workers max_sessions max_inflight idle_timeout policy profile =
+let run_serve socket shards workers max_sessions max_inflight idle_timeout policy profile =
   let obs = if profile then Obs.create () else Obs.disabled in
-  let cfg = { Server.socket; workers; max_sessions; max_inflight; idle_timeout; policy } in
+  let cfg = { Server.socket; shards; workers; max_sessions; max_inflight; idle_timeout; policy } in
   (* Block the termination signals before the daemon spawns any thread
      (they inherit the mask), then park in [wait_signal]: SIGTERM and
      SIGINT become a graceful drain instead of a process kill. *)
@@ -1190,8 +1190,8 @@ let run_serve socket workers max_sessions max_inflight idle_timeout policy profi
     Fmt.epr "pmtestd: cannot listen on %s: %s@." socket (Unix.error_message err);
     2
   | t ->
-    Fmt.pr "pmtestd: listening on %s (%d worker(s), %d max session(s), %s policy)@.%!" socket
-      workers max_sessions (Wire.policy_name policy);
+    Fmt.pr "pmtestd: listening on %s (%d shard(s) x %d worker(s), %d max session(s), %s policy)@.%!"
+      socket (Server.shard_count t) workers max_sessions (Wire.policy_name policy);
     let s = Thread.wait_signal signals in
     Fmt.pr "pmtestd: %s received, draining %d active session(s)@.%!"
       (if s = Sys.sigterm then "SIGTERM" else "SIGINT")
@@ -1202,6 +1202,15 @@ let run_serve socket workers max_sessions max_inflight idle_timeout policy profi
     0
 
 let serve_cmd =
+  let shards =
+    Arg.(
+      value
+        (opt int Server.default_config.Server.shards
+           (info [ "shards" ]
+              ~doc:
+                "Independent execution shards; each owns its worker domains, arena freelist \
+                 and accept loop, and sessions are pinned to the least-loaded shard.")))
+  in
   let max_sessions =
     Arg.(
       value
@@ -1245,7 +1254,8 @@ let serve_cmd =
     Term.(
       const run_serve
       $ Common_args.socket ()
-      $ Common_args.workers ~default:2 ~doc:"Checking worker domains." ()
+      $ shards
+      $ Common_args.workers ~default:2 ~doc:"Checking worker domains (per shard)." ()
       $ max_sessions $ max_inflight $ idle_timeout $ policy $ profile)
 
 let run_attach source socket model_opt section ops threads seed record verify profile =

@@ -8,6 +8,10 @@ module Wire = Pmtest_wire.Wire
 
 type t = {
   fd : Unix.file_descr;
+  (* Buffered reply reader; replies are rare (hello-ack, reports) but
+     the buffer also means a report arriving back-to-back with an [Err]
+     is never half-lost to a short read. *)
+  reader : Wire.reader;
   session : int;
   model : Model.kind;
   max_inflight : int;
@@ -43,10 +47,11 @@ let connect ?(model = Model.X86) ~socket () =
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Error msg
       in
+      let reader = Wire.reader fd in
       match Wire.write_frame fd Wire.Hello (Wire.encode_hello ~model) with
       | Error e -> fail (err_of e)
       | Ok () -> (
-        match Wire.read_frame fd with
+        match Wire.read_one reader with
         | Error e -> fail (err_of e)
         | Ok (Wire.Err, payload) ->
           fail
@@ -60,6 +65,7 @@ let connect ?(model = Model.X86) ~socket () =
             Ok
               {
                 fd;
+                reader;
                 session;
                 model;
                 max_inflight;
@@ -106,7 +112,7 @@ let send_events ?prelude t events =
 let get_result t =
   let* () = check_open t in
   let* () = write t Wire.Get_result "" in
-  match Wire.read_frame t.fd with
+  match Wire.read_one t.reader with
   | Error e ->
     t.closed <- true;
     Error (err_of e)

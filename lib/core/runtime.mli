@@ -17,11 +17,25 @@ open Pmtest_trace
 
 type t
 
-val create : ?workers:int -> ?model:Model.kind -> ?obs:Pmtest_obs.Obs.t -> unit -> t
+val create :
+  ?workers:int ->
+  ?model:Model.kind ->
+  ?obs:Pmtest_obs.Obs.t ->
+  ?shard:int ->
+  ?arena_pool:Packed.pool ->
+  unit ->
+  t
 (** [create ~workers ()] spawns that many checking domains (default 1).
     [obs] (default {!Pmtest_obs.Obs.disabled}) collects pipeline metrics:
     section dispatch/check/merge spans, queue depth and reorder-buffer
-    occupancy high-water marks, per-worker busy time. *)
+    occupancy high-water marks, per-worker busy time.  [shard] (unset
+    for in-process runtimes) tags this runtime's obs records so several
+    runtimes — the daemon's shards — can share one collector without
+    their span keys colliding, and enables the per-shard dispatch
+    counters.  [arena_pool] (default the process-wide
+    {!Packed.default_pool}) is the freelist checked packed sections are
+    recycled to; the daemon passes each shard's own pool so arenas cycle
+    shard-locally. *)
 
 val worker_count : t -> int
 val model : t -> Model.kind
@@ -29,9 +43,11 @@ val obs : t -> Pmtest_obs.Obs.t
 
 val send_trace : t -> Event.t array -> unit
 (** Queue a section for checking. Raises [Invalid_argument] after
-    {!shutdown}. Dispatch is least-loaded with round-robin tie-breaking,
-    and the send path takes no lock (sequence numbers come from an
-    atomic), so tracing threads never contend with the merge side. *)
+    {!shutdown}. Dispatch samples two workers at a rotating start index
+    (O(1) per send, round-robin when idle) and posts with a lock-free
+    CAS push — a loaded pipeline takes no mutex anywhere on the send
+    path, so tracing threads never contend with the merge side or with
+    each other. *)
 
 val send_packed : ?prelude:Event.t array -> t -> Packed.t -> unit
 (** Like {!send_trace} for a packed arena: the worker checks it with
@@ -64,7 +80,9 @@ val get_result : t -> Report.t
     same section stream. *)
 
 val pending : t -> int
-(** Sections dispatched but not yet checked (for tests). *)
+(** Sections dispatched but not yet checked (for tests and monitors).
+    Lock-free: reads two atomic counters without touching the merge
+    lock, so polling never contends with the pipeline. *)
 
 val shutdown : t -> Report.t
 (** Drain, stop the workers, join their domains, and return the final

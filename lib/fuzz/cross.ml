@@ -315,7 +315,17 @@ let serve_daemon =
      in
      let srv =
        Server.start
-         { Server.default_config with socket; workers = 2; max_sessions = 64; idle_timeout = 60.0 }
+         {
+           Server.default_config with
+           socket;
+           (* Two shards, one worker each: campaign sessions alternate
+              shards, so the byte-identical-report contract is checked
+              against the sharded admission path, not just shard 0. *)
+           shards = 2;
+           workers = 1;
+           max_sessions = 64;
+           idle_timeout = 60.0;
+         }
      in
      at_exit (fun () -> Server.stop srv);
      srv)

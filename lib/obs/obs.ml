@@ -15,6 +15,7 @@ type hist = {
 }
 
 type worker_stat = { id : int; sections : int; busy_ns : int }
+type shard_stat = { shard : int; shard_sessions : int; shard_sections : int }
 
 type span = {
   seq : int;
@@ -63,6 +64,7 @@ type snapshot = {
   repair_verify_ns : int;
   serve : serve_stat;
   workers : worker_stat list;
+  shards : shard_stat list;
   check_hist : hist;
   e2e_hist : hist;
   serve_hist : hist;
@@ -158,6 +160,7 @@ type t = {
   mutable inflight_hwm : int;
   pending : (int, pending) Hashtbl.t;
   wstats : (int, int ref * int ref) Hashtbl.t;  (* id -> (sections, busy_ns) *)
+  shstats : (int, int ref * int ref) Hashtbl.t;  (* shard -> (sessions, sections) *)
   check_h : hist_acc;
   e2e_h : hist_acc;
   serve_h : hist_acc;
@@ -203,6 +206,7 @@ let make ~on ~max_spans =
     inflight_hwm = 0;
     pending = Hashtbl.create 32;
     wstats = Hashtbl.create 8;
+    shstats = Hashtbl.create 8;
     check_h = hist_acc ();
     e2e_h = hist_acc ();
     serve_h = hist_acc ();
@@ -349,6 +353,30 @@ let inflight_depth t d =
 
 let serve_section_ns t ns = if t.on then locked t (fun () -> hist_add t.serve_h ns)
 
+(* Per-shard admission/dispatch counters (the daemon's shards share one
+   collector, so the scaling story — are sessions and sections actually
+   spreading? — is visible in one snapshot). *)
+
+let shard_refs t shard =
+  match Hashtbl.find_opt t.shstats shard with
+  | Some s -> s
+  | None ->
+    let s = (ref 0, ref 0) in
+    Hashtbl.replace t.shstats shard s;
+    s
+
+let shard_session t ~shard =
+  if t.on then
+    locked t (fun () ->
+        let sessions, _ = shard_refs t shard in
+        incr sessions)
+
+let shard_section t ~shard =
+  if t.on then
+    locked t (fun () ->
+        let _, sections = shard_refs t shard in
+        incr sections)
+
 let engine_counts t ~entries ~ops ~checkers ~diags =
   if t.on then
     locked t (fun () ->
@@ -398,6 +426,7 @@ let empty_snapshot =
     repair_verify_ns = 0;
     serve = empty_serve;
     workers = [];
+    shards = [];
     check_hist = empty_hist;
     e2e_hist = empty_hist;
     serve_hist = empty_hist;
@@ -414,6 +443,13 @@ let snapshot t =
                (fun id (sections, busy) acc ->
                  { id; sections = !sections; busy_ns = !busy } :: acc)
                t.wstats [])
+        in
+        let shards =
+          List.sort compare
+            (Hashtbl.fold
+               (fun shard (sessions, sections) acc ->
+                 { shard; shard_sessions = !sessions; shard_sections = !sections } :: acc)
+               t.shstats [])
         in
         {
           elapsed_ns = since t;
@@ -451,6 +487,7 @@ let snapshot t =
               inflight_hwm = t.inflight_hwm;
             };
           workers;
+          shards;
           check_hist = hist_of_acc t.check_h;
           e2e_hist = hist_of_acc t.e2e_h;
           serve_hist = hist_of_acc t.serve_h;
@@ -511,6 +548,14 @@ let pp ppf s =
       s.serve.frames_corrupt;
     Format.fprintf ppf "@,                 sections shed %d   inflight high-water %d"
       s.serve.sections_shed s.serve.inflight_hwm
+  end;
+  if s.shards <> [] then begin
+    Format.fprintf ppf "@,shards (admission + dispatch spread):";
+    List.iter
+      (fun sh ->
+        Format.fprintf ppf "@,  shard%-2d sessions %4d  sections %6d" sh.shard
+          sh.shard_sessions sh.shard_sections)
+      s.shards
   end;
   if s.workers <> [] then begin
     Format.fprintf ppf "@,workers (utilization = busy / elapsed):";
@@ -574,6 +619,9 @@ let to_tsv s =
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b l; Buffer.add_char b '\n') fmt in
   List.iter (fun (k, v) -> line "counter\t%s\t%d" k v) (counter_fields s);
   List.iter (fun w -> line "worker\t%d\t%d\t%d" w.id w.sections w.busy_ns) s.workers;
+  List.iter
+    (fun sh -> line "shard\t%d\t%d\t%d" sh.shard sh.shard_sessions sh.shard_sections)
+    s.shards;
   List.iter
     (fun (name, h) ->
       line "hist\t%s\t%d\t%d\t%d\t%d" name h.total h.sum_ns h.min_ns h.max_ns;
@@ -649,6 +697,13 @@ let of_tsv text =
             let s = !snap in
             snap := { s with workers = s.workers @ [ { id; sections; busy_ns } ] }
           | _ | (exception Failure _) -> fail "malformed worker line %S" l)
+        | "shard" :: rest -> (
+          match ints rest with
+          | [ shard; shard_sessions; shard_sections ] ->
+            let s = !snap in
+            snap :=
+              { s with shards = s.shards @ [ { shard; shard_sessions; shard_sections } ] }
+          | _ | (exception Failure _) -> fail "malformed shard line %S" l)
         | "hist" :: name :: rest -> (
           match ints rest with
           | [ total; sum_ns; min_ns; max_ns ] ->
@@ -697,6 +752,14 @@ let to_jsonl s =
           ("busy_ns", i w.busy_ns);
         ])
     s.workers;
+  List.iter
+    (fun sh ->
+      obj
+        [
+          ("type", "\"shard\""); ("shard", i sh.shard); ("sessions", i sh.shard_sessions);
+          ("sections", i sh.shard_sections);
+        ])
+    s.shards;
   List.iter
     (fun (name, h) ->
       obj

@@ -126,6 +126,13 @@ val serve_section_ns : t -> int -> unit
 (** Receipt-to-checked latency of one client section (feeds the
     per-session latency histogram). *)
 
+val shard_session : t -> shard:int -> unit
+(** A session was admitted onto (pinned to) the given daemon shard. *)
+
+val shard_section : t -> shard:int -> unit
+(** One section dispatched by the given shard's runtime (shard 0 for
+    every in-process runtime). *)
+
 (** {1 Snapshots} *)
 
 type hist = {
@@ -139,6 +146,9 @@ type hist = {
 }
 
 type worker_stat = { id : int; sections : int; busy_ns : int }
+
+type shard_stat = { shard : int; shard_sessions : int; shard_sections : int }
+(** Sessions admitted onto / sections dispatched by one daemon shard. *)
 
 type serve_stat = {
   sessions_opened : int;
@@ -187,6 +197,7 @@ type snapshot = {
   repair_verify_ns : int;  (** Time spent verifying repair plans. *)
   serve : serve_stat;  (** Daemon-side counters (all zero in-process). *)
   workers : worker_stat list;  (** Ascending worker id. *)
+  shards : shard_stat list;  (** Ascending shard index; empty in-process. *)
   check_hist : hist;  (** Engine pass time per section. *)
   e2e_hist : hist;  (** Dispatch-to-merge time per section. *)
   serve_hist : hist;  (** Per-session receipt-to-checked latency. *)

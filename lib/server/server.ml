@@ -7,6 +7,7 @@ module Wire = Pmtest_wire.Wire
 
 type config = {
   socket : string;
+  shards : int;
   workers : int;
   max_sessions : int;
   max_inflight : int;
@@ -17,6 +18,7 @@ type config = {
 let default_config =
   {
     socket = "pmtestd.sock";
+    shards = 1;
     workers = 2;
     max_sessions = 32;
     max_inflight = 64;
@@ -24,13 +26,36 @@ let default_config =
     policy = Wire.Block;
   }
 
+(* One shard: a whole private copy of the daemon's hot state.  Sessions
+   pinned to different shards share {e no} mutex — each shard owns its
+   runtime (worker domains + merge lock), its arena freelist, and its
+   own accept thread, and its session readers run as threads of the
+   shard's domain, so even their OCaml runtime lock is private.  The
+   only cross-shard state left is the admission table under [t.m],
+   touched once per connect/disconnect. *)
+type shard = {
+  idx : int;
+  rt : Runtime.t;
+  arena_pool : Packed.pool;
+  (* Accepted fds are handed to their pinned shard through this queue;
+     the shard's dispatcher spawns the session thread inside its own
+     domain (threads cannot migrate, so pinning happens at spawn). *)
+  iq_m : Mutex.t;
+  iq_c : Condition.t;
+  mutable iq : (int * Unix.file_descr) list;  (* reversed arrival order *)
+  mutable iq_quit : bool;
+}
+
 (* One attached client.  [sm]/[sc] guard the per-session fields; lock
-   order is runtime-merge-lock before [sm] (the completion callback runs
-   under the former and takes the latter), and the reader thread never
-   holds [sm] while dispatching, so that order is never inverted. *)
+   order is shard-runtime-merge-lock before [sm] (the completion
+   callback runs under the former and takes the latter), and the reader
+   thread never holds [sm] while dispatching, so that order is never
+   inverted. *)
 type session = {
   sid : int;
   fd : Unix.file_descr;
+  reader : Wire.reader;
+  shard : shard;
   model : Model.kind;
   sm : Mutex.t;
   sc : Condition.t;
@@ -42,23 +67,38 @@ type session = {
 type t = {
   cfg : config;
   obs : Obs.t;
-  rt : Runtime.t;
   listen : Unix.file_descr;
+  shards : shard array;
+  mutable domains : unit Domain.t array;
+  (* [m] guards everything below: the admission table is the single
+     piece of cross-shard daemon state. *)
   m : Mutex.t;
   drained : Condition.t;
-  mutable next_sid : int;
-  (* sid -> fd of live sessions, so [stop] can shut their reads down. *)
-  live : (int, Unix.file_descr) Hashtbl.t;
+  mutable next_cid : int;
+  (* cid -> fd of every accepted connection (handshaking or admitted),
+     so [stop] can shut all their reads down. *)
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  (* Connections currently pinned to each shard — the least-loaded
+     admission metric and the [sessions_per_shard] introspection. *)
+  assigned : int array;
+  mutable nlive : int;  (* admitted sessions, vs [max_sessions] *)
   mutable stopping : bool;
   mutable stopped : bool;
-  mutable accept_thread : Thread.t option;
 }
 
 let active_sessions t =
   Mutex.lock t.m;
-  let n = Hashtbl.length t.live in
+  let n = t.nlive in
   Mutex.unlock t.m;
   n
+
+let shard_count t = Array.length t.shards
+
+let sessions_per_shard t =
+  Mutex.lock t.m;
+  let a = Array.copy t.assigned in
+  Mutex.unlock t.m;
+  a
 
 (* --- Per-session protocol ------------------------------------------------ *)
 
@@ -80,7 +120,7 @@ let dispatch t sess p =
   Mutex.lock sess.sm;
   if t.cfg.policy = Wire.Shed && sess.inflight >= t.cfg.max_inflight then begin
     Mutex.unlock sess.sm;
-    Packed.free p;
+    Packed.free ~pool:sess.shard.arena_pool p;
     if Obs.enabled t.obs then Obs.section_shed t.obs
   end
   else begin
@@ -93,10 +133,12 @@ let dispatch t sess p =
     Mutex.unlock sess.sm;
     if Obs.enabled t.obs then Obs.inflight_depth t.obs depth;
     let t0 = Obs.now_ns () in
-    Runtime.send_packed_cb ~model:sess.model ~prelude t.rt p (fun r ->
-        (* Fires in dispatch order under the runtime's merge lock: the
-           per-session aggregate is byte-identical to a dedicated
-           synchronous run over the same section stream. *)
+    Runtime.send_packed_cb ~model:sess.model ~prelude sess.shard.rt p (fun r ->
+        (* Fires in dispatch order under the shard runtime's merge lock:
+           a session is pinned to exactly one shard, so its callback
+           stream is totally ordered there and the per-session aggregate
+           stays byte-identical to a dedicated synchronous run over the
+           same section stream — sharding never reorders one session. *)
         Mutex.lock sess.sm;
         sess.aggregate <- Report.merge sess.aggregate r;
         sess.inflight <- sess.inflight - 1;
@@ -109,14 +151,14 @@ let dispatch t sess p =
 let handle_frame t sess kind payload =
   match (kind : Wire.kind) with
   | Wire.Prelude -> (
-    match Packed.decode_wire payload with
+    match Packed.decode_wire ~obs:t.obs ~pool:sess.shard.arena_pool payload with
     | Error e ->
       if Obs.enabled t.obs then Obs.frame_corrupt t.obs;
       send_err t sess.fd ("bad prelude: " ^ Packed.decode_error_to_string e);
       false
     | Ok arena ->
       let events = Packed.to_events arena in
-      Packed.free arena;
+      Packed.free ~pool:sess.shard.arena_pool arena;
       Mutex.lock sess.sm;
       sess.prelude <- events;
       Mutex.unlock sess.sm;
@@ -125,7 +167,7 @@ let handle_frame t sess kind payload =
     (* A frame with a valid CRC can still carry garbage (hostile or
        buggy client); the checked decoder turns that into a session
        error instead of an exception inside a checking worker. *)
-    match Packed.decode_wire payload with
+    match Packed.decode_wire ~obs:t.obs ~pool:sess.shard.arena_pool payload with
     | Error e ->
       if Obs.enabled t.obs then Obs.frame_corrupt t.obs;
       send_err t sess.fd ("bad section: " ^ Packed.decode_error_to_string e);
@@ -146,12 +188,24 @@ let handle_frame t sess kind payload =
     send_err t sess.fd (Printf.sprintf "unexpected %s frame" (Wire.kind_name kind));
     false
 
+(* The reader drains every complete frame a single [read(2)] delivered
+   before coming back for more: under concurrent load the syscall, the
+   wakeup and the buffer walk amortise across the whole batch. *)
 let rec session_loop t sess =
-  match Wire.read_frame sess.fd with
-  | Ok (kind, payload) ->
-    if Obs.enabled t.obs then
-      Obs.frame_received t.obs ~bytes:(Wire.header_len + String.length payload);
-    if handle_frame t sess kind payload then session_loop t sess
+  match Wire.read_batch sess.reader with
+  | Ok frames ->
+    let continue =
+      List.fold_left
+        (fun cont (kind, payload) ->
+          cont
+          && begin
+               if Obs.enabled t.obs then
+                 Obs.frame_received t.obs ~bytes:(Wire.header_len + String.length payload);
+               handle_frame t sess kind payload
+             end)
+        true frames
+    in
+    if continue then session_loop t sess
   | Error Wire.Timeout -> send_err t sess.fd "idle timeout exceeded"
   | Error Wire.Closed ->
     (* Client hung up — possibly mid-frame; anything already dispatched
@@ -164,56 +218,69 @@ let rec session_loop t sess =
     if Obs.enabled t.obs then Obs.frame_corrupt t.obs;
     send_err t sess.fd (Printf.sprintf "unsupported protocol version %d" v)
 
-(* Handshake, registration, the frame loop, then teardown.  Runs on its
-   own thread; never lets an exception escape (a dead session must not
-   take the daemon down). *)
-let serve_conn t fd =
-  let cleanup registered sid =
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    if registered then begin
+(* Handshake, admission, the frame loop, then teardown.  Runs as a
+   thread of its shard's domain; never lets an exception escape (a dead
+   session must not take the daemon down). *)
+let serve_conn t sh cid fd =
+  (* [cleanup] is idempotent (the exception arm below may run after a
+     normal-path cleanup already did), and [admitted] lives in a ref so
+     an exception escaping [session_loop] still unwinds the live-session
+     count it bumped at admission. *)
+  let admitted = ref false in
+  let cleaned = ref false in
+  let cleanup () =
+    if not !cleaned then begin
+      cleaned := true;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
       Mutex.lock t.m;
-      Hashtbl.remove t.live sid;
+      Hashtbl.remove t.conns cid;
+      t.assigned.(sh.idx) <- t.assigned.(sh.idx) - 1;
+      if !admitted then t.nlive <- t.nlive - 1;
       Condition.broadcast t.drained;
       Mutex.unlock t.m;
-      if Obs.enabled t.obs then Obs.session_closed t.obs
+      if !admitted && Obs.enabled t.obs then Obs.session_closed t.obs
     end
   in
   match
     if t.cfg.idle_timeout > 0.0 then
       Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
-    match Wire.read_frame fd with
+    let reader = Wire.reader fd in
+    match Wire.read_one reader with
     | Ok (Wire.Hello, payload) -> (
       if Obs.enabled t.obs then
         Obs.frame_received t.obs ~bytes:(Wire.header_len + String.length payload);
       match Wire.decode_hello payload with
       | Error e ->
         send_err t fd (Wire.error_to_string e);
-        cleanup false 0
+        cleanup ()
       | Ok model -> (
         Mutex.lock t.m;
-        let admitted =
+        let verdict =
           if t.stopping then Error "daemon is shutting down"
-          else if Hashtbl.length t.live >= t.cfg.max_sessions then
-            Error
-              (Printf.sprintf "session limit reached (%d active)" (Hashtbl.length t.live))
+          else if t.nlive >= t.cfg.max_sessions then
+            Error (Printf.sprintf "session limit reached (%d active)" t.nlive)
           else begin
-            let sid = t.next_sid in
-            t.next_sid <- sid + 1;
-            Hashtbl.replace t.live sid fd;
-            Ok sid
+            t.nlive <- t.nlive + 1;
+            admitted := true;
+            Ok cid
           end
         in
         Mutex.unlock t.m;
-        match admitted with
+        match verdict with
         | Error msg ->
           send_err t fd msg;
-          cleanup false 0
+          cleanup ()
         | Ok sid ->
-          if Obs.enabled t.obs then Obs.session_opened t.obs;
+          if Obs.enabled t.obs then begin
+            Obs.session_opened t.obs;
+            Obs.shard_session t.obs ~shard:sh.idx
+          end;
           let sess =
             {
               sid;
               fd;
+              reader;
+              shard = sh;
               model;
               sm = Mutex.create ();
               sc = Condition.create ();
@@ -227,31 +294,79 @@ let serve_conn t fd =
               (Wire.encode_hello_ack ~session:sid ~max_inflight:t.cfg.max_inflight
                  ~policy:t.cfg.policy)
           then session_loop t sess;
-          cleanup true sid))
+          cleanup ()))
     | Ok (kind, _) ->
       send_err t fd (Printf.sprintf "expected hello, got %s" (Wire.kind_name kind));
-      cleanup false 0
+      cleanup ()
     | Error (Wire.Version_mismatch v) ->
       if Obs.enabled t.obs then Obs.frame_corrupt t.obs;
       send_err t fd (Printf.sprintf "unsupported protocol version %d" v);
-      cleanup false 0
-    | Error _ -> cleanup false 0
+      cleanup ()
+    | Error _ -> cleanup ()
   with
   | () -> ()
-  | exception _ -> cleanup false 0
+  | exception _ -> cleanup ()
 
+(* Least-loaded admission, ties to the lowest index: under [t.m], pick
+   the shard with the fewest pinned connections and hand the fd over. *)
+let pin_conn t fd =
+  Mutex.lock t.m;
+  if t.stopping then begin
+    Mutex.unlock t.m;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+  else begin
+    let best = ref 0 in
+    Array.iteri (fun i n -> if n < t.assigned.(!best) then best := i) t.assigned;
+    let s = !best in
+    let cid = t.next_cid in
+    t.next_cid <- cid + 1;
+    Hashtbl.replace t.conns cid fd;
+    t.assigned.(s) <- t.assigned.(s) + 1;
+    Mutex.unlock t.m;
+    let sh = t.shards.(s) in
+    Mutex.lock sh.iq_m;
+    sh.iq <- (cid, fd) :: sh.iq;
+    Condition.signal sh.iq_c;
+    Mutex.unlock sh.iq_m
+  end
+
+(* Multi-accept fan-in: every shard runs its own acceptor on the one
+   shared listener, so accept handling itself scales with the shard
+   count and a stall in one shard's domain never blocks new connects. *)
 let rec accept_loop t =
   if not t.stopping then
     match Unix.accept ~cloexec:true t.listen with
     | fd, _ ->
-      if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
-      else
-        (* Detached: the session unregisters itself under [t.m]; [stop]
-           waits on that, not on thread joins. *)
-        ignore (Thread.create (fun () -> serve_conn t fd) ());
+      pin_conn t fd;
       accept_loop t
     | exception Unix.Unix_error (EINTR, _, _) -> accept_loop t
     | exception Unix.Unix_error _ -> ()  (* listen fd closed by [stop] *)
+
+(* A shard domain's main: one acceptor thread plus the session
+   dispatcher.  Session threads are spawned (and therefore scheduled)
+   inside this domain and joined before the domain exits. *)
+let shard_main t sh =
+  let acceptor = Thread.create (fun () -> accept_loop t) () in
+  let threads = ref [] in
+  let rec loop () =
+    Mutex.lock sh.iq_m;
+    while sh.iq = [] && not sh.iq_quit do
+      Condition.wait sh.iq_c sh.iq_m
+    done;
+    let batch = List.rev sh.iq in
+    sh.iq <- [];
+    let quit = sh.iq_quit in
+    Mutex.unlock sh.iq_m;
+    List.iter
+      (fun (cid, fd) ->
+        threads := Thread.create (fun () -> serve_conn t sh cid fd) () :: !threads)
+      batch;
+    if not quit then loop ()
+  in
+  loop ();
+  Thread.join acceptor;
+  List.iter Thread.join !threads
 
 let start ?(obs = Obs.disabled) cfg =
   (* Writing a report to a vanished client must be an EPIPE result, not
@@ -261,8 +376,11 @@ let start ?(obs = Obs.disabled) cfg =
     (* [Block] with a zero bound would deadlock the first section;
        [Shed] with zero is a legitimate drop-everything configuration
        (the deterministic shed test uses it). *)
-    if cfg.policy = Wire.Block && cfg.max_inflight < 1 then { cfg with max_inflight = 1 }
-    else cfg
+    let cfg =
+      if cfg.policy = Wire.Block && cfg.max_inflight < 1 then { cfg with max_inflight = 1 }
+      else cfg
+    in
+    if cfg.shards < 1 then { cfg with shards = 1 } else cfg
   in
   if Sys.file_exists cfg.socket then Unix.unlink cfg.socket;
   let listen = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
@@ -272,22 +390,37 @@ let start ?(obs = Obs.disabled) cfg =
    with e ->
      (try Unix.close listen with Unix.Unix_error _ -> ());
      raise e);
+  let mk_shard idx =
+    let arena_pool = Packed.create_pool () in
+    {
+      idx;
+      rt = Runtime.create ~workers:cfg.workers ~obs ~shard:idx ~arena_pool ();
+      arena_pool;
+      iq_m = Mutex.create ();
+      iq_c = Condition.create ();
+      iq = [];
+      iq_quit = false;
+    }
+  in
+  let shards = Array.init cfg.shards mk_shard in
   let t =
     {
       cfg;
       obs;
-      rt = Runtime.create ~workers:cfg.workers ~obs ();
       listen;
+      shards;
+      domains = [||];
       m = Mutex.create ();
       drained = Condition.create ();
-      next_sid = 1;
-      live = Hashtbl.create 16;
+      next_cid = 1;
+      conns = Hashtbl.create 16;
+      assigned = Array.make cfg.shards 0;
+      nlive = 0;
       stopping = false;
       stopped = false;
-      accept_thread = None;
     }
   in
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.domains <- Array.map (fun sh -> Domain.spawn (fun () -> shard_main t sh)) shards;
   t
 
 let config t = t.cfg
@@ -299,27 +432,40 @@ let stop t =
   t.stopping <- true;
   Mutex.unlock t.m;
   if first then begin
-    (* Closing a listening fd does not wake a thread parked in
-       accept(2); a throwaway connection does.  The acceptor re-checks
-       [stopping] before every accept, so it exits either way. *)
-    (try
-       let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
-       (try Unix.connect fd (ADDR_UNIX t.cfg.socket) with Unix.Unix_error _ -> ());
-       Unix.close fd
-     with Unix.Unix_error _ -> ());
-    Option.iter Thread.join t.accept_thread;
-    (try Unix.close t.listen with Unix.Unix_error _ -> ());
-    (* Stop reading from every live session: each reader finishes the
-       frame in hand, drains what it dispatched and unregisters.  The
-       write side stays open so a pending report still goes out. *)
+    (* Closing a listening fd does not wake threads parked in accept(2);
+       throwaway connections do — one per acceptor.  Each acceptor
+       consumes at most one wakeup after [stopping] flips, then exits. *)
+    for _ = 1 to Array.length t.shards do
+      try
+        let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+        (try Unix.connect fd (ADDR_UNIX t.cfg.socket) with Unix.Unix_error _ -> ());
+        Unix.close fd
+      with Unix.Unix_error _ -> ()
+    done;
+    (* Stop reading from every accepted connection (handshaking or
+       admitted): each reader finishes the frame in hand, drains what it
+       dispatched and unregisters.  The write side stays open so a
+       pending report still goes out. *)
     Mutex.lock t.m;
     Hashtbl.iter
       (fun _ fd -> try Unix.shutdown fd SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
-      t.live;
-    while Hashtbl.length t.live > 0 do
+      t.conns;
+    while Hashtbl.length t.conns > 0 do
       Condition.wait t.drained t.m
     done;
     Mutex.unlock t.m;
-    ignore (Runtime.shutdown t.rt);
+    (* All sessions are gone; release the shard dispatchers, join the
+       shard domains (which join their acceptor and session threads),
+       then drain each shard's pool. *)
+    Array.iter
+      (fun sh ->
+        Mutex.lock sh.iq_m;
+        sh.iq_quit <- true;
+        Condition.signal sh.iq_c;
+        Mutex.unlock sh.iq_m)
+      t.shards;
+    Array.iter Domain.join t.domains;
+    Array.iter (fun sh -> ignore (Runtime.shutdown sh.rt)) t.shards;
+    (try Unix.close t.listen with Unix.Unix_error _ -> ());
     try Unix.unlink t.cfg.socket with Unix.Unix_error _ | Sys_error _ -> ()
   end

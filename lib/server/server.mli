@@ -1,15 +1,22 @@
 (** [pmtestd]: a multi-client checking service over the packed wire
     format.
 
-    One daemon owns one {!Pmtest_core.Runtime} worker pool and a Unix
-    domain socket.  Each accepted connection is a {e session}: it
-    declares a persistency model in its [Hello], then streams packed
-    trace sections ({!Pmtest_wire.Wire} frames); sections are fed into
-    the shared pool with a per-session completion callback, so every
-    session accumulates its own aggregate report — byte-identical to
-    what a dedicated in-process run over the same sections would
-    produce — while sharing the checking domains with every other
-    session, across models.
+    One daemon owns a Unix domain socket and [shards] independent
+    execution shards.  Each shard is a whole private copy of the hot
+    path: its own {!Pmtest_core.Runtime} (worker domains + merge lock),
+    its own packed-arena freelist, its own acceptor on the shared
+    listener, and its own domain on which its session readers run — two
+    sessions pinned to different shards share {e no} mutex.  Connections
+    are pinned to the least-loaded shard at accept time; a session never
+    migrates, so its completion callbacks still fire in dispatch order
+    on one merge loop and its aggregate report stays byte-identical to a
+    dedicated in-process run over the same sections.
+
+    Each accepted connection is a {e session}: it declares a persistency
+    model in its [Hello], then streams packed trace sections
+    ({!Pmtest_wire.Wire} frames); the session reader decodes every
+    complete frame per [read(2)] in one batch and feeds its shard's pool
+    with a per-session completion callback.
 
     Robustness contract:
     - a corrupt frame (bad CRC, bad packed bytes) fails {e that
@@ -22,37 +29,48 @@
       ([Block]: the daemon stops reading their socket) or trimmed
       ([Shed]: further sections are dropped and counted);
     - {!stop} drains: no new sessions, live readers are shut down,
-      everything dispatched is checked, then the pool exits. *)
+      everything dispatched is checked, then every shard exits. *)
 
 module Wire = Pmtest_wire.Wire
 
 type config = {
   socket : string;  (** Path of the Unix domain socket to bind. *)
-  workers : int;  (** Checking domains in the shared pool. *)
-  max_sessions : int;  (** Concurrent sessions; excess get [Err]. *)
+  shards : int;  (** Independent execution shards (clamped up to 1). *)
+  workers : int;  (** Checking domains {e per shard}. *)
+  max_sessions : int;  (** Concurrent sessions, whole daemon; excess get [Err]. *)
   max_inflight : int;  (** Unchecked sections per session. *)
   idle_timeout : float;  (** Seconds between frames; [0.] disables. *)
   policy : Wire.policy;  (** What to do past [max_inflight]. *)
 }
 
 val default_config : config
-(** [pmtestd.sock], 2 workers, 32 sessions, 64 inflight, 30 s idle,
-    [Block]. *)
+(** [pmtestd.sock], 1 shard, 2 workers, 32 sessions, 64 inflight, 30 s
+    idle, [Block]. *)
 
 type t
 
 val start : ?obs:Pmtest_obs.Obs.t -> config -> t
-(** Bind, listen and return immediately; sessions run on their own
-    threads.  A stale socket file at [cfg.socket] is replaced.  [Block]
-    clamps [max_inflight] up to 1 (zero would deadlock); [Shed] keeps
-    it, so [max_inflight = 0] + [Shed] drops every section — the
-    deterministic shed configuration tests use. *)
+(** Bind, listen and return immediately; each shard runs on its own
+    domain, sessions on threads of their shard's domain.  A stale socket
+    file at [cfg.socket] is replaced.  [Block] clamps [max_inflight] up
+    to 1 (zero would deadlock); [Shed] keeps it, so [max_inflight = 0] +
+    [Shed] drops every section — the deterministic shed configuration
+    tests use. *)
 
 val stop : t -> unit
 (** Graceful drain, idempotent: stop accepting, shut down every live
-    session's read side, wait for them to unregister, then drain and
-    join the worker pool and unlink the socket. *)
+    connection's read side, wait for them to unregister, then join the
+    shard domains, drain every shard's worker pool and unlink the
+    socket. *)
 
 val config : t -> config
 
 val active_sessions : t -> int
+(** Admitted (post-handshake) sessions currently live, whole daemon. *)
+
+val shard_count : t -> int
+
+val sessions_per_shard : t -> int array
+(** Connections currently pinned to each shard (admitted sessions plus
+    any still in handshake), by shard index — the least-loaded admission
+    metric, exposed for tests and monitoring. *)

@@ -444,6 +444,61 @@ let validate t =
   in
   go 0 0
 
+(* --- Arena freelists ----------------------------------------------------
+   Sections retire at a steady rate (builder fills, worker drains), so a
+   small pool keeps the hot loop at zero arena allocations.  Each pool is
+   guarded by its own mutex: alloc runs on program threads, free on
+   worker domains.  [default_pool] serves in-process sessions; the
+   daemon gives every shard its own pool so arenas recycle shard-locally
+   (decode on the shard's session readers, free on the shard's workers)
+   with no cross-shard contention. *)
+
+type pool = { mutable items : t list; mutable plen : int; pcap : int; pm : Mutex.t }
+
+let create_pool ?(cap = 64) () = { items = []; plen = 0; pcap = max 0 cap; pm = Mutex.create () }
+let default_pool = create_pool ()
+
+let alloc ?(obs = Obs.disabled) ?(pool = default_pool) () =
+  Mutex.lock pool.pm;
+  let a =
+    match pool.items with
+    | p :: rest ->
+      pool.items <- rest;
+      pool.plen <- pool.plen - 1;
+      Some p
+    | [] -> None
+  in
+  Mutex.unlock pool.pm;
+  match a with
+  | Some p ->
+    if Obs.enabled obs then Obs.arena_alloc obs ~reused:true;
+    p
+  | None ->
+    if Obs.enabled obs then Obs.arena_alloc obs ~reused:false;
+    create ()
+
+let free ?(pool = default_pool) t =
+  reset t;
+  Mutex.lock pool.pm;
+  if pool.plen < pool.pcap then begin
+    pool.items <- t :: pool.items;
+    pool.plen <- pool.plen + 1
+  end;
+  Mutex.unlock pool.pm
+
+(* Builder-side recycling keeps the intern table (see [reset]); an arena
+   reused for {e decoding} must not — decoded loc ids index the frame's
+   own table, so the previous tenant's interned locations would alias
+   them. *)
+let reset_for_decode t =
+  reset t;
+  Vec.clear t.locs;
+  Vec.push t.locs Loc.none;
+  Hashtbl.reset t.loc_ids;
+  Array.fill t.memo_locs 0 memo_size Loc.none;
+  Array.fill t.memo_ids 0 memo_size 0
+
+
 (* Self-contained byte form: the per-arena loc intern table travels in
    front of the event bytes, so the receiver can rebuild an equivalent
    arena without sharing this process's intern state.  Layout (unsigned
@@ -479,7 +534,7 @@ let encode_wire t =
   Buffer.add_subbytes b t.buf 0 t.len;
   Buffer.contents b
 
-let decode_wire s =
+let decode_wire ?obs ?pool s =
   let slen = String.length s in
   let uv pos =
     let rec go p shift acc =
@@ -496,7 +551,16 @@ let decode_wire s =
   try
     let nlocs, p = uv 0 in
     if nlocs < 1 then bad 0 "location table must include slot 0";
-    let t = create ~capacity:16 () in
+    let t =
+      match pool with
+      | None -> create ~capacity:16 ()
+      | Some pool ->
+        (* On a decode error the arena is dropped to the GC rather than
+           returned — malformed frames end the whole session anyway. *)
+        let t = alloc ?obs ~pool () in
+        reset_for_decode t;
+        t
+    in
     let p = ref p in
     for _ = 1 to nlocs - 1 do
       let line, q = uv !p in
@@ -510,7 +574,8 @@ let decode_wire s =
     if count < 0 then bad !p "negative event count";
     let blen, q = uv q in
     if blen < 0 || blen <> slen - q then bad q "event bytes do not fill the frame";
-    t.buf <- Bytes.of_string (String.sub s q blen);
+    if Bytes.length t.buf < blen then t.buf <- Bytes.create blen;
+    Bytes.blit_string s q t.buf 0 blen;
     t.len <- blen;
     t.count <- count;
     (match validate t with Ok () -> () | Error e -> raise (Bad e));
@@ -526,41 +591,3 @@ let decode_wire s =
     done;
     Ok t
   with Bad e -> Error e
-
-(* --- Arena freelist ----------------------------------------------------
-   Sections retire at a steady rate (builder fills, worker drains), so a
-   small pool keeps the hot loop at zero arena allocations.  Guarded by
-   a mutex: alloc runs on program threads, free on worker domains. *)
-
-let pool : t list ref = ref []
-let pool_len = ref 0
-let pool_cap = 64
-let pool_mutex = Mutex.create ()
-
-let alloc ?(obs = Obs.disabled) () =
-  Mutex.lock pool_mutex;
-  let a =
-    match !pool with
-    | p :: rest ->
-      pool := rest;
-      decr pool_len;
-      Some p
-    | [] -> None
-  in
-  Mutex.unlock pool_mutex;
-  match a with
-  | Some p ->
-    if Obs.enabled obs then Obs.arena_alloc obs ~reused:true;
-    p
-  | None ->
-    if Obs.enabled obs then Obs.arena_alloc obs ~reused:false;
-    create ()
-
-let free t =
-  reset t;
-  Mutex.lock pool_mutex;
-  if !pool_len < pool_cap then begin
-    pool := t :: !pool;
-    incr pool_len
-  end;
-  Mutex.unlock pool_mutex

@@ -132,19 +132,31 @@ val encode_wire : t -> string
     the event bytes, suitable for framing onto a socket.  Unlike the raw
     buffer, the result does not depend on this process's intern state. *)
 
-val decode_wire : string -> (t, decode_error) result
+type pool
+(** An arena freelist (see the {e Arena freelists} section below). *)
+
+val decode_wire : ?obs:Pmtest_obs.Obs.t -> ?pool:pool -> string -> (t, decode_error) result
 (** Inverse of {!encode_wire}, fully validated ({!validate} has run, the
     loc table is in bounds, nothing trails the event bytes).  The
     resulting arena is safe to hand to the unchecked cursor / the
-    engine. *)
+    engine.  With [pool] the arena is drawn from (and its buffer reused
+    out of) that freelist instead of freshly allocated — free it back to
+    the {e same} pool. *)
 
-(** {1 Arena freelist}
+(** {1 Arena freelists}
 
-    Bounded global pool so steady-state sections recycle buffers instead
-    of allocating.  [obs] (default disabled) records pool hit/miss via
-    [Obs.arena_alloc]. *)
+    Bounded pools so steady-state sections recycle buffers instead of
+    allocating.  [alloc]/[free] default to a process-wide shared pool;
+    the daemon gives each shard its own so arenas cycle decode → check →
+    free entirely within one shard, with no cross-shard mutex.  [obs]
+    (default disabled) records pool hit/miss via [Obs.arena_alloc]. *)
 
-val alloc : ?obs:Pmtest_obs.Obs.t -> unit -> t
-val free : t -> unit
+val create_pool : ?cap:int -> unit -> pool
+(** A fresh freelist holding at most [cap] (default 64) retired arenas. *)
+
+val default_pool : pool
+
+val alloc : ?obs:Pmtest_obs.Obs.t -> ?pool:pool -> unit -> t
+val free : ?pool:pool -> t -> unit
 (** Reset and return the arena to the pool (dropped if the pool is
     full).  The caller must not touch the arena afterwards. *)

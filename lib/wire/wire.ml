@@ -158,6 +158,122 @@ let read_frame fd =
             else Ok (kind, payload)
         end)
 
+(* --- Buffered batch reader ----------------------------------------------
+
+   One [read(2)] often delivers several frames when a client streams
+   sections back-to-back (or when the reader fell behind); parsing them
+   all out of one buffer amortises the syscall and the reader-thread
+   wakeup across the whole batch instead of paying both per frame. *)
+
+type reader = {
+  rfd : Unix.file_descr;
+  mutable buf : Bytes.t;
+  mutable pos : int;  (* first unparsed byte *)
+  mutable lim : int;  (* end of valid bytes *)
+  (* A framing error poisons the stream (byte positions after it are
+     meaningless), so it sticks: frames parsed before it are still
+     delivered, then every later call re-reports the error.  [Timeout]
+     is transient and does not stick. *)
+  mutable rerr : error option;
+}
+
+let reader ?(buffer = 64 * 1024) fd =
+  { rfd = fd; buf = Bytes.create (max buffer header_len); pos = 0; lim = 0; rerr = None }
+
+let buffered r = r.lim - r.pos
+
+(* [`Need n] = the current frame spans [n] bytes total and the buffer
+   holds fewer; refill and retry. *)
+let parse_one r =
+  if buffered r < header_len then `Need header_len
+  else begin
+    let b = r.buf and off = r.pos in
+    let v = Char.code (Bytes.get b off) in
+    if v <> version then `Fail (Version_mismatch v)
+    else
+      match kind_of_code (Char.code (Bytes.get b (off + 1))) with
+      | None ->
+        `Fail (Corrupt (Printf.sprintf "unknown frame kind %d" (Char.code (Bytes.get b (off + 1)))))
+      | Some kind ->
+        let len = get_u32be b (off + 2) in
+        let crc = get_u32be b (off + 6) in
+        if len > max_payload then
+          `Fail (Corrupt (Printf.sprintf "payload length %d exceeds limit" len))
+        else if buffered r < header_len + len then `Need (header_len + len)
+        else begin
+          let payload = Bytes.sub_string b (off + header_len) len in
+          if crc32 payload <> crc then `Fail (Corrupt "payload CRC mismatch")
+          else begin
+            r.pos <- off + header_len + len;
+            `Frame (kind, payload)
+          end
+        end
+  end
+
+(* EOF below a complete header is an orderly close; EOF after a header
+   promised more payload is the same truncation [read_frame] reports. *)
+let eof_error r = if buffered r >= header_len then Corrupt "frame truncated mid-payload" else Closed
+
+let rec refill r ~need =
+  if r.pos > 0 then begin
+    let n = buffered r in
+    Bytes.blit r.buf r.pos r.buf 0 n;
+    r.pos <- 0;
+    r.lim <- n
+  end;
+  if Bytes.length r.buf < need then begin
+    let cap = ref (Bytes.length r.buf) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit r.buf 0 nb 0 r.lim;
+    r.buf <- nb
+  end;
+  match Unix.read r.rfd r.buf r.lim (Bytes.length r.buf - r.lim) with
+  | 0 -> Error (eof_error r)
+  | n ->
+    r.lim <- r.lim + n;
+    Ok ()
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> Error Timeout
+  | exception Unix.Unix_error (EINTR, _, _) -> refill r ~need
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) -> Error (eof_error r)
+
+let set_err r e =
+  (match e with Timeout -> () | _ -> r.rerr <- Some e);
+  Error e
+
+let rec read_one r =
+  match r.rerr with
+  | Some e -> Error e
+  | None -> (
+    match parse_one r with
+    | `Frame f -> Ok f
+    | `Fail e -> set_err r e
+    | `Need need -> (
+      match refill r ~need with Ok () -> read_one r | Error e -> set_err r e))
+
+let rec read_batch r =
+  match r.rerr with
+  | Some e -> Error e
+  | None -> (
+    let rec drain acc =
+      match parse_one r with
+      | `Frame f -> drain (f :: acc)
+      | `Need need -> `Need (need, acc)
+      | `Fail e -> `Fail (e, acc)
+    in
+    match drain [] with
+    | `Fail (e, []) -> set_err r e
+    | `Fail (e, acc) ->
+      (* Deliver what parsed cleanly; the sticky error resurfaces on the
+         next call, so nothing ahead of the corruption is lost. *)
+      (match e with Timeout -> () | _ -> r.rerr <- Some e);
+      Ok (List.rev acc)
+    | `Need (_, (_ :: _ as acc)) -> Ok (List.rev acc)
+    | `Need (need, []) -> (
+      match refill r ~need with Ok () -> read_batch r | Error e -> set_err r e))
+
 (* --- Payload codecs ------------------------------------------------------ *)
 
 (* Same unsigned LEB128 the packed arenas use; lengths and counts only

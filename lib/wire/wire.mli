@@ -71,6 +71,31 @@ val header_len : int
 val read_frame : Unix.file_descr -> (kind * string, error) result
 val write_frame : Unix.file_descr -> kind -> string -> (unit, error) result
 
+(** {1 Buffered batch reading}
+
+    A {!reader} wraps one fd with a growable buffer so that a single
+    [read(2)] can yield every frame it delivered.  Framing errors
+    ([Closed], [Corrupt _], [Version_mismatch _]) are {e sticky}: frames
+    parsed before the error are still returned, and the error is
+    re-reported by every later call.  [Timeout] is transient.  Do not
+    mix {!read_frame} with reader calls on the same fd — bytes already
+    buffered by the reader would be skipped. *)
+
+type reader
+
+val reader : ?buffer:int -> Unix.file_descr -> reader
+(** [reader fd] wraps [fd]; [buffer] (default 64 KiB) is the initial
+    buffer size, grown as needed up to one [max_payload] frame. *)
+
+val read_one : reader -> (kind * string, error) result
+(** Exactly {!read_frame}, through the buffer: blocks until one full
+    frame (or an error) is available. *)
+
+val read_batch : reader -> ((kind * string) list, error) result
+(** Block until at least one full frame is available, then return
+    {e every} complete frame in the buffer without further I/O.  The
+    returned list is never empty. *)
+
 (** {1 Payload codecs}
 
     Decoders are total: malformed payloads yield [Error (Corrupt _)],

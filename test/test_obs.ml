@@ -179,6 +179,11 @@ let synthetic : Obs.snapshot =
       [
         { Obs.id = 0; sections = 2; busy_ns = 700 }; { Obs.id = 1; sections = 1; busy_ns = 300 };
       ];
+    shards =
+      [
+        { Obs.shard = 0; shard_sessions = 1; shard_sections = 2 };
+        { Obs.shard = 1; shard_sessions = 1; shard_sections = 1 };
+      ];
     check_hist =
       { Obs.total = 3; sum_ns = 1000; min_ns = 100; max_ns = 600; buckets = [ (6, 1); (8, 2) ] };
     e2e_hist =
@@ -244,6 +249,8 @@ let golden_tsv =
       "counter\tserve_inflight_hwm\t3";
       "worker\t0\t2\t700";
       "worker\t1\t1\t300";
+      "shard\t0\t1\t2";
+      "shard\t1\t1\t1";
       "hist\tcheck\t3\t1000\t100\t600";
       "histbucket\tcheck\t6\t1";
       "histbucket\tcheck\t8\t2";
@@ -264,6 +271,8 @@ let golden_jsonl =
       {|{"type":"counters","elapsed_ns":5000,"events_traced":42,"sections_sent":3,"sections_checked":3,"sections_merged":3,"sections_dropped":1,"queue_hwm":2,"reorder_hwm":1,"entries_checked":40,"ops_checked":30,"checkers_run":5,"diagnostics":2,"batches":4,"batch_sections_max":2,"arenas_allocated":3,"arenas_reused":1,"repair_traces":2,"repair_edits":5,"repair_rounds":4,"repair_ns":800,"repair_verify_ns":650,"serve_sessions_opened":2,"serve_sessions_closed":2,"serve_sessions_hwm":2,"serve_frames_in":6,"serve_frames_out":4,"serve_frame_bytes_in":900,"serve_frame_bytes_out":120,"serve_frames_corrupt":1,"serve_sections_shed":0,"serve_inflight_hwm":3}|};
       {|{"type":"worker","id":0,"sections":2,"busy_ns":700}|};
       {|{"type":"worker","id":1,"sections":1,"busy_ns":300}|};
+      {|{"type":"shard","shard":0,"sessions":1,"sections":2}|};
+      {|{"type":"shard","shard":1,"sessions":1,"sections":1}|};
       {|{"type":"hist","name":"check","total":3,"sum_ns":1000,"min_ns":100,"max_ns":600,"buckets":[[6,1],[8,2]]}|};
       {|{"type":"hist","name":"e2e","total":3,"sum_ns":2100,"min_ns":400,"max_ns":1000,"buckets":[[8,1],[9,2]]}|};
       {|{"type":"hist","name":"serve","total":2,"sum_ns":900,"min_ns":300,"max_ns":600,"buckets":[[8,1],[9,1]]}|};

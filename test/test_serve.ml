@@ -234,6 +234,120 @@ let test_idle_timeout_disconnects () =
         Client.close c;
         wait_for (fun () -> Server.active_sessions t = 0))
 
+(* --- Shards ------------------------------------------------------------------- *)
+
+let test_session_churn_across_shards () =
+  (* 32 sessions against a 4-shard daemon, half of which die mid-stream:
+     admission must spread sessions over every shard, the casualties must
+     not wedge their shard, and every surviving session's aggregate must
+     stay byte-identical to a dedicated in-process run. *)
+  let obs = Obs.create () in
+  with_server ~obs
+    ~cfg:{ Server.default_config with Server.shards = 4; workers = 1; max_sessions = 64 }
+    (fun socket t ->
+      Alcotest.(check int) "shard count" 4 (Server.shard_count t);
+      let cases = Array.of_list Catalog.all in
+      let survivors = 16 and churners = 16 in
+      let results = Array.make survivors (Ok Report.empty) in
+      let survivor_threads =
+        List.init survivors (fun i ->
+            let case = cases.(i mod Array.length cases) in
+            Thread.create
+              (fun () ->
+                try results.(i) <- Ok (remote_report ~socket ~model:Model.X86 (Case.trace case))
+                with e -> results.(i) <- Error (Printexc.to_string e))
+              ())
+      in
+      let churn_threads =
+        List.init churners (fun _ ->
+            Thread.create
+              (fun () ->
+                (* Handshake, start a section frame, die mid-payload. *)
+                let fd = connect_raw socket in
+                let header = Bytes.make Wire.header_len '\x00' in
+                Bytes.set header 0 (Char.chr Wire.version);
+                Bytes.set header 1 (Char.chr (Wire.kind_code Wire.Section));
+                Bytes.set header 4 '\x10';
+                ignore (Unix.write fd header 0 Wire.header_len);
+                Unix.close fd)
+              ())
+      in
+      List.iter Thread.join survivor_threads;
+      List.iter Thread.join churn_threads;
+      List.iteri
+        (fun i r ->
+          let case = cases.(i mod Array.length cases) in
+          match r with
+          | Error m -> Alcotest.failf "survivor %d (%s): %s" i case.Case.id m
+          | Ok r ->
+            Alcotest.(check string)
+              (Printf.sprintf "survivor %d (%s) byte-identical" i case.Case.id)
+              (render (local_report ~model:Model.X86 (Case.trace case)))
+              (render r))
+        (Array.to_list results);
+      wait_for (fun () -> Server.active_sessions t = 0);
+      wait_for (fun () -> Array.for_all (fun n -> n = 0) (Server.sessions_per_shard t));
+      let snap = Obs.snapshot obs in
+      Alcotest.(check int) "per-shard admissions cover all four shards" 4
+        (List.length snap.Obs.shards);
+      Alcotest.(check int) "every session was pinned somewhere"
+        (survivors + churners)
+        (List.fold_left (fun n (sh : Obs.shard_stat) -> n + sh.Obs.shard_sessions) 0
+           snap.Obs.shards);
+      List.iter
+        (fun (sh : Obs.shard_stat) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d admitted sessions" sh.Obs.shard)
+            true (sh.Obs.shard_sessions > 0))
+        snap.Obs.shards)
+
+let test_mid_frame_kill_on_nonzero_shard () =
+  (* Pin one healthy session to shard 0, then kill a second session —
+     least-loaded admission puts it on shard 1 — mid-frame.  The crash
+     must stay contained in shard 1: the daemon keeps serving and the
+     shard-0 session still produces the exact in-process report. *)
+  with_server
+    ~cfg:{ Server.default_config with Server.shards = 2; workers = 1 }
+    (fun socket t ->
+      let case = List.hd Catalog.all in
+      match Client.connect ~model:Model.X86 ~socket () with
+      | Error m -> Alcotest.failf "connect: %s" m
+      | Ok conn ->
+        Alcotest.(check (array int))
+          "healthy session pinned to shard 0" [| 1; 0 |]
+          (Server.sessions_per_shard t);
+        let fd = connect_raw socket in
+        Alcotest.(check (array int))
+          "second connection pinned to shard 1" [| 1; 1 |]
+          (Server.sessions_per_shard t);
+        (* Mid-frame death on shard 1. *)
+        let header = Bytes.make Wire.header_len '\x00' in
+        Bytes.set header 0 (Char.chr Wire.version);
+        Bytes.set header 1 (Char.chr (Wire.kind_code Wire.Section));
+        Bytes.set header 4 '\x10';
+        ignore (Unix.write fd header 0 Wire.header_len);
+        ignore (Unix.write_substring fd "partial" 0 7);
+        Unix.close fd;
+        wait_for (fun () -> (Server.sessions_per_shard t).(1) = 0);
+        (* Shard 0's session is unharmed and still deterministic. *)
+        let s = Client.Session.make conn in
+        drive
+          ~emit:(fun (e : Event.t) ->
+            Client.Session.emit ~thread:e.Event.thread ~loc:e.Event.loc s e.Event.kind)
+          ~flush:(fun th -> Client.Session.send_trace ~thread:th s)
+          (Case.trace case);
+        (match Client.Session.finish s with
+        | Error m -> Alcotest.failf "finish: %s" m
+        | Ok r ->
+          Alcotest.(check string) "shard-0 report unharmed"
+            (render (local_report ~model:Model.X86 (Case.trace case)))
+            (render r));
+        Client.close conn;
+        (* And shard 1 still admits fresh sessions after the crash. *)
+        Alcotest.(check string) "shard 1 keeps serving"
+          (render (local_report ~model:Model.X86 (Case.trace case)))
+          (render (remote_report ~socket ~model:Model.X86 (Case.trace case))))
+
 (* --- SIGTERM drain of the real daemon ----------------------------------------- *)
 
 let cli_exe = "../bin/pmtest_cli.exe"
@@ -286,6 +400,13 @@ let () =
           Alcotest.test_case "max-sessions admission control" `Quick test_max_sessions_rejected;
           Alcotest.test_case "shed policy drops deterministically" `Quick test_shed_policy_drops;
           Alcotest.test_case "idle timeout disconnects" `Quick test_idle_timeout_disconnects;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "32-session churn across 4 shards" `Quick
+            test_session_churn_across_shards;
+          Alcotest.test_case "mid-frame kill on a non-zero shard" `Quick
+            test_mid_frame_kill_on_nonzero_shard;
         ] );
       ( "drain",
         [

@@ -126,6 +126,123 @@ let test_frame_unknown_kind () =
     | Ok _ -> Alcotest.fail "unknown kind accepted"
     | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
 
+(* --- Buffered batch reader ---------------------------------------------------- *)
+
+let test_batch_many_frames_one_read () =
+  (* Five frames land in the socket buffer before the reader wakes: one
+     read_batch must surface all five, in order, without further I/O. *)
+  let payloads = List.init 5 (fun i -> Printf.sprintf "section-%d" i) in
+  let raw = String.concat "" (List.map (raw_frame Wire.Section) payloads) in
+  with_socketpair (fun a b ->
+      let n = Unix.write_substring a raw 0 (String.length raw) in
+      Alcotest.(check int) "fed everything" (String.length raw) n;
+      Unix.close a;
+      let r = Wire.reader b in
+      (match Wire.read_batch r with
+      | Error e -> Alcotest.fail (Wire.error_to_string e)
+      | Ok frames ->
+        Alcotest.(check int) "all five in one batch" 5 (List.length frames);
+        List.iter2
+          (fun want (kind, got) ->
+            Alcotest.(check bool) "kind" true (kind = Wire.Section);
+            Alcotest.(check string) "payload, in order" want got)
+          payloads frames);
+      match Wire.read_batch r with
+      | Error Wire.Closed -> ()
+      | Ok _ -> Alcotest.fail "read past EOF succeeded"
+      | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
+
+let test_batch_stops_at_partial_frame () =
+  (* Two complete frames plus the first half of a third: the batch
+     returns the two without blocking for the third's tail, and the
+     third is delivered once its remainder arrives. *)
+  let raw1 = raw_frame Wire.Section "first" in
+  let raw2 = raw_frame Wire.Section "second" in
+  let raw3 = raw_frame Wire.Get_result "" in
+  let cut = String.length raw3 / 2 in
+  with_socketpair (fun a b ->
+      let head = raw1 ^ raw2 ^ String.sub raw3 0 cut in
+      ignore (Unix.write_substring a head 0 (String.length head));
+      let r = Wire.reader b in
+      (match Wire.read_batch r with
+      | Error e -> Alcotest.fail (Wire.error_to_string e)
+      | Ok frames ->
+        Alcotest.(check (list string))
+          "only the complete frames" [ "first"; "second" ]
+          (List.map snd frames));
+      ignore (Unix.write_substring a raw3 cut (String.length raw3 - cut));
+      match Wire.read_batch r with
+      | Error e -> Alcotest.fail (Wire.error_to_string e)
+      | Ok [ (kind, "") ] -> Alcotest.(check bool) "get_result" true (kind = Wire.Get_result)
+      | Ok _ -> Alcotest.fail "wrong tail batch")
+
+let test_batch_error_is_sticky () =
+  (* A good frame followed by a corrupt one in the same read: the good
+     frame is still delivered, and the framing error surfaces on the
+     next call — and on every call after that (a framing error is
+     unrecoverable; resynchronising inside the stream is hopeless). *)
+  let good = raw_frame Wire.Section "survivor" in
+  let bad = Bytes.of_string (raw_frame Wire.Section "about to be smashed") in
+  Bytes.set bad (Wire.header_len + 2) 'X';
+  let raw = good ^ Bytes.to_string bad in
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a raw 0 (String.length raw));
+      Unix.close a;
+      let r = Wire.reader b in
+      (match Wire.read_batch r with
+      | Error e -> Alcotest.fail (Wire.error_to_string e)
+      | Ok frames ->
+        Alcotest.(check (list string)) "good frame delivered" [ "survivor" ]
+          (List.map snd frames));
+      (match Wire.read_batch r with
+      | Error (Wire.Corrupt _) -> ()
+      | Ok _ -> Alcotest.fail "corrupt frame accepted"
+      | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e));
+      match Wire.read_one r with
+      | Error (Wire.Corrupt _) -> ()
+      | Ok _ -> Alcotest.fail "sticky error cleared"
+      | Error e -> Alcotest.failf "sticky error changed: %s" (Wire.error_to_string e))
+
+let test_read_one_interleaves_with_batch () =
+  (* read_one drains the same buffer: frames already buffered by a batch
+     refill come back one at a time in order. *)
+  let payloads = [ "a"; "b"; "c" ] in
+  let raw = String.concat "" (List.map (raw_frame Wire.Section) payloads) in
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a raw 0 (String.length raw));
+      Unix.close a;
+      let r = Wire.reader b in
+      List.iter
+        (fun want ->
+          match Wire.read_one r with
+          | Ok (_, got) -> Alcotest.(check string) "in order" want got
+          | Error e -> Alcotest.fail (Wire.error_to_string e))
+        payloads;
+      match Wire.read_one r with
+      | Error Wire.Closed -> ()
+      | Ok _ -> Alcotest.fail "read past EOF succeeded"
+      | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
+
+let test_batch_eof_mid_payload_is_corrupt () =
+  (* EOF with a frame's header buffered but its payload missing is a
+     torn frame (Corrupt), matching read_frame's semantics. *)
+  let raw1 = raw_frame Wire.Section "complete" in
+  let raw2 = raw_frame Wire.Section "never fully arrives" in
+  let raw = raw1 ^ String.sub raw2 0 (Wire.header_len + 4) in
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a raw 0 (String.length raw));
+      Unix.close a;
+      let r = Wire.reader b in
+      (match Wire.read_batch r with
+      | Ok frames ->
+        Alcotest.(check (list string)) "complete frame first" [ "complete" ]
+          (List.map snd frames)
+      | Error e -> Alcotest.fail (Wire.error_to_string e));
+      match Wire.read_batch r with
+      | Error (Wire.Corrupt _) -> ()
+      | Ok _ -> Alcotest.fail "torn frame accepted"
+      | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
+
 (* --- Payload codecs ---------------------------------------------------------- *)
 
 let test_hello_round_trip () =
@@ -228,6 +345,17 @@ let () =
           Alcotest.test_case "alien protocol version" `Quick test_frame_alien_version;
           Alcotest.test_case "unknown frame kind" `Quick test_frame_unknown_kind;
           Alcotest.test_case "corrupt cxl hello frame" `Quick test_corrupt_cxl_hello_frame;
+        ] );
+      ( "reader",
+        [
+          Alcotest.test_case "many frames in one batch" `Quick test_batch_many_frames_one_read;
+          Alcotest.test_case "batch stops at a partial frame" `Quick
+            test_batch_stops_at_partial_frame;
+          Alcotest.test_case "framing errors are sticky" `Quick test_batch_error_is_sticky;
+          Alcotest.test_case "read_one interleaves with batch" `Quick
+            test_read_one_interleaves_with_batch;
+          Alcotest.test_case "EOF mid-payload is Corrupt" `Quick
+            test_batch_eof_mid_payload_is_corrupt;
         ] );
       ( "codecs",
         [
