@@ -4,7 +4,7 @@
      dune exec bench/main.exe -- [target] [options]
 
    Targets: fig10a fig10b fig11 fig12a fig12b fig12c table1 table5 table6
-            yat ablation lint fuzz litmus obs perf repair serve bechamel
+            yat ablation lint fuzz litmus obs perf repair serve farm bechamel
             all (default: all)
    Options: --insertions N   microbenchmark insertions per cell (default 600)
             --ops N          real-workload operations (default 4000)
@@ -1096,6 +1096,17 @@ let serve_bench () =
   (match !json_path with
   | None -> ()
   | Some path ->
+    (* The caveat travels with the numbers: a reader of the JSON must be
+       able to tell a waived near-linear bar from a met one without
+       knowing what machine produced the file. *)
+    let caveat =
+      if mode = "full" then ""
+      else
+        Printf.sprintf
+          "only %d shard(s) can run in parallel on %d core(s); the near-linear 8v1 bar needs \
+           >= 9 cores, so this gate only checks that sharding does not regress throughput"
+          parallel_shards cores
+    in
     let oc = open_out path in
     Printf.fprintf oc
       "{\n\
@@ -1109,14 +1120,15 @@ let serve_bench () =
       \  \"single_client\": {\"local_ms\": %.3f, \"remote_ms\": %.3f, \"per_section_us\": %.2f},\n\
       \  \"scaling\": [%s],\n\
       \  \"scaling_8v1\": %.3f,\n\
-      \  \"gate\": {\"required\": %.3f, \"mode\": \"%s\", \"passed\": %b}\n\
+      \  \"gate\": {\"required\": %.3f, \"mode\": \"%s\", \"passed\": %b,\n\
+      \           \"multi_core_pending\": %b, \"caveat\": \"%s\"}\n\
        }\n"
       shards cores seed section_len nsec (t_local *. 1e3) (t_remote *. 1e3) per_sec_us
       (String.concat ", "
          (List.map
             (fun (c, r) -> Printf.sprintf "{\"clients\": %d, \"sections_per_s\": %.0f}" c r)
             rates))
-      scaling_8v1 required mode passed;
+      scaling_8v1 required mode passed (mode <> "full") caveat;
     close_out oc;
     Fmt.pr "@.JSON written to %s@." path);
   if !gate && not passed then begin
@@ -1125,6 +1137,188 @@ let serve_bench () =
     write_tsv ();
     exit 1
   end
+
+(* --- pmfarm: distributed campaign throughput and recovery ----------------------------- *)
+
+module Farm = Pmtest_farm.Farm
+
+let rec bench_rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = S_DIR; _ } ->
+    Array.iter (fun e -> bench_rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let farm_bench () =
+  Fmt.pr "@.### farm — pmfarm: distributed campaign throughput and recovery@.@.";
+  Fmt.pr "(jobs/s for one fuzz campaign as workers scale; reassignment latency is@.";
+  Fmt.pr " the gap between a worker dying job-in-hand and the coordinator landing@.";
+  Fmt.pr " the recovered offer on another worker)@.@.";
+  let cores = Domain.recommended_domain_count () in
+  let tmp = Filename.get_temp_dir_name () in
+  let spec = Farm.Spec.fuzz ~max_ops:16 ~model:Model.X86 ~seed:0 ~count:240 ~chunk:12 () in
+  let jobs = List.length (Farm.Spec.jobs spec) in
+  let fresh_paths tag =
+    let dir = Filename.concat tmp (Printf.sprintf "pmtest-farm-bench-%d-%s" (Unix.getpid ()) tag) in
+    let socket = dir ^ ".sock" in
+    bench_rm_rf dir;
+    (dir, socket)
+  in
+  let start_coordinator cfg =
+    let result = ref None in
+    let ready = ref false in
+    let t =
+      Thread.create
+        (fun () ->
+          result := Some (Farm.Coordinator.run ~ready:(fun () -> ready := true) cfg))
+        ()
+    in
+    while (not !ready) && !result = None do
+      Thread.delay 0.002
+    done;
+    (t, result)
+  in
+  let finish (t, result) =
+    Thread.join t;
+    match !result with
+    | Some (Ok s) -> s
+    | Some (Error e) -> failwith ("bench farm: " ^ e)
+    | None -> failwith "bench farm: coordinator died without a result"
+  in
+  (* Throughput: the same campaign, 1 worker then 2. *)
+  Fmt.pr "%-10s %12s %14s %9s@." "workers" "seconds" "jobs_per_s" "vs 1";
+  let r1 = ref nan in
+  let rates =
+    List.map
+      (fun workers ->
+        let dir, socket = fresh_paths (Printf.sprintf "w%d" workers) in
+        let cfg = Farm.Coordinator.default_cfg ~spec ~socket ~dir in
+        let coord = start_coordinator cfg in
+        let t0 = now_ns () in
+        let ws =
+          List.init workers (fun i ->
+              Thread.create
+                (fun () ->
+                  ignore
+                    (Farm.Worker.run
+                       (Farm.Worker.default_cfg ~socket
+                          ~name:(Printf.sprintf "bench-w%d" i))))
+                ())
+        in
+        let s = finish coord in
+        let t = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
+        List.iter Thread.join ws;
+        if s.Farm.Coordinator.jobs_done <> jobs then failwith "bench farm: lost jobs";
+        let rate = float_of_int jobs /. t in
+        if workers = 1 then r1 := rate;
+        Fmt.pr "%-10d %12.3f %14.2f %9.2fx@." workers t rate (rate /. !r1);
+        tsv "farm\tthroughput\t%d\tjobs_per_s\t%.2f" workers rate;
+        bench_rm_rf dir;
+        (workers, t, rate))
+      [ 1; 2 ]
+  in
+  let rate_at n =
+    try
+      let _, _, r = List.find (fun (w, _, _) -> w = n) rates in
+      r
+    with Not_found -> nan
+  in
+  let scaling_2v1 = rate_at 2 /. rate_at 1 in
+  tsv "farm\tscaling\t2v1\tratio\t%.3f" scaling_2v1;
+  (* Recovery: a raw victim claims the only job and dies; a raw rescuer,
+     already connected and idle, timestamps the reassigned offer. *)
+  let reassign_once () =
+    let spec1 = Farm.Spec.fuzz ~max_ops:8 ~model:Model.X86 ~seed:0 ~count:4 ~chunk:4 () in
+    let dir, socket = fresh_paths "reassign" in
+    let cfg = Farm.Coordinator.default_cfg ~spec:spec1 ~socket ~dir in
+    let coord = start_coordinator cfg in
+    let connect () =
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Unix.connect fd (ADDR_UNIX socket);
+      (match
+         Wire.write_frame fd Wire.Worker_hello
+           (Wire.encode_worker_hello ~farm:Wire.farm_version ~name:"bench" ~engines:0)
+       with
+      | Ok () -> ()
+      | Error e -> failwith ("bench farm: " ^ Wire.error_to_string e));
+      (match Wire.read_frame fd with
+      | Ok (Wire.Worker_hello, _) -> ()
+      | Ok _ | Error _ -> failwith "bench farm: bad handshake");
+      fd
+    in
+    let victim = connect () in
+    (match Wire.read_frame victim with
+    | Ok (Wire.Job_offer, payload) -> (
+      match Wire.decode_job_offer payload with
+      | Ok (job, attempt, _, _, _) ->
+        ignore (Wire.write_frame victim Wire.Job_claim (Wire.encode_job_claim ~job ~attempt))
+      | Error e -> failwith ("bench farm: " ^ Wire.error_to_string e))
+    | Ok _ | Error _ -> failwith "bench farm: expected the first offer");
+    let rescuer = connect () in
+    (* Die job-in-hand; the rescuer's read returns when the coordinator
+       has detected the death, requeued the job and re-offered it. *)
+    let t0 = now_ns () in
+    Unix.close victim;
+    let job, attempt, lo, hi =
+      match Wire.read_frame rescuer with
+      | Ok (Wire.Job_offer, payload) -> (
+        match Wire.decode_job_offer payload with
+        | Ok (job, attempt, lo, hi, _) -> (job, attempt, lo, hi)
+        | Error e -> failwith ("bench farm: " ^ Wire.error_to_string e))
+      | Ok _ | Error _ -> failwith "bench farm: expected the reassigned offer"
+    in
+    let latency_ms = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6 in
+    (* Finish the campaign honestly so the coordinator tears down. *)
+    (match Farm.run_units spec1 ~lo ~hi with
+    | Error e -> failwith ("bench farm: " ^ e)
+    | Ok r ->
+      ignore
+        (Wire.write_frame rescuer Wire.Job_result
+           (Wire.encode_job_result ~job ~attempt ~digest:r.Farm.digest ~units:r.Farm.units
+              ~elapsed_ms:0 ~findings:r.Farm.findings)));
+    let s = finish coord in
+    (try Unix.close rescuer with Unix.Unix_error _ -> ());
+    if s.Farm.Coordinator.reassigned < 1 then failwith "bench farm: death not reassigned";
+    bench_rm_rf dir;
+    latency_ms
+  in
+  let samples = List.init 5 (fun _ -> reassign_once ()) in
+  let best = List.fold_left Float.min infinity samples in
+  let mean = List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples) in
+  Fmt.pr "@.reassignment latency: best %.2f ms, mean %.2f ms over %d deaths@." best mean
+    (List.length samples);
+  tsv "farm\treassign\tbest\tms\t%.3f" best;
+  tsv "farm\treassign\tmean\tms\t%.3f" mean;
+  if cores < 3 then
+    Fmt.pr
+      " (2-worker scaling on %d core(s) measures protocol overhead, not parallelism;@.\
+      \ re-run on a multi-core host for a real scaling signal)@."
+      cores;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"farm\",\n\
+      \  \"campaign\": \"%s\",\n\
+      \  \"jobs\": %d,\n\
+      \  \"cores\": %d,\n\
+      \  \"workers\": [%s],\n\
+      \  \"scaling_2v1\": %.3f,\n\
+      \  \"multi_core_pending\": %b,\n\
+      \  \"reassignment_ms\": {\"best\": %.3f, \"mean\": %.3f, \"samples\": %d}\n\
+       }\n"
+      (Farm.Spec.to_string spec) jobs cores
+      (String.concat ", "
+         (List.map
+            (fun (w, t, r) ->
+              Printf.sprintf "{\"workers\": %d, \"seconds\": %.3f, \"jobs_per_s\": %.2f}" w t r)
+            rates))
+      scaling_2v1 (cores < 3) best mean (List.length samples);
+    close_out oc;
+    Fmt.pr "@.JSON written to %s@." path
 
 (* --- Bechamel micro-measurements ------------------------------------------------------ *)
 
@@ -1477,6 +1671,7 @@ let all_targets =
     ("perf", perf);
     ("repair", repair_bench);
     ("serve", serve_bench);
+    ("farm", farm_bench);
     ("bechamel", bechamel);
   ]
 

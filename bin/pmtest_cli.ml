@@ -101,7 +101,10 @@ let pmtest_session ?(model = Model.X86) ~obs ~workers () =
   }
 
 let remote_session ~obs ~socket ~model () =
-  match Client.connect ~model ~socket () with
+  let on_retry ~attempt ~delay err =
+    Fmt.epr "attach: %s; retry %d in %.0f ms@.%!" err attempt (delay *. 1000.)
+  in
+  match Client.connect_retry ~model ~attempts:5 ~on_retry ~socket () with
   | Error m -> Error m
   | Ok conn ->
     let s = Client.Session.make ~obs conn in
@@ -1394,6 +1397,250 @@ let attach_cmd =
       $ Common_args.seed ()
       $ record $ verify $ profile)
 
+(* --- farm -------------------------------------------------------------------- *)
+
+module Farm = Pmtest_farm.Farm
+
+let farm_spec campaign model fs fault seed count chunk max_ops =
+  match campaign with
+  | `Fuzz -> Farm.Spec.fuzz ?max_ops ~model ~seed ~count ~chunk ()
+  | `Crashfs -> Farm.Spec.crashfs ?max_ops ?fault ~fs ~model ~seed ~count ~chunk ()
+  | `Litmus -> Farm.Spec.litmus ~chunk ()
+
+let run_farm_serve resume socket dir campaign model fs fault seed count chunk max_ops capacity
+    heartbeat_timeout steal_after stop_after profile =
+  (* On resume the checkpoint is the source of truth for the campaign:
+     reading the spec back from disk means `farm resume --dir D` needs no
+     campaign flags and can never mismatch what it is resuming. *)
+  let resumed_spec =
+    if not resume then None
+    else
+      match Farm.Checkpoint.load (Filename.concat dir "checkpoint") with
+      | Ok ck -> Some ck.Farm.Checkpoint.spec
+      | Error _ -> None
+  in
+  match (resume, resumed_spec) with
+  | true, None ->
+    Fmt.epr "pmfarm: nothing to resume: no readable checkpoint in %s@." dir;
+    2
+  | _ ->
+  let spec =
+    match resumed_spec with
+    | Some spec -> spec
+    | None -> farm_spec campaign model fs fault seed count chunk max_ops
+  in
+  let obs = if profile then Obs.create () else Obs.disabled in
+  let cfg =
+    {
+      (Farm.Coordinator.default_cfg ~spec ~socket ~dir) with
+      Farm.Coordinator.resume;
+      capacity;
+      heartbeat_timeout;
+      steal_after;
+      stop_after_results = stop_after;
+      obs;
+    }
+  in
+  Fmt.pr "pmfarm: %s %s on %s (%d job(s), state in %s)@.%!"
+    (if resume then "resuming" else "coordinating")
+    (Farm.Spec.to_string spec) socket
+    (List.length (Farm.Spec.jobs spec))
+    dir;
+  match Farm.Coordinator.run cfg with
+  | Error e ->
+    Fmt.epr "pmfarm: %s@." e;
+    2
+  | Ok s ->
+    Fmt.pr "pmfarm: %d/%d job(s) done, %d finding(s), %d reassigned, %d steal(s), %d worker(s)%s@."
+      s.Farm.Coordinator.jobs_done s.Farm.Coordinator.jobs
+      (List.length s.Farm.Coordinator.findings)
+      s.Farm.Coordinator.reassigned s.Farm.Coordinator.steals s.Farm.Coordinator.workers_seen
+      (if s.Farm.Coordinator.nondet = [] then ""
+       else
+         Printf.sprintf ", NONDETERMINISTIC job(s) %s"
+           (String.concat "," (List.map string_of_int s.Farm.Coordinator.nondet)));
+    if profile then Fmt.pr "@.%a@." Obs.pp (Obs.snapshot obs);
+    if s.Farm.Coordinator.nondet <> [] then 1
+    else if s.Farm.Coordinator.jobs_done < s.Farm.Coordinator.jobs then 3
+    else 0
+
+let run_farm_work socket name attempts hb_interval verbose =
+  let log =
+    if verbose then fun m -> Fmt.pr "pmfarm-worker[%s]: %s@.%!" name m else fun _ -> ()
+  in
+  let cfg =
+    { (Farm.Worker.default_cfg ~socket ~name) with Farm.Worker.attempts; hb_interval; log }
+  in
+  match Farm.Worker.run cfg with
+  | Ok n ->
+    Fmt.pr "pmfarm-worker[%s]: campaign over, %d job(s) done@." name n;
+    0
+  | Error e ->
+    Fmt.epr "pmfarm-worker[%s]: %s@." name e;
+    2
+
+let run_farm_status dir =
+  let path =
+    if Sys.file_exists dir && Sys.is_directory dir then Filename.concat dir "checkpoint"
+    else dir
+  in
+  match Farm.Checkpoint.load path with
+  | Error e ->
+    Fmt.epr "pmfarm: %s@." e;
+    2
+  | Ok ck ->
+    Fmt.pr "%a@." Farm.Checkpoint.pp ck;
+    if List.length ck.Farm.Checkpoint.done_jobs = ck.Farm.Checkpoint.jobs then 0 else 1
+
+let farm_dir_arg =
+  Arg.(
+    value
+      (opt string "pmfarm-state"
+         (info [ "dir" ] ~docv:"DIR"
+            ~doc:
+              "Campaign state directory: $(docv)/checkpoint (resumable progress) and \
+               $(docv)/triage (deduplicated reproducers).")))
+
+let farm_campaign_args =
+  let campaign =
+    Arg.(
+      value
+        (opt
+           (enum [ ("fuzz", `Fuzz); ("crashfs", `Crashfs); ("litmus", `Litmus) ])
+           `Fuzz
+           (info [ "campaign" ] ~doc:"Campaign kind: $(b,fuzz), $(b,crashfs) or $(b,litmus).")))
+  in
+  let fs =
+    Arg.(
+      value
+        (opt
+           (enum [ ("pmfs", Crashfs.Pmfs); ("nova", Crashfs.Nova) ])
+           Crashfs.Pmfs
+           (info [ "fs" ] ~doc:"File system for crashfs campaigns.")))
+  in
+  let fault =
+    Arg.(
+      value
+        (opt (some string) None
+           (info [ "fault" ] ~docv:"NAME"
+              ~doc:"Seeded crashfs fault (see $(b,pmtest-cli crashfs --list-faults).")))
+  in
+  let count =
+    Arg.(
+      value
+        (opt int 200 (info [ "count" ] ~doc:"Total campaign units (programs / runs).")))
+  in
+  let chunk =
+    Arg.(value (opt int 25 (info [ "chunk" ] ~doc:"Units per distributed job.")))
+  in
+  let max_ops =
+    Arg.(
+      value
+        (opt (some int) None
+           (info [ "max-ops" ] ~doc:"Generator / workload op bound per unit.")))
+  in
+  (campaign, fs, fault, count, chunk, max_ops)
+
+let farm_serve_term ~resume =
+  let campaign, fs, fault, count, chunk, max_ops = farm_campaign_args in
+  let capacity =
+    Arg.(value (opt int 1 (info [ "capacity" ] ~doc:"Jobs in flight per worker.")))
+  in
+  let heartbeat_timeout =
+    Arg.(
+      value
+        (opt float 5.0
+           (info [ "heartbeat-timeout" ] ~docv:"SECONDS"
+              ~doc:"Reassign a worker's jobs after this long without a frame from it.")))
+  in
+  let steal_after =
+    Arg.(
+      value
+        (opt float 2.0
+           (info [ "steal-after" ] ~docv:"SECONDS"
+              ~doc:
+                "Offer a duplicate attempt of an in-flight job to an idle worker after this \
+                 long.")))
+  in
+  let stop_after =
+    Arg.(
+      value
+        (opt (some int) None
+           (info [ "stop-after-results" ] ~docv:"N"
+              ~doc:
+                "Testing hook: hard-stop (as a crash would) after $(docv) job results; resume \
+                 with $(b,farm resume).")))
+  in
+  Term.(
+    const run_farm_serve $ const resume
+    $ Common_args.socket ~doc:"Unix socket the coordinator listens on." ()
+    $ farm_dir_arg $ campaign
+    $ Common_args.model ()
+    $ fs $ fault
+    $ Common_args.seed ~default:0 ~doc:"Base campaign seed." ()
+    $ count $ chunk $ max_ops $ capacity $ heartbeat_timeout $ steal_after $ stop_after
+    $ Common_args.profile ~doc:"Print farm counters (offers, steals, reassignments) on exit.")
+
+let farm_cmd =
+  let serve_cmd =
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Coordinate a distributed campaign: shard it into seed-range jobs, serve them to \
+            workers, checkpoint every result, reassign jobs from lost workers.")
+      (farm_serve_term ~resume:false)
+  in
+  let resume_cmd =
+    Cmd.v
+      (Cmd.info "resume"
+         ~doc:
+           "Resume an interrupted campaign from its checkpoint: completed jobs are skipped, \
+            the rest are re-served.")
+      (farm_serve_term ~resume:true)
+  in
+  let work_cmd =
+    let worker_name =
+      Arg.(
+        value
+          (opt string
+             (Printf.sprintf "worker-%d" (Unix.getpid ()))
+             (info [ "name" ] ~doc:"Worker name announced to the coordinator.")))
+    in
+    let attempts =
+      Arg.(
+        value
+          (opt int 8
+             (info [ "attempts" ]
+                ~doc:"Consecutive connect failures before the worker gives up.")))
+    in
+    let hb_interval =
+      Arg.(
+        value
+          (opt float 1.0 (info [ "heartbeat-interval" ] ~docv:"SECONDS" ~doc:"Heartbeat period.")))
+    in
+    Cmd.v
+      (Cmd.info "work"
+         ~doc:
+           "Run a worker: claim jobs from a coordinator, execute them, ship results and shrunk \
+            reproducers back. Reconnects with jittered exponential backoff.")
+      Term.(
+        const run_farm_work
+        $ Common_args.socket ~doc:"Coordinator's Unix socket." ()
+        $ worker_name $ attempts $ hb_interval
+        $ Common_args.verbose ~doc:"Log per-job progress.")
+  in
+  let status_cmd =
+    Cmd.v
+      (Cmd.info "status" ~doc:"Print a campaign checkpoint's progress.")
+      Term.(const run_farm_status $ farm_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "farm"
+       ~doc:
+         "Distributed campaigns: a fault-tolerant coordinator plus workers over the pmtestd \
+          wire protocol.")
+    [ serve_cmd; resume_cmd; work_cmd; status_cmd ]
+
 (* --- demo -------------------------------------------------------------------- *)
 
 let run_demo () =
@@ -1450,5 +1697,6 @@ let () =
             stat_cmd;
             serve_cmd;
             attach_cmd;
+            farm_cmd;
             demo_cmd;
           ]))

@@ -75,6 +75,28 @@ let connect ?(model = Model.X86) ~socket () =
               })
         | Ok (kind, _) -> fail (Printf.sprintf "unexpected %s frame" (Wire.kind_name kind)))))
 
+(* Exponential backoff with full-range jitter (0.5x..1.5x of the
+   nominal delay): workers of one farm that all lose the coordinator at
+   once must not reconnect in lockstep. *)
+let connect_retry ?model ?(attempts = 8) ?(base_delay = 0.05) ?(max_delay = 2.0) ?on_retry
+    ~socket () =
+  if attempts < 1 then invalid_arg "Client.connect_retry: attempts < 1";
+  let rng = Random.State.make_self_init () in
+  let rec go n delay =
+    match connect ?model ~socket () with
+    | Ok _ as ok -> ok
+    | Error e ->
+      if n + 1 >= attempts then
+        Error (Printf.sprintf "%s (after %d attempt(s))" e attempts)
+      else begin
+        let jittered = delay *. (0.5 +. Random.State.float rng 1.0) in
+        (match on_retry with Some f -> f ~attempt:(n + 1) ~delay:jittered e | None -> ());
+        (try Unix.sleepf jittered with Unix.Unix_error _ -> ());
+        go (n + 1) (Float.min max_delay (delay *. 2.0))
+      end
+  in
+  go 0 base_delay
+
 let session_id t = t.session
 let model t = t.model
 let max_inflight t = t.max_inflight

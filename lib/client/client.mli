@@ -17,6 +17,23 @@ val connect : ?model:Model.kind -> socket:string -> unit -> (t, string) result
 (** Dial the daemon's Unix socket and run the [Hello]/[Hello_ack]
     handshake. *)
 
+val connect_retry :
+  ?model:Model.kind ->
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  ?on_retry:(attempt:int -> delay:float -> string -> unit) ->
+  socket:string ->
+  unit ->
+  (t, string) result
+(** {!connect} with exponential backoff: after a failure, sleep
+    [base_delay] (default 50 ms) doubling up to [max_delay] (default
+    2 s), each sleep jittered to 0.5x..1.5x so a fleet of workers that
+    lost their coordinator together does not reconnect in lockstep.
+    Gives up after [attempts] (default 8) tries; [on_retry] fires
+    before each sleep with the upcoming delay and the error just
+    seen. *)
+
 val session_id : t -> int
 val model : t -> Model.kind
 

@@ -773,6 +773,26 @@ let run_campaign config ~count ~seed ?(progress = fun _ -> ()) () =
   done;
   { runs = count; total = !total; findings = List.rev !findings }
 
+let run_range config ~lo ~hi ?progress () =
+  if hi < lo then invalid_arg "Crashfs.run_range: inverted seed range";
+  run_campaign config ~count:(hi - lo) ~seed:lo ?progress ()
+
+(* Every field here is a pure function of (config, seed range) — the
+   sampler is seeded, [avoided] is computed from counts — so the digest
+   is stable across re-runs and hosts. %h renders the float exactly. *)
+let campaign_digest c =
+  let b = Buffer.create 512 in
+  let st = c.total in
+  Printf.bprintf b "runs %d\nops %d %d\nboundaries %d %d\nimages %d %d\navoided %h\n" c.runs
+    st.ops st.applied st.boundaries st.explored st.images st.recoveries st.avoided;
+  List.iter
+    (fun f ->
+      Printf.bprintf b "finding %d %d %d %s\n" f.f_seed f.f_failure.op_index f.f_failure.boundary
+        f.f_failure.message;
+      Array.iter (fun op -> Printf.bprintf b "%s\n" (Workload.op_to_string op)) f.f_shrunk)
+    c.findings;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let pp_summary ppf c =
   let st = c.total in
   Format.fprintf ppf

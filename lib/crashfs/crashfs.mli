@@ -115,6 +115,20 @@ val run_campaign :
     [seed + i] and explores with the same seed. Failing runs are shrunk
     (the first {!config.max_failures} of them). *)
 
+val run_range : config -> lo:int -> hi:int -> ?progress:(int -> unit) -> unit -> campaign
+(** One campaign chunk: runs for absolute seeds [\[lo, hi)]. Raises
+    [Invalid_argument] when [hi < lo]. Note [config.max_failures] caps
+    shrinking {e per chunk}, so chunked campaigns may shrink more
+    findings than one monolithic run — each chunk is still individually
+    deterministic, which is what farm replay verification needs. *)
+
+val campaign_digest : campaign -> string
+(** Hex digest over the campaign outcome — run/op/boundary/image counts,
+    findings with their shrunk workloads. Every contributing field is a
+    pure function of (config, seed range), so re-running a chunk yields
+    the same digest; the farm coordinator compares digests across job
+    attempts to flag nondeterminism. *)
+
 val pp_summary : Format.formatter -> campaign -> unit
 
 (** {1 Reproducers}

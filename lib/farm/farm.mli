@@ -1,0 +1,184 @@
+(** pmfarm: fault-tolerant distributed campaigns over the wire protocol.
+
+    A {e coordinator} splits one campaign (fuzz, crashfs or litmus)
+    into jobs — contiguous seed (or suite-index) ranges — and serves
+    them to {e workers} over the protocol-version-2 farm frame family
+    ({!Pmtest_wire.Wire}): [Worker_hello] handshake, [Job_offer] /
+    [Job_claim] / [Job_result] per chunk, [Checkpoint] heartbeats.
+
+    Fault tolerance rests on three properties:
+
+    - {e Jobs are pure.} A job is [(spec, lo, hi)] and nothing else;
+      {!run_units} derives everything from it deterministically, so any
+      worker can run any job, any number of times, with an identical
+      result digest. A digest mismatch between two attempts of one job
+      is flagged as nondeterminism, never silently resolved.
+    - {e Loss is recovery.} A worker that disconnects, times out its
+      heartbeat, or is SIGKILLed simply returns its in-flight jobs to
+      the pending queue (attempt + 1). Stolen duplicates of slow jobs
+      land on idle workers; whichever attempt reports first wins and
+      the loser's digest is compared.
+    - {e The checkpoint is the campaign.} Every completed job is
+      appended to an atomically-rewritten on-disk checkpoint, so a
+      SIGKILLed coordinator resumes from its last result with the same
+      eventual finding set and per-job digests as an uninterrupted run.
+
+    Findings travel back as full reproducer texts inside [Job_result]
+    and are deduplicated by content digest into a single triage
+    directory. *)
+
+module Model = Pmtest_model.Model
+module Obs = Pmtest_obs.Obs
+module Crashfs = Pmtest_crashfs.Crashfs
+
+(** {1 Campaign specs} *)
+
+module Spec : sig
+  type kind = Fuzz | Crashfs | Litmus
+
+  type t = {
+    kind : kind;
+    model : Model.kind;
+    fs : Crashfs.fs_kind;  (** Crashfs campaigns only. *)
+    fault : string option;  (** Seeded crashfs fault (canonical name). *)
+    seed : int;  (** Base seed ([Litmus]: base suite index). *)
+    count : int;  (** Total units (programs / runs / tests). *)
+    chunk : int;  (** Units per job. *)
+    max_ops : int option;  (** Generator / workload op bound. *)
+  }
+
+  val kind_name : kind -> string
+  val kind_of_name : string -> kind option
+
+  val fuzz : ?max_ops:int -> model:Model.kind -> seed:int -> count:int -> chunk:int -> unit -> t
+
+  val crashfs :
+    ?max_ops:int ->
+    ?fault:string ->
+    fs:Crashfs.fs_kind ->
+    model:Model.kind ->
+    seed:int ->
+    count:int ->
+    chunk:int ->
+    unit ->
+    t
+
+  val litmus : chunk:int -> unit -> t
+  (** The whole curated suite as index jobs over
+      {!Pmtest_litmus.Suite.all}. *)
+
+  val to_string : t -> string
+  (** One line, [kind key=value...]; round-trips through
+      {!of_string}. This is what travels in [Job_offer] frames and
+      checkpoint files. *)
+
+  val of_string : string -> (t, string) result
+
+  val jobs : t -> (int * int * int) list
+  (** [(id, lo, hi)] for every job: [count] units cut into [chunk]-sized
+      ranges starting at [seed], ascending [id]. *)
+end
+
+(** {1 Job execution} *)
+
+type unit_result = {
+  digest : string;  (** Deterministic outcome digest for the range. *)
+  units : int;  (** Units actually run ([hi - lo]). *)
+  findings : (string * string) list;  (** [(name, reproducer_text)]. *)
+}
+
+val run_units : Spec.t -> lo:int -> hi:int -> (unit_result, string) result
+(** Execute one job: the campaign chunk for absolute range [\[lo, hi)].
+    Pure in [(spec, lo, hi)] — re-running yields a byte-identical
+    digest, which is what replay verification and nondeterminism
+    flagging rely on. *)
+
+(** {1 Checkpoints} *)
+
+module Checkpoint : sig
+  type done_job = { job : int; attempt : int; units : int; digest : string }
+
+  type t = {
+    spec : Spec.t;
+    jobs : int;
+    done_jobs : done_job list;  (** Ascending job id. *)
+    findings : (string * string) list;  (** [(digest, name)], sorted. *)
+    nondet : int list;  (** Jobs whose attempts disagreed. *)
+  }
+
+  val save : path:string -> t -> unit
+  (** Atomic write-to-temp + rename: a crash mid-write leaves at worst
+      a stray [.tmp] sibling, never a truncated checkpoint. *)
+
+  val load : string -> (t, string) result
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Coordinator} *)
+
+module Coordinator : sig
+  type cfg = {
+    socket : string;  (** Unix socket path to listen on. *)
+    spec : Spec.t;
+    triage_dir : string;  (** Deduplicated reproducer store. *)
+    checkpoint : string;  (** Checkpoint file path. *)
+    resume : bool;  (** Load [checkpoint] and skip completed jobs. *)
+    capacity : int;  (** Jobs in flight per worker. *)
+    heartbeat_timeout : float;
+        (** Seconds without any frame from a worker before its jobs are
+            reassigned. *)
+    steal_after : float;
+        (** Seconds in flight before an idle worker may be offered a
+            duplicate attempt of a slow job. *)
+    stop_after_results : int option;
+        (** Testing hook: hard-stop (as a crash would) after this many
+            [Job_result] frames — the checkpoint written so far is the
+            only survivor. [None] runs to completion. *)
+    obs : Obs.t;
+  }
+
+  val default_cfg : spec:Spec.t -> socket:string -> dir:string -> cfg
+  (** [triage_dir = dir/triage], [checkpoint = dir/checkpoint], no
+      resume, capacity 1, 5 s heartbeat timeout, 2 s steal threshold. *)
+
+  type summary = {
+    jobs : int;
+    jobs_done : int;  (** [< jobs] only under [stop_after_results]. *)
+    digests : (int * string) list;  (** Per-job result digests. *)
+    findings : (string * string) list;  (** [(digest, name)], sorted. *)
+    nondet : int list;  (** Jobs flagged nondeterministic. *)
+    reassigned : int;  (** Jobs recovered from lost workers. *)
+    steals : int;  (** Duplicate offers onto idle workers. *)
+    workers_seen : int;
+  }
+
+  val run : ?ready:(unit -> unit) -> cfg -> (summary, string) result
+  (** Serve the campaign until every job is done (or the
+      [stop_after_results] hook fires), then send [Bye] to every
+      worker and tear down. [ready] fires once the socket is
+      listening. *)
+end
+
+(** {1 Workers} *)
+
+module Worker : sig
+  type cfg = {
+    socket : string;
+    name : string;
+    attempts : int;  (** Consecutive connect failures before giving up. *)
+    base_delay : float;  (** Reconnect backoff start (doubles, jittered). *)
+    max_delay : float;
+    hb_interval : float;  (** Heartbeat period, seconds. *)
+    log : string -> unit;  (** Progress lines ([ignore] to silence). *)
+  }
+
+  val default_cfg : socket:string -> name:string -> cfg
+  (** 8 attempts, 50 ms..2 s backoff, 1 s heartbeats, silent. *)
+
+  val run : cfg -> (int, string) result
+  (** Serve jobs until the coordinator says [Bye]; returns jobs
+      completed across all connections. Reconnects with jittered
+      exponential backoff when the link drops; a corrupt job payload is
+      answered with [Err] and the connection {e survives} — only
+      framing-level corruption forces a reconnect. *)
+end

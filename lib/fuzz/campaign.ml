@@ -105,6 +105,32 @@ let run ?(obs = Pmtest_obs.Obs.disabled) ?(on_program = fun _ -> ()) cfg =
     pair_seconds = List.mapi (fun pi pair -> (pair, pair_time.(pi))) Cross.all_pairs;
   }
 
+let run_range ?obs ?on_program cfg ~lo ~hi =
+  if hi < lo then invalid_arg "Campaign.run_range: inverted seed range";
+  run ?obs ?on_program { cfg with seed = lo; count = hi - lo }
+
+(* Everything result equality is judged on, and nothing that depends on
+   the wall clock: the farm coordinator compares these digests across
+   job attempts to detect nondeterminism, so [gen_seconds] and
+   [pair_seconds] are deliberately excluded. *)
+let digest s =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "programs %d\nevents %d\n" s.programs s.events;
+  List.iter
+    (fun (pair, n) ->
+      Printf.bprintf buf "applied %s %d %d\n" (Cross.pair_name pair) n (List.assoc pair s.skipped))
+    s.applied;
+  List.iter
+    (fun f ->
+      Printf.bprintf buf "finding %d %s %s\n" f.found_seed (Cross.pair_name f.pair) f.detail;
+      Array.iter
+        (fun e ->
+          Buffer.add_string buf (Serial.entry_to_line e);
+          Buffer.add_char buf '\n')
+        f.shrunk)
+    s.findings;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let pp_stats ppf s =
   Format.fprintf ppf "@[<v>%d program(s), %d trace entries" s.programs s.events;
   List.iter

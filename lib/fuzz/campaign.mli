@@ -52,4 +52,18 @@ val run : ?obs:Pmtest_obs.Obs.t -> ?on_program:(int -> unit) -> cfg -> stats
     span — so [pmtest-cli fuzz --profile] can report programs/s and
     check-latency distribution. *)
 
+val run_range :
+  ?obs:Pmtest_obs.Obs.t -> ?on_program:(int -> unit) -> cfg -> lo:int -> hi:int -> stats
+(** One campaign chunk: programs for absolute seeds [\[lo, hi)],
+    ignoring [cfg.seed]/[cfg.count]. Chunks of one campaign compose:
+    running [\[lo, mid)] and [\[mid, hi)] examines exactly the programs
+    of [\[lo, hi)]. Raises [Invalid_argument] when [hi < lo]. *)
+
+val digest : stats -> string
+(** Hex digest over everything result equality is judged on — counts,
+    per-pair outcomes, findings with their shrunk traces — excluding
+    wall-clock fields, so re-running the same chunk yields the same
+    digest. The farm coordinator compares digests across attempts of
+    one job to flag nondeterminism. *)
+
 val pp_stats : Format.formatter -> stats -> unit

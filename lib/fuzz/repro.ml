@@ -139,11 +139,18 @@ let rec mkdir_p dir =
     Sys.mkdir dir 0o755
   end
 
-let save ~dir c =
-  mkdir_p dir;
-  let path = Filename.concat dir (c.name ^ ".pmt") in
-  Serial.save_file ~header:(header_of_case c) path c.program.Gen.events;
-  path
+let case_text c =
+  let buf = Buffer.create 512 in
+  List.iter (fun h -> Printf.bprintf buf "# %s\n" h) (header_of_case c);
+  Buffer.add_string buf (serial_text c.program);
+  Buffer.contents buf
+
+(* Identity of a reproducer is its event array (plus the model those
+   events are judged under) — not its name, which carries a seed that
+   differs across campaign runs finding the same bug. *)
+let case_digest c =
+  Digest.to_hex
+    (Digest.string (Model.kind_name c.program.Gen.model ^ "\n" ^ serial_text c.program))
 
 let parse_header_line acc line =
   match acc with
@@ -234,6 +241,26 @@ let load_dir dir =
       (Ok []) files
     |> Result.map List.rev
   end
+
+let save ~dir c =
+  mkdir_p dir;
+  let digest = case_digest c in
+  let duplicate =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".pmt")
+    |> List.sort compare
+    |> List.find_map (fun f ->
+           let path = Filename.concat dir f in
+           match load_file path with
+           | Ok c' when case_digest c' = digest -> Some path
+           | Ok _ | Error _ -> None)
+  in
+  match duplicate with
+  | Some path -> path
+  | None ->
+    let path = Filename.concat dir (c.name ^ ".pmt") in
+    Serial.save_file ~header:(header_of_case c) path c.program.Gen.events;
+    path
 
 let run_check c = function
   | Agree pair -> (

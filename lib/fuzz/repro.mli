@@ -48,9 +48,21 @@ val ocaml_snippet : Gen.program -> string
 
 val tool_report : tool -> Gen.program -> Report.t
 
+val case_text : case -> string
+(** The full [.pmt] file text — metadata comment block plus serial
+    lines — exactly as {!save} writes it. This is what farm workers ship
+    inside [Job_result] frames. *)
+
+val case_digest : case -> string
+(** Hex digest of the case's identity: its event array and the model
+    those events are judged under. The name (which embeds a
+    campaign-specific seed) does not contribute, so the same bug found
+    by different campaigns dedupes. *)
+
 val save : dir:string -> case -> string
 (** Write [dir/<name>.pmt] (creating [dir] if needed); returns the
-    path. *)
+    path. If a case with the same {!case_digest} already exists in
+    [dir], nothing is written and the existing path is returned. *)
 
 val load_file : string -> (case, string) result
 val load_dir : string -> (case list, string) result

@@ -317,3 +317,14 @@ let run_suite ?models tests =
     match models with None -> fun _ -> true | Some ms -> fun t -> List.mem t.model ms
   in
   List.filter keep tests |> List.map (fun t -> run_test t)
+
+(* Name + per-leg failure messages, nothing wall-clock-dependent: farm
+   job attempts over the same test slice must digest identically. *)
+let outcomes_digest outcomes =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun o ->
+      Printf.bprintf b "%s %s\n" o.test.name (if passed o then "pass" else "FAIL");
+      List.iter (fun f -> Printf.bprintf b "  %s: %s\n" f.leg f.message) o.failures)
+    outcomes;
+  Digest.to_hex (Digest.string (Buffer.contents b))

@@ -280,3 +280,7 @@ let all = x86 @ hops @ eadr @ cxl
 let for_model kind = List.filter (fun (t : L.t) -> t.L.model = kind) all
 
 let find name = List.find_opt (fun (t : L.t) -> t.L.name = name) all
+
+let slice ~lo ~hi =
+  if hi < lo then invalid_arg "Suite.slice: inverted range";
+  List.filteri (fun i _ -> i >= lo && i < hi) all

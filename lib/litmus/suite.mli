@@ -16,3 +16,9 @@ val all : Litmus.t list
 
 val for_model : Model.kind -> Litmus.t list
 val find : string -> Litmus.t option
+
+val slice : lo:int -> hi:int -> Litmus.t list
+(** Tests at indices [\[lo, hi)] of {!all} — the farm's chunkable view
+    of the suite ({!all} has a fixed order, so a [(lo, hi)] pair names
+    the same tests on every host running the same build). Raises
+    [Invalid_argument] when [hi < lo]. *)

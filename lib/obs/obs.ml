@@ -40,6 +40,22 @@ type serve_stat = {
   inflight_hwm : int;
 }
 
+type farm_stat = {
+  farm_workers : int;
+  farm_workers_lost : int;
+  farm_jobs : int;
+  farm_jobs_done : int;
+  farm_offers : int;
+  farm_retries : int;
+  farm_steals : int;
+  farm_reassignments : int;
+  farm_findings : int;
+  farm_dup_findings : int;
+  farm_nondet : int;
+  farm_heartbeats : int;
+  farm_checkpoints : int;
+}
+
 type snapshot = {
   elapsed_ns : int;
   events_traced : int;
@@ -63,6 +79,7 @@ type snapshot = {
   repair_ns : int;
   repair_verify_ns : int;
   serve : serve_stat;
+  farm : farm_stat;
   workers : worker_stat list;
   shards : shard_stat list;
   check_hist : hist;
@@ -158,6 +175,20 @@ type t = {
   mutable f_corrupt : int;
   mutable s_shed : int;
   mutable inflight_hwm : int;
+  (* Farm (pmfarm coordinator) counters; all under [m]. *)
+  mutable fm_workers : int;
+  mutable fm_workers_lost : int;
+  mutable fm_jobs : int;
+  mutable fm_jobs_done : int;
+  mutable fm_offers : int;
+  mutable fm_retries : int;
+  mutable fm_steals : int;
+  mutable fm_reassignments : int;
+  mutable fm_findings : int;
+  mutable fm_dup_findings : int;
+  mutable fm_nondet : int;
+  mutable fm_heartbeats : int;
+  mutable fm_checkpoints : int;
   pending : (int, pending) Hashtbl.t;
   wstats : (int, int ref * int ref) Hashtbl.t;  (* id -> (sections, busy_ns) *)
   shstats : (int, int ref * int ref) Hashtbl.t;  (* shard -> (sessions, sections) *)
@@ -204,6 +235,19 @@ let make ~on ~max_spans =
     f_corrupt = 0;
     s_shed = 0;
     inflight_hwm = 0;
+    fm_workers = 0;
+    fm_workers_lost = 0;
+    fm_jobs = 0;
+    fm_jobs_done = 0;
+    fm_offers = 0;
+    fm_retries = 0;
+    fm_steals = 0;
+    fm_reassignments = 0;
+    fm_findings = 0;
+    fm_dup_findings = 0;
+    fm_nondet = 0;
+    fm_heartbeats = 0;
+    fm_checkpoints = 0;
     pending = Hashtbl.create 32;
     wstats = Hashtbl.create 8;
     shstats = Hashtbl.create 8;
@@ -353,6 +397,38 @@ let inflight_depth t d =
 
 let serve_section_ns t ns = if t.on then locked t (fun () -> hist_add t.serve_h ns)
 
+(* --- Farm (pmfarm coordinator) hooks ------------------------------------- *)
+
+let farm_campaign t ~jobs = if t.on then locked t (fun () -> t.fm_jobs <- t.fm_jobs + jobs)
+let farm_worker_joined t = if t.on then locked t (fun () -> t.fm_workers <- t.fm_workers + 1)
+
+let farm_worker_lost t =
+  if t.on then locked t (fun () -> t.fm_workers_lost <- t.fm_workers_lost + 1)
+
+let farm_offer t ~retry ~steal =
+  if t.on then
+    locked t (fun () ->
+        t.fm_offers <- t.fm_offers + 1;
+        if retry then t.fm_retries <- t.fm_retries + 1;
+        if steal then t.fm_steals <- t.fm_steals + 1)
+
+let farm_job_done t = if t.on then locked t (fun () -> t.fm_jobs_done <- t.fm_jobs_done + 1)
+
+let farm_reassigned t ~jobs =
+  if t.on then locked t (fun () -> t.fm_reassignments <- t.fm_reassignments + jobs)
+
+let farm_finding t ~dup =
+  if t.on then
+    locked t (fun () ->
+        if dup then t.fm_dup_findings <- t.fm_dup_findings + 1
+        else t.fm_findings <- t.fm_findings + 1)
+
+let farm_nondet t = if t.on then locked t (fun () -> t.fm_nondet <- t.fm_nondet + 1)
+let farm_heartbeat t = if t.on then locked t (fun () -> t.fm_heartbeats <- t.fm_heartbeats + 1)
+
+let farm_checkpoint t =
+  if t.on then locked t (fun () -> t.fm_checkpoints <- t.fm_checkpoints + 1)
+
 (* Per-shard admission/dispatch counters (the daemon's shards share one
    collector, so the scaling story — are sessions and sections actually
    spreading? — is visible in one snapshot). *)
@@ -401,6 +477,23 @@ let empty_serve =
     inflight_hwm = 0;
   }
 
+let empty_farm =
+  {
+    farm_workers = 0;
+    farm_workers_lost = 0;
+    farm_jobs = 0;
+    farm_jobs_done = 0;
+    farm_offers = 0;
+    farm_retries = 0;
+    farm_steals = 0;
+    farm_reassignments = 0;
+    farm_findings = 0;
+    farm_dup_findings = 0;
+    farm_nondet = 0;
+    farm_heartbeats = 0;
+    farm_checkpoints = 0;
+  }
+
 let empty_snapshot =
   {
     elapsed_ns = 0;
@@ -425,6 +518,7 @@ let empty_snapshot =
     repair_ns = 0;
     repair_verify_ns = 0;
     serve = empty_serve;
+    farm = empty_farm;
     workers = [];
     shards = [];
     check_hist = empty_hist;
@@ -485,6 +579,22 @@ let snapshot t =
               frames_corrupt = t.f_corrupt;
               sections_shed = t.s_shed;
               inflight_hwm = t.inflight_hwm;
+            };
+          farm =
+            {
+              farm_workers = t.fm_workers;
+              farm_workers_lost = t.fm_workers_lost;
+              farm_jobs = t.fm_jobs;
+              farm_jobs_done = t.fm_jobs_done;
+              farm_offers = t.fm_offers;
+              farm_retries = t.fm_retries;
+              farm_steals = t.fm_steals;
+              farm_reassignments = t.fm_reassignments;
+              farm_findings = t.fm_findings;
+              farm_dup_findings = t.fm_dup_findings;
+              farm_nondet = t.fm_nondet;
+              farm_heartbeats = t.fm_heartbeats;
+              farm_checkpoints = t.fm_checkpoints;
             };
           workers;
           shards;
@@ -549,6 +659,18 @@ let pp ppf s =
     Format.fprintf ppf "@,                 sections shed %d   inflight high-water %d"
       s.serve.sections_shed s.serve.inflight_hwm
   end;
+  if s.farm.farm_jobs > 0 || s.farm.farm_workers > 0 then begin
+    Format.fprintf ppf "@,farm             jobs %d/%d done  offers %d (retries %d, steals %d)"
+      s.farm.farm_jobs_done s.farm.farm_jobs s.farm.farm_offers s.farm.farm_retries
+      s.farm.farm_steals;
+    Format.fprintf ppf "@,                 workers %d joined, %d lost  reassigned %d job(s)"
+      s.farm.farm_workers s.farm.farm_workers_lost s.farm.farm_reassignments;
+    Format.fprintf ppf
+      "@,                 findings %d (+%d duplicate)  nondeterminism flags %d"
+      s.farm.farm_findings s.farm.farm_dup_findings s.farm.farm_nondet;
+    Format.fprintf ppf "@,                 heartbeats %d  checkpoints %d" s.farm.farm_heartbeats
+      s.farm.farm_checkpoints
+  end;
   if s.shards <> [] then begin
     Format.fprintf ppf "@,shards (admission + dispatch spread):";
     List.iter
@@ -612,6 +734,19 @@ let counter_fields s =
     ("serve_frames_corrupt", s.serve.frames_corrupt);
     ("serve_sections_shed", s.serve.sections_shed);
     ("serve_inflight_hwm", s.serve.inflight_hwm);
+    ("farm_workers", s.farm.farm_workers);
+    ("farm_workers_lost", s.farm.farm_workers_lost);
+    ("farm_jobs", s.farm.farm_jobs);
+    ("farm_jobs_done", s.farm.farm_jobs_done);
+    ("farm_offers", s.farm.farm_offers);
+    ("farm_retries", s.farm.farm_retries);
+    ("farm_steals", s.farm.farm_steals);
+    ("farm_reassignments", s.farm.farm_reassignments);
+    ("farm_findings", s.farm.farm_findings);
+    ("farm_dup_findings", s.farm.farm_dup_findings);
+    ("farm_nondet", s.farm.farm_nondet);
+    ("farm_heartbeats", s.farm.farm_heartbeats);
+    ("farm_checkpoints", s.farm.farm_checkpoints);
   ]
 
 let to_tsv s =
@@ -672,6 +807,19 @@ let of_tsv text =
     | "serve_frames_corrupt" -> snap := { s with serve = { s.serve with frames_corrupt = v } }
     | "serve_sections_shed" -> snap := { s with serve = { s.serve with sections_shed = v } }
     | "serve_inflight_hwm" -> snap := { s with serve = { s.serve with inflight_hwm = v } }
+    | "farm_workers" -> snap := { s with farm = { s.farm with farm_workers = v } }
+    | "farm_workers_lost" -> snap := { s with farm = { s.farm with farm_workers_lost = v } }
+    | "farm_jobs" -> snap := { s with farm = { s.farm with farm_jobs = v } }
+    | "farm_jobs_done" -> snap := { s with farm = { s.farm with farm_jobs_done = v } }
+    | "farm_offers" -> snap := { s with farm = { s.farm with farm_offers = v } }
+    | "farm_retries" -> snap := { s with farm = { s.farm with farm_retries = v } }
+    | "farm_steals" -> snap := { s with farm = { s.farm with farm_steals = v } }
+    | "farm_reassignments" -> snap := { s with farm = { s.farm with farm_reassignments = v } }
+    | "farm_findings" -> snap := { s with farm = { s.farm with farm_findings = v } }
+    | "farm_dup_findings" -> snap := { s with farm = { s.farm with farm_dup_findings = v } }
+    | "farm_nondet" -> snap := { s with farm = { s.farm with farm_nondet = v } }
+    | "farm_heartbeats" -> snap := { s with farm = { s.farm with farm_heartbeats = v } }
+    | "farm_checkpoints" -> snap := { s with farm = { s.farm with farm_checkpoints = v } }
     | other -> fail "unknown counter %S" other
   in
   let set_hist name f =

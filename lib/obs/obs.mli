@@ -133,6 +133,40 @@ val shard_section : t -> shard:int -> unit
 (** One section dispatched by the given shard's runtime (shard 0 for
     every in-process runtime). *)
 
+(** {2 Farm hooks}
+
+    Fired by the pmfarm coordinator ({!Pmtest_farm.Farm}): campaign job
+    accounting, worker lifecycle, offers (with their retry/steal
+    provenance), reassignment after worker loss, finding dedup and
+    nondeterminism flags. *)
+
+val farm_campaign : t -> jobs:int -> unit
+(** A campaign with this many jobs was opened (or resumed). *)
+
+val farm_worker_joined : t -> unit
+val farm_worker_lost : t -> unit
+(** A worker handshake completed / a worker link died or timed out. *)
+
+val farm_offer : t -> retry:bool -> steal:bool -> unit
+(** One [Job_offer] sent; [retry] when the job was previously assigned
+    to a lost worker, [steal] when it duplicates a slow in-flight
+    attempt onto an idle worker. *)
+
+val farm_job_done : t -> unit
+val farm_reassigned : t -> jobs:int -> unit
+(** Jobs returned to the pending set from a lost worker. *)
+
+val farm_finding : t -> dup:bool -> unit
+(** A reproducer reached the triage store ([dup] when digest-deduped). *)
+
+val farm_nondet : t -> unit
+(** Two attempts of one job produced different result digests. *)
+
+val farm_heartbeat : t -> unit
+val farm_checkpoint : t -> unit
+(** One worker [Checkpoint] heartbeat frame / one on-disk campaign
+    checkpoint write. *)
+
 (** {1 Snapshots} *)
 
 type hist = {
@@ -161,6 +195,22 @@ type serve_stat = {
   frames_corrupt : int;  (** Rejected (CRC / version / decode). *)
   sections_shed : int;  (** Dropped by the [Shed] policy. *)
   inflight_hwm : int;  (** Peak accepted-but-unchecked sections. *)
+}
+
+type farm_stat = {
+  farm_workers : int;  (** Workers that completed a handshake. *)
+  farm_workers_lost : int;  (** Links dropped or heartbeat-timed-out. *)
+  farm_jobs : int;  (** Jobs across the campaign(s). *)
+  farm_jobs_done : int;
+  farm_offers : int;  (** [Job_offer] frames sent. *)
+  farm_retries : int;  (** Offers of a previously-lost job. *)
+  farm_steals : int;  (** Duplicate offers onto idle workers. *)
+  farm_reassignments : int;  (** Jobs moved off dead workers. *)
+  farm_findings : int;  (** Distinct reproducers in the triage store. *)
+  farm_dup_findings : int;  (** Digest-deduped duplicates. *)
+  farm_nondet : int;  (** Attempt-digest mismatches flagged. *)
+  farm_heartbeats : int;
+  farm_checkpoints : int;  (** On-disk checkpoint writes. *)
 }
 
 type span = {
@@ -196,6 +246,7 @@ type snapshot = {
   repair_ns : int;  (** Time spent analysing and applying. *)
   repair_verify_ns : int;  (** Time spent verifying repair plans. *)
   serve : serve_stat;  (** Daemon-side counters (all zero in-process). *)
+  farm : farm_stat;  (** pmfarm coordinator counters (all zero elsewhere). *)
   workers : worker_stat list;  (** Ascending worker id. *)
   shards : shard_stat list;  (** Ascending shard index; empty in-process. *)
   check_hist : hist;  (** Engine pass time per section. *)

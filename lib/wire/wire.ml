@@ -15,14 +15,35 @@ module Report = Pmtest_core.Report
    varints, loc-table bounds) then guards against a hostile client that
    computes a correct CRC over garbage. *)
 
-let version = 1
+(* Version 1 is the original checking protocol (kinds 0-7); version 2
+   adds the pmfarm frame family (kinds 8-12).  A frame is stamped with
+   the lowest version that can carry its kind, so the checking traffic
+   of a version-2 binary is byte-identical to a version-1 peer's and the
+   two interoperate; farm frames announce version 2 and a version-1-only
+   reader rejects them cleanly at the header. *)
+let version = 2
+let min_version = 1
+let farm_version = 1
 
 (* Cap well above any real section (the fuzz generator tops out around
    tens of KiB) but low enough that a corrupt length field cannot make
    the reader try to allocate gigabytes. *)
 let max_payload = 64 * 1024 * 1024
 
-type kind = Hello | Hello_ack | Prelude | Section | Get_result | Report_frame | Bye | Err
+type kind =
+  | Hello
+  | Hello_ack
+  | Prelude
+  | Section
+  | Get_result
+  | Report_frame
+  | Bye
+  | Err
+  | Worker_hello
+  | Job_offer
+  | Job_claim
+  | Job_result
+  | Checkpoint
 
 let kind_code = function
   | Hello -> 0
@@ -33,6 +54,11 @@ let kind_code = function
   | Report_frame -> 5
   | Bye -> 6
   | Err -> 7
+  | Worker_hello -> 8
+  | Job_offer -> 9
+  | Job_claim -> 10
+  | Job_result -> 11
+  | Checkpoint -> 12
 
 let kind_of_code = function
   | 0 -> Some Hello
@@ -43,6 +69,11 @@ let kind_of_code = function
   | 5 -> Some Report_frame
   | 6 -> Some Bye
   | 7 -> Some Err
+  | 8 -> Some Worker_hello
+  | 9 -> Some Job_offer
+  | 10 -> Some Job_claim
+  | 11 -> Some Job_result
+  | 12 -> Some Checkpoint
   | _ -> None
 
 let kind_name = function
@@ -54,6 +85,15 @@ let kind_name = function
   | Report_frame -> "report"
   | Bye -> "bye"
   | Err -> "err"
+  | Worker_hello -> "worker-hello"
+  | Job_offer -> "job-offer"
+  | Job_claim -> "job-claim"
+  | Job_result -> "job-result"
+  | Checkpoint -> "checkpoint"
+
+let kind_version = function
+  | Hello | Hello_ack | Prelude | Section | Get_result | Report_frame | Bye | Err -> 1
+  | Worker_hello | Job_offer | Job_claim | Job_result | Checkpoint -> 2
 
 type error = Closed | Timeout | Corrupt of string | Version_mismatch of int
 
@@ -61,7 +101,8 @@ let error_to_string = function
   | Closed -> "connection closed"
   | Timeout -> "receive timeout"
   | Corrupt m -> "corrupt frame: " ^ m
-  | Version_mismatch v -> Printf.sprintf "protocol version mismatch (peer sent %d, want %d)" v version
+  | Version_mismatch v ->
+    Printf.sprintf "protocol version mismatch (peer sent %d, speak %d-%d)" v min_version version
 
 (* --- CRC-32 (IEEE 802.3, reflected) ------------------------------------- *)
 
@@ -125,7 +166,7 @@ let write_frame fd kind payload =
        writer on the same fd (the server's reply path is per-session
        anyway, but the client may interleave sends with get-result). *)
     let b = Bytes.create (header_len + len) in
-    Bytes.set b 0 (Char.chr version);
+    Bytes.set b 0 (Char.chr (kind_version kind));
     Bytes.set b 1 (Char.chr (kind_code kind));
     put_u32be b 2 len;
     put_u32be b 6 (crc32 payload);
@@ -139,10 +180,12 @@ let read_frame fd =
   | Error _ as e -> e
   | Ok () ->
     let v = Char.code (Bytes.get hdr 0) in
-    if v <> version then Error (Version_mismatch v)
+    if v < min_version || v > version then Error (Version_mismatch v)
     else (
       match kind_of_code (Char.code (Bytes.get hdr 1)) with
       | None -> Error (Corrupt (Printf.sprintf "unknown frame kind %d" (Char.code (Bytes.get hdr 1))))
+      | Some kind when kind_version kind > v ->
+        Error (Corrupt (Printf.sprintf "%s frame under protocol version %d" (kind_name kind) v))
       | Some kind ->
         let len = get_u32be hdr 2 in
         let crc = get_u32be hdr 6 in
@@ -189,11 +232,13 @@ let parse_one r =
   else begin
     let b = r.buf and off = r.pos in
     let v = Char.code (Bytes.get b off) in
-    if v <> version then `Fail (Version_mismatch v)
+    if v < min_version || v > version then `Fail (Version_mismatch v)
     else
       match kind_of_code (Char.code (Bytes.get b (off + 1))) with
       | None ->
         `Fail (Corrupt (Printf.sprintf "unknown frame kind %d" (Char.code (Bytes.get b (off + 1)))))
+      | Some kind when kind_version kind > v ->
+        `Fail (Corrupt (Printf.sprintf "%s frame under protocol version %d" (kind_name kind) v))
       | Some kind ->
         let len = get_u32be b (off + 2) in
         let crc = get_u32be b (off + 6) in
@@ -441,4 +486,122 @@ let decode_err s =
       let m, pos = get_str s 0 in
       at_end s pos;
       m)
+    s
+
+(* --- Farm frames (protocol version 2) ------------------------------------
+
+   The coordinator/worker handshake negotiates a farm protocol level:
+   each side announces the highest level it speaks in [Worker_hello] and
+   both proceed at the minimum.  Jobs are identified by (id, attempt):
+   the attempt distinguishes a reassigned or stolen copy of the same
+   seed range, so a stale result from a presumed-dead worker can still
+   be matched to its job and digest-compared for nondeterminism. *)
+
+let encode_worker_hello ~farm ~name ~engines =
+  let b = Buffer.create 16 in
+  put_uv b farm;
+  put_str b name;
+  put_uv b engines;
+  Buffer.contents b
+
+let decode_worker_hello s =
+  decode
+    (fun s ->
+      let farm, pos = get_uv s 0 in
+      let name, pos = get_str s pos in
+      let engines, pos = get_uv s pos in
+      at_end s pos;
+      (farm, name, engines))
+    s
+
+let encode_job_offer ~job ~attempt ~lo ~hi ~spec =
+  let b = Buffer.create 32 in
+  put_uv b job;
+  put_uv b attempt;
+  put_uv b lo;
+  put_uv b hi;
+  put_str b spec;
+  Buffer.contents b
+
+let decode_job_offer s =
+  decode
+    (fun s ->
+      let job, pos = get_uv s 0 in
+      let attempt, pos = get_uv s pos in
+      let lo, pos = get_uv s pos in
+      let hi, pos = get_uv s pos in
+      let spec, pos = get_str s pos in
+      at_end s pos;
+      if hi < lo then raise (Bad "job seed range is inverted");
+      (job, attempt, lo, hi, spec))
+    s
+
+let encode_job_claim ~job ~attempt =
+  let b = Buffer.create 8 in
+  put_uv b job;
+  put_uv b attempt;
+  Buffer.contents b
+
+let decode_job_claim s =
+  decode
+    (fun s ->
+      let job, pos = get_uv s 0 in
+      let attempt, pos = get_uv s pos in
+      at_end s pos;
+      (job, attempt))
+    s
+
+let encode_job_result ~job ~attempt ~digest ~units ~elapsed_ms ~findings =
+  let b = Buffer.create 64 in
+  put_uv b job;
+  put_uv b attempt;
+  put_str b digest;
+  put_uv b units;
+  put_uv b elapsed_ms;
+  put_uv b (List.length findings);
+  List.iter
+    (fun (name, text) ->
+      put_str b name;
+      put_str b text)
+    findings;
+  Buffer.contents b
+
+let decode_job_result s =
+  decode
+    (fun s ->
+      let job, pos = get_uv s 0 in
+      let attempt, pos = get_uv s pos in
+      let digest, pos = get_str s pos in
+      let units, pos = get_uv s pos in
+      let elapsed_ms, pos = get_uv s pos in
+      let n, pos = get_uv s pos in
+      let pos = ref pos in
+      let findings =
+        List.init n (fun _ ->
+            let name, p = get_str s !pos in
+            let text, p = get_str s p in
+            pos := p;
+            (name, text))
+      in
+      at_end s !pos;
+      (job, attempt, digest, units, elapsed_ms, findings))
+    s
+
+(* Checkpoint doubles as the worker heartbeat: [running] is the job id
+   the worker is currently executing plus one (0 = idle), so liveness
+   and progress travel in one small frame. *)
+
+let encode_checkpoint ~running ~jobs_done =
+  let b = Buffer.create 8 in
+  put_uv b (match running with None -> 0 | Some j -> j + 1);
+  put_uv b jobs_done;
+  Buffer.contents b
+
+let decode_checkpoint s =
+  decode
+    (fun s ->
+      let r, pos = get_uv s 0 in
+      let jobs_done, pos = get_uv s pos in
+      at_end s pos;
+      ((if r = 0 then None else Some (r - 1)), jobs_done))
     s

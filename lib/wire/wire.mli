@@ -1,10 +1,10 @@
-(** The [pmtestd] framed protocol.
+(** The [pmtestd]/[pmfarm] framed protocol.
 
     Every message between an attached client and the daemon is one
     frame:
 
     {v
-    version  u8     (= 1)
+    version  u8     (1 or 2)
     kind     u8
     len      u32be  payload length in bytes
     crc      u32be  CRC-32/IEEE of the payload
@@ -29,6 +29,25 @@
     - [Err] (server → client): refusal with a message; the session is
       then closed.
 
+    Protocol version 2 adds the pmfarm campaign-distribution family:
+
+    - [Worker_hello] (both ways): farm protocol level, peer name,
+      engine capability mask — the worker announces, the coordinator
+      echoes back the negotiated minimum and the assigned worker id.
+    - [Job_offer] (coordinator → worker): one campaign chunk — job id,
+      attempt, seed range [lo, hi) and the campaign spec string.
+    - [Job_claim] (worker → coordinator): the worker accepted the job.
+    - [Job_result] (worker → coordinator): result digest, units run,
+      elapsed time and the shrunk reproducers found in the chunk.
+    - [Checkpoint] (worker → coordinator): heartbeat — the running job
+      (if any) and jobs completed so far.
+
+    A frame is stamped with the lowest version that can carry its kind:
+    checking traffic stays version 1 on the wire (a pre-farm [Hello]
+    negotiates down to a plain checking session with no byte changed),
+    farm frames are stamped 2 and a version-1-only peer rejects them at
+    the header.
+
     The CRC rejects torn or corrupted frames cheaply;
     [Packed.decode_wire]'s full validation then protects the worker
     pool from adversarial payloads that carry a correct CRC. *)
@@ -37,16 +56,41 @@ module Model = Pmtest_model.Model
 module Report = Pmtest_core.Report
 
 val version : int
+(** Highest frame version this build speaks (2). *)
+
+val min_version : int
+(** Lowest frame version still accepted (1 — the pre-farm protocol). *)
+
+val farm_version : int
+(** Farm protocol level carried inside [Worker_hello]; both sides of a
+    farm link proceed at the minimum of what they announce. *)
 
 val max_payload : int
 (** Reader-side allocation guard (64 MiB); larger frames are corrupt by
     definition. *)
 
-type kind = Hello | Hello_ack | Prelude | Section | Get_result | Report_frame | Bye | Err
+type kind =
+  | Hello
+  | Hello_ack
+  | Prelude
+  | Section
+  | Get_result
+  | Report_frame
+  | Bye
+  | Err
+  | Worker_hello
+  | Job_offer
+  | Job_claim
+  | Job_result
+  | Checkpoint
 
 val kind_code : kind -> int
 val kind_of_code : int -> kind option
 val kind_name : kind -> string
+
+val kind_version : kind -> int
+(** The frame version a kind is stamped with: 1 for the checking
+    family, 2 for the farm family. *)
 
 type error =
   | Closed  (** Peer hung up (or fd shut down during drain). *)
@@ -124,3 +168,40 @@ val decode_report : string -> (Report.t, error) result
 
 val encode_err : string -> string
 val decode_err : string -> (string, error) result
+
+(** {1 Farm payload codecs}
+
+    Jobs are identified by [(id, attempt)]: the attempt number
+    distinguishes a reassigned or stolen copy of the same seed range,
+    so a stale result from a presumed-dead worker still matches its job
+    and is digest-compared for nondeterminism instead of dropped. *)
+
+val encode_worker_hello : farm:int -> name:string -> engines:int -> string
+val decode_worker_hello : string -> (int * string * int, error) result
+(** [(farm_level, name, engine_mask)]. *)
+
+val encode_job_offer : job:int -> attempt:int -> lo:int -> hi:int -> spec:string -> string
+val decode_job_offer : string -> (int * int * int * int * string, error) result
+(** [(job, attempt, lo, hi, spec)]; an inverted seed range is corrupt. *)
+
+val encode_job_claim : job:int -> attempt:int -> string
+val decode_job_claim : string -> (int * int, error) result
+
+val encode_job_result :
+  job:int ->
+  attempt:int ->
+  digest:string ->
+  units:int ->
+  elapsed_ms:int ->
+  findings:(string * string) list ->
+  string
+
+val decode_job_result :
+  string -> (int * int * string * int * int * (string * string) list, error) result
+(** [(job, attempt, digest, units, elapsed_ms, findings)] where each
+    finding is [(name, reproducer_text)]. *)
+
+val encode_checkpoint : running:int option -> jobs_done:int -> string
+val decode_checkpoint : string -> (int option * int, error) result
+(** Worker heartbeat: the job currently executing (if any) and jobs
+    completed over the connection's lifetime. *)

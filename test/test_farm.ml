@@ -1,0 +1,453 @@
+(* pmfarm end to end: spec and checkpoint round trips, deterministic
+   job digests, a real coordinator/worker campaign over a Unix socket,
+   crash-resume equality (the checkpoint is the campaign), zero lost
+   jobs when a worker dies mid-claim, nondeterminism flagging, and a
+   worker link that survives corrupt job offers. *)
+
+module Farm = Pmtest_farm.Farm
+module Wire = Pmtest_wire.Wire
+module Model = Pmtest_model.Model
+module Crashfs = Pmtest_crashfs.Crashfs
+
+let next_id =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "pmfarm-test-%d-%d" (Unix.getpid ()) !n
+
+let next_socket () =
+  Filename.concat (Filename.get_temp_dir_name ()) (next_id () ^ ".sock")
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let with_dir f =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) (next_id ()) in
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Small and fast: 4 fuzz jobs of 10 tiny programs each. *)
+let fuzz_spec = Farm.Spec.fuzz ~max_ops:10 ~model:Model.X86 ~seed:0 ~count:40 ~chunk:10 ()
+
+(* A seeded pmfs fault that deterministically surfaces findings: 3 jobs,
+   4 reproducers over the 30 runs. *)
+let crash_spec =
+  Farm.Spec.crashfs ~fault:"skip-journal-flush" ~fs:Crashfs.Pmfs ~model:Model.X86 ~seed:0
+    ~count:30 ~chunk:10 ()
+
+let direct_results spec =
+  List.map
+    (fun (id, lo, hi) ->
+      match Farm.run_units spec ~lo ~hi with
+      | Ok r -> (id, r)
+      | Error e -> Alcotest.failf "run_units [%d,%d): %s" lo hi e)
+    (Farm.Spec.jobs spec)
+
+let direct_digests spec =
+  List.map (fun (id, r) -> (id, r.Farm.digest)) (direct_results spec)
+
+(* What the coordinator's triage store should end up holding: every
+   per-job finding, deduplicated by reproducer text. *)
+let direct_finding_count spec =
+  direct_results spec
+  |> List.concat_map (fun (_, r) -> List.map snd r.Farm.findings)
+  |> List.sort_uniq compare
+  |> List.length
+
+(* Run a coordinator on its own thread; returns once the socket listens. *)
+let start_coordinator cfg =
+  let result = ref None in
+  let ready = ref false in
+  let t =
+    Thread.create
+      (fun () -> result := Some (Farm.Coordinator.run ~ready:(fun () -> ready := true) cfg))
+      ()
+  in
+  while (not !ready) && !result = None do
+    Thread.delay 0.002
+  done;
+  (t, result)
+
+let finish_coordinator (t, result) =
+  Thread.join t;
+  match !result with
+  | Some (Ok s) -> s
+  | Some (Error e) -> Alcotest.failf "coordinator: %s" e
+  | None -> Alcotest.fail "coordinator thread died without a result"
+
+let start_worker ?(attempts = 8) ~socket name =
+  Thread.create
+    (fun () ->
+      ignore
+        (Farm.Worker.run
+           { (Farm.Worker.default_cfg ~socket ~name) with Farm.Worker.attempts }))
+    ()
+
+(* --- Specs ------------------------------------------------------------------- *)
+
+let test_spec_round_trip () =
+  List.iter
+    (fun spec ->
+      let s = Farm.Spec.to_string spec in
+      match Farm.Spec.of_string s with
+      | Error e -> Alcotest.failf "%s: %s" s e
+      | Ok got ->
+        Alcotest.(check bool) (s ^ " survives") true (got = spec);
+        Alcotest.(check string) "renders identically" s (Farm.Spec.to_string got))
+    [
+      fuzz_spec;
+      crash_spec;
+      Farm.Spec.fuzz ~model:Model.Cxl ~seed:1000 ~count:1 ~chunk:1 ();
+      Farm.Spec.crashfs ~max_ops:12 ~fs:Crashfs.Nova ~model:Model.Eadr ~seed:7 ~count:50
+        ~chunk:9 ();
+      Farm.Spec.litmus ~chunk:4 ();
+    ]
+
+let test_spec_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Farm.Spec.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [
+      "";
+      "bogus model=x86 seed=0 count=1 chunk=1";
+      "fuzz model=martian seed=0 count=1 chunk=1";
+      "fuzz model=x86 seed=0 count=1 chunk=1 surprise=1";
+      "fuzz model=x86 seed=zero count=1 chunk=1";
+      "fuzz model=x86 seed=0 chunk=1";
+      "fuzz model=x86 seed=0 count=1";
+      "fuzz model=x86 seed=0 count=1 chunk=0";
+      "crashfs model=x86 fs=extfour seed=0 count=1 chunk=1";
+    ]
+
+let test_spec_jobs_cover_the_range () =
+  let spec = Farm.Spec.fuzz ~model:Model.X86 ~seed:5 ~count:10 ~chunk:4 () in
+  Alcotest.(check (list (triple int int int)))
+    "contiguous chunks, short tail"
+    [ (0, 5, 9); (1, 9, 13); (2, 13, 15) ]
+    (Farm.Spec.jobs spec)
+
+(* --- Job execution ----------------------------------------------------------- *)
+
+let test_run_units_deterministic () =
+  match (Farm.run_units fuzz_spec ~lo:10 ~hi:20, Farm.run_units fuzz_spec ~lo:10 ~hi:20) with
+  | Ok a, Ok b ->
+    Alcotest.(check string) "same job, same digest" a.Farm.digest b.Farm.digest;
+    Alcotest.(check int) "units" 10 a.Farm.units
+  | Error e, _ | _, Error e -> Alcotest.failf "run_units: %s" e
+
+(* --- Checkpoints ------------------------------------------------------------- *)
+
+let test_checkpoint_round_trip () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "checkpoint" in
+      let ck =
+        {
+          Farm.Checkpoint.spec = crash_spec;
+          jobs = 3;
+          done_jobs =
+            [
+              { Farm.Checkpoint.job = 0; attempt = 1; units = 10; digest = "aaaa" };
+              { Farm.Checkpoint.job = 2; attempt = 3; units = 10; digest = "cccc" };
+            ];
+          findings = [ ("d1", "pmfs-skip-journal-flush-seed4") ];
+          nondet = [ 1 ];
+        }
+      in
+      Farm.Checkpoint.save ~path ck;
+      (match Farm.Checkpoint.load path with
+      | Error e -> Alcotest.fail e
+      | Ok got -> Alcotest.(check bool) "checkpoint survives" true (got = ck));
+      (match Farm.Checkpoint.load (Filename.concat dir "nope") with
+      | Ok _ -> Alcotest.fail "loaded a missing checkpoint"
+      | Error _ -> ());
+      let bad = Filename.concat dir "bad" in
+      let oc = open_out bad in
+      output_string oc "not a checkpoint\n";
+      close_out oc;
+      match Farm.Checkpoint.load bad with
+      | Ok _ -> Alcotest.fail "loaded garbage"
+      | Error _ -> ())
+
+(* --- End to end -------------------------------------------------------------- *)
+
+let test_two_worker_campaign_matches_direct () =
+  with_dir (fun dir ->
+      let socket = next_socket () in
+      let cfg = Farm.Coordinator.default_cfg ~spec:crash_spec ~socket ~dir in
+      let coord = start_coordinator cfg in
+      let w1 = start_worker ~socket "w-a" in
+      let w2 = start_worker ~socket "w-b" in
+      let s = finish_coordinator coord in
+      Thread.join w1;
+      Thread.join w2;
+      Alcotest.(check int) "all jobs done" s.Farm.Coordinator.jobs
+        s.Farm.Coordinator.jobs_done;
+      Alcotest.(check int) "both workers served" 2 s.Farm.Coordinator.workers_seen;
+      Alcotest.(check (list (pair int string)))
+        "distributed digests equal a direct run" (direct_digests crash_spec)
+        s.Farm.Coordinator.digests;
+      Alcotest.(check (list int)) "no nondeterminism" [] s.Farm.Coordinator.nondet;
+      let want_findings = direct_finding_count crash_spec in
+      Alcotest.(check bool) "the seeded fault surfaced reproducers" true (want_findings > 0);
+      Alcotest.(check int) "finding set matches a direct run" want_findings
+        (List.length s.Farm.Coordinator.findings);
+      (* The triage store holds exactly the deduplicated reproducers. *)
+      let pmts =
+        Sys.readdir cfg.Farm.Coordinator.triage_dir
+        |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".pmt")
+      in
+      Alcotest.(check int) "triage store matches the finding set" want_findings
+        (List.length pmts))
+
+let test_crash_resume_matches_uninterrupted () =
+  (* The acceptance property: a campaign hard-killed after its first
+     result, then resumed from the on-disk checkpoint, ends with the
+     same per-job digests and the same finding set as a run that was
+     never interrupted. *)
+  with_dir (fun dir_a ->
+      with_dir (fun dir_b ->
+          (* Uninterrupted reference run. *)
+          let socket_a = next_socket () in
+          let cfg_a = Farm.Coordinator.default_cfg ~spec:crash_spec ~socket:socket_a ~dir:dir_a in
+          let coord_a = start_coordinator cfg_a in
+          let wa = start_worker ~socket:socket_a "ref" in
+          let full = finish_coordinator coord_a in
+          Thread.join wa;
+          Alcotest.(check int) "reference run complete" full.Farm.Coordinator.jobs
+            full.Farm.Coordinator.jobs_done;
+          (* Crashed run: the coordinator hard-stops after one result —
+             no Bye, no extra bookkeeping, exactly as a SIGKILL would
+             leave things.  The worker loses its link mid-campaign and
+             exhausts its reconnect budget. *)
+          let socket_b = next_socket () in
+          let base = Farm.Coordinator.default_cfg ~spec:crash_spec ~socket:socket_b ~dir:dir_b in
+          let crashed_cfg = { base with Farm.Coordinator.stop_after_results = Some 1 } in
+          let coord_b = start_coordinator crashed_cfg in
+          let wb = start_worker ~attempts:2 ~socket:socket_b "doomed" in
+          let crashed = finish_coordinator coord_b in
+          Thread.join wb;
+          Alcotest.(check int) "crashed after exactly one result" 1
+            crashed.Farm.Coordinator.jobs_done;
+          (match Farm.Checkpoint.load base.Farm.Coordinator.checkpoint with
+          | Error e -> Alcotest.failf "post-crash checkpoint: %s" e
+          | Ok ck ->
+            Alcotest.(check int) "checkpoint carries the one survivor" 1
+              (List.length ck.Farm.Checkpoint.done_jobs));
+          (* Resume from the checkpoint and finish. *)
+          let resume_cfg = { base with Farm.Coordinator.resume = true } in
+          let coord_c = start_coordinator resume_cfg in
+          let wc = start_worker ~socket:socket_b "revived" in
+          let resumed = finish_coordinator coord_c in
+          Thread.join wc;
+          Alcotest.(check int) "resumed run complete" resumed.Farm.Coordinator.jobs
+            resumed.Farm.Coordinator.jobs_done;
+          Alcotest.(check (list (pair int string)))
+            "same per-job digests as the uninterrupted run"
+            full.Farm.Coordinator.digests resumed.Farm.Coordinator.digests;
+          Alcotest.(check (list (pair string string)))
+            "same finding set as the uninterrupted run" full.Farm.Coordinator.findings
+            resumed.Farm.Coordinator.findings;
+          Alcotest.(check (list int)) "replay found no nondeterminism" []
+            resumed.Farm.Coordinator.nondet))
+
+let must_write fd kind payload =
+  match Wire.write_frame fd kind payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write %s: %s" (Wire.kind_name kind) (Wire.error_to_string e)
+
+let must_read fd =
+  match Wire.read_frame fd with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "read: %s" (Wire.error_to_string e)
+
+let test_worker_death_loses_no_jobs () =
+  (* A hand-rolled worker handshakes, claims the first job, and drops
+     dead.  The coordinator must reassign that job to the real worker
+     that arrives next; the campaign ends with every job done and the
+     same digests as a direct run. *)
+  with_dir (fun dir ->
+      let socket = next_socket () in
+      let cfg = Farm.Coordinator.default_cfg ~spec:fuzz_spec ~socket ~dir in
+      let coord = start_coordinator cfg in
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Unix.connect fd (ADDR_UNIX socket);
+      must_write fd Wire.Worker_hello
+        (Wire.encode_worker_hello ~farm:Wire.farm_version ~name:"doomed" ~engines:0);
+      (match must_read fd with
+      | Wire.Worker_hello, _ -> ()
+      | kind, _ -> Alcotest.failf "expected hello ack, got %s" (Wire.kind_name kind));
+      (match must_read fd with
+      | Wire.Job_offer, payload -> (
+        match Wire.decode_job_offer payload with
+        | Ok (job, attempt, _, _, _) ->
+          must_write fd Wire.Job_claim (Wire.encode_job_claim ~job ~attempt)
+        | Error e -> Alcotest.failf "offer: %s" (Wire.error_to_string e))
+      | kind, _ -> Alcotest.failf "expected an offer, got %s" (Wire.kind_name kind));
+      (* Die without a word, job in hand. *)
+      Unix.close fd;
+      let w = start_worker ~socket "survivor" in
+      let s = finish_coordinator coord in
+      Thread.join w;
+      Alcotest.(check int) "zero lost jobs" s.Farm.Coordinator.jobs
+        s.Farm.Coordinator.jobs_done;
+      Alcotest.(check bool) "the claimed job was reassigned" true
+        (s.Farm.Coordinator.reassigned >= 1);
+      Alcotest.(check (list (pair int string)))
+        "digests unaffected by the death" (direct_digests fuzz_spec)
+        s.Farm.Coordinator.digests)
+
+let test_duplicate_result_mismatch_flags_nondet () =
+  (* Replay verification: a second result for an already-done job whose
+     digest disagrees is flagged as nondeterminism, never silently
+     resolved.  The fake worker answers job 0 twice with different
+     digests, then finishes the rest honestly enough to end the run. *)
+  with_dir (fun dir ->
+      let socket = next_socket () in
+      let spec = Farm.Spec.fuzz ~max_ops:8 ~model:Model.X86 ~seed:0 ~count:2 ~chunk:1 () in
+      let cfg = Farm.Coordinator.default_cfg ~spec ~socket ~dir in
+      let coord = start_coordinator cfg in
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Unix.connect fd (ADDR_UNIX socket);
+      must_write fd Wire.Worker_hello
+        (Wire.encode_worker_hello ~farm:Wire.farm_version ~name:"liar" ~engines:0);
+      (match must_read fd with
+      | Wire.Worker_hello, _ -> ()
+      | kind, _ -> Alcotest.failf "expected hello ack, got %s" (Wire.kind_name kind));
+      let answer ~twice =
+        match must_read fd with
+        | Wire.Job_offer, payload -> (
+          match Wire.decode_job_offer payload with
+          | Error e -> Alcotest.failf "offer: %s" (Wire.error_to_string e)
+          | Ok (job, attempt, _lo, _hi, _spec) ->
+            let result digest =
+              Wire.encode_job_result ~job ~attempt ~digest ~units:1 ~elapsed_ms:1
+                ~findings:[]
+            in
+            must_write fd Wire.Job_result (result "digest-one");
+            if twice then must_write fd Wire.Job_result (result "digest-two"))
+        | kind, _ -> Alcotest.failf "expected an offer, got %s" (Wire.kind_name kind)
+      in
+      answer ~twice:true;
+      answer ~twice:false;
+      (match must_read fd with
+      | Wire.Bye, _ -> ()
+      | kind, _ -> Alcotest.failf "expected bye, got %s" (Wire.kind_name kind));
+      Unix.close fd;
+      let s = finish_coordinator coord in
+      Alcotest.(check (list int)) "job 0 flagged nondeterministic" [ 0 ]
+        s.Farm.Coordinator.nondet)
+
+let test_corrupt_offer_does_not_kill_worker () =
+  (* The test plays coordinator: after the handshake it sends a
+     well-framed [Job_offer] whose payload is garbage, then one whose
+     spec is gibberish.  The worker must answer [Err] to both and stay
+     on the line — the next valid offer still gets executed. *)
+  let socket = next_socket () in
+  let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind listen_fd (ADDR_UNIX socket);
+  Unix.listen listen_fd 1;
+  let jobs_done = ref None in
+  let worker =
+    Thread.create
+      (fun () ->
+        jobs_done :=
+          Some
+            (Farm.Worker.run
+               { (Farm.Worker.default_cfg ~socket ~name:"stoic") with
+                 Farm.Worker.hb_interval = 60.0;
+               }))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () ->
+      let fd, _ = Unix.accept ~cloexec:true listen_fd in
+      (match must_read fd with
+      | Wire.Worker_hello, _ -> ()
+      | kind, _ -> Alcotest.failf "expected worker hello, got %s" (Wire.kind_name kind));
+      must_write fd Wire.Worker_hello
+        (Wire.encode_worker_hello ~farm:Wire.farm_version ~name:"w0" ~engines:0);
+      (* Skip the claim/heartbeat chatter; find the next interesting frame. *)
+      let rec next () =
+        match must_read fd with
+        | (Wire.Job_claim | Wire.Checkpoint), _ -> next ()
+        | f -> f
+      in
+      (* Valid frame, undecodable payload. *)
+      must_write fd Wire.Job_offer "\xff\xff\xff\xff garbage";
+      (match next () with
+      | Wire.Err, _ -> ()
+      | kind, _ -> Alcotest.failf "expected err for garbage offer, got %s" (Wire.kind_name kind));
+      (* Decodable offer, gibberish campaign spec. *)
+      must_write fd Wire.Job_offer
+        (Wire.encode_job_offer ~job:0 ~attempt:1 ~lo:0 ~hi:5 ~spec:"haunted model=ghost");
+      (match next () with
+      | Wire.Err, _ -> ()
+      | kind, _ -> Alcotest.failf "expected err for bad spec, got %s" (Wire.kind_name kind));
+      (* The link survived: a real offer still produces a real result. *)
+      let spec = Farm.Spec.fuzz ~max_ops:8 ~model:Model.X86 ~seed:0 ~count:5 ~chunk:5 () in
+      must_write fd Wire.Job_offer
+        (Wire.encode_job_offer ~job:0 ~attempt:1 ~lo:0 ~hi:5
+           ~spec:(Farm.Spec.to_string spec));
+      let wait_result () =
+        match next () with
+        | Wire.Job_result, payload -> (
+          match Wire.decode_job_result payload with
+          | Ok r -> r
+          | Error e -> Alcotest.failf "result: %s" (Wire.error_to_string e))
+        | kind, _ -> Alcotest.failf "expected a result, got %s" (Wire.kind_name kind)
+      in
+      let job, _attempt, digest, units, _ms, _findings = wait_result () in
+      Alcotest.(check int) "job id" 0 job;
+      Alcotest.(check int) "units" 5 units;
+      (match Farm.run_units spec ~lo:0 ~hi:5 with
+      | Ok direct -> Alcotest.(check string) "honest digest" direct.Farm.digest digest
+      | Error e -> Alcotest.failf "direct run: %s" e);
+      must_write fd Wire.Bye "";
+      Unix.close fd;
+      Thread.join worker;
+      match !jobs_done with
+      | Some (Ok 1) -> ()
+      | Some (Ok n) -> Alcotest.failf "worker reported %d jobs, wanted 1" n
+      | Some (Error e) -> Alcotest.failf "worker: %s" e
+      | None -> Alcotest.fail "worker thread died")
+
+let () =
+  Alcotest.run "farm"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "round trip" `Quick test_spec_round_trip;
+          Alcotest.test_case "garbage rejected" `Quick test_spec_rejects_garbage;
+          Alcotest.test_case "jobs cover the seed range" `Quick
+            test_spec_jobs_cover_the_range;
+        ] );
+      ( "jobs",
+        [ Alcotest.test_case "run_units is deterministic" `Quick test_run_units_deterministic ]
+      );
+      ( "checkpoint",
+        [ Alcotest.test_case "save/load round trip" `Quick test_checkpoint_round_trip ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "two workers match a direct run" `Quick
+            test_two_worker_campaign_matches_direct;
+          Alcotest.test_case "crash + resume matches uninterrupted" `Quick
+            test_crash_resume_matches_uninterrupted;
+          Alcotest.test_case "worker death loses no jobs" `Quick
+            test_worker_death_loses_no_jobs;
+          Alcotest.test_case "digest mismatch flags nondeterminism" `Quick
+            test_duplicate_result_mismatch_flags_nondet;
+          Alcotest.test_case "corrupt offers do not kill the worker" `Quick
+            test_corrupt_offer_does_not_kill_worker;
+        ] );
+    ]

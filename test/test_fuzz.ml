@@ -202,6 +202,34 @@ let test_corpus_round_trip () =
     (match Repro.replay c with Ok () -> () | Error e -> Alcotest.fail e));
   Sys.remove path
 
+let test_corpus_save_dedupes_by_digest () =
+  (* Saving the same program twice — even under a different case name —
+     must return the existing reproducer instead of minting a sibling:
+     corpus identity is the (model, trace) digest, not the filename. *)
+  let p = Gen.generate (Gen.default_cfg Model.X86) (Rng.create 11) in
+  let case name = { Repro.name; program = p; checks = [ Repro.Agree Cross.Engine_vs_naive ] } in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmtest-fuzz-dedupe-test-%d" (Unix.getpid ()))
+  in
+  let path1 = Repro.save ~dir (case "tmp-dedupe-original") in
+  let path2 = Repro.save ~dir (case "tmp-dedupe-duplicate") in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path1 with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      Alcotest.(check string) "duplicate save returns the existing case" path1 path2;
+      let pmts = Array.to_list (Sys.readdir dir) in
+      Alcotest.(check int) "one reproducer on disk" 1 (List.length pmts);
+      (* A genuinely different program still gets its own file. *)
+      let q = Gen.generate (Gen.default_cfg Model.X86) (Rng.create 12) in
+      let path3 = Repro.save ~dir { (case "tmp-dedupe-fresh") with Repro.program = q } in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path3 with Sys_error _ -> ())
+        (fun () ->
+          Alcotest.(check bool) "fresh trace saved separately" true (path3 <> path1)))
+
 let test_snippet_mentions_engine () =
   let p = Gen.oracle_program ~with_checkers:true (Gen.oracle_cfg Model.Hops) (Rng.create 3) in
   let s = Repro.ocaml_snippet p in
@@ -246,6 +274,8 @@ let () =
         [
           Alcotest.test_case "checked-in cases replay" `Quick test_corpus_replays;
           Alcotest.test_case "save/load round trip" `Quick test_corpus_round_trip;
+          Alcotest.test_case "save dedupes by trace digest" `Quick
+            test_corpus_save_dedupes_by_digest;
           Alcotest.test_case "OCaml snippet is self-contained" `Quick
             test_snippet_mentions_engine;
         ] );

@@ -175,6 +175,22 @@ let synthetic : Obs.snapshot =
         sections_shed = 0;
         inflight_hwm = 3;
       };
+    farm =
+      {
+        Obs.farm_workers = 2;
+        farm_workers_lost = 1;
+        farm_jobs = 8;
+        farm_jobs_done = 8;
+        farm_offers = 9;
+        farm_retries = 1;
+        farm_steals = 1;
+        farm_reassignments = 1;
+        farm_findings = 3;
+        farm_dup_findings = 1;
+        farm_nondet = 0;
+        farm_heartbeats = 12;
+        farm_checkpoints = 8;
+      };
     workers =
       [
         { Obs.id = 0; sections = 2; busy_ns = 700 }; { Obs.id = 1; sections = 1; busy_ns = 300 };
@@ -247,6 +263,19 @@ let golden_tsv =
       "counter\tserve_frames_corrupt\t1";
       "counter\tserve_sections_shed\t0";
       "counter\tserve_inflight_hwm\t3";
+      "counter\tfarm_workers\t2";
+      "counter\tfarm_workers_lost\t1";
+      "counter\tfarm_jobs\t8";
+      "counter\tfarm_jobs_done\t8";
+      "counter\tfarm_offers\t9";
+      "counter\tfarm_retries\t1";
+      "counter\tfarm_steals\t1";
+      "counter\tfarm_reassignments\t1";
+      "counter\tfarm_findings\t3";
+      "counter\tfarm_dup_findings\t1";
+      "counter\tfarm_nondet\t0";
+      "counter\tfarm_heartbeats\t12";
+      "counter\tfarm_checkpoints\t8";
       "worker\t0\t2\t700";
       "worker\t1\t1\t300";
       "shard\t0\t1\t2";
@@ -268,7 +297,7 @@ let golden_tsv =
 let golden_jsonl =
   String.concat "\n"
     [
-      {|{"type":"counters","elapsed_ns":5000,"events_traced":42,"sections_sent":3,"sections_checked":3,"sections_merged":3,"sections_dropped":1,"queue_hwm":2,"reorder_hwm":1,"entries_checked":40,"ops_checked":30,"checkers_run":5,"diagnostics":2,"batches":4,"batch_sections_max":2,"arenas_allocated":3,"arenas_reused":1,"repair_traces":2,"repair_edits":5,"repair_rounds":4,"repair_ns":800,"repair_verify_ns":650,"serve_sessions_opened":2,"serve_sessions_closed":2,"serve_sessions_hwm":2,"serve_frames_in":6,"serve_frames_out":4,"serve_frame_bytes_in":900,"serve_frame_bytes_out":120,"serve_frames_corrupt":1,"serve_sections_shed":0,"serve_inflight_hwm":3}|};
+      {|{"type":"counters","elapsed_ns":5000,"events_traced":42,"sections_sent":3,"sections_checked":3,"sections_merged":3,"sections_dropped":1,"queue_hwm":2,"reorder_hwm":1,"entries_checked":40,"ops_checked":30,"checkers_run":5,"diagnostics":2,"batches":4,"batch_sections_max":2,"arenas_allocated":3,"arenas_reused":1,"repair_traces":2,"repair_edits":5,"repair_rounds":4,"repair_ns":800,"repair_verify_ns":650,"serve_sessions_opened":2,"serve_sessions_closed":2,"serve_sessions_hwm":2,"serve_frames_in":6,"serve_frames_out":4,"serve_frame_bytes_in":900,"serve_frame_bytes_out":120,"serve_frames_corrupt":1,"serve_sections_shed":0,"serve_inflight_hwm":3,"farm_workers":2,"farm_workers_lost":1,"farm_jobs":8,"farm_jobs_done":8,"farm_offers":9,"farm_retries":1,"farm_steals":1,"farm_reassignments":1,"farm_findings":3,"farm_dup_findings":1,"farm_nondet":0,"farm_heartbeats":12,"farm_checkpoints":8}|};
       {|{"type":"worker","id":0,"sections":2,"busy_ns":700}|};
       {|{"type":"worker","id":1,"sections":1,"busy_ns":300}|};
       {|{"type":"shard","shard":0,"sessions":1,"sections":2}|};

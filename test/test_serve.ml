@@ -383,6 +383,62 @@ let test_sigterm_drains_cli_daemon () =
       | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) -> Alcotest.failf "daemon killed by signal %d" s);
       Alcotest.(check bool) "socket unlinked on drain" false (Sys.file_exists socket))
 
+(* --- Reconnect backoff ------------------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_connect_retry_gives_up () =
+  (* No daemon, ever: every attempt fails, on_retry fires before each
+     backoff sleep (attempts - 1 times), and the final error names the
+     attempt budget.  Jitter keeps each delay within 0.5x..1.5x of the
+     nominal doubling schedule. *)
+  let socket = next_socket () in
+  let retries = ref 0 in
+  let delays = ref [] in
+  match
+    Client.connect_retry ~attempts:3 ~base_delay:0.01 ~max_delay:0.02
+      ~on_retry:(fun ~attempt:_ ~delay _err ->
+        incr retries;
+        delays := delay :: !delays)
+      ~socket ()
+  with
+  | Ok conn ->
+    Client.close conn;
+    Alcotest.fail "connected to a daemon that does not exist"
+  | Error m ->
+    Alcotest.(check int) "one retry per failed attempt but the last" 2 !retries;
+    Alcotest.(check bool) "error names the attempt budget" true
+      (contains m "after 3 attempt(s)");
+    List.iter
+      (fun d ->
+        Alcotest.(check bool) "jittered delay within 0.5x..1.5x nominal" true
+          (d >= 0.004 && d <= 0.032))
+      !delays
+
+let test_connect_retry_waits_for_daemon () =
+  (* The daemon comes up while the client is backing off: the retry
+     loop must land the connection instead of failing fast. *)
+  let socket = next_socket () in
+  let srv = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.05;
+        srv := Some (Server.start { Server.default_config with Server.socket }))
+      ()
+  in
+  let r = Client.connect_retry ~model:Model.X86 ~attempts:10 ~base_delay:0.02 ~socket () in
+  Thread.join th;
+  Fun.protect
+    ~finally:(fun () -> match !srv with Some s -> Server.stop s | None -> ())
+    (fun () ->
+      match r with
+      | Ok conn -> Client.close conn
+      | Error m -> Alcotest.failf "never connected: %s" m)
+
 let () =
   Alcotest.run "serve"
     [
@@ -407,6 +463,13 @@ let () =
             test_session_churn_across_shards;
           Alcotest.test_case "mid-frame kill on a non-zero shard" `Quick
             test_mid_frame_kill_on_nonzero_shard;
+        ] );
+      ( "reconnect",
+        [
+          Alcotest.test_case "backoff gives up after its attempt budget" `Quick
+            test_connect_retry_gives_up;
+          Alcotest.test_case "backoff survives a late daemon" `Quick
+            test_connect_retry_waits_for_daemon;
         ] );
       ( "drain",
         [

@@ -317,6 +317,158 @@ let test_err_round_trip () =
   | Ok m -> Alcotest.(check string) "message" "session limit reached (32 active)" m
   | Error e -> Alcotest.fail (Wire.error_to_string e)
 
+(* --- Farm frames (protocol version 2) ----------------------------------- *)
+
+let test_worker_hello_codec_round_trip () =
+  match
+    Wire.decode_worker_hello
+      (Wire.encode_worker_hello ~farm:3 ~name:"rig-7.worker-b" ~engines:0b101)
+  with
+  | Error e -> Alcotest.fail (Wire.error_to_string e)
+  | Ok (farm, name, engines) ->
+    Alcotest.(check int) "farm level" 3 farm;
+    Alcotest.(check string) "name" "rig-7.worker-b" name;
+    Alcotest.(check int) "engine mask" 0b101 engines
+
+let test_job_offer_codec_round_trip () =
+  let spec = "fuzz model=x86 seed=0 count=200 chunk=25" in
+  match
+    Wire.decode_job_offer (Wire.encode_job_offer ~job:6 ~attempt:2 ~lo:150 ~hi:175 ~spec)
+  with
+  | Error e -> Alcotest.fail (Wire.error_to_string e)
+  | Ok (job, attempt, lo, hi, got) ->
+    Alcotest.(check int) "job" 6 job;
+    Alcotest.(check int) "attempt" 2 attempt;
+    Alcotest.(check int) "lo" 150 lo;
+    Alcotest.(check int) "hi" 175 hi;
+    Alcotest.(check string) "spec travels verbatim" spec got
+
+let test_job_claim_codec_round_trip () =
+  match Wire.decode_job_claim (Wire.encode_job_claim ~job:0 ~attempt:1) with
+  | Error e -> Alcotest.fail (Wire.error_to_string e)
+  | Ok (job, attempt) ->
+    Alcotest.(check int) "job" 0 job;
+    Alcotest.(check int) "attempt" 1 attempt
+
+let test_job_result_codec_round_trip () =
+  (* Findings are full reproducer texts: newlines and '#' comment lines
+     must survive untouched. *)
+  let findings =
+    [
+      ("x86-seed3-store-skips-flush", "# pmtest reproducer v1\nstore 0 8\nflush 0\n");
+      ("pmfs-alloc-seed9", "# crashfs reproducer\ncreate /a\nwrite /a 64\n");
+    ]
+  in
+  match
+    Wire.decode_job_result
+      (Wire.encode_job_result ~job:3 ~attempt:1 ~digest:"2a97e25cffff0123" ~units:25
+         ~elapsed_ms:412 ~findings)
+  with
+  | Error e -> Alcotest.fail (Wire.error_to_string e)
+  | Ok (job, attempt, digest, units, elapsed_ms, got) ->
+    Alcotest.(check int) "job" 3 job;
+    Alcotest.(check int) "attempt" 1 attempt;
+    Alcotest.(check string) "digest" "2a97e25cffff0123" digest;
+    Alcotest.(check int) "units" 25 units;
+    Alcotest.(check int) "elapsed" 412 elapsed_ms;
+    Alcotest.(check (list (pair string string))) "findings verbatim" findings got
+
+let test_checkpoint_codec_round_trip () =
+  (match Wire.decode_checkpoint (Wire.encode_checkpoint ~running:(Some 7) ~jobs_done:12) with
+  | Error e -> Alcotest.fail (Wire.error_to_string e)
+  | Ok (running, jobs_done) ->
+    Alcotest.(check (option int)) "running job" (Some 7) running;
+    Alcotest.(check int) "jobs done" 12 jobs_done);
+  match Wire.decode_checkpoint (Wire.encode_checkpoint ~running:None ~jobs_done:0) with
+  | Error e -> Alcotest.fail (Wire.error_to_string e)
+  | Ok (running, jobs_done) ->
+    Alcotest.(check (option int)) "idle" None running;
+    Alcotest.(check int) "fresh" 0 jobs_done
+
+let test_job_offer_inverted_range_rejected () =
+  (* The encoder is trusting; the decoder is not.  A frame whose seed
+     range runs backwards is corrupt, not an empty job. *)
+  match
+    Wire.decode_job_offer
+      (Wire.encode_job_offer ~job:1 ~attempt:1 ~lo:50 ~hi:25 ~spec:"fuzz model=x86")
+  with
+  | Ok _ -> Alcotest.fail "inverted seed range accepted"
+  | Error (Wire.Corrupt _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e)
+
+let test_farm_codecs_reject_garbage () =
+  (* Empty, random, and truncated payloads must all surface as typed
+     errors — a worker answers these with [Err] and keeps its link. *)
+  let offer =
+    Wire.encode_job_offer ~job:2 ~attempt:1 ~lo:0 ~hi:25 ~spec:"fuzz model=x86 count=25"
+  in
+  let result =
+    Wire.encode_job_result ~job:2 ~attempt:1 ~digest:"abcd" ~units:25 ~elapsed_ms:3
+      ~findings:[ ("n", "text") ]
+  in
+  List.iter
+    (fun (name, r) ->
+      match r with
+      | Ok _ -> Alcotest.failf "%s decoded garbage" name
+      | Error (Wire.Corrupt _) -> ()
+      | Error e -> Alcotest.failf "%s: wrong error: %s" name (Wire.error_to_string e))
+    [
+      ("worker_hello empty", Result.map ignore (Wire.decode_worker_hello ""));
+      ( "worker_hello truncated name",
+        Result.map ignore (Wire.decode_worker_hello "\x01\x20abc") );
+      ("job_offer empty", Result.map ignore (Wire.decode_job_offer ""));
+      ( "job_offer truncated",
+        Result.map ignore
+          (Wire.decode_job_offer (String.sub offer 0 (String.length offer / 2))) );
+      ( "job_offer trailing bytes",
+        Result.map ignore (Wire.decode_job_offer (offer ^ "\x00")) );
+      ("job_claim empty", Result.map ignore (Wire.decode_job_claim ""));
+      ( "job_claim trailing bytes",
+        Result.map ignore (Wire.decode_job_claim (Wire.encode_job_claim ~job:1 ~attempt:1 ^ "z"))
+      );
+      ("job_result empty", Result.map ignore (Wire.decode_job_result ""));
+      ( "job_result truncated finding",
+        Result.map ignore
+          (Wire.decode_job_result (String.sub result 0 (String.length result - 2))) );
+      ("checkpoint empty", Result.map ignore (Wire.decode_checkpoint ""));
+      ( "checkpoint varint overflow",
+        Result.map ignore
+          (Wire.decode_checkpoint "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff") );
+    ]
+
+let test_farm_frame_stamped_v2 () =
+  (* Farm frames go out stamped protocol version 2; the legacy family
+     keeps version 1, so pre-farm traffic stays byte-identical. *)
+  let farm_raw = raw_frame Wire.Job_claim (Wire.encode_job_claim ~job:0 ~attempt:1) in
+  Alcotest.(check int) "farm frame version byte" 2 (Char.code farm_raw.[0]);
+  let legacy_raw = raw_frame Wire.Hello (Wire.encode_hello ~model:Model.X86) in
+  Alcotest.(check int) "legacy frame version byte" 1 (Char.code legacy_raw.[0])
+
+let test_farm_kind_under_v1_rejected () =
+  (* A version-1 header cannot carry a farm kind: that is a corrupt
+     frame, not a silent downgrade. *)
+  let raw = raw_frame Wire.Worker_hello (Wire.encode_worker_hello ~farm:1 ~name:"w" ~engines:0) in
+  let b = Bytes.of_string raw in
+  Bytes.set b 0 (Char.chr 1);
+  feed (Bytes.to_string b) (function
+    | Error (Wire.Corrupt _) -> ()
+    | Ok _ -> Alcotest.fail "farm kind under v1 accepted"
+    | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e))
+
+let test_pre_farm_hello_negotiates_down () =
+  (* A version-1 client's [Hello] — the exact bytes a pre-farm build
+     emits — is still accepted by the version-2 reader and decodes to
+     the same model.  This is the negotiate-down guarantee. *)
+  let raw = raw_frame Wire.Hello (Wire.encode_hello ~model:Model.Cxl) in
+  Alcotest.(check int) "already a v1 frame on the wire" 1 (Char.code raw.[0]);
+  feed raw (function
+    | Error e -> Alcotest.fail (Wire.error_to_string e)
+    | Ok (kind, payload) ->
+      Alcotest.(check bool) "hello kind" true (kind = Wire.Hello);
+      (match Wire.decode_hello payload with
+      | Ok m -> Alcotest.(check bool) "model survives" true (m = Model.Cxl)
+      | Error e -> Alcotest.fail (Wire.error_to_string e)))
+
 let test_codec_rejects_garbage () =
   List.iter
     (fun (name, r) ->
@@ -366,5 +518,24 @@ let () =
           Alcotest.test_case "report" `Quick test_report_round_trip;
           Alcotest.test_case "err" `Quick test_err_round_trip;
           Alcotest.test_case "garbage rejected" `Quick test_codec_rejects_garbage;
+        ] );
+      ( "farm",
+        [
+          Alcotest.test_case "worker_hello round trip" `Quick
+            test_worker_hello_codec_round_trip;
+          Alcotest.test_case "job_offer round trip" `Quick test_job_offer_codec_round_trip;
+          Alcotest.test_case "job_claim round trip" `Quick test_job_claim_codec_round_trip;
+          Alcotest.test_case "job_result round trip" `Quick test_job_result_codec_round_trip;
+          Alcotest.test_case "checkpoint round trip" `Quick test_checkpoint_codec_round_trip;
+          Alcotest.test_case "inverted seed range rejected" `Quick
+            test_job_offer_inverted_range_rejected;
+          Alcotest.test_case "corrupt and truncated payloads rejected" `Quick
+            test_farm_codecs_reject_garbage;
+          Alcotest.test_case "farm frames stamped version 2" `Quick
+            test_farm_frame_stamped_v2;
+          Alcotest.test_case "farm kind under v1 header rejected" `Quick
+            test_farm_kind_under_v1_rejected;
+          Alcotest.test_case "pre-farm hello negotiates down" `Quick
+            test_pre_farm_hello_negotiates_down;
         ] );
     ]
