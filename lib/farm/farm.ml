@@ -85,6 +85,23 @@ module Spec = struct
     Option.iter (fun m -> Printf.bprintf b " max_ops=%d" m) t.max_ops;
     Buffer.contents b
 
+  (* Everything [run_units] would choke on, caught before any job is
+     offered: seeds travel as unsigned varints (a negative one would
+     blow up mid-[encode_job_offer], under the coordinator lock), and an
+     unknown fault name would make every attempt of every job fail
+     worker-side. *)
+  let validate t =
+    if t.seed < 0 then Error "negative seed (job ranges travel as unsigned varints)"
+    else if t.count < 0 then Error "negative count"
+    else if t.chunk < 1 then Error "chunk < 1"
+    else
+      match (t.kind, t.fault) with
+      | _, None -> Ok ()
+      | Crashfs, Some f ->
+        Result.map (fun _ -> ()) (Crashfs.with_fault (Crashfs.default_config t.fs) f)
+      | (Fuzz | Litmus), Some _ ->
+        Error (Printf.sprintf "fault only applies to crashfs campaigns, not %s" (kind_name t.kind))
+
   let of_string s =
     match String.split_on_char ' ' (String.trim s) with
     | [] | [ "" ] -> Error "empty campaign spec"
@@ -141,7 +158,7 @@ module Spec = struct
         | None ->
           if !spec.count < 0 then Error "spec is missing count"
           else if !spec.chunk < 1 then Error "spec is missing chunk (or chunk < 1)"
-          else Ok !spec))
+          else Result.map (fun () -> !spec) (validate !spec)))
 
   let jobs t =
     let stop = t.seed + t.count in
@@ -417,7 +434,13 @@ module Coordinator = struct
     mutable state : jstate;
     mutable offered_at : float;
     mutable holders : int list;  (* wids holding a live attempt *)
+    mutable refusals : int;  (* Job_refused frames seen for this job *)
   }
+
+  (* A job refused this many times (across workers and attempts) is
+     treated as deterministically broken: the campaign aborts with the
+     worker's reason instead of bouncing the job forever. *)
+  let max_refusals = 3
 
   type wrec = {
     wid : int;
@@ -445,6 +468,7 @@ module Coordinator = struct
     mutable nondet : int list;
     findings : (string, string) Hashtbl.t;  (* content digest -> name *)
     mutable stopping : bool;
+    mutable failed : string option;  (* a job exhausted [max_refusals] *)
   }
 
   let finished st = st.done_count = Array.length st.jobs
@@ -603,6 +627,36 @@ module Coordinator = struct
     end;
     Mutex.unlock st.m
 
+  (* The worker could not run the job at all (unknown fault, mangled
+     spec...).  Unlike a lost link this leaves the worker alive and
+     heartbeating, so nothing times out: the job must be explicitly
+     unassigned here or it stays held forever. *)
+  let handle_refusal st w ~job ~reason =
+    Mutex.lock st.m;
+    if not st.stopping then begin
+      w.running <- List.filter (fun jid -> jid <> job) w.running;
+      let j = st.jobs.(job) in
+      j.holders <- List.filter (fun h -> h <> w.wid) j.holders;
+      match j.state with
+      | Jdone _ -> ()  (* another attempt already finished it *)
+      | Pending | Offered ->
+        j.refusals <- j.refusals + 1;
+        if j.refusals >= max_refusals then begin
+          st.failed <-
+            Some
+              (Printf.sprintf "job %d refused %d time(s) by workers; last reason: %s" job
+                 j.refusals reason);
+          st.stopping <- true;
+          Condition.broadcast st.cv
+        end
+        else if j.holders = [] then begin
+          j.state <- Pending;
+          st.pending <- st.pending @ [ job ];
+          try_assign st
+        end
+    end;
+    Mutex.unlock st.m
+
   let reaper st =
     let tick = Float.max 0.02 (Float.min (st.cfg.heartbeat_timeout /. 4.) 0.25) in
     let rec loop () =
@@ -652,6 +706,15 @@ module Coordinator = struct
 
   let send_err fd msg = ignore (Wire.write_frame fd Wire.Err (Wire.encode_err msg))
 
+  (* For a fd that is already published in [st.workers]: [offer] writes
+     to it under [st.m] from other threads, and a multi-write(2) frame
+     torn by an interleaved one corrupts the stream — so every write to
+     a registered worker takes the same lock. *)
+  let send_err_locked st w msg =
+    Mutex.lock st.m;
+    send_err w.wfd msg;
+    Mutex.unlock st.m
+
   let rec conn_loop st w reader =
     match Wire.read_one reader with
     | Error Wire.Timeout -> conn_loop st w reader
@@ -673,15 +736,26 @@ module Coordinator = struct
             handle_result st w ~job ~attempt ~digest ~units ~findings;
             true
           | Ok (job, _, _, _, _, _) ->
-            send_err w.wfd (Printf.sprintf "unknown job %d" job);
+            send_err_locked st w (Printf.sprintf "unknown job %d" job);
             true
           | Error e ->
-            send_err w.wfd ("bad job result: " ^ Wire.error_to_string e);
+            send_err_locked st w ("bad job result: " ^ Wire.error_to_string e);
             true)
-        | Wire.Err -> true  (* the worker refused an offer; steal/timeout recovers the job *)
+        | Wire.Job_refused -> (
+          match Wire.decode_job_refused payload with
+          | Ok (job, _attempt, reason) when job >= 0 && job < Array.length st.jobs ->
+            handle_refusal st w ~job ~reason;
+            true
+          | Ok (job, _, _) ->
+            send_err_locked st w (Printf.sprintf "unknown job %d" job);
+            true
+          | Error e ->
+            send_err_locked st w ("bad job refusal: " ^ Wire.error_to_string e);
+            true)
+        | Wire.Err -> true  (* informational; job failures come as Job_refused *)
         | Wire.Bye -> false
         | _ ->
-          send_err w.wfd (Printf.sprintf "unexpected %s frame" (Wire.kind_name kind));
+          send_err_locked st w (Printf.sprintf "unexpected %s frame" (Wire.kind_name kind));
           true
       in
       if continue then conn_loop st w reader
@@ -706,6 +780,7 @@ module Coordinator = struct
           Mutex.lock st.m;
           let wid = st.next_wid in
           st.next_wid <- wid + 1;
+          Mutex.unlock st.m;
           let w =
             {
               wid;
@@ -716,25 +791,29 @@ module Coordinator = struct
               lost = false;
             }
           in
-          Hashtbl.replace st.workers wid w;
-          st.workers_seen <- st.workers_seen + 1;
-          Obs.farm_worker_joined st.cfg.obs;
-          Mutex.unlock st.m;
           let ack =
             Wire.encode_worker_hello ~farm:negotiated ~name:(Printf.sprintf "w%d" wid)
               ~engines:0
           in
+          (* The ack must be on the wire before the worker is published:
+             once it is in [st.workers], try_assign/reaper on another
+             thread may write a [Job_offer] to this fd, and an offer
+             arriving ahead of the ack fails the worker's handshake. *)
           (match Wire.write_frame fd Wire.Worker_hello ack with
-          | Error _ -> ()
+          | Error _ -> close ()
           | Ok () ->
             Mutex.lock st.m;
+            w.last_seen <- now ();
+            Hashtbl.replace st.workers wid w;
+            st.workers_seen <- st.workers_seen + 1;
+            Obs.farm_worker_joined st.cfg.obs;
             try_assign st;
             Mutex.unlock st.m;
-            conn_loop st w reader);
-          Mutex.lock st.m;
-          if st.stopping then w.lost <- true else mark_lost st w;
-          Mutex.unlock st.m;
-          close ()
+            conn_loop st w reader;
+            Mutex.lock st.m;
+            if st.stopping then w.lost <- true else mark_lost st w;
+            Mutex.unlock st.m;
+            close ())
         end)
     | Ok (kind, _) ->
       send_err fd (Printf.sprintf "expected worker-hello, got %s" (Wire.kind_name kind));
@@ -744,6 +823,9 @@ module Coordinator = struct
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     if cfg.capacity < 1 then Error "Coordinator.run: capacity < 1"
     else begin
+      match Spec.validate cfg.spec with
+      | Error e -> Error (Printf.sprintf "invalid campaign spec: %s" e)
+      | Ok () ->
       let resume_ck =
         if cfg.resume && Sys.file_exists cfg.checkpoint then
           match Checkpoint.load cfg.checkpoint with
@@ -762,7 +844,16 @@ module Coordinator = struct
         let jobs =
           Spec.jobs cfg.spec
           |> List.map (fun (id, lo, hi) ->
-                 { id; lo; hi; attempt = 0; state = Pending; offered_at = 0.; holders = [] })
+                 {
+                   id;
+                   lo;
+                   hi;
+                   attempt = 0;
+                   state = Pending;
+                   offered_at = 0.;
+                   holders = [];
+                   refusals = 0;
+                 })
           |> Array.of_list
         in
         let findings = Hashtbl.create 16 in
@@ -814,6 +905,7 @@ module Coordinator = struct
             nondet = !nondet;
             findings;
             stopping = false;
+            failed = None;
           }
         in
         Obs.farm_campaign cfg.obs ~jobs:(Array.length jobs);
@@ -867,7 +959,11 @@ module Coordinator = struct
           while not (finished st || st.stopping) do
             Condition.wait st.cv st.m
           done;
-          let crashed = st.stopping && not (finished st) in
+          (* [crashed] = the stop_after_results testing hook fired: tear
+             the sockets down with no goodbye, as SIGKILL would.  An
+             aborted campaign ([failed]) still says Bye so its workers
+             exit instead of burning their reconnect budgets. *)
+          let crashed = st.stopping && not (finished st) && st.failed = None in
           st.stopping <- true;
           let live =
             Hashtbl.fold (fun _ w acc -> if not w.lost then w :: acc else acc) st.workers []
@@ -892,10 +988,17 @@ module Coordinator = struct
           in
           Mutex.unlock st.m;
           (* A simulated crash tears the sockets down with no goodbye —
-             workers must survive it via their reconnect loop. *)
+             workers must survive it via their reconnect loop.  The Bye
+             writes take [st.m] like every other write to a registered
+             worker: conn threads are still draining and may write an
+             [Err] on the same fd. *)
           List.iter
             (fun w ->
-              if not crashed then ignore (Wire.write_frame w.wfd Wire.Bye "");
+              if not crashed then begin
+                Mutex.lock st.m;
+                ignore (Wire.write_frame w.wfd Wire.Bye "");
+                Mutex.unlock st.m
+              end;
               try Unix.shutdown w.wfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
             live;
           (* Closing a listening fd does not wake accept(2); one
@@ -913,7 +1016,7 @@ module Coordinator = struct
           let ts = !conn_threads in
           Mutex.unlock threads_m;
           List.iter Thread.join ts;
-          Ok summary)
+          match st.failed with Some e -> Error e | None -> Ok summary)
     end
 end
 
@@ -977,7 +1080,21 @@ module Worker = struct
     let m = Mutex.create () in
     let current = ref None in
     let hb_stop = ref false in
-    let send_err msg = ignore (Wire.write_frame fd Wire.Err (Wire.encode_err msg)) in
+    (* Every write to [fd] goes through [send] under [m]: the heartbeat
+       thread and this session thread share the fd, and [write_exactly]
+       can split a large [Job_result] across several write(2) calls — a
+       [Checkpoint] landing between two of them would corrupt the
+       stream and force a reconnect plus a full job re-run. *)
+    let send kind payload =
+      Mutex.lock m;
+      let r = Wire.write_frame fd kind payload in
+      Mutex.unlock m;
+      r
+    in
+    let send_err msg = ignore (send Wire.Err (Wire.encode_err msg)) in
+    let refuse ~job ~attempt reason =
+      ignore (send Wire.Job_refused (Wire.encode_job_refused ~job ~attempt ~reason))
+    in
     let hb =
       Thread.create
         (fun () ->
@@ -987,10 +1104,7 @@ module Worker = struct
             let stop = !hb_stop and running = !current and done_n = !jobs_done in
             Mutex.unlock m;
             if not stop then
-              match
-                Wire.write_frame fd Wire.Checkpoint
-                  (Wire.encode_checkpoint ~running ~jobs_done:done_n)
-              with
+              match send Wire.Checkpoint (Wire.encode_checkpoint ~running ~jobs_done:done_n) with
               | Ok () -> loop ()
               | Error _ -> ()  (* link died; the read loop notices too *)
           in
@@ -1017,30 +1131,34 @@ module Worker = struct
         | Ok (job, attempt, lo, hi, spec_s) -> (
           match Spec.of_string spec_s with
           | Error e ->
-            send_err (Printf.sprintf "bad campaign spec in job %d: %s" job e);
+            (* The coordinator knows which job to unassign only if the
+               refusal names it — a bare [Err] would leave this worker
+               holding the job forever. *)
+            refuse ~job ~attempt (Printf.sprintf "bad campaign spec: %s" e);
             loop ()
           | Ok spec -> (
-            ignore (Wire.write_frame fd Wire.Job_claim (Wire.encode_job_claim ~job ~attempt));
+            ignore (send Wire.Job_claim (Wire.encode_job_claim ~job ~attempt));
             Mutex.lock m;
             current := Some job;
             Mutex.unlock m;
             let t0 = now () in
             let result = run_units spec ~lo ~hi in
-            let elapsed_ms = int_of_float ((now () -. t0) *. 1000.) in
+            let elapsed_ms = max 0 (int_of_float ((now () -. t0) *. 1000.)) in
             Mutex.lock m;
             current := None;
             (match result with Ok _ -> incr jobs_done | Error _ -> ());
             Mutex.unlock m;
             match result with
             | Error e ->
-              send_err (Printf.sprintf "job %d failed: %s" job e);
+              cfg.log (Printf.sprintf "job %d attempt %d refused: %s" job attempt e);
+              refuse ~job ~attempt e;
               loop ()
             | Ok r -> (
               cfg.log
                 (Printf.sprintf "job %d attempt %d [%d, %d): %d finding(s), %d ms" job attempt
                    lo hi (List.length r.findings) elapsed_ms);
               match
-                Wire.write_frame fd Wire.Job_result
+                send Wire.Job_result
                   (Wire.encode_job_result ~job ~attempt ~digest:r.digest ~units:r.units
                      ~elapsed_ms ~findings:r.findings)
               with

@@ -73,6 +73,13 @@ module Spec : sig
       checkpoint files. *)
 
   val of_string : string -> (t, string) result
+  (** Parses and {!validate}s: a spec that decodes is runnable. *)
+
+  val validate : t -> (unit, string) result
+  (** Rejects what no worker could ever run: negative seed or count
+      (job ranges travel as unsigned varints), [chunk < 1], an unknown
+      crashfs fault name, a fault on a non-crashfs campaign.
+      {!Coordinator.run} applies this before offering any job. *)
 
   val jobs : t -> (int * int * int) list
   (** [(id, lo, hi)] for every job: [count] units cut into [chunk]-sized
@@ -156,7 +163,13 @@ module Coordinator : sig
   (** Serve the campaign until every job is done (or the
       [stop_after_results] hook fires), then send [Bye] to every
       worker and tear down. [ready] fires once the socket is
-      listening. *)
+      listening.
+
+      [Error] on an invalid spec ({!Spec.validate}, checked before the
+      socket opens), or when some job is refused ([Job_refused]) by
+      workers three times — a deterministically failing job would
+      otherwise bounce forever. A refused job below that cap is simply
+      unassigned and requeued. *)
 end
 
 (** {1 Workers} *)
@@ -178,7 +191,9 @@ module Worker : sig
   val run : cfg -> (int, string) result
   (** Serve jobs until the coordinator says [Bye]; returns jobs
       completed across all connections. Reconnects with jittered
-      exponential backoff when the link drops; a corrupt job payload is
-      answered with [Err] and the connection {e survives} — only
-      framing-level corruption forces a reconnect. *)
+      exponential backoff when the link drops. A job the worker cannot
+      run (bad spec, unknown fault) is answered with [Job_refused] so
+      the coordinator unassigns it; an undecodable offer payload is
+      answered with [Err]. In both cases the connection {e survives} —
+      only framing-level corruption forces a reconnect. *)
 end

@@ -242,24 +242,42 @@ let load_dir dir =
     |> Result.map List.rev
   end
 
+(* Dedupe bookkeeping for [save]: digest -> path, one table per corpus
+   directory, built by scanning the directory once per process and kept
+   current by [save] itself.  Rescanning (and re-parsing) every .pmt on
+   each call made corpus saves O(n^2) over a campaign.  Files written
+   behind our back by another process are not seen until the next
+   process start — the cost is a duplicate reproducer, never a lost
+   one. *)
+let digest_index : (string, (string, string) Hashtbl.t) Hashtbl.t = Hashtbl.create 4
+
+let index_for dir =
+  match Hashtbl.find_opt digest_index dir with
+  | Some idx -> idx
+  | None ->
+    let idx = Hashtbl.create 64 in
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".pmt" then
+            let path = Filename.concat dir f in
+            match load_file path with
+            | Ok c -> Hashtbl.replace idx (case_digest c) path
+            | Error _ -> ())
+        (Sys.readdir dir);
+    Hashtbl.replace digest_index dir idx;
+    idx
+
 let save ~dir c =
   mkdir_p dir;
+  let idx = index_for dir in
   let digest = case_digest c in
-  let duplicate =
-    Sys.readdir dir |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f ".pmt")
-    |> List.sort compare
-    |> List.find_map (fun f ->
-           let path = Filename.concat dir f in
-           match load_file path with
-           | Ok c' when case_digest c' = digest -> Some path
-           | Ok _ | Error _ -> None)
-  in
-  match duplicate with
-  | Some path -> path
-  | None ->
+  match Hashtbl.find_opt idx digest with
+  | Some path when Sys.file_exists path -> path
+  | _ ->
     let path = Filename.concat dir (c.name ^ ".pmt") in
     Serial.save_file ~header:(header_of_case c) path c.program.Gen.events;
+    Hashtbl.replace idx digest path;
     path
 
 let run_check c = function

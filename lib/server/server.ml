@@ -185,7 +185,8 @@ let handle_frame t sess kind payload =
     send t sess.fd Wire.Report_frame (Wire.encode_report r)
   | Wire.Bye -> false
   | Wire.Hello | Wire.Hello_ack | Wire.Report_frame | Wire.Err
-  | Wire.Worker_hello | Wire.Job_offer | Wire.Job_claim | Wire.Job_result | Wire.Checkpoint ->
+  | Wire.Worker_hello | Wire.Job_offer | Wire.Job_claim | Wire.Job_result | Wire.Job_refused
+  | Wire.Checkpoint ->
     (* Farm frames belong on a pmfarm coordinator link, not a checking
        session; refuse them like any other out-of-place kind. *)
     send_err t sess.fd (Printf.sprintf "unexpected %s frame" (Wire.kind_name kind));

@@ -16,7 +16,7 @@ module Report = Pmtest_core.Report
    computes a correct CRC over garbage. *)
 
 (* Version 1 is the original checking protocol (kinds 0-7); version 2
-   adds the pmfarm frame family (kinds 8-12).  A frame is stamped with
+   adds the pmfarm frame family (kinds 8-13).  A frame is stamped with
    the lowest version that can carry its kind, so the checking traffic
    of a version-2 binary is byte-identical to a version-1 peer's and the
    two interoperate; farm frames announce version 2 and a version-1-only
@@ -43,6 +43,7 @@ type kind =
   | Job_offer
   | Job_claim
   | Job_result
+  | Job_refused
   | Checkpoint
 
 let kind_code = function
@@ -59,6 +60,7 @@ let kind_code = function
   | Job_claim -> 10
   | Job_result -> 11
   | Checkpoint -> 12
+  | Job_refused -> 13
 
 let kind_of_code = function
   | 0 -> Some Hello
@@ -74,6 +76,7 @@ let kind_of_code = function
   | 10 -> Some Job_claim
   | 11 -> Some Job_result
   | 12 -> Some Checkpoint
+  | 13 -> Some Job_refused
   | _ -> None
 
 let kind_name = function
@@ -89,11 +92,12 @@ let kind_name = function
   | Job_offer -> "job-offer"
   | Job_claim -> "job-claim"
   | Job_result -> "job-result"
+  | Job_refused -> "job-refused"
   | Checkpoint -> "checkpoint"
 
 let kind_version = function
   | Hello | Hello_ack | Prelude | Section | Get_result | Report_frame | Bye | Err -> 1
-  | Worker_hello | Job_offer | Job_claim | Job_result | Checkpoint -> 2
+  | Worker_hello | Job_offer | Job_claim | Job_result | Job_refused | Checkpoint -> 2
 
 type error = Closed | Timeout | Corrupt of string | Version_mismatch of int
 
@@ -162,9 +166,11 @@ let write_frame fd kind payload =
   let len = String.length payload in
   if len > max_payload then Error (Corrupt (Printf.sprintf "outgoing payload too large (%d bytes)" len))
   else begin
-    (* One buffer, one write: a frame is never torn by a concurrent
-       writer on the same fd (the server's reply path is per-session
-       anyway, but the client may interleave sends with get-result). *)
+    (* One buffer, one write(2) in the common case — but write_exactly
+       loops on partial writes, so a frame larger than the socket buffer
+       is NOT atomic against a concurrent writer on the same fd.
+       Callers that share an fd across threads must serialise their
+       writes with a lock. *)
     let b = Bytes.create (header_len + len) in
     Bytes.set b 0 (Char.chr (kind_version kind));
     Bytes.set b 1 (Char.chr (kind_code kind));
@@ -322,8 +328,13 @@ let rec read_batch r =
 (* --- Payload codecs ------------------------------------------------------ *)
 
 (* Same unsigned LEB128 the packed arenas use; lengths and counts only
-   (nothing here is signed). *)
+   (nothing here is signed).  The guard matters: without it a negative
+   value reaches [Char.chr] after a handful of shifts and raises an
+   [Invalid_argument] with no hint of where it came from — callers must
+   validate signed quantities (seeds, ranges) before encoding. *)
 let put_uv b v =
+  if v < 0 then
+    invalid_arg (Printf.sprintf "Wire.put_uv: negative value %d (unsigned LEB128 only)" v);
   let v = ref v in
   while !v >= 0x80 do
     Buffer.add_char b (Char.chr (0x80 lor (!v land 0x7f)));
@@ -585,6 +596,28 @@ let decode_job_result s =
       in
       at_end s !pos;
       (job, attempt, digest, units, elapsed_ms, findings))
+    s
+
+(* Job_refused: the worker could not run an offered job (unknown fault,
+   bad spec, inverted range...).  Carrying the job id is what lets the
+   coordinator unassign the job instead of leaving it held forever by a
+   live, heartbeating worker. *)
+
+let encode_job_refused ~job ~attempt ~reason =
+  let b = Buffer.create 32 in
+  put_uv b job;
+  put_uv b attempt;
+  put_str b reason;
+  Buffer.contents b
+
+let decode_job_refused s =
+  decode
+    (fun s ->
+      let job, pos = get_uv s 0 in
+      let attempt, pos = get_uv s pos in
+      let reason, pos = get_str s pos in
+      at_end s pos;
+      (job, attempt, reason))
     s
 
 (* Checkpoint doubles as the worker heartbeat: [running] is the job id

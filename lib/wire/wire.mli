@@ -39,6 +39,10 @@
     - [Job_claim] (worker → coordinator): the worker accepted the job.
     - [Job_result] (worker → coordinator): result digest, units run,
       elapsed time and the shrunk reproducers found in the chunk.
+    - [Job_refused] (worker → coordinator): the worker could not run
+      the offered job (unknown fault, undecodable spec, bad range); the
+      coordinator unassigns the job and requeues it — or aborts the
+      campaign once the same job is refused repeatedly.
     - [Checkpoint] (worker → coordinator): heartbeat — the running job
       (if any) and jobs completed so far.
 
@@ -82,6 +86,7 @@ type kind =
   | Job_offer
   | Job_claim
   | Job_result
+  | Job_refused
   | Checkpoint
 
 val kind_code : kind -> int
@@ -109,8 +114,10 @@ val header_len : int
 (** {1 Frame I/O}
 
     Blocking, EINTR-safe reads and writes on a connected socket. A
-    frame is written with a single [write(2)] so concurrent writers on
-    one fd never tear it. *)
+    frame goes out from a single buffer — usually one [write(2)] — but
+    a frame larger than the socket buffer is completed by looping on
+    partial writes, so concurrent writers on one fd {e can} tear it:
+    serialise shared-fd writes with a lock. *)
 
 val read_frame : Unix.file_descr -> (kind * string, error) result
 val write_frame : Unix.file_descr -> kind -> string -> (unit, error) result
@@ -200,6 +207,11 @@ val decode_job_result :
   string -> (int * int * string * int * int * (string * string) list, error) result
 (** [(job, attempt, digest, units, elapsed_ms, findings)] where each
     finding is [(name, reproducer_text)]. *)
+
+val encode_job_refused : job:int -> attempt:int -> reason:string -> string
+val decode_job_refused : string -> (int * int * string, error) result
+(** [(job, attempt, reason)] — a worker-side failure to {e run} the
+    job, as opposed to a link failure (which needs no frame at all). *)
 
 val encode_checkpoint : running:int option -> jobs_done:int -> string
 val decode_checkpoint : string -> (int option * int, error) result

@@ -124,6 +124,9 @@ let test_spec_rejects_garbage () =
       "fuzz model=x86 seed=0 count=1";
       "fuzz model=x86 seed=0 count=1 chunk=0";
       "crashfs model=x86 fs=extfour seed=0 count=1 chunk=1";
+      "fuzz model=x86 seed=-3 count=1 chunk=1";
+      "crashfs model=x86 fs=pmfs fault=no-such-fault seed=0 count=1 chunk=1";
+      "fuzz model=x86 fault=skip-journal-flush seed=0 count=1 chunk=1";
     ]
 
 let test_spec_jobs_cover_the_range () =
@@ -347,9 +350,10 @@ let test_duplicate_result_mismatch_flags_nondet () =
 
 let test_corrupt_offer_does_not_kill_worker () =
   (* The test plays coordinator: after the handshake it sends a
-     well-framed [Job_offer] whose payload is garbage, then one whose
-     spec is gibberish.  The worker must answer [Err] to both and stay
-     on the line — the next valid offer still gets executed. *)
+     well-framed [Job_offer] whose payload is garbage (answered with a
+     bare [Err]), then one whose spec is gibberish (answered with
+     [Job_refused] naming the job).  Either way the worker stays on the
+     line — the next valid offer still gets executed. *)
   let socket = next_socket () in
   let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
   Unix.bind listen_fd (ADDR_UNIX socket);
@@ -383,17 +387,25 @@ let test_corrupt_offer_does_not_kill_worker () =
         | (Wire.Job_claim | Wire.Checkpoint), _ -> next ()
         | f -> f
       in
-      (* Valid frame, undecodable payload. *)
+      (* Valid frame, undecodable payload: the worker cannot even name
+         the job, so a bare [Err] is all it can answer. *)
       must_write fd Wire.Job_offer "\xff\xff\xff\xff garbage";
       (match next () with
       | Wire.Err, _ -> ()
       | kind, _ -> Alcotest.failf "expected err for garbage offer, got %s" (Wire.kind_name kind));
-      (* Decodable offer, gibberish campaign spec. *)
+      (* Decodable offer, gibberish campaign spec: refused by job id so
+         the coordinator can unassign it. *)
       must_write fd Wire.Job_offer
         (Wire.encode_job_offer ~job:0 ~attempt:1 ~lo:0 ~hi:5 ~spec:"haunted model=ghost");
       (match next () with
-      | Wire.Err, _ -> ()
-      | kind, _ -> Alcotest.failf "expected err for bad spec, got %s" (Wire.kind_name kind));
+      | Wire.Job_refused, payload -> (
+        match Wire.decode_job_refused payload with
+        | Ok (0, 1, _reason) -> ()
+        | Ok (job, attempt, _) ->
+          Alcotest.failf "refusal names job %d attempt %d, wanted 0/1" job attempt
+        | Error e -> Alcotest.failf "refusal: %s" (Wire.error_to_string e))
+      | kind, _ ->
+        Alcotest.failf "expected job-refused for bad spec, got %s" (Wire.kind_name kind));
       (* The link survived: a real offer still produces a real result. *)
       let spec = Farm.Spec.fuzz ~max_ops:8 ~model:Model.X86 ~seed:0 ~count:5 ~chunk:5 () in
       must_write fd Wire.Job_offer
@@ -422,6 +434,118 @@ let test_corrupt_offer_does_not_kill_worker () =
       | Some (Error e) -> Alcotest.failf "worker: %s" e
       | None -> Alcotest.fail "worker thread died")
 
+let refusing_worker_handshake socket name =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX socket);
+  must_write fd Wire.Worker_hello
+    (Wire.encode_worker_hello ~farm:Wire.farm_version ~name ~engines:0);
+  (match must_read fd with
+  | Wire.Worker_hello, _ -> ()
+  | kind, _ -> Alcotest.failf "expected hello ack, got %s" (Wire.kind_name kind));
+  fd
+
+let read_offer fd =
+  match must_read fd with
+  | Wire.Job_offer, payload -> (
+    match Wire.decode_job_offer payload with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "offer: %s" (Wire.error_to_string e))
+  | kind, _ -> Alcotest.failf "expected an offer, got %s" (Wire.kind_name kind)
+
+let test_refused_job_is_requeued () =
+  (* A worker that cannot run a job says so with [Job_refused]; the
+     coordinator must unassign and re-offer it — the worker stays live
+     and heartbeating, so no timeout or steal would ever recover it.
+     Two refusals (below the abort cap), then an honest result: the
+     campaign still completes. *)
+  with_dir (fun dir ->
+      let socket = next_socket () in
+      let spec = Farm.Spec.fuzz ~max_ops:8 ~model:Model.X86 ~seed:0 ~count:5 ~chunk:5 () in
+      let cfg = Farm.Coordinator.default_cfg ~spec ~socket ~dir in
+      let coord = start_coordinator cfg in
+      let fd = refusing_worker_handshake socket "picky" in
+      let job, attempt, lo, hi, _ = read_offer fd in
+      Alcotest.(check (pair int int)) "first offer" (0, 1) (job, attempt);
+      must_write fd Wire.Job_refused
+        (Wire.encode_job_refused ~job ~attempt ~reason:"not feeling it");
+      let job, attempt, _, _, _ = read_offer fd in
+      Alcotest.(check (pair int int)) "re-offered with a fresh attempt" (0, 2) (job, attempt);
+      must_write fd Wire.Job_refused
+        (Wire.encode_job_refused ~job ~attempt ~reason:"still not feeling it");
+      let job, attempt, _, _, _ = read_offer fd in
+      Alcotest.(check (pair int int)) "third offer" (0, 3) (job, attempt);
+      (match Farm.run_units spec ~lo ~hi with
+      | Error e -> Alcotest.failf "direct run: %s" e
+      | Ok r ->
+        must_write fd Wire.Job_result
+          (Wire.encode_job_result ~job ~attempt ~digest:r.Farm.digest ~units:r.Farm.units
+             ~elapsed_ms:1 ~findings:r.Farm.findings));
+      (match must_read fd with
+      | Wire.Bye, _ -> ()
+      | kind, _ -> Alcotest.failf "expected bye, got %s" (Wire.kind_name kind));
+      Unix.close fd;
+      let s = finish_coordinator coord in
+      Alcotest.(check int) "the refused job still completed" s.Farm.Coordinator.jobs
+        s.Farm.Coordinator.jobs_done)
+
+let test_repeated_refusals_abort_campaign () =
+  (* A deterministically failing job must not bounce between offers
+     forever (nor deadlock the campaign, as it did when refusals were
+     ignored): after the refusal cap the coordinator gives up with the
+     worker's reason. *)
+  with_dir (fun dir ->
+      let socket = next_socket () in
+      let spec = Farm.Spec.fuzz ~max_ops:8 ~model:Model.X86 ~seed:0 ~count:5 ~chunk:5 () in
+      let cfg = Farm.Coordinator.default_cfg ~spec ~socket ~dir in
+      let coord = start_coordinator cfg in
+      let fd = refusing_worker_handshake socket "naysayer" in
+      for _ = 1 to 3 do
+        let job, attempt, _, _, _ = read_offer fd in
+        must_write fd Wire.Job_refused
+          (Wire.encode_job_refused ~job ~attempt ~reason:"engine not built")
+      done;
+      (* An aborted campaign still says goodbye so workers exit. *)
+      (match must_read fd with
+      | Wire.Bye, _ -> ()
+      | kind, _ -> Alcotest.failf "expected bye, got %s" (Wire.kind_name kind));
+      Unix.close fd;
+      let t, result = coord in
+      Thread.join t;
+      match !result with
+      | Some (Error e) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the job (%s)" e)
+          true
+          (let has_sub s sub =
+             let n = String.length sub in
+             let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+             go 0
+           in
+           has_sub e "job 0" && has_sub e "engine not built")
+      | Some (Ok _) -> Alcotest.fail "campaign succeeded despite a permanently refused job"
+      | None -> Alcotest.fail "coordinator thread died without a result")
+
+let test_invalid_specs_rejected_before_serving () =
+  (* Negative seeds would blow up mid-[encode_job_offer] under the
+     coordinator lock; an unknown fault would make every attempt of
+     every job fail worker-side.  Both are rejected before the socket
+     even opens. *)
+  (match Farm.Spec.validate (Farm.Spec.fuzz ~model:Model.X86 ~seed:(-1) ~count:5 ~chunk:5 ()) with
+  | Ok () -> Alcotest.fail "negative seed validated"
+  | Error _ -> ());
+  with_dir (fun dir ->
+      List.iter
+        (fun spec ->
+          let cfg = Farm.Coordinator.default_cfg ~spec ~socket:(next_socket ()) ~dir in
+          match Farm.Coordinator.run cfg with
+          | Ok _ -> Alcotest.failf "coordinator served %s" (Farm.Spec.to_string spec)
+          | Error _ -> ())
+        [
+          Farm.Spec.fuzz ~model:Model.X86 ~seed:(-7) ~count:5 ~chunk:5 ();
+          Farm.Spec.crashfs ~fault:"no-such-fault" ~fs:Crashfs.Pmfs ~model:Model.X86 ~seed:0
+            ~count:5 ~chunk:5 ();
+        ])
+
 let () =
   Alcotest.run "farm"
     [
@@ -449,5 +573,10 @@ let () =
             test_duplicate_result_mismatch_flags_nondet;
           Alcotest.test_case "corrupt offers do not kill the worker" `Quick
             test_corrupt_offer_does_not_kill_worker;
+          Alcotest.test_case "refused job is requeued" `Quick test_refused_job_is_requeued;
+          Alcotest.test_case "repeated refusals abort the campaign" `Quick
+            test_repeated_refusals_abort_campaign;
+          Alcotest.test_case "invalid specs rejected before serving" `Quick
+            test_invalid_specs_rejected_before_serving;
         ] );
     ]

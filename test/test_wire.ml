@@ -385,6 +385,17 @@ let test_checkpoint_codec_round_trip () =
     Alcotest.(check (option int)) "idle" None running;
     Alcotest.(check int) "fresh" 0 jobs_done
 
+let test_job_refused_codec_round_trip () =
+  match
+    Wire.decode_job_refused
+      (Wire.encode_job_refused ~job:4 ~attempt:2 ~reason:"unknown fault 'torn-journal'")
+  with
+  | Error e -> Alcotest.fail (Wire.error_to_string e)
+  | Ok (job, attempt, reason) ->
+    Alcotest.(check int) "job" 4 job;
+    Alcotest.(check int) "attempt" 2 attempt;
+    Alcotest.(check string) "reason" "unknown fault 'torn-journal'" reason
+
 let test_job_offer_inverted_range_rejected () =
   (* The encoder is trusting; the decoder is not.  A frame whose seed
      range runs backwards is corrupt, not an empty job. *)
@@ -430,6 +441,13 @@ let test_farm_codecs_reject_garbage () =
       ( "job_result truncated finding",
         Result.map ignore
           (Wire.decode_job_result (String.sub result 0 (String.length result - 2))) );
+      ("job_refused empty", Result.map ignore (Wire.decode_job_refused ""));
+      ( "job_refused truncated reason",
+        Result.map ignore (Wire.decode_job_refused "\x01\x01\x20oops") );
+      ( "job_refused trailing bytes",
+        Result.map ignore
+          (Wire.decode_job_refused
+             (Wire.encode_job_refused ~job:1 ~attempt:1 ~reason:"r" ^ "\x00")) );
       ("checkpoint empty", Result.map ignore (Wire.decode_checkpoint ""));
       ( "checkpoint varint overflow",
         Result.map ignore
@@ -526,6 +544,7 @@ let () =
           Alcotest.test_case "job_offer round trip" `Quick test_job_offer_codec_round_trip;
           Alcotest.test_case "job_claim round trip" `Quick test_job_claim_codec_round_trip;
           Alcotest.test_case "job_result round trip" `Quick test_job_result_codec_round_trip;
+          Alcotest.test_case "job_refused round trip" `Quick test_job_refused_codec_round_trip;
           Alcotest.test_case "checkpoint round trip" `Quick test_checkpoint_codec_round_trip;
           Alcotest.test_case "inverted seed range rejected" `Quick
             test_job_offer_inverted_range_rejected;
